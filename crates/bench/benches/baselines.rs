@@ -1,0 +1,45 @@
+//! Criterion bench: centralized baselines (E10) and the identity
+//! filter (E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::baselines::CollisionCountTester;
+use dut_core::identity::IdentityFilter;
+use dut_distributions::DiscreteDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_collision_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collision_count_tester");
+    for &n in &[1usize << 12, 1 << 16] {
+        let tester = CollisionCountTester::plan(n, 0.5, 3.0).expect("plannable");
+        let uniform = DiscreteDistribution::uniform(n);
+        group.bench_with_input(BenchmarkId::new("run", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| black_box(tester.run(&uniform, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_identity_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identity_filter");
+    let n = 1 << 10;
+    let eta = DiscreteDistribution::from_weights((1..=n).map(|i| 1.0 / i as f64).collect())
+        .expect("valid");
+    group.bench_function("construct_64_slots", |b| {
+        b.iter(|| black_box(IdentityFilter::new(&eta, 64).unwrap()))
+    });
+    let filter = IdentityFilter::new(&eta, 64).expect("valid");
+    group.bench_function("map_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(14);
+        b.iter(|| {
+            let x = eta.sample(&mut rng);
+            black_box(filter.map(x, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collision_counting, bench_identity_filter);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: token packaging and the CONGEST tester (E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_congest::{solve_token_packaging, CongestUniformityTester};
+use dut_distributions::DiscreteDistribution;
+use dut_netsim::engine::BandwidthModel;
+use dut_netsim::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_packaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_packaging");
+    group.sample_size(10);
+    for &k in &[1_000usize, 4_000] {
+        let g = topology::balanced_binary_tree(k);
+        let tokens: Vec<Vec<u64>> = (0..k as u64).map(|v| vec![v]).collect();
+        let ids: Vec<u64> = (0..k as u64).collect();
+        group.bench_with_input(BenchmarkId::new("tree", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solve_token_packaging(&g, &tokens, &ids, 8, BandwidthModel::Local)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_tester(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_tester");
+    group.sample_size(10);
+    let n = 1 << 12;
+    let k = 12_000;
+    let tester = CongestUniformityTester::plan(n, k, 1.0, 1.0 / 3.0, 1).expect("plannable");
+    let uniform = DiscreteDistribution::uniform(n);
+    for topo in [topology::Topology::Star, topology::Topology::Grid] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = topo.instantiate(k, &mut rng);
+        let tester = if g.node_count() == k {
+            tester.clone()
+        } else {
+            CongestUniformityTester::plan(n, g.node_count(), 1.0, 1.0 / 3.0, 1).unwrap()
+        };
+        group.bench_function(topo.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(rng.gen());
+            b.iter(|| black_box(tester.run(&g, &uniform, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packaging, bench_full_tester);
+criterion_main!(benches);

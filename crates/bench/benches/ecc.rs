@@ -1,0 +1,42 @@
+//! Criterion bench: code construction and encoding (E8 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_ecc::{BinaryCode, JustesenCode, RandomLinearCode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_encode");
+    for &k in &[256usize, 4096] {
+        let linear = RandomLinearCode::rate_one_third(k, 15);
+        let words = k.div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(16);
+        let msg: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("random_linear", k), &k, |b, _| {
+            b.iter(|| black_box(linear.encode(&msg)))
+        });
+    }
+    let justesen = JustesenCode::rate_one_third(8);
+    let words = justesen.input_bits().div_ceil(64);
+    let mut rng = StdRng::seed_from_u64(17);
+    let msg: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+    group.bench_function("justesen_m8", |b| {
+        b.iter(|| black_box(justesen.encode(&msg)))
+    });
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_construct");
+    group.bench_function("random_linear_4096", |b| {
+        b.iter(|| black_box(RandomLinearCode::rate_one_third(4096, 18)))
+    });
+    group.bench_function("justesen_m10", |b| {
+        b.iter(|| black_box(JustesenCode::rate_one_third(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the single-collision gap tester (E1/E2 runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::gap::GapTester;
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gap_tester(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_tester_run");
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let tester = GapTester::new(n, 0.01).expect("plannable");
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 0.5).expect("valid");
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(tester.run(&uniform, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("paninski_far", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(tester.run(&far, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let n = 1 << 16;
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, 0.5).expect("valid");
+    group.bench_function("uniform_fast_path", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(uniform.sample(&mut rng)))
+    });
+    group.bench_function("alias_table", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(far.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_tester, bench_distribution_sampling);
+criterion_main!(benches);

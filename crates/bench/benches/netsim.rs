@@ -1,0 +1,58 @@
+//! Criterion bench: the network-simulator substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_netsim::algorithms::bfs::build_bfs_tree;
+use dut_netsim::algorithms::convergecast::convergecast_sum;
+use dut_netsim::algorithms::distributed_mis::distributed_luby_mis;
+use dut_netsim::algorithms::leader::elect_leader;
+use dut_netsim::algorithms::routing::route_to_centers;
+use dut_netsim::engine::BandwidthModel;
+use dut_netsim::topology;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_primitives");
+    group.sample_size(20);
+    for &k in &[1_000usize, 10_000] {
+        let g = topology::balanced_binary_tree(k);
+        group.bench_with_input(BenchmarkId::new("bfs_tree", k), &k, |b, _| {
+            b.iter(|| black_box(build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap()))
+        });
+        let (tree, _) = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap();
+        let values = vec![1u64; k];
+        group.bench_with_input(BenchmarkId::new("convergecast", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap())
+            })
+        });
+        let ids: Vec<u64> = (0..k as u64).collect();
+        group.bench_with_input(BenchmarkId::new("leader_election", k), &k, |b, _| {
+            b.iter(|| black_box(elect_leader(&g, &ids, BandwidthModel::Local).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis_and_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_mis_routing");
+    group.sample_size(10);
+    let g = topology::grid(40, 40);
+    group.bench_function("distributed_luby_1600", |b| {
+        b.iter(|| black_box(distributed_luby_mis(&g, BandwidthModel::Local, 1).unwrap()))
+    });
+    let k = g.node_count();
+    let center_of = vec![0usize; k];
+    let payloads: Vec<Vec<u64>> = (0..k as u64).map(|v| vec![v]).collect();
+    group.bench_function("route_all_to_corner_1600", |b| {
+        b.iter(|| {
+            black_box(
+                route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_mis_and_routing);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: the SMP Equality protocol (E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_smp::{EqualityProtocol, SmpProtocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_equality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smp_equality");
+    for &n in &[1usize << 10, 1 << 14] {
+        let p = EqualityProtocol::new(n, 2.0, 0.05, 9).expect("valid");
+        let words = n.div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(10);
+        let x: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let mut y = x.clone();
+        y[0] ^= 1;
+        group.bench_with_input(BenchmarkId::new("run_distinct", n), &n, |b, _| {
+            let mut ra = StdRng::seed_from_u64(11);
+            let mut rb = StdRng::seed_from_u64(12);
+            b.iter(|| black_box(p.run(&x, &y, &mut ra, &mut rb)))
+        });
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |b, _| {
+            b.iter(|| black_box(EqualityProtocol::new(n, 2.0, 0.05, 9).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equality);
+criterion_main!(benches);

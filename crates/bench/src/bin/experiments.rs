@@ -1,0 +1,86 @@
+//! The experiment runner: regenerates every quantitative claim of the
+//! paper as a markdown table.
+//!
+//! ```text
+//! experiments [--quick] all
+//! experiments [--quick] e1 e4 e6
+//! experiments --json results.json all
+//! experiments --list
+//! ```
+
+use dut_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut expect_json_path = false;
+    for a in &args {
+        if expect_json_path {
+            json_path = Some(a.clone());
+            expect_json_path = false;
+            continue;
+        }
+        match a.as_str() {
+            "--json" => expect_json_path = true,
+            "--quick" | "-q" => scale = Scale::Quick,
+            "--list" | "-l" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if ALL_EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [--quick] [--list] (all | e1 .. e12)+");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--quick] [--list] (all | e1 .. e12)+");
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    println!(
+        "# Distributed Uniformity Testing — experiment run ({})\n",
+        match scale {
+            Scale::Quick => "quick scale",
+            Scale::Full => "full scale",
+        }
+    );
+    let mut all_tables: Vec<dut_bench::Table> = Vec::new();
+    for id in ids {
+        let start = Instant::now();
+        let tables = run_experiment(&id, scale);
+        for table in &tables {
+            println!("{table}");
+        }
+        all_tables.extend(tables);
+        println!(
+            "_{} finished in {:.1}s_\n",
+            id,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&all_tables) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize results: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

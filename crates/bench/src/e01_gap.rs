@@ -1,0 +1,103 @@
+//! E1 — the gap tester A_δ (Theorem 3.1 / Lemma 3.4).
+//!
+//! Measures the single-collision tester's rejection probability on the
+//! uniform distribution (must be ≤ δ) and on ε-far families (must be
+//! ≥ (1+γε²)δ), across a grid of (n, ε, δ).
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_core::decision::Decision;
+use dut_core::gap::GapTester;
+use dut_core::montecarlo::{estimate_failure_rate, trial_rng};
+use dut_distributions::families::FarFamily;
+use dut_distributions::DiscreteDistribution;
+
+/// Runs E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(100_000, 400_000);
+    let grid: Vec<(usize, f64, f64)> = scale.pick(
+        vec![(1 << 14, 1.0, 0.01), (1 << 16, 0.5, 0.005)],
+        vec![
+            (1 << 14, 1.0, 0.01),
+            (1 << 14, 0.5, 0.01),
+            (1 << 16, 1.0, 0.005),
+            (1 << 16, 0.5, 0.005),
+            (1 << 18, 0.5, 0.002),
+            (1 << 20, 0.25, 0.002),
+        ],
+    );
+
+    let mut completeness = Table::new(
+        "E1a: gap tester completeness (Lemma 3.4.1)",
+        "Rejection rate on the uniform distribution must stay at or below δ = s(s−1)/2n.",
+        &["n", "eps", "s", "delta", "measured reject", "ok"],
+    );
+    let mut soundness = Table::new(
+        "E1b: gap tester soundness (Lemma 3.4.2)",
+        "Rejection rate on ε-far families must reach (1+γε²)δ; the Paninski family is the \
+         extremal (hardest) case, other families reject strictly more.",
+        &["n", "eps", "family", "bound (1+γε²)δ", "measured reject", "ok"],
+    );
+
+    for &(n, eps, delta) in &grid {
+        let tester = GapTester::new(n, delta).expect("plannable grid point");
+        let uniform = DiscreteDistribution::uniform(n);
+        let est = {
+            let t = tester;
+            let u = uniform.clone();
+            estimate_failure_rate(trials, 101, move |seed| {
+                t.run(&u, &mut trial_rng(seed)) == Decision::Reject
+            })
+        };
+        let ok = est.lower <= tester.delta();
+        completeness.push_row(vec![
+            n.to_string(),
+            fmt_f(eps),
+            tester.samples().to_string(),
+            fmt_f(tester.delta()),
+            format!("{} [{}, {}]", fmt_f(est.rate), fmt_f(est.lower), fmt_f(est.upper)),
+            ok.to_string(),
+        ]);
+
+        for family in FarFamily::ALL {
+            let far = match family.instantiate(n, eps) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let bound = tester.soundness_rejection_bound(eps);
+            let est = {
+                let t = tester;
+                estimate_failure_rate(trials, 211, move |seed| {
+                    t.run(&far, &mut trial_rng(seed)) == Decision::Reject
+                })
+            };
+            let ok = est.upper >= bound;
+            soundness.push_row(vec![
+                n.to_string(),
+                fmt_f(eps),
+                family.name().to_string(),
+                fmt_f(bound),
+                format!("{} [{}, {}]", fmt_f(est.rate), fmt_f(est.lower), fmt_f(est.upper)),
+                ok.to_string(),
+            ]);
+        }
+    }
+    vec![completeness, soundness]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables_with_all_ok() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert!(!t.rows.is_empty());
+            for row in &t.rows {
+                assert_eq!(row.last().unwrap(), "true", "violation in {}: {row:?}", t.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! E2 — sample-complexity scaling `s = Θ(√(δn))` (Theorem 3.1).
+//!
+//! Verifies the planner's integer sample counts track the continuous
+//! law `s(s−1) = 2δn`, and that the empirical error budget follows δ
+//! across two decades of `δ·n`.
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_core::params::{delta_for_samples, samples_for_delta};
+
+/// Runs E2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E2: s = Θ(√(δn)) scaling (Theorem 3.1)",
+        "The planned integer sample count s must satisfy s(s−1) ≤ 2δn < (s+1)s, so the \
+         normalized ratio s(s−1)/(2δn) sits in (0.8, 1] once s is nontrivial.",
+        &["n", "delta", "s", "s(s-1)/(2δn)", "realized δ/requested δ"],
+    );
+    let ns: Vec<usize> = scale.pick(
+        vec![1 << 12, 1 << 16, 1 << 20],
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 24],
+    );
+    for n in ns {
+        for &delta in &[0.001f64, 0.01, 0.05] {
+            let Ok(s) = samples_for_delta(n, delta) else {
+                continue;
+            };
+            let budget = 2.0 * delta * n as f64;
+            let ratio = (s * (s - 1)) as f64 / budget;
+            let realized = delta_for_samples(n, s) / delta;
+            t.push_row(vec![
+                n.to_string(),
+                fmt_f(delta),
+                s.to_string(),
+                fmt_f(ratio),
+                fmt_f(realized),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_stay_in_band() {
+        let tables = run(Scale::Quick);
+        for row in &tables[0].rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio <= 1.0 + 1e-9, "{row:?}");
+            let s: usize = row[2].parse().unwrap();
+            if s >= 10 {
+                assert!(ratio > 0.8, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! E5 — asymmetric-cost testers (§4): the `1/‖T‖₂` cost law.
+//!
+//! Sweeps cost-vector shapes at fixed `(n, k, ε)` and compares the
+//! planner's achieved maximum individual cost against the paper's
+//! closed form `√n/ε²/‖T‖₂`; also verifies the Lemma 4.1 extremal
+//! property numerically on random points.
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_core::asymmetric::{
+    lemma_4_1_check, theory_max_cost_and, theory_max_cost_threshold, AsymmetricAndTester,
+    AsymmetricThresholdTester, CostVector,
+};
+use dut_core::decision::Decision;
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cost_shape(name: &str, k: usize) -> CostVector {
+    let costs: Vec<f64> = match name {
+        "uniform" => vec![1.0; k],
+        "two-class" => (0..k).map(|i| if i < k / 2 { 4.0 } else { 1.0 }).collect(),
+        "power-law" => (0..k).map(|i| 1.0 + (i as f64 / k as f64) * 9.0).collect(),
+        other => panic!("unknown cost shape {other}"),
+    };
+    CostVector::new(costs).expect("valid costs")
+}
+
+/// Runs E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = 1 << 20;
+    let k = scale.pick(150_000, 300_000);
+    let eps = 0.5;
+    let p = 1.0 / 3.0;
+    let trials = scale.pick(12, 30);
+
+    let mut t = Table::new(
+        "E5a: asymmetric threshold tester cost (§4.2)",
+        "Max individual cost C = max_i s_i·c_i vs the paper's √n/ε²/‖T‖₂ law. The ratio \
+         column must be roughly constant across cost shapes (the Θ-constant).",
+        &[
+            "cost shape",
+            "‖T‖₂",
+            "planned C",
+            "theory C",
+            "ratio",
+            "err(U)",
+            "err(far)",
+        ],
+    );
+
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, eps).expect("valid far instance");
+
+    for shape in ["uniform", "two-class", "power-law"] {
+        let costs = cost_shape(shape, k);
+        let tester =
+            AsymmetricThresholdTester::plan(n, &costs, eps, p).expect("plannable shape");
+        let theory = theory_max_cost_threshold(n, &costs, eps);
+        let mut rng = StdRng::seed_from_u64(501);
+        let err_u = (0..trials)
+            .filter(|_| tester.run(&uniform, &mut rng).decision == Decision::Reject)
+            .count() as f64
+            / trials as f64;
+        let err_f = (0..trials)
+            .filter(|_| tester.run(&far, &mut rng).decision == Decision::Accept)
+            .count() as f64
+            / trials as f64;
+        t.push_row(vec![
+            shape.to_string(),
+            fmt_f(costs.inverse_norm(2.0)),
+            fmt_f(tester.max_cost()),
+            fmt_f(theory),
+            fmt_f(tester.max_cost() / theory),
+            fmt_f(err_u),
+            fmt_f(err_f),
+        ]);
+    }
+
+    let mut and_t = Table::new(
+        "E5b: asymmetric AND-rule cost (§4.1) — theory and planner",
+        "The closed-form AND cost √2·(ln 1/(1−p))^{1/2m}·m·√n/‖T‖₂ₘ vs the threshold \
+         cost — the AND rule pays the m = Θ(C_p/ε²) repetition factor. `planned C` is \
+         the practical planner's achieved max cost (completeness pinned at p by \
+         Eq. (6)); `pred sound err` is its honest missed-detection prediction.",
+        &[
+            "cost shape",
+            "‖T‖₂ₘ",
+            "theory AND C",
+            "threshold C",
+            "AND/threshold",
+            "planned C",
+            "pred sound err",
+        ],
+    );
+    for shape in ["uniform", "two-class", "power-law"] {
+        let costs = cost_shape(shape, k);
+        let m = dut_core::asymmetric::default_and_repetitions(eps, p);
+        let and_c = theory_max_cost_and(n, &costs, eps, p);
+        let thr_c = theory_max_cost_threshold(n, &costs, eps);
+        let (planned_c, sound) = match AsymmetricAndTester::plan(n, &costs, eps, p) {
+            Ok(t) => (fmt_f(t.max_cost()), fmt_f(t.predicted_soundness_error())),
+            Err(_) => ("—".into(), "—".into()),
+        };
+        and_t.push_row(vec![
+            shape.to_string(),
+            fmt_f(costs.inverse_norm(2.0 * m as f64)),
+            fmt_f(and_c),
+            fmt_f(thr_c),
+            fmt_f(and_c / thr_c),
+            planned_c,
+            sound,
+        ]);
+    }
+
+    let mut lemma = Table::new(
+        "E5c: Lemma 4.1 extremal check",
+        "For random X on the constraint manifold Π(1−xᵢ) = c, the symmetric point Y must \
+         maximize g(X) = Π(1−a·xᵢ): max over 1000 random X of g(X)/g(Y) must be ≤ 1.",
+        &["dim k", "a", "max g(X)/g(Y)"],
+    );
+    let mut rng = StdRng::seed_from_u64(502);
+    for &dim in &[2usize, 3, 5, 8] {
+        for &a in &[1.5f64, 2.0, 2.7] {
+            let mut worst: f64 = 0.0;
+            for _ in 0..1000 {
+                let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..0.3 / a)).collect();
+                let (gx, gy) = lemma_4_1_check(&x, a);
+                worst = worst.max(gx / gy);
+            }
+            lemma.push_row(vec![dim.to_string(), fmt_f(a), format!("{worst:.6}")]);
+        }
+    }
+
+    vec![t, and_t, lemma]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_cost_law_and_lemma_hold() {
+        let tables = run(Scale::Quick);
+        // E5a: ratios roughly constant and errors controlled.
+        let ratios: Vec<f64> = tables[0].rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+            / ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 2.0, "cost-law constant varies too much: {ratios:?}");
+        // E5b: AND rule strictly costlier.
+        for row in &tables[1].rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio > 1.0, "{row:?}");
+        }
+        // E5c: lemma never violated.
+        for row in &tables[2].rows {
+            let worst: f64 = row[2].parse().unwrap();
+            assert!(worst <= 1.0 + 1e-9, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! E6 — CONGEST: token packaging (Theorem 5.1) and the full tester
+//! (Theorem 1.4), across topologies.
+//!
+//! Measures protocol rounds against the `O(D + τ)` / `O(D + n/(kε⁴))`
+//! bounds, verifies the CONGEST bit budget end-to-end (the simulator
+//! enforces it), and records decisions on uniform vs far inputs.
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_congest::CongestUniformityTester;
+use dut_core::decision::Decision;
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use dut_netsim::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E6.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = 1 << 12;
+    let k = 12_000;
+    let eps = 1.0;
+    let p = 1.0 / 3.0;
+    let trials = scale.pick(6, 12);
+    let topologies: Vec<Topology> = scale.pick(
+        vec![Topology::Star, Topology::Tree, Topology::Grid],
+        vec![
+            Topology::Star,
+            Topology::Tree,
+            Topology::Grid,
+            Topology::ErdosRenyi,
+            Topology::Ring,
+            Topology::Line,
+        ],
+    );
+
+    let tester = CongestUniformityTester::plan(n, k, eps, p, 1).expect("plannable");
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, eps).expect("valid far instance");
+
+    let mut t = Table::new(
+        "E6: CONGEST uniformity tester (Theorems 5.1 + 1.4)",
+        format!(
+            "n = 2^12, k = 12000, ε = 1, τ = {}, virtual threshold T = {}. Rounds must \
+             track D + τ (constant factor ≤ ~8 from the leader/BFS/residue/convergecast \
+             phases); the simulator enforces the O(log n)-bit budget, so a completed run \
+             certifies CONGEST compliance.",
+            tester.tau(),
+            tester.virtual_plan().threshold
+        ),
+        &[
+            "topology",
+            "diameter",
+            "rounds",
+            "theory D+τ",
+            "rounds/(D+τ)",
+            "packages",
+            "rejects(U)",
+            "rejects(far)",
+        ],
+    );
+
+    let mut rng = StdRng::seed_from_u64(601);
+    for topo in topologies {
+        // High-diameter topologies cost Θ(k·D) engine work per run;
+        // cap their trial counts.
+        let trials = match topo {
+            Topology::Line | Topology::Ring => trials.min(3),
+            _ => trials,
+        };
+        let g = topo.instantiate(k, &mut rng);
+        let kk = g.node_count();
+        let tester_g = if kk == k {
+            tester.clone()
+        } else {
+            CongestUniformityTester::plan(n, kk, eps, p, 1).expect("plannable")
+        };
+        let d = match topo {
+            Topology::Line => kk - 1,
+            Topology::Ring => kk / 2,
+            Topology::Star => 2,
+            // Exact diameter is O(k·m) to compute; these are cheap.
+            _ => g.diameter(),
+        };
+        let theory = d as f64 + tester_g.tau() as f64;
+        let mut rounds_sum = 0usize;
+        let mut packages = 0usize;
+        let mut rej_u = 0usize;
+        let mut rej_f = 0usize;
+        for _ in 0..trials {
+            let ru = tester_g.run(&g, &uniform, &mut rng).expect("run ok");
+            rounds_sum += ru.rounds;
+            packages = ru.packages;
+            rej_u += usize::from(ru.decision == Decision::Reject);
+            let rf = tester_g.run(&g, &far, &mut rng).expect("run ok");
+            rounds_sum += rf.rounds;
+            rej_f += usize::from(rf.decision == Decision::Reject);
+        }
+        let mean_rounds = rounds_sum as f64 / (2 * trials) as f64;
+        t.push_row(vec![
+            topo.name().to_string(),
+            d.to_string(),
+            fmt_f(mean_rounds),
+            fmt_f(theory),
+            fmt_f(mean_rounds / theory),
+            packages.to_string(),
+            format!("{rej_u}/{trials}"),
+            format!("{rej_f}/{trials}"),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_rounds_track_d_plus_tau() {
+        let tables = run(Scale::Quick);
+        for row in &tables[0].rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(
+                ratio < 10.0,
+                "rounds not O(D + tau) on {}: ratio {ratio}",
+                row[0]
+            );
+            // Far must reject at least as often as uniform.
+            let ru: usize = row[6].split('/').next().unwrap().parse().unwrap();
+            let rf: usize = row[7].split('/').next().unwrap().parse().unwrap();
+            assert!(rf >= ru, "no separation on {}: {row:?}", row[0]);
+        }
+    }
+}

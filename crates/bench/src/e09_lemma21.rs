@@ -1,0 +1,59 @@
+//! E9 — Lemma 2.1: the Bernoulli-KL lower bound
+//! `D(B_{1−δ} ‖ B_{1−τδ}) ≥ (δ/4)(τ − 1 − ln τ)`.
+//!
+//! Evaluates both sides over a (δ, τ) grid and reports the slack: the
+//! minimum of lhs/rhs must be ≥ 1 everywhere in the lemma's range.
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_distributions::info::lemma_2_1;
+
+/// Runs E9.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let deltas: Vec<f64> = scale.pick(
+        vec![0.01, 0.1, 0.2],
+        vec![0.001, 0.01, 0.05, 0.1, 0.15, 0.2, 0.24],
+    );
+    let taus: Vec<f64> = scale.pick(
+        vec![1.1, 2.0, 3.0],
+        vec![1.01, 1.1, 1.25, 1.5, 2.0, 2.7, 3.0, 4.0],
+    );
+    let mut t = Table::new(
+        "E9: Lemma 2.1 — KL divergence needed for a (δ, τ)-gap",
+        "lhs = D(B_{1−δ}‖B_{1−τδ}), rhs = (δ/4)(τ−1−ln τ). The lemma claims lhs ≥ rhs \
+         throughout δ ∈ (0, 1/4), τ ∈ (1, 1/δ); ratio = lhs/rhs.",
+        &["delta", "tau", "lhs (nats)", "rhs (nats)", "ratio"],
+    );
+    for &delta in &deltas {
+        for &tau in &taus {
+            if tau >= 1.0 / delta {
+                continue;
+            }
+            let (lhs, rhs) = lemma_2_1(delta, tau);
+            t.push_row(vec![
+                fmt_f(delta),
+                fmt_f(tau),
+                format!("{lhs:.6}"),
+                format!("{rhs:.6}"),
+                fmt_f(lhs / rhs),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_holds_everywhere() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let tables = run(scale);
+            for row in &tables[0].rows {
+                let ratio: f64 = row[4].parse().unwrap();
+                assert!(ratio >= 1.0, "lemma 2.1 violated at {row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! E12 — the Theorem 1.3 lower bound, empirically.
+//!
+//! Sweeps the per-node sample count `s` around the `√(n/k)` threshold
+//! and reports the best error any threshold rule can achieve (chosen in
+//! hindsight — an upper bound on every realizable tester of this form).
+//! The transition from "useless" (error ≈ 1/2) to "works" (error ≤ 1/3)
+//! must straddle `Θ(√(n/k))`, matching Theorem 1.3 against the
+//! Theorem 1.2 upper bound.
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_lowerbound::experiments::probe_sample_count;
+use dut_lowerbound::theorem_1_3_bound;
+
+/// Runs E12.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = 1 << 16;
+    let k = 100;
+    let eps = 1.0;
+    let trials = scale.pick(120, 400);
+    let sqrt_nk = (n as f64 / k as f64).sqrt(); // 25.6
+
+    let mut t = Table::new(
+        "E12: empirical sample threshold vs Theorem 1.3 (n = 2^16, k = 100, ε = 1)",
+        format!(
+            "√(n/k) = {sqrt_nk:.1}; Theorem 1.3 lower bound (with log factor) = {:.1}. \
+             `best error` is the hindsight-optimal threshold rule's max-side error: it \
+             must stay ≈ 1/2 well below √(n/k) and fall under 1/3 above it.",
+            theorem_1_3_bound(n, k)
+        ),
+        &["s/node", "s/√(n/k)", "best error", "best T"],
+    );
+
+    let fractions: Vec<f64> = scale.pick(
+        vec![0.1, 0.5, 1.0, 2.0],
+        vec![0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0],
+    );
+    for &frac in &fractions {
+        let s = ((frac * sqrt_nk) as usize).max(2);
+        let point = probe_sample_count(n, k, eps, s, trials, 1201);
+        t.push_row(vec![
+            s.to_string(),
+            fmt_f(s as f64 / sqrt_nk),
+            fmt_f(point.best_error),
+            point.best_threshold.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_the_transition() {
+        let tables = run(Scale::Quick);
+        let rows = &tables[0].rows;
+        let first_err: f64 = rows.first().unwrap()[2].parse().unwrap();
+        let last_err: f64 = rows.last().unwrap()[2].parse().unwrap();
+        assert!(
+            first_err > 0.3,
+            "far-below-threshold should fail: {first_err}"
+        );
+        assert!(last_err < first_err, "no transition: {rows:?}");
+    }
+}

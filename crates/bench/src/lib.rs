@@ -1,0 +1,84 @@
+//! Experiment harness for the *Distributed Uniformity Testing*
+//! reproduction.
+//!
+//! The paper has no tables or figures — its quantitative claims are
+//! theorems. Each module here regenerates one claim as a table:
+//! measured error probabilities / sample counts / round counts /
+//! communication bits next to the theorem's prediction. The
+//! `experiments` binary prints any subset:
+//!
+//! ```text
+//! cargo run -p dut-bench --release --bin experiments -- all
+//! cargo run -p dut-bench --release --bin experiments -- e4 e6
+//! cargo run -p dut-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! See `DESIGN.md` §4 for the experiment-to-theorem index and
+//! `EXPERIMENTS.md` for recorded outputs.
+
+#![warn(missing_docs)]
+
+pub mod e01_gap;
+pub mod e02_scaling;
+pub mod e03_and_rule;
+pub mod e04_threshold;
+pub mod e05_asymmetric;
+pub mod e06_congest;
+pub mod e07_local;
+pub mod e08_smp;
+pub mod e09_lemma21;
+pub mod e10_baselines;
+pub mod e11_identity;
+pub mod e12_lowerbound;
+pub mod table;
+
+pub use table::Table;
+
+/// Global scale knob: `Quick` shrinks trial counts and sweep ranges so
+/// the full suite finishes in a couple of minutes; `Full` is the
+/// EXPERIMENTS.md configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced trials/sweeps for smoke runs.
+    Quick,
+    /// The recorded-results configuration.
+    Full,
+}
+
+impl Scale {
+    /// Picks `quick` or `full` by variant.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// All experiment ids, in order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Runs one experiment by id, returning its rendered tables.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, scale: Scale) -> Vec<Table> {
+    match id {
+        "e1" => e01_gap::run(scale),
+        "e2" => e02_scaling::run(scale),
+        "e3" => e03_and_rule::run(scale),
+        "e4" => e04_threshold::run(scale),
+        "e5" => e05_asymmetric::run(scale),
+        "e6" => e06_congest::run(scale),
+        "e7" => e07_local::run(scale),
+        "e8" => e08_smp::run(scale),
+        "e9" => e09_lemma21::run(scale),
+        "e10" => e10_baselines::run(scale),
+        "e11" => e11_identity::run(scale),
+        "e12" => e12_lowerbound::run(scale),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}

@@ -1,0 +1,392 @@
+//! The τ-token-packaging problem (Definition 2, Theorem 5.1).
+//!
+//! Every node starts with one or more tokens (its samples). The network
+//! must output multisets ("packages") of exactly τ tokens, with every
+//! token in at most one package and at most τ−1 tokens left unpackaged.
+//!
+//! The paper's algorithm: build a BFS tree from the max-id leader;
+//! compute, bottom-up, the residue `c(v) = (tokens(v) + Σ c(child)) mod τ`
+//! each node must forward; then pipeline tokens up the tree — each node
+//! forwards the first `c(v)` tokens it handles and keeps the rest, so
+//! after `O(D + τ)` rounds every node holds a multiple of τ tokens. The
+//! root discards its own residue `c(root) < τ`.
+
+use dut_netsim::algorithms::bfs::{build_bfs_tree, BfsTree};
+use dut_netsim::algorithms::leader::elect_leader;
+use dut_netsim::engine::{
+    BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox,
+};
+use dut_netsim::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Bottom-up residue computation: like a convergecast, but each node
+/// retains `c(v) = (own_tokens + Σ c(child)) mod τ` and forwards `c(v)`.
+#[derive(Debug, Clone)]
+struct ResidueNode {
+    parent: Option<NodeId>,
+    expected_children: usize,
+    received: usize,
+    own_tokens: u64,
+    tau: u64,
+    c: Option<u64>,
+    acc: u64,
+}
+
+impl NodeProtocol for ResidueNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        for &(_, Compact(v)) in inbox {
+            self.acc += v;
+            self.received += 1;
+        }
+        if self.c.is_none() && self.received == self.expected_children {
+            let c = (self.own_tokens + self.acc) % self.tau;
+            self.c = Some(c);
+            if let Some(p) = self.parent {
+                out.send(p, Compact(c));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.c.is_some()
+    }
+}
+
+/// The pipelined token-forwarding phase: each node forwards one token per
+/// round toward its parent until it has forwarded `c(v)` tokens, keeping
+/// everything else. The root "forwards" by discarding.
+#[derive(Debug, Clone)]
+struct ForwardNode {
+    parent: Option<NodeId>,
+    /// Tokens to forward up (the residue `c(v)`).
+    quota: u64,
+    sent: u64,
+    buffer: VecDeque<u64>,
+    /// Tokens this node keeps (its packages are cut from these).
+    kept: Vec<u64>,
+    /// Tokens the root discarded (root only; for accounting).
+    discarded: u64,
+    /// Whether the quota has been fully sent *and* the keep-decision for
+    /// buffered tokens has been flushed.
+    flushed: bool,
+}
+
+impl NodeProtocol for ForwardNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        for &(_, Compact(t)) in inbox {
+            self.buffer.push_back(t);
+        }
+        if self.sent < self.quota {
+            if let Some(t) = self.buffer.pop_front() {
+                match self.parent {
+                    Some(p) => out.send(p, Compact(t)),
+                    None => self.discarded += 1,
+                }
+                self.sent += 1;
+            }
+        }
+        if self.sent == self.quota {
+            // Quota met: everything still buffered is kept.
+            self.kept.append(&mut Vec::from(std::mem::take(&mut self.buffer)));
+            self.flushed = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.flushed
+    }
+}
+
+/// The output of token packaging.
+#[derive(Debug, Clone)]
+pub struct PackagingResult {
+    /// The packages: `(owner node, tokens)`, each of size exactly τ.
+    pub packages: Vec<(NodeId, Vec<u64>)>,
+    /// Tokens discarded at the root (≤ τ−1 by Theorem 5.1).
+    pub discarded: usize,
+    /// Total rounds used across all phases (leader election, BFS,
+    /// residue computation, forwarding).
+    pub rounds: usize,
+    /// Total bits sent across all phases.
+    pub bits: usize,
+    /// The BFS tree used (for reuse by the tester's aggregation phase).
+    pub tree: BfsTree,
+    /// The elected leader (BFS root).
+    pub leader: NodeId,
+}
+
+/// Solves τ-token packaging on `g`, where node `v` starts with
+/// `tokens[v]` tokens (sample values in `[0, n)`).
+///
+/// `ids[v]` are the node identifiers used for leader election (random
+/// from a large namespace in an anonymous network; must have a unique
+/// maximum).
+///
+/// # Errors
+///
+/// Propagates engine errors (disconnected graph, CONGEST violations).
+///
+/// # Panics
+///
+/// Panics if `tau == 0` or input lengths mismatch.
+pub fn solve_token_packaging(
+    g: &Graph,
+    tokens: &[Vec<u64>],
+    ids: &[u64],
+    tau: usize,
+    model: BandwidthModel,
+) -> Result<PackagingResult, EngineError> {
+    assert!(tau >= 1, "package size must be at least 1");
+    assert_eq!(tokens.len(), g.node_count(), "one token list per node");
+    assert_eq!(ids.len(), g.node_count(), "one id per node");
+    let k = g.node_count();
+
+    // Phase 1: leader election (max id).
+    let (leader, rounds_leader) = elect_leader(g, ids, model)?;
+    // Phase 2: BFS tree from the leader.
+    let (tree, rounds_bfs) = build_bfs_tree(g, leader, model)?;
+
+    // Phase 3: residue computation up the tree.
+    let residue_states: Vec<ResidueNode> = (0..k)
+        .map(|v| ResidueNode {
+            parent: tree.parent[v],
+            expected_children: tree.children[v].len(),
+            received: 0,
+            own_tokens: tokens[v].len() as u64,
+            tau: tau as u64,
+            c: None,
+            acc: 0,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let residue_report = net.run(residue_states, 2 * k + 4)?;
+    let quotas: Vec<u64> = residue_report
+        .nodes
+        .iter()
+        .map(|n| n.c.expect("residue computed at every node"))
+        .collect();
+
+    // Phase 4: pipelined forwarding for ~τ + height rounds.
+    let forward_states: Vec<ForwardNode> = (0..k)
+        .map(|v| ForwardNode {
+            parent: tree.parent[v],
+            quota: quotas[v],
+            sent: 0,
+            buffer: tokens[v].iter().copied().collect(),
+            kept: Vec::new(),
+            discarded: 0,
+            flushed: false,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let max_rounds = 2 * (tau + tree.height + 4) + 8;
+    let forward_report = net.run(forward_states, max_rounds)?;
+
+    // Cut each node's kept tokens into packages of exactly τ.
+    let mut packages = Vec::new();
+    let mut discarded = 0usize;
+    for (v, node) in forward_report.nodes.iter().enumerate() {
+        discarded += node.discarded as usize;
+        debug_assert_eq!(
+            node.kept.len() % tau,
+            0,
+            "node {v} kept {} tokens, not a multiple of tau={tau}",
+            node.kept.len()
+        );
+        for chunk in node.kept.chunks_exact(tau) {
+            packages.push((v, chunk.to_vec()));
+        }
+    }
+
+    Ok(PackagingResult {
+        packages,
+        discarded,
+        rounds: rounds_leader + rounds_bfs + residue_report.rounds + forward_report.rounds,
+        bits: residue_report.total_bits + forward_report.total_bits,
+        tree,
+        leader,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_netsim::topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn run_packaging(
+        g: &Graph,
+        tau: usize,
+        tokens_per_node: usize,
+        seed: u64,
+    ) -> PackagingResult {
+        let k = g.node_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Unique token values so we can check the "at most one package"
+        // requirement exactly.
+        let mut next = 0u64;
+        let tokens: Vec<Vec<u64>> = (0..k)
+            .map(|_| {
+                (0..tokens_per_node)
+                    .map(|_| {
+                        next += 1;
+                        next
+                    })
+                    .collect()
+            })
+            .collect();
+        let ids: Vec<u64> = {
+            let mut ids: Vec<u64> = (0..k as u64).collect();
+            // shuffle so the leader is not always node k-1
+            for i in (1..k).rev() {
+                let j = rng.gen_range(0..=i);
+                ids.swap(i, j);
+            }
+            ids
+        };
+        solve_token_packaging(g, &tokens, &ids, tau, BandwidthModel::Local).unwrap()
+    }
+
+    fn check_definition_2(result: &PackagingResult, total_tokens: usize, tau: usize) {
+        // (1) every package has size exactly tau
+        for (_, p) in &result.packages {
+            assert_eq!(p.len(), tau);
+        }
+        // (2) each token in at most one package
+        let mut seen = HashMap::new();
+        for (_, p) in &result.packages {
+            for &t in p {
+                *seen.entry(t).or_insert(0) += 1;
+            }
+        }
+        assert!(seen.values().all(|&c| c == 1), "token duplicated");
+        // (3) all but at most tau-1 tokens packaged
+        let packaged = result.packages.len() * tau;
+        assert!(
+            total_tokens - packaged < tau,
+            "{} of {} tokens unpackaged (tau = {tau})",
+            total_tokens - packaged,
+            total_tokens
+        );
+        assert_eq!(total_tokens - packaged, result.discarded);
+    }
+
+    #[test]
+    fn packaging_on_line() {
+        let g = topology::line(20);
+        let r = run_packaging(&g, 4, 1, 1);
+        check_definition_2(&r, 20, 4);
+        assert_eq!(r.packages.len(), 5);
+    }
+
+    #[test]
+    fn packaging_on_star() {
+        let g = topology::star(33);
+        let r = run_packaging(&g, 8, 1, 2);
+        check_definition_2(&r, 33, 8);
+        assert_eq!(r.packages.len(), 4);
+    }
+
+    #[test]
+    fn packaging_all_topologies_and_taus() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in topology::Topology::ALL {
+            let g = t.instantiate(40, &mut rng);
+            let k = g.node_count();
+            for tau in [1usize, 2, 3, 7, 13] {
+                let r = run_packaging(&g, tau, 1, 17);
+                check_definition_2(&r, k, tau);
+            }
+        }
+    }
+
+    #[test]
+    fn packaging_with_multiple_tokens_per_node() {
+        let g = topology::grid(5, 5);
+        let r = run_packaging(&g, 6, 3, 4);
+        check_definition_2(&r, 75, 6);
+    }
+
+    #[test]
+    fn packaging_tau_one_packages_everything() {
+        let g = topology::ring(11);
+        let r = run_packaging(&g, 1, 1, 5);
+        check_definition_2(&r, 11, 1);
+        assert_eq!(r.packages.len(), 11);
+        assert_eq!(r.discarded, 0);
+    }
+
+    #[test]
+    fn packaging_tau_larger_than_network() {
+        // With tau > total tokens, nothing can be packaged; everything
+        // funnels to the root and is discarded (c(root) = k mod tau = k).
+        let g = topology::line(5);
+        let r = run_packaging(&g, 9, 1, 6);
+        assert_eq!(r.packages.len(), 0);
+        assert_eq!(r.discarded, 5);
+    }
+
+    #[test]
+    fn packaging_rounds_scale_with_d_plus_tau() {
+        // Theorem 5.1: O(D + tau) rounds. Measure both regimes.
+        let g_line = topology::line(60); // D = 59, tau small
+        let r1 = run_packaging(&g_line, 3, 1, 7);
+        assert!(
+            r1.rounds <= 6 * (59 + 3) + 20,
+            "line rounds {} too large",
+            r1.rounds
+        );
+        let g_star = topology::star(60); // D = 2, tau large
+        let r2 = run_packaging(&g_star, 30, 1, 8);
+        assert!(
+            r2.rounds <= 6 * (2 + 30) + 20,
+            "star rounds {} too large",
+            r2.rounds
+        );
+    }
+
+    #[test]
+    fn packaging_fits_congest_budget() {
+        let g = topology::grid(6, 6);
+        let k = g.node_count();
+        let tokens: Vec<Vec<u64>> = (0..k as u64).map(|v| vec![v]).collect();
+        let ids: Vec<u64> = (0..k as u64).collect();
+        // Tokens are sample values < 2^20; ids < k. Budget for a 2^20
+        // domain comfortably holds one token per round.
+        let model = BandwidthModel::Congest { bits_per_edge: 64 };
+        let r = solve_token_packaging(&g, &tokens, &ids, 5, model).unwrap();
+        for (_, p) in &r.packages {
+            assert_eq!(p.len(), 5);
+        }
+    }
+
+    #[test]
+    fn leader_is_max_id() {
+        let g = topology::line(9);
+        let tokens: Vec<Vec<u64>> = (0..9).map(|v| vec![v as u64]).collect();
+        let mut ids: Vec<u64> = (0..9).collect();
+        ids[4] = 1000;
+        let r =
+            solve_token_packaging(&g, &tokens, &ids, 3, BandwidthModel::Local).unwrap();
+        assert_eq!(r.leader, 4);
+        assert_eq!(r.tree.root, 4);
+    }
+}

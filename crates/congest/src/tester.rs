@@ -1,0 +1,375 @@
+//! The CONGEST uniformity tester (Theorem 1.4).
+//!
+//! Composition: every node draws its sample(s) → τ-token packaging
+//! concentrates them into packages of τ samples → every package is a
+//! *virtual node* of the 0-round threshold tester (Theorem 1.2) and
+//! votes by running the gap tester on its samples → the vote count is
+//! convergecast up the BFS tree → the root compares against the
+//! threshold `T` and broadcasts the verdict.
+//!
+//! Total rounds: `O(D)` for leader/BFS/aggregation plus `O(τ)` for the
+//! forwarding pipeline, with `τ = Θ(n/(kε⁴))` — the paper's
+//! `O(D + n/(kε⁴))`.
+
+use crate::packaging::solve_token_packaging;
+use dut_core::decision::Decision;
+use dut_core::error::PlanError;
+use dut_core::gap::GapTester;
+use dut_core::params::{plan_threshold, ThresholdPlan, WindowMethod};
+use dut_netsim::algorithms::convergecast::{broadcast_value, convergecast_sum};
+use dut_netsim::engine::BandwidthModel;
+use dut_netsim::graph::Graph;
+use dut_distributions::SampleOracle;
+use rand::Rng;
+
+/// A planned CONGEST uniformity tester.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_congest::CongestUniformityTester;
+/// use dut_core::decision::Decision;
+/// use dut_distributions::DiscreteDistribution;
+/// use dut_netsim::topology;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 1 << 12;
+/// let k = 12_000;
+/// let tester = CongestUniformityTester::plan(n, k, 1.0, 1.0 / 3.0, 1)?;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = topology::star(k);
+/// let uniform = DiscreteDistribution::uniform(n);
+/// let result = tester.run(&g, &uniform, &mut rng)?;
+/// assert_eq!(result.decision, Decision::Accept);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CongestUniformityTester {
+    n: usize,
+    k: usize,
+    samples_per_node: usize,
+    tau: usize,
+    virtual_plan: ThresholdPlan,
+    package_tester: GapTester,
+}
+
+/// The outcome of one CONGEST tester run.
+#[derive(Debug, Clone)]
+pub struct CongestRunResult {
+    /// The network's verdict (as broadcast from the root).
+    pub decision: Decision,
+    /// Virtual nodes (packages) that voted to reject.
+    pub rejecting_packages: usize,
+    /// Number of packages formed.
+    pub packages: usize,
+    /// Total protocol rounds (packaging + aggregation + broadcast).
+    pub rounds: usize,
+    /// Total bits sent.
+    pub bits: usize,
+    /// The rejection threshold used.
+    pub threshold: usize,
+}
+
+impl CongestUniformityTester {
+    /// Plans the tester: finds the smallest package size τ such that
+    /// `ℓ = ⌊k·s/τ⌋` packages of τ samples support the threshold tester
+    /// at distance `epsilon` and error `p` on domain size `n`.
+    /// `samples_per_node` is the `s` in "each node starts with s
+    /// samples" (the paper's exposition takes s = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NetworkTooSmall`] (or another planning
+    /// failure) when no τ works — the network as a whole does not hold
+    /// enough samples.
+    pub fn plan(
+        n: usize,
+        k: usize,
+        epsilon: f64,
+        p: f64,
+        samples_per_node: usize,
+    ) -> Result<Self, PlanError> {
+        if samples_per_node == 0 {
+            return Err(PlanError::InvalidParameter {
+                name: "samples_per_node",
+                value: 0.0,
+                expected: "at least one sample per node",
+            });
+        }
+        let total = k * samples_per_node;
+        let mut tau = 2usize;
+        let mut best: Option<(usize, ThresholdPlan)> = None;
+        while tau <= total {
+            let ell = total / tau;
+            if ell < 2 {
+                break;
+            }
+            if let Ok(plan) = plan_threshold(n, ell, epsilon, p, WindowMethod::Exact) {
+                if plan.samples_per_node <= tau {
+                    best = Some((tau, plan));
+                    break; // smallest tau wins (fewest pipeline rounds)
+                }
+            }
+            // τ grows geometrically with a fine step: the feasibility
+            // frontier is where √(n·τ/k)/ε² ≤ τ.
+            tau = (tau + 1).max(tau * 21 / 20);
+        }
+        let (tau, virtual_plan) = best.ok_or(PlanError::NetworkTooSmall {
+            k,
+            required: ((n as f64).sqrt() / epsilon.powi(2)).ceil() as usize,
+        })?;
+        let package_tester = GapTester::with_samples(n, virtual_plan.samples_per_node)?;
+        Ok(CongestUniformityTester {
+            n,
+            k,
+            samples_per_node,
+            tau,
+            virtual_plan,
+            package_tester,
+        })
+    }
+
+    /// The package size τ.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The threshold plan applied to the virtual nodes.
+    pub fn virtual_plan(&self) -> &ThresholdPlan {
+        &self.virtual_plan
+    }
+
+    /// Samples each physical node draws.
+    pub fn samples_per_node(&self) -> usize {
+        self.samples_per_node
+    }
+
+    /// The paper's round bound, `D + n/(kε⁴)` with Θ-constants 1, for
+    /// reporting theory curves next to measurements.
+    pub fn theory_rounds(&self, diameter: usize, epsilon: f64) -> f64 {
+        diameter as f64 + self.n as f64 / (self.k as f64 * epsilon.powi(4))
+    }
+
+    /// Runs the full protocol on `g` with samples drawn from `oracle`.
+    ///
+    /// `g` must have exactly `k` nodes (the planned network size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (disconnected graphs, CONGEST budget
+    /// violations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the planned `k`.
+    pub fn run<O, R>(
+        &self,
+        g: &Graph,
+        oracle: &O,
+        rng: &mut R,
+    ) -> Result<CongestRunResult, dut_netsim::engine::EngineError>
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(
+            g.node_count(),
+            self.k,
+            "graph size does not match planned network size"
+        );
+        // Each node draws its samples (tokens) and a random id.
+        let tokens: Vec<Vec<u64>> = (0..self.k)
+            .map(|_| {
+                oracle
+                    .draw_many(rng, self.samples_per_node)
+                    .into_iter()
+                    .map(|x| x as u64)
+                    .collect()
+            })
+            .collect();
+        let ids: Vec<u64> = {
+            // Random ids from a poly(k) namespace (k² — O(log k) bits,
+            // fitting the CONGEST budget); the maximum is unique with
+            // probability 1 − O(1/k), and we retry otherwise.
+            let namespace = (self.k as u64).saturating_mul(self.k as u64).max(2);
+            loop {
+                let ids: Vec<u64> = (0..self.k).map(|_| rng.gen_range(0..namespace)).collect();
+                let max = *ids.iter().max().expect("non-empty network");
+                if ids.iter().filter(|&&i| i == max).count() == 1 {
+                    break ids;
+                }
+            }
+        };
+        let model = BandwidthModel::congest_for(self.n.max(self.k));
+
+        // Phase 1-4: token packaging.
+        let packaging = solve_token_packaging(g, &tokens, &ids, self.tau, model)?;
+
+        // Phase 5: every package votes (0 rounds — local computation).
+        let mut votes = vec![0u64; self.k];
+        let mut rejecting = 0usize;
+        for (owner, package) in &packaging.packages {
+            let samples: Vec<usize> = package.iter().map(|&t| t as usize).collect();
+            if self.package_tester.run_on_samples(&samples) == Decision::Reject {
+                votes[*owner] += 1;
+                rejecting += 1;
+            }
+        }
+
+        // Phase 6: convergecast the vote count to the root.
+        let (total_votes, rounds_sum) = convergecast_sum(g, &packaging.tree, &votes, model)?;
+        debug_assert_eq!(total_votes as usize, rejecting);
+
+        // Phase 7: root decides and broadcasts the verdict.
+        let decision = if (total_votes as usize) >= self.virtual_plan.threshold {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        };
+        let verdict_bit = u64::from(decision == Decision::Reject);
+        let (received, rounds_bcast) =
+            broadcast_value(g, &packaging.tree, verdict_bit, model)?;
+        debug_assert!(received.iter().all(|&v| v == verdict_bit));
+
+        Ok(CongestRunResult {
+            decision,
+            rejecting_packages: rejecting,
+            packages: packaging.packages.len(),
+            rounds: packaging.rounds + rounds_sum + rounds_bcast,
+            bits: packaging.bits,
+            threshold: self.virtual_plan.threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::families::paninski_far;
+    use dut_distributions::DiscreteDistribution;
+    use dut_netsim::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 1 << 12;
+    const K: usize = 12_000;
+    const EPS: f64 = 1.0;
+
+    #[test]
+    fn plan_produces_consistent_parameters() {
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        assert!(t.tau() >= t.virtual_plan().samples_per_node);
+        assert!(t.tau() * t.virtual_plan().k <= K + t.tau());
+    }
+
+    #[test]
+    fn plan_fails_when_network_has_too_few_samples() {
+        // k samples total << √n needed.
+        let err = CongestUniformityTester::plan(1 << 20, 100, 0.5, 1.0 / 3.0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::NetworkTooSmall { .. } | PlanError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_uniform_on_star() {
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::star(K);
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 12;
+        let errors = (0..trials)
+            .filter(|_| {
+                t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject
+            })
+            .count();
+        assert!(errors <= trials / 3 + 1, "false alarms {errors}/{trials}");
+    }
+
+    #[test]
+    fn rejects_far_on_star() {
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::star(K);
+        let far = paninski_far(N, EPS).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 12;
+        let errors = (0..trials)
+            .filter(|_| t.run(&g, &far, &mut rng).unwrap().decision == Decision::Accept)
+            .count();
+        assert!(errors <= trials / 3 + 1, "missed detections {errors}/{trials}");
+    }
+
+    #[test]
+    fn works_on_tree_topology() {
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::balanced_binary_tree(K);
+        let far = paninski_far(N, EPS).unwrap();
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 12;
+        let far_rejects = (0..trials)
+            .filter(|_| t.run(&g, &far, &mut rng).unwrap().decision == Decision::Reject)
+            .count();
+        let uni_rejects = (0..trials)
+            .filter(|_| {
+                t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject
+            })
+            .count();
+        // The plan's predicted per-run errors sit just under 1/3, so the
+        // counts are noisy at a dozen trials; require clear separation
+        // plus loose absolute bounds.
+        assert!(
+            far_rejects > uni_rejects,
+            "no separation: far {far_rejects} vs uniform {uni_rejects}"
+        );
+        assert!(far_rejects >= trials / 2, "far rejects {far_rejects}/{trials}");
+        assert!(uni_rejects <= trials / 2, "uniform rejects {uni_rejects}/{trials}");
+    }
+
+    #[test]
+    fn rounds_track_d_plus_tau() {
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::star(K);
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = t.run(&g, &uniform, &mut rng).unwrap();
+        let d = 2.0; // star diameter
+        let bound = 8.0 * (d + t.tau() as f64) + 30.0;
+        assert!(
+            (r.rounds as f64) < bound,
+            "rounds {} exceed O(D + tau) bound {bound}",
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn congest_budget_respected_end_to_end() {
+        // The run uses BandwidthModel::congest_for internally and the
+        // engine errors on violations — success implies compliance.
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::grid(100, 120);
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = t.run(&g, &uniform, &mut rng).unwrap();
+        assert!(r.packages > 0);
+    }
+
+    #[test]
+    fn multiple_samples_per_node_reduce_tau_need() {
+        // With s=4 the same k supports testing at smaller epsilon or,
+        // here, the same epsilon with more packages.
+        let t1 = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let t4 = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 4).unwrap();
+        let g = topology::star(K);
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r1 = t1.run(&g, &uniform, &mut rng).unwrap();
+        let r4 = t4.run(&g, &uniform, &mut rng).unwrap();
+        assert!(r4.packages > r1.packages);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for token packaging (Definition 2).
+
+use dut_congest::solve_token_packaging;
+use dut_netsim::engine::BandwidthModel;
+use dut_netsim::topology::connected_erdos_renyi;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn definition_2_holds_on_random_graphs(
+        k in 4usize..60,
+        p in 0.05f64..0.5,
+        tau in 1usize..15,
+        tokens_per_node in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = connected_erdos_renyi(k, p, &mut rng);
+        // Unique token values to check the at-most-one-package property.
+        let mut next = 0u64;
+        let tokens: Vec<Vec<u64>> = (0..k)
+            .map(|_| (0..tokens_per_node).map(|_| { next += 1; next }).collect())
+            .collect();
+        let ids: Vec<u64> = {
+            let mut ids: Vec<u64> = (0..k as u64).collect();
+            for i in (1..k).rev() {
+                let j = rand::Rng::gen_range(&mut rng, 0..=i);
+                ids.swap(i, j);
+            }
+            ids
+        };
+        let total = k * tokens_per_node;
+        let result =
+            solve_token_packaging(&g, &tokens, &ids, tau, BandwidthModel::Local).unwrap();
+
+        // (1) every package has size exactly tau
+        for (_, pkg) in &result.packages {
+            prop_assert_eq!(pkg.len(), tau);
+        }
+        // (2) each token in at most one package
+        let mut seen = HashSet::new();
+        for (_, pkg) in &result.packages {
+            for &t in pkg {
+                prop_assert!(seen.insert(t), "token {t} duplicated");
+            }
+        }
+        // (3) at most tau-1 tokens unpackaged (all discarded at root)
+        let packaged = result.packages.len() * tau;
+        prop_assert!(total - packaged < tau);
+        prop_assert_eq!(result.discarded, total - packaged);
+
+        // Theorem 5.1 shape: rounds O(D + tau) with our phase constants.
+        let d = g.diameter();
+        prop_assert!(
+            result.rounds <= 8 * (d + tau) + 40,
+            "rounds {} not O(D + tau) with D={d}, tau={tau}",
+            result.rounds
+        );
+    }
+}

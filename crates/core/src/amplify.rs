@@ -1,0 +1,216 @@
+//! Gap amplification by repetition (the tester `B` of §3.2.1).
+//!
+//! A single gap tester has soundness gap only `1 + Θ(ε²)`. Running `m`
+//! independent copies and rejecting iff **all** `m` reject raises the gap
+//! to `(1+γε²)^m` while shrinking the false-alarm probability from `δ'`
+//! to `δ'^m` — exactly the trade the AND-rule network tester needs: very
+//! high acceptance on uniform, small-but-noticeable rejection on far
+//! inputs.
+
+use crate::decision::Decision;
+use crate::error::PlanError;
+use crate::gap::GapTester;
+use dut_distributions::SampleOracle;
+use rand::Rng;
+
+/// `m` independent repetitions of a [`GapTester`], rejecting iff all
+/// repetitions reject.
+///
+/// If the inner tester is a `(δ', 1+γε²)`-gap tester, this is a
+/// `(δ'^m, (1+γε²)^m)`-gap tester using `m·s` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeatedGapTester {
+    inner: GapTester,
+    m: usize,
+}
+
+impl RepeatedGapTester {
+    /// Wraps `inner` with `m ≥ 1` repetitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `m == 0`.
+    pub fn new(inner: GapTester, m: usize) -> Result<Self, PlanError> {
+        if m == 0 {
+            return Err(PlanError::InvalidParameter {
+                name: "m",
+                value: 0.0,
+                expected: "m >= 1",
+            });
+        }
+        Ok(RepeatedGapTester { inner, m })
+    }
+
+    /// The inner single-run tester.
+    #[inline]
+    pub fn inner(&self) -> &GapTester {
+        &self.inner
+    }
+
+    /// Number of repetitions.
+    #[inline]
+    pub fn repetitions(&self) -> usize {
+        self.m
+    }
+
+    /// Total samples drawn per run (`m · s`).
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.m * self.inner.samples()
+    }
+
+    /// False-alarm probability on the uniform distribution: `δ'^m`.
+    pub fn delta(&self) -> f64 {
+        self.inner.delta().powi(self.m as i32)
+    }
+
+    /// Soundness rejection lower bound on ε-far inputs:
+    /// `((1+γε²)δ')^m`.
+    pub fn soundness_rejection_bound(&self, epsilon: f64) -> f64 {
+        self.inner
+            .soundness_rejection_bound(epsilon)
+            .powi(self.m as i32)
+    }
+
+    /// The amplified gap `(1+γε²)^m`.
+    pub fn gap(&self, epsilon: f64) -> f64 {
+        (1.0 + self.inner.gamma(epsilon) * epsilon * epsilon).powi(self.m as i32)
+    }
+
+    /// Runs the tester: `m` independent repetitions, rejecting iff all
+    /// `m` repetitions reject. Short-circuits on the first acceptance.
+    pub fn run<O, R>(&self, oracle: &O, rng: &mut R) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        for _ in 0..self.m {
+            if self.inner.run(oracle, rng) == Decision::Accept {
+                return Decision::Accept;
+            }
+        }
+        Decision::Reject
+    }
+
+    /// Runs the tester on pre-drawn samples, consuming `m·s` of them in
+    /// disjoint chunks of `s` (the CONGEST/LOCAL gathering path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`Self::samples`] samples are provided.
+    pub fn run_on_samples(&self, samples: &[usize]) -> Decision {
+        let s = self.inner.samples();
+        assert!(
+            samples.len() >= self.samples(),
+            "need {} samples, got {}",
+            self.samples(),
+            samples.len()
+        );
+        for chunk in samples.chunks_exact(s).take(self.m) {
+            if self.inner.run_on_samples(chunk) == Decision::Accept {
+                return Decision::Accept;
+            }
+        }
+        Decision::Reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::families::paninski_far;
+    use dut_distributions::DiscreteDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_zero_repetitions() {
+        let g = GapTester::new(1 << 12, 0.05).unwrap();
+        assert!(RepeatedGapTester::new(g, 0).is_err());
+    }
+
+    #[test]
+    fn single_repetition_equals_inner() {
+        let n = 1 << 12;
+        let g = GapTester::new(n, 0.05).unwrap();
+        let r = RepeatedGapTester::new(g, 1).unwrap();
+        assert_eq!(r.samples(), g.samples());
+        assert!((r.delta() - g.delta()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delta_shrinks_geometrically() {
+        let g = GapTester::new(1 << 12, 0.1).unwrap();
+        let r3 = RepeatedGapTester::new(g, 3).unwrap();
+        assert!((r3.delta() - g.delta().powi(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gap_amplifies_geometrically() {
+        let g = GapTester::new(1 << 16, 0.001).unwrap();
+        let r = RepeatedGapTester::new(g, 4).unwrap();
+        let single = 1.0 + g.gamma(0.5) * 0.25;
+        assert!((r.gap(0.5) - single.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_false_alarm_rate_matches_delta_power() {
+        let n = 1 << 10;
+        let g = GapTester::new(n, 0.3).unwrap();
+        let r = RepeatedGapTester::new(g, 2).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        let rejects = (0..trials)
+            .filter(|_| r.run(&uniform, &mut rng) == Decision::Reject)
+            .count();
+        let rate = rejects as f64 / trials as f64;
+        // Rate should be <= delta^2 (plus Monte-Carlo noise); it is in
+        // fact ≈ (true single-run rate)², strictly below δ².
+        let sigma = 3.0 * (r.delta() / trials as f64).sqrt();
+        assert!(
+            rate <= r.delta() + sigma,
+            "rate {rate} above delta^m {}",
+            r.delta()
+        );
+        assert!(rate > 0.0, "two repetitions at delta=0.3 should still fire");
+    }
+
+    #[test]
+    fn repeated_tester_still_distinguishes() {
+        let n = 1 << 10;
+        let g = GapTester::new(n, 0.3).unwrap();
+        let r = RepeatedGapTester::new(g, 2).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 200_000;
+        let count = |d: &DiscreteDistribution, rng: &mut StdRng| {
+            (0..trials)
+                .filter(|_| r.run(d, rng) == Decision::Reject)
+                .count() as f64
+                / trials as f64
+        };
+        let ru = count(&uniform, &mut rng);
+        let rf = count(&far, &mut rng);
+        assert!(rf > ru, "far {rf} <= uniform {ru}");
+    }
+
+    #[test]
+    fn run_on_samples_uses_disjoint_chunks() {
+        let g = GapTester::with_samples(1000, 2).unwrap();
+        let r = RepeatedGapTester::new(g, 2).unwrap();
+        // chunk 1 = [1,1] collides, chunk 2 = [2,2] collides -> reject
+        assert_eq!(r.run_on_samples(&[1, 1, 2, 2]), Decision::Reject);
+        // chunk 2 = [2,3] clean -> accept
+        assert_eq!(r.run_on_samples(&[1, 1, 2, 3]), Decision::Accept);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 4 samples")]
+    fn run_on_samples_panics_when_short() {
+        let g = GapTester::with_samples(1000, 2).unwrap();
+        let r = RepeatedGapTester::new(g, 2).unwrap();
+        let _ = r.run_on_samples(&[1, 2, 3]);
+    }
+}

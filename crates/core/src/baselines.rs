@@ -1,0 +1,350 @@
+//! Centralized baselines: what a single node with all the samples does.
+//!
+//! The paper's point of departure is that centralized uniformity testing
+//! needs `Θ(√n/ε²)` samples [Paninski 2008]. These baselines implement
+//! that regime so experiments can report "distributed vs centralized":
+//!
+//! * [`CollisionCountTester`] — the classic collision-counting tester:
+//!   draw `s` samples, count colliding pairs, accept iff the count is
+//!   below a threshold placed between the uniform expectation
+//!   `C(s,2)/n` and the ε-far lower bound `C(s,2)(1+ε²)/n`.
+//! * The single-collision gap tester ([`crate::gap::GapTester`]) run
+//!   centrally with `s = √n`-scale samples, for contrast.
+
+use crate::decision::Decision;
+use crate::error::PlanError;
+use dut_distributions::collision::collision_pair_count;
+use dut_distributions::SampleOracle;
+use rand::Rng;
+
+/// The classic centralized collision-counting uniformity tester.
+///
+/// Draws `s` samples, counts colliding pairs `M = Σ_x C(count(x), 2)`,
+/// and accepts iff `M ≤ threshold` where the threshold sits at relative
+/// height `(1 + ε²/2)` above the uniform expectation `C(s,2)/n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionCountTester {
+    n: usize,
+    s: usize,
+    threshold: f64,
+}
+
+impl CollisionCountTester {
+    /// Plans the tester with `s = ⌈c·√n/ε²⌉` samples, where the constant
+    /// `c` controls the error probability (c ≈ 3 gives error well below
+    /// 1/3 on the hard Paninski instances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] for out-of-range `ε` or
+    /// non-positive `c`.
+    pub fn plan(n: usize, epsilon: f64, c: f64) -> Result<Self, PlanError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(PlanError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                expected: "0 < epsilon <= 1",
+            });
+        }
+        if c <= 0.0 {
+            return Err(PlanError::InvalidParameter {
+                name: "c",
+                value: c,
+                expected: "c > 0",
+            });
+        }
+        let s = (c * (n as f64).sqrt() / (epsilon * epsilon)).ceil() as usize;
+        Self::with_samples(n, s.max(2), epsilon)
+    }
+
+    /// Builds the tester with an explicit sample count (used by the
+    /// sample-complexity sweeps in Experiment E10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `s < 2`.
+    pub fn with_samples(n: usize, s: usize, epsilon: f64) -> Result<Self, PlanError> {
+        if s < 2 {
+            return Err(PlanError::InvalidParameter {
+                name: "s",
+                value: s as f64,
+                expected: "s >= 2",
+            });
+        }
+        let pairs = s as f64 * (s as f64 - 1.0) / 2.0;
+        let threshold = pairs / n as f64 * (1.0 + epsilon * epsilon / 2.0);
+        Ok(CollisionCountTester { n, s, threshold })
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Samples drawn per run.
+    pub fn samples(&self) -> usize {
+        self.s
+    }
+
+    /// The acceptance threshold on the collision-pair count.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Runs the tester once.
+    pub fn run<O, R>(&self, oracle: &O, rng: &mut R) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let samples = oracle.draw_many(rng, self.s);
+        self.run_on_samples(&samples)
+    }
+
+    /// Runs the tester on pre-drawn samples.
+    pub fn run_on_samples(&self, samples: &[usize]) -> Decision {
+        let m = collision_pair_count(&samples[..samples.len().min(self.s)]);
+        Decision::from_accept((m as f64) <= self.threshold)
+    }
+}
+
+/// The textbook centralized sample complexity `√n/ε²` (Θ-constant 1),
+/// for reporting theory curves.
+pub fn centralized_sample_complexity(n: usize, epsilon: f64) -> f64 {
+    (n as f64).sqrt() / (epsilon * epsilon)
+}
+
+/// Paninski's singleton-count tester: the statistic of the original
+/// `Θ(√n/ε²)` centralized tester [Paninski 2008] is the number of
+/// values seen *exactly once* (K₁). Under uniform,
+/// `E[K₁] = s(1 − 1/n)^{s−1}`; an ε-far distribution depresses it
+/// (mass concentration turns singletons into repeats). Accepts iff K₁
+/// is above a threshold placed midway between the uniform expectation
+/// and the ε-far bound derived from `χ ≥ (1+ε²)/n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingletonCountTester {
+    n: usize,
+    s: usize,
+    threshold: f64,
+}
+
+impl SingletonCountTester {
+    /// Plans the tester with `s = ⌈c·√n/ε²⌉` samples (the same scaling
+    /// as [`CollisionCountTester::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] for out-of-range inputs.
+    pub fn plan(n: usize, epsilon: f64, c: f64) -> Result<Self, PlanError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(PlanError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                expected: "0 < epsilon <= 1",
+            });
+        }
+        if c <= 0.0 {
+            return Err(PlanError::InvalidParameter {
+                name: "c",
+                value: c,
+                expected: "c > 0",
+            });
+        }
+        let s = (c * (n as f64).sqrt() / (epsilon * epsilon)).ceil() as usize;
+        Self::with_samples(n, s.max(2), epsilon)
+    }
+
+    /// Builds the tester with an explicit sample count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `s < 2`.
+    pub fn with_samples(n: usize, s: usize, epsilon: f64) -> Result<Self, PlanError> {
+        if s < 2 {
+            return Err(PlanError::InvalidParameter {
+                name: "s",
+                value: s as f64,
+                expected: "s >= 2",
+            });
+        }
+        let nf = n as f64;
+        let sf = s as f64;
+        // E[K1] under a distribution with collision probability χ is
+        // approximately s(1 − χ)^{s−1} (exact for uniform with
+        // χ = 1/n); place the threshold midway between uniform and the
+        // χ = (1+ε²)/n bound.
+        let e_uniform = sf * (1.0 - 1.0 / nf).powi(s as i32 - 1);
+        let e_far = sf * (1.0 - (1.0 + epsilon * epsilon) / nf).powi(s as i32 - 1);
+        let threshold = (e_uniform + e_far) / 2.0;
+        Ok(SingletonCountTester { n, s, threshold })
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Samples drawn per run.
+    pub fn samples(&self) -> usize {
+        self.s
+    }
+
+    /// The acceptance threshold on the singleton count.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Runs the tester once.
+    pub fn run<O, R>(&self, oracle: &O, rng: &mut R) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let samples = oracle.draw_many(rng, self.s);
+        self.run_on_samples(&samples)
+    }
+
+    /// Runs the tester on pre-drawn samples: counts values seen exactly
+    /// once and accepts iff the count is above the threshold.
+    pub fn run_on_samples(&self, samples: &[usize]) -> Decision {
+        let mut sorted: Vec<usize> = samples[..samples.len().min(self.s)].to_vec();
+        sorted.sort_unstable();
+        let mut singletons = 0usize;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                singletons += 1;
+            }
+            i = j;
+        }
+        Decision::from_accept(singletons as f64 > self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::families::{heavy_set_far, paninski_far};
+    use dut_distributions::DiscreteDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn error_rate<O: SampleOracle>(
+        t: &CollisionCountTester,
+        oracle: &O,
+        expect: Decision,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let errors = (0..trials)
+            .filter(|_| t.run(oracle, &mut rng) != expect)
+            .count();
+        errors as f64 / trials as f64
+    }
+
+    #[test]
+    fn plan_scales_with_sqrt_n() {
+        let t1 = CollisionCountTester::plan(1 << 10, 0.5, 3.0).unwrap();
+        let t2 = CollisionCountTester::plan(1 << 14, 0.5, 3.0).unwrap();
+        let ratio = t2.samples() as f64 / t1.samples() as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "16x domain → 4x samples, got {ratio}");
+    }
+
+    #[test]
+    fn accepts_uniform() {
+        let n = 1 << 12;
+        let t = CollisionCountTester::plan(n, 0.5, 3.0).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let err = error_rate(&t, &uniform, Decision::Accept, 300, 1);
+        assert!(err < 1.0 / 3.0, "false-alarm rate {err}");
+    }
+
+    #[test]
+    fn rejects_paninski_far() {
+        let n = 1 << 12;
+        let t = CollisionCountTester::plan(n, 0.5, 3.0).unwrap();
+        let far = paninski_far(n, 0.5).unwrap();
+        let err = error_rate(&t, &far, Decision::Reject, 300, 2);
+        assert!(err < 1.0 / 3.0, "missed-detection rate {err}");
+    }
+
+    #[test]
+    fn rejects_heavy_set_far() {
+        let n = 1 << 12;
+        let t = CollisionCountTester::plan(n, 0.5, 3.0).unwrap();
+        let far = heavy_set_far(n, 0.5).unwrap();
+        let err = error_rate(&t, &far, Decision::Reject, 300, 3);
+        assert!(err < 0.1, "heavy-set should be easy, error {err}");
+    }
+
+    #[test]
+    fn undersampled_tester_fails_on_far() {
+        // With far fewer than √n samples the tester cannot detect the
+        // Paninski family — this is the lower-bound intuition.
+        let n = 1 << 14;
+        let t = CollisionCountTester::with_samples(n, 8, 0.5).unwrap();
+        let far = paninski_far(n, 0.5).unwrap();
+        let err = error_rate(&t, &far, Decision::Reject, 300, 4);
+        assert!(err > 0.4, "8 samples should be useless, error {err}");
+    }
+
+    #[test]
+    fn with_samples_validates() {
+        assert!(CollisionCountTester::with_samples(100, 1, 0.5).is_err());
+        assert!(CollisionCountTester::plan(100, 0.0, 3.0).is_err());
+        assert!(CollisionCountTester::plan(100, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn run_on_samples_threshold_logic() {
+        let t = CollisionCountTester::with_samples(100, 4, 1.0).unwrap();
+        // threshold = 6/100 * 1.5 = 0.09: any collision rejects
+        assert_eq!(t.run_on_samples(&[1, 2, 3, 4]), Decision::Accept);
+        assert_eq!(t.run_on_samples(&[1, 1, 3, 4]), Decision::Reject);
+    }
+
+    #[test]
+    fn singleton_tester_accepts_uniform() {
+        let n = 1 << 12;
+        let t = SingletonCountTester::plan(n, 0.5, 3.0).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let mut rng = StdRng::seed_from_u64(11);
+        let errors = (0..300)
+            .filter(|_| t.run(&uniform, &mut rng) != Decision::Accept)
+            .count();
+        assert!(errors < 100, "singleton false alarms {errors}/300");
+    }
+
+    #[test]
+    fn singleton_tester_rejects_paninski_far() {
+        let n = 1 << 12;
+        let t = SingletonCountTester::plan(n, 0.5, 3.0).unwrap();
+        let far = paninski_far(n, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let errors = (0..300)
+            .filter(|_| t.run(&far, &mut rng) != Decision::Reject)
+            .count();
+        assert!(errors < 100, "singleton missed detections {errors}/300");
+    }
+
+    #[test]
+    fn singleton_count_logic() {
+        let t = SingletonCountTester::with_samples(100, 5, 1.0).unwrap();
+        // [1,1,2,3,4]: singletons = {2,3,4} = 3.
+        // threshold midway between 5(0.99)^4≈4.80 and 5(0.98)^4≈4.61,
+        // i.e. ≈4.7: 3 singletons -> reject, 5 singletons -> accept.
+        assert_eq!(t.run_on_samples(&[1, 1, 2, 3, 4]), Decision::Reject);
+        assert_eq!(t.run_on_samples(&[1, 2, 3, 4, 5]), Decision::Accept);
+    }
+
+    #[test]
+    fn singleton_tester_validates() {
+        assert!(SingletonCountTester::with_samples(100, 1, 0.5).is_err());
+        assert!(SingletonCountTester::plan(100, 0.0, 3.0).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Decisions and network decision rules.
+
+use std::fmt;
+
+/// The output of a tester: `Accept` means "looks uniform", `Reject` means
+/// "raise an alarm" (ε-far from uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// The input distribution looks uniform.
+    Accept,
+    /// The input distribution looks ε-far from uniform.
+    Reject,
+}
+
+impl Decision {
+    /// `true` iff this is `Accept`.
+    #[inline]
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Decision::Accept)
+    }
+
+    /// `true` iff this is `Reject`.
+    #[inline]
+    pub fn is_reject(&self) -> bool {
+        matches!(self, Decision::Reject)
+    }
+
+    /// Builds a decision from a boolean "accept" flag.
+    #[inline]
+    pub fn from_accept(accept: bool) -> Decision {
+        if accept {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Accept => write!(f, "accept"),
+            Decision::Reject => write!(f, "reject"),
+        }
+    }
+}
+
+/// How a network aggregates per-node decisions into one verdict
+/// (the paper's §2 "Distributed models").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionRule {
+    /// The network accepts iff *all* nodes accept ("some node raised an
+    /// alarm" rejects). The standard distributed-decision rule.
+    And,
+    /// The network rejects iff at least `T` nodes reject.
+    Threshold(usize),
+}
+
+impl DecisionRule {
+    /// Applies the rule to a count of rejecting nodes.
+    pub fn decide(&self, rejecting_nodes: usize) -> Decision {
+        match self {
+            DecisionRule::And => Decision::from_accept(rejecting_nodes == 0),
+            DecisionRule::Threshold(t) => Decision::from_accept(rejecting_nodes < *t),
+        }
+    }
+}
+
+impl fmt::Display for DecisionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionRule::And => write!(f, "and"),
+            DecisionRule::Threshold(t) => write!(f, "threshold({t})"),
+        }
+    }
+}
+
+/// The outcome of running a distributed tester once: the network's verdict
+/// plus how many nodes individually voted to reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkOutcome {
+    /// The network-level verdict after applying the decision rule.
+    pub decision: Decision,
+    /// Number of nodes that individually rejected.
+    pub rejecting_nodes: usize,
+    /// Total number of (possibly virtual) nodes that participated.
+    pub nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_rule_rejects_on_any_alarm() {
+        assert_eq!(DecisionRule::And.decide(0), Decision::Accept);
+        assert_eq!(DecisionRule::And.decide(1), Decision::Reject);
+        assert_eq!(DecisionRule::And.decide(100), Decision::Reject);
+    }
+
+    #[test]
+    fn threshold_rule_needs_t_alarms() {
+        let rule = DecisionRule::Threshold(5);
+        assert_eq!(rule.decide(0), Decision::Accept);
+        assert_eq!(rule.decide(4), Decision::Accept);
+        assert_eq!(rule.decide(5), Decision::Reject);
+        assert_eq!(rule.decide(6), Decision::Reject);
+    }
+
+    #[test]
+    fn threshold_zero_always_rejects() {
+        assert_eq!(DecisionRule::Threshold(0).decide(0), Decision::Reject);
+    }
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::Accept.is_accept());
+        assert!(!Decision::Accept.is_reject());
+        assert!(Decision::Reject.is_reject());
+        assert_eq!(Decision::from_accept(true), Decision::Accept);
+        assert_eq!(Decision::from_accept(false), Decision::Reject);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Decision::Accept.to_string(), "accept");
+        assert_eq!(DecisionRule::And.to_string(), "and");
+        assert_eq!(DecisionRule::Threshold(7).to_string(), "threshold(7)");
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for tester planning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a tester's parameters cannot be planned for the
+/// requested regime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The requested regime is infeasible: the paper's validity conditions
+    /// (e.g. γ > 0, δ < ε⁴/64, n > 64/(ε⁴δ)) cannot all be satisfied.
+    Infeasible {
+        /// Which condition failed.
+        condition: &'static str,
+        /// Diagnostic detail (e.g. the value that violated the condition).
+        detail: String,
+    },
+    /// Domain too small for the requested (δ, ε): the gap tester needs
+    /// `n > 64/(ε⁴ δ)` for its slack term γ to be ≥ 1/2.
+    DomainTooSmall {
+        /// Actual domain size.
+        n: usize,
+        /// Minimum domain size required.
+        required: usize,
+    },
+    /// The network has too few nodes to reach the requested error with
+    /// the requested rule.
+    NetworkTooSmall {
+        /// Actual node count.
+        k: usize,
+        /// Minimum node count required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter {name} = {value} out of range ({expected})"),
+            PlanError::Infeasible { condition, detail } => {
+                write!(f, "plan infeasible: {condition} ({detail})")
+            }
+            PlanError::DomainTooSmall { n, required } => {
+                write!(f, "domain size {n} too small, need at least {required}")
+            }
+            PlanError::NetworkTooSmall { k, required } => {
+                write!(f, "network size {k} too small, need at least {required}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PlanError::DomainTooSmall {
+            n: 10,
+            required: 100,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PlanError>();
+    }
+}

@@ -1,0 +1,264 @@
+//! The single-collision (δ, 1+Θ(ε²))-gap tester `A_δ` (§3.1 of the paper).
+//!
+//! The tester draws `s` samples with `s(s−1) ≤ 2δn` and accepts iff all
+//! samples are *distinct*. Unlike the optimal centralized tester it does
+//! not count collisions — in the regime where each node has far fewer
+//! than `√n` samples, the expected number of collisions is below one and
+//! a count carries no more information than the single "was there any
+//! collision" bit.
+//!
+//! Guarantees (the paper's Lemma 3.4):
+//!
+//! * **(1−δ)-completeness** — on the uniform distribution,
+//!   `Pr[reject] ≤ C(s,2)/n = δ` (Markov on the collision count).
+//! * **(α·δ)-soundness** — on any ε-far distribution,
+//!   `Pr[reject] ≥ (1 + γε²)·δ`, with γ the Eq. (1) slack
+//!   (via Lemma 3.2 `χ > (1+ε²)/n` and the Wiener bound, Lemma 3.3).
+
+use crate::decision::Decision;
+use crate::error::PlanError;
+use crate::params::{delta_for_samples, gamma_slack, samples_for_delta};
+use dut_distributions::collision::has_collision;
+use dut_distributions::SampleOracle;
+use rand::Rng;
+
+/// The single-collision gap tester `A_δ`.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_core::gap::GapTester;
+/// use dut_core::decision::Decision;
+/// use dut_distributions::DiscreteDistribution;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), dut_core::PlanError> {
+/// let n = 1 << 16;
+/// let tester = GapTester::new(n, 0.01)?;
+/// let uniform = DiscreteDistribution::uniform(n);
+/// let mut rng = StdRng::seed_from_u64(7);
+///
+/// // On the uniform distribution the tester accepts w.p. >= 1 - δ.
+/// let accepts = (0..1000)
+///     .filter(|_| tester.run(&uniform, &mut rng) == Decision::Accept)
+///     .count();
+/// assert!(accepts >= 950);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapTester {
+    n: usize,
+    s: usize,
+    delta: f64,
+}
+
+impl GapTester {
+    /// Plans a gap tester with false-alarm budget `delta` on domain size
+    /// `n`. The realized budget ([`GapTester::delta`]) may be slightly
+    /// smaller because the sample count is rounded down to an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::DomainTooSmall`] when fewer than two samples
+    /// fit the budget, or [`PlanError::InvalidParameter`] for a `delta`
+    /// outside `(0, 1)`.
+    pub fn new(n: usize, delta: f64) -> Result<Self, PlanError> {
+        let s = samples_for_delta(n, delta)?;
+        Ok(GapTester {
+            n,
+            s,
+            delta: delta_for_samples(n, s),
+        })
+    }
+
+    /// Builds a tester that draws exactly `s` samples (the budget δ is
+    /// derived as `s(s−1)/(2n)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `s < 2` or the derived
+    /// δ reaches 1.
+    pub fn with_samples(n: usize, s: usize) -> Result<Self, PlanError> {
+        if s < 2 {
+            return Err(PlanError::InvalidParameter {
+                name: "s",
+                value: s as f64,
+                expected: "s >= 2 (a single sample can never collide)",
+            });
+        }
+        let delta = delta_for_samples(n, s);
+        if delta >= 1.0 {
+            return Err(PlanError::InvalidParameter {
+                name: "s",
+                value: s as f64,
+                expected: "s(s-1)/(2n) must stay below 1",
+            });
+        }
+        Ok(GapTester { n, s, delta })
+    }
+
+    /// Domain size `n`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of samples drawn per run.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.s
+    }
+
+    /// The realized false-alarm budget `δ = s(s−1)/(2n)`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The γ slack (Eq. (1)) this tester achieves at distance `epsilon`;
+    /// its soundness gap is `1 + γε²`. Negative γ means the tester is
+    /// uninformative at this ε.
+    pub fn gamma(&self, epsilon: f64) -> f64 {
+        gamma_slack(self.n, self.s, epsilon)
+    }
+
+    /// The soundness lower bound: on any ε-far distribution,
+    /// `Pr[reject] ≥ (1 + γε²)·δ` (meaningful only when γ > 0).
+    pub fn soundness_rejection_bound(&self, epsilon: f64) -> f64 {
+        (1.0 + self.gamma(epsilon) * epsilon * epsilon) * self.delta
+    }
+
+    /// Runs the tester once: draws `s` samples from `oracle` and accepts
+    /// iff they are all distinct.
+    pub fn run<O, R>(&self, oracle: &O, rng: &mut R) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        debug_assert_eq!(
+            oracle.domain_size(),
+            self.n,
+            "oracle domain does not match tester plan"
+        );
+        let samples = oracle.draw_many(rng, self.s);
+        Decision::from_accept(!has_collision(&samples))
+    }
+
+    /// Runs the tester on pre-drawn samples (used by the CONGEST/LOCAL
+    /// protocols, where samples are gathered from other nodes). Only the
+    /// first `s` samples are examined; fewer than `s` samples is a
+    /// planning bug and panics in debug builds.
+    pub fn run_on_samples(&self, samples: &[usize]) -> Decision {
+        debug_assert!(
+            samples.len() >= self.s,
+            "gap tester planned for {} samples, got {}",
+            self.s,
+            samples.len()
+        );
+        let take = samples.len().min(self.s);
+        Decision::from_accept(!has_collision(&samples[..take]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::families::paninski_far;
+    use dut_distributions::DiscreteDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rejection_rate<O: SampleOracle>(t: &GapTester, oracle: &O, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rejects = (0..trials)
+            .filter(|_| t.run(oracle, &mut rng) == Decision::Reject)
+            .count();
+        rejects as f64 / trials as f64
+    }
+
+    #[test]
+    fn planned_sample_count_respects_budget() {
+        let t = GapTester::new(1 << 16, 0.01).unwrap();
+        assert!(t.delta() <= 0.01 + 1e-12);
+        assert!(t.samples() >= 2);
+    }
+
+    #[test]
+    fn with_samples_round_trip() {
+        let t = GapTester::with_samples(1 << 16, 37).unwrap();
+        assert_eq!(t.samples(), 37);
+        assert!((t.delta() - 37.0 * 36.0 / (2.0 * 65536.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_samples_rejects_degenerate() {
+        assert!(GapTester::with_samples(100, 1).is_err());
+        assert!(GapTester::with_samples(4, 100).is_err());
+    }
+
+    #[test]
+    fn completeness_holds_empirically() {
+        // Lemma 3.4(1): rejection rate on uniform <= delta.
+        let n = 1 << 14;
+        let t = GapTester::new(n, 0.02).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let rate = rejection_rate(&t, &uniform, 100_000, 1);
+        // allow 3-sigma Monte-Carlo slack above delta
+        let sigma = (t.delta() / 100_000.0f64).sqrt() * 3.0;
+        assert!(
+            rate <= t.delta() + sigma,
+            "rejection rate {rate} exceeds delta {}",
+            t.delta()
+        );
+    }
+
+    #[test]
+    fn soundness_gap_holds_empirically() {
+        // Lemma 3.4(2): rejection rate on an ε-far distribution is at
+        // least (1+γε²)δ. Use a large ε so the gap is resolvable.
+        let n = 1 << 14;
+        let epsilon = 1.0;
+        let t = GapTester::new(n, 0.01).unwrap();
+        assert!(t.gamma(epsilon) > 0.0, "gamma = {}", t.gamma(epsilon));
+        let far = paninski_far(n, epsilon).unwrap();
+        let trials = 300_000;
+        let rate = rejection_rate(&t, &far, trials, 2);
+        let bound = t.soundness_rejection_bound(epsilon);
+        let sigma = (bound / trials as f64).sqrt() * 3.0;
+        assert!(
+            rate >= bound - sigma,
+            "rejection rate {rate} below soundness bound {bound}"
+        );
+    }
+
+    #[test]
+    fn far_rejects_more_often_than_uniform() {
+        let n = 1 << 12;
+        let t = GapTester::new(n, 0.05).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 1.0).unwrap();
+        let ru = rejection_rate(&t, &uniform, 200_000, 3);
+        let rf = rejection_rate(&t, &far, 200_000, 4);
+        assert!(
+            rf > ru,
+            "far rejection {rf} not above uniform rejection {ru}"
+        );
+    }
+
+    #[test]
+    fn run_on_samples_matches_collision_logic() {
+        let t = GapTester::with_samples(100, 3).unwrap();
+        assert_eq!(t.run_on_samples(&[1, 2, 3]), Decision::Accept);
+        assert_eq!(t.run_on_samples(&[1, 2, 1]), Decision::Reject);
+    }
+
+    #[test]
+    fn gamma_decreases_with_delta() {
+        let n = 1 << 16;
+        let t1 = GapTester::new(n, 0.001).unwrap();
+        let t2 = GapTester::new(n, 0.05).unwrap();
+        assert!(t1.gamma(0.5) > t2.gamma(0.5));
+    }
+}

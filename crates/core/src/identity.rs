@@ -1,0 +1,329 @@
+//! Testing identity to a fixed distribution, via reduction to uniformity.
+//!
+//! The paper (§1) notes that testing equality to any *known* distribution
+//! η reduces to uniformity testing [Goldreich 2016; Diakonikolas–Kane
+//! 2016], and that the reduction is a *filter* — a randomized mapping
+//! each node can apply locally to its own samples using private
+//! randomness — so it carries over to the distributed setting unchanged.
+//!
+//! [`IdentityFilter`] implements the bucketing filter: the reference η is
+//! rounded to a grid distribution η′ whose masses are integer multiples
+//! of `1/g` (with every element keeping at least one slot), and each
+//! sample `x` is mapped to a uniformly random one of the `m_x` slots
+//! assigned to `x`. Then:
+//!
+//! * if μ = η′, the filtered output is **exactly** uniform on `{0,..,g-1}`;
+//! * for any μ, the filtered output's L1 distance to uniform **equals**
+//!   `‖μ − η′‖₁` — the filter preserves distance exactly (with respect to
+//!   the rounded reference).
+//!
+//! The rounding cost `‖η − η′‖₁ ≤ n/g` is reported by
+//! [`IdentityFilter::rounding_l1_error`] so callers can shrink ε
+//! accordingly.
+
+use crate::error::PlanError;
+use dut_distributions::{DiscreteDistribution, SampleOracle};
+use rand::Rng;
+
+/// The bucketing filter reducing identity testing (to a known η) to
+/// uniformity testing.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_core::identity::IdentityFilter;
+/// use dut_distributions::DiscreteDistribution;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let eta = DiscreteDistribution::from_pmf(vec![0.5, 0.25, 0.25])?;
+/// let filter = IdentityFilter::new(&eta, 16)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+///
+/// // Samples from η map to (near-)uniform samples on the slot domain.
+/// let x = eta.sample(&mut rng);
+/// let slot = filter.map(x, &mut rng);
+/// assert!(slot < filter.output_domain_size());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdentityFilter {
+    /// `(first_slot, slot_count)` per input element.
+    slots: Vec<(usize, usize)>,
+    /// Output domain size `g = Σ slot_count`.
+    g: usize,
+    /// `‖η − η′‖₁`, the rounding cost.
+    rounding_error: f64,
+}
+
+impl IdentityFilter {
+    /// Builds the filter for reference distribution `eta`, allocating on
+    /// average `slots_per_element` slots per input element
+    /// (`g = slots_per_element · n`). Larger values shrink the rounding
+    /// error (`≤ n/g = 1/slots_per_element`) at the cost of a larger
+    /// output domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `slots_per_element < 2`.
+    pub fn new(eta: &DiscreteDistribution, slots_per_element: usize) -> Result<Self, PlanError> {
+        if slots_per_element < 2 {
+            return Err(PlanError::InvalidParameter {
+                name: "slots_per_element",
+                value: slots_per_element as f64,
+                expected: "at least 2 slots per element",
+            });
+        }
+        let n = eta.domain_size();
+        let g = n * slots_per_element;
+
+        // Largest-remainder apportionment of g slots, minimum 1 each.
+        let mut counts: Vec<usize> = Vec::with_capacity(n);
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut assigned = 0usize;
+        for x in 0..n {
+            let ideal = eta.pmf(x) * g as f64;
+            let base = (ideal.floor() as usize).max(1);
+            counts.push(base);
+            remainders.push((ideal - ideal.floor(), x));
+            assigned += base;
+        }
+        if assigned < g {
+            // Distribute the leftover slots to the largest remainders.
+            remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("remainders are finite"));
+            let mut left = g - assigned;
+            let mut i = 0;
+            while left > 0 {
+                counts[remainders[i % n].1] += 1;
+                left -= 1;
+                i += 1;
+            }
+        } else if assigned > g {
+            // The minimum-1 rule over-assigned; trim the largest counts.
+            let mut excess = assigned - g;
+            while excess > 0 {
+                let (idx, _) = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .expect("non-empty");
+                if counts[idx] <= 1 {
+                    // Cannot trim below 1 slot; give up trimming (g grows).
+                    break;
+                }
+                counts[idx] -= 1;
+                excess -= 1;
+            }
+        }
+        let g = counts.iter().sum::<usize>();
+
+        let mut slots = Vec::with_capacity(n);
+        let mut next = 0usize;
+        let mut rounding_error = 0.0f64;
+        for (x, &c) in counts.iter().enumerate() {
+            slots.push((next, c));
+            next += c;
+            rounding_error += (eta.pmf(x) - c as f64 / g as f64).abs();
+        }
+
+        Ok(IdentityFilter {
+            slots,
+            g,
+            rounding_error,
+        })
+    }
+
+    /// The output (slot) domain size `g`.
+    pub fn output_domain_size(&self) -> usize {
+        self.g
+    }
+
+    /// The input domain size `n`.
+    pub fn input_domain_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `‖η − η′‖₁` — the L1 distance between the requested reference and
+    /// the rounded grid reference the filter actually encodes. Testers
+    /// should test at distance `ε − rounding_l1_error()`.
+    pub fn rounding_l1_error(&self) -> f64 {
+        self.rounding_error
+    }
+
+    /// Number of slots assigned to input element `x`.
+    pub fn slot_count(&self, x: usize) -> usize {
+        self.slots[x].1
+    }
+
+    /// Maps one input sample to a uniformly random one of its slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the input domain.
+    pub fn map<R: Rng + ?Sized>(&self, x: usize, rng: &mut R) -> usize {
+        let (first, count) = self.slots[x];
+        first + rng.gen_range(0..count)
+    }
+
+    /// Filters a batch of samples.
+    pub fn filter_samples<R: Rng + ?Sized>(&self, samples: &[usize], rng: &mut R) -> Vec<usize> {
+        samples.iter().map(|&x| self.map(x, rng)).collect()
+    }
+
+    /// The exact distribution of the filter's output when the input is
+    /// drawn from `mu` (for analysis/tests; O(g) memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu`'s domain does not match the filter's input domain.
+    pub fn pushforward(&self, mu: &DiscreteDistribution) -> DiscreteDistribution {
+        assert_eq!(
+            mu.domain_size(),
+            self.slots.len(),
+            "filter input domain mismatch"
+        );
+        let mut pmf = vec![0.0f64; self.g];
+        for (x, &(first, count)) in self.slots.iter().enumerate() {
+            let share = mu.pmf(x) / count as f64;
+            for slot in pmf.iter_mut().skip(first).take(count) {
+                *slot = share;
+            }
+        }
+        DiscreteDistribution::from_pmf(pmf).expect("pushforward preserves normalization")
+    }
+}
+
+/// An oracle adapter: draws from `inner` and pushes each sample through
+/// the filter, yielding an oracle over the slot domain. This is exactly
+/// what each network node does locally in the distributed identity
+/// tester.
+#[derive(Debug)]
+pub struct FilteredOracle<'a, O: ?Sized> {
+    filter: &'a IdentityFilter,
+    inner: &'a O,
+}
+
+impl<'a, O: SampleOracle + ?Sized> FilteredOracle<'a, O> {
+    /// Wraps `inner` with `filter`.
+    pub fn new(filter: &'a IdentityFilter, inner: &'a O) -> Self {
+        FilteredOracle { filter, inner }
+    }
+}
+
+impl<O: SampleOracle + ?Sized> SampleOracle for FilteredOracle<'_, O> {
+    fn domain_size(&self) -> usize {
+        self.filter.output_domain_size()
+    }
+
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = self.inner.draw(rng);
+        self.filter.map(x, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::distance::l1_to_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_reference(n: usize) -> DiscreteDistribution {
+        // Zipf-ish weights.
+        let weights: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+        DiscreteDistribution::from_weights(weights).unwrap()
+    }
+
+    #[test]
+    fn filter_on_reference_is_exactly_uniform() {
+        let eta = skewed_reference(50);
+        let filter = IdentityFilter::new(&eta, 64).unwrap();
+        let push = filter.pushforward(&eta);
+        // Distance of pushforward(η) from uniform equals the rounding error.
+        let d = l1_to_uniform(&push);
+        assert!(
+            (d - filter.rounding_l1_error()).abs() < 1e-9,
+            "pushforward distance {d} != rounding error {}",
+            filter.rounding_l1_error()
+        );
+    }
+
+    #[test]
+    fn filter_on_grid_reference_is_perfectly_uniform() {
+        // A reference already on the 1/g grid has zero rounding error.
+        let eta = DiscreteDistribution::from_pmf(vec![0.5, 0.25, 0.25]).unwrap();
+        let filter = IdentityFilter::new(&eta, 4).unwrap();
+        assert!(filter.rounding_l1_error() < 1e-12);
+        let push = filter.pushforward(&eta);
+        assert!(l1_to_uniform(&push) < 1e-12);
+    }
+
+    #[test]
+    fn filter_preserves_distance_exactly() {
+        // ‖filter(μ) − U‖₁ = ‖μ − η′‖₁ for any μ.
+        let eta = DiscreteDistribution::from_pmf(vec![0.5, 0.25, 0.25]).unwrap();
+        let filter = IdentityFilter::new(&eta, 4).unwrap();
+        let mu = DiscreteDistribution::from_pmf(vec![0.25, 0.5, 0.25]).unwrap();
+        let push = filter.pushforward(&mu);
+        let expected = 0.25 + 0.25; // |0.25-0.5| + |0.5-0.25|
+        assert!((l1_to_uniform(&push) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_error_shrinks_with_slots() {
+        let eta = skewed_reference(100);
+        let coarse = IdentityFilter::new(&eta, 4).unwrap();
+        let fine = IdentityFilter::new(&eta, 256).unwrap();
+        assert!(fine.rounding_l1_error() < coarse.rounding_l1_error());
+        assert!(fine.rounding_l1_error() <= 100.0 / fine.output_domain_size() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn every_element_keeps_a_slot() {
+        // Even elements with tiny mass must stay mappable.
+        let mut pmf = vec![1e-9; 10];
+        pmf[0] = 1.0 - 9e-9;
+        let eta = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let filter = IdentityFilter::new(&eta, 8).unwrap();
+        for x in 0..10 {
+            assert!(filter.slot_count(x) >= 1, "element {x} lost its slot");
+        }
+    }
+
+    #[test]
+    fn map_outputs_in_range_and_disjoint() {
+        let eta = skewed_reference(20);
+        let filter = IdentityFilter::new(&eta, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_owner = vec![None::<usize>; filter.output_domain_size()];
+        for x in 0..20 {
+            for _ in 0..50 {
+                let slot = filter.map(x, &mut rng);
+                assert!(slot < filter.output_domain_size());
+                match seen_owner[slot] {
+                    None => seen_owner[slot] = Some(x),
+                    Some(owner) => assert_eq!(owner, x, "slot {slot} shared"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_oracle_has_slot_domain() {
+        let eta = skewed_reference(20);
+        let filter = IdentityFilter::new(&eta, 8).unwrap();
+        let oracle = FilteredOracle::new(&filter, &eta);
+        assert_eq!(oracle.domain_size(), filter.output_domain_size());
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = oracle.draw(&mut rng);
+        assert!(s < filter.output_domain_size());
+    }
+
+    #[test]
+    fn rejects_too_few_slots() {
+        let eta = DiscreteDistribution::uniform(4);
+        assert!(IdentityFilter::new(&eta, 1).is_err());
+    }
+}

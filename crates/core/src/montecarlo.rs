@@ -1,0 +1,195 @@
+//! Parallel Monte-Carlo error estimation.
+//!
+//! The paper's error regimes are delicate — completeness `1−δ` vs
+//! soundness `1−(1+Θ(ε²))δ` differ by a Θ(ε²δ) sliver — so every
+//! experiment estimates error probabilities with enough trials to
+//! resolve the gap, and reports Wilson score intervals rather than bare
+//! point estimates. Trials run in parallel across CPU cores with
+//! deterministic per-trial seeds, so results reproduce exactly
+//! regardless of thread count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A Monte-Carlo estimate of a failure probability, with a Wilson score
+/// confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorEstimate {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Number of trials that failed.
+    pub failures: usize,
+    /// Point estimate `failures / trials`.
+    pub rate: f64,
+    /// Lower end of the Wilson score interval.
+    pub lower: f64,
+    /// Upper end of the Wilson score interval.
+    pub upper: f64,
+    /// The z-score the interval was computed at.
+    pub z: f64,
+}
+
+impl ErrorEstimate {
+    /// Computes the estimate from raw counts at confidence z-score `z`
+    /// (1.96 ≈ 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `failures > trials`.
+    pub fn from_counts(trials: usize, failures: usize, z: f64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        assert!(failures <= trials, "failures cannot exceed trials");
+        let n = trials as f64;
+        let p = failures as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ErrorEstimate {
+            trials,
+            failures,
+            rate: p,
+            lower: (center - half).max(0.0),
+            upper: (center + half).min(1.0),
+            z,
+        }
+    }
+
+    /// Whether the interval certifies the rate is below `bound`.
+    pub fn certified_below(&self, bound: f64) -> bool {
+        self.upper < bound
+    }
+
+    /// Whether the interval certifies the rate is above `bound`.
+    pub fn certified_above(&self, bound: f64) -> bool {
+        self.lower > bound
+    }
+}
+
+/// Runs `trials` independent boolean trials in parallel and estimates
+/// the failure rate at 95% confidence.
+///
+/// `trial(seed)` must return `true` iff the trial **failed**. Each trial
+/// receives a distinct deterministic seed derived from `base_seed`, so
+/// the estimate is reproducible and independent of the number of worker
+/// threads.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn estimate_failure_rate<F>(trials: usize, base_seed: u64, trial: F) -> ErrorEstimate
+where
+    F: Fn(u64) -> bool + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials);
+    let failures = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    // Mix the index into the seed (splitmix64-style) so
+                    // nearby trials do not share RNG streams.
+                    let seed = splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    if trial(seed) {
+                        local += 1;
+                    }
+                }
+                failures.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+    ErrorEstimate::from_counts(trials, failures.load(Ordering::Relaxed), 1.96)
+}
+
+/// Convenience: a seeded [`StdRng`] for use inside trial closures.
+pub fn trial_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn from_counts_basic() {
+        let e = ErrorEstimate::from_counts(1000, 100, 1.96);
+        assert!((e.rate - 0.1).abs() < 1e-12);
+        assert!(e.lower < 0.1 && 0.1 < e.upper);
+        assert!(e.lower > 0.07 && e.upper < 0.13);
+    }
+
+    #[test]
+    fn zero_failures_interval() {
+        let e = ErrorEstimate::from_counts(1000, 0, 1.96);
+        assert_eq!(e.rate, 0.0);
+        assert_eq!(e.lower, 0.0);
+        assert!(e.upper > 0.0 && e.upper < 0.01);
+    }
+
+    #[test]
+    fn all_failures_interval() {
+        let e = ErrorEstimate::from_counts(100, 100, 1.96);
+        assert_eq!(e.rate, 1.0);
+        assert!(e.upper > 0.999);
+        assert!(e.lower < 1.0 && e.lower > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = ErrorEstimate::from_counts(0, 0, 1.96);
+    }
+
+    #[test]
+    fn certification_helpers() {
+        let e = ErrorEstimate::from_counts(10_000, 100, 1.96);
+        assert!(e.certified_below(0.05));
+        assert!(e.certified_above(0.005));
+        assert!(!e.certified_below(0.01));
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let a = estimate_failure_rate(10_000, 7, f);
+        let b = estimate_failure_rate(10_000, 7, f);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn estimate_converges_to_truth() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.3;
+        let e = estimate_failure_rate(100_000, 11, f);
+        assert!((e.rate - 0.3).abs() < 0.01, "rate {} far from 0.3", e.rate);
+        assert!(e.lower <= 0.3 && 0.3 <= e.upper);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.5;
+        let a = estimate_failure_rate(10_000, 1, f);
+        let b = estimate_failure_rate(10_000, 2, f);
+        assert_ne!(a.failures, b.failures);
+    }
+}

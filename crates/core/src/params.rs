@@ -1,0 +1,786 @@
+//! Parameter formulas from the paper, in one place.
+//!
+//! Every tester in this crate is *planned* before it runs: given the
+//! domain size `n`, network size `k`, distance `ε` and target error `p`,
+//! the functions here derive the per-node sample count `s`, the per-run
+//! rejection budget `δ`, the repetition count `m`, and (for the threshold
+//! rule) the threshold `T` — using the exact formulas and validity
+//! conditions of the paper:
+//!
+//! * `s(s−1) = 2δn` — the gap tester's sample count (§3.1).
+//! * Eq. (1) — the γ slack term quantifying how much of the ideal `1+ε²`
+//!   gap survives at finite `n`, `s`, `δ`.
+//! * `C_p = ln(1/p)/ln(1/(1−p))` — the gap the AND rule needs (§3.2.1).
+//! * Eq. (5) — the Chernoff window the threshold `T` must land in
+//!   (§3.2.2). We implement both the paper's Chernoff window and a
+//!   tighter normal-approximation window usable at simulatable scale.
+
+use crate::error::PlanError;
+
+/// The largest sample count `s ≥ 2` with `s(s−1) ≤ 2δn`, i.e. the number
+/// of samples the gap tester may draw while keeping its false-alarm
+/// probability on the uniform distribution at most `δ` (Markov:
+/// `Pr[collision] ≤ C(s,2)/n`).
+///
+/// Rounding *down* preserves the completeness guarantee exactly; the
+/// soundness analysis absorbs the slack through γ.
+///
+/// # Errors
+///
+/// Returns [`PlanError::DomainTooSmall`] when even `s = 2` would exceed
+/// the budget (i.e. `δn < 1`).
+pub fn samples_for_delta(n: usize, delta: f64) -> Result<usize, PlanError> {
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(PlanError::InvalidParameter {
+            name: "delta",
+            value: delta,
+            expected: "0 < delta < 1",
+        });
+    }
+    let budget = 2.0 * delta * n as f64;
+    // Largest s with s(s-1) <= budget.
+    let s = ((1.0 + (1.0 + 4.0 * budget).sqrt()) / 2.0).floor() as usize;
+    if s < 2 {
+        return Err(PlanError::DomainTooSmall {
+            n,
+            required: (1.0 / delta).ceil() as usize,
+        });
+    }
+    Ok(s)
+}
+
+/// The effective `δ` realized by an integer sample count:
+/// `δ_eff = s(s−1)/(2n)`.
+pub fn delta_for_samples(n: usize, s: usize) -> f64 {
+    (s as f64) * (s as f64 - 1.0) / (2.0 * n as f64)
+}
+
+/// The γ slack term of the paper's Eq. (1):
+///
+/// `γ = 1 − 1/s − √(2δ(1+ε²)) − (1/s + √(2δ(1+ε²)))/ε²`,
+///
+/// where `δ = s(s−1)/(2n)`. The gap tester achieves gap `1 + γε²`; γ
+/// approaches 1 as `n/k → ∞` and goes negative when δ is too large for
+/// the given ε — a negative γ means the tester's soundness advantage
+/// vanishes and planning must fail.
+pub fn gamma_slack(n: usize, s: usize, epsilon: f64) -> f64 {
+    let delta = delta_for_samples(n, s);
+    let t0 = (2.0 * delta * (1.0 + epsilon * epsilon)).sqrt();
+    let inv_s = 1.0 / s as f64;
+    1.0 - inv_s - t0 - (inv_s + t0) / (epsilon * epsilon)
+}
+
+/// The paper's strict validity conditions for the (δ, 1+ε²/2)-gap regime:
+/// `δ < ε⁴/64` and `n > 64/(ε⁴δ)`. Sufficient (not necessary) for
+/// `γ ≥ 1/2`.
+pub fn strict_gap_validity(n: usize, delta: f64, epsilon: f64) -> bool {
+    let e4 = epsilon.powi(4);
+    delta < e4 / 64.0 && (n as f64) > 64.0 / (e4 * delta)
+}
+
+/// `C_p = ln(1/p) / ln(1/(1−p))` — the soundness/completeness gap a
+/// per-node tester must exhibit for the AND rule to reach network error
+/// `p` (§3.2.1). For `p = 1/3` this is ≈ 2.7095.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn c_p(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    (1.0 / p).ln() / (1.0 / (1.0 - p)).ln()
+}
+
+/// Inverse CDF (quantile) of the standard normal distribution, via
+/// Acklam's rational approximation (relative error < 1.15e-9). Used by
+/// the normal-approximation threshold window.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A fully derived plan for the 0-round AND-rule tester (Theorem 1.1).
+///
+/// Each of the `k` nodes runs `m` independent repetitions of the gap
+/// tester `A_{δ'}` with `samples_per_run` samples each, and rejects iff
+/// *all* `m` repetitions see a collision; the network rejects iff any
+/// node rejects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AndPlan {
+    /// Domain size.
+    pub n: usize,
+    /// Network size.
+    pub k: usize,
+    /// Distance parameter.
+    pub epsilon: f64,
+    /// Target error probability.
+    pub p: f64,
+    /// Per-node probability of (wrongly) rejecting the uniform
+    /// distribution: `δ_node = δ'^m`, chosen so `(1−δ_node)^k ≥ 1−p`.
+    pub delta_node: f64,
+    /// Repetitions of the gap tester per node.
+    pub m: usize,
+    /// Per-run rejection budget `δ' = δ_node^{1/m}` (effective value
+    /// after integer rounding of the sample count).
+    pub delta_run: f64,
+    /// Samples drawn per repetition.
+    pub samples_per_run: usize,
+    /// Total samples per node (`m · samples_per_run`).
+    pub samples_per_node: usize,
+    /// The γ slack of Eq. (1) at the realized parameters.
+    pub gamma: f64,
+    /// The per-node soundness amplification achieved: `(1+γε²)^m`.
+    pub achieved_gap: f64,
+    /// The gap required for network error `p`: `ln(1/p)/(k·δ_node)`.
+    pub required_gap: f64,
+    /// Whether the plan provably reaches error `p` on both sides
+    /// (`achieved_gap ≥ required_gap` with γ > 0).
+    pub feasible: bool,
+    /// Upper bound on the probability the network *accepts* an ε-far
+    /// distribution under this plan: `(1 − (1+γε²)^m δ_node)^k`.
+    pub predicted_soundness_error: f64,
+    /// Upper bound on the probability the network *rejects* the uniform
+    /// distribution: `1 − (1−δ_node)^k`.
+    pub predicted_completeness_error: f64,
+}
+
+/// Plans the 0-round AND-rule tester (Theorem 1.1).
+///
+/// Searches over the repetition count `m`, keeping the per-node
+/// false-alarm budget at `δ_node = 1 − (1−p)^{1/k}` (so the uniform
+/// distribution is accepted by the whole network with probability exactly
+/// `1−p`), and returns:
+///
+/// * the cheapest `m` whose achieved gap `(1+γε²)^m` reaches the required
+///   `ln(1/p)/(k·δ_node)` — a *feasible* plan; or, if no `m` does
+///   (the common case at simulatable `k`, since feasibility needs
+///   `k ≳ (64/ε⁴)^m`),
+/// * the plan with the smallest predicted soundness error, marked
+///   `feasible: false`. This is the paper's "success probability roughly
+///   `1/2 + Θ(ε²)`" regime.
+///
+/// # Errors
+///
+/// Returns an error for invalid `ε`/`p`/`k`, or when even one repetition
+/// cannot achieve a positive γ (domain too small / δ too large).
+pub fn plan_and_rule(n: usize, k: usize, epsilon: f64, p: f64) -> Result<AndPlan, PlanError> {
+    validate_common(n, k, epsilon, p)?;
+    let delta_node_target = 1.0 - (1.0 - p).powf(1.0 / k as f64);
+
+    let mut best: Option<AndPlan> = None;
+    for m in 1..=64usize {
+        let delta_run_target = delta_node_target.powf(1.0 / m as f64);
+        let s = match samples_for_delta(n, delta_run_target) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let delta_run = delta_for_samples(n, s);
+        let gamma = gamma_slack(n, s, epsilon);
+        if gamma <= 0.0 {
+            continue;
+        }
+        let delta_node = delta_run.powi(m as i32);
+        let achieved_gap = (1.0 + gamma * epsilon * epsilon).powi(m as i32);
+        let required_gap = (1.0 / p).ln() / (k as f64 * delta_node_target);
+        let reject_far = (achieved_gap * delta_node).min(1.0);
+        let soundness_error = (1.0 - reject_far).powi(k as i32);
+        let completeness_error = 1.0 - (1.0 - delta_node).powi(k as i32);
+        let plan = AndPlan {
+            n,
+            k,
+            epsilon,
+            p,
+            delta_node,
+            m,
+            delta_run,
+            samples_per_run: s,
+            samples_per_node: m * s,
+            gamma,
+            achieved_gap,
+            required_gap,
+            feasible: achieved_gap >= required_gap,
+            predicted_soundness_error: soundness_error,
+            predicted_completeness_error: completeness_error,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                match (plan.feasible, b.feasible) {
+                    // Among feasible plans, fewer samples wins.
+                    (true, true) => plan.samples_per_node < b.samples_per_node,
+                    (true, false) => true,
+                    (false, true) => false,
+                    // Among infeasible plans, smaller soundness error wins.
+                    (false, false) => {
+                        plan.predicted_soundness_error < b.predicted_soundness_error
+                    }
+                }
+            }
+        };
+        if better {
+            best = Some(plan);
+        }
+    }
+    best.ok_or(PlanError::Infeasible {
+        condition: "no repetition count m yields a positive gamma slack",
+        detail: format!("n={n}, k={k}, epsilon={epsilon}"),
+    })
+}
+
+/// Which concentration bound the threshold planner uses to place `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMethod {
+    /// The paper's Chernoff window (Eq. (5)): provable but loose, needs
+    /// large `k·δ`.
+    Chernoff,
+    /// A normal-approximation window: tighter than Chernoff but brittle
+    /// when the expected alarm count is small (integer rounding of `T`
+    /// can void a barely-open window).
+    Normal,
+    /// Exact binomial tail evaluation: for each candidate `(s, T)`,
+    /// compute `Pr[Bin(k, δ) ≥ T]` and `Pr[Bin(k, (1+γε²)δ) < T]`
+    /// directly and require both ≤ p. The tightest plan a simulation can
+    /// honestly run; the default.
+    Exact,
+}
+
+/// `Pr[Bin(n, p) ≤ m]`, computed by stable iterative summation of the
+/// probability mass (exact up to floating point). Intended for the
+/// planner's regime: small `p`, `m` up to a few thousand.
+pub fn binomial_cdf(n: usize, p: f64, m: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return if m >= n { 1.0 } else { 0.0 };
+    }
+    // term_0 = (1-p)^n computed in log space to survive large n.
+    let mut log_term = n as f64 * (1.0 - p).ln();
+    let log_ratio_base = (p / (1.0 - p)).ln();
+    let mut acc = 0.0f64;
+    // Accumulate in log space only until terms are representable.
+    for j in 0..=m.min(n) {
+        acc += log_term.exp();
+        if j < n {
+            log_term += ((n - j) as f64 / (j + 1) as f64).ln() + log_ratio_base;
+        }
+        if acc >= 1.0 {
+            return 1.0;
+        }
+    }
+    acc.min(1.0)
+}
+
+/// `Pr[Bin(n, p) ≥ t]`.
+pub fn binomial_tail_ge(n: usize, p: f64, t: usize) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    (1.0 - binomial_cdf(n, p, t - 1)).max(0.0)
+}
+
+/// A fully derived plan for the 0-round threshold-rule tester
+/// (Theorem 1.2): every node runs one gap tester `A_δ` with
+/// `samples_per_node` samples; the network rejects iff at least
+/// `threshold` nodes reject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdPlan {
+    /// Domain size.
+    pub n: usize,
+    /// Network size.
+    pub k: usize,
+    /// Distance parameter.
+    pub epsilon: f64,
+    /// Target error probability.
+    pub p: f64,
+    /// Per-node rejection budget δ (effective, after rounding).
+    pub delta: f64,
+    /// Samples per node.
+    pub samples_per_node: usize,
+    /// The rejection-count threshold `T`.
+    pub threshold: usize,
+    /// The γ slack of Eq. (1) at the realized parameters.
+    pub gamma: f64,
+    /// Expected rejecting nodes on the uniform distribution (`k·δ`).
+    pub eta_uniform: f64,
+    /// Lower bound on expected rejecting nodes on an ε-far distribution
+    /// (`(1+γε²)·k·δ`).
+    pub eta_far: f64,
+    /// Chernoff upper bound on `Pr[R ≥ T]` under uniform.
+    pub predicted_completeness_error: f64,
+    /// Chernoff upper bound on `Pr[R < T]` under an ε-far distribution.
+    pub predicted_soundness_error: f64,
+    /// Which window was used to place `T`.
+    pub method: WindowMethod,
+}
+
+/// Plans the 0-round threshold tester (Theorem 1.2).
+///
+/// Iterates over per-node sample counts `s` (smallest first); for each
+/// `s` with a positive γ slack it looks for a threshold `T` between the
+/// two expected alarm counts `η(U) = kδ` and `η(far) = (1+γε²)kδ` that
+/// bounds both error sides by `p` under the requested method. The first
+/// feasible `s` — i.e. the minimum sample count — wins.
+///
+/// # Errors
+///
+/// Fails when no `(s, T)` pair works — typically the network is too
+/// small relative to `1/ε⁴` ([`PlanError::NetworkTooSmall`]).
+pub fn plan_threshold(
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    p: f64,
+    method: WindowMethod,
+) -> Result<ThresholdPlan, PlanError> {
+    validate_common(n, k, epsilon, p)?;
+    let ln_inv_p = (1.0 / p).ln();
+    let z = normal_quantile(1.0 - p);
+
+    let mut s = 2usize;
+    loop {
+        let delta = delta_for_samples(n, s);
+        if delta >= 0.5 {
+            // Far outside the gap regime for any ε; nothing larger helps.
+            return Err(PlanError::NetworkTooSmall {
+                k,
+                required: required_k_for_threshold(epsilon, p, method),
+            });
+        }
+        let gamma = gamma_slack(n, s, epsilon);
+        if gamma > 0.0 {
+            let eta_u = k as f64 * delta;
+            let reject_far = (1.0 + gamma * epsilon * epsilon) * delta;
+            let eta_f = k as f64 * reject_far;
+            let candidate = match method {
+                WindowMethod::Chernoff | WindowMethod::Normal => {
+                    let (lo, hi) = match method {
+                        WindowMethod::Chernoff => (
+                            eta_u + (3.0 * ln_inv_p * eta_u).sqrt(),
+                            eta_f - (2.0 * ln_inv_p * eta_f).sqrt(),
+                        ),
+                        _ => (
+                            eta_u + z * (eta_u * (1.0 - delta)).sqrt(),
+                            eta_f - z * (eta_f * (1.0 - reject_far)).sqrt(),
+                        ),
+                    };
+                    let threshold = (lo.ceil() as usize).max(1);
+                    if lo <= hi && (threshold as f64) <= hi {
+                        let comp =
+                            (-((threshold as f64 - eta_u).powi(2)) / (3.0 * eta_u)).exp();
+                        let sound =
+                            (-((eta_f - threshold as f64).powi(2)) / (2.0 * eta_f)).exp();
+                        Some((threshold, comp.min(1.0), sound.min(1.0)))
+                    } else {
+                        None
+                    }
+                }
+                WindowMethod::Exact => {
+                    // Scan T across the whole plausible band and keep the
+                    // T minimizing the worse error side.
+                    let t_lo = (eta_u.floor() as usize).max(1);
+                    let t_hi = (eta_f + 6.0 * eta_f.sqrt()).ceil() as usize + 1;
+                    let mut best_t: Option<(usize, f64, f64)> = None;
+                    for t in t_lo..=t_hi {
+                        let comp = binomial_tail_ge(k, delta, t);
+                        let sound = binomial_cdf(k, reject_far, t - 1);
+                        let worst = comp.max(sound);
+                        if best_t.is_none_or(|(_, c, so)| worst < c.max(so)) {
+                            best_t = Some((t, comp, sound));
+                        }
+                    }
+                    best_t.filter(|&(_, c, so)| c <= p && so <= p)
+                }
+            };
+            if let Some((threshold, comp, sound)) = candidate {
+                return Ok(ThresholdPlan {
+                    n,
+                    k,
+                    epsilon,
+                    p,
+                    delta,
+                    samples_per_node: s,
+                    threshold,
+                    gamma,
+                    eta_uniform: eta_u,
+                    eta_far: eta_f,
+                    predicted_completeness_error: comp,
+                    predicted_soundness_error: sound,
+                    method,
+                });
+            }
+        }
+        s += 1;
+        if s > n {
+            return Err(PlanError::NetworkTooSmall {
+                k,
+                required: required_k_for_threshold(epsilon, p, method),
+            });
+        }
+    }
+}
+
+/// Rough lower bound on the network size the threshold planner needs:
+/// `k ≳ x_min · 64/ε⁴` where `x_min` is the minimal expected alarm count
+/// for the chosen window. Used for diagnostics in error messages.
+pub fn required_k_for_threshold(epsilon: f64, p: f64, method: WindowMethod) -> usize {
+    let x_min = match method {
+        WindowMethod::Chernoff => {
+            let l = (1.0 / p).ln();
+            let num = (3.0 * l).sqrt() + (2.0 * l * (1.0 + epsilon * epsilon / 2.0)).sqrt();
+            (2.0 * num / (epsilon * epsilon)).powi(2)
+        }
+        WindowMethod::Normal | WindowMethod::Exact => {
+            let z = normal_quantile(1.0 - p);
+            (4.0 * z / (epsilon * epsilon)).powi(2)
+        }
+    };
+    (x_min * 64.0 / epsilon.powi(4)).ceil() as usize
+}
+
+/// The paper's headline sample count for the threshold tester
+/// (Theorem 1.2): `√(n/k)/ε²`. Used for reporting the theory curve next
+/// to measured values.
+pub fn theorem_1_2_samples(n: usize, k: usize, epsilon: f64) -> f64 {
+    (n as f64 / k as f64).sqrt() / (epsilon * epsilon)
+}
+
+/// The paper's headline per-node sample count for the AND-rule tester
+/// (Theorem 1.1): `(C_p/ε²)·√(n/k^{ε²/C_p})`, with the Θ-constants set
+/// to 1. Used for reporting the theory curve next to measured values.
+pub fn theorem_1_1_samples(n: usize, k: usize, epsilon: f64, p: f64) -> f64 {
+    let cp = c_p(p);
+    let e2 = epsilon * epsilon;
+    (cp / e2) * (n as f64 / (k as f64).powf(e2 / cp)).sqrt()
+}
+
+fn validate_common(n: usize, k: usize, epsilon: f64, p: f64) -> Result<(), PlanError> {
+    if n == 0 {
+        return Err(PlanError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            expected: "n >= 1",
+        });
+    }
+    if k == 0 {
+        return Err(PlanError::InvalidParameter {
+            name: "k",
+            value: 0.0,
+            expected: "k >= 1",
+        });
+    }
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(PlanError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            expected: "0 < epsilon <= 1",
+        });
+    }
+    if !(p > 0.0 && p < 0.5) {
+        return Err(PlanError::InvalidParameter {
+            name: "p",
+            value: p,
+            expected: "0 < p < 1/2",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_for_delta_floor_semantics() {
+        // s(s-1) <= 2*delta*n must hold, and (s+1)s must exceed it.
+        for &(n, delta) in &[(1 << 16, 0.01), (1 << 20, 0.001), (1000, 0.05)] {
+            let s = samples_for_delta(n, delta).unwrap();
+            let budget = 2.0 * delta * n as f64;
+            assert!((s * (s - 1)) as f64 <= budget + 1e-9);
+            assert!(((s + 1) * s) as f64 > budget);
+        }
+    }
+
+    #[test]
+    fn samples_for_delta_small_domain_errors() {
+        assert!(matches!(
+            samples_for_delta(10, 0.01),
+            Err(PlanError::DomainTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn samples_for_delta_rejects_bad_delta() {
+        assert!(samples_for_delta(100, 0.0).is_err());
+        assert!(samples_for_delta(100, 1.0).is_err());
+    }
+
+    #[test]
+    fn delta_for_samples_inverts() {
+        let n = 1 << 16;
+        let s = samples_for_delta(n, 0.01).unwrap();
+        let d = delta_for_samples(n, s);
+        assert!(d <= 0.01 + 1e-12);
+        assert!(d > 0.005, "effective delta lost too much: {d}");
+    }
+
+    #[test]
+    fn gamma_approaches_one_for_huge_n() {
+        // δ fixed small, n huge so s is large: γ → 1. Both the 1/s and
+        // the √(2δ(1+ε²)) penalty terms must vanish.
+        let n = 1usize << 40;
+        let s = samples_for_delta(n, 1e-4).unwrap();
+        let g = gamma_slack(n, s, 1.0);
+        assert!(g > 0.95, "gamma = {g}");
+        // And monotonicity in n at fixed δ:
+        let s_small = samples_for_delta(1 << 20, 1e-4).unwrap();
+        assert!(gamma_slack(1 << 20, s_small, 1.0) < g);
+    }
+
+    #[test]
+    fn gamma_negative_when_delta_large() {
+        let n = 1 << 10;
+        let s = samples_for_delta(n, 0.4).unwrap();
+        assert!(gamma_slack(n, s, 0.25) < 0.0);
+    }
+
+    #[test]
+    fn strict_validity_implies_gamma_at_least_half() {
+        // Paper: δ < ε⁴/64 and n > 64/(ε⁴δ) imply γ ≥ 1/2.
+        for &epsilon in &[0.3f64, 0.5, 0.8, 1.0] {
+            let e4 = epsilon.powi(4);
+            let delta = e4 / 65.0;
+            let n = (65.0 / (e4 * delta)).ceil() as usize;
+            if let Ok(s) = samples_for_delta(n, delta) {
+                if strict_gap_validity(n, delta_for_samples(n, s), epsilon) {
+                    let g = gamma_slack(n, s, epsilon);
+                    assert!(g >= 0.5, "epsilon={epsilon}: gamma={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_p_at_one_third() {
+        // ln(3)/ln(3/2) ≈ 2.7095
+        assert!((c_p(1.0 / 3.0) - 2.7095).abs() < 1e-3);
+    }
+
+    #[test]
+    fn c_p_grows_as_p_shrinks() {
+        assert!(c_p(0.1) > c_p(0.2));
+        assert!(c_p(0.2) > c_p(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn c_p_rejects_out_of_range() {
+        let _ = c_p(1.5);
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-8);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+        // extreme tails stay finite and monotone
+        assert!(normal_quantile(1e-10) < normal_quantile(1e-5));
+    }
+
+    #[test]
+    fn binomial_cdf_small_cases() {
+        // Bin(2, 0.5): P[X<=0]=0.25, P[X<=1]=0.75, P[X<=2]=1.
+        assert!((binomial_cdf(2, 0.5, 0) - 0.25).abs() < 1e-12);
+        assert!((binomial_cdf(2, 0.5, 1) - 0.75).abs() < 1e-12);
+        assert!((binomial_cdf(2, 0.5, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_cdf_edge_probabilities() {
+        assert_eq!(binomial_cdf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_cdf(10, 1.0, 9), 0.0);
+        assert_eq!(binomial_cdf(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn binomial_cdf_large_n_small_p_matches_poisson() {
+        // Bin(100000, 1e-4) ≈ Poisson(10).
+        let lambda = 10.0f64;
+        let mut pois_cdf = 0.0;
+        let mut term = (-lambda).exp();
+        for j in 0..=15usize {
+            pois_cdf += term;
+            term *= lambda / (j as f64 + 1.0);
+        }
+        let b = binomial_cdf(100_000, 1e-4, 15);
+        assert!((b - pois_cdf).abs() < 1e-3, "binomial {b} vs poisson {pois_cdf}");
+    }
+
+    #[test]
+    fn binomial_tail_ge_complements_cdf() {
+        for t in 1..10 {
+            let a = binomial_tail_ge(50, 0.2, t);
+            let b = 1.0 - binomial_cdf(50, 0.2, t - 1);
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(binomial_tail_ge(50, 0.2, 0), 1.0);
+    }
+
+    #[test]
+    fn exact_plan_finds_feasible_small_networks() {
+        // The regime the Normal window cannot handle: small expected
+        // alarm counts where integer rounding matters.
+        let plan = plan_threshold(4096, 750, 1.0, 1.0 / 3.0, WindowMethod::Exact).unwrap();
+        assert!(plan.predicted_completeness_error <= 1.0 / 3.0);
+        assert!(plan.predicted_soundness_error <= 1.0 / 3.0);
+        assert!(plan.threshold >= 1);
+    }
+
+    #[test]
+    fn exact_plan_never_needs_more_samples_than_normal() {
+        let n = 1 << 20;
+        let k = 150_000;
+        let exact = plan_threshold(n, k, 0.5, 1.0 / 3.0, WindowMethod::Exact).unwrap();
+        let normal = plan_threshold(n, k, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
+        assert!(exact.samples_per_node <= normal.samples_per_node);
+    }
+
+    #[test]
+    fn and_plan_basic_structure() {
+        let plan = plan_and_rule(1 << 20, 1024, 0.5, 1.0 / 3.0).unwrap();
+        assert_eq!(plan.samples_per_node, plan.m * plan.samples_per_run);
+        assert!(plan.gamma > 0.0);
+        assert!(plan.delta_node <= 1.0 - (2.0f64 / 3.0).powf(1.0 / 1024.0) + 1e-9);
+        // completeness must be protected by construction
+        assert!(plan.predicted_completeness_error <= 1.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn and_plan_uses_fewer_samples_than_centralized() {
+        let n = 1 << 20;
+        let plan = plan_and_rule(n, 4096, 0.5, 1.0 / 3.0).unwrap();
+        let centralized = (n as f64).sqrt() / 0.25;
+        assert!(
+            (plan.samples_per_node as f64) < centralized,
+            "AND plan {} not below centralized {centralized}",
+            plan.samples_per_node
+        );
+    }
+
+    #[test]
+    fn and_plan_infeasible_at_small_k_is_flagged() {
+        // At simulatable k the required gap C_p ≈ 2.7 is out of reach;
+        // the planner must say so rather than overpromise.
+        let plan = plan_and_rule(1 << 20, 256, 0.5, 1.0 / 3.0).unwrap();
+        if !plan.feasible {
+            assert!(plan.achieved_gap < plan.required_gap);
+            assert!(plan.predicted_soundness_error > 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn threshold_plan_normal_window() {
+        let plan =
+            plan_threshold(1 << 20, 150_000, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
+        assert!(plan.gamma > 0.0);
+        assert!(plan.threshold >= 1);
+        assert!(plan.eta_far > plan.eta_uniform);
+        // T must lie between the two expectations
+        assert!((plan.threshold as f64) > plan.eta_uniform);
+        assert!((plan.threshold as f64) < plan.eta_far);
+    }
+
+    #[test]
+    fn threshold_plan_chernoff_needs_bigger_k() {
+        let k_normal = required_k_for_threshold(0.5, 1.0 / 3.0, WindowMethod::Normal);
+        let k_chernoff = required_k_for_threshold(0.5, 1.0 / 3.0, WindowMethod::Chernoff);
+        assert!(k_chernoff > k_normal);
+    }
+
+    #[test]
+    fn threshold_plan_fails_for_tiny_network() {
+        let err = plan_threshold(1 << 14, 4, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap_err();
+        assert!(matches!(err, PlanError::NetworkTooSmall { .. }));
+    }
+
+    #[test]
+    fn threshold_samples_scale_like_theorem_1_2() {
+        // Doubling k should reduce samples per node by ~√2.
+        let n = 1 << 18;
+        let p1 = plan_threshold(n, 60_000, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
+        let p2 = plan_threshold(n, 240_000, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
+        let ratio = p1.samples_per_node as f64 / p2.samples_per_node as f64;
+        assert!(
+            ratio > 1.5 && ratio < 2.5,
+            "4x nodes should halve samples, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn theorem_formulas_are_positive_and_monotone() {
+        assert!(theorem_1_2_samples(1 << 16, 100, 0.5) > theorem_1_2_samples(1 << 16, 400, 0.5));
+        assert!(
+            theorem_1_1_samples(1 << 16, 100, 0.5, 1.0 / 3.0)
+                > theorem_1_2_samples(1 << 16, 100, 0.5),
+            "AND rule must cost more than threshold rule"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        assert!(plan_and_rule(0, 10, 0.5, 0.3).is_err());
+        assert!(plan_and_rule(100, 0, 0.5, 0.3).is_err());
+        assert!(plan_and_rule(100, 10, 1.5, 0.3).is_err());
+        assert!(plan_and_rule(100, 10, 0.5, 0.6).is_err());
+    }
+}

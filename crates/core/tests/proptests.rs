@@ -1,0 +1,149 @@
+//! Property-based tests for the core testers and parameter math.
+
+use dut_core::asymmetric::{lemma_4_1_check, CostVector};
+use dut_core::decision::{Decision, DecisionRule};
+use dut_core::gap::GapTester;
+use dut_core::identity::IdentityFilter;
+use dut_core::montecarlo::ErrorEstimate;
+use dut_core::params::{
+    binomial_cdf, binomial_tail_ge, c_p, delta_for_samples, gamma_slack, normal_quantile,
+    samples_for_delta,
+};
+use dut_distributions::distance::l1_to_uniform;
+use dut_distributions::DiscreteDistribution;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn samples_for_delta_is_maximal(n in 100usize..1_000_000, delta in 0.0001f64..0.5) {
+        if let Ok(s) = samples_for_delta(n, delta) {
+            let budget = 2.0 * delta * n as f64;
+            prop_assert!((s * (s - 1)) as f64 <= budget + 1e-6);
+            prop_assert!(((s + 1) * s) as f64 > budget);
+            // Round trip: realized delta never exceeds requested.
+            prop_assert!(delta_for_samples(n, s) <= delta + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_slack_below_one(n in 1000usize..10_000_000, s in 2usize..100, eps in 0.1f64..1.0) {
+        let g = gamma_slack(n, s, eps);
+        prop_assert!(g < 1.0);
+    }
+
+    #[test]
+    fn c_p_exceeds_one(p in 0.01f64..0.49) {
+        // The AND rule always needs gap > 1.
+        prop_assert!(c_p(p) > 1.0);
+    }
+
+    #[test]
+    fn normal_quantile_is_monotone(a in 0.01f64..0.99, b in 0.01f64..0.99) {
+        if a < b {
+            prop_assert!(normal_quantile(a) < normal_quantile(b));
+        }
+    }
+
+    #[test]
+    fn normal_quantile_symmetry(p in 0.01f64..0.5) {
+        let lo = normal_quantile(p);
+        let hi = normal_quantile(1.0 - p);
+        prop_assert!((lo + hi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_m(n in 1usize..1000, p in 0.0f64..1.0, m in 0usize..1000) {
+        let m = m.min(n);
+        let a = binomial_cdf(n, p, m);
+        let b = binomial_cdf(n, p, m + 1);
+        prop_assert!(b >= a - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn binomial_tail_complements(n in 1usize..500, p in 0.01f64..0.99, t in 1usize..500) {
+        let t = t.min(n);
+        let sum = binomial_cdf(n, p, t - 1) + binomial_tail_ge(n, p, t);
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_tester_plan_consistency(n in 1000usize..1_000_000, delta in 0.001f64..0.3) {
+        if let Ok(t) = GapTester::new(n, delta) {
+            prop_assert!(t.delta() <= delta + 1e-12);
+            prop_assert!(t.samples() >= 2);
+            prop_assert_eq!(t.domain_size(), n);
+        }
+    }
+
+    #[test]
+    fn gap_tester_detects_constant_distribution(n in 100usize..10_000, seed in any::<u64>()) {
+        // A point mass always collides: tester must always reject.
+        let t = GapTester::with_samples(n, 2).unwrap();
+        let mut pmf = vec![0.0; n];
+        pmf[0] = 1.0;
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand::rngs::StdRng = &mut rng;
+        prop_assert_eq!(t.run(&d, rng), Decision::Reject);
+    }
+
+    #[test]
+    fn decision_rules_are_monotone(t in 1usize..100, a in 0usize..200, b in 0usize..200) {
+        // More alarms never flip a rejection back to acceptance.
+        let rule = DecisionRule::Threshold(t);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if rule.decide(lo) == Decision::Reject {
+            prop_assert_eq!(rule.decide(hi), Decision::Reject);
+        }
+    }
+
+    #[test]
+    fn wilson_interval_contains_rate(trials in 1usize..10_000, f_frac in 0.0f64..1.0) {
+        let failures = ((trials as f64) * f_frac) as usize;
+        let e = ErrorEstimate::from_counts(trials, failures, 1.96);
+        prop_assert!(e.lower <= e.rate + 1e-12);
+        prop_assert!(e.rate <= e.upper + 1e-12);
+        prop_assert!(e.lower >= 0.0 && e.upper <= 1.0);
+    }
+
+    #[test]
+    fn cost_vector_norms_monotone(costs in proptest::collection::vec(0.1f64..10.0, 1..50)) {
+        // Lp norms decrease in p.
+        let cv = CostVector::new(costs).unwrap();
+        let n2 = cv.inverse_norm(2.0);
+        let n4 = cv.inverse_norm(4.0);
+        let n8 = cv.inverse_norm(8.0);
+        prop_assert!(n2 >= n4 - 1e-9);
+        prop_assert!(n4 >= n8 - 1e-9);
+    }
+
+    #[test]
+    fn lemma_4_1_random_points(
+        x in proptest::collection::vec(0.0f64..0.2, 1..10),
+        a in 1.01f64..3.0,
+    ) {
+        // Keep a*x_i < 1 so g stays positive.
+        if x.iter().all(|&v| a * v < 0.95) {
+            let (gx, gy) = lemma_4_1_check(&x, a);
+            prop_assert!(gx <= gy + 1e-9, "lemma 4.1 violated: {gx} > {gy}");
+        }
+    }
+
+    #[test]
+    fn identity_filter_preserves_distance(
+        weights in proptest::collection::vec(0.05f64..1.0, 2..40),
+        slots in 8usize..64,
+    ) {
+        let eta = DiscreteDistribution::from_weights(weights.clone()).unwrap();
+        let filter = IdentityFilter::new(&eta, slots).unwrap();
+        // Pushforward of η is within rounding error of uniform.
+        let push = filter.pushforward(&eta);
+        prop_assert!(
+            l1_to_uniform(&push) <= filter.rounding_l1_error() + 1e-9
+        );
+        // Slot counts partition the output domain.
+        let total: usize = (0..eta.domain_size()).map(|x| filter.slot_count(x)).sum();
+        prop_assert_eq!(total, filter.output_domain_size());
+    }
+}

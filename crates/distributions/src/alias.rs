@@ -1,0 +1,175 @@
+//! Walker alias method for O(1) sampling from a discrete distribution.
+//!
+//! The alias method preprocesses a probability mass function over
+//! `{0, .., n-1}` into two tables (`prob` and `alias`) in O(n) time.
+//! Sampling then draws one uniform index and one uniform real, which is
+//! optimal. This is internal machinery for
+//! [`DiscreteDistribution`](crate::DiscreteDistribution).
+
+use rand::Rng;
+
+/// Preprocessed alias tables for a discrete distribution.
+#[derive(Debug, Clone)]
+pub(crate) struct AliasTable {
+    /// Acceptance probability of each column (scaled to [0, 1]).
+    prob: Vec<f64>,
+    /// Alias (fallback index) of each column.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the alias table from non-negative weights.
+    ///
+    /// Weights need not be normalized; they are normalized internally.
+    /// Panics if the weight vector is empty or sums to a non-positive
+    /// value — callers ([`DiscreteDistribution`]) validate first.
+    ///
+    /// [`DiscreteDistribution`]: crate::DiscreteDistribution
+    pub(crate) fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table domain exceeds u32 range"
+        );
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table weights must have positive sum");
+
+        // Scale so the average column is exactly 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+
+        // Classic two-stack (small/large) construction.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // Large column donates mass to fill the small column up to 1.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: all remaining columns are full.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Draws one sample in O(1).
+    #[inline]
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of columns (domain size).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.prob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, trials: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]);
+        let freqs = empirical(&table, 200_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "frequency {f} too far from 1/8");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expectations() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let freqs = empirical(&table, 400_000, 2);
+        for (i, f) in freqs.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            assert!(
+                (f - expected).abs() < 0.01,
+                "index {i}: frequency {f} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_always_sampled() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_elements_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight index {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        // Sum is 100, not 1 — sampling must still follow the ratios.
+        let table = AliasTable::new(&[25.0, 75.0]);
+        let freqs = empirical(&table, 100_000, 5);
+        assert!((freqs[0] - 0.25).abs() < 0.01);
+        assert!((freqs[1] - 0.75).abs() < 0.01);
+    }
+}

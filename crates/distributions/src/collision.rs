@@ -1,0 +1,217 @@
+//! Collision statistics: the engine of collision-based uniformity testing.
+//!
+//! The *collision probability* of a distribution μ is
+//! `χ(μ) = Pr_{X,Y∼μ}[X = Y] = Σ_x μ(x)²`. The uniform distribution on n
+//! elements minimizes it at `1/n`; the paper's Lemma 3.2 shows any
+//! distribution ε-far from uniform has `χ > (1 + ε²)/n`. The paper's
+//! Lemma 3.3 (due to Wiener) bounds the probability that `s` iid samples
+//! contain *no* collision — the single event the gap tester observes.
+
+use crate::dist::DiscreteDistribution;
+
+/// Collision probability `χ(μ) = Σ_x μ(x)²`.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_distributions::DiscreteDistribution;
+/// use dut_distributions::collision::collision_probability;
+///
+/// let u = DiscreteDistribution::uniform(100);
+/// assert!((collision_probability(&u) - 0.01).abs() < 1e-15);
+/// ```
+pub fn collision_probability(mu: &DiscreteDistribution) -> f64 {
+    mu.pmf_slice().iter().map(|&p| p * p).sum()
+}
+
+/// The Lemma 3.2 lower bound on collision probability for an ε-far
+/// distribution: `(1 + ε²)/n`.
+pub fn lemma_3_2_bound(n: usize, epsilon: f64) -> f64 {
+    (1.0 + epsilon * epsilon) / n as f64
+}
+
+/// Checks Lemma 3.2 for a concrete distribution: if `mu` is ε-far from
+/// uniform then `χ(μ) ≥ (1 + ε²)/n` (the paper states strict inequality;
+/// extremal families achieve equality up to floating point, so we test
+/// with a small tolerance).
+pub fn satisfies_lemma_3_2(mu: &DiscreteDistribution, epsilon: f64) -> bool {
+    collision_probability(mu) >= lemma_3_2_bound(mu.domain_size(), epsilon) - 1e-12
+}
+
+/// The Wiener birthday bound (the paper's Lemma 3.3): for any distribution
+/// with collision probability `chi`, the probability that `s` iid samples
+/// are all distinct is at most
+/// `e^{−(s−1)√χ} · (1 + (s−1)√χ)`.
+///
+/// # Panics
+///
+/// Panics if `chi` is not in `[0, 1]` or `s == 0`.
+pub fn wiener_no_collision_upper_bound(s: usize, chi: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&chi), "chi must be a probability");
+    assert!(s > 0, "need at least one sample");
+    let t = (s as f64 - 1.0) * chi.sqrt();
+    (-t).exp() * (1.0 + t)
+}
+
+/// Exact probability that `s` iid samples from μ are all distinct,
+/// computed by the permanent-style recursion over the PMF. Exponential in
+/// general; we use the standard product formula for the uniform
+/// distribution and a Monte-Carlo fallback elsewhere, so this function is
+/// restricted to the uniform case where it is exact and cheap:
+/// `Π_{i=0}^{s-1} (1 − i/n)`.
+///
+/// # Panics
+///
+/// Panics if `s > n` would make the product trivially zero in a way the
+/// caller likely did not intend (we return 0.0 instead of panicking).
+pub fn uniform_all_distinct_probability(n: usize, s: usize) -> f64 {
+    if s > n {
+        return 0.0;
+    }
+    let n = n as f64;
+    let mut p = 1.0;
+    for i in 0..s {
+        p *= 1.0 - i as f64 / n;
+    }
+    p
+}
+
+/// Number of colliding (unordered) pairs among `samples`.
+///
+/// This is the statistic counted by the classic collision tester:
+/// `Σ_x C(count(x), 2)`.
+pub fn collision_pair_count(samples: &[usize]) -> u64 {
+    let mut sorted: Vec<usize> = samples.to_vec();
+    sorted.sort_unstable();
+    let mut pairs: u64 = 0;
+    let mut run = 1u64;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            pairs += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    pairs += run * (run - 1) / 2;
+    pairs
+}
+
+/// Whether `samples` contains at least one collision (two equal values).
+///
+/// This is the single bit the paper's gap tester A_δ observes. Runs in
+/// O(s log s) (sorting); for the tiny sample sets the tester uses this is
+/// faster than hashing.
+pub fn has_collision(samples: &[usize]) -> bool {
+    let mut sorted: Vec<usize> = samples.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).any(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{heavy_set_far, paninski_far, point_mass_mixture, step_far};
+
+    #[test]
+    fn uniform_chi_is_one_over_n() {
+        let u = DiscreteDistribution::uniform(64);
+        assert!((collision_probability(&u) - 1.0 / 64.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn point_mass_chi_is_one() {
+        let d = DiscreteDistribution::from_pmf(vec![0.0, 1.0, 0.0]).unwrap();
+        assert!((collision_probability(&d) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lemma_3_2_holds_for_all_families() {
+        let n = 1024;
+        for &eps in &[0.1, 0.3, 0.5] {
+            for d in [
+                paninski_far(n, eps).unwrap(),
+                heavy_set_far(n, eps).unwrap(),
+                point_mass_mixture(n, eps, 0).unwrap(),
+                step_far(n, eps).unwrap(),
+            ] {
+                assert!(
+                    satisfies_lemma_3_2(&d, eps),
+                    "lemma 3.2 violated at eps={eps}, chi={}",
+                    collision_probability(&d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paninski_is_the_extremal_family() {
+        // The Paninski family achieves the Lemma 3.2 bound with equality.
+        let n = 512;
+        let eps = 0.5;
+        let d = paninski_far(n, eps).unwrap();
+        assert!((collision_probability(&d) - lemma_3_2_bound(n, eps)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wiener_bound_dominates_exact_uniform_probability() {
+        // Lemma 3.3 must upper-bound the exact all-distinct probability.
+        for n in [64usize, 256, 1024] {
+            for s in [2usize, 4, 8, 16, 32] {
+                let exact = uniform_all_distinct_probability(n, s);
+                let bound = wiener_no_collision_upper_bound(s, 1.0 / n as f64);
+                assert!(
+                    bound >= exact - 1e-12,
+                    "n={n}, s={s}: bound {bound} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wiener_bound_is_at_most_one() {
+        for s in [1usize, 2, 10, 100] {
+            for &chi in &[0.0, 0.001, 0.5, 1.0] {
+                let b = wiener_no_collision_upper_bound(s, chi);
+                assert!(b <= 1.0 + 1e-12);
+                assert!(b >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_all_distinct_edge_cases() {
+        assert_eq!(uniform_all_distinct_probability(10, 1), 1.0);
+        assert_eq!(uniform_all_distinct_probability(10, 11), 0.0);
+        // s = n: probability n!/n^n.
+        let p = uniform_all_distinct_probability(3, 3);
+        assert!((p - 6.0 / 27.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collision_pair_count_examples() {
+        assert_eq!(collision_pair_count(&[]), 0);
+        assert_eq!(collision_pair_count(&[1]), 0);
+        assert_eq!(collision_pair_count(&[1, 2, 3]), 0);
+        assert_eq!(collision_pair_count(&[1, 1]), 1);
+        assert_eq!(collision_pair_count(&[1, 1, 1]), 3);
+        assert_eq!(collision_pair_count(&[2, 1, 2, 1]), 2);
+        assert_eq!(collision_pair_count(&[5, 5, 5, 5]), 6);
+    }
+
+    #[test]
+    fn has_collision_examples() {
+        assert!(!has_collision(&[]));
+        assert!(!has_collision(&[7]));
+        assert!(!has_collision(&[3, 1, 4, 2]));
+        assert!(has_collision(&[3, 1, 4, 1]));
+    }
+
+    #[test]
+    fn has_collision_agrees_with_pair_count() {
+        let cases: &[&[usize]] = &[&[], &[1], &[1, 2], &[2, 2], &[1, 2, 3, 2, 1]];
+        for c in cases {
+            assert_eq!(has_collision(c), collision_pair_count(c) > 0);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Exact discrete probability distributions over `{0, .., n-1}`.
+
+use crate::alias::AliasTable;
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// Tolerance used when validating that probability masses sum to 1.
+const NORMALIZATION_TOLERANCE: f64 = 1e-9;
+
+/// An exact probability distribution on the domain `{0, .., n-1}`.
+///
+/// The probability mass function is stored explicitly, and sampling uses
+/// the Walker alias method (O(n) preprocessing, O(1) per sample). The
+/// uniform distribution is special-cased: it samples with a single
+/// `gen_range` call and needs no tables.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_distributions::DiscreteDistribution;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), dut_distributions::DistributionError> {
+/// let d = DiscreteDistribution::from_pmf(vec![0.5, 0.25, 0.25])?;
+/// assert_eq!(d.domain_size(), 3);
+/// assert!((d.pmf(0) - 0.5).abs() < 1e-12);
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x < 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscreteDistribution {
+    pmf: Vec<f64>,
+    /// `None` for the uniform fast path.
+    table: Option<AliasTable>,
+    uniform: bool,
+}
+
+impl DiscreteDistribution {
+    /// Creates the uniform distribution on `{0, .., n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "uniform distribution needs a non-empty domain");
+        DiscreteDistribution {
+            pmf: vec![1.0 / n as f64; n],
+            table: None,
+            uniform: true,
+        }
+    }
+
+    /// Creates a distribution from an explicit probability mass function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::EmptyDomain`] for an empty vector,
+    /// [`DistributionError::InvalidMass`] if any entry is negative or not
+    /// finite, and [`DistributionError::NotNormalized`] if the masses do
+    /// not sum to 1 within `1e-9`.
+    pub fn from_pmf(pmf: Vec<f64>) -> Result<Self, DistributionError> {
+        if pmf.is_empty() {
+            return Err(DistributionError::EmptyDomain);
+        }
+        for (index, &value) in pmf.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(DistributionError::InvalidMass { index, value });
+            }
+        }
+        let sum: f64 = pmf.iter().sum();
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(DistributionError::NotNormalized { sum });
+        }
+        let table = AliasTable::new(&pmf);
+        Ok(DiscreteDistribution {
+            pmf,
+            table: Some(table),
+            uniform: false,
+        })
+    }
+
+    /// Creates a distribution from non-negative weights, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::EmptyDomain`] for an empty vector,
+    /// [`DistributionError::InvalidMass`] for negative/non-finite weights,
+    /// and [`DistributionError::NotNormalized`] if all weights are zero.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::EmptyDomain);
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(DistributionError::InvalidMass { index, value });
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(DistributionError::NotNormalized { sum });
+        }
+        let pmf: Vec<f64> = weights.iter().map(|w| w / sum).collect();
+        let table = AliasTable::new(&pmf);
+        Ok(DiscreteDistribution {
+            pmf,
+            table: Some(table),
+            uniform: false,
+        })
+    }
+
+    /// The domain size `n`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// The probability mass at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the domain.
+    #[inline]
+    pub fn pmf(&self, x: usize) -> f64 {
+        self.pmf[x]
+    }
+
+    /// A view of the full probability mass function.
+    #[inline]
+    pub fn pmf_slice(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Whether this distribution was constructed as the exact uniform
+    /// distribution (enables the O(1)-table-free sampling fast path).
+    #[inline]
+    pub fn is_uniform_constructed(&self) -> bool {
+        self.uniform
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match &self.table {
+            None => rng.gen_range(0..self.pmf.len()),
+            Some(table) => table.sample(rng),
+        }
+    }
+
+    /// Draws `count` iid samples.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Returns the support (indices with positive mass).
+    pub fn support(&self) -> Vec<usize> {
+        self.pmf
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mixes two distributions on the same domain:
+    /// `(1 - beta) * self + beta * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::InvalidParameter`] if `beta` is outside
+    /// `[0, 1]`, or [`DistributionError::IncompatibleDomain`] if the domain
+    /// sizes differ.
+    pub fn mix(
+        &self,
+        other: &DiscreteDistribution,
+        beta: f64,
+    ) -> Result<DiscreteDistribution, DistributionError> {
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(DistributionError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                expected: "0 <= beta <= 1",
+            });
+        }
+        if self.domain_size() != other.domain_size() {
+            return Err(DistributionError::IncompatibleDomain {
+                n: other.domain_size(),
+                reason: "mixture components must share a domain",
+            });
+        }
+        let pmf: Vec<f64> = self
+            .pmf
+            .iter()
+            .zip(other.pmf.iter())
+            .map(|(&a, &b)| (1.0 - beta) * a + beta * b)
+            .collect();
+        DiscreteDistribution::from_pmf(pmf)
+    }
+
+    /// Applies a permutation to the domain, returning the pushed-forward
+    /// distribution. `perm[x]` is the new index of element `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `{0, .., n-1}`.
+    pub fn permute(&self, perm: &[usize]) -> DiscreteDistribution {
+        assert_eq!(perm.len(), self.domain_size(), "permutation length mismatch");
+        let mut pmf = vec![f64::NAN; self.domain_size()];
+        for (x, &y) in perm.iter().enumerate() {
+            assert!(pmf[y].is_nan(), "permutation repeats index {y}");
+            pmf[y] = self.pmf[x];
+        }
+        DiscreteDistribution::from_pmf(pmf).expect("permutation preserves normalization")
+    }
+}
+
+impl PartialEq for DiscreteDistribution {
+    fn eq(&self, other: &Self) -> bool {
+        self.pmf == other.pmf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_has_equal_masses() {
+        let d = DiscreteDistribution::uniform(10);
+        for x in 0..10 {
+            assert!((d.pmf(x) - 0.1).abs() < 1e-15);
+        }
+        assert!(d.is_uniform_constructed());
+    }
+
+    #[test]
+    fn from_pmf_rejects_unnormalized() {
+        let err = DiscreteDistribution::from_pmf(vec![0.5, 0.2]).unwrap_err();
+        assert!(matches!(err, DistributionError::NotNormalized { .. }));
+    }
+
+    #[test]
+    fn from_pmf_rejects_negative() {
+        let err = DiscreteDistribution::from_pmf(vec![1.5, -0.5]).unwrap_err();
+        assert!(matches!(err, DistributionError::InvalidMass { index: 1, .. }));
+    }
+
+    #[test]
+    fn from_pmf_rejects_nan() {
+        let err = DiscreteDistribution::from_pmf(vec![f64::NAN, 1.0]).unwrap_err();
+        assert!(matches!(err, DistributionError::InvalidMass { index: 0, .. }));
+    }
+
+    #[test]
+    fn from_pmf_rejects_empty() {
+        let err = DiscreteDistribution::from_pmf(vec![]).unwrap_err();
+        assert_eq!(err, DistributionError::EmptyDomain);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = DiscreteDistribution::from_weights(vec![2.0, 6.0]).unwrap();
+        assert!((d.pmf(0) - 0.25).abs() < 1e-15);
+        assert!((d.pmf(1) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_weights_rejects_all_zero() {
+        let err = DiscreteDistribution::from_weights(vec![0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, DistributionError::NotNormalized { .. }));
+    }
+
+    #[test]
+    fn sample_respects_support() {
+        let d = DiscreteDistribution::from_pmf(vec![0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn support_lists_positive_mass() {
+        let d = DiscreteDistribution::from_pmf(vec![0.0, 0.5, 0.0, 0.5]).unwrap();
+        assert_eq!(d.support(), vec![1, 3]);
+    }
+
+    #[test]
+    fn uniform_sampling_is_roughly_uniform() {
+        let d = DiscreteDistribution::uniform(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = d.sample_many(&mut rng, 100_000);
+        let mut counts = [0usize; 4];
+        for s in samples {
+            counts[s] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / 100_000.0;
+            assert!((f - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn mix_interpolates_masses() {
+        let a = DiscreteDistribution::uniform(2);
+        let b = DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap();
+        let m = a.mix(&b, 0.5).unwrap();
+        assert!((m.pmf(0) - 0.75).abs() < 1e-15);
+        assert!((m.pmf(1) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mix_rejects_bad_beta() {
+        let a = DiscreteDistribution::uniform(2);
+        let err = a.mix(&a, 1.5).unwrap_err();
+        assert!(matches!(err, DistributionError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn mix_rejects_mismatched_domains() {
+        let a = DiscreteDistribution::uniform(2);
+        let b = DiscreteDistribution::uniform(3);
+        let err = a.mix(&b, 0.5).unwrap_err();
+        assert!(matches!(err, DistributionError::IncompatibleDomain { .. }));
+    }
+
+    #[test]
+    fn permute_moves_masses() {
+        let d = DiscreteDistribution::from_pmf(vec![0.6, 0.3, 0.1]).unwrap();
+        let p = d.permute(&[2, 0, 1]);
+        assert!((p.pmf(2) - 0.6).abs() < 1e-15);
+        assert!((p.pmf(0) - 0.3).abs() < 1e-15);
+        assert!((p.pmf(1) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats index")]
+    fn permute_rejects_non_permutation() {
+        let d = DiscreteDistribution::uniform(3);
+        let _ = d.permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn equality_compares_pmfs() {
+        let a = DiscreteDistribution::uniform(4);
+        let b = DiscreteDistribution::from_pmf(vec![0.25; 4]).unwrap();
+        assert_eq!(a, b);
+    }
+}

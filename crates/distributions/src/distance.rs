@@ -1,0 +1,276 @@
+//! Distances between discrete distributions.
+//!
+//! The paper measures "far from uniform" in L1 distance:
+//! `‖μ − U‖₁ = Σ_x |μ(x) − 1/n|`. Total variation distance is half the L1
+//! distance. L2 distance appears in the analysis of collision statistics
+//! (`‖μ‖₂² = χ(μ)`).
+
+use crate::dist::DiscreteDistribution;
+use crate::error::DistributionError;
+
+/// L1 distance `Σ_x |μ(x) − η(x)|` between two distributions on the same
+/// domain.
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] if the domain sizes
+/// differ.
+pub fn l1_distance(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    if mu.domain_size() != eta.domain_size() {
+        return Err(DistributionError::IncompatibleDomain {
+            n: eta.domain_size(),
+            reason: "distance requires equal domain sizes",
+        });
+    }
+    Ok(mu
+        .pmf_slice()
+        .iter()
+        .zip(eta.pmf_slice())
+        .map(|(&a, &b)| (a - b).abs())
+        .sum())
+}
+
+/// L1 distance from `mu` to the uniform distribution on its domain.
+pub fn l1_to_uniform(mu: &DiscreteDistribution) -> f64 {
+    let n = mu.domain_size() as f64;
+    let base = 1.0 / n;
+    mu.pmf_slice().iter().map(|&p| (p - base).abs()).sum()
+}
+
+/// Total variation distance: half the L1 distance.
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] if the domain sizes
+/// differ.
+pub fn total_variation(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    Ok(l1_distance(mu, eta)? / 2.0)
+}
+
+/// Squared L2 distance `Σ_x (μ(x) − η(x))²`.
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] if the domain sizes
+/// differ.
+pub fn l2_squared(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    if mu.domain_size() != eta.domain_size() {
+        return Err(DistributionError::IncompatibleDomain {
+            n: eta.domain_size(),
+            reason: "distance requires equal domain sizes",
+        });
+    }
+    Ok(mu
+        .pmf_slice()
+        .iter()
+        .zip(eta.pmf_slice())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum())
+}
+
+/// Squared L2 distance from uniform. Satisfies
+/// `l2_squared_to_uniform(μ) = χ(μ) − 1/n`, connecting L2 distance to the
+/// collision probability (see [`crate::collision`]).
+pub fn l2_squared_to_uniform(mu: &DiscreteDistribution) -> f64 {
+    let n = mu.domain_size() as f64;
+    let base = 1.0 / n;
+    mu.pmf_slice()
+        .iter()
+        .map(|&p| (p - base) * (p - base))
+        .sum()
+}
+
+/// χ²-divergence `χ²(μ ‖ η) = Σ_x (μ(x) − η(x))²/η(x)` — the distance
+/// modern uniformity-testing analyses optimize (against the uniform
+/// reference it equals `n·‖μ − U‖₂² = n·χ(μ) − 1`).
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] on domain mismatch,
+/// and [`DistributionError::InvalidParameter`] if `η` has a zero where
+/// `μ` has mass (the divergence would be infinite).
+pub fn chi_square_divergence(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    if mu.domain_size() != eta.domain_size() {
+        return Err(DistributionError::IncompatibleDomain {
+            n: eta.domain_size(),
+            reason: "divergence requires equal domain sizes",
+        });
+    }
+    let mut d = 0.0;
+    for (x, (&p, &q)) in mu.pmf_slice().iter().zip(eta.pmf_slice()).enumerate() {
+        if q <= 0.0 {
+            if p > 0.0 {
+                return Err(DistributionError::InvalidParameter {
+                    name: "eta",
+                    value: x as f64,
+                    expected: "eta must dominate mu (absolute continuity)",
+                });
+            }
+            continue;
+        }
+        d += (p - q) * (p - q) / q;
+    }
+    Ok(d)
+}
+
+/// Squared Hellinger distance
+/// `H²(μ, η) = ½ Σ_x (√μ(x) − √η(x))²` — always in `[0, 1]`, and
+/// sandwiched by total variation: `H² ≤ d_TV ≤ H·√(2 − H²)`.
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] on domain mismatch.
+pub fn hellinger_squared(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    if mu.domain_size() != eta.domain_size() {
+        return Err(DistributionError::IncompatibleDomain {
+            n: eta.domain_size(),
+            reason: "distance requires equal domain sizes",
+        });
+    }
+    let d: f64 = mu
+        .pmf_slice()
+        .iter()
+        .zip(eta.pmf_slice())
+        .map(|(&a, &b)| {
+            let t = a.sqrt() - b.sqrt();
+            t * t
+        })
+        .sum();
+    Ok((d / 2.0).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::collision_probability;
+    use crate::families::paninski_far;
+
+    #[test]
+    fn l1_distance_to_self_is_zero() {
+        let d = DiscreteDistribution::uniform(16);
+        assert_eq!(l1_distance(&d, &d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric() {
+        let a = DiscreteDistribution::from_pmf(vec![0.7, 0.3]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![0.2, 0.8]).unwrap();
+        assert_eq!(
+            l1_distance(&a, &b).unwrap(),
+            l1_distance(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn l1_distance_max_is_two() {
+        let a = DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap();
+        assert!((l1_distance(&a, &b).unwrap() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l1_rejects_mismatched_domains() {
+        let a = DiscreteDistribution::uniform(2);
+        let b = DiscreteDistribution::uniform(3);
+        assert!(l1_distance(&a, &b).is_err());
+        assert!(l2_squared(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tv_is_half_l1() {
+        let a = DiscreteDistribution::from_pmf(vec![0.9, 0.1]).unwrap();
+        let b = DiscreteDistribution::uniform(2);
+        let l1 = l1_distance(&a, &b).unwrap();
+        let tv = total_variation(&a, &b).unwrap();
+        assert!((tv - l1 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l1_to_uniform_matches_generic() {
+        let d = paninski_far(64, 0.5).unwrap();
+        let u = DiscreteDistribution::uniform(64);
+        assert!((l1_to_uniform(&d) - l1_distance(&d, &u).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l2_to_uniform_equals_chi_minus_one_over_n() {
+        let d = paninski_far(128, 0.5).unwrap();
+        let n = 128.0;
+        let lhs = l2_squared_to_uniform(&d);
+        let rhs = collision_probability(&d) - 1.0 / n;
+        assert!((lhs - rhs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l1_to_uniform_of_uniform_is_zero() {
+        let u = DiscreteDistribution::uniform(100);
+        assert!(l1_to_uniform(&u) < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_to_uniform_is_n_chi_minus_one() {
+        let d = paninski_far(256, 0.5).unwrap();
+        let u = DiscreteDistribution::uniform(256);
+        let cs = chi_square_divergence(&d, &u).unwrap();
+        let via_collision = 256.0 * collision_probability(&d) - 1.0;
+        assert!((cs - via_collision).abs() < 1e-10);
+        // Paninski at ε: χ² = ε² exactly.
+        assert!((cs - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_zero_iff_equal() {
+        let d = paninski_far(64, 0.3).unwrap();
+        assert!(chi_square_divergence(&d, &d).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_detects_domination_failure() {
+        let a = DiscreteDistribution::from_pmf(vec![0.5, 0.5]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap();
+        assert!(chi_square_divergence(&a, &b).is_err());
+        assert!(chi_square_divergence(&b, &a).is_ok());
+    }
+
+    #[test]
+    fn hellinger_bounds_and_sandwich() {
+        let cases = [
+            (paninski_far(64, 0.5).unwrap(), DiscreteDistribution::uniform(64)),
+            (
+                DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap(),
+                DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap(),
+            ),
+        ];
+        for (a, b) in cases {
+            let h2 = hellinger_squared(&a, &b).unwrap();
+            let tv = total_variation(&a, &b).unwrap();
+            assert!((0.0..=1.0).contains(&h2));
+            // H² ≤ TV ≤ H√(2−H²)
+            assert!(h2 <= tv + 1e-12, "H² {h2} > TV {tv}");
+            let upper = h2.sqrt() * (2.0 - h2).sqrt();
+            assert!(tv <= upper + 1e-12, "TV {tv} > H√(2−H²) {upper}");
+        }
+    }
+
+    #[test]
+    fn hellinger_of_disjoint_supports_is_one() {
+        let a = DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap();
+        assert!((hellinger_squared(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

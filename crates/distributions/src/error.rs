@@ -1,0 +1,99 @@
+//! Error types for distribution construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`DiscreteDistribution`]
+/// or distribution family.
+///
+/// [`DiscreteDistribution`]: crate::DiscreteDistribution
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// The domain size was zero.
+    EmptyDomain,
+    /// A probability mass was negative or not finite.
+    InvalidMass {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The probability masses do not sum to 1 (within tolerance).
+    NotNormalized {
+        /// The actual sum of the provided masses.
+        sum: f64,
+    },
+    /// A family parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The requested domain size is incompatible with the family
+    /// (e.g. the Paninski family requires an even domain).
+    IncompatibleDomain {
+        /// The requested domain size.
+        n: usize,
+        /// Why it is incompatible.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::EmptyDomain => write!(f, "domain size must be positive"),
+            DistributionError::InvalidMass { index, value } => {
+                write!(f, "probability mass at index {index} is invalid: {value}")
+            }
+            DistributionError::NotNormalized { sum } => {
+                write!(f, "probability masses sum to {sum}, expected 1")
+            }
+            DistributionError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter {name} = {value} out of range ({expected})")
+            }
+            DistributionError::IncompatibleDomain { n, reason } => {
+                write!(f, "domain size {n} incompatible: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DistributionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DistributionError::EmptyDomain;
+        let msg = e.to_string();
+        assert!(msg.starts_with("domain"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DistributionError>();
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DistributionError::InvalidParameter {
+            name: "epsilon",
+            value: 3.0,
+            expected: "0 < epsilon <= 2",
+        };
+        assert!(e.to_string().contains("epsilon"));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact collision analytics for paired-perturbation distributions.
+//!
+//! For the uniform distribution and for the Paninski family (and any
+//! distribution built from `n/2` independent probability pairs
+//! `(a, b)`), the probability that `s` iid samples are **all distinct**
+//! has a closed form via the elementary-symmetric generating function:
+//!
+//! `Pr[all distinct] = s! · [x^s] Π_pairs (1 + a·x)(1 + b·x)
+//!                   = s! · [x^s] (1 + c₁x + c₂x²)^{n/2}`
+//!
+//! with `c₁ = a + b = 2/n` and `c₂ = a·b = (1 − ε²)/n²`. Extracting the
+//! coefficient gives a single well-conditioned sum
+//!
+//! `Pr = s! Σ_j C(n/2, j) · C(n/2 − j, s − 2j) · c₂^j · c₁^{s−2j}`,
+//!
+//! evaluated in log space. This makes the rejection probability of the
+//! single-collision gap tester *exact* on both the uniform distribution
+//! (ε = 0) and the hardest ε-far family — so network-level error
+//! predictions in the experiments need no Monte-Carlo at all.
+
+/// Natural log of Γ(x) via the Lanczos approximation (g = 7, n = 9);
+/// absolute error below 1e-13 for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_81,
+        676.520_368_121_885,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π/sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` via [`ln_gamma`]; returns `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Exact probability that `s` iid samples from the paired distribution
+/// with per-pair masses `((1+ε)/n, (1−ε)/n)` are all distinct.
+///
+/// `epsilon = 0` gives the uniform distribution on `n` elements;
+/// `epsilon > 0` gives the Paninski ε-far family. `n` must be even.
+///
+/// # Panics
+///
+/// Panics for odd `n`, `epsilon ∉ [0, 1]`, or `s = 0`.
+pub fn paninski_all_distinct_probability(n: usize, epsilon: f64, s: usize) -> f64 {
+    assert!(n >= 2 && n.is_multiple_of(2), "paired family needs an even domain");
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+    assert!(s >= 1, "need at least one sample");
+    if s > n {
+        return 0.0;
+    }
+    let m = (n / 2) as u64; // number of pairs
+    let c1 = 2.0 / n as f64;
+    let c2 = (1.0 - epsilon * epsilon) / (n as f64 * n as f64);
+    let ln_c1 = c1.ln();
+    // c2 = 0 at epsilon = 1: only the j = 0 term survives.
+    let ln_c2 = if c2 > 0.0 { c2.ln() } else { f64::NEG_INFINITY };
+    let ln_s_fact = ln_gamma(s as f64 + 1.0);
+
+    // log-sum-exp over j = number of pairs contributing both elements.
+    let j_max = s / 2;
+    let mut terms: Vec<f64> = Vec::with_capacity(j_max + 1);
+    for j in 0..=j_max {
+        let ju = j as u64;
+        let rest = (s - 2 * j) as u64;
+        // Avoid 0·(−inf) = NaN when a coefficient vanishes.
+        let c2_term = if ju == 0 { 0.0 } else { ju as f64 * ln_c2 };
+        let c1_term = if rest == 0 { 0.0 } else { rest as f64 * ln_c1 };
+        let t = ln_choose(m, ju) + ln_choose(m - ju, rest) + c2_term + c1_term;
+        if t.is_finite() {
+            terms.push(t);
+        }
+    }
+    if terms.is_empty() {
+        return 0.0;
+    }
+    let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = terms.iter().map(|&t| (t - max).exp()).sum();
+    ((ln_s_fact + max + sum.ln()).exp()).clamp(0.0, 1.0)
+}
+
+/// Exact rejection probability (`Pr[some collision]`) of the
+/// single-collision gap tester with `s` samples on the paired family.
+pub fn paninski_rejection_probability(n: usize, epsilon: f64, s: usize) -> f64 {
+    1.0 - paninski_all_distinct_probability(n, epsilon, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::uniform_all_distinct_probability;
+    use crate::families::paninski_far;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_matches_direct() {
+        assert!((ln_choose(10, 3) - 120.0f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - 2_598_960.0f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(5, 6), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+    }
+
+    #[test]
+    fn epsilon_zero_matches_uniform_product_formula() {
+        for &n in &[10usize, 100, 4096] {
+            for &s in &[1usize, 2, 5, 20] {
+                if s > n {
+                    continue;
+                }
+                let exact = paninski_all_distinct_probability(n, 0.0, s);
+                let product = uniform_all_distinct_probability(n, s);
+                assert!(
+                    (exact - product).abs() < 1e-9,
+                    "n={n}, s={s}: {exact} vs {product}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_samples_match_collision_probability() {
+        // Pr[distinct] for s = 2 is 1 − χ(μ) = 1 − (1+ε²)/n.
+        for &eps in &[0.0f64, 0.3, 0.7, 1.0] {
+            let n = 1000;
+            let exact = paninski_all_distinct_probability(n, eps, 2);
+            let expected = 1.0 - (1.0 + eps * eps) / n as f64;
+            assert!((exact - expected).abs() < 1e-12, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn far_distribution_collides_more() {
+        let n = 1 << 14;
+        let s = 40;
+        let p_uniform = paninski_all_distinct_probability(n, 0.0, s);
+        let p_far = paninski_all_distinct_probability(n, 0.7, s);
+        assert!(p_far < p_uniform, "{p_far} !< {p_uniform}");
+    }
+
+    #[test]
+    fn monotone_in_samples() {
+        let n = 1 << 12;
+        let mut prev = 1.0;
+        for s in 1..100 {
+            let p = paninski_all_distinct_probability(n, 0.5, s);
+            assert!(p <= prev + 1e-12, "s={s}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        use crate::collision::has_collision;
+        let n = 1 << 10;
+        let eps = 0.8;
+        let s = 30;
+        let exact = paninski_rejection_probability(n, eps, s);
+        let d = paninski_far(n, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let hits = (0..trials)
+            .filter(|_| has_collision(&d.sample_many(&mut rng, s)))
+            .count();
+        let mc = hits as f64 / trials as f64;
+        let sigma = (exact * (1.0 - exact) / trials as f64).sqrt();
+        assert!(
+            (mc - exact).abs() < 4.0 * sigma + 1e-4,
+            "exact {exact} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn epsilon_one_kills_half_the_domain() {
+        // ε = 1: only n/2 elements have mass (each 2/n); s > n/2 must
+        // always collide.
+        let n = 20;
+        assert_eq!(paninski_all_distinct_probability(n, 1.0, 11), 0.0);
+        assert!(paninski_all_distinct_probability(n, 1.0, 5) > 0.0);
+    }
+
+    #[test]
+    fn oversampled_domain_always_collides() {
+        assert_eq!(paninski_all_distinct_probability(10, 0.0, 11), 0.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Extremal far-from-uniform distribution families.
+//!
+//! Uniformity testers are quantified over *all* distributions that are
+//! ε-far from uniform in L1 distance. In practice (and in lower-bound
+//! proofs) a handful of extremal families capture the hard cases:
+//!
+//! * [`paninski_far`] — the Paninski pair-perturbation family. It is the
+//!   classic worst case for collision-based testers: its collision
+//!   probability is exactly `(1 + ε²)/n`, meeting the paper's Lemma 3.2
+//!   with equality.
+//! * [`heavy_set_far`] — a two-level distribution supported on a subset.
+//! * [`point_mass_mixture`] — uniform mixed with a point mass ("one hot
+//!   element"), modelling e.g. a denial-of-service victim address.
+//! * [`step_far`] — a bucketed step distribution with two mass levels.
+//!
+//! Every constructor takes the desired exact L1 distance `epsilon` from
+//! uniform and guarantees the output's L1 distance equals `epsilon` (up to
+//! floating point), so experiments can sweep ε directly.
+
+use crate::distance::l1_to_uniform;
+use crate::dist::DiscreteDistribution;
+use crate::error::DistributionError;
+use rand::Rng;
+
+fn check_epsilon(epsilon: f64, max: f64) -> Result<(), DistributionError> {
+    if !(epsilon > 0.0 && epsilon <= max && epsilon.is_finite()) {
+        return Err(DistributionError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            expected: "0 < epsilon <= allowed maximum for the family",
+        });
+    }
+    Ok(())
+}
+
+/// The Paninski pair-perturbation family.
+///
+/// The domain is split into `n/2` consecutive pairs; within pair `i` the
+/// two elements get masses `(1 ± ε)/n` (the sign alternating within the
+/// pair). The result has L1 distance exactly `epsilon` from uniform and
+/// collision probability exactly `(1 + ε²)/n` — the minimum possible for
+/// an ε-far distribution (Lemma 3.2 is tight on this family), which makes
+/// it the worst case for collision-based testers.
+///
+/// # Errors
+///
+/// Returns an error when `n` is odd or zero, or when `epsilon` is outside
+/// `(0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_distributions::families::paninski_far;
+/// use dut_distributions::distance::l1_to_uniform;
+///
+/// # fn main() -> Result<(), dut_distributions::DistributionError> {
+/// let d = paninski_far(1000, 0.5)?;
+/// assert!((l1_to_uniform(&d) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn paninski_far(n: usize, epsilon: f64) -> Result<DiscreteDistribution, DistributionError> {
+    if n == 0 {
+        return Err(DistributionError::EmptyDomain);
+    }
+    if !n.is_multiple_of(2) {
+        return Err(DistributionError::IncompatibleDomain {
+            n,
+            reason: "paninski family requires an even domain size",
+        });
+    }
+    check_epsilon(epsilon, 1.0)?;
+    let base = 1.0 / n as f64;
+    let mut pmf = Vec::with_capacity(n);
+    for _ in 0..n / 2 {
+        pmf.push(base * (1.0 + epsilon));
+        pmf.push(base * (1.0 - epsilon));
+    }
+    DiscreteDistribution::from_pmf(pmf)
+}
+
+/// A randomly signed Paninski perturbation: like [`paninski_far`] but the
+/// sign pattern within each pair is chosen by `rng`, producing a random
+/// member of the lower-bound family of [Paninski 2008].
+///
+/// # Errors
+///
+/// Same conditions as [`paninski_far`].
+pub fn paninski_far_random<R: Rng + ?Sized>(
+    n: usize,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<DiscreteDistribution, DistributionError> {
+    if n == 0 {
+        return Err(DistributionError::EmptyDomain);
+    }
+    if !n.is_multiple_of(2) {
+        return Err(DistributionError::IncompatibleDomain {
+            n,
+            reason: "paninski family requires an even domain size",
+        });
+    }
+    check_epsilon(epsilon, 1.0)?;
+    let base = 1.0 / n as f64;
+    let mut pmf = Vec::with_capacity(n);
+    for _ in 0..n / 2 {
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        pmf.push(base * (1.0 + sign * epsilon));
+        pmf.push(base * (1.0 - sign * epsilon));
+    }
+    DiscreteDistribution::from_pmf(pmf)
+}
+
+/// A two-level "heavy set" distribution: uniform on a subset of size `w`,
+/// zero elsewhere, where `w = round(n * (1 - ε/2))` so the L1 distance to
+/// uniform is (almost exactly) `epsilon`.
+///
+/// This family has a much larger collision probability (`n/w · 1/n`) than
+/// the Paninski family at the same distance, so collision-based testers
+/// find it *easier* — useful as a contrast case in experiments.
+///
+/// # Errors
+///
+/// Returns an error when `epsilon` is outside `(0, 2)` or the implied
+/// support would be empty.
+pub fn heavy_set_far(n: usize, epsilon: f64) -> Result<DiscreteDistribution, DistributionError> {
+    if n == 0 {
+        return Err(DistributionError::EmptyDomain);
+    }
+    check_epsilon(epsilon, 1.999_999)?;
+    let w = ((n as f64) * (1.0 - epsilon / 2.0)).round() as usize;
+    if w == 0 || w >= n {
+        return Err(DistributionError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            expected: "epsilon must yield a support size in (0, n)",
+        });
+    }
+    let mut pmf = vec![0.0; n];
+    let mass = 1.0 / w as f64;
+    for p in pmf.iter_mut().take(w) {
+        *p = mass;
+    }
+    DiscreteDistribution::from_pmf(pmf)
+}
+
+/// Uniform mixed with a point mass at `hot`:
+/// `μ = (1 - β) U + β δ_hot` with `β = ε / (2 (1 - 1/n))` so the L1
+/// distance to uniform is exactly `epsilon`.
+///
+/// Models a scenario where one domain element (a DDoS victim address, a
+/// stuck sensor reading) receives excess probability.
+///
+/// # Errors
+///
+/// Returns an error if `hot >= n`, or `epsilon` makes `β` leave `[0, 1]`.
+pub fn point_mass_mixture(
+    n: usize,
+    epsilon: f64,
+    hot: usize,
+) -> Result<DiscreteDistribution, DistributionError> {
+    if n == 0 {
+        return Err(DistributionError::EmptyDomain);
+    }
+    if hot >= n {
+        return Err(DistributionError::InvalidParameter {
+            name: "hot",
+            value: hot as f64,
+            expected: "hot < n",
+        });
+    }
+    if n == 1 {
+        return Err(DistributionError::IncompatibleDomain {
+            n,
+            reason: "point-mass mixture needs n >= 2",
+        });
+    }
+    let beta = epsilon / (2.0 * (1.0 - 1.0 / n as f64));
+    if !(0.0..=1.0).contains(&beta) || epsilon <= 0.0 {
+        return Err(DistributionError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            expected: "epsilon must yield a mixture weight in (0, 1]",
+        });
+    }
+    let base = (1.0 - beta) / n as f64;
+    let mut pmf = vec![base; n];
+    pmf[hot] += beta;
+    DiscreteDistribution::from_pmf(pmf)
+}
+
+/// A bucketed step distribution: the first half of the domain gets mass
+/// `(1 + ε)/n` per element and the second half `(1 - ε)/n`, giving L1
+/// distance exactly `epsilon`.
+///
+/// Unlike [`paninski_far`] the deviation is *spatially correlated*
+/// (all-heavy block then all-light block), which matters for testers that
+/// exploit domain structure but is equivalent for symmetric testers.
+///
+/// # Errors
+///
+/// Returns an error for odd/zero `n` or `epsilon` outside `(0, 1]`.
+pub fn step_far(n: usize, epsilon: f64) -> Result<DiscreteDistribution, DistributionError> {
+    if n == 0 {
+        return Err(DistributionError::EmptyDomain);
+    }
+    if !n.is_multiple_of(2) {
+        return Err(DistributionError::IncompatibleDomain {
+            n,
+            reason: "step family requires an even domain size",
+        });
+    }
+    check_epsilon(epsilon, 1.0)?;
+    let base = 1.0 / n as f64;
+    let mut pmf = vec![base * (1.0 + epsilon); n / 2];
+    pmf.extend(std::iter::repeat_n(base * (1.0 - epsilon), n / 2));
+    DiscreteDistribution::from_pmf(pmf)
+}
+
+/// A random distribution at L1 distance *at least* `epsilon` from uniform,
+/// produced by drawing a random Paninski sign pattern and then applying a
+/// random domain permutation. Useful for fuzzing testers against
+/// non-adversarial far instances.
+///
+/// # Errors
+///
+/// Same conditions as [`paninski_far`].
+pub fn random_far<R: Rng + ?Sized>(
+    n: usize,
+    epsilon: f64,
+    rng: &mut R,
+) -> Result<DiscreteDistribution, DistributionError> {
+    let d = paninski_far_random(n, epsilon, rng)?;
+    // Fisher-Yates permutation of the domain.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    Ok(d.permute(&perm))
+}
+
+/// Catalogue of named far families, used by experiment harnesses to sweep
+/// over all families uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FarFamily {
+    /// [`paninski_far`] — minimal collision probability (hardest).
+    Paninski,
+    /// [`heavy_set_far`] — two-level support restriction.
+    HeavySet,
+    /// [`point_mass_mixture`] — uniform plus one hot element.
+    PointMass,
+    /// [`step_far`] — block-correlated deviation.
+    Step,
+}
+
+impl FarFamily {
+    /// All families, in catalogue order.
+    pub const ALL: [FarFamily; 4] = [
+        FarFamily::Paninski,
+        FarFamily::HeavySet,
+        FarFamily::PointMass,
+        FarFamily::Step,
+    ];
+
+    /// Short machine-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FarFamily::Paninski => "paninski",
+            FarFamily::HeavySet => "heavy-set",
+            FarFamily::PointMass => "point-mass",
+            FarFamily::Step => "step",
+        }
+    }
+
+    /// Instantiates the family at domain size `n` and distance `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the family constructor's error conditions.
+    pub fn instantiate(&self, n: usize, epsilon: f64) -> Result<DiscreteDistribution, DistributionError> {
+        match self {
+            FarFamily::Paninski => paninski_far(n, epsilon),
+            FarFamily::HeavySet => heavy_set_far(n, epsilon),
+            FarFamily::PointMass => point_mass_mixture(n, epsilon, 0),
+            FarFamily::Step => step_far(n, epsilon),
+        }
+    }
+}
+
+/// Verifies that `d` is at L1 distance at least `epsilon - tolerance` from
+/// uniform. Experiment harnesses call this as a sanity check after
+/// constructing far instances.
+pub fn is_epsilon_far(d: &DiscreteDistribution, epsilon: f64, tolerance: f64) -> bool {
+    l1_to_uniform(d) >= epsilon - tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::collision_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paninski_l1_distance_is_exact() {
+        for &eps in &[0.1, 0.25, 0.5, 1.0] {
+            let d = paninski_far(100, eps).unwrap();
+            assert!(
+                (l1_to_uniform(&d) - eps).abs() < 1e-12,
+                "eps = {eps}: got {}",
+                l1_to_uniform(&d)
+            );
+        }
+    }
+
+    #[test]
+    fn paninski_collision_probability_meets_lemma_3_2_with_equality() {
+        let n = 2048;
+        let eps = 0.5;
+        let d = paninski_far(n, eps).unwrap();
+        let chi = collision_probability(&d);
+        let bound = (1.0 + eps * eps) / n as f64;
+        assert!((chi - bound).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paninski_rejects_odd_domain() {
+        let err = paninski_far(7, 0.5).unwrap_err();
+        assert!(matches!(err, DistributionError::IncompatibleDomain { .. }));
+    }
+
+    #[test]
+    fn paninski_rejects_bad_epsilon() {
+        assert!(paninski_far(8, 0.0).is_err());
+        assert!(paninski_far(8, 1.5).is_err());
+        assert!(paninski_far(8, -0.1).is_err());
+        assert!(paninski_far(8, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn paninski_random_has_exact_distance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = paninski_far_random(64, 0.3, &mut rng).unwrap();
+        assert!((l1_to_uniform(&d) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_set_distance_close_to_epsilon() {
+        let d = heavy_set_far(10_000, 0.5).unwrap();
+        // Rounding of the support size w introduces O(1/n) slack.
+        assert!((l1_to_uniform(&d) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn heavy_set_support_size() {
+        let d = heavy_set_far(1000, 0.5).unwrap();
+        assert_eq!(d.support().len(), 750);
+    }
+
+    #[test]
+    fn heavy_set_collision_probability_exceeds_paninski() {
+        let n = 1000;
+        let eps = 0.5;
+        let heavy = heavy_set_far(n, eps).unwrap();
+        let pan = paninski_far(n, eps).unwrap();
+        assert!(collision_probability(&heavy) > collision_probability(&pan));
+    }
+
+    #[test]
+    fn point_mass_distance_is_exact() {
+        let d = point_mass_mixture(1000, 0.4, 17).unwrap();
+        assert!((l1_to_uniform(&d) - 0.4).abs() < 1e-12);
+        // hot element got the extra mass
+        assert!(d.pmf(17) > d.pmf(16));
+    }
+
+    #[test]
+    fn point_mass_rejects_out_of_range_hot() {
+        assert!(point_mass_mixture(10, 0.3, 10).is_err());
+    }
+
+    #[test]
+    fn step_distance_is_exact() {
+        let d = step_far(512, 0.7).unwrap();
+        assert!((l1_to_uniform(&d) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_far_preserves_distance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = random_far(256, 0.5, &mut rng).unwrap();
+        assert!((l1_to_uniform(&d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_catalogue_families_instantiate_and_are_far() {
+        for fam in FarFamily::ALL {
+            let d = fam.instantiate(1024, 0.5).unwrap();
+            assert!(
+                is_epsilon_far(&d, 0.5, 1e-2),
+                "family {} not epsilon-far",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let names: Vec<&str> = FarFamily::ALL.iter().map(|f| f.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! Sample histograms and empirical statistics.
+//!
+//! Symmetric properties of distributions (uniformity among them) depend
+//! on samples only through their histogram. This module provides the
+//! histogram type plus empirical estimators used by baselines and
+//! experiment harnesses.
+
+use std::collections::HashMap;
+
+/// A histogram of samples from a domain `{0, .., n-1}`.
+///
+/// Stores only the non-zero counts, so it is cheap even when the domain is
+/// huge and the sample set tiny (the regime of the paper's gap tester).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: HashMap<usize, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Builds a histogram from samples.
+    pub fn from_samples(samples: &[usize]) -> Self {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, x: usize) {
+        *self.counts.entry(x).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count of element `x`.
+    pub fn count(&self, x: usize) -> u64 {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct elements observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of colliding (unordered) pairs: `Σ_x C(count(x), 2)`.
+    pub fn collision_pairs(&self) -> u64 {
+        self.counts.values().map(|&c| c * (c - 1) / 2).sum()
+    }
+
+    /// Whether any element was observed more than once.
+    pub fn has_collision(&self) -> bool {
+        self.counts.values().any(|&c| c > 1)
+    }
+
+    /// Unbiased estimate of the collision probability `χ(μ)`:
+    /// `collision_pairs / C(total, 2)`.
+    ///
+    /// Returns `None` with fewer than two samples.
+    pub fn collision_probability_estimate(&self) -> Option<f64> {
+        if self.total < 2 {
+            return None;
+        }
+        let pairs = self.collision_pairs() as f64;
+        let denom = (self.total * (self.total - 1) / 2) as f64;
+        Some(pairs / denom)
+    }
+
+    /// Iterates over `(element, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(&x, &c)| (x, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (x, c) in other.iter() {
+            *self.counts.entry(x).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Extend<usize> for Histogram {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::{collision_pair_count, collision_probability};
+    use crate::families::paninski_far;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.collision_pairs(), 0);
+        assert!(!h.has_collision());
+        assert_eq!(h.collision_probability_estimate(), None);
+    }
+
+    #[test]
+    fn counts_and_collisions() {
+        let h = Histogram::from_samples(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.collision_pairs(), 1 + 3);
+        assert!(h.has_collision());
+    }
+
+    #[test]
+    fn pair_count_agrees_with_direct_function() {
+        let samples = [5usize, 1, 5, 5, 2, 1];
+        let h = Histogram::from_samples(&samples);
+        assert_eq!(h.collision_pairs(), collision_pair_count(&samples));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::from_samples(&[1, 2]);
+        let b = Histogram::from_samples(&[2, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert!(a.has_collision());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let h: Histogram = vec![1usize, 1, 2].into_iter().collect();
+        assert_eq!(h.total(), 3);
+        let mut h2 = h.clone();
+        h2.extend(vec![2usize, 3]);
+        assert_eq!(h2.total(), 5);
+        assert_eq!(h2.count(2), 2);
+    }
+
+    #[test]
+    fn chi_estimator_is_consistent() {
+        // With many samples, the estimator should approach the true chi.
+        let d = paninski_far(64, 0.8).unwrap();
+        let truth = collision_probability(&d);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = d.sample_many(&mut rng, 200_000);
+        let h = Histogram::from_samples(&samples);
+        let est = h.collision_probability_estimate().unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.02,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn chi_estimator_requires_two_samples() {
+        let h = Histogram::from_samples(&[7]);
+        assert_eq!(h.collision_probability_estimate(), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! Information-theoretic measures: entropy, collision entropy, KL
+//! divergence, and the paper's Lemma 2.1.
+//!
+//! Lemma 2.1 is the quantitative heart of the paper's lower bound: to
+//! separate acceptance probability `1 − δ` from `1 − τδ`, a tester's
+//! one-bit output must carry KL divergence at least `(δ/4)(τ − 1 − ln τ)`.
+//! All logarithms here are natural.
+
+use crate::dist::DiscreteDistribution;
+use crate::error::DistributionError;
+
+/// Shannon entropy `H(μ) = −Σ μ(x) ln μ(x)` in nats.
+pub fn shannon_entropy(mu: &DiscreteDistribution) -> f64 {
+    mu.pmf_slice()
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Collision (Rényi-2) entropy `H₂(μ) = −ln Σ μ(x)² = −ln χ(μ)` in nats.
+///
+/// High collision entropy implies low collision probability — the
+/// property the paper's corrected Equality lower bound relies on (the
+/// original proof in Bottesch–Gavinsky–Klauck used Shannon entropy, which
+/// does not imply low collision probability; the paper fixes this by
+/// switching to H₂).
+pub fn collision_entropy(mu: &DiscreteDistribution) -> f64 {
+    -crate::collision::collision_probability(mu).ln()
+}
+
+/// KL divergence `D(μ ‖ η) = Σ μ(x) ln(μ(x)/η(x))` in nats.
+///
+/// # Errors
+///
+/// Returns [`DistributionError::IncompatibleDomain`] on domain mismatch,
+/// and [`DistributionError::InvalidParameter`] if absolute continuity
+/// fails (some `x` has `μ(x) > 0` but `η(x) = 0`, making the divergence
+/// infinite).
+pub fn kl_divergence(
+    mu: &DiscreteDistribution,
+    eta: &DiscreteDistribution,
+) -> Result<f64, DistributionError> {
+    if mu.domain_size() != eta.domain_size() {
+        return Err(DistributionError::IncompatibleDomain {
+            n: eta.domain_size(),
+            reason: "KL divergence requires equal domain sizes",
+        });
+    }
+    let mut d = 0.0;
+    for (x, (&p, &q)) in mu.pmf_slice().iter().zip(eta.pmf_slice()).enumerate() {
+        if p > 0.0 {
+            if q <= 0.0 {
+                return Err(DistributionError::InvalidParameter {
+                    name: "eta",
+                    value: x as f64,
+                    expected: "eta must dominate mu (absolute continuity)",
+                });
+            }
+            d += p * (p / q).ln();
+        }
+    }
+    Ok(d.max(0.0))
+}
+
+/// KL divergence between Bernoulli distributions:
+/// `D(B_a ‖ B_b) = a ln(a/b) + (1−a) ln((1−a)/(1−b))` in nats.
+///
+/// Conventions: terms with `a ∈ {0, 1}` use `0 ln 0 = 0`; returns
+/// `f64::INFINITY` when absolute continuity fails.
+pub fn bernoulli_kl(a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a), "a must be a probability");
+    assert!((0.0..=1.0).contains(&b), "b must be a probability");
+    let term = |p: f64, q: f64| -> f64 {
+        if p == 0.0 {
+            0.0
+        } else if q == 0.0 {
+            f64::INFINITY
+        } else {
+            p * (p / q).ln()
+        }
+    };
+    (term(a, b) + term(1.0 - a, 1.0 - b)).max(0.0)
+}
+
+/// The function `f(τ) = τ − 1 − ln τ` from the paper's lower bounds
+/// (Theorem 7.2 and Lemma 2.1). Positive for all `τ ≠ 1`, zero at `τ = 1`.
+pub fn f_tau(tau: f64) -> f64 {
+    assert!(tau > 0.0, "tau must be positive");
+    tau - 1.0 - tau.ln()
+}
+
+/// The Lemma 2.1 lower bound: for `δ ∈ (0, 1/4)` and `τ ∈ (1, 1/δ)`,
+/// `D(B_{1−δ} ‖ B_{1−τδ}) ≥ (δ/4)(τ − 1 − ln τ)`.
+///
+/// Returns the pair `(lhs, rhs)` so callers (tests, Experiment E9) can
+/// verify the inequality and measure its slack.
+///
+/// # Panics
+///
+/// Panics if the parameters are outside the lemma's range.
+pub fn lemma_2_1(delta: f64, tau: f64) -> (f64, f64) {
+    assert!(
+        delta > 0.0 && delta < 0.25,
+        "lemma 2.1 requires delta in (0, 1/4)"
+    );
+    assert!(
+        tau > 1.0 && tau < 1.0 / delta,
+        "lemma 2.1 requires tau in (1, 1/delta)"
+    );
+    let lhs = bernoulli_kl(1.0 - delta, 1.0 - tau * delta);
+    let rhs = delta / 4.0 * f_tau(tau);
+    (lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::paninski_far;
+
+    #[test]
+    fn uniform_entropy_is_ln_n() {
+        let u = DiscreteDistribution::uniform(128);
+        assert!((shannon_entropy(&u) - (128f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_entropy_is_zero() {
+        let d = DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap();
+        assert_eq!(shannon_entropy(&d), 0.0);
+    }
+
+    #[test]
+    fn collision_entropy_of_uniform_is_ln_n() {
+        let u = DiscreteDistribution::uniform(256);
+        assert!((collision_entropy(&u) - (256f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_entropy_below_shannon() {
+        // H2 <= H always, strictly unless uniform on support.
+        let d = paninski_far(128, 0.5).unwrap();
+        assert!(collision_entropy(&d) < shannon_entropy(&d));
+    }
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let d = paninski_far(64, 0.3).unwrap();
+        assert!(kl_divergence(&d, &d).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative() {
+        let u = DiscreteDistribution::uniform(64);
+        let d = paninski_far(64, 0.5).unwrap();
+        assert!(kl_divergence(&d, &u).unwrap() >= 0.0);
+        assert!(kl_divergence(&u, &d).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn kl_detects_absolute_continuity_failure() {
+        let a = DiscreteDistribution::from_pmf(vec![0.5, 0.5]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap();
+        assert!(kl_divergence(&a, &b).is_err());
+        // The other direction is fine (0 ln 0 = 0).
+        assert!(kl_divergence(&b, &a).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_kl_zero_at_equal() {
+        assert!(bernoulli_kl(0.3, 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bernoulli_kl_matches_generic() {
+        let a = DiscreteDistribution::from_pmf(vec![0.3, 0.7]).unwrap();
+        let b = DiscreteDistribution::from_pmf(vec![0.6, 0.4]).unwrap();
+        let generic = kl_divergence(&a, &b).unwrap();
+        let special = bernoulli_kl(0.3, 0.6);
+        assert!((generic - special).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_kl_infinite_without_absolute_continuity() {
+        assert!(bernoulli_kl(0.5, 0.0).is_infinite());
+        assert!(bernoulli_kl(0.5, 1.0).is_infinite());
+        // but degenerate p matching degenerate q is fine
+        assert_eq!(bernoulli_kl(0.0, 0.0), 0.0);
+        assert_eq!(bernoulli_kl(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn f_tau_properties() {
+        assert!(f_tau(1.0).abs() < 1e-15);
+        assert!(f_tau(2.0) > 0.0);
+        assert!(f_tau(0.5) > 0.0);
+        // f is increasing for tau > 1
+        assert!(f_tau(3.0) > f_tau(2.0));
+    }
+
+    #[test]
+    fn lemma_2_1_holds_on_a_grid() {
+        for &delta in &[0.01, 0.05, 0.1, 0.2, 0.24] {
+            for &tau in &[1.01, 1.5, 2.0, 3.0] {
+                if tau < 1.0 / delta {
+                    let (lhs, rhs) = lemma_2_1(delta, tau);
+                    assert!(
+                        lhs >= rhs,
+                        "lemma 2.1 fails at delta={delta}, tau={tau}: {lhs} < {rhs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn lemma_2_1_rejects_large_delta() {
+        let _ = lemma_2_1(0.3, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn lemma_2_1_rejects_tau_out_of_range() {
+        let _ = lemma_2_1(0.1, 11.0);
+    }
+}

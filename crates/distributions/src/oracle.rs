@@ -1,0 +1,117 @@
+//! Sample oracles: how testers obtain iid samples.
+//!
+//! Testers in the paper are oblivious to *where* samples come from — they
+//! only draw iid samples from an unknown μ. [`SampleOracle`] abstracts
+//! that access so the same tester code runs against a concrete
+//! distribution, a recorded trace, or a filtered stream (the identity-to-
+//! uniformity reduction wraps one oracle in another).
+
+use crate::dist::DiscreteDistribution;
+use rand::Rng;
+
+/// A source of iid samples over the domain `{0, .., n-1}`.
+///
+/// Implementors must return iid samples from a fixed (but possibly
+/// unknown to the caller) distribution. The RNG is threaded through
+/// explicitly so experiments are reproducible.
+pub trait SampleOracle {
+    /// The domain size `n` (testers need to know `n`, per the paper's §2).
+    fn domain_size(&self) -> usize;
+
+    /// Draws one sample.
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
+
+    /// Draws `count` iid samples.
+    fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.draw(rng)).collect()
+    }
+}
+
+/// The basic oracle: samples from an explicit [`DiscreteDistribution`].
+#[derive(Debug, Clone)]
+pub struct DistributionOracle {
+    dist: DiscreteDistribution,
+}
+
+impl DistributionOracle {
+    /// Wraps a distribution as an oracle.
+    pub fn new(dist: DiscreteDistribution) -> Self {
+        DistributionOracle { dist }
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &DiscreteDistribution {
+        &self.dist
+    }
+
+    /// Unwraps the oracle.
+    pub fn into_inner(self) -> DiscreteDistribution {
+        self.dist
+    }
+}
+
+impl From<DiscreteDistribution> for DistributionOracle {
+    fn from(dist: DiscreteDistribution) -> Self {
+        DistributionOracle::new(dist)
+    }
+}
+
+impl SampleOracle for DistributionOracle {
+    fn domain_size(&self) -> usize {
+        self.dist.domain_size()
+    }
+
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dist.sample(rng)
+    }
+}
+
+impl SampleOracle for DiscreteDistribution {
+    fn domain_size(&self) -> usize {
+        DiscreteDistribution::domain_size(self)
+    }
+
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_matches_distribution() {
+        let d = DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap();
+        let oracle = DistributionOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(oracle.domain_size(), 2);
+        for _ in 0..50 {
+            assert_eq!(oracle.draw(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn draw_many_length() {
+        let oracle = DistributionOracle::from(DiscreteDistribution::uniform(8));
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(oracle.draw_many(&mut rng, 17).len(), 17);
+    }
+
+    #[test]
+    fn distribution_is_itself_an_oracle() {
+        let d = DiscreteDistribution::uniform(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SampleOracle::draw(&d, &mut rng);
+        assert!(s < 4);
+    }
+
+    #[test]
+    fn into_inner_round_trip() {
+        let d = DiscreteDistribution::uniform(5);
+        let oracle = DistributionOracle::new(d.clone());
+        assert_eq!(oracle.into_inner(), d);
+    }
+}

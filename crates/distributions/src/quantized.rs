@@ -1,0 +1,206 @@
+//! Quantized continuous distributions — the paper's sensor scenario.
+//!
+//! The introduction motivates testing with "a sensor network monitoring
+//! temperatures at a manufacturing plant, with their measurements
+//! subject to Gaussian noise": each sensor reading is a continuous
+//! value quantized into one of `n` buckets, and the network tests
+//! whether the live bucket distribution still matches the commissioned
+//! reference (identity testing — which §1 reduces to uniformity via the
+//! filter).
+//!
+//! [`QuantizedGaussian`] builds the exact bucket distribution of
+//! `N(mean, sigma²)` clipped to a range and quantized into `n` equal
+//! buckets, so experiments can construct both the reference and drifted
+//! variants (mean shift, variance growth) with known L1 distances.
+
+use crate::dist::DiscreteDistribution;
+use crate::error::DistributionError;
+
+/// The standard normal CDF Φ, via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (absolute error < 1.5e-7 — far below the bucket
+/// granularity of any quantization).
+pub fn normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+/// The error function, Abramowitz–Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t) * (-x * x).exp();
+    sign * y
+}
+
+/// A Gaussian measurement model quantized into `n` equal buckets over
+/// `[lo, hi]` (probability mass outside the range is clipped into the
+/// boundary buckets, as a saturating sensor would).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGaussian {
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+    n: usize,
+}
+
+impl QuantizedGaussian {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::InvalidParameter`] for non-positive
+    /// `sigma`, an empty range, or `n == 0`.
+    pub fn new(n: usize, mean: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, DistributionError> {
+        if n == 0 {
+            return Err(DistributionError::EmptyDomain);
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(DistributionError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                expected: "sigma > 0",
+            });
+        }
+        if lo >= hi {
+            return Err(DistributionError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+                expected: "lo < hi",
+            });
+        }
+        Ok(QuantizedGaussian {
+            mean,
+            sigma,
+            lo,
+            hi,
+            n,
+        })
+    }
+
+    /// The exact bucket distribution: bucket `i` covers
+    /// `[lo + i·w, lo + (i+1)·w)` with `w = (hi−lo)/n`; the first and
+    /// last buckets absorb the clipped tails.
+    pub fn to_distribution(&self) -> DiscreteDistribution {
+        let w = (self.hi - self.lo) / self.n as f64;
+        let z = |x: f64| normal_cdf((x - self.mean) / self.sigma);
+        let mut pmf = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let a = self.lo + i as f64 * w;
+            let b = a + w;
+            let mut mass = z(b) - z(a);
+            if i == 0 {
+                mass += z(a) - 0.0; // left tail clips into bucket 0
+            }
+            if i == self.n - 1 {
+                mass += 1.0 - z(b); // right tail clips into the last bucket
+            }
+            pmf.push(mass.max(0.0));
+        }
+        // Renormalize the approximation residue (|err| < 1e-6).
+        let total: f64 = pmf.iter().sum();
+        for p in pmf.iter_mut() {
+            *p /= total;
+        }
+        DiscreteDistribution::from_pmf(pmf).expect("normalized by construction")
+    }
+
+    /// The same sensor with a shifted mean (calibration drift).
+    pub fn with_mean(&self, mean: f64) -> QuantizedGaussian {
+        QuantizedGaussian { mean, ..*self }
+    }
+
+    /// The same sensor with a different noise level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn with_sigma(&self, sigma: f64) -> QuantizedGaussian {
+        assert!(sigma > 0.0, "sigma must be positive");
+        QuantizedGaussian { sigma, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::l1_distance;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        for &x in &[0.5f64, 1.0, 2.0] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantized_gaussian_is_normalized_and_unimodal() {
+        let q = QuantizedGaussian::new(100, 20.0, 2.0, 10.0, 30.0).unwrap();
+        let d = q.to_distribution();
+        let total: f64 = d.pmf_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Mode at the mean's bucket (bucket 50).
+        let mode = d
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((49..=51).contains(&mode), "mode at {mode}");
+    }
+
+    #[test]
+    fn tails_clip_into_boundary_buckets() {
+        // Mean far above the range: all mass lands in the last bucket.
+        let q = QuantizedGaussian::new(10, 100.0, 1.0, 0.0, 10.0).unwrap();
+        let d = q.to_distribution();
+        assert!(d.pmf(9) > 0.999);
+    }
+
+    #[test]
+    fn mean_shift_increases_l1_distance() {
+        let q = QuantizedGaussian::new(64, 0.0, 1.0, -4.0, 4.0).unwrap();
+        let base = q.to_distribution();
+        let small = q.with_mean(0.2).to_distribution();
+        let large = q.with_mean(1.0).to_distribution();
+        let d_small = l1_distance(&small, &base).unwrap();
+        let d_large = l1_distance(&large, &base).unwrap();
+        assert!(d_small > 0.0);
+        assert!(d_large > d_small);
+    }
+
+    #[test]
+    fn sigma_growth_flattens_distribution() {
+        let q = QuantizedGaussian::new(64, 0.0, 1.0, -4.0, 4.0).unwrap();
+        let narrow = q.to_distribution();
+        let wide = q.with_sigma(3.0).to_distribution();
+        // Wider noise → smaller collision probability (flatter).
+        use crate::collision::collision_probability;
+        assert!(collision_probability(&wide) < collision_probability(&narrow));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(QuantizedGaussian::new(0, 0.0, 1.0, 0.0, 1.0).is_err());
+        assert!(QuantizedGaussian::new(10, 0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(QuantizedGaussian::new(10, 0.0, 1.0, 1.0, 1.0).is_err());
+    }
+}

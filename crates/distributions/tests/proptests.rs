@@ -1,0 +1,197 @@
+//! Property-based tests for the distribution toolkit.
+
+use dut_distributions::collision::{
+    collision_probability, lemma_3_2_bound, wiener_no_collision_upper_bound,
+};
+use dut_distributions::distance::{l1_distance, l1_to_uniform, l2_squared_to_uniform};
+use dut_distributions::families::{paninski_far, point_mass_mixture, step_far, FarFamily};
+use dut_distributions::histogram::Histogram;
+use dut_distributions::info::{bernoulli_kl, f_tau, lemma_2_1, shannon_entropy};
+use dut_distributions::DiscreteDistribution;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_pmf(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, 2..max_n).prop_map(|w| {
+        let total: f64 = w.iter().sum();
+        w.into_iter().map(|x| x / total).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn pmf_construction_round_trips(pmf in arb_pmf(64)) {
+        let d = DiscreteDistribution::from_pmf(pmf.clone()).unwrap();
+        prop_assert_eq!(d.domain_size(), pmf.len());
+        for (i, &p) in pmf.iter().enumerate() {
+            prop_assert!((d.pmf(i) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain(pmf in arb_pmf(32), seed in any::<u64>()) {
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) < d.domain_size());
+        }
+    }
+
+    #[test]
+    fn l1_triangle_inequality(a in arb_pmf(16), b in arb_pmf(16), c in arb_pmf(16)) {
+        // Restrict to a common domain size.
+        let n = a.len().min(b.len()).min(c.len());
+        let renorm = |v: &[f64]| {
+            let s: f64 = v[..n].iter().sum();
+            DiscreteDistribution::from_pmf(v[..n].iter().map(|x| x / s).collect()).unwrap()
+        };
+        let (da, db, dc) = (renorm(&a), renorm(&b), renorm(&c));
+        let ab = l1_distance(&da, &db).unwrap();
+        let bc = l1_distance(&db, &dc).unwrap();
+        let ac = l1_distance(&da, &dc).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn chi_at_least_inverse_support(pmf in arb_pmf(32)) {
+        // χ(μ) ≥ 1/|support| with equality iff uniform on support.
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let chi = collision_probability(&d);
+        prop_assert!(chi >= 1.0 / d.support().len() as f64 - 1e-12);
+        prop_assert!(chi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn lemma_3_2_on_families(n_half in 8usize..512, eps in 0.05f64..1.0) {
+        let n = 2 * n_half;
+        for fam in FarFamily::ALL {
+            if let Ok(d) = fam.instantiate(n, eps) {
+                let real_eps = l1_to_uniform(&d);
+                // Lemma 3.2 at the *realized* distance.
+                prop_assert!(
+                    collision_probability(&d) >= lemma_3_2_bound(n, real_eps) - 1e-9,
+                    "family {} at eps {}", fam.name(), eps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paninski_distance_exact(n_half in 4usize..1000, eps in 0.01f64..1.0) {
+        let d = paninski_far(2 * n_half, eps).unwrap();
+        prop_assert!((l1_to_uniform(&d) - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_distance_exact(n_half in 4usize..1000, eps in 0.01f64..1.0) {
+        let d = step_far(2 * n_half, eps).unwrap();
+        prop_assert!((l1_to_uniform(&d) - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_mass_distance_exact(n in 4usize..1000, eps in 0.01f64..0.9, hot_frac in 0.0f64..1.0) {
+        let hot = ((n as f64 - 1.0) * hot_frac) as usize;
+        let d = point_mass_mixture(n, eps, hot).unwrap();
+        prop_assert!((l1_to_uniform(&d) - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_l1_cauchy_schwarz(pmf in arb_pmf(64)) {
+        // ‖μ−U‖₁² ≤ n·‖μ−U‖₂².
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let n = d.domain_size() as f64;
+        let l1 = l1_to_uniform(&d);
+        let l2sq = l2_squared_to_uniform(&d);
+        prop_assert!(l1 * l1 <= n * l2sq + 1e-9);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_n(pmf in arb_pmf(64)) {
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let h = shannon_entropy(&d);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (d.domain_size() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_kl_nonnegative(a in 0.0f64..1.0, b in 0.001f64..0.999) {
+        prop_assert!(bernoulli_kl(a, b) >= 0.0);
+    }
+
+    #[test]
+    fn lemma_2_1_random_points(delta in 0.001f64..0.249, t in 0.01f64..1.0) {
+        // tau uniform in (1, min(4, 1/delta))
+        let tau = 1.0 + t * ((1.0 / delta).min(4.0) - 1.0) * 0.999;
+        if tau > 1.0 {
+            let (lhs, rhs) = lemma_2_1(delta, tau);
+            prop_assert!(lhs >= rhs - 1e-12, "delta={delta} tau={tau}");
+        }
+    }
+
+    #[test]
+    fn f_tau_positive_off_one(tau in 0.01f64..10.0) {
+        if (tau - 1.0).abs() > 1e-6 {
+            prop_assert!(f_tau(tau) > 0.0);
+        }
+    }
+
+    #[test]
+    fn wiener_bound_monotone_in_samples(chi_inv in 10u32..100_000, s in 2usize..200) {
+        let chi = 1.0 / chi_inv as f64;
+        let b1 = wiener_no_collision_upper_bound(s, chi);
+        let b2 = wiener_no_collision_upper_bound(s + 1, chi);
+        prop_assert!(b2 <= b1 + 1e-12, "more samples must not raise the bound");
+    }
+
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in proptest::collection::vec(0usize..50, 0..100),
+        b in proptest::collection::vec(0usize..50, 0..100),
+    ) {
+        let mut ha = Histogram::from_samples(&a);
+        let hb = Histogram::from_samples(&b);
+        ha.merge(&hb);
+        let mut concat = a.clone();
+        concat.extend(&b);
+        let hc = Histogram::from_samples(&concat);
+        prop_assert_eq!(ha, hc);
+    }
+
+    #[test]
+    fn histogram_collision_pairs_formula(samples in proptest::collection::vec(0usize..20, 0..200)) {
+        let h = Histogram::from_samples(&samples);
+        // Σ C(c,2) computed independently.
+        let mut counts = [0u64; 20];
+        for &s in &samples {
+            counts[s] += 1;
+        }
+        let expected: u64 = counts.iter().map(|&c| c * (c.saturating_sub(1)) / 2).sum();
+        prop_assert_eq!(h.collision_pairs(), expected);
+    }
+
+    #[test]
+    fn mix_preserves_normalization(a in arb_pmf(32), beta in 0.0f64..1.0) {
+        let d = DiscreteDistribution::from_pmf(a).unwrap();
+        let u = DiscreteDistribution::uniform(d.domain_size());
+        let m = d.mix(&u, beta).unwrap();
+        let total: f64 = m.pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_preserves_chi_and_entropy(pmf in arb_pmf(32), seed in any::<u64>()) {
+        let d = DiscreteDistribution::from_pmf(pmf).unwrap();
+        let n = d.domain_size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            perm.swap(i, j);
+        }
+        let p = d.permute(&perm);
+        prop_assert!((collision_probability(&d) - collision_probability(&p)).abs() < 1e-12);
+        prop_assert!((shannon_entropy(&d) - shannon_entropy(&p)).abs() < 1e-9);
+        prop_assert!((l1_to_uniform(&d) - l1_to_uniform(&p)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Hamming distance and minimum-distance estimation utilities.
+
+use crate::BinaryCode;
+use rand::Rng;
+
+/// Hamming distance between two bit-packed words slices, counting only
+/// the first `bits` bits.
+///
+/// # Panics
+///
+/// Panics if either slice is too short for `bits`.
+pub fn hamming_distance(a: &[u64], b: &[u64], bits: usize) -> usize {
+    let words = bits.div_ceil(64);
+    assert!(a.len() >= words && b.len() >= words, "slices too short");
+    let mut d = 0usize;
+    for i in 0..words {
+        let mut x = a[i] ^ b[i];
+        if i == words - 1 && !bits.is_multiple_of(64) {
+            x &= (1u64 << (bits % 64)) - 1;
+        }
+        d += x.count_ones() as usize;
+    }
+    d
+}
+
+/// Hamming weight of the first `bits` bits.
+pub fn hamming_weight(a: &[u64], bits: usize) -> usize {
+    let zeros = vec![0u64; bits.div_ceil(64)];
+    hamming_distance(a, &zeros, bits)
+}
+
+/// Exact minimum distance of a *linear* code by exhaustive enumeration
+/// of all nonzero messages — feasible for input lengths up to ~20 bits.
+///
+/// # Panics
+///
+/// Panics if `code.input_bits() > 24` (enumeration would be too slow).
+pub fn exact_min_distance_linear(code: &dyn BinaryCode) -> usize {
+    let k = code.input_bits();
+    assert!(k <= 24, "exhaustive enumeration limited to 24-bit inputs");
+    let mut min_d = usize::MAX;
+    for msg in 1u64..(1u64 << k) {
+        let cw = code.encode(&[msg]);
+        min_d = min_d.min(hamming_weight(&cw, code.output_bits()));
+    }
+    min_d
+}
+
+/// Estimates the minimum distance of any code by sampling random
+/// distinct message pairs; returns the smallest distance observed.
+/// An upper bound on the true minimum distance (and for well-behaved
+/// ensembles, a useful indicator).
+pub fn sampled_min_distance<R: Rng + ?Sized>(
+    code: &dyn BinaryCode,
+    pairs: usize,
+    rng: &mut R,
+) -> usize {
+    let k = code.input_bits();
+    let words = k.div_ceil(64);
+    let mask_last = if k.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (k % 64)) - 1
+    };
+    let mut min_d = usize::MAX;
+    for _ in 0..pairs {
+        let mut a: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let mut b: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        a[words - 1] &= mask_last;
+        b[words - 1] &= mask_last;
+        if a == b {
+            continue;
+        }
+        let ca = code.encode(&a);
+        let cb = code.encode(&b);
+        min_d = min_d.min(hamming_distance(&ca, &cb, code.output_bits()));
+    }
+    min_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_distance_basic() {
+        assert_eq!(hamming_distance(&[0b1010], &[0b0110], 4), 2);
+        assert_eq!(hamming_distance(&[u64::MAX], &[0], 64), 64);
+        assert_eq!(hamming_distance(&[u64::MAX], &[0], 10), 10);
+    }
+
+    #[test]
+    fn hamming_distance_multiword() {
+        let a = [u64::MAX, 0b111];
+        let b = [0u64, 0];
+        assert_eq!(hamming_distance(&a, &b, 67), 67);
+        assert_eq!(hamming_distance(&a, &b, 66), 66);
+    }
+
+    #[test]
+    fn weight_equals_distance_from_zero() {
+        assert_eq!(hamming_weight(&[0b1011], 4), 3);
+        assert_eq!(hamming_weight(&[0], 64), 0);
+    }
+
+    #[test]
+    fn exact_min_distance_of_repetition_code() {
+        /// 1 bit → 5 copies.
+        #[derive(Debug)]
+        struct Rep5;
+        impl crate::BinaryCode for Rep5 {
+            fn input_bits(&self) -> usize {
+                1
+            }
+            fn output_bits(&self) -> usize {
+                5
+            }
+            fn encode(&self, message: &[u64]) -> Vec<u64> {
+                vec![if message[0] & 1 == 1 { 0b11111 } else { 0 }]
+            }
+        }
+        assert_eq!(exact_min_distance_linear(&Rep5), 5);
+    }
+}

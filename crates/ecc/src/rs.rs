@@ -1,0 +1,193 @@
+//! Reed–Solomon codes over `GF(2^m)` (evaluation encoding).
+//!
+//! The message `(c_0, …, c_{K−1})` defines the polynomial
+//! `p(x) = Σ c_i x^i`, and the codeword is `(p(a_1), …, p(a_N))` for `N`
+//! distinct evaluation points. Since a nonzero degree-`< K` polynomial
+//! has at most `K−1` roots, distinct messages agree on at most `K−1`
+//! positions: the code is MDS with distance `N − K + 1`.
+
+use crate::gf::GaloisField;
+
+/// A Reed–Solomon code `[N, K]` over a shared field.
+#[derive(Debug, Clone)]
+pub struct RsCode<'f> {
+    field: &'f GaloisField,
+    n: usize,
+    k: usize,
+    /// Evaluation points: `0, α^0, α^1, …` (distinct field elements).
+    points: Vec<u16>,
+}
+
+impl<'f> RsCode<'f> {
+    /// Creates an `[n, k]` RS code over `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ n ≤ 2^m` (need `n` distinct evaluation
+    /// points).
+    pub fn new(field: &'f GaloisField, n: usize, k: usize) -> Self {
+        assert!(k >= 1, "dimension must be positive");
+        assert!(k <= n, "dimension cannot exceed length");
+        assert!(
+            n <= field.size(),
+            "length {n} exceeds number of field elements {}",
+            field.size()
+        );
+        // Points: 0 first, then consecutive powers of alpha.
+        let mut points = Vec::with_capacity(n);
+        points.push(0u16);
+        for i in 0..n.saturating_sub(1) {
+            points.push(field.alpha_pow(i));
+        }
+        RsCode { field, n, k, points }
+    }
+
+    /// Code length `N` (symbols).
+    pub fn length(&self) -> usize {
+        self.n
+    }
+
+    /// Code dimension `K` (symbols).
+    pub fn dimension(&self) -> usize {
+        self.k
+    }
+
+    /// The MDS distance `N − K + 1`.
+    pub fn distance(&self) -> usize {
+        self.n - self.k + 1
+    }
+
+    /// The underlying field (shared with the decoder).
+    pub fn field(&self) -> &GaloisField {
+        self.field
+    }
+
+    /// The evaluation points, in codeword order.
+    pub fn points(&self) -> &[u16] {
+        &self.points
+    }
+
+    /// Encodes `message` (`K` field symbols) into `N` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != K` or a symbol is out of the field.
+    pub fn encode(&self, message: &[u16]) -> Vec<u16> {
+        assert_eq!(message.len(), self.k, "message must have K symbols");
+        for &c in message {
+            assert!((c as usize) < self.field.size(), "symbol out of field");
+        }
+        self.points
+            .iter()
+            .map(|&x| self.eval(message, x))
+            .collect()
+    }
+
+    /// Horner evaluation of the message polynomial at `x`.
+    fn eval(&self, message: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in message.iter().rev() {
+            acc = self.field.add(self.field.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn hamming(a: &[u16], b: &[u16]) -> usize {
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    #[test]
+    fn constant_polynomial_encodes_constantly() {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 10, 1);
+        let cw = rs.encode(&[7]);
+        assert!(cw.iter().all(|&s| s == 7));
+    }
+
+    #[test]
+    fn zero_message_gives_zero_codeword() {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 20, 5);
+        let cw = rs.encode(&[0; 5]);
+        assert!(cw.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn mds_distance_on_random_pairs() {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 64, 16);
+        let d = rs.distance(); // 49
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a: Vec<u16> = (0..16).map(|_| rng.gen_range(0..256)).collect();
+            let mut b = a.clone();
+            // flip one random symbol to make a distinct message
+            let idx = rng.gen_range(0..16);
+            b[idx] ^= 1 + rng.gen_range(0..255) as u16;
+            let ca = rs.encode(&a);
+            let cb = rs.encode(&b);
+            assert!(
+                hamming(&ca, &cb) >= d,
+                "pair closer than MDS distance {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_distance_tiny_code() {
+        // [7, 2] over GF(8): distance must be exactly 6.
+        let f = GaloisField::new(3);
+        let rs = RsCode::new(&f, 7, 2);
+        let mut min_d = usize::MAX;
+        for m0 in 0..8u16 {
+            for m1 in 0..8u16 {
+                if (m0, m1) == (0, 0) {
+                    continue;
+                }
+                // linear code: min distance = min weight
+                let cw = rs.encode(&[m0, m1]);
+                let w = cw.iter().filter(|&&s| s != 0).count();
+                min_d = min_d.min(w);
+            }
+        }
+        assert_eq!(min_d, rs.distance());
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 32, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<u16> = (0..8).map(|_| rng.gen_range(0..256)).collect();
+        let b: Vec<u16> = (0..8).map(|_| rng.gen_range(0..256)).collect();
+        let sum: Vec<u16> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        let ca = rs.encode(&a);
+        let cb = rs.encode(&b);
+        let csum = rs.encode(&sum);
+        for i in 0..32 {
+            assert_eq!(csum[i], ca[i] ^ cb[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of field elements")]
+    fn length_beyond_field_panics() {
+        let f = GaloisField::new(3);
+        let _ = RsCode::new(&f, 9, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "message must have K symbols")]
+    fn wrong_message_length_panics() {
+        let f = GaloisField::new(4);
+        let rs = RsCode::new(&f, 10, 3);
+        let _ = rs.encode(&[1, 2]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the code constructions.
+
+use dut_ecc::distance::{hamming_distance, hamming_weight};
+use dut_ecc::gf::GaloisField;
+use dut_ecc::rs::RsCode;
+use dut_ecc::{BinaryCode, JustesenCode, RandomLinearCode};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gf_field_axioms(m in 2u32..9, a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+        let f = GaloisField::new(m);
+        let mask = (f.size() - 1) as u16;
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        // commutativity
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // associativity
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        // distributivity
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // inverses
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn gf_pow_is_iterated_mul(m in 2u32..9, a in any::<u16>(), e in 0u64..20) {
+        let f = GaloisField::new(m);
+        let a = a & (f.size() - 1) as u16;
+        let mut acc = 1u16;
+        for _ in 0..e {
+            acc = f.mul(acc, a);
+        }
+        prop_assert_eq!(f.pow(a, e), acc);
+    }
+
+    #[test]
+    fn rs_codewords_respect_mds_distance(
+        msg_a in proptest::collection::vec(0u16..256, 8),
+        msg_b in proptest::collection::vec(0u16..256, 8),
+    ) {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 40, 8);
+        if msg_a != msg_b {
+            let ca = rs.encode(&msg_a);
+            let cb = rs.encode(&msg_b);
+            let d = ca.iter().zip(&cb).filter(|(x, y)| x != y).count();
+            prop_assert!(d >= rs.distance(), "distance {d} < MDS {}", rs.distance());
+        }
+    }
+
+    #[test]
+    fn linear_code_linearity(k_words in 1usize..4, seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let k = k_words * 64;
+        let code = RandomLinearCode::new(k, 3 * k, seed);
+        let ma = vec![a; k_words];
+        let mb = vec![b; k_words];
+        let mab: Vec<u64> = ma.iter().zip(&mb).map(|(&x, &y)| x ^ y).collect();
+        let ca = code.encode(&ma);
+        let cb = code.encode(&mb);
+        let cab = code.encode(&mab);
+        for i in 0..ca.len() {
+            prop_assert_eq!(cab[i], ca[i] ^ cb[i]);
+        }
+    }
+
+    #[test]
+    fn justesen_certified_distance(seed_bits in any::<u64>()) {
+        let c = JustesenCode::new(6, 21);
+        let words = c.input_bits().div_ceil(64);
+        let za = vec![0u64; words];
+        let mut zb = za.clone();
+        zb[0] ^= seed_bits | 1; // any nonzero message
+        let ca = c.encode(&za);
+        let cb = c.encode(&zb);
+        let d = hamming_distance(&ca, &cb, c.output_bits());
+        prop_assert!(d >= c.certified_min_distance());
+    }
+
+    #[test]
+    fn hamming_distance_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), bits in 1usize..64) {
+        let d = |x: u64, y: u64| hamming_distance(&[x], &[y], bits);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+        prop_assert_eq!(d(a, 0), hamming_weight(&[a], bits));
+    }
+
+    #[test]
+    fn encode_is_deterministic(k in 8usize..128, seed in any::<u64>(), msg in any::<u64>()) {
+        let code = RandomLinearCode::new(k, 2 * k, seed);
+        let m = vec![msg & ((1u64 << k.min(63)) - 1); k.div_ceil(64)];
+        prop_assert_eq!(code.encode(&m), code.encode(&m));
+    }
+}
+
+proptest! {
+    #[test]
+    fn rs_decode_round_trips_under_errors(
+        msg in proptest::collection::vec(0u16..256, 8),
+        error_positions in proptest::collection::hash_set(0usize..32, 0..12),
+        flips in proptest::collection::vec(1u16..256, 12),
+    ) {
+        let f = GaloisField::new(8);
+        let rs = RsCode::new(&f, 32, 8); // corrects up to 12 errors
+        let mut cw = rs.encode(&msg);
+        for (i, &pos) in error_positions.iter().enumerate() {
+            cw[pos] ^= flips[i % flips.len()];
+        }
+        prop_assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+}

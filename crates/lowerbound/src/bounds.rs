@@ -1,0 +1,119 @@
+//! Closed-form lower-bound functions from §7 of the paper.
+
+use dut_distributions::info::f_tau;
+
+/// Theorem 7.2: `SMP_{(1−τ′δ), δ}(EQ) = Ω(√(f(τ)δn))` with
+/// `f(τ) = τ − 1 − ln τ`. Returns the bound with the Ω-constant set
+/// to 1.
+///
+/// # Panics
+///
+/// Panics unless `τ > 1` and `δ ∈ (0, min(1/τ, 1/4))` (the theorem's
+/// hypotheses).
+pub fn theorem_7_2_bound(n: usize, tau: f64, delta: f64) -> f64 {
+    assert!(tau > 1.0, "theorem 7.2 requires tau > 1");
+    assert!(
+        delta > 0.0 && delta < (1.0 / tau).min(0.25),
+        "theorem 7.2 requires delta < min(1/tau, 1/4)"
+    );
+    (f_tau(tau) * delta * n as f64).sqrt()
+}
+
+/// Corollary 7.4: the query complexity of a `(δ, α)`-gap ε-uniformity
+/// tester is `Ω(√(f(α)δn)/log n)`. Returns the bound with the
+/// Ω-constant set to 1 (natural log, as everywhere in this repo).
+///
+/// # Panics
+///
+/// Panics unless `α > 1`, `δ ∈ (0, 1)`, and `n ≥ 2`.
+pub fn corollary_7_4_bound(n: usize, delta: f64, alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "corollary 7.4 requires alpha > 1");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    assert!(n >= 2, "domain too small");
+    (f_tau(alpha) * delta * n as f64).sqrt() / (n as f64).ln()
+}
+
+/// Theorem 1.3: any anonymous 0-round ε-uniformity tester with error
+/// ≤ 1/3 on `k` nodes needs `Ω(√(n/k)/log n)` samples per node.
+/// Returns the bound with the Ω-constant set to 1.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 2` and `k ≥ 1`.
+pub fn theorem_1_3_bound(n: usize, k: usize) -> f64 {
+    assert!(n >= 2, "domain too small");
+    assert!(k >= 1, "network must be non-empty");
+    (n as f64 / k as f64).sqrt() / (n as f64).ln()
+}
+
+/// The per-node (δ, α) regime Theorem 1.3's proof forces on an
+/// anonymous tester with network error 1/3: returns `(δ_max, α_min)`
+/// where `δ ≤ 1 − (2/3)^{1/k}` and `α·δ ≥ 1 − (1/3)^{1/k}`.
+pub fn forced_gap_regime(k: usize) -> (f64, f64) {
+    assert!(k >= 1, "network must be non-empty");
+    let delta_max = 1.0 - (2.0f64 / 3.0).powf(1.0 / k as f64);
+    let alpha_min = (1.0 - (1.0f64 / 3.0).powf(1.0 / k as f64)) / delta_max;
+    (delta_max, alpha_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_7_2_scales_with_sqrt_n() {
+        let a = theorem_7_2_bound(1 << 10, 2.0, 0.1);
+        let b = theorem_7_2_bound(1 << 14, 2.0, 0.1);
+        assert!((b / a - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn theorem_7_2_grows_with_tau() {
+        assert!(theorem_7_2_bound(1 << 10, 3.0, 0.1) > theorem_7_2_bound(1 << 10, 1.5, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn theorem_7_2_rejects_large_delta() {
+        let _ = theorem_7_2_bound(1024, 2.0, 0.6);
+    }
+
+    #[test]
+    fn corollary_7_4_below_upper_bound() {
+        // Lower bound must sit below the gap tester's √(2δn) upper bound.
+        let n = 1 << 16;
+        let delta = 0.01;
+        let lower = corollary_7_4_bound(n, delta, 1.25);
+        let upper = (2.0 * delta * n as f64).sqrt();
+        assert!(lower < upper, "lower {lower} above upper {upper}");
+        assert!(lower > 0.0);
+    }
+
+    #[test]
+    fn theorem_1_3_matches_theorem_1_2_shape() {
+        // Lower bound √(n/k)/ln n vs upper bound √(n/k)/ε²: same
+        // √(n/k) scaling.
+        let n = 1 << 16;
+        let lower_1 = theorem_1_3_bound(n, 100);
+        let lower_4 = theorem_1_3_bound(n, 400);
+        assert!((lower_1 / lower_4 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn forced_regime_matches_paper_constants() {
+        // The paper derives α > 5/4 for any k.
+        for k in [1usize, 2, 10, 1000, 1_000_000] {
+            let (delta, alpha) = forced_gap_regime(k);
+            assert!(delta > 0.0 && delta < 1.0);
+            assert!(alpha > 1.25, "k={k}: alpha = {alpha}");
+            // ln(3)/ln(3/2) is the k→∞ limit ≈ 2.7095
+            assert!(alpha < 2.8);
+        }
+    }
+
+    #[test]
+    fn forced_regime_alpha_approaches_c_p() {
+        let (_, alpha) = forced_gap_regime(10_000_000);
+        assert!((alpha - 2.7095).abs() < 0.01);
+    }
+}

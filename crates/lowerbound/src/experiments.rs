@@ -1,0 +1,135 @@
+//! Empirical lower-bound probes (Experiment E12).
+//!
+//! Theorem 1.3 says anonymous 0-round testers need `Ω(√(n/k))` samples
+//! per node. These helpers sweep the per-node sample count `s` around
+//! `√(n/k)` and measure the distinguishing power of the *threshold*
+//! 0-round network (the strongest 0-round tester we have): below the
+//! threshold, no choice of alarm threshold `T` separates uniform from
+//! Paninski-far; above it, the separation appears.
+
+use dut_core::decision::Decision;
+use dut_core::gap::GapTester;
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result of probing one per-node sample count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSweepPoint {
+    /// Samples per node probed.
+    pub samples_per_node: usize,
+    /// Best achievable network error over all thresholds `T`
+    /// (max of the two error sides, estimated by Monte Carlo).
+    pub best_error: f64,
+    /// The threshold achieving it.
+    pub best_threshold: usize,
+}
+
+/// Probes the best-achievable error of a `k`-node 0-round threshold
+/// network at a given per-node sample count, against the Paninski-far
+/// family at distance `epsilon`.
+///
+/// For each trial, all `k` nodes run the single-collision tester; the
+/// per-trial alarm counts under uniform and under far inputs are
+/// collected, and the best threshold is chosen *in hindsight* — an
+/// upper bound on what any fixed threshold can achieve, which makes the
+/// "below √(n/k) nothing works" conclusion robust.
+///
+/// # Panics
+///
+/// Panics if parameters are degenerate (see [`GapTester::with_samples`]).
+pub fn probe_sample_count(
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    samples_per_node: usize,
+    trials: usize,
+    seed: u64,
+) -> SampleSweepPoint {
+    let tester = GapTester::with_samples(n, samples_per_node).expect("valid tester");
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, epsilon).expect("valid far instance");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let alarms = |d: &DiscreteDistribution, rng: &mut StdRng| -> Vec<usize> {
+        (0..trials)
+            .map(|_| {
+                (0..k)
+                    .filter(|_| tester.run(d, rng) == Decision::Reject)
+                    .count()
+            })
+            .collect()
+    };
+    let uni_alarms = alarms(&uniform, &mut rng);
+    let far_alarms = alarms(&far, &mut rng);
+
+    // Best hindsight threshold: sweep T over the observed range.
+    let max_alarm = uni_alarms
+        .iter()
+        .chain(far_alarms.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let mut best_error = 1.0f64;
+    let mut best_threshold = 1usize;
+    for t in 1..=max_alarm + 1 {
+        let comp = uni_alarms.iter().filter(|&&a| a >= t).count() as f64 / trials as f64;
+        let sound = far_alarms.iter().filter(|&&a| a < t).count() as f64 / trials as f64;
+        let err = comp.max(sound);
+        if err < best_error {
+            best_error = err;
+            best_threshold = t;
+        }
+    }
+    SampleSweepPoint {
+        samples_per_node,
+        best_error,
+        best_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_below_bound_is_useless() {
+        // s = 2 on a large domain: collisions are vanishing; no
+        // threshold separates anything.
+        let p = probe_sample_count(1 << 16, 2000, 1.0, 2, 40, 1);
+        assert!(
+            p.best_error > 0.25,
+            "2 samples should not separate, error {}",
+            p.best_error
+        );
+    }
+
+    #[test]
+    fn above_bound_separates() {
+        // s well above √(n/k)·(1/ε²): separation appears.
+        let n = 1 << 12;
+        let k = 12_000;
+        let s = 10; // ≈ 17·√(n/k) at these parameters
+        let p = probe_sample_count(n, k, 1.0, s, 40, 2);
+        assert!(
+            p.best_error < 0.25,
+            "s={s} should separate, error {}",
+            p.best_error
+        );
+    }
+
+    #[test]
+    fn error_decreases_with_samples() {
+        let n = 1 << 12;
+        let k = 4_000;
+        let few = probe_sample_count(n, k, 1.0, 2, 40, 3);
+        let many = probe_sample_count(n, k, 1.0, 12, 40, 3);
+        assert!(
+            many.best_error <= few.best_error,
+            "more samples should not hurt: {} vs {}",
+            many.best_error,
+            few.best_error
+        );
+    }
+}

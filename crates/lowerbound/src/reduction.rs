@@ -1,0 +1,238 @@
+//! The Theorem 7.1 reduction, made executable.
+//!
+//! Blais–Canonne–Gur: a `q`-sample uniformity tester with error
+//! `(δ₀, δ₁)` yields a private-coin SMP protocol for Equality of cost
+//! `q·log n`. The construction implemented here:
+//!
+//! 1. Both players encode their `n`-bit input with a shared
+//!    constant-relative-distance code `C` (so distinct inputs differ in
+//!    a β ≥ 1/6 fraction of the `m` codeword positions).
+//! 2. Alice defines the distribution `P_X = uniform over
+//!    {(i, C(X)_i) : i ∈ [m]}` on the domain `[2m]`, draws `q` iid
+//!    samples from it with her private coins, and sends them —
+//!    `q·⌈log 2m⌉` bits. Bob does the same for `P_Y`.
+//! 3. The referee interleaves the two sample streams with fresh coins,
+//!    producing iid samples from the mixture `μ = ½P_X + ½P_Y`, and
+//!    feeds them to the collision gap tester.
+//!
+//! Collision accounting: if `X = Y`, μ is uniform on an `m`-subset and
+//! has collision probability exactly `1/m`; if `X ≠ Y` with differing
+//! fraction β, `χ(μ) = (1 − β/2)/m < 1/m`. The gap tester's rejection
+//! probability therefore *separates* the two cases by the factor
+//! `(1 − β/2)` — the same `Θ(ε²δ)`-sliver regime as the uniformity
+//! problem itself, which is exactly why the SMP lower bound transfers.
+//!
+//! The referee outputs "equal" iff the tester saw a collision among its
+//! `q` mixture samples: `Pr[output equal | X=Y] ≈ C(q,2)/m` and
+//! `Pr[output equal | X≠Y] ≤ (1−β/2)·C(q,2)/m` — an asymmetric-error
+//! Equality protocol in the paper's `(1−τδ, δ)` regime with
+//! `δ = C(q,2)/m`.
+
+use dut_ecc::{BinaryCode, RandomLinearCode};
+use dut_smp::framework::SmpProtocol;
+use rand::Rng;
+
+/// The Equality protocol obtained from the collision gap tester via
+/// Theorem 7.1.
+#[derive(Debug, Clone)]
+pub struct EqFromCollisionTester {
+    m: usize,
+    q: usize,
+    code: RandomLinearCode,
+}
+
+impl EqFromCollisionTester {
+    /// Builds the reduction for `n_bits`-bit inputs, a rate-1/3 shared
+    /// code, and `q` samples per player.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits == 0` or `q < 2` (fewer than two samples can
+    /// never collide).
+    pub fn new(n_bits: usize, q: usize, seed: u64) -> Self {
+        assert!(n_bits > 0, "need at least one input bit");
+        assert!(q >= 2, "need at least two samples to observe a collision");
+        let code = RandomLinearCode::rate_one_third(n_bits, seed);
+        EqFromCollisionTester {
+            m: code.output_bits(),
+            q,
+            code,
+        }
+    }
+
+    /// Samples drawn (and sent) per player.
+    pub fn samples(&self) -> usize {
+        self.q
+    }
+
+    /// The codeword length `m` (support size of each player's
+    /// distribution; the mixture domain is `2m`).
+    pub fn codeword_bits(&self) -> usize {
+        self.m
+    }
+
+    /// The protocol's `δ` parameter: the probability of seeing a
+    /// collision on equal inputs, `≈ C(q,2)/m` (the "equal" output
+    /// rate).
+    pub fn delta(&self) -> f64 {
+        let q = self.q as f64;
+        q * (q - 1.0) / 2.0 / self.m as f64
+    }
+
+    /// Communication per player in bits: `q·⌈log₂ 2m⌉`.
+    pub fn message_bits_bound(&self) -> usize {
+        self.q * ((2 * self.m) as f64).log2().ceil() as usize
+    }
+
+    /// Draws `q` iid samples from `P_input` = uniform over
+    /// `{(i, C(input)_i)}`, encoded as `2i + bit ∈ [2m]`.
+    fn draw_samples<R: Rng + ?Sized>(&self, input: &[u64], rng: &mut R) -> Vec<u64> {
+        let cw = self.code.encode(input);
+        (0..self.q)
+            .map(|_| {
+                let i = rng.gen_range(0..self.m);
+                let bit = (cw[i / 64] >> (i % 64)) & 1;
+                (2 * i) as u64 + bit
+            })
+            .collect()
+    }
+}
+
+impl SmpProtocol for EqFromCollisionTester {
+    type Input = [u64];
+    type Msg = Vec<u64>;
+
+    fn alice<R: Rng + ?Sized>(&self, x: &[u64], rng: &mut R) -> Vec<u64> {
+        self.draw_samples(x, rng)
+    }
+
+    fn bob<R: Rng + ?Sized>(&self, y: &[u64], rng: &mut R) -> Vec<u64> {
+        self.draw_samples(y, rng)
+    }
+
+    /// Outputs `true` ("equal") iff the mixture stream contains a
+    /// collision. The referee's interleaving coins are derived from the
+    /// messages (the referee is deterministic given its own coin
+    /// stream; using a message-seeded stream keeps the trait signature
+    /// coin-free without correlating with either player's private
+    /// randomness).
+    fn referee(&self, alice: &Vec<u64>, bob: &Vec<u64>) -> bool {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Seed the referee's interleaving coins from both transcripts.
+        let seed = alice
+            .iter()
+            .chain(bob.iter())
+            .fold(0x9E37_79B9_7F4A_7C15u64, |acc, &s| {
+                acc.rotate_left(7) ^ s.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mixture = Vec::with_capacity(self.q);
+        let mut ai = alice.iter();
+        let mut bi = bob.iter();
+        for _ in 0..self.q {
+            let pick_alice = rng.gen::<bool>();
+            let sample = if pick_alice { ai.next() } else { bi.next() };
+            match sample {
+                Some(&s) => mixture.push(s),
+                None => break, // one stream exhausted; use what we have
+            }
+        }
+        let mut sorted = mixture;
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1])
+    }
+
+    fn message_bits(&self, msg: &Vec<u64>) -> usize {
+        msg.len() * ((2 * self.m) as f64).log2().ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rate_equal_output(
+        p: &EqFromCollisionTester,
+        x: &[u64],
+        y: &[u64],
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut ra = StdRng::seed_from_u64(seed);
+        let mut rb = StdRng::seed_from_u64(seed ^ 0xFFFF);
+        let hits = (0..trials)
+            .filter(|_| p.run(x, y, &mut ra, &mut rb).0)
+            .count();
+        hits as f64 / trials as f64
+    }
+
+    #[test]
+    fn construction_and_cost() {
+        let p = EqFromCollisionTester::new(256, 16, 1);
+        assert_eq!(p.samples(), 16);
+        assert_eq!(p.codeword_bits(), 768);
+        // q * ceil(log2(1536)) = 16 * 11
+        assert_eq!(p.message_bits_bound(), 176);
+        assert!(p.delta() > 0.0 && p.delta() < 1.0);
+    }
+
+    #[test]
+    fn equal_inputs_collide_at_rate_delta() {
+        let p = EqFromCollisionTester::new(128, 12, 2);
+        let x = [0xABCD_EF01_2345_6789u64, 0x1111_2222_3333_4444];
+        let rate = rate_equal_output(&p, &x, &x, 60_000, 7);
+        let delta = p.delta();
+        // The birthday collision rate is slightly below C(q,2)/m
+        // (union bound); allow 25% relative slack plus MC noise.
+        assert!(
+            rate > 0.6 * delta && rate < 1.1 * delta,
+            "collision rate {rate} vs delta {delta}"
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_collide_less() {
+        let p = EqFromCollisionTester::new(128, 24, 3);
+        let x = [0u64, 0];
+        let y = [u64::MAX, u64::MAX]; // max distance after linear code
+        let trials = 200_000;
+        let rate_eq = rate_equal_output(&p, &x, &x, trials, 8);
+        let rate_neq = rate_equal_output(&p, &x, &y, trials, 9);
+        assert!(
+            rate_neq < rate_eq,
+            "no separation: neq {rate_neq} vs eq {rate_eq}"
+        );
+        // χ ratio is (1 − β/2) with β ≈ 1/2 for a random pair: ~0.75.
+        let ratio = rate_neq / rate_eq;
+        assert!(
+            ratio > 0.5 && ratio < 0.95,
+            "collision ratio {ratio} outside the (1 − β/2) band"
+        );
+    }
+
+    #[test]
+    fn one_bit_flip_still_separates() {
+        // Worst-case pair: inputs differing in one bit; the code's
+        // distance keeps codewords ≥ 1/6 apart.
+        let p = EqFromCollisionTester::new(64, 32, 4);
+        let x = [0x0123_4567_89AB_CDEFu64];
+        let mut y = x;
+        y[0] ^= 1;
+        let trials = 200_000;
+        let rate_eq = rate_equal_output(&p, &x, &x, trials, 10);
+        let rate_neq = rate_equal_output(&p, &x, &y, trials, 11);
+        assert!(
+            rate_neq < rate_eq * 0.98,
+            "one-bit flip not separated: {rate_neq} vs {rate_eq}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn rejects_single_sample() {
+        let _ = EqFromCollisionTester::new(64, 1, 0);
+    }
+}

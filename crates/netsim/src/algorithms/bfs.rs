@@ -1,0 +1,214 @@
+//! Distributed BFS-tree construction.
+//!
+//! The classic flooding algorithm: the root announces depth 0; every
+//! other node adopts the first (lowest-depth, then lowest-id) announcer
+//! as its parent and re-announces. Terminates in `ecc(root) + O(1)`
+//! rounds and fits CONGEST (messages are one depth value of
+//! `O(log k)` bits).
+
+use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
+use crate::graph::{Graph, NodeId};
+
+/// Per-node state of the BFS protocol.
+#[derive(Debug, Clone)]
+struct BfsNode {
+    root: NodeId,
+    parent: Option<NodeId>,
+    depth: Option<u64>,
+}
+
+impl NodeProtocol for BfsNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        if self.depth.is_some() {
+            return;
+        }
+        if node == self.root && round == 0 {
+            self.depth = Some(0);
+            out.broadcast(Compact(0));
+            return;
+        }
+        if let Some(&(from, Compact(d))) = inbox.iter().min_by_key(|&&(from, Compact(d))| (d, from)) {
+            self.parent = Some(from);
+            self.depth = Some(d + 1);
+            out.broadcast(Compact(d + 1));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.depth.is_some()
+    }
+}
+
+/// A rooted BFS tree over a connected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    /// The root node.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Depth of each node (root = 0).
+    pub depth: Vec<usize>,
+    /// Children lists.
+    pub children: Vec<Vec<NodeId>>,
+    /// Height of the tree (max depth).
+    pub height: usize,
+}
+
+impl BfsTree {
+    /// Nodes in leaves-first (deepest-first) order — the order
+    /// convergecast completes in.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.parent.len()).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.depth[v]));
+        order
+    }
+
+    /// Number of nodes in the subtree rooted at each node.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.parent.len()];
+        for v in self.bottom_up_order() {
+            if let Some(p) = self.parent[v] {
+                size[p] += size[v];
+            }
+        }
+        size
+    }
+}
+
+/// Builds a BFS tree rooted at `root` by running the distributed flooding
+/// protocol, returning the tree and the number of rounds used.
+///
+/// # Errors
+///
+/// Returns [`EngineError::RoundLimit`] if the graph is disconnected (the
+/// flood never reaches the far side), or a bandwidth violation under an
+/// unreasonably tight CONGEST budget.
+#[allow(clippy::needless_range_loop)]
+pub fn build_bfs_tree(
+    g: &Graph,
+    root: NodeId,
+    model: BandwidthModel,
+) -> Result<(BfsTree, usize), EngineError> {
+    let k = g.node_count();
+    let states = (0..k)
+        .map(|_| BfsNode {
+            root,
+            parent: None,
+            depth: None,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let report = net.run(states, 2 * k + 4)?;
+
+    let mut parent = vec![None; k];
+    let mut depth = vec![0usize; k];
+    let mut children = vec![Vec::new(); k];
+    let mut height = 0usize;
+    for (v, st) in report.nodes.iter().enumerate() {
+        parent[v] = st.parent;
+        depth[v] = st.depth.expect("flood reached all nodes") as usize;
+        height = height.max(depth[v]);
+        if let Some(p) = st.parent {
+            children[p].push(v);
+        }
+    }
+    Ok((
+        BfsTree {
+            root,
+            parent,
+            depth,
+            children,
+            height,
+        },
+        report.rounds,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn bfs_tree_on_line() {
+        let g = topology::line(6);
+        let (tree, rounds) = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap();
+        assert_eq!(tree.root, 0);
+        assert_eq!(tree.depth, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(tree.parent[3], Some(2));
+        assert_eq!(tree.height, 5);
+        assert!(rounds <= 2 * 6 + 2);
+    }
+
+    #[test]
+    fn bfs_tree_depths_match_graph_distances() {
+        let g = topology::grid(5, 7);
+        let (tree, _) = build_bfs_tree(&g, 12, BandwidthModel::Local).unwrap();
+        let dist = g.bfs_distances(12);
+        for (v, d) in dist.iter().enumerate() {
+            assert_eq!(tree.depth[v], d.unwrap(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_parent_is_one_closer() {
+        let g = topology::ring(9);
+        let (tree, _) = build_bfs_tree(&g, 4, BandwidthModel::Local).unwrap();
+        for v in 0..9 {
+            if let Some(p) = tree.parent[v] {
+                assert_eq!(tree.depth[p] + 1, tree.depth[v]);
+                assert!(g.has_edge(p, v));
+            } else {
+                assert_eq!(v, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_fits_congest() {
+        let g = topology::grid(8, 8);
+        let model = BandwidthModel::congest_for(64);
+        let (tree, _) = build_bfs_tree(&g, 0, model).unwrap();
+        assert_eq!(tree.depth[63], 14);
+    }
+
+    #[test]
+    fn children_lists_are_consistent() {
+        let g = topology::balanced_binary_tree(15);
+        let (tree, _) = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap();
+        let mut count = 0;
+        for (p, kids) in tree.children.iter().enumerate() {
+            for &c in kids {
+                assert_eq!(tree.parent[c], Some(p));
+                count += 1;
+            }
+        }
+        assert_eq!(count, 14); // every non-root has exactly one parent
+    }
+
+    #[test]
+    fn subtree_sizes_sum_correctly() {
+        let g = topology::balanced_binary_tree(7);
+        let (tree, _) = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap();
+        let sizes = tree.subtree_sizes();
+        assert_eq!(sizes[0], 7);
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[2], 3);
+        assert_eq!(sizes[3], 1);
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let err = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap_err();
+        assert!(matches!(err, EngineError::RoundLimit { .. }));
+    }
+}

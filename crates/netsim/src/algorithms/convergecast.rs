@@ -1,0 +1,217 @@
+//! Convergecast (aggregate up a tree) and broadcast (push down a tree).
+//!
+//! The CONGEST tester's final step — "summing up the tree the number of
+//! virtual nodes that want to reject" — is a convergecast; announcing the
+//! verdict is a broadcast. Both run in `height(T) + O(1)` rounds with
+//! `O(log k)`-bit messages.
+
+use super::bfs::BfsTree;
+use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
+use crate::graph::{Graph, NodeId};
+
+/// Per-node convergecast state.
+#[derive(Debug, Clone)]
+struct ConvNode {
+    parent: Option<NodeId>,
+    expected_children: usize,
+    received: usize,
+    acc: u64,
+    sent: bool,
+}
+
+impl NodeProtocol for ConvNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        for &(_, Compact(v)) in inbox {
+            self.acc += v;
+            self.received += 1;
+        }
+        if !self.sent && self.received == self.expected_children {
+            if let Some(p) = self.parent {
+                out.send(p, Compact(self.acc));
+            }
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+}
+
+/// Sums `values` up the tree; returns the total (as computed at the
+/// root) and the number of rounds used.
+///
+/// # Errors
+///
+/// Propagates engine errors (round limit on a malformed tree, CONGEST
+/// budget violations).
+///
+/// # Panics
+///
+/// Panics if `values` length does not match the graph.
+pub fn convergecast_sum(
+    g: &Graph,
+    tree: &BfsTree,
+    values: &[u64],
+    model: BandwidthModel,
+) -> Result<(u64, usize), EngineError> {
+    assert_eq!(values.len(), g.node_count(), "one value per node");
+    let states: Vec<ConvNode> = (0..g.node_count())
+        .map(|v| ConvNode {
+            parent: tree.parent[v],
+            expected_children: tree.children[v].len(),
+            received: 0,
+            acc: values[v],
+            sent: false,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let report = net.run(states, 2 * g.node_count() + 4)?;
+    Ok((report.nodes[tree.root].acc, report.rounds))
+}
+
+/// Per-node broadcast state.
+#[derive(Debug, Clone)]
+struct BcastNode {
+    children: Vec<NodeId>,
+    value: Option<u64>,
+    sent: bool,
+}
+
+impl NodeProtocol for BcastNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        if self.value.is_none() {
+            if let Some(&(_, Compact(v))) = inbox.first() {
+                self.value = Some(v);
+            }
+        }
+        if let (Some(v), false) = (self.value, self.sent) {
+            for &c in &self.children {
+                out.send(c, Compact(v));
+            }
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+}
+
+/// Pushes `value` from the root down the tree; returns each node's
+/// received value and the number of rounds used.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn broadcast_value(
+    g: &Graph,
+    tree: &BfsTree,
+    value: u64,
+    model: BandwidthModel,
+) -> Result<(Vec<u64>, usize), EngineError> {
+    let states: Vec<BcastNode> = (0..g.node_count())
+        .map(|v| BcastNode {
+            children: tree.children[v].clone(),
+            value: if v == tree.root { Some(value) } else { None },
+            sent: false,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let report = net.run(states, 2 * g.node_count() + 4)?;
+    let values = report
+        .nodes
+        .iter()
+        .map(|n| n.value.expect("broadcast reached all nodes"))
+        .collect();
+    Ok((values, report.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::bfs::build_bfs_tree;
+    use crate::topology;
+
+    fn tree_of(g: &Graph, root: NodeId) -> BfsTree {
+        build_bfs_tree(g, root, BandwidthModel::Local).unwrap().0
+    }
+
+    #[test]
+    fn sum_on_a_line() {
+        let g = topology::line(5);
+        let tree = tree_of(&g, 0);
+        let values = [1u64, 2, 3, 4, 5];
+        let (total, rounds) =
+            convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+        assert_eq!(total, 15);
+        // height 4: leaf's value takes 4 hops + quiescence overhead
+        assert!((4..=8).contains(&rounds), "rounds = {rounds}");
+    }
+
+    #[test]
+    fn sum_on_a_star_is_fast() {
+        let g = topology::star(64);
+        let tree = tree_of(&g, 0);
+        let values = vec![1u64; 64];
+        let (total, rounds) =
+            convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+        assert_eq!(total, 64);
+        assert!(rounds <= 4, "star convergecast took {rounds} rounds");
+    }
+
+    #[test]
+    fn sum_fits_congest() {
+        let g = topology::grid(6, 6);
+        let tree = tree_of(&g, 0);
+        let values = vec![3u64; 36];
+        let model = BandwidthModel::Congest { bits_per_edge: 64 };
+        let (total, _) = convergecast_sum(&g, &tree, &values, model).unwrap();
+        assert_eq!(total, 108);
+    }
+
+    #[test]
+    fn sum_with_zero_values() {
+        let g = topology::ring(7);
+        let tree = tree_of(&g, 3);
+        let values = vec![0u64; 7];
+        let (total, _) = convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = topology::balanced_binary_tree(31);
+        let tree = tree_of(&g, 0);
+        let (values, rounds) = broadcast_value(&g, &tree, 42, BandwidthModel::Local).unwrap();
+        assert!(values.iter().all(|&v| v == 42));
+        assert!(rounds <= tree.height + 3);
+    }
+
+    #[test]
+    fn broadcast_round_count_scales_with_height() {
+        let g = topology::line(20);
+        let tree = tree_of(&g, 0);
+        let (_, rounds_line) = broadcast_value(&g, &tree, 7, BandwidthModel::Local).unwrap();
+        let g2 = topology::star(20);
+        let tree2 = tree_of(&g2, 0);
+        let (_, rounds_star) = broadcast_value(&g2, &tree2, 7, BandwidthModel::Local).unwrap();
+        assert!(rounds_line > rounds_star);
+    }
+}

@@ -1,0 +1,139 @@
+//! Leader election by max-identifier flooding.
+//!
+//! The paper's token-packaging protocol starts by identifying "the vertex
+//! with the largest identifier" (§5). Nodes flood the largest identifier
+//! they have heard; after `D + O(1)` rounds the flood stabilizes and the
+//! node holding the global maximum knows it is the leader.
+
+use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
+use crate::graph::{Graph, NodeId};
+
+/// Per-node max-flood state.
+#[derive(Debug, Clone)]
+struct LeaderNode {
+    my_id: u64,
+    best: u64,
+    pending: bool,
+}
+
+impl NodeProtocol for LeaderNode {
+    type Msg = Compact;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, Compact)],
+        out: &mut Outbox<'_, Compact>,
+    ) {
+        if round == 0 {
+            self.pending = true;
+        }
+        for &(_, Compact(id)) in inbox {
+            if id > self.best {
+                self.best = id;
+                self.pending = true;
+            }
+        }
+        if self.pending {
+            out.broadcast(Compact(self.best));
+            self.pending = false;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true // quiescence (no improving floods) ends the run
+    }
+}
+
+/// Elects the node with the largest identifier by flooding. Returns
+/// `(leader, rounds)`.
+///
+/// `ids[v]` is node `v`'s identifier; in an anonymous network these are
+/// random values from a large namespace (unique w.h.p.), as the paper's
+/// lower-bound section notes. Duplicated maximum ids are rejected.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if `ids` length mismatches the graph, or the maximum id is not
+/// unique.
+pub fn elect_leader(
+    g: &Graph,
+    ids: &[u64],
+    model: BandwidthModel,
+) -> Result<(NodeId, usize), EngineError> {
+    assert_eq!(ids.len(), g.node_count(), "one id per node");
+    let max = *ids.iter().max().expect("non-empty network");
+    assert_eq!(
+        ids.iter().filter(|&&i| i == max).count(),
+        1,
+        "maximum id must be unique"
+    );
+    let states: Vec<LeaderNode> = ids
+        .iter()
+        .map(|&my_id| LeaderNode {
+            my_id,
+            best: my_id,
+            pending: false,
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let report = net.run(states, 2 * g.node_count() + 4)?;
+    let leader = report
+        .nodes
+        .iter()
+        .position(|n| n.my_id == n.best && n.my_id == max)
+        .expect("exactly one node holds the maximum");
+    Ok((leader, report.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn leader_on_line() {
+        let g = topology::line(8);
+        let ids = [3u64, 9, 1, 4, 1, 5, 92, 6];
+        let (leader, rounds) = elect_leader(&g, &ids, BandwidthModel::Local).unwrap();
+        assert_eq!(leader, 6);
+        assert!(rounds <= 2 * 8);
+    }
+
+    #[test]
+    fn leader_rounds_scale_with_diameter() {
+        let g1 = topology::line(32);
+        let mut ids: Vec<u64> = (0..32).collect();
+        ids[0] = 1000; // worst case: max at one end
+        let (_, rounds_line) = elect_leader(&g1, &ids, BandwidthModel::Local).unwrap();
+        let g2 = topology::star(32);
+        let (_, rounds_star) = elect_leader(&g2, &ids, BandwidthModel::Local).unwrap();
+        assert!(rounds_line > rounds_star);
+        assert!(rounds_line >= 31, "flood must cross the whole line");
+    }
+
+    #[test]
+    fn leader_with_random_ids_fits_congest() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = topology::grid(6, 6);
+        let ids: Vec<u64> = (0..36).map(|_| rng.gen()).collect();
+        let model = BandwidthModel::Congest { bits_per_edge: 64 };
+        let (leader, _) = elect_leader(&g, &ids, model).unwrap();
+        let max = *ids.iter().max().unwrap();
+        assert_eq!(ids[leader], max);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_max_rejected() {
+        let g = topology::line(3);
+        let _ = elect_leader(&g, &[5, 5, 1], BandwidthModel::Local);
+    }
+}

@@ -1,0 +1,188 @@
+//! Luby's maximal independent set algorithm.
+//!
+//! The LOCAL tester (§6) computes an MIS on the power graph `G^r` so
+//! that sample-gathering centers are pairwise more than `r` apart. We
+//! implement the classic Luby algorithm: in each phase every undecided
+//! node draws a random priority; a node joins the MIS if its priority
+//! beats all undecided neighbors, and MIS nodes knock their neighbors
+//! out. O(log k) phases w.h.p.; each phase costs O(1) rounds on the
+//! communication graph it runs on (O(r) rounds of `G` when simulating
+//! `G^r` on `G`).
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// The result of an MIS computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisResult {
+    /// Whether each node is in the MIS.
+    pub in_mis: Vec<bool>,
+    /// Number of Luby phases executed.
+    pub phases: usize,
+}
+
+impl MisResult {
+    /// The MIS members.
+    pub fn members(&self) -> Vec<usize> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// Runs Luby's MIS algorithm on `g`.
+///
+/// Each phase, every undecided node draws a `u64` priority; a node joins
+/// the MIS iff its (priority, id) pair is strictly largest among itself
+/// and its undecided neighbors. The (priority, id) tie-break makes the
+/// phase well-defined even on the measure-zero event of equal draws.
+pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> MisResult {
+    let k = g.node_count();
+    let mut in_mis = vec![false; k];
+    let mut decided = vec![false; k];
+    let mut undecided_left = k;
+    let mut phases = 0usize;
+    let mut priority = vec![0u64; k];
+
+    while undecided_left > 0 {
+        phases += 1;
+        for (v, p) in priority.iter_mut().enumerate() {
+            if !decided[v] {
+                *p = rng.gen();
+            }
+        }
+        // Winners: local maxima among undecided nodes.
+        let mut winners = Vec::new();
+        for v in 0..k {
+            if decided[v] {
+                continue;
+            }
+            let my = (priority[v], v);
+            let beaten = g
+                .neighbors(v)
+                .iter()
+                .any(|&w| !decided[w] && (priority[w], w) > my);
+            if !beaten {
+                winners.push(v);
+            }
+        }
+        for &v in &winners {
+            in_mis[v] = true;
+            decided[v] = true;
+            undecided_left -= 1;
+            for &w in g.neighbors(v) {
+                if !decided[w] {
+                    decided[w] = true;
+                    undecided_left -= 1;
+                }
+            }
+        }
+    }
+    MisResult { in_mis, phases }
+}
+
+/// Verifies that `in_mis` is an independent set that is maximal:
+/// no two members are adjacent, and every non-member has a member
+/// neighbor.
+pub fn verify_mis(g: &Graph, in_mis: &[bool]) -> bool {
+    if in_mis.len() != g.node_count() {
+        return false;
+    }
+    for v in 0..g.node_count() {
+        if in_mis[v] {
+            if g.neighbors(v).iter().any(|&w| in_mis[w]) {
+                return false; // not independent
+            }
+        } else if !g.neighbors(v).iter().any(|&w| in_mis[w]) {
+            return false; // not maximal
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_graph;
+    use crate::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_on_line_is_valid() {
+        let g = topology::line(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mis = luby_mis(&g, &mut rng);
+        assert!(verify_mis(&g, &mis.in_mis));
+    }
+
+    #[test]
+    fn mis_on_complete_graph_is_single_node() {
+        let g = topology::complete(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mis = luby_mis(&g, &mut rng);
+        assert_eq!(mis.members().len(), 1);
+        assert!(verify_mis(&g, &mis.in_mis));
+    }
+
+    #[test]
+    fn mis_on_edgeless_graph_is_everyone() {
+        let g = Graph::new(7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mis = luby_mis(&g, &mut rng);
+        assert_eq!(mis.members().len(), 7);
+        assert_eq!(mis.phases, 1);
+    }
+
+    #[test]
+    fn mis_valid_on_many_topologies_and_seeds() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for t in topology::Topology::ALL {
+                let g = t.instantiate(50, &mut rng);
+                let mis = luby_mis(&g, &mut rng);
+                assert!(
+                    verify_mis(&g, &mis.in_mis),
+                    "invalid MIS on {} seed {seed}",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mis_phases_are_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = topology::connected_erdos_renyi(500, 0.02, &mut rng);
+        let mis = luby_mis(&g, &mut rng);
+        assert!(verify_mis(&g, &mis.in_mis));
+        assert!(
+            mis.phases <= 30,
+            "Luby used {} phases on 500 nodes",
+            mis.phases
+        );
+    }
+
+    #[test]
+    fn mis_on_power_graph_spreads_centers() {
+        // On G^r of a line, MIS members must be > r apart in G.
+        let g = topology::line(40);
+        let r = 4;
+        let p = power_graph(&g, r);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mis = luby_mis(&p, &mut rng);
+        assert!(verify_mis(&p, &mis.in_mis));
+        let members = mis.members();
+        for w in members.windows(2) {
+            assert!(
+                w[1] - w[0] > r,
+                "MIS members {} and {} too close on the line",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Multi-hop payload routing to assigned centers.
+//!
+//! The LOCAL tester's gathering step — "node u selects some MIS node
+//! v ∈ S ∩ N^r(u), and routes its sample to v, by asking the nodes in
+//! its r-neighborhood to forward the sample" (§6) — is a real
+//! message-passing protocol, implemented here on the round engine:
+//!
+//! 1. Per-center BFS computes each node's next hop toward its assigned
+//!    center (shortest paths in `G`).
+//! 2. Every round, each node forwards all payloads it holds one hop
+//!    closer; payloads arriving at their destination are collected.
+//!
+//! Total rounds = the maximum assignment distance (≤ r for MIS
+//! assignments within `N^r`), plus quiescence detection.
+
+use crate::engine::{BandwidthModel, EngineError, MessageSize, Network, NodeProtocol, Outbox};
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A payload in flight: destination plus an opaque value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parcel {
+    /// Final destination node.
+    pub dest: NodeId,
+    /// Payload value (e.g. a sample).
+    pub value: u64,
+}
+
+impl MessageSize for Parcel {
+    fn size_bits(&self) -> usize {
+        // destination id + value, both at their natural bit lengths
+        let id_bits = (64 - (self.dest as u64).leading_zeros() as usize).max(1);
+        let val_bits = (64 - self.value.leading_zeros() as usize).max(1);
+        id_bits + val_bits
+    }
+}
+
+/// Per-node routing state.
+#[derive(Debug, Clone)]
+struct RouteNode {
+    /// Next hop toward each node's own center (None at the center).
+    next_hop: Option<NodeId>,
+    /// Parcels waiting to be forwarded.
+    queue: VecDeque<Parcel>,
+    /// Parcels that terminated here.
+    delivered: Vec<u64>,
+    /// This node's id (to detect deliveries).
+    me: NodeId,
+    /// Parcels forwarded per round (usize::MAX in LOCAL).
+    batch: usize,
+}
+
+impl NodeProtocol for RouteNode {
+    type Msg = Parcel;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, Parcel)],
+        out: &mut Outbox<'_, Parcel>,
+    ) {
+        for &(_, parcel) in inbox {
+            if parcel.dest == self.me {
+                self.delivered.push(parcel.value);
+            } else {
+                self.queue.push_back(parcel);
+            }
+        }
+        let forward = self.queue.len().min(self.batch);
+        for _ in 0..forward {
+            let parcel = self.queue.pop_front().expect("checked length");
+            let hop = self
+                .next_hop
+                .expect("non-center nodes have a next hop while parcels remain");
+            out.send(hop, parcel);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Routes `payloads[v]` from every node `v` to `center_of[v]`, over
+/// shortest paths, using the round engine. Returns per-node delivered
+/// values and the number of rounds used.
+///
+/// All parcels from `v` travel toward the *same* center, so one
+/// next-hop pointer per node suffices; next hops are derived from a BFS
+/// per distinct center.
+///
+/// `batch` limits parcels forwarded per node per round (use
+/// `usize::MAX` under LOCAL; small values model CONGEST-style
+/// pipelining).
+///
+/// # Errors
+///
+/// Propagates engine errors (round limit when a center is unreachable).
+///
+/// # Panics
+///
+/// Panics on input length mismatches or an out-of-range center.
+#[allow(clippy::needless_range_loop)]
+pub fn route_to_centers(
+    g: &Graph,
+    center_of: &[NodeId],
+    payloads: &[Vec<u64>],
+    model: BandwidthModel,
+    batch: usize,
+) -> Result<(Vec<Vec<u64>>, usize), EngineError> {
+    let k = g.node_count();
+    assert_eq!(center_of.len(), k, "one center per node");
+    assert_eq!(payloads.len(), k, "one payload list per node");
+    assert!(batch >= 1, "batch must be positive");
+
+    // BFS from each distinct center; next_hop[v] = neighbor one step
+    // closer to center_of[v].
+    let mut centers: Vec<NodeId> = center_of.to_vec();
+    centers.sort_unstable();
+    centers.dedup();
+    let mut next_hop: Vec<Option<NodeId>> = vec![None; k];
+    for &c in &centers {
+        assert!(c < k, "center {c} out of range");
+        let dist = g.bfs_distances(c);
+        for v in 0..k {
+            if center_of[v] != c || v == c {
+                continue;
+            }
+            let dv = dist[v].expect("assigned center must be reachable");
+            let hop = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&w| dist[w] == Some(dv - 1))
+                .expect("some neighbor is closer on a shortest path");
+            next_hop[v] = Some(hop);
+        }
+    }
+
+    let states: Vec<RouteNode> = (0..k)
+        .map(|v| {
+            let mut queue = VecDeque::new();
+            let mut delivered = Vec::new();
+            for &value in &payloads[v] {
+                if center_of[v] == v {
+                    delivered.push(value);
+                } else {
+                    queue.push_back(Parcel {
+                        dest: center_of[v],
+                        value,
+                    });
+                }
+            }
+            RouteNode {
+                next_hop: next_hop[v],
+                queue,
+                delivered,
+                me: v,
+                batch,
+            }
+        })
+        .collect();
+
+    let max_payloads: usize = payloads.iter().map(Vec::len).sum::<usize>().max(1);
+    let mut net = Network::new(g, model);
+    let report = net.run(states, 2 * (k + max_payloads) + 8)?;
+    let delivered = report.nodes.into_iter().map(|n| n.delivered).collect();
+    Ok((delivered, report.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn routes_to_single_center_on_line() {
+        let g = topology::line(6);
+        let center_of = vec![0; 6];
+        let payloads: Vec<Vec<u64>> = (0..6).map(|v| vec![v as u64 + 10]).collect();
+        let (delivered, rounds) =
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+                .unwrap();
+        let mut at_center = delivered[0].clone();
+        at_center.sort_unstable();
+        assert_eq!(at_center, vec![10, 11, 12, 13, 14, 15]);
+        assert!(delivered[1..].iter().all(Vec::is_empty));
+        // farthest node is 5 hops away
+        assert!((5..=8).contains(&rounds), "rounds = {rounds}");
+    }
+
+    #[test]
+    fn routes_to_two_centers() {
+        let g = topology::line(8);
+        // left half -> 0, right half -> 7
+        let center_of = vec![0, 0, 0, 0, 7, 7, 7, 7];
+        let payloads: Vec<Vec<u64>> = (0..8).map(|v| vec![v as u64]).collect();
+        let (delivered, _) =
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+                .unwrap();
+        let mut left = delivered[0].clone();
+        left.sort_unstable();
+        let mut right = delivered[7].clone();
+        right.sort_unstable();
+        assert_eq!(left, vec![0, 1, 2, 3]);
+        assert_eq!(right, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn multiple_payloads_per_node() {
+        let g = topology::star(5);
+        let center_of = vec![0; 5];
+        let payloads: Vec<Vec<u64>> = (0..5).map(|v| vec![v as u64, v as u64 + 100]).collect();
+        let (delivered, rounds) =
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+                .unwrap();
+        assert_eq!(delivered[0].len(), 10);
+        assert!(rounds <= 4);
+    }
+
+    #[test]
+    fn batched_forwarding_pipelines() {
+        // batch = 1 on a line: parcels flow one per round per node, so a
+        // stream of 4 from the end of a 4-line takes ~hops + queue time.
+        let g = topology::line(4);
+        let center_of = vec![0; 4];
+        let payloads = vec![vec![], vec![], vec![], vec![1, 2, 3, 4]];
+        let (delivered, rounds) =
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, 1).unwrap();
+        assert_eq!(delivered[0].len(), 4);
+        // 3 hops for the first + 3 more behind it + quiescence
+        assert!((6..=10).contains(&rounds), "rounds = {rounds}");
+    }
+
+    #[test]
+    fn batched_congest_fits_budget() {
+        let g = topology::grid(4, 4);
+        let center_of = vec![0; 16];
+        let payloads: Vec<Vec<u64>> = (0..16).map(|v| vec![v as u64]).collect();
+        // one parcel per edge per round: ids < 16 (4+ bits), values < 16
+        let model = BandwidthModel::Congest { bits_per_edge: 16 };
+        let (delivered, _) = route_to_centers(&g, &center_of, &payloads, model, 1).unwrap();
+        assert_eq!(delivered[0].len(), 16);
+    }
+
+    #[test]
+    fn self_assigned_nodes_keep_payloads() {
+        let g = topology::ring(4);
+        let center_of = vec![0, 1, 2, 3]; // everyone is their own center
+        let payloads: Vec<Vec<u64>> = (0..4).map(|v| vec![v as u64 * 7]).collect();
+        let (delivered, rounds) =
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+                .unwrap();
+        for (v, d) in delivered.iter().enumerate() {
+            assert_eq!(d, &vec![v as u64 * 7]);
+        }
+        assert!(rounds <= 2);
+    }
+
+    #[test]
+    fn parcel_size_accounting() {
+        let p = Parcel { dest: 5, value: 1 };
+        assert_eq!(p.size_bits(), 3 + 1);
+        let p = Parcel {
+            dest: 0,
+            value: u64::MAX,
+        };
+        assert_eq!(p.size_bits(), 1 + 64);
+    }
+}

@@ -1,0 +1,572 @@
+//! The synchronous round engine.
+//!
+//! Executes a [`NodeProtocol`] at every node of a [`Graph`] in lockstep
+//! rounds: messages sent in round `r` are delivered at the start of round
+//! `r+1`. Under [`BandwidthModel::Congest`] the engine *enforces* the
+//! per-edge-per-round bit budget — a protocol that violates CONGEST fails
+//! loudly instead of silently cheating — and every run returns a
+//! [`RunReport`] with rounds, message and bit counts.
+
+use crate::graph::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Bit-size accounting for protocol messages.
+///
+/// CONGEST budgets are measured in bits; every message type must say how
+/// many bits it occupies on the wire. Implementations for the common
+/// payload types are provided.
+pub trait MessageSize {
+    /// Size of this message in bits. Every message costs at least 1 bit.
+    fn size_bits(&self) -> usize;
+}
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn size_bits(&self) -> usize {
+        self.iter().map(MessageSize::size_bits).sum::<usize>().max(1)
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+/// A bounded counter metered at its actual bit length
+/// (`⌈log₂(v+1)⌉`, minimum 1) — the natural CONGEST cost of sending a
+/// value known to lie in a small range, such as a BFS depth or a
+/// partial count. A fixed-width `u64` would be charged 64 bits even
+/// when the protocol only ever sends values below `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Compact(pub u64);
+
+impl MessageSize for Compact {
+    fn size_bits(&self) -> usize {
+        (64 - self.0.leading_zeros() as usize).max(1)
+    }
+}
+
+/// The bandwidth model a run is executed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthModel {
+    /// LOCAL: unbounded message sizes; only rounds are counted.
+    Local,
+    /// CONGEST: at most `bits_per_edge` bits per *directed* edge per
+    /// round.
+    Congest {
+        /// The per-edge-per-round budget in bits.
+        bits_per_edge: usize,
+    },
+}
+
+impl BandwidthModel {
+    /// The standard CONGEST budget for a parameter space of size `n`
+    /// (domain size or network size, whichever is larger):
+    /// `c · ⌈log₂(n+1)⌉` bits with the conventional `c = 2` (one value
+    /// plus header room).
+    pub fn congest_for(n: usize) -> Self {
+        let bits = 2 * ((n + 1) as f64).log2().ceil() as usize;
+        BandwidthModel::Congest {
+            bits_per_edge: bits.max(2),
+        }
+    }
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A node exceeded the CONGEST per-edge-per-round budget.
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: usize,
+        /// Bits the sender tried to push over the edge this round.
+        bits: usize,
+        /// The enforced budget.
+        budget: usize,
+    },
+    /// The protocol did not terminate within the round limit.
+    RoundLimit {
+        /// The limit that was hit.
+        max_rounds: usize,
+    },
+    /// The number of protocol states did not match the node count.
+    NodeCountMismatch {
+        /// Nodes in the graph.
+        graph_nodes: usize,
+        /// Protocol states supplied.
+        states: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BandwidthExceeded {
+                from,
+                to,
+                round,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "congest violation on edge {from}->{to} in round {round}: {bits} bits > budget {budget}"
+            ),
+            EngineError::RoundLimit { max_rounds } => {
+                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+            EngineError::NodeCountMismatch {
+                graph_nodes,
+                states,
+            } => write!(
+                f,
+                "graph has {graph_nodes} nodes but {states} protocol states were supplied"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// The interface a distributed algorithm implements to run on the
+/// engine. One value of the implementing type is the local state of one
+/// node.
+pub trait NodeProtocol {
+    /// The message type exchanged by the protocol.
+    type Msg: Clone + MessageSize;
+
+    /// Called once per round at every node. `inbox` holds the messages
+    /// delivered this round (sent by neighbors last round), each tagged
+    /// with its sender. Messages for the next round are queued through
+    /// `out`.
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// Whether this node has produced its final output. The run ends
+    /// when all nodes are done and no messages are in flight.
+    fn is_done(&self) -> bool;
+}
+
+/// Queues outgoing messages for one node during one round.
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    node: NodeId,
+    neighbors: &'a [NodeId],
+    sends: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<'_, M> {
+    /// Sends `msg` to neighbor `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor of the sending node — protocols
+    /// may only talk over edges.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.contains(&to),
+            "node {} tried to send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.sends.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &to in self.neighbors {
+            self.sends.push((to, msg.clone()));
+        }
+    }
+
+    /// Neighbors of the sending node (so protocols need not carry the
+    /// graph around).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+}
+
+/// Metrics and final node states from a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport<P> {
+    /// Rounds executed (including the final quiescent round, if any
+    /// messages were still in flight when all nodes finished).
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub total_messages: usize,
+    /// Total bits delivered.
+    pub total_bits: usize,
+    /// The maximum bits pushed over any directed edge in any single
+    /// round — must be ≤ the CONGEST budget when one is enforced.
+    pub max_edge_bits_per_round: usize,
+    /// Final per-node protocol states (outputs live here).
+    pub nodes: Vec<P>,
+}
+
+/// A synchronous network: a graph plus a bandwidth model.
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    model: BandwidthModel,
+}
+
+impl<'g> Network<'g> {
+    /// Creates a network over `graph` with the given bandwidth model.
+    pub fn new(graph: &'g Graph, model: BandwidthModel) -> Self {
+        Network { graph, model }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The bandwidth model.
+    pub fn model(&self) -> BandwidthModel {
+        self.model
+    }
+
+    /// Runs the protocol to quiescence (all nodes done, no messages in
+    /// flight) or up to `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::NodeCountMismatch`] if `states` has the wrong
+    ///   length.
+    /// * [`EngineError::BandwidthExceeded`] on a CONGEST violation.
+    /// * [`EngineError::RoundLimit`] if quiescence is not reached.
+    pub fn run<P: NodeProtocol>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+    ) -> Result<RunReport<P>, EngineError> {
+        let k = self.graph.node_count();
+        if states.len() != k {
+            return Err(EngineError::NodeCountMismatch {
+                graph_nodes: k,
+                states: states.len(),
+            });
+        }
+        let mut states = states;
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+        let mut total_messages = 0usize;
+        let mut total_bits = 0usize;
+        let mut max_edge_bits = 0usize;
+
+        for round in 0..max_rounds {
+            // Quiescence check: nothing in flight and everyone done.
+            let in_flight = inboxes.iter().any(|b| !b.is_empty());
+            if round > 0 && !in_flight && states.iter().all(NodeProtocol::is_done) {
+                return Ok(RunReport {
+                    rounds: round,
+                    total_messages,
+                    total_bits,
+                    max_edge_bits_per_round: max_edge_bits,
+                    nodes: states,
+                });
+            }
+
+            for (node, state) in states.iter_mut().enumerate() {
+                let mut out = Outbox {
+                    node,
+                    neighbors: self.graph.neighbors(node),
+                    sends: Vec::new(),
+                };
+                state.on_round(node, round, &inboxes[node], &mut out);
+
+                // Deliver (and meter) this node's sends.
+                // Per-destination bit accounting for CONGEST.
+                let mut sent_bits_to: Vec<(NodeId, usize)> = Vec::new();
+                for (to, msg) in out.sends {
+                    let bits = msg.size_bits();
+                    let entry = match sent_bits_to.iter_mut().find(|(d, _)| *d == to) {
+                        Some(e) => {
+                            e.1 += bits;
+                            e.1
+                        }
+                        None => {
+                            sent_bits_to.push((to, bits));
+                            bits
+                        }
+                    };
+                    if let BandwidthModel::Congest { bits_per_edge } = self.model {
+                        if entry > bits_per_edge {
+                            return Err(EngineError::BandwidthExceeded {
+                                from: node,
+                                to,
+                                round,
+                                bits: entry,
+                                budget: bits_per_edge,
+                            });
+                        }
+                    }
+                    max_edge_bits = max_edge_bits.max(entry);
+                    total_messages += 1;
+                    total_bits += bits;
+                    next_inboxes[to].push((node, msg));
+                }
+            }
+
+            for b in inboxes.iter_mut() {
+                b.clear();
+            }
+            std::mem::swap(&mut inboxes, &mut next_inboxes);
+        }
+        Err(EngineError::RoundLimit { max_rounds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    /// Flood protocol used across the tests.
+    #[derive(Clone, Debug)]
+    struct Flood {
+        seen: bool,
+    }
+
+    impl NodeProtocol for Flood {
+        type Msg = ();
+        fn on_round(
+            &mut self,
+            node: NodeId,
+            round: usize,
+            inbox: &[(NodeId, ())],
+            out: &mut Outbox<'_, ()>,
+        ) {
+            let newly = (node == 0 && round == 0) || (!self.seen && !inbox.is_empty());
+            if newly {
+                self.seen = true;
+                out.broadcast(());
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_a_line() {
+        let g = topology::line(8);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let report = net.run(vec![Flood { seen: false }; 8], 32).unwrap();
+        assert!(report.nodes.iter().all(|n| n.seen));
+        // 0 announces in round 0; node 7 hears in round 7 and re-broadcasts;
+        // round 8 drains node 7's broadcast; round 9 detects quiescence.
+        assert_eq!(report.rounds, 9);
+    }
+
+    #[test]
+    fn flood_rounds_scale_with_diameter() {
+        let g_star = topology::star(16);
+        let mut net = Network::new(&g_star, BandwidthModel::Local);
+        let report = net.run(vec![Flood { seen: false }; 16], 32).unwrap();
+        assert!(report.rounds <= 4, "star flood took {} rounds", report.rounds);
+    }
+
+    #[test]
+    fn message_metrics_are_counted() {
+        let g = topology::line(3);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let report = net.run(vec![Flood { seen: false }; 3], 32).unwrap();
+        // round 0: 0->1. round 1: 1->0, 1->2. round 2: 2->1.
+        assert_eq!(report.total_messages, 4);
+        assert_eq!(report.total_bits, 4); // unit messages cost 1 bit each
+        assert_eq!(report.max_edge_bits_per_round, 1);
+    }
+
+    #[test]
+    fn congest_budget_violation_detected() {
+        /// Sends a fat message over one edge in round 0.
+        #[derive(Debug)]
+        struct Fat;
+        impl NodeProtocol for Fat {
+            type Msg = Vec<u64>;
+            fn on_round(
+                &mut self,
+                node: NodeId,
+                round: usize,
+                _inbox: &[(NodeId, Vec<u64>)],
+                out: &mut Outbox<'_, Vec<u64>>,
+            ) {
+                if node == 0 && round == 0 {
+                    out.send(1, vec![0u64; 100]); // 6400 bits
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = topology::line(2);
+        let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 64 });
+        let err = net.run(vec![Fat, Fat], 8).unwrap_err();
+        assert!(matches!(err, EngineError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn congest_budget_split_across_messages() {
+        /// Sends two messages over one edge whose *sum* exceeds the budget.
+        #[derive(Debug)]
+        struct TwoMsgs;
+        impl NodeProtocol for TwoMsgs {
+            type Msg = u64;
+            fn on_round(
+                &mut self,
+                node: NodeId,
+                round: usize,
+                _inbox: &[(NodeId, u64)],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if node == 0 && round == 0 {
+                    out.send(1, 1);
+                    out.send(1, 2);
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = topology::line(2);
+        let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 100 });
+        let err = net.run(vec![TwoMsgs, TwoMsgs], 8).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BandwidthExceeded { bits: 128, .. }
+        ));
+    }
+
+    #[test]
+    fn congest_within_budget_succeeds() {
+        let g = topology::line(4);
+        let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 8 });
+        let report = net.run(vec![Flood { seen: false }; 4], 32).unwrap();
+        assert!(report.nodes.iter().all(|n| n.seen));
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        /// Never terminates: ping-pongs forever.
+        #[derive(Debug)]
+        struct Chatter;
+        impl NodeProtocol for Chatter {
+            type Msg = ();
+            fn on_round(
+                &mut self,
+                _node: NodeId,
+                _round: usize,
+                _inbox: &[(NodeId, ())],
+                out: &mut Outbox<'_, ()>,
+            ) {
+                out.broadcast(());
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = topology::line(2);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let err = net.run(vec![Chatter, Chatter], 10).unwrap_err();
+        assert_eq!(err, EngineError::RoundLimit { max_rounds: 10 });
+    }
+
+    #[test]
+    fn node_count_mismatch_detected() {
+        let g = topology::line(3);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let err = net.run(vec![Flood { seen: false }; 2], 8).unwrap_err();
+        assert!(matches!(err, EngineError::NodeCountMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn send_to_non_neighbor_panics() {
+        #[derive(Debug)]
+        struct Bad;
+        impl NodeProtocol for Bad {
+            type Msg = ();
+            fn on_round(
+                &mut self,
+                node: NodeId,
+                _round: usize,
+                _inbox: &[(NodeId, ())],
+                out: &mut Outbox<'_, ()>,
+            ) {
+                if node == 0 {
+                    out.send(2, ());
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = topology::line(3); // 0-1-2: node 2 not adjacent to 0
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let _ = net.run(vec![Bad, Bad, Bad], 8);
+    }
+
+    #[test]
+    fn congest_for_scales_logarithmically() {
+        let m1 = BandwidthModel::congest_for(1 << 10);
+        let m2 = BandwidthModel::congest_for(1 << 20);
+        match (m1, m2) {
+            (
+                BandwidthModel::Congest { bits_per_edge: b1 },
+                BandwidthModel::Congest { bits_per_edge: b2 },
+            ) => {
+                assert_eq!(b1, 22);
+                assert_eq!(b2, 42);
+            }
+            _ => panic!("expected congest models"),
+        }
+    }
+
+    #[test]
+    fn message_size_impls() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(7u32.size_bits(), 32);
+        assert_eq!(7u64.size_bits(), 64);
+        assert_eq!(vec![1u64, 2, 3].size_bits(), 192);
+        assert_eq!(Vec::<u64>::new().size_bits(), 1);
+        assert_eq!((1u32, 2u64).size_bits(), 96);
+    }
+}

@@ -1,0 +1,398 @@
+//! Undirected graphs and basic graph algorithms.
+
+use std::collections::VecDeque;
+
+/// A node identifier: nodes are numbered `0 .. k`.
+pub type NodeId = usize;
+
+/// An undirected simple graph with adjacency lists.
+///
+/// Node identifiers are dense (`0 .. node_count()`). Self-loops and
+/// parallel edges are rejected at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `k` nodes.
+    pub fn new(k: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); k],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn from_edges(k: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::new(k);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            !self.adj[u].contains(&v),
+            "duplicate edge {{{u}, {v}}}"
+        );
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// BFS distances from `source`; unreachable nodes get `None`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.node_count()];
+        let mut queue = VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &w in &self.adj[u] {
+                if dist[w].is_none() {
+                    dist[w] = Some(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected (true for the empty and 1-node
+    /// graphs).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() <= 1 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|d| d.is_some())
+    }
+
+    /// The eccentricity of `v`: max distance to any node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn eccentricity(&self, v: NodeId) -> usize {
+        self.bfs_distances(v)
+            .iter()
+            .map(|d| d.expect("eccentricity requires a connected graph"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The exact diameter, via BFS from every node — O(k·m). Fine for
+    /// experiment-scale graphs (k up to a few tens of thousands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn diameter(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.eccentricity(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Connected components: returns `component[v]` labels in
+    /// `0..component_count`, numbered by discovery order.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let k = self.node_count();
+        let mut comp = vec![usize::MAX; k];
+        let mut count = 0usize;
+        for start in 0..k {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = count;
+            count += 1;
+            let mut stack = vec![start];
+            comp[start] = id;
+            while let Some(u) = stack.pop() {
+                for &w in &self.adj[u] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = id;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        (comp, count)
+    }
+
+    /// Minimum, mean, and maximum degree — the quantities that drive
+    /// Luby-phase counts and congestion hot spots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn degree_stats(&self) -> DegreeStats {
+        assert!(self.node_count() > 0, "degree stats need a non-empty graph");
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for v in 0..self.node_count() {
+            let d = self.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: sum as f64 / self.node_count() as f64,
+        }
+    }
+
+    /// The induced subgraph on `nodes` (which must be distinct). Node
+    /// `i` of the result corresponds to `nodes[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate entries.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Graph {
+        let mut index_of = vec![usize::MAX; self.node_count()];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert!(v < self.node_count(), "node {v} out of range");
+            assert_eq!(index_of[v], usize::MAX, "node {v} listed twice");
+            index_of[v] = i;
+        }
+        let mut g = Graph::new(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            for &w in &self.adj[v] {
+                let j = index_of[w];
+                if j != usize::MAX && i < j {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Renders the graph in Graphviz DOT format, optionally highlighting
+    /// a set of nodes (e.g. MIS centers) with a `fillcolor`.
+    pub fn to_dot(&self, name: &str, highlight: Option<&[NodeId]>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {name} {{");
+        if let Some(hl) = highlight {
+            for &v in hl {
+                let _ = writeln!(
+                    out,
+                    "  {v} [style=filled, fillcolor=lightblue];"
+                );
+            }
+        }
+        for (u, v) in self.edges() {
+            let _ = writeln!(out, "  {u} -- {v};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Degree summary returned by [`Graph::degree_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (`2m/k`).
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn add_edges_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn bfs_distances_on_line() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_detects_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn diameter_of_line_and_cycle() {
+        let line = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(line.diameter(), 4);
+        let cycle = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(cycle.diameter(), 3);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let line = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(line.eccentricity(2), 2);
+        assert_eq!(line.eccentricity(0), 4);
+    }
+
+    #[test]
+    fn edges_iterator_unique() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = g.connected_components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (_, count) = g.connected_components();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let mut g = Graph::new(5);
+        for i in 1..5 {
+            g.add_edge(0, i);
+        }
+        let s = g.degree_stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let sub = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // (0,1) and (1,2); (0,4)/(2,3) cut
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let _ = g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn dot_export_contains_edges_and_highlights() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = g.to_dot("demo", Some(&[1]));
+        assert!(dot.starts_with("graph demo {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("1 [style=filled"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

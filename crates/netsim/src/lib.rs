@@ -1,0 +1,75 @@
+//! A synchronous round-based message-passing network simulator with
+//! LOCAL and CONGEST semantics.
+//!
+//! The distributed models of *Distributed Uniformity Testing* (Fischer,
+//! Meir, Oshman; PODC 2018) are the textbook synchronous models:
+//!
+//! * **LOCAL** — in each round every node may send an arbitrarily large
+//!   message to each neighbor; complexity is measured in rounds only.
+//! * **CONGEST** — messages are limited to `O(log n)` bits per edge per
+//!   round; the simulator *enforces* the budget and fails loudly on
+//!   violation, and reports rounds, messages, and bits as first-class
+//!   metrics.
+//!
+//! The crate provides:
+//!
+//! * [`graph`] — undirected graphs, BFS, eccentricity/diameter,
+//!   connectivity.
+//! * [`topology`] — generators for the standard experiment topologies
+//!   (line, ring, star, complete, balanced tree, 2D grid, connected
+//!   Erdős–Rényi).
+//! * [`engine`] — the synchronous round engine: implement
+//!   [`engine::NodeProtocol`] and run it on any graph under either
+//!   bandwidth model.
+//! * [`algorithms`] — the building blocks the paper's protocols assume:
+//!   distributed BFS-tree construction, max-id leader election,
+//!   convergecast aggregation and broadcast, and Luby's MIS (on power
+//!   graphs `G^r`, as the LOCAL tester requires).
+//! * [`power`] — power-graph construction `G^r`.
+//!
+//! # Example: flooding a token
+//!
+//! ```rust
+//! use dut_netsim::engine::{BandwidthModel, Network, NodeProtocol, Outbox};
+//! use dut_netsim::graph::NodeId;
+//! use dut_netsim::topology;
+//!
+//! #[derive(Clone)]
+//! struct Flood { seen: bool }
+//!
+//! impl NodeProtocol for Flood {
+//!     type Msg = ();
+//!     fn on_round(
+//!         &mut self,
+//!         node: NodeId,
+//!         round: usize,
+//!         inbox: &[(NodeId, ())],
+//!         out: &mut Outbox<'_, ()>,
+//!     ) {
+//!         let newly = (node == 0 && round == 0) || (!self.seen && !inbox.is_empty());
+//!         if newly {
+//!             self.seen = true;
+//!             out.broadcast(());
+//!         }
+//!     }
+//!     fn is_done(&self) -> bool { self.seen }
+//! }
+//!
+//! let g = topology::line(8);
+//! let mut net = Network::new(&g, BandwidthModel::Local);
+//! let report = net.run(vec![Flood { seen: false }; 8], 32).unwrap();
+//! // 7 hops, one round draining the last broadcast, one quiescent round.
+//! assert_eq!(report.rounds, 9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod engine;
+pub mod graph;
+pub mod power;
+pub mod topology;
+
+pub use engine::{BandwidthModel, Network, RunReport};
+pub use graph::{DegreeStats, Graph, NodeId};

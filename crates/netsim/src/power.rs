@@ -1,0 +1,136 @@
+//! Power graphs `G^r`.
+//!
+//! The LOCAL uniformity tester (§6 of the paper) computes a maximal
+//! independent set on `G^r` — the graph connecting every pair of nodes at
+//! distance at most `r` in `G` — so that MIS nodes are pairwise far apart
+//! in `G` and each can gather the samples of its `r/2`-neighborhood
+//! without competition.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Builds `G^r`: nodes of `g`, with an edge `{u, v}` iff
+/// `0 < dist_G(u, v) ≤ r`.
+///
+/// Runs a depth-bounded BFS from every node — O(k·(k+m)) worst case,
+/// fine at experiment scale.
+///
+/// # Panics
+///
+/// Panics if `r == 0` (the power graph would be edgeless and the MIS
+/// construction meaningless).
+#[allow(clippy::needless_range_loop)]
+pub fn power_graph(g: &Graph, r: usize) -> Graph {
+    assert!(r > 0, "power graph exponent must be positive");
+    let k = g.node_count();
+    let mut out = Graph::new(k);
+    let mut dist: Vec<usize> = vec![usize::MAX; k];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut queue = VecDeque::new();
+    for u in 0..k {
+        // Depth-bounded BFS from u.
+        dist[u] = 0;
+        touched.push(u);
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if dist[x] == r {
+                continue;
+            }
+            for &w in g.neighbors(x) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[x] + 1;
+                    touched.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &w in &touched {
+            if w > u {
+                out.add_edge(u, w);
+            }
+        }
+        for &w in &touched {
+            dist[w] = usize::MAX;
+        }
+        touched.clear();
+    }
+    out
+}
+
+/// The `t`-neighborhood of `v`: all nodes at distance ≤ `t` (including
+/// `v` itself), in BFS order.
+pub fn neighborhood(g: &Graph, v: NodeId, t: usize) -> Vec<NodeId> {
+    let mut dist: Vec<usize> = vec![usize::MAX; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[v] = 0;
+    order.push(v);
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        if dist[x] == t {
+            continue;
+        }
+        for &w in g.neighbors(x) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[x] + 1;
+                order.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = topology::ring(8);
+        let p = power_graph(&g, 1);
+        assert_eq!(p.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(p.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn power_two_of_line() {
+        let g = topology::line(5);
+        let p = power_graph(&g, 2);
+        // Distances <= 2 on a path of 5: (0,1),(1,2),(2,3),(3,4) plus
+        // (0,2),(1,3),(2,4).
+        assert_eq!(p.edge_count(), 7);
+        assert!(p.has_edge(0, 2));
+        assert!(!p.has_edge(0, 3));
+    }
+
+    #[test]
+    fn power_diameter_covers_all() {
+        let g = topology::line(6);
+        let p = power_graph(&g, 5);
+        // r = diameter connects everything.
+        assert_eq!(p.edge_count(), 6 * 5 / 2);
+    }
+
+    #[test]
+    fn neighborhood_sizes_on_line() {
+        let g = topology::line(10);
+        assert_eq!(neighborhood(&g, 0, 0), vec![0]);
+        assert_eq!(neighborhood(&g, 0, 2).len(), 3);
+        assert_eq!(neighborhood(&g, 5, 2).len(), 5);
+        // Connected graph: |N^t(v)| >= t+1 (the paper's §6 argument).
+        for t in 0..5 {
+            assert!(neighborhood(&g, 3, t).len() > t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_zero_rejected() {
+        let g = topology::line(3);
+        let _ = power_graph(&g, 0);
+    }
+}

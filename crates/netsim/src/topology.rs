@@ -1,0 +1,282 @@
+//! Topology generators for experiments.
+//!
+//! The paper's round complexities depend on the network diameter `D`
+//! (e.g. CONGEST testing in `O(D + n/(kε⁴))` rounds), so experiments
+//! sweep over topologies with very different diameters: the line
+//! (`D = k−1`), ring, star (`D = 2`), complete graph (`D = 1`), balanced
+//! binary tree (`D = Θ(log k)`), 2D grid (`D = Θ(√k)`) and connected
+//! Erdős–Rényi graphs (`D = Θ(log k)` w.h.p.).
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// A line (path) on `k` nodes: `0 — 1 — ... — k−1`. Diameter `k−1`.
+pub fn line(k: usize) -> Graph {
+    let mut g = Graph::new(k);
+    for i in 1..k {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A ring (cycle) on `k ≥ 3` nodes. Diameter `⌊k/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+pub fn ring(k: usize) -> Graph {
+    assert!(k >= 3, "a ring needs at least 3 nodes");
+    let mut g = line(k);
+    g.add_edge(k - 1, 0);
+    g
+}
+
+/// A star on `k ≥ 2` nodes with node 0 as the hub. Diameter 2.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn star(k: usize) -> Graph {
+    assert!(k >= 2, "a star needs at least 2 nodes");
+    let mut g = Graph::new(k);
+    for i in 1..k {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The complete graph on `k` nodes. Diameter 1.
+pub fn complete(k: usize) -> Graph {
+    let mut g = Graph::new(k);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A balanced binary tree on `k` nodes (heap layout: node `i`'s children
+/// are `2i+1`, `2i+2`). Diameter `Θ(log k)`.
+pub fn balanced_binary_tree(k: usize) -> Graph {
+    let mut g = Graph::new(k);
+    for i in 1..k {
+        g.add_edge((i - 1) / 2, i);
+    }
+    g
+}
+
+/// A 2D grid with `rows × cols` nodes (row-major ids). Diameter
+/// `rows + cols − 2`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols);
+            }
+        }
+    }
+    g
+}
+
+/// A connected Erdős–Rényi graph `G(k, p)`: edges drawn independently
+/// with probability `p`, then augmented with a random spanning-path edge
+/// for every node left disconnected (so the result is always connected
+/// while staying close to `G(k, p)` for `p` above the connectivity
+/// threshold).
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+pub fn connected_erdos_renyi<R: Rng + ?Sized>(k: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(p > 0.0 && p <= 1.0, "edge probability must be in (0, 1]");
+    let mut g = Graph::new(k);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    // Stitch components together: chain one representative per
+    // component (keeps degree inflation minimal).
+    let (comp, n_comp) = g.connected_components();
+    if n_comp > 1 {
+        // Pick one representative per component and chain them.
+        let mut reps = vec![None; n_comp];
+        for v in 0..k {
+            if reps[comp[v]].is_none() {
+                reps[comp[v]] = Some(v);
+            }
+        }
+        let reps: Vec<usize> = reps.into_iter().map(|r| r.expect("component has a node")).collect();
+        for w in reps.windows(2) {
+            if !g.has_edge(w[0], w[1]) {
+                g.add_edge(w[0], w[1]);
+            }
+        }
+    }
+    g
+}
+
+/// Catalogue of named topologies, used by experiment harnesses to sweep
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// [`line()`] — maximal diameter `k−1`.
+    Line,
+    /// [`ring`] — diameter `⌊k/2⌋`.
+    Ring,
+    /// [`star`] — diameter 2.
+    Star,
+    /// [`balanced_binary_tree`] — diameter `Θ(log k)`.
+    Tree,
+    /// Square-ish [`grid`] — diameter `Θ(√k)`.
+    Grid,
+    /// [`connected_erdos_renyi`] with `p = 2 ln k / k` — diameter
+    /// `Θ(log k)` w.h.p.
+    ErdosRenyi,
+}
+
+impl Topology {
+    /// All catalogue topologies.
+    pub const ALL: [Topology; 6] = [
+        Topology::Line,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Tree,
+        Topology::Grid,
+        Topology::ErdosRenyi,
+    ];
+
+    /// Short machine-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Line => "line",
+            Topology::Ring => "ring",
+            Topology::Star => "star",
+            Topology::Tree => "tree",
+            Topology::Grid => "grid",
+            Topology::ErdosRenyi => "erdos-renyi",
+        }
+    }
+
+    /// Instantiates the topology on (roughly) `k` nodes — the grid
+    /// rounds `k` down to a full rectangle.
+    pub fn instantiate<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Graph {
+        match self {
+            Topology::Line => line(k),
+            Topology::Ring => ring(k.max(3)),
+            Topology::Star => star(k.max(2)),
+            Topology::Tree => balanced_binary_tree(k),
+            Topology::Grid => {
+                let side = (k as f64).sqrt().floor().max(1.0) as usize;
+                grid(side, k / side)
+            }
+            Topology::ErdosRenyi => {
+                let p = (2.0 * (k.max(2) as f64).ln() / k.max(2) as f64).min(1.0);
+                connected_erdos_renyi(k, p, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.diameter(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.diameter(), 4);
+        assert!(g.neighbors(0).contains(&7));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = balanced_binary_tree(15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_connected());
+        // Depth 3 full tree: diameter 6 (leaf to leaf).
+        assert_eq!(g.diameter(), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5);
+        assert_eq!(g.diameter(), 3 + 4);
+    }
+
+    #[test]
+    fn erdos_renyi_always_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [5usize, 20, 100] {
+            // Even far below the connectivity threshold, stitching keeps
+            // the output connected.
+            let g = connected_erdos_renyi(k, 0.01, &mut rng);
+            assert!(g.is_connected(), "k={k} disconnected");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = 200;
+        let g = connected_erdos_renyi(k, 0.1, &mut rng);
+        let expected = 0.1 * (k * (k - 1) / 2) as f64;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.2,
+            "edges {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn catalogue_instantiates_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in Topology::ALL {
+            let g = t.instantiate(64, &mut rng);
+            assert!(g.is_connected(), "{} disconnected", t.name());
+            assert!(g.node_count() >= 56, "{} too small", t.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small() {
+        let _ = ring(2);
+    }
+}

@@ -1,0 +1,463 @@
+//! The asymmetric-error Equality protocol (Lemma 7.3).
+//!
+//! Parameters: input length `n` bits, gap factor `τ > 1`, error budget
+//! `δ`. The protocol:
+//!
+//! 1. Both players encode their input with a shared rate-≈1/3 code
+//!    `C : {0,1}^n → {0,1}^m` with relative distance ≥ 1/6, where
+//!    `m = (6m₀)²` is a square (the paper picks `3n ≤ m ≤ 4n`; we take
+//!    the smallest square of a multiple of 6 that is ≥ 3n).
+//! 2. The codeword is viewed as a `(6m₀) × (6m₀)` table, wrapped as a
+//!    torus.
+//! 3. Alice picks a uniformly random cell `(a₁, a₂)` and sends the
+//!    vertical chunk of `t` bits starting there (down column `a₂`);
+//!    Bob sends a horizontal chunk of `t` bits along row `b₁`.
+//! 4. The chunks overlap in at most one cell — `(b₁, a₂)`, when
+//!    `b₁` lies in Alice's row range and `a₂` in Bob's column range —
+//!    and the referee accepts unless that shared cell differs.
+//!
+//! Analysis: chunks intersect with probability `(t/6m₀)² = t²/m`, and
+//! the intersection cell is uniform; distinct inputs give codewords
+//! differing in ≥ m/6 cells, so
+//! `Pr[reject] ≥ (t²/m)(1/6) ≥ τδ` for `t = ⌈√(6τδm)⌉`.
+//! Equal inputs are never rejected. Cost: `t + 2⌈log₂ 6m₀⌉` bits.
+
+use crate::framework::SmpProtocol;
+use dut_ecc::{BinaryCode, RandomLinearCode};
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing an [`EqualityProtocol`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EqualityError {
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Offending parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Valid range description.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for EqualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqualityError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter {name} = {value} out of range ({expected})"),
+        }
+    }
+}
+
+impl Error for EqualityError {}
+
+/// One player's message: a start cell plus a chunk of codeword bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMessage {
+    /// Start row of the chunk.
+    pub row: usize,
+    /// Start column of the chunk.
+    pub col: usize,
+    /// The chunk bits (length `t`). Alice's run vertically from
+    /// `(row, col)`; Bob's run horizontally.
+    pub bits: Vec<bool>,
+}
+
+/// The Lemma 7.3 Equality protocol.
+///
+/// # Example
+///
+/// ```rust
+/// use dut_smp::{EqualityProtocol, SmpProtocol};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = EqualityProtocol::new(256, 2.0, 0.05, 42)?;
+/// let mut ra = StdRng::seed_from_u64(1);
+/// let mut rb = StdRng::seed_from_u64(2);
+///
+/// let x = [0xDEAD_BEEFu64; 4];
+/// // Equal inputs are never rejected.
+/// let (accept, cost) = p.run(&x, &x, &mut ra, &mut rb);
+/// assert!(accept);
+/// assert!(cost.max_bits() <= p.message_bits_bound());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EqualityProtocol {
+    n_bits: usize,
+    /// Torus side length `6m₀`.
+    side: usize,
+    /// Codeword length `m = side²`.
+    m: usize,
+    /// Chunk length `t`.
+    t: usize,
+    tau: f64,
+    delta: f64,
+    code: RandomLinearCode,
+}
+
+impl EqualityProtocol {
+    /// Creates the protocol for `n_bits`-bit inputs with gap `tau` and
+    /// error budget `delta`. `seed` determines the shared code (a
+    /// public parameter, not a shared coin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EqualityError::InvalidParameter`] for `n_bits == 0`,
+    /// `tau <= 1`, or `delta` outside `(0, 1)`.
+    pub fn new(n_bits: usize, tau: f64, delta: f64, seed: u64) -> Result<Self, EqualityError> {
+        if n_bits == 0 {
+            return Err(EqualityError::InvalidParameter {
+                name: "n_bits",
+                value: 0.0,
+                expected: "n_bits >= 1",
+            });
+        }
+        if !(tau > 1.0 && tau.is_finite()) {
+            return Err(EqualityError::InvalidParameter {
+                name: "tau",
+                value: tau,
+                expected: "tau > 1",
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(EqualityError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                expected: "0 < delta < 1",
+            });
+        }
+        // Smallest m = (6 m0)^2 >= 3 n_bits.
+        let m0 = ((3.0 * n_bits as f64).sqrt() / 6.0).ceil().max(1.0) as usize;
+        let side = 6 * m0;
+        let m = side * side;
+        // Chunk length: t = ceil(sqrt(6 tau delta m)), clamped to the
+        // torus side (a full column is the most a chunk can hold).
+        let t = ((6.0 * tau * delta * m as f64).sqrt().ceil() as usize)
+            .max(1)
+            .min(side);
+        let code = RandomLinearCode::new(n_bits, m, seed);
+        Ok(EqualityProtocol {
+            n_bits,
+            side,
+            m,
+            t,
+            tau,
+            delta,
+            code,
+        })
+    }
+
+    /// Input length in bits.
+    pub fn input_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Codeword length `m` (a square).
+    pub fn codeword_bits(&self) -> usize {
+        self.m
+    }
+
+    /// The torus side `6m₀`.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The chunk length `t`.
+    pub fn chunk_len(&self) -> usize {
+        self.t
+    }
+
+    /// Worst-case message size: `t` chunk bits plus two coordinates.
+    pub fn message_bits_bound(&self) -> usize {
+        let coord_bits = (self.side as f64).log2().ceil() as usize;
+        self.t + 2 * coord_bits
+    }
+
+    /// The probability the chunks intersect: `t²/m`.
+    pub fn intersection_probability(&self) -> f64 {
+        (self.t as f64 / self.side as f64).powi(2)
+    }
+
+    /// Lower bound on the rejection probability for distinct inputs:
+    /// `(t²/m)·(1/6) ≥ τδ` (assuming the code's 1/6 relative distance).
+    pub fn rejection_lower_bound(&self) -> f64 {
+        (self.intersection_probability() / 6.0).min(1.0)
+    }
+
+    /// The gap/error parameters `(τ, δ)` the protocol was built for.
+    pub fn parameters(&self) -> (f64, f64) {
+        (self.tau, self.delta)
+    }
+
+    /// Bit `(row, col)` of the encoded input (torus coordinates).
+    fn table_bit(&self, codeword: &[u64], row: usize, col: usize) -> bool {
+        let idx = (row % self.side) * self.side + (col % self.side);
+        (codeword[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Precomputes a player's codeword table. Encoding is the expensive
+    /// step (a k×m matrix product); a player with a fixed input encodes
+    /// once and then answers any number of chunk requests in O(t).
+    pub fn encode_input(&self, input: &[u64]) -> EncodedInput {
+        EncodedInput {
+            codeword: self.code.encode(input),
+        }
+    }
+
+    /// Alice's message from a precomputed codeword: a random vertical
+    /// chunk.
+    pub fn alice_from_encoded<R: Rng + ?Sized>(
+        &self,
+        encoded: &EncodedInput,
+        rng: &mut R,
+    ) -> ChunkMessage {
+        self.chunk_from_codeword(&encoded.codeword, true, rng)
+    }
+
+    /// Bob's message from a precomputed codeword: a random horizontal
+    /// chunk.
+    pub fn bob_from_encoded<R: Rng + ?Sized>(
+        &self,
+        encoded: &EncodedInput,
+        rng: &mut R,
+    ) -> ChunkMessage {
+        self.chunk_from_codeword(&encoded.codeword, false, rng)
+    }
+
+    fn chunk_from_codeword<R: Rng + ?Sized>(
+        &self,
+        codeword: &[u64],
+        vertical: bool,
+        rng: &mut R,
+    ) -> ChunkMessage {
+        let row = rng.gen_range(0..self.side);
+        let col = rng.gen_range(0..self.side);
+        let bits = (0..self.t)
+            .map(|i| {
+                if vertical {
+                    self.table_bit(codeword, row + i, col)
+                } else {
+                    self.table_bit(codeword, row, col + i)
+                }
+            })
+            .collect();
+        ChunkMessage { row, col, bits }
+    }
+
+    fn chunk<R: Rng + ?Sized>(
+        &self,
+        input: &[u64],
+        vertical: bool,
+        rng: &mut R,
+    ) -> ChunkMessage {
+        let codeword = self.code.encode(input);
+        self.chunk_from_codeword(&codeword, vertical, rng)
+    }
+}
+
+/// A player's precomputed codeword table (see
+/// [`EqualityProtocol::encode_input`]).
+#[derive(Debug, Clone)]
+pub struct EncodedInput {
+    codeword: Vec<u64>,
+}
+
+impl SmpProtocol for EqualityProtocol {
+    type Input = [u64];
+    type Msg = ChunkMessage;
+
+    /// Alice: vertical chunk down column `col` starting at `row`.
+    fn alice<R: Rng + ?Sized>(&self, x: &[u64], rng: &mut R) -> ChunkMessage {
+        self.chunk(x, true, rng)
+    }
+
+    /// Bob: horizontal chunk along row `row` starting at `col`.
+    fn bob<R: Rng + ?Sized>(&self, y: &[u64], rng: &mut R) -> ChunkMessage {
+        self.chunk(y, false, rng)
+    }
+
+    /// Accepts unless the chunks share a cell and disagree on it.
+    fn referee(&self, alice: &ChunkMessage, bob: &ChunkMessage) -> bool {
+        // Shared cell is (bob.row, alice.col), present iff bob.row lies
+        // in Alice's row range and alice.col lies in Bob's column range
+        // (with torus wrap-around).
+        let row_off = (bob.row + self.side - alice.row) % self.side;
+        let col_off = (alice.col + self.side - bob.col) % self.side;
+        if row_off < self.t && col_off < self.t {
+            alice.bits[row_off] == bob.bits[col_off]
+        } else {
+            true
+        }
+    }
+
+    fn message_bits(&self, msg: &ChunkMessage) -> usize {
+        let coord_bits = (self.side as f64).log2().ceil() as usize;
+        msg.bits.len() + 2 * coord_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_input<R: Rng>(bits: usize, rng: &mut R) -> Vec<u64> {
+        let words = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        if !bits.is_multiple_of(64) {
+            v[words - 1] &= (1u64 << (bits % 64)) - 1;
+        }
+        v
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let p = EqualityProtocol::new(256, 2.0, 0.05, 1).unwrap();
+        assert!(p.codeword_bits() >= 3 * 256);
+        assert_eq!(p.side() % 6, 0);
+        assert_eq!(p.side() * p.side(), p.codeword_bits());
+        assert!(p.chunk_len() <= p.side());
+        assert!(p.rejection_lower_bound() >= 2.0 * 0.05 * 0.99);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(EqualityProtocol::new(0, 2.0, 0.1, 1).is_err());
+        assert!(EqualityProtocol::new(64, 1.0, 0.1, 1).is_err());
+        assert!(EqualityProtocol::new(64, 2.0, 0.0, 1).is_err());
+        assert!(EqualityProtocol::new(64, 2.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn equal_inputs_always_accepted() {
+        let p = EqualityProtocol::new(128, 2.0, 0.1, 2).unwrap();
+        let mut ra = StdRng::seed_from_u64(10);
+        let mut rb = StdRng::seed_from_u64(20);
+        let mut rng = StdRng::seed_from_u64(30);
+        for _ in 0..2000 {
+            let x = random_input(128, &mut rng);
+            let (accept, _) = p.run(&x, &x, &mut ra, &mut rb);
+            assert!(accept, "equal inputs rejected");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rejected_at_rate_tau_delta() {
+        let tau = 2.0;
+        let delta = 0.05;
+        let p = EqualityProtocol::new(256, tau, delta, 3).unwrap();
+        let mut ra = StdRng::seed_from_u64(11);
+        let mut rb = StdRng::seed_from_u64(21);
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = random_input(256, &mut rng);
+        let mut y = x.clone();
+        y[0] ^= 1; // minimally distinct inputs: worst case for detection
+        let trials = 40_000;
+        let rejects = (0..trials)
+            .filter(|_| !p.run(&x, &y, &mut ra, &mut rb).0)
+            .count();
+        let rate = rejects as f64 / trials as f64;
+        let bound = tau * delta;
+        // 3-sigma Monte-Carlo slack below the bound.
+        let sigma = (bound / trials as f64).sqrt() * 3.0;
+        assert!(
+            rate >= bound - sigma,
+            "rejection rate {rate} below tau*delta = {bound}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_like_sqrt_tau_delta_n() {
+        let p1 = EqualityProtocol::new(1 << 10, 2.0, 0.05, 4).unwrap();
+        let p2 = EqualityProtocol::new(1 << 14, 2.0, 0.05, 4).unwrap();
+        // 16x input should cost ~4x chunk bits.
+        let ratio = p2.chunk_len() as f64 / p1.chunk_len() as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "chunk growth {ratio} not ~4x"
+        );
+        // And stays well below the trivial n-bit protocol.
+        assert!(p2.message_bits_bound() < (1 << 14) / 4);
+    }
+
+    #[test]
+    fn cost_scales_with_delta() {
+        let small = EqualityProtocol::new(1 << 12, 2.0, 0.005, 5).unwrap();
+        let large = EqualityProtocol::new(1 << 12, 2.0, 0.08, 5).unwrap();
+        // 16x delta → 4x chunk length (both below the side-length clamp).
+        let ratio = large.chunk_len() as f64 / small.chunk_len() as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn reported_cost_matches_bound() {
+        let p = EqualityProtocol::new(512, 3.0, 0.02, 6).unwrap();
+        let mut ra = StdRng::seed_from_u64(12);
+        let mut rb = StdRng::seed_from_u64(22);
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = random_input(512, &mut rng);
+        let y = random_input(512, &mut rng);
+        let (_, cost) = p.run(&x, &y, &mut ra, &mut rb);
+        assert_eq!(cost.alice_bits, p.message_bits_bound());
+        assert_eq!(cost.bob_bits, p.message_bits_bound());
+    }
+
+    #[test]
+    fn referee_detects_planted_intersection_mismatch() {
+        let p = EqualityProtocol::new(64, 2.0, 0.01, 7).unwrap();
+        let t = p.chunk_len();
+        // Alice's vertical chunk at (0, 0); Bob's horizontal at (0, 0):
+        // shared cell (0,0) = alice.bits[0] vs bob.bits[0].
+        let alice = ChunkMessage {
+            row: 0,
+            col: 0,
+            bits: vec![true; t],
+        };
+        let bob = ChunkMessage {
+            row: 0,
+            col: 0,
+            bits: vec![false; t],
+        };
+        assert!(!p.referee(&alice, &bob));
+        // Disjoint chunks: Bob's row far below Alice's range.
+        let bob_far = ChunkMessage {
+            row: t, // alice covers rows [0, t)
+            col: 0,
+            bits: vec![false; t],
+        };
+        assert!(p.referee(&alice, &bob_far));
+    }
+
+    #[test]
+    fn wraparound_intersection_detected() {
+        let p = EqualityProtocol::new(64, 2.0, 0.01, 8).unwrap();
+        let side = p.side();
+        let t = p.chunk_len();
+        if t < 2 {
+            return; // no wrap-around possible with single-bit chunks
+        }
+        // Alice starts at the last row; her chunk wraps to row 0.
+        let alice = ChunkMessage {
+            row: side - 1,
+            col: 0,
+            bits: vec![true; t],
+        };
+        // Bob's row 0 is alice.bits[1] (offset (0 - (side-1)) mod side = 1).
+        let bob = ChunkMessage {
+            row: 0,
+            col: 0,
+            bits: vec![false; t],
+        };
+        assert!(!p.referee(&alice, &bob));
+    }
+}

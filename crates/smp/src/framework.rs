@@ -1,0 +1,120 @@
+//! SMP protocol framework: messages, costs, and a generic runner.
+
+use rand::Rng;
+
+/// Communication cost of one SMP execution, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmpCost {
+    /// Bits in Alice's message.
+    pub alice_bits: usize,
+    /// Bits in Bob's message.
+    pub bob_bits: usize,
+}
+
+impl SmpCost {
+    /// The SMP cost measure: the maximum of the two message lengths.
+    pub fn max_bits(&self) -> usize {
+        self.alice_bits.max(self.bob_bits)
+    }
+
+    /// Total bits sent.
+    pub fn total_bits(&self) -> usize {
+        self.alice_bits + self.bob_bits
+    }
+}
+
+/// A private-coin SMP protocol computing a boolean function of
+/// `(X, Y)`.
+///
+/// The type parameters keep the framework generic: `Input` is each
+/// player's input type, `Msg` whatever the players send. Private coins
+/// are modelled by giving each player its own `&mut R` — the runner
+/// never shares RNG state between Alice and Bob.
+pub trait SmpProtocol {
+    /// Each player's input.
+    type Input: ?Sized;
+    /// The message type sent to the referee.
+    type Msg;
+
+    /// Alice's (randomized) message computation.
+    fn alice<R: Rng + ?Sized>(&self, x: &Self::Input, rng: &mut R) -> Self::Msg;
+
+    /// Bob's (randomized) message computation.
+    fn bob<R: Rng + ?Sized>(&self, y: &Self::Input, rng: &mut R) -> Self::Msg;
+
+    /// The referee's output given both messages.
+    fn referee(&self, alice: &Self::Msg, bob: &Self::Msg) -> bool;
+
+    /// The size in bits of a message on the wire.
+    fn message_bits(&self, msg: &Self::Msg) -> usize;
+
+    /// Runs one execution with independent private coins, returning the
+    /// referee's output and the realized cost.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        x: &Self::Input,
+        y: &Self::Input,
+        alice_rng: &mut R,
+        bob_rng: &mut R,
+    ) -> (bool, SmpCost) {
+        let ma = self.alice(x, alice_rng);
+        let mb = self.bob(y, bob_rng);
+        let cost = SmpCost {
+            alice_bits: self.message_bits(&ma),
+            bob_bits: self.message_bits(&mb),
+        };
+        (self.referee(&ma, &mb), cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A trivial deterministic protocol: send the first bit.
+    #[derive(Debug)]
+    struct FirstBit;
+
+    impl SmpProtocol for FirstBit {
+        type Input = [u64];
+        type Msg = bool;
+
+        fn alice<R: Rng + ?Sized>(&self, x: &[u64], _rng: &mut R) -> bool {
+            x[0] & 1 == 1
+        }
+        fn bob<R: Rng + ?Sized>(&self, y: &[u64], _rng: &mut R) -> bool {
+            y[0] & 1 == 1
+        }
+        fn referee(&self, a: &bool, b: &bool) -> bool {
+            a == b
+        }
+        fn message_bits(&self, _msg: &bool) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn runner_wires_messages_and_cost() {
+        let p = FirstBit;
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(2);
+        let (out, cost) = p.run(&[1u64], &[1u64], &mut ra, &mut rb);
+        assert!(out);
+        assert_eq!(cost.max_bits(), 1);
+        assert_eq!(cost.total_bits(), 2);
+        let (out, _) = p.run(&[1u64], &[0u64], &mut ra, &mut rb);
+        assert!(!out);
+    }
+
+    #[test]
+    fn cost_accessors() {
+        let c = SmpCost {
+            alice_bits: 10,
+            bob_bits: 20,
+        };
+        assert_eq!(c.max_bits(), 20);
+        assert_eq!(c.total_bits(), 30);
+    }
+}

@@ -1,0 +1,189 @@
+//! The public-coin contrast: Equality with shared randomness.
+//!
+//! The paper's lower bound (Theorem 7.2) is specifically about
+//! *private*-coin SMP, and the √n-type costs are exactly the price of
+//! not sharing randomness: with public coins, Alice and Bob simply hash
+//! their inputs with a shared random function and send `O(log(1/δ))`
+//! bits [Newman–Szegedy; the paper's related-work §1.1]. This module
+//! implements that protocol so experiments can display the
+//! private-vs-public gap side by side.
+
+use crate::framework::SmpProtocol;
+use rand::Rng;
+
+/// Public-coin Equality: both players send `rounds` random inner
+/// products of their input with shared random vectors; the referee
+/// accepts iff all bits agree.
+///
+/// * `X = Y` → always accepted.
+/// * `X ≠ Y` → each inner product differs with probability exactly 1/2
+///   (random linear form on a nonzero difference), so the protocol
+///   rejects with probability `1 − 2^{−rounds}`.
+///
+/// The shared coins are modelled by a seed that both message functions
+/// use — the point being contrasted is the *communication*, which is
+/// `rounds` bits instead of the private-coin `Θ(√(τδn))`.
+#[derive(Debug, Clone)]
+pub struct PublicCoinEquality {
+    n_bits: usize,
+    rounds: usize,
+    shared_seed: u64,
+}
+
+impl PublicCoinEquality {
+    /// Creates the protocol: `rounds` hash bits per player over
+    /// `n_bits`-bit inputs, with shared randomness derived from
+    /// `shared_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits == 0` or `rounds == 0`.
+    pub fn new(n_bits: usize, rounds: usize, shared_seed: u64) -> Self {
+        assert!(n_bits > 0, "need at least one input bit");
+        assert!(rounds > 0, "need at least one hash bit");
+        PublicCoinEquality {
+            n_bits,
+            rounds,
+            shared_seed,
+        }
+    }
+
+    /// Rejection probability on distinct inputs: `1 − 2^{−rounds}`.
+    pub fn rejection_probability(&self) -> f64 {
+        1.0 - 0.5f64.powi(self.rounds as i32)
+    }
+
+    /// Message size per player, in bits.
+    pub fn message_bits_bound(&self) -> usize {
+        self.rounds
+    }
+
+    /// The `r`-th shared random vector, generated on the fly from the
+    /// shared seed (splitmix-style), bit `w` words at a time.
+    fn hash_bit(&self, input: &[u64], r: usize) -> bool {
+        let words = self.n_bits.div_ceil(64);
+        let mut acc = 0u64;
+        let mut state = self
+            .shared_seed
+            .wrapping_add((r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for (w, &x) in input.iter().enumerate().take(words) {
+            // splitmix64 step for the shared random word
+            let mut z = state.wrapping_add((w as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            state = state.rotate_left(13) ^ z;
+            let mut masked = x & z;
+            if w == words - 1 && !self.n_bits.is_multiple_of(64) {
+                masked &= (1u64 << (self.n_bits % 64)) - 1;
+            }
+            acc ^= masked;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    fn hash_all(&self, input: &[u64]) -> Vec<bool> {
+        (0..self.rounds).map(|r| self.hash_bit(input, r)).collect()
+    }
+}
+
+impl SmpProtocol for PublicCoinEquality {
+    type Input = [u64];
+    type Msg = Vec<bool>;
+
+    fn alice<R: Rng + ?Sized>(&self, x: &[u64], _rng: &mut R) -> Vec<bool> {
+        self.hash_all(x)
+    }
+
+    fn bob<R: Rng + ?Sized>(&self, y: &[u64], _rng: &mut R) -> Vec<bool> {
+        self.hash_all(y)
+    }
+
+    fn referee(&self, alice: &Vec<bool>, bob: &Vec<bool>) -> bool {
+        alice == bob
+    }
+
+    fn message_bits(&self, msg: &Vec<bool>) -> usize {
+        msg.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_inputs_always_accepted() {
+        let p = PublicCoinEquality::new(256, 10, 7);
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(2);
+        let x = [0xDEAD_BEEFu64, 0x1234, 0, u64::MAX];
+        for _ in 0..100 {
+            let (accept, cost) = p.run(&x, &x, &mut ra, &mut rb);
+            assert!(accept);
+            assert_eq!(cost.max_bits(), 10);
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rejected_at_half_per_bit() {
+        // One hash bit: rejection rate over random pairs ≈ 1/2.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rejects = 0;
+        let trials = 4000;
+        for i in 0..trials {
+            let p = PublicCoinEquality::new(128, 1, i as u64);
+            let x = [rng.gen::<u64>(), rng.gen()];
+            let mut y = x;
+            y[0] ^= 1;
+            let mut ra = StdRng::seed_from_u64(4);
+            let mut rb = StdRng::seed_from_u64(5);
+            if !p.run(&x, &y, &mut ra, &mut rb).0 {
+                rejects += 1;
+            }
+        }
+        let rate = rejects as f64 / trials as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.05,
+            "one-bit rejection rate {rate} far from 1/2"
+        );
+    }
+
+    #[test]
+    fn ten_bits_reject_reliably() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut rejects = 0;
+        let trials = 2000;
+        for i in 0..trials {
+            let p = PublicCoinEquality::new(256, 10, 1000 + i as u64);
+            let x: Vec<u64> = (0..4).map(|_| rng.gen()).collect();
+            let mut y = x.clone();
+            y[2] ^= 1 << 17;
+            let mut ra = StdRng::seed_from_u64(7);
+            let mut rb = StdRng::seed_from_u64(8);
+            if !p.run(&x, &y, &mut ra, &mut rb).0 {
+                rejects += 1;
+            }
+        }
+        let rate = rejects as f64 / trials as f64;
+        assert!(
+            rate > 0.98,
+            "10 hash bits should reject ~99.9%: {rate}"
+        );
+    }
+
+    #[test]
+    fn cost_is_constant_in_n() {
+        let small = PublicCoinEquality::new(64, 7, 1);
+        let large = PublicCoinEquality::new(1 << 20, 7, 1);
+        assert_eq!(small.message_bits_bound(), large.message_bits_bound());
+    }
+
+    #[test]
+    fn rejection_probability_formula() {
+        let p = PublicCoinEquality::new(64, 3, 1);
+        assert!((p.rejection_probability() - 0.875).abs() < 1e-12);
+    }
+}

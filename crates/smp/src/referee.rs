@@ -1,0 +1,237 @@
+//! The referee model of Acharya–Canonne–Tyagi \[ACT18\] — the related
+//! work the paper contrasts itself against (§1.1).
+//!
+//! In that model each of `k` players holds **one** sample and sends a
+//! short `ℓ`-bit message to a referee, who applies an *arbitrary*
+//! decision function — unlike the paper's 0-round model, where each
+//! player outputs a single accept/reject bit and the network rule is
+//! fixed (AND or threshold). The interesting trade-off is players vs
+//! bits: with `ℓ` bits per player, `k = Θ(n/(2^{ℓ/2}ε²))` players
+//! suffice.
+//!
+//! Implementation (public-coin flavor): a shared random partition maps
+//! the domain into `B = 2^ℓ` buckets; each player sends its sample's
+//! bucket id; the referee counts colliding message pairs against a
+//! threshold. The partition is what makes this work for *all* ε-far
+//! distributions: a fixed coarsening (e.g. top bits) would erase the
+//! Paninski perturbation entirely, while a random partition preserves
+//! an expected `ε²/n·(1−1/B)` excess in projected collision
+//! probability.
+
+use crate::framework::SmpCost;
+use dut_distributions::SampleOracle;
+use rand::Rng;
+
+/// The referee's verdict. (A local type: `dut-smp` sits below
+/// `dut-core` in the dependency order, so it cannot reuse
+/// `dut_core::Decision`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Looks uniform.
+    Accept,
+    /// Looks ε-far from uniform.
+    Reject,
+}
+
+/// The referee-model uniformity tester: `k` players, one sample each,
+/// `ℓ` bits of communication per player.
+///
+/// Each execution draws a **fresh** public random partition of the
+/// domain into `B = 2^ℓ` buckets (fresh public coins per run, as
+/// \[ACT18\]-style public-coin protocols assume). A fixed partition would
+/// freeze a partition-specific projection of the unknown distribution,
+/// whose deviation from its mean swamps the `ε²/n` signal at small `B`.
+#[derive(Debug, Clone)]
+pub struct RefereeUniformityProtocol {
+    n: usize,
+    players: usize,
+    ell_bits: u32,
+    /// Collision-count acceptance threshold.
+    threshold: f64,
+}
+
+impl RefereeUniformityProtocol {
+    /// Builds the protocol: `players` players over domain size `n`,
+    /// `ell_bits` bits per message (`B = 2^ell_bits` buckets), testing
+    /// at distance `epsilon`.
+    ///
+    /// The referee's threshold sits halfway between the expected
+    /// colliding pairs under uniform, `C(k,2)·E[Σ_b w_b²]`, and the
+    /// ε-far expectation, which exceeds it by
+    /// `C(k,2)·ε²/n·(1−1/B)` in expectation over partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics for degenerate parameters (`n == 0`, fewer than two
+    /// players, `ell_bits == 0` or ≥ 32, `epsilon ∉ (0, 1]`).
+    pub fn new(n: usize, players: usize, ell_bits: u32, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(players >= 2, "need at least two players to collide");
+        assert!((1..32).contains(&ell_bits), "bits per player in [1, 31]");
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon in (0, 1]");
+        let buckets = (1usize << ell_bits) as f64;
+        // E over partitions of the uniform projected collision prob:
+        // E[Σ_b w_b²] = 1/B + (1 − 1/B)/n.
+        let chi_uniform = 1.0 / buckets + (1.0 - 1.0 / buckets) / n as f64;
+        let pairs = players as f64 * (players as f64 - 1.0) / 2.0;
+        let excess = epsilon * epsilon / n as f64 * (1.0 - 1.0 / buckets);
+        let threshold = pairs * (chi_uniform + excess / 2.0);
+        RefereeUniformityProtocol {
+            n,
+            players,
+            ell_bits,
+            threshold,
+        }
+    }
+
+    /// Number of players `k`.
+    pub fn players(&self) -> usize {
+        self.players
+    }
+
+    /// Bits each player sends.
+    pub fn bits_per_player(&self) -> u32 {
+        self.ell_bits
+    }
+
+    /// The \[ACT18\]-shaped sufficient player count
+    /// `n/(2^{ℓ/2}·ε²)` (Θ-constant 1), for reporting.
+    pub fn theory_players(n: usize, ell_bits: u32, epsilon: f64) -> f64 {
+        n as f64 / (2f64.powf(ell_bits as f64 / 2.0) * epsilon * epsilon)
+    }
+
+    /// Runs the protocol once: fresh public coins draw the partition,
+    /// players draw one sample each from `oracle` and send bucket ids;
+    /// the referee counts colliding pairs and rejects iff the count
+    /// exceeds the threshold. Returns the decision and the
+    /// (uniform-length) per-player communication cost.
+    pub fn run<O, R>(&self, oracle: &O, rng: &mut R) -> (Decision, SmpCost)
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        debug_assert_eq!(oracle.domain_size(), self.n, "oracle domain mismatch");
+        let buckets = 1usize << self.ell_bits;
+        // Fresh public partition for this execution. Drawing lazily per
+        // *sampled element* (memoized) keeps the cost at O(k) instead
+        // of O(n) when k ≪ n.
+        let mut partition: Vec<u32> = vec![u32::MAX; self.n];
+        let mut counts = vec![0u64; buckets];
+        for _ in 0..self.players {
+            let x = oracle.draw(rng);
+            if partition[x] == u32::MAX {
+                partition[x] = rng.gen_range(0..buckets as u32);
+            }
+            counts[partition[x] as usize] += 1;
+        }
+        let colliding: u64 = counts.iter().map(|&c| c * c.saturating_sub(1) / 2).sum();
+        let decision = if (colliding as f64) > self.threshold {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        };
+        let cost = SmpCost {
+            alice_bits: self.ell_bits as usize,
+            bob_bits: self.ell_bits as usize,
+        };
+        (decision, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::families::paninski_far;
+    use dut_distributions::DiscreteDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn error_rate<O: SampleOracle>(
+        p: &RefereeUniformityProtocol,
+        oracle: &O,
+        expect: Decision,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..trials)
+            .filter(|_| p.run(oracle, &mut rng).0 != expect)
+            .count() as f64
+            / trials as f64
+    }
+
+    #[test]
+    fn accessors_and_theory_shape() {
+        let p = RefereeUniformityProtocol::new(1 << 12, 100, 4, 1.0);
+        assert_eq!(p.players(), 100);
+        assert_eq!(p.bits_per_player(), 4);
+    }
+
+    #[test]
+    fn enough_players_separate() {
+        let n = 1 << 10;
+        let eps = 1.0;
+        let ell = 6; // 64 buckets
+        let k = (4.0 * RefereeUniformityProtocol::theory_players(n, ell, eps)) as usize;
+        let p = RefereeUniformityProtocol::new(n, k, ell, eps);
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, eps).unwrap();
+        let e_u = error_rate(&p, &uniform, Decision::Accept, 200, 3);
+        let e_f = error_rate(&p, &far, Decision::Reject, 200, 4);
+        assert!(e_u < 1.0 / 3.0, "false alarms {e_u}");
+        assert!(e_f < 1.0 / 3.0, "missed detections {e_f}");
+    }
+
+    #[test]
+    fn too_few_players_fail() {
+        let n = 1 << 10;
+        let eps = 1.0;
+        let ell = 6;
+        let k = (0.1 * RefereeUniformityProtocol::theory_players(n, ell, eps)) as usize;
+        let p = RefereeUniformityProtocol::new(n, k.max(4), ell, eps);
+        let far = paninski_far(n, eps).unwrap();
+        let e_f = error_rate(&p, &far, Decision::Reject, 200, 6);
+        assert!(e_f > 0.35, "an underpowered referee should miss: {e_f}");
+    }
+
+    #[test]
+    fn more_bits_need_fewer_players() {
+        // The ACT trade-off: with more bits per player (finer buckets),
+        // fewer players suffice for the same error.
+        let t_coarse = RefereeUniformityProtocol::theory_players(1 << 12, 2, 0.5);
+        let t_fine = RefereeUniformityProtocol::theory_players(1 << 12, 10, 0.5);
+        assert!(t_fine < t_coarse / 10.0);
+    }
+
+    #[test]
+    fn fixed_top_bits_would_fail_where_random_partition_works() {
+        // Sanity on the design note: projecting the Paninski family by
+        // top bits merges each ± pair into one bucket, exactly erasing
+        // the perturbation. With our random partition the projected χ
+        // keeps an ε²/n-order excess — measured here via collisions.
+        let n = 1 << 10;
+        let eps = 1.0;
+        let far = paninski_far(n, eps).unwrap();
+        // Top-bit projection: bucket = x >> 4 merges pairs (2i, 2i+1).
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = 3000;
+        let mut top_counts = vec![0u64; n >> 4];
+        for _ in 0..k {
+            top_counts[far.sample(&mut rng) >> 4] += 1;
+        }
+        let top_collisions: u64 = top_counts.iter().map(|&c| c * (c - 1) / 2).sum();
+        let expected_uniform =
+            (k as f64) * (k as f64 - 1.0) / 2.0 * (16.0 / n as f64);
+        // Top-bit collisions look exactly uniform (no excess).
+        assert!(
+            (top_collisions as f64) < expected_uniform * 1.05,
+            "top-bit projection should erase the signal: {top_collisions} vs {expected_uniform}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two players")]
+    fn rejects_single_player() {
+        let _ = RefereeUniformityProtocol::new(16, 1, 2, 0.5);
+    }
+}

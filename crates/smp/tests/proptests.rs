@@ -1,0 +1,59 @@
+//! Property-based tests for the SMP Equality protocol.
+
+use dut_smp::{EqualityProtocol, SmpProtocol};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn equal_inputs_never_rejected(
+        n_words in 1usize..6,
+        input in any::<u64>(),
+        tau in 1.1f64..4.0,
+        delta in 0.01f64..0.3,
+        seeds in any::<(u64, u64, u64)>(),
+    ) {
+        let n = n_words * 64;
+        let p = EqualityProtocol::new(n, tau, delta, seeds.0).unwrap();
+        let x = vec![input; n_words];
+        let mut ra = StdRng::seed_from_u64(seeds.1);
+        let mut rb = StdRng::seed_from_u64(seeds.2);
+        for _ in 0..20 {
+            let (accept, cost) = p.run(&x, &x, &mut ra, &mut rb);
+            prop_assert!(accept, "equal inputs rejected");
+            prop_assert!(cost.max_bits() <= p.message_bits_bound());
+        }
+    }
+
+    #[test]
+    fn construction_invariants(n in 1usize..5000, tau in 1.1f64..4.0, delta in 0.001f64..0.5) {
+        let p = EqualityProtocol::new(n, tau, delta, 1).unwrap();
+        prop_assert!(p.codeword_bits() >= 3 * n);
+        prop_assert_eq!(p.side() * p.side(), p.codeword_bits());
+        prop_assert_eq!(p.side() % 6, 0);
+        prop_assert!(p.chunk_len() >= 1 && p.chunk_len() <= p.side());
+        prop_assert!(p.intersection_probability() <= 1.0);
+    }
+
+    #[test]
+    fn referee_is_symmetric_under_disjointness(
+        n in 64usize..256,
+        seeds in any::<(u64, u64, u64)>(),
+        input_a in any::<u64>(),
+        input_b in any::<u64>(),
+    ) {
+        // Whatever the inputs, a run either accepts or rejects; and with
+        // tiny delta the chunks rarely intersect, so most runs accept.
+        let p = EqualityProtocol::new(n, 2.0, 0.001, seeds.0).unwrap();
+        let words = n.div_ceil(64);
+        let x = vec![input_a; words];
+        let y = vec![input_b; words];
+        let mut ra = StdRng::seed_from_u64(seeds.1);
+        let mut rb = StdRng::seed_from_u64(seeds.2);
+        let accepts = (0..50).filter(|_| p.run(&x, &y, &mut ra, &mut rb).0).count();
+        prop_assert!(accepts >= 25, "tiny-delta protocol rejecting too often: {accepts}/50");
+    }
+}

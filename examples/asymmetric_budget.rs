@@ -1,0 +1,66 @@
+//! Asymmetric sampling costs (§4): battery-powered vs mains-powered
+//! sensors.
+//!
+//! Half the nodes run on batteries, where drawing a sample costs 4x
+//! as much energy. The asymmetric planner assigns every node the same
+//! *energy* budget `C = max_i s_i·c_i`, so cheap nodes draw 4x more
+//! samples — and the network still tests uniformity with error 1/3, at
+//! max cost `Θ(√n/ε²)/‖T‖₂` (the paper's §4.2 law).
+//!
+//! ```text
+//! cargo run --release -p dut-bench --example asymmetric_budget
+//! ```
+
+use dut_core::asymmetric::{theory_max_cost_threshold, AsymmetricThresholdTester, CostVector};
+use dut_core::decision::Decision;
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 20;
+    let k = 150_000;
+    let epsilon = 0.5;
+    let p = 1.0 / 3.0;
+
+    // Half battery-powered (cost 4/sample), half mains-powered (cost 1).
+    let costs: Vec<f64> = (0..k).map(|i| if i < k / 2 { 4.0 } else { 1.0 }).collect();
+    let costs = CostVector::new(costs)?;
+
+    let tester = AsymmetricThresholdTester::plan(n, &costs, epsilon, p)?;
+    let samples = tester.sample_counts();
+    println!("asymmetric plan (battery = 4x per-sample cost):");
+    println!("  battery node samples : {}", samples[0]);
+    println!("  mains node samples   : {}", samples[k - 1]);
+    println!(
+        "  max individual cost  : {:.1} (theory √n/ε²/‖T‖₂ = {:.1})",
+        tester.max_cost(),
+        theory_max_cost_threshold(n, &costs, epsilon)
+    );
+    println!("  alarm threshold      : {}", tester.threshold());
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, epsilon)?;
+
+    let ok = tester.run(&uniform, &mut rng);
+    println!(
+        "\nuniform -> {} ({} alarms, expected ≈ {:.0})",
+        ok.decision,
+        ok.rejecting_nodes,
+        tester.expected_alarms_uniform()
+    );
+    let alarm = tester.run(&far, &mut rng);
+    println!(
+        "ε-far   -> {} ({} alarms, expected ≥ {:.0})",
+        alarm.decision,
+        alarm.rejecting_nodes,
+        tester.expected_alarms_far()
+    );
+
+    assert_eq!(ok.decision, Decision::Accept);
+    assert_eq!(alarm.decision, Decision::Reject);
+    println!("\nevery node paid at most {:.1} energy units.", tester.max_cost());
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! End-to-end pipeline checks that span crates: distributions → core
+//! math → SMP/ECC → lower-bound consistency.
+
+use dut_core::params::{
+    plan_threshold, samples_for_delta, theorem_1_2_samples, WindowMethod,
+};
+use dut_distributions::collision::collision_probability;
+use dut_distributions::families::paninski_far;
+use dut_ecc::{BinaryCode, RandomLinearCode};
+use dut_lowerbound::{corollary_7_4_bound, theorem_1_3_bound};
+use dut_smp::{EqualityProtocol, SmpProtocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper and lower bounds must bracket each other across a parameter
+/// sweep: Theorem 1.2's samples ≥ Theorem 1.3's bound; the gap tester's
+/// √(2δn) ≥ Corollary 7.4's bound.
+#[test]
+fn upper_bounds_dominate_lower_bounds() {
+    for &(n, k) in &[(1usize << 14, 50_000usize), (1 << 18, 200_000), (1 << 20, 1_000_000)] {
+        let upper = theorem_1_2_samples(n, k, 0.5);
+        let lower = theorem_1_3_bound(n, k);
+        assert!(
+            upper >= lower,
+            "n={n}, k={k}: upper {upper} below lower {lower}"
+        );
+    }
+    for &delta in &[0.001f64, 0.01, 0.1] {
+        let n = 1 << 16;
+        let upper = (2.0 * delta * n as f64).sqrt();
+        let lower = corollary_7_4_bound(n, delta, 1.25);
+        assert!(upper >= lower, "delta={delta}");
+    }
+}
+
+/// The planned threshold tester's sample count must track the
+/// Theorem 1.2 law within a constant factor across a k sweep.
+#[test]
+fn planner_tracks_theorem_1_2_law() {
+    let n = 1 << 18;
+    let eps = 0.5;
+    let mut ratios = Vec::new();
+    for &k in &[60_000usize, 240_000, 960_000] {
+        let plan = plan_threshold(n, k, eps, 1.0 / 3.0, WindowMethod::Exact).unwrap();
+        ratios.push(plan.samples_per_node as f64 / theorem_1_2_samples(n, k, eps));
+    }
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 2.5,
+        "constant factor drifts across k: {ratios:?}"
+    );
+}
+
+/// SMP protocol communication must stay within a constant factor of the
+/// √(24τδn) law and above the lower bound, across n.
+#[test]
+fn smp_cost_bracketed_by_bounds() {
+    let tau = 2.0;
+    let delta = 0.05;
+    for &n in &[1usize << 10, 1 << 12, 1 << 14] {
+        let p = EqualityProtocol::new(n, tau, delta, 1).unwrap();
+        let cost = p.message_bits_bound() as f64;
+        let law = (24.0 * tau * delta * n as f64).sqrt();
+        let lower = dut_lowerbound::theorem_7_2_bound(n, tau, delta);
+        assert!(cost <= 3.0 * law + 40.0, "n={n}: cost {cost} vs law {law}");
+        assert!(cost >= lower, "n={n}: cost {cost} below lower bound {lower}");
+    }
+}
+
+/// The collision probability of the Paninski instance drives the gap
+/// tester's sample count: planning against χ = (1+ε²)/n must match the
+/// planner's √(2δn).
+#[test]
+fn collision_probability_feeds_the_planner() {
+    let n = 1 << 14;
+    let eps = 0.5;
+    let far = paninski_far(n, eps).unwrap();
+    let chi = collision_probability(&far);
+    assert!((chi - (1.0 + eps * eps) / n as f64).abs() < 1e-12);
+    // A tester with delta = 0.01 draws s = √(2δn) samples; its expected
+    // collision count on the far instance is C(s,2)·χ ≈ δ(1+ε²).
+    let s = samples_for_delta(n, 0.01).unwrap();
+    let expected_collisions = (s * (s - 1)) as f64 / 2.0 * chi;
+    assert!(
+        (expected_collisions - 0.01 * (1.0 + eps * eps)).abs() < 0.002,
+        "expected collisions {expected_collisions}"
+    );
+}
+
+/// The code underlying the SMP protocol must be usable for the
+/// lower-bound reduction end to end: encode, perturb, measure distance.
+#[test]
+fn ecc_distance_supports_reduction() {
+    let code = RandomLinearCode::rate_one_third(512, 9);
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..50 {
+        let x: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+        let mut y = x.clone();
+        y[rng.gen_range(0..8)] ^= 1 << rng.gen_range(0..64);
+        let cx = code.encode(&x);
+        let cy = code.encode(&y);
+        let d = dut_ecc::distance::hamming_distance(&cx, &cy, code.output_bits());
+        assert!(
+            d * 6 >= code.output_bits(),
+            "distance {d} below n/6 = {}",
+            code.output_bits() / 6
+        );
+    }
+}
+
+/// The full reduction chain: a better gap tester (more samples) makes a
+/// better Equality protocol — the acceptance gap between equal and
+/// distinct inputs widens with q.
+#[test]
+fn reduction_gap_grows_with_samples() {
+    use dut_lowerbound::EqFromCollisionTester;
+    let n_bits = 128;
+    let trials = 60_000;
+    let rate = |q: usize, equal: bool, seed: u64| -> f64 {
+        let p = EqFromCollisionTester::new(n_bits, q, 5);
+        let mut ra = StdRng::seed_from_u64(seed);
+        let mut rb = StdRng::seed_from_u64(seed ^ 0xF0F0);
+        let x = [0x1234_5678_9ABC_DEF0u64, 0x0FED_CBA9_8765_4321];
+        let y = if equal {
+            x
+        } else {
+            [x[0] ^ 1, x[1]]
+        };
+        (0..trials).filter(|_| p.run(&x, &y, &mut ra, &mut rb).0).count() as f64
+            / trials as f64
+    };
+    let gap_small = rate(8, true, 1) - rate(8, false, 2);
+    let gap_large = rate(32, true, 3) - rate(32, false, 4);
+    assert!(
+        gap_large > gap_small,
+        "gap did not grow: {gap_small} vs {gap_large}"
+    );
+}
