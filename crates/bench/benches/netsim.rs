@@ -1,14 +1,188 @@
 //! Criterion bench: the network-simulator substrate.
+//!
+//! The `netsim_engine` and `netsim_montecarlo` groups compare the
+//! retained naive reference engine (`before`) against the flat-buffer
+//! engine (`after`, plus scratch-reuse and parallel variants); their
+//! numbers are recorded in `BENCH_netsim.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::decision::Decision;
+use dut_core::gap::GapTester;
+use dut_core::montecarlo::{estimate_failure_rate, estimate_failure_rate_with_state, trial_rng};
+use dut_core::scratch::TesterScratch;
+use dut_distributions::DiscreteDistribution;
 use dut_netsim::algorithms::bfs::build_bfs_tree;
 use dut_netsim::algorithms::convergecast::convergecast_sum;
 use dut_netsim::algorithms::distributed_mis::distributed_luby_mis;
 use dut_netsim::algorithms::leader::elect_leader;
 use dut_netsim::algorithms::routing::route_to_centers;
-use dut_netsim::engine::BandwidthModel;
+use dut_netsim::engine::{
+    BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+};
+use dut_netsim::graph::NodeId;
+use dut_netsim::reference::run_reference;
 use dut_netsim::topology;
 use std::hint::black_box;
+
+/// All-to-all gossip: every node broadcasts its running maximum for a
+/// fixed number of rounds. On a clique this is the densest message load
+/// the engine can see (k·(k−1) messages per round).
+#[derive(Clone)]
+struct Gossip {
+    best: u64,
+    rounds_left: u32,
+}
+
+impl NodeProtocol for Gossip {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        for &(_, v) in inbox {
+            self.best = self.best.max(v);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            out.broadcast(self.best);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// BFS distance wavefront from node 0 — on a long line this stresses
+/// per-round fixed costs (thousands of rounds, few messages each).
+#[derive(Clone)]
+struct Bfs {
+    dist: Option<u64>,
+}
+
+impl NodeProtocol for Bfs {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        if self.dist.is_some() {
+            return;
+        }
+        if node == 0 && round == 0 {
+            self.dist = Some(0);
+            out.broadcast(1);
+        } else if let Some(&d) = inbox.iter().map(|(_, d)| d).min() {
+            self.dist = Some(d);
+            out.broadcast(d + 1);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.dist.is_some()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_engine");
+    group.sample_size(10);
+
+    // 256-node clique, 8 rounds of all-to-all gossip (~522k messages).
+    let clique = topology::complete(256);
+    let gossip_states = |k: usize| -> Vec<Gossip> {
+        (0..k)
+            .map(|v| Gossip {
+                best: v as u64,
+                rounds_left: 8,
+            })
+            .collect()
+    };
+    group.bench_function("clique256_broadcast/before_reference", |b| {
+        b.iter(|| {
+            black_box(
+                run_reference(&clique, BandwidthModel::Local, gossip_states(256), 32).unwrap(),
+            )
+        })
+    });
+    group.bench_function("clique256_broadcast/after_flat", |b| {
+        let mut net = Network::new(&clique, BandwidthModel::Local);
+        b.iter(|| black_box(net.run(gossip_states(256), 32).unwrap()))
+    });
+    group.bench_function("clique256_broadcast/after_flat_scratch", |b| {
+        let mut net = Network::new(&clique, BandwidthModel::Local);
+        let mut scratch = EngineScratch::new();
+        b.iter(|| black_box(net.run_with_scratch(gossip_states(256), 32, &mut scratch).unwrap()))
+    });
+    group.bench_function("clique256_broadcast/after_flat_parallel", |b| {
+        let mut net = Network::new(&clique, BandwidthModel::Local);
+        let mut scratch = EngineScratch::new();
+        let options = RunOptions::parallel(0);
+        b.iter(|| {
+            black_box(
+                net.run_with_options(gossip_states(256), 32, &mut scratch, &options)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // 4096-node line BFS: ~4k rounds of a 1-node wavefront, dominated
+    // by per-round fixed costs and inbox bookkeeping.
+    let line = topology::line(4096);
+    let bfs_states = |k: usize| vec![Bfs { dist: None }; k];
+    group.bench_function("line4096_bfs/before_reference", |b| {
+        b.iter(|| {
+            black_box(
+                run_reference(&line, BandwidthModel::Local, bfs_states(4096), 8192).unwrap(),
+            )
+        })
+    });
+    group.bench_function("line4096_bfs/after_flat_scratch", |b| {
+        let mut net = Network::new(&line, BandwidthModel::Local);
+        let mut scratch = EngineScratch::new();
+        b.iter(|| black_box(net.run_with_scratch(bfs_states(4096), 8192, &mut scratch).unwrap()))
+    });
+
+    group.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_montecarlo");
+    group.sample_size(10);
+
+    // Monte-Carlo failure-rate estimation end to end: the allocating
+    // tester (per-trial sample Vec + sort) vs the scratch-reusing one.
+    let n = 1 << 16;
+    let tester = GapTester::new(n, 0.05).unwrap();
+    let uniform = DiscreteDistribution::uniform(n);
+    let trials = 20_000;
+    group.bench_function("mc_gap_20k/before_alloc", |b| {
+        b.iter(|| {
+            black_box(estimate_failure_rate(trials, 7, |seed| {
+                let mut rng = trial_rng(seed);
+                tester.run(&uniform, &mut rng) == Decision::Reject
+            }))
+        })
+    });
+    group.bench_function("mc_gap_20k/after_scratch", |b| {
+        b.iter(|| {
+            black_box(estimate_failure_rate_with_state(
+                trials,
+                7,
+                TesterScratch::new,
+                |seed, scratch| {
+                    let mut rng = trial_rng(seed);
+                    tester.run_with_scratch(&uniform, &mut rng, scratch) == Decision::Reject
+                },
+            ))
+        })
+    });
+
+    group.finish();
+}
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim_primitives");
@@ -54,5 +228,11 @@ fn bench_mis_and_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_mis_and_routing);
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_montecarlo,
+    bench_primitives,
+    bench_mis_and_routing
+);
 criterion_main!(benches);

@@ -69,18 +69,11 @@ fn main() {
         );
     }
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&all_tables) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {e}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("failed to serialize results: {e}");
-                std::process::exit(1);
-            }
+        let json = dut_bench::tables_to_json(&all_tables);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
         }
+        eprintln!("wrote {path}");
     }
 }

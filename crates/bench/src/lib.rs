@@ -32,7 +32,7 @@ pub mod e11_identity;
 pub mod e12_lowerbound;
 pub mod table;
 
-pub use table::Table;
+pub use table::{tables_to_json, Table};
 
 /// Global scale knob: `Quick` shrinks trial counts and sweep ranges so
 /// the full suite finishes in a couple of minutes; `Full` is the

@@ -1,10 +1,9 @@
 //! Minimal markdown-table rendering for experiment output.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A titled table with a caption tying it to the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table title (e.g. "E4: threshold tester, Theorem 1.2").
     pub title: String,
@@ -44,6 +43,72 @@ impl Table {
         );
         self.rows.push(cells);
     }
+
+    /// Serializes the table as a JSON object (all cells are strings, so
+    /// no escaping subtleties beyond the standard string escapes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"caption\":");
+        json_string(&mut out, &self.caption);
+        out.push_str(",\"headers\":");
+        json_string_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string_array(&mut out, row);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Serializes a slice of tables as a pretty-ish JSON array (one table
+/// per line), replacing the previous `serde_json::to_string_pretty`.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&t.to_json());
+        if i + 1 < tables.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, s);
+    }
+    out.push(']');
 }
 
 impl fmt::Display for Table {

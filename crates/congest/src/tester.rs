@@ -19,6 +19,7 @@ use dut_core::params::{plan_threshold, ThresholdPlan, WindowMethod};
 use dut_netsim::algorithms::convergecast::{broadcast_value, convergecast_sum};
 use dut_netsim::engine::BandwidthModel;
 use dut_netsim::graph::Graph;
+use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
 use rand::Rng;
 
@@ -210,11 +211,17 @@ impl CongestUniformityTester {
         let packaging = solve_token_packaging(g, &tokens, &ids, self.tau, model)?;
 
         // Phase 5: every package votes (0 rounds — local computation).
+        // One collision scratch and sample buffer serve all packages.
         let mut votes = vec![0u64; self.k];
         let mut rejecting = 0usize;
+        let mut collision = CollisionScratch::with_domain(self.n);
+        let mut samples: Vec<usize> = Vec::new();
         for (owner, package) in &packaging.packages {
-            let samples: Vec<usize> = package.iter().map(|&t| t as usize).collect();
-            if self.package_tester.run_on_samples(&samples) == Decision::Reject {
+            samples.clear();
+            samples.extend(package.iter().map(|&t| t as usize));
+            if self.package_tester.run_on_samples_with(&samples, &mut collision)
+                == Decision::Reject
+            {
                 votes[*owner] += 1;
                 rejecting += 1;
             }

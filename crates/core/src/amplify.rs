@@ -10,6 +10,8 @@
 use crate::decision::Decision;
 use crate::error::PlanError;
 use crate::gap::GapTester;
+use crate::scratch::TesterScratch;
+use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
 use rand::Rng;
 
@@ -92,6 +94,23 @@ impl RepeatedGapTester {
         Decision::Reject
     }
 
+    /// [`RepeatedGapTester::run`] with caller-owned buffers; same
+    /// decisions and RNG stream, no steady-state allocation. Note the
+    /// short-circuit means fewer RNG draws on early acceptance — exactly
+    /// as in `run`.
+    pub fn run_with_scratch<O, R>(&self, oracle: &O, rng: &mut R, scratch: &mut TesterScratch) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        for _ in 0..self.m {
+            if self.inner.run_with_scratch(oracle, rng, scratch) == Decision::Accept {
+                return Decision::Accept;
+            }
+        }
+        Decision::Reject
+    }
+
     /// Runs the tester on pre-drawn samples, consuming `m·s` of them in
     /// disjoint chunks of `s` (the CONGEST/LOCAL gathering path).
     ///
@@ -108,6 +127,28 @@ impl RepeatedGapTester {
         );
         for chunk in samples.chunks_exact(s).take(self.m) {
             if self.inner.run_on_samples(chunk) == Decision::Accept {
+                return Decision::Accept;
+            }
+        }
+        Decision::Reject
+    }
+
+    /// [`RepeatedGapTester::run_on_samples`] with a caller-owned
+    /// collision detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`Self::samples`] samples are provided.
+    pub fn run_on_samples_with(&self, samples: &[usize], collision: &mut CollisionScratch) -> Decision {
+        let s = self.inner.samples();
+        assert!(
+            samples.len() >= self.samples(),
+            "need {} samples, got {}",
+            self.samples(),
+            samples.len()
+        );
+        for chunk in samples.chunks_exact(s).take(self.m) {
+            if self.inner.run_on_samples_with(chunk, collision) == Decision::Accept {
                 return Decision::Accept;
             }
         }
@@ -204,6 +245,36 @@ mod tests {
         assert_eq!(r.run_on_samples(&[1, 1, 2, 2]), Decision::Reject);
         // chunk 2 = [2,3] clean -> accept
         assert_eq!(r.run_on_samples(&[1, 1, 2, 3]), Decision::Accept);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_variants() {
+        let n = 1 << 10;
+        let g = GapTester::new(n, 0.3).unwrap();
+        let r = RepeatedGapTester::new(g, 3).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 1.0).unwrap();
+        let mut scratch = TesterScratch::new();
+        for d in [&uniform, &far] {
+            for seed in 0..200 {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                assert_eq!(
+                    r.run(d, &mut r1),
+                    r.run_with_scratch(d, &mut r2, &mut scratch),
+                    "seed {seed}"
+                );
+            }
+        }
+        let mut collision = CollisionScratch::new();
+        let r2 = RepeatedGapTester::new(GapTester::with_samples(1000, 2).unwrap(), 2).unwrap();
+        for case in [&[1usize, 1, 2, 2][..], &[1, 1, 2, 3], &[4, 5, 6, 7]] {
+            assert_eq!(
+                r2.run_on_samples(case),
+                r2.run_on_samples_with(case, &mut collision),
+                "case {case:?}"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use crate::decision::Decision;
 use crate::error::PlanError;
 use crate::params::{delta_for_samples, gamma_slack, samples_for_delta};
-use dut_distributions::collision::has_collision;
+use crate::scratch::TesterScratch;
+use dut_distributions::collision::{has_collision, CollisionScratch};
 use dut_distributions::SampleOracle;
 use rand::Rng;
 
@@ -146,6 +147,26 @@ impl GapTester {
         Decision::from_accept(!has_collision(&samples))
     }
 
+    /// [`GapTester::run`] with caller-owned buffers: draws the same
+    /// sample stream into `scratch` and checks collisions with the O(s)
+    /// marking table, so steady-state trials allocate nothing. Returns
+    /// the same decision as `run` for the same RNG state.
+    pub fn run_with_scratch<O, R>(&self, oracle: &O, rng: &mut R, scratch: &mut TesterScratch) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        debug_assert_eq!(
+            oracle.domain_size(),
+            self.n,
+            "oracle domain does not match tester plan"
+        );
+        let TesterScratch { samples, collision } = scratch;
+        samples.clear();
+        oracle.draw_into(rng, self.s, samples);
+        Decision::from_accept(!collision.has_collision(samples))
+    }
+
     /// Runs the tester on pre-drawn samples (used by the CONGEST/LOCAL
     /// protocols, where samples are gathered from other nodes). Only the
     /// first `s` samples are examined; fewer than `s` samples is a
@@ -159,6 +180,19 @@ impl GapTester {
         );
         let take = samples.len().min(self.s);
         Decision::from_accept(!has_collision(&samples[..take]))
+    }
+
+    /// [`GapTester::run_on_samples`] with a caller-owned collision
+    /// detector (allocation-free in the steady state).
+    pub fn run_on_samples_with(&self, samples: &[usize], collision: &mut CollisionScratch) -> Decision {
+        debug_assert!(
+            samples.len() >= self.s,
+            "gap tester planned for {} samples, got {}",
+            self.s,
+            samples.len()
+        );
+        let take = samples.len().min(self.s);
+        Decision::from_accept(!collision.has_collision(&samples[..take]))
     }
 }
 
@@ -252,6 +286,39 @@ mod tests {
         let t = GapTester::with_samples(100, 3).unwrap();
         assert_eq!(t.run_on_samples(&[1, 2, 3]), Decision::Accept);
         assert_eq!(t.run_on_samples(&[1, 2, 1]), Decision::Reject);
+    }
+
+    #[test]
+    fn scratch_run_matches_allocating_run() {
+        let n = 1 << 10;
+        let t = GapTester::new(n, 0.3).unwrap();
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 1.0).unwrap();
+        let mut scratch = TesterScratch::new();
+        for d in [&uniform, &far] {
+            for seed in 0..200 {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                assert_eq!(
+                    t.run(d, &mut r1),
+                    t.run_with_scratch(d, &mut r2, &mut scratch),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_on_samples_with_matches_plain() {
+        let t = GapTester::with_samples(100, 3).unwrap();
+        let mut collision = CollisionScratch::new();
+        for case in [&[1usize, 2, 3][..], &[1, 2, 1], &[9, 9, 9], &[0, 99, 50]] {
+            assert_eq!(
+                t.run_on_samples(case),
+                t.run_on_samples_with(case, &mut collision),
+                "case {case:?}"
+            );
+        }
     }
 
     #[test]

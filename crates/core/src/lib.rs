@@ -71,8 +71,10 @@ pub mod gap;
 pub mod identity;
 pub mod montecarlo;
 pub mod params;
+pub mod scratch;
 pub mod zero_round;
 
 pub use decision::Decision;
 pub use error::PlanError;
 pub use gap::GapTester;
+pub use scratch::TesterScratch;

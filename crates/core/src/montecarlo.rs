@@ -82,6 +82,32 @@ pub fn estimate_failure_rate<F>(trials: usize, base_seed: u64, trial: F) -> Erro
 where
     F: Fn(u64) -> bool + Sync,
 {
+    estimate_failure_rate_with_state(trials, base_seed, || (), |seed, ()| trial(seed))
+}
+
+/// [`estimate_failure_rate`] with per-worker mutable state: each worker
+/// thread calls `init()` once and passes the resulting value to every
+/// trial it runs. This is how scratch buffers
+/// ([`crate::scratch::TesterScratch`]) thread through the Monte-Carlo
+/// loop — trials reuse their worker's buffers instead of allocating.
+///
+/// Trial seeds are assigned by trial *index*, not by worker, so the
+/// estimate is identical to `estimate_failure_rate`'s for the same
+/// `base_seed` — state only carries buffers, never statistics.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn estimate_failure_rate_with_state<S, I, F>(
+    trials: usize,
+    base_seed: u64,
+    init: I,
+    trial: F,
+) -> ErrorEstimate
+where
+    I: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> bool + Sync,
+{
     assert!(trials > 0, "need at least one trial");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -92,6 +118,7 @@ where
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                let mut state = init();
                 let mut local = 0usize;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -101,7 +128,7 @@ where
                     // Mix the index into the seed (splitmix64-style) so
                     // nearby trials do not share RNG streams.
                     let seed = splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    if trial(seed) {
+                    if trial(seed, &mut state) {
                         local += 1;
                     }
                 }
@@ -183,6 +210,23 @@ mod tests {
         let e = estimate_failure_rate(100_000, 11, f);
         assert!((e.rate - 0.3).abs() < 0.01, "rate {} far from 0.3", e.rate);
         assert!(e.lower <= 0.3 && 0.3 <= e.upper);
+    }
+
+    #[test]
+    fn with_state_matches_stateless() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let a = estimate_failure_rate(10_000, 7, f);
+        // Per-worker counters must not perturb seeding or counting.
+        let b = estimate_failure_rate_with_state(
+            10_000,
+            7,
+            || 0u64,
+            |seed, calls| {
+                *calls += 1;
+                f(seed)
+            },
+        );
+        assert_eq!(a.failures, b.failures);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::decision::{Decision, DecisionRule, NetworkOutcome};
 use crate::error::PlanError;
 use crate::gap::GapTester;
 use crate::params::{plan_and_rule, plan_threshold, AndPlan, ThresholdPlan, WindowMethod};
+use crate::scratch::TesterScratch;
 use dut_distributions::SampleOracle;
 use rand::Rng;
 
@@ -79,6 +80,31 @@ impl AndNetworkTester {
         let mut rejecting = 0usize;
         for _ in 0..self.plan.k {
             if self.node_tester.run(oracle, rng) == Decision::Reject {
+                rejecting += 1;
+            }
+        }
+        NetworkOutcome {
+            decision: DecisionRule::And.decide(rejecting),
+            rejecting_nodes: rejecting,
+            nodes: self.plan.k,
+        }
+    }
+
+    /// [`AndNetworkTester::run`] with caller-owned buffers: same
+    /// decisions and RNG stream, no per-node allocation.
+    pub fn run_with_scratch<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+    ) -> NetworkOutcome
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut rejecting = 0usize;
+        for _ in 0..self.plan.k {
+            if self.node_tester.run_with_scratch(oracle, rng, scratch) == Decision::Reject {
                 rejecting += 1;
             }
         }
@@ -170,6 +196,27 @@ impl ThresholdNetworkTester {
         let mut rejecting = 0usize;
         for _ in 0..self.plan.k {
             if self.node_tester.run(oracle, rng) == Decision::Reject {
+                rejecting += 1;
+            }
+        }
+        self.outcome_from_votes(rejecting)
+    }
+
+    /// [`ThresholdNetworkTester::run`] with caller-owned buffers: same
+    /// decisions and RNG stream, no per-node allocation.
+    pub fn run_with_scratch<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+    ) -> NetworkOutcome
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut rejecting = 0usize;
+        for _ in 0..self.plan.k {
+            if self.node_tester.run_with_scratch(oracle, rng, scratch) == Decision::Reject {
                 rejecting += 1;
             }
         }
@@ -292,6 +339,36 @@ mod tests {
         let ru = rejects(&uniform, &mut rng);
         let rf = rejects(&far, &mut rng);
         assert!(rf > ru, "far rejections {rf} <= uniform rejections {ru}");
+    }
+
+    #[test]
+    fn scratch_runs_match_allocating_runs() {
+        let n = 1 << 14;
+        let uniform = DiscreteDistribution::uniform(n);
+        let far = paninski_far(n, 0.75).unwrap();
+        let mut scratch = TesterScratch::new();
+
+        // The threshold rule needs a large network; the AND rule doesn't.
+        let and_t = AndNetworkTester::plan(n, 64, 0.75, 1.0 / 3.0).unwrap();
+        let thr_t = ThresholdNetworkTester::plan(n, 4096, 0.75, 1.0 / 3.0).unwrap();
+        for d in [&uniform, &far] {
+            for seed in 0..10 {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                assert_eq!(
+                    and_t.run(d, &mut r1),
+                    and_t.run_with_scratch(d, &mut r2, &mut scratch),
+                    "AND seed {seed}"
+                );
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                assert_eq!(
+                    thr_t.run(d, &mut r1),
+                    thr_t.run_with_scratch(d, &mut r2, &mut scratch),
+                    "threshold seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

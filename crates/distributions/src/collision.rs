@@ -60,10 +60,8 @@ pub fn wiener_no_collision_upper_bound(s: usize, chi: f64) -> f64 {
 /// restricted to the uniform case where it is exact and cheap:
 /// `Π_{i=0}^{s-1} (1 − i/n)`.
 ///
-/// # Panics
-///
-/// Panics if `s > n` would make the product trivially zero in a way the
-/// caller likely did not intend (we return 0.0 instead of panicking).
+/// Never panics: `s > n` makes the product trivially zero and the
+/// function returns `0.0` (the pigeonhole answer) for that case.
 pub fn uniform_all_distinct_probability(n: usize, s: usize) -> f64 {
     if s > n {
         return 0.0;
@@ -101,11 +99,77 @@ pub fn collision_pair_count(samples: &[usize]) -> u64 {
 ///
 /// This is the single bit the paper's gap tester A_δ observes. Runs in
 /// O(s log s) (sorting); for the tiny sample sets the tester uses this is
-/// faster than hashing.
+/// faster than hashing. Monte-Carlo loops that call this millions of
+/// times should use [`CollisionScratch::has_collision`] instead, which is
+/// O(s) and allocation-free in the steady state.
 pub fn has_collision(samples: &[usize]) -> bool {
     let mut sorted: Vec<usize> = samples.to_vec();
     sorted.sort_unstable();
     sorted.windows(2).any(|w| w[0] == w[1])
+}
+
+/// Reusable O(s) collision detector.
+///
+/// Keeps a generation-stamped marking table indexed by sample value: a
+/// value is "seen this call" iff its stamp equals the current
+/// generation, so detecting a collision among `s` samples costs O(s)
+/// with **no clearing and no allocation** once the table has grown to
+/// the domain size. Advancing the generation invalidates all stamps at
+/// once; on the (rare) u32 wrap-around the table is re-zeroed to keep
+/// stale stamps from aliasing.
+///
+/// ```rust
+/// use dut_distributions::collision::CollisionScratch;
+///
+/// let mut scratch = CollisionScratch::new();
+/// assert!(!scratch.has_collision(&[3, 1, 4, 2]));
+/// assert!(scratch.has_collision(&[3, 1, 4, 1]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CollisionScratch {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl CollisionScratch {
+    /// Creates an empty scratch; the marking table grows on first use.
+    pub fn new() -> Self {
+        CollisionScratch::default()
+    }
+
+    /// Creates a scratch pre-sized for sample values in `0..domain_size`,
+    /// avoiding even the first-call growth.
+    pub fn with_domain(domain_size: usize) -> Self {
+        CollisionScratch {
+            stamps: vec![0; domain_size],
+            generation: 0,
+        }
+    }
+
+    /// Whether `samples` contains at least one collision. Agrees exactly
+    /// with [`has_collision`].
+    pub fn has_collision(&mut self, samples: &[usize]) -> bool {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stamps from 2^32 calls ago would alias the new
+            // generation. Re-zero and restart.
+            for s in &mut self.stamps {
+                *s = 0;
+            }
+            self.generation = 1;
+        }
+        let generation = self.generation;
+        for &x in samples {
+            if x >= self.stamps.len() {
+                self.stamps.resize(x + 1, 0);
+            }
+            if self.stamps[x] == generation {
+                return true;
+            }
+            self.stamps[x] = generation;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +277,48 @@ mod tests {
         for c in cases {
             assert_eq!(has_collision(c), collision_pair_count(c) > 0);
         }
+    }
+
+    #[test]
+    fn collision_scratch_agrees_with_sort_detector() {
+        let mut scratch = CollisionScratch::new();
+        let cases: &[&[usize]] = &[
+            &[],
+            &[7],
+            &[3, 1, 4, 2],
+            &[3, 1, 4, 1],
+            &[0, 0],
+            &[1023, 0, 1023],
+            &[5, 6, 7, 8, 9, 5],
+        ];
+        // Repeat each case so generations interleave — stale stamps from
+        // a previous call must never leak into the next.
+        for _ in 0..3 {
+            for c in cases {
+                assert_eq!(scratch.has_collision(c), has_collision(c), "case {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collision_scratch_with_domain_and_growth() {
+        let mut pre = CollisionScratch::with_domain(16);
+        assert!(!pre.has_collision(&[0, 15]));
+        // A value past the pre-sized domain forces growth, not a panic.
+        assert!(!pre.has_collision(&[100, 15]));
+        assert!(pre.has_collision(&[100, 100]));
+    }
+
+    #[test]
+    fn collision_scratch_survives_generation_wrap() {
+        let mut scratch = CollisionScratch {
+            stamps: vec![u32::MAX - 1; 4],
+            generation: u32::MAX - 1,
+        };
+        // Next call advances to u32::MAX, the one after wraps to 0 and
+        // must re-zero rather than alias old stamps.
+        assert!(!scratch.has_collision(&[0, 1]));
+        assert!(!scratch.has_collision(&[0, 1]));
+        assert!(scratch.has_collision(&[2, 2]));
     }
 }

@@ -25,6 +25,16 @@ pub trait SampleOracle {
     fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
         (0..count).map(|_| self.draw(rng)).collect()
     }
+
+    /// Draws `count` iid samples, **appending** them to `out`. Same
+    /// sample stream as [`SampleOracle::draw_many`], but reuses the
+    /// caller's buffer so Monte-Carlo loops allocate nothing per trial.
+    fn draw_into<R: Rng + ?Sized>(&self, rng: &mut R, count: usize, out: &mut Vec<usize>) {
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.draw(rng));
+        }
+    }
 }
 
 /// The basic oracle: samples from an explicit [`DiscreteDistribution`].

@@ -197,7 +197,7 @@ mod tests {
         for _ in 0..100 {
             let a: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
             let mut b = a.clone();
-            b[0] ^= 1 << rng.gen_range(0..64);
+            b[0] ^= 1u64 << rng.gen_range(0..64u32);
             let d = hamming_distance(&c.encode(&a), &c.encode(&b), c.output_bits());
             assert!(
                 d >= c.certified_min_distance(),

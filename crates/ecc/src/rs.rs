@@ -129,7 +129,7 @@ mod tests {
             let a: Vec<u16> = (0..16).map(|_| rng.gen_range(0..256)).collect();
             let mut b = a.clone();
             // flip one random symbol to make a distinct message
-            let idx = rng.gen_range(0..16);
+            let idx = rng.gen_range(0..16usize);
             b[idx] ^= 1 + rng.gen_range(0..255) as u16;
             let ca = rs.encode(&a);
             let cb = rs.encode(&b);

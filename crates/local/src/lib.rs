@@ -27,6 +27,7 @@ use dut_core::decision::{Decision, DecisionRule, NetworkOutcome};
 use dut_core::error::PlanError;
 use dut_core::gap::GapTester;
 use dut_core::params::{plan_and_rule, AndPlan};
+use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
 use dut_netsim::algorithms::mis::{luby_mis, verify_mis};
 use dut_netsim::algorithms::routing::route_to_centers;
@@ -272,7 +273,8 @@ impl LocalUniformityTester {
         let rounds = mis_rounds + routing_rounds;
 
         // Step 3: MIS nodes vote with the planned AND-rule tester;
-        // everyone else accepts.
+        // everyone else accepts. One collision scratch serves all votes.
+        let mut collision = CollisionScratch::with_domain(self.virtual_plan.n);
         let mut rejecting = 0usize;
         let mut mis_size = 0usize;
         let mut min_gathered = usize::MAX;
@@ -288,7 +290,9 @@ impl LocalUniformityTester {
                 // tester and accepts — completeness is unaffected.
                 continue;
             }
-            if self.node_tester.run_on_samples(&gathered[v]) == Decision::Reject {
+            if self.node_tester.run_on_samples_with(&gathered[v], &mut collision)
+                == Decision::Reject
+            {
                 rejecting += 1;
             }
         }

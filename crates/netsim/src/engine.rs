@@ -6,8 +6,33 @@
 //! per-edge-per-round bit budget — a protocol that violates CONGEST fails
 //! loudly instead of silently cheating — and every run returns a
 //! [`RunReport`] with rounds, message and bit counts.
+//!
+//! # Performance architecture
+//!
+//! The engine is built for Monte-Carlo workloads where the same (or a
+//! same-shaped) network is run thousands of times. All per-round and
+//! per-run buffers live in an [`EngineScratch`] that callers can reuse
+//! across runs, so the steady state performs **no heap allocation**:
+//!
+//! * The graph is flattened into a [`Csr`] (flat neighbor + offset
+//!   arrays) once per run, reusing capacity.
+//! * Instead of per-node `Vec<Vec<..>>` inboxes, all messages of a round
+//!   live in one flat arena. Delivery is a count-then-fill stable
+//!   counting sort: count per-destination messages, prefix-sum into
+//!   per-node offsets, then permute the staged sends in place. A node's
+//!   inbox is a slice of the arena.
+//! * `Outbox::send` validates neighbor-ship and finds the CONGEST
+//!   accounting slot in O(1) through a dense per-node neighbor-position
+//!   index, instead of scanning the neighbor list per send.
+//!
+//! [`Network::run`] is a thin wrapper that allocates a fresh scratch;
+//! hot callers use [`Network::run_with_scratch`] or, for large graphs,
+//! [`Network::run_with_options`] which can step independent nodes on
+//! multiple threads with bit-identical results. The pre-existing
+//! nested-`Vec` engine is retained as [`crate::reference`] for
+//! differential testing and benchmarking.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Csr, Graph, NodeId};
 use std::error::Error;
 use std::fmt;
 
@@ -90,7 +115,9 @@ impl BandwidthModel {
     /// `c · ⌈log₂(n+1)⌉` bits with the conventional `c = 2` (one value
     /// plus header room).
     pub fn congest_for(n: usize) -> Self {
-        let bits = 2 * ((n + 1) as f64).log2().ceil() as usize;
+        // ⌈log₂(n+1)⌉ is exactly the bit length of n; integer
+        // arithmetic avoids f64 rounding for n near 2^53 and above.
+        let bits = 2 * (usize::BITS - n.leading_zeros()) as usize;
         BandwidthModel::Congest {
             bits_per_edge: bits.max(2),
         }
@@ -181,14 +208,51 @@ pub trait NodeProtocol {
 }
 
 /// Queues outgoing messages for one node during one round.
+///
+/// Sends are staged into a shared flat buffer as `(to, from, msg)`
+/// triples; neighbor validation is O(1) through a dense
+/// neighbor-position index maintained by the engine.
 #[derive(Debug)]
 pub struct Outbox<'a, M> {
     node: NodeId,
     neighbors: &'a [NodeId],
-    sends: Vec<(NodeId, M)>,
+    neighbor_pos: &'a mut [u32],
+    staged: &'a mut Vec<(NodeId, NodeId, M)>,
+    /// Whether this node's entries are present in `neighbor_pos`. The
+    /// index fills lazily on the first staged message, so silent nodes
+    /// (the common case in wavefront-style protocols) never touch it —
+    /// and the engine only needs to clear it when this is set.
+    filled: bool,
 }
 
-impl<M> Outbox<'_, M> {
+impl<'a, M> Outbox<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        neighbors: &'a [NodeId],
+        neighbor_pos: &'a mut [u32],
+        staged: &'a mut Vec<(NodeId, NodeId, M)>,
+    ) -> Self {
+        Outbox {
+            node,
+            neighbors,
+            neighbor_pos,
+            staged,
+            filled: false,
+        }
+    }
+
+    /// Whether any message was staged (and `neighbor_pos` written).
+    pub(crate) fn index_filled(&self) -> bool {
+        self.filled
+    }
+
+    fn fill_index(&mut self) {
+        for (p, &nb) in self.neighbors.iter().enumerate() {
+            self.neighbor_pos[nb] = p as u32 + 1;
+        }
+        self.filled = true;
+    }
+
     /// Sends `msg` to neighbor `to`.
     ///
     /// # Panics
@@ -196,13 +260,16 @@ impl<M> Outbox<'_, M> {
     /// Panics if `to` is not a neighbor of the sending node — protocols
     /// may only talk over edges.
     pub fn send(&mut self, to: NodeId, msg: M) {
+        if !self.filled {
+            self.fill_index();
+        }
         assert!(
-            self.neighbors.contains(&to),
+            to < self.neighbor_pos.len() && self.neighbor_pos[to] != 0,
             "node {} tried to send to non-neighbor {}",
             self.node,
             to
         );
-        self.sends.push((to, msg));
+        self.staged.push((to, self.node, msg));
     }
 
     /// Sends a copy of `msg` to every neighbor.
@@ -210,8 +277,13 @@ impl<M> Outbox<'_, M> {
     where
         M: Clone,
     {
+        if !self.filled {
+            // Targets are neighbors by construction, but the metering
+            // pass needs the position index for any staged message.
+            self.fill_index();
+        }
         for &to in self.neighbors {
-            self.sends.push((to, msg.clone()));
+            self.staged.push((to, self.node, msg.clone()));
         }
     }
 
@@ -237,6 +309,256 @@ pub struct RunReport<P> {
     pub max_edge_bits_per_round: usize,
     /// Final per-node protocol states (outputs live here).
     pub nodes: Vec<P>,
+}
+
+/// Per-thread staging buffers for parallel node stepping.
+#[derive(Debug)]
+struct WorkerScratch<M> {
+    staged: Vec<(NodeId, NodeId, M)>,
+    neighbor_pos: Vec<u32>,
+}
+
+impl<M> Default for WorkerScratch<M> {
+    fn default() -> Self {
+        WorkerScratch {
+            staged: Vec::new(),
+            neighbor_pos: Vec::new(),
+        }
+    }
+}
+
+/// Reusable buffers for [`Network::run_with_scratch`].
+///
+/// Holds every allocation the round engine needs: the CSR graph view,
+/// the double-buffered flat message arena, per-destination counts and
+/// offsets, the dense neighbor-position index, and per-neighbor CONGEST
+/// bit accounting. After the first run on a given graph size, subsequent
+/// runs perform no heap allocation (message payloads that themselves
+/// allocate, e.g. `Vec<u64>`, are the protocol's business).
+///
+/// A scratch is keyed by nothing: it adapts to whatever graph the next
+/// run uses, growing buffers as needed and reusing them otherwise.
+#[derive(Debug)]
+pub struct EngineScratch<M> {
+    csr: Csr,
+    /// Messages delivered this round, grouped by destination:
+    /// `arena[inbox_offsets[v]..inbox_offsets[v+1]]` is node `v`'s inbox.
+    arena: Vec<(NodeId, M)>,
+    inbox_offsets: Vec<usize>,
+    /// Messages sent this round, in global send order, as
+    /// `(to, from, msg)`.
+    staged: Vec<(NodeId, NodeId, M)>,
+    /// Per-destination message counts / fill cursors for delivery.
+    counts: Vec<usize>,
+    /// Permutation scratch for the in-place stable counting sort.
+    perm: Vec<usize>,
+    /// Dense index: `neighbor_pos[u] == p+1` iff `u` is the `p`-th
+    /// neighbor of the node currently stepping, 0 otherwise. Zeroed
+    /// outside each fill/clear window.
+    neighbor_pos: Vec<u32>,
+    /// Cumulative bits sent to each neighbor position this round by the
+    /// node currently being metered. Zeroed outside each window.
+    edge_bits: Vec<usize>,
+    workers: Vec<WorkerScratch<M>>,
+}
+
+impl<M> Default for EngineScratch<M> {
+    fn default() -> Self {
+        EngineScratch {
+            csr: Csr::new(),
+            arena: Vec::new(),
+            inbox_offsets: Vec::new(),
+            staged: Vec::new(),
+            counts: Vec::new(),
+            perm: Vec::new(),
+            neighbor_pos: Vec::new(),
+            edge_bits: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+}
+
+impl<M> EngineScratch<M> {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    /// Sizes every buffer for `g` and resets per-run state. Reuses
+    /// existing capacity; also re-establishes the all-zero invariants of
+    /// `neighbor_pos` / `edge_bits` that an error return may have left
+    /// dirty.
+    fn prepare(&mut self, g: &Graph) {
+        self.csr.rebuild_from(g);
+        let k = g.node_count();
+        self.arena.clear();
+        self.staged.clear();
+        self.inbox_offsets.clear();
+        self.inbox_offsets.resize(k + 1, 0);
+        self.counts.clear();
+        self.counts.resize(k, 0);
+        self.perm.clear();
+        self.neighbor_pos.clear();
+        self.neighbor_pos.resize(k, 0);
+        self.edge_bits.clear();
+        self.edge_bits.resize(self.csr.max_degree(), 0);
+    }
+}
+
+/// Execution options for [`Network::run_with_options`].
+///
+/// The parallel path steps independent nodes on multiple threads and is
+/// **bit-identical** to the serial engine: per-worker staging buffers
+/// are merged in node order before metering and delivery, so decisions,
+/// metrics, and error values do not depend on the thread count. Small
+/// graphs stay serial via `parallel_threshold`, where thread start-up
+/// would dominate.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads to use. `0` means auto-detect from
+    /// `std::thread::available_parallelism`.
+    pub threads: usize,
+    /// Minimum node count before the parallel path engages; below it the
+    /// run is serial regardless of `threads`.
+    pub parallel_threshold: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: 0,
+            parallel_threshold: 512,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Forces serial execution.
+    pub fn serial() -> Self {
+        RunOptions {
+            threads: 1,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Requests `threads` workers with no size gate (mainly for tests).
+    pub fn parallel(threads: usize) -> Self {
+        RunOptions {
+            threads,
+            parallel_threshold: 0,
+        }
+    }
+
+    fn effective_threads(&self, nodes: usize) -> usize {
+        if nodes < self.parallel_threshold.max(2) {
+            return 1;
+        }
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, nodes)
+    }
+}
+
+/// Running message/bit totals, shared by the serial and parallel paths.
+struct Metrics {
+    total_messages: usize,
+    total_bits: usize,
+    max_edge_bits: usize,
+}
+
+impl Metrics {
+    /// Meters one node's staged sends. `neighbor_pos` must be filled for
+    /// `from`; `edge_bits` must be zero on entry and is re-zeroed for
+    /// `from`'s degree before returning `Ok`.
+    fn meter_node<M: MessageSize>(
+        &mut self,
+        model: BandwidthModel,
+        round: usize,
+        sends: &[(NodeId, NodeId, M)],
+        neighbor_pos: &[u32],
+        edge_bits: &mut [usize],
+        degree: usize,
+    ) -> Result<(), EngineError> {
+        // A silent node left `edge_bits` untouched — nothing to meter
+        // and nothing to re-zero.
+        if sends.is_empty() {
+            return Ok(());
+        }
+        for (to, from, msg) in sends {
+            let bits = msg.size_bits();
+            let pos = (neighbor_pos[*to] - 1) as usize;
+            edge_bits[pos] += bits;
+            let entry = edge_bits[pos];
+            if let BandwidthModel::Congest { bits_per_edge } = model {
+                if entry > bits_per_edge {
+                    return Err(EngineError::BandwidthExceeded {
+                        from: *from,
+                        to: *to,
+                        round,
+                        bits: entry,
+                        budget: bits_per_edge,
+                    });
+                }
+            }
+            self.max_edge_bits = self.max_edge_bits.max(entry);
+            self.total_messages += 1;
+            self.total_bits += bits;
+        }
+        for b in edge_bits.iter_mut().take(degree) {
+            *b = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Delivers this round's staged sends into the arena: counts per
+/// destination, prefix-sums offsets, then permutes the staged buffer in
+/// place (stable counting sort via cycle-chasing) and moves it into the
+/// arena. Allocation-free once capacities have grown, and a single
+/// O(nodes) pass per round (the prefix sum) — everything else is
+/// O(sends), which keeps sparse rounds (e.g. a BFS wavefront on a long
+/// line) from paying dense-round bookkeeping.
+fn deliver<M>(
+    staged: &mut Vec<(NodeId, NodeId, M)>,
+    arena: &mut Vec<(NodeId, M)>,
+    inbox_offsets: &mut [usize],
+    counts: &mut [usize],
+    perm: &mut Vec<usize>,
+) {
+    let k = counts.len();
+    // `counts` is all-zero on entry (the invariant is restored below),
+    // so counting touches only destinations that received messages.
+    for &(to, _, _) in staged.iter() {
+        counts[to] += 1;
+    }
+    inbox_offsets[0] = 0;
+    for v in 0..k {
+        inbox_offsets[v + 1] = inbox_offsets[v] + counts[v];
+    }
+    // perm[i] is the arena slot of staged[i]: with c messages for `to`
+    // still unplaced, the next lands at end(to) − c, so global send
+    // order is preserved within each destination and inbox ordering
+    // matches naive per-inbox pushes. Draining `counts` back to zero
+    // here restores the all-zero invariant with no extra pass.
+    perm.clear();
+    for &(to, _, _) in staged.iter() {
+        perm.push(inbox_offsets[to + 1] - counts[to]);
+        counts[to] -= 1;
+    }
+    for i in 0..staged.len() {
+        while perm[i] != i {
+            let j = perm[i];
+            staged.swap(i, j);
+            perm.swap(i, j);
+        }
+    }
+    arena.clear();
+    arena.extend(staged.drain(..).map(|(_, from, msg)| (from, msg)));
 }
 
 /// A synchronous network: a graph plus a bandwidth model.
@@ -265,6 +587,10 @@ impl<'g> Network<'g> {
     /// Runs the protocol to quiescence (all nodes done, no messages in
     /// flight) or up to `max_rounds`.
     ///
+    /// Allocates a fresh [`EngineScratch`] per call; loops running many
+    /// trials should hold a scratch and call
+    /// [`Network::run_with_scratch`] instead.
+    ///
     /// # Errors
     ///
     /// * [`EngineError::NodeCountMismatch`] if `states` has the wrong
@@ -276,80 +602,251 @@ impl<'g> Network<'g> {
         states: Vec<P>,
         max_rounds: usize,
     ) -> Result<RunReport<P>, EngineError> {
-        let k = self.graph.node_count();
-        if states.len() != k {
-            return Err(EngineError::NodeCountMismatch {
-                graph_nodes: k,
-                states: states.len(),
-            });
-        }
-        let mut states = states;
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
-        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
-        let mut total_messages = 0usize;
-        let mut total_bits = 0usize;
-        let mut max_edge_bits = 0usize;
+        let mut scratch = EngineScratch::new();
+        self.run_with_scratch(states, max_rounds, &mut scratch)
+    }
+
+    /// Like [`Network::run`], but reuses `scratch` so repeated runs do
+    /// not allocate. The scratch adapts to any graph/protocol pairing;
+    /// results are identical to [`Network::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_with_scratch<P: NodeProtocol>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+    ) -> Result<RunReport<P>, EngineError> {
+        let mut states = self.check_states(states)?;
+        scratch.prepare(self.graph);
+        let EngineScratch {
+            csr,
+            arena,
+            inbox_offsets,
+            staged,
+            counts,
+            perm,
+            neighbor_pos,
+            edge_bits,
+            ..
+        } = scratch;
+        let mut metrics = Metrics {
+            total_messages: 0,
+            total_bits: 0,
+            max_edge_bits: 0,
+        };
 
         for round in 0..max_rounds {
-            // Quiescence check: nothing in flight and everyone done.
-            let in_flight = inboxes.iter().any(|b| !b.is_empty());
-            if round > 0 && !in_flight && states.iter().all(NodeProtocol::is_done) {
-                return Ok(RunReport {
-                    rounds: round,
-                    total_messages,
-                    total_bits,
-                    max_edge_bits_per_round: max_edge_bits,
-                    nodes: states,
-                });
+            if round > 0 && arena.is_empty() && states.iter().all(NodeProtocol::is_done) {
+                return Ok(finish(round, metrics, states));
             }
 
             for (node, state) in states.iter_mut().enumerate() {
-                let mut out = Outbox {
-                    node,
-                    neighbors: self.graph.neighbors(node),
-                    sends: Vec::new(),
-                };
-                state.on_round(node, round, &inboxes[node], &mut out);
-
-                // Deliver (and meter) this node's sends.
-                // Per-destination bit accounting for CONGEST.
-                let mut sent_bits_to: Vec<(NodeId, usize)> = Vec::new();
-                for (to, msg) in out.sends {
-                    let bits = msg.size_bits();
-                    let entry = match sent_bits_to.iter_mut().find(|(d, _)| *d == to) {
-                        Some(e) => {
-                            e.1 += bits;
-                            e.1
-                        }
-                        None => {
-                            sent_bits_to.push((to, bits));
-                            bits
-                        }
-                    };
-                    if let BandwidthModel::Congest { bits_per_edge } = self.model {
-                        if entry > bits_per_edge {
-                            return Err(EngineError::BandwidthExceeded {
-                                from: node,
-                                to,
-                                round,
-                                bits: entry,
-                                budget: bits_per_edge,
-                            });
-                        }
+                let nbrs = csr.neighbors(node);
+                let start = staged.len();
+                let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
+                let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
+                state.on_round(node, round, inbox, &mut out);
+                // A silent node never filled the position index — there
+                // is nothing to meter and nothing to clear.
+                if out.index_filled() {
+                    // Meter immediately so a violation surfaces before
+                    // any later node steps, exactly as the naive engine
+                    // did.
+                    metrics.meter_node(
+                        self.model,
+                        round,
+                        &staged[start..],
+                        neighbor_pos,
+                        edge_bits,
+                        nbrs.len(),
+                    )?;
+                    for &nb in nbrs {
+                        neighbor_pos[nb] = 0;
                     }
-                    max_edge_bits = max_edge_bits.max(entry);
-                    total_messages += 1;
-                    total_bits += bits;
-                    next_inboxes[to].push((node, msg));
                 }
             }
 
-            for b in inboxes.iter_mut() {
-                b.clear();
-            }
-            std::mem::swap(&mut inboxes, &mut next_inboxes);
+            deliver(staged, arena, inbox_offsets, counts, perm);
         }
         Err(EngineError::RoundLimit { max_rounds })
+    }
+
+    /// Like [`Network::run_with_scratch`], with optional multi-threaded
+    /// node stepping for large graphs. Successful runs (and error
+    /// values) are bit-identical to the serial engine regardless of
+    /// thread count; see [`RunOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_with_options<P>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+        options: &RunOptions,
+    ) -> Result<RunReport<P>, EngineError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let threads = options.effective_threads(self.graph.node_count());
+        if threads <= 1 {
+            return self.run_with_scratch(states, max_rounds, scratch);
+        }
+        self.run_parallel(states, max_rounds, scratch, threads)
+    }
+
+    fn check_states<P>(&self, states: Vec<P>) -> Result<Vec<P>, EngineError> {
+        if states.len() != self.graph.node_count() {
+            return Err(EngineError::NodeCountMismatch {
+                graph_nodes: self.graph.node_count(),
+                states: states.len(),
+            });
+        }
+        Ok(states)
+    }
+
+    fn run_parallel<P>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+        threads: usize,
+    ) -> Result<RunReport<P>, EngineError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let mut states = self.check_states(states)?;
+        let k = self.graph.node_count();
+        scratch.prepare(self.graph);
+        while scratch.workers.len() < threads {
+            scratch.workers.push(WorkerScratch::default());
+        }
+        for w in &mut scratch.workers {
+            w.staged.clear();
+            w.neighbor_pos.clear();
+            w.neighbor_pos.resize(k, 0);
+        }
+        let EngineScratch {
+            csr,
+            arena,
+            inbox_offsets,
+            staged,
+            counts,
+            perm,
+            neighbor_pos,
+            edge_bits,
+            workers,
+        } = scratch;
+        let mut metrics = Metrics {
+            total_messages: 0,
+            total_bits: 0,
+            max_edge_bits: 0,
+        };
+        let chunk_len = k.div_ceil(threads);
+
+        for round in 0..max_rounds {
+            if round > 0 && arena.is_empty() && states.iter().all(NodeProtocol::is_done) {
+                return Ok(finish(round, metrics, states));
+            }
+
+            // Step nodes in contiguous chunks, one per worker. Workers
+            // only read the arena and write their own staging buffers.
+            {
+                let csr = &*csr;
+                let arena = &*arena;
+                let inbox_offsets = &*inbox_offsets;
+                crossbeam::scope(|s| {
+                    let mut handles = Vec::with_capacity(threads);
+                    for ((chunk_idx, chunk), worker) in states
+                        .chunks_mut(chunk_len)
+                        .enumerate()
+                        .zip(workers.iter_mut())
+                    {
+                        let base = chunk_idx * chunk_len;
+                        handles.push(s.spawn(move |_| {
+                            let WorkerScratch {
+                                staged,
+                                neighbor_pos,
+                            } = worker;
+                            for (off, state) in chunk.iter_mut().enumerate() {
+                                let node = base + off;
+                                let nbrs = csr.neighbors(node);
+                                let inbox =
+                                    &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
+                                let mut out =
+                                    Outbox::new(node, nbrs, neighbor_pos, staged);
+                                state.on_round(node, round, inbox, &mut out);
+                                if out.index_filled() {
+                                    for &nb in nbrs {
+                                        neighbor_pos[nb] = 0;
+                                    }
+                                }
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        if let Err(p) = h.join() {
+                            std::panic::resume_unwind(p);
+                        }
+                    }
+                })
+                .unwrap_or_else(|p| std::panic::resume_unwind(p));
+            }
+
+            // Merge in worker (== node) order: the merged buffer is in
+            // the exact global send order the serial engine produces.
+            for w in workers.iter_mut() {
+                staged.append(&mut w.staged);
+            }
+
+            // Meter serially over the merged buffer. Sends of one node
+            // are contiguous, so runs of equal `from` share one
+            // neighbor_pos fill.
+            let mut i = 0;
+            while i < staged.len() {
+                let from = staged[i].1;
+                let nbrs = csr.neighbors(from);
+                for (p, &nb) in nbrs.iter().enumerate() {
+                    neighbor_pos[nb] = p as u32 + 1;
+                }
+                let mut j = i;
+                while j < staged.len() && staged[j].1 == from {
+                    j += 1;
+                }
+                let res = metrics.meter_node(
+                    self.model,
+                    round,
+                    &staged[i..j],
+                    neighbor_pos,
+                    edge_bits,
+                    nbrs.len(),
+                );
+                for &nb in nbrs {
+                    neighbor_pos[nb] = 0;
+                }
+                res?;
+                i = j;
+            }
+
+            deliver(staged, arena, inbox_offsets, counts, perm);
+        }
+        Err(EngineError::RoundLimit { max_rounds })
+    }
+}
+
+fn finish<P>(rounds: usize, metrics: Metrics, states: Vec<P>) -> RunReport<P> {
+    RunReport {
+        rounds,
+        total_messages: metrics.total_messages,
+        total_bits: metrics.total_bits,
+        max_edge_bits_per_round: metrics.max_edge_bits,
+        nodes: states,
     }
 }
 
@@ -412,6 +909,80 @@ mod tests {
         assert_eq!(report.total_messages, 4);
         assert_eq!(report.total_bits, 4); // unit messages cost 1 bit each
         assert_eq!(report.max_edge_bits_per_round, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_gives_identical_reports() {
+        let g = topology::line(8);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let mut scratch = EngineScratch::new();
+        let first = net
+            .run_with_scratch(vec![Flood { seen: false }; 8], 32, &mut scratch)
+            .unwrap();
+        for _ in 0..3 {
+            let again = net
+                .run_with_scratch(vec![Flood { seen: false }; 8], 32, &mut scratch)
+                .unwrap();
+            assert_eq!(again.rounds, first.rounds);
+            assert_eq!(again.total_messages, first.total_messages);
+            assert_eq!(again.total_bits, first.total_bits);
+            assert_eq!(
+                again.max_edge_bits_per_round,
+                first.max_edge_bits_per_round
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_adapts_across_graphs() {
+        let mut scratch = EngineScratch::new();
+        let g1 = topology::complete(12);
+        let g2 = topology::line(5);
+        let mut net1 = Network::new(&g1, BandwidthModel::Local);
+        let r1 = net1
+            .run_with_scratch(vec![Flood { seen: false }; 12], 32, &mut scratch)
+            .unwrap();
+        assert!(r1.nodes.iter().all(|n| n.seen));
+        let mut net2 = Network::new(&g2, BandwidthModel::Local);
+        let r2 = net2
+            .run_with_scratch(vec![Flood { seen: false }; 5], 32, &mut scratch)
+            .unwrap();
+        assert!(r2.nodes.iter().all(|n| n.seen));
+        assert_eq!(r2.rounds, 6);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let g = topology::complete(24);
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let serial = net.run(vec![Flood { seen: false }; 24], 32).unwrap();
+        for threads in [2, 3, 8] {
+            let mut scratch = EngineScratch::new();
+            let par = net
+                .run_with_options(
+                    vec![Flood { seen: false }; 24],
+                    32,
+                    &mut scratch,
+                    &RunOptions::parallel(threads),
+                )
+                .unwrap();
+            assert_eq!(par.rounds, serial.rounds);
+            assert_eq!(par.total_messages, serial.total_messages);
+            assert_eq!(par.total_bits, serial.total_bits);
+            assert_eq!(
+                par.max_edge_bits_per_round,
+                serial.max_edge_bits_per_round
+            );
+            assert!(par.nodes.iter().all(|n| n.seen));
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_keeps_small_graphs_serial() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.effective_threads(8), 1);
+        assert_eq!(RunOptions::serial().effective_threads(100_000), 1);
+        assert_eq!(RunOptions::parallel(4).effective_threads(8), 4);
     }
 
     #[test]
@@ -480,6 +1051,45 @@ mod tests {
         let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 8 });
         let report = net.run(vec![Flood { seen: false }; 4], 32).unwrap();
         assert!(report.nodes.iter().all(|n| n.seen));
+    }
+
+    #[test]
+    fn scratch_usable_after_engine_error() {
+        /// Over budget in round 0 when armed; silent otherwise.
+        #[derive(Debug, Clone)]
+        struct MaybeFat {
+            armed: bool,
+        }
+        impl NodeProtocol for MaybeFat {
+            type Msg = u64;
+            fn on_round(
+                &mut self,
+                node: NodeId,
+                round: usize,
+                _inbox: &[(NodeId, u64)],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if self.armed && node == 0 && round == 0 {
+                    out.send(1, 7);
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = topology::line(2);
+        let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 8 });
+        let mut scratch = EngineScratch::new();
+        let err = net
+            .run_with_scratch(vec![MaybeFat { armed: true }; 2], 8, &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BandwidthExceeded { .. }));
+        // The same scratch must run clean afterwards.
+        let ok = net
+            .run_with_scratch(vec![MaybeFat { armed: false }; 2], 8, &mut scratch)
+            .unwrap();
+        assert_eq!(ok.total_messages, 0);
+        assert_eq!(ok.rounds, 1);
     }
 
     #[test]
@@ -557,6 +1167,25 @@ mod tests {
             }
             _ => panic!("expected congest models"),
         }
+    }
+
+    #[test]
+    fn congest_for_exact_bit_lengths() {
+        let budget = |n: usize| match BandwidthModel::congest_for(n) {
+            BandwidthModel::Congest { bits_per_edge } => bits_per_edge,
+            BandwidthModel::Local => unreachable!(),
+        };
+        assert_eq!(budget(0), 2);
+        assert_eq!(budget(1), 2);
+        assert_eq!(budget(2), 4); // ⌈log₂ 3⌉ = 2
+        assert_eq!(budget(3), 4);
+        assert_eq!(budget(4), 6);
+        assert_eq!(budget((1 << 10) - 1), 20);
+        assert_eq!(budget(1 << 10), 22);
+        // f64 log2 rounding must not perturb large powers of two; the
+        // integer form is exact everywhere.
+        assert_eq!(budget(1 << 52), 106);
+        assert_eq!(budget((1 << 53) + 1), 108);
     }
 
     #[test]

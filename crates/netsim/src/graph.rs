@@ -241,6 +241,82 @@ impl Graph {
     }
 }
 
+/// A compressed-sparse-row view of a [`Graph`].
+///
+/// The per-node `Vec<NodeId>` adjacency lists of [`Graph`] are flattened
+/// into one `neighbors` array indexed by an `offsets` array, so the hot
+/// path of the round engine walks a single contiguous allocation instead
+/// of chasing one heap pointer per node. Neighbor order is preserved
+/// exactly, so anything iterating `neighbors(v)` sees the same sequence
+/// as [`Graph::neighbors`].
+///
+/// A `Csr` is a reusable buffer: [`Csr::rebuild_from`] refills it from a
+/// graph without allocating once its capacity has grown, which is what
+/// lets [`crate::engine::EngineScratch`] run Monte-Carlo trial after
+/// trial allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    max_degree: usize,
+}
+
+impl Csr {
+    /// Creates an empty CSR (zero nodes) to be filled by
+    /// [`Csr::rebuild_from`].
+    pub fn new() -> Self {
+        Csr::default()
+    }
+
+    /// Builds a CSR from a graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut csr = Csr::new();
+        csr.rebuild_from(g);
+        csr
+    }
+
+    /// Refills this CSR from `g`, reusing the existing buffers. Does not
+    /// allocate once the buffers have grown to the graph's size.
+    pub fn rebuild_from(&mut self, g: &Graph) {
+        self.offsets.clear();
+        self.neighbors.clear();
+        self.max_degree = 0;
+        self.offsets.reserve(g.node_count() + 1);
+        self.neighbors.reserve(2 * g.edge_count());
+        self.offsets.push(0);
+        for v in 0..g.node_count() {
+            let nbrs = g.neighbors(v);
+            self.max_degree = self.max_degree.max(nbrs.len());
+            self.neighbors.extend_from_slice(nbrs);
+            self.offsets.push(self.neighbors.len());
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Neighbors of `v`, in the same order as [`Graph::neighbors`].
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The largest degree in the graph (0 for an empty graph).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+}
+
 /// Degree summary returned by [`Graph::degree_stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
@@ -383,6 +459,38 @@ mod tests {
     fn induced_subgraph_rejects_duplicates() {
         let g = Graph::from_edges(3, &[(0, 1)]);
         let _ = g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn csr_matches_adjacency_lists() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)]);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.max_degree(), 3);
+        for v in 0..5 {
+            assert_eq!(csr.neighbors(v), g.neighbors(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn csr_rebuild_reuses_buffers() {
+        let g1 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = Graph::from_edges(2, &[(0, 1)]);
+        let mut csr = Csr::from_graph(&g1);
+        csr.rebuild_from(&g2);
+        assert_eq!(csr.node_count(), 2);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.max_degree(), 1);
+        assert_eq!(csr, Csr::from_graph(&g2));
+    }
+
+    #[test]
+    fn csr_empty_graph() {
+        let csr = Csr::from_graph(&Graph::new(0));
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.max_degree(), 0);
+        assert_eq!(Csr::new().node_count(), 0);
     }
 
     #[test]

@@ -69,7 +69,8 @@ pub mod algorithms;
 pub mod engine;
 pub mod graph;
 pub mod power;
+pub mod reference;
 pub mod topology;
 
-pub use engine::{BandwidthModel, Network, RunReport};
-pub use graph::{DegreeStats, Graph, NodeId};
+pub use engine::{BandwidthModel, EngineScratch, Network, RunOptions, RunReport};
+pub use graph::{Csr, DegreeStats, Graph, NodeId};

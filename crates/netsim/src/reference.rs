@@ -1,0 +1,170 @@
+//! The retained naive round engine, for differential testing and
+//! benchmarking.
+//!
+//! This is the engine the crate shipped with before the flat-buffer
+//! rewrite in [`crate::engine`]: per-node `Vec<Vec<(NodeId, Msg)>>`
+//! inboxes reallocated every round, a fresh outbox per node per round,
+//! and per-send linear scans for CONGEST accounting. It is kept —
+//! semantics frozen — as the executable specification the optimized
+//! engine is differentially tested against (`tests/differential.rs`)
+//! and as the "before" side of the `netsim` benchmarks.
+//!
+//! Use [`crate::engine::Network`] for real work.
+
+use crate::engine::{
+    BandwidthModel, EngineError, MessageSize, NodeProtocol, Outbox, RunReport,
+};
+use crate::graph::{Graph, NodeId};
+
+/// Runs `states` on `graph` under `model` with the naive engine.
+///
+/// Semantics (decisions, metrics, error values, panic messages) match
+/// [`crate::engine::Network::run`] exactly; only the implementation
+/// strategy — and therefore the allocation profile — differs.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::engine::Network::run`].
+pub fn run_reference<P: NodeProtocol>(
+    graph: &Graph,
+    model: BandwidthModel,
+    states: Vec<P>,
+    max_rounds: usize,
+) -> Result<RunReport<P>, EngineError> {
+    let k = graph.node_count();
+    if states.len() != k {
+        return Err(EngineError::NodeCountMismatch {
+            graph_nodes: k,
+            states: states.len(),
+        });
+    }
+    let mut states = states;
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+    let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+    // Dense neighbor-position index required by the shared `Outbox`;
+    // filled and cleared per node, all-zero in between.
+    let mut neighbor_pos: Vec<u32> = vec![0; k];
+    let mut total_messages = 0usize;
+    let mut total_bits = 0usize;
+    let mut max_edge_bits = 0usize;
+
+    for round in 0..max_rounds {
+        // Quiescence check: nothing in flight and everyone done.
+        let in_flight = inboxes.iter().any(|b| !b.is_empty());
+        if round > 0 && !in_flight && states.iter().all(NodeProtocol::is_done) {
+            return Ok(RunReport {
+                rounds: round,
+                total_messages,
+                total_bits,
+                max_edge_bits_per_round: max_edge_bits,
+                nodes: states,
+            });
+        }
+
+        for (node, state) in states.iter_mut().enumerate() {
+            let neighbors = graph.neighbors(node);
+            let mut sends: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+            let mut out = Outbox::new(node, neighbors, &mut neighbor_pos, &mut sends);
+            state.on_round(node, round, &inboxes[node], &mut out);
+            drop(out);
+            for &nb in neighbors {
+                neighbor_pos[nb] = 0;
+            }
+
+            // Deliver (and meter) this node's sends.
+            // Per-destination bit accounting for CONGEST.
+            let mut sent_bits_to: Vec<(NodeId, usize)> = Vec::new();
+            for (to, _, msg) in sends {
+                let bits = msg.size_bits();
+                let entry = match sent_bits_to.iter_mut().find(|(d, _)| *d == to) {
+                    Some(e) => {
+                        e.1 += bits;
+                        e.1
+                    }
+                    None => {
+                        sent_bits_to.push((to, bits));
+                        bits
+                    }
+                };
+                if let BandwidthModel::Congest { bits_per_edge } = model {
+                    if entry > bits_per_edge {
+                        return Err(EngineError::BandwidthExceeded {
+                            from: node,
+                            to,
+                            round,
+                            bits: entry,
+                            budget: bits_per_edge,
+                        });
+                    }
+                }
+                max_edge_bits = max_edge_bits.max(entry);
+                total_messages += 1;
+                total_bits += bits;
+                next_inboxes[to].push((node, msg));
+            }
+        }
+
+        for b in inboxes.iter_mut() {
+            b.clear();
+        }
+        std::mem::swap(&mut inboxes, &mut next_inboxes);
+    }
+    Err(EngineError::RoundLimit { max_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[derive(Clone, Debug)]
+    struct Flood {
+        seen: bool,
+    }
+
+    impl NodeProtocol for Flood {
+        type Msg = ();
+        fn on_round(
+            &mut self,
+            node: NodeId,
+            round: usize,
+            inbox: &[(NodeId, ())],
+            out: &mut Outbox<'_, ()>,
+        ) {
+            let newly = (node == 0 && round == 0) || (!self.seen && !inbox.is_empty());
+            if newly {
+                self.seen = true;
+                out.broadcast(());
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn reference_preserves_seed_behavior() {
+        let g = topology::line(8);
+        let report =
+            run_reference(&g, BandwidthModel::Local, vec![Flood { seen: false }; 8], 32)
+                .unwrap();
+        assert!(report.nodes.iter().all(|n| n.seen));
+        assert_eq!(report.rounds, 9);
+
+        let g3 = topology::line(3);
+        let r3 =
+            run_reference(&g3, BandwidthModel::Local, vec![Flood { seen: false }; 3], 32)
+                .unwrap();
+        assert_eq!(r3.total_messages, 4);
+        assert_eq!(r3.total_bits, 4);
+        assert_eq!(r3.max_edge_bits_per_round, 1);
+    }
+
+    #[test]
+    fn reference_detects_node_count_mismatch() {
+        let g = topology::line(3);
+        let err = run_reference(&g, BandwidthModel::Local, vec![Flood { seen: false }; 2], 8)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NodeCountMismatch { .. }));
+    }
+}

@@ -1,0 +1,371 @@
+//! Differential tests: the flat-buffer round engine (serial and
+//! parallel) against the retained naive reference engine
+//! ([`dut_netsim::reference::run_reference`]).
+//!
+//! For every protocol × topology pair we assert the engines produce
+//! *identical* `RunReport`s — rounds, message and bit totals, the
+//! per-edge maximum — and identical final node states. Error paths
+//! (CONGEST budget violations, round-limit exhaustion) must also agree
+//! exactly, including the offending edge and bit counts.
+
+use dut_netsim::engine::{
+    BandwidthModel, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+    RunReport,
+};
+use dut_netsim::graph::{Graph, NodeId};
+use dut_netsim::reference::run_reference;
+use dut_netsim::topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Protocols
+// ---------------------------------------------------------------------
+
+/// Token flooding from node 0 (unit messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Flood {
+    seen: bool,
+}
+
+impl NodeProtocol for Flood {
+    type Msg = ();
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        let newly = (node == 0 && round == 0) || (!self.seen && !inbox.is_empty());
+        if newly {
+            self.seen = true;
+            out.broadcast(());
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.seen
+    }
+}
+
+/// BFS distance computation from node 0 (u64 distance messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bfs {
+    dist: Option<u64>,
+}
+
+impl NodeProtocol for Bfs {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        if self.dist.is_some() {
+            return;
+        }
+        if node == 0 && round == 0 {
+            self.dist = Some(0);
+            out.broadcast(1);
+        } else if let Some(&d) = inbox.iter().map(|(_, d)| d).min() {
+            self.dist = Some(d);
+            out.broadcast(d + 1);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.dist.is_some()
+    }
+}
+
+/// Max-id leader election by gossip (u64 id messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MaxId {
+    id: u64,
+    best: u64,
+}
+
+impl MaxId {
+    fn new(id: u64) -> Self {
+        MaxId { id, best: id }
+    }
+}
+
+impl NodeProtocol for MaxId {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        let incoming = inbox.iter().map(|&(_, id)| id).max().unwrap_or(0);
+        if round == 0 {
+            out.broadcast(self.best);
+        } else if incoming > self.best {
+            self.best = incoming;
+            out.broadcast(self.best);
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Sends an over-budget message from a chosen node at a chosen round —
+/// used to check error-path equality under CONGEST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FatSender {
+    trigger_node: NodeId,
+    trigger_round: usize,
+}
+
+impl NodeProtocol for FatSender {
+    type Msg = Vec<u64>;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        _inbox: &[(NodeId, Vec<u64>)],
+        out: &mut Outbox<'_, Vec<u64>>,
+    ) {
+        if node == self.trigger_node && round == self.trigger_round {
+            out.broadcast(vec![0u64; 16]); // 1024 bits per edge
+        } else if round == 0 {
+            out.broadcast(vec![node as u64]); // keep the run alive
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Never quiesces — used to check round-limit error equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Chatter;
+
+impl NodeProtocol for Chatter {
+    type Msg = ();
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        _inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        out.broadcast(());
+    }
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn topologies() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    vec![
+        ("line", topology::line(9)),
+        ("star", topology::star(10)),
+        ("clique", topology::complete(8)),
+        ("grid", topology::grid(3, 4)),
+        (
+            "erdos-renyi",
+            topology::connected_erdos_renyi(16, 0.25, &mut rng),
+        ),
+    ]
+}
+
+fn assert_reports_equal<P: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reference: &RunReport<P>,
+    candidate: &RunReport<P>,
+) {
+    assert_eq!(reference.rounds, candidate.rounds, "{label}: rounds");
+    assert_eq!(
+        reference.total_messages, candidate.total_messages,
+        "{label}: total_messages"
+    );
+    assert_eq!(
+        reference.total_bits, candidate.total_bits,
+        "{label}: total_bits"
+    );
+    assert_eq!(
+        reference.max_edge_bits_per_round, candidate.max_edge_bits_per_round,
+        "{label}: max_edge_bits_per_round"
+    );
+    assert_eq!(reference.nodes, candidate.nodes, "{label}: final states");
+}
+
+/// Runs `states` on `g` three ways — reference, flat serial, flat
+/// parallel (3 threads, threshold forced off) — and asserts all three
+/// reports and final states are identical.
+fn differential<P>(label: &str, g: &Graph, model: BandwidthModel, states: Vec<P>, max_rounds: usize)
+where
+    P: NodeProtocol + Clone + PartialEq + std::fmt::Debug + Send,
+    P::Msg: Send + Sync,
+{
+    let reference = run_reference(g, model, states.clone(), max_rounds)
+        .unwrap_or_else(|e| panic!("{label}: reference failed: {e}"));
+
+    let mut net = Network::new(g, model);
+    let serial = net
+        .run(states.clone(), max_rounds)
+        .unwrap_or_else(|e| panic!("{label}: serial flat engine failed: {e}"));
+    assert_reports_equal(&format!("{label} (serial)"), &reference, &serial);
+
+    let mut scratch = EngineScratch::new();
+    let parallel = net
+        .run_with_options(states, max_rounds, &mut scratch, &RunOptions::parallel(3))
+        .unwrap_or_else(|e| panic!("{label}: parallel flat engine failed: {e}"));
+    assert_reports_equal(&format!("{label} (parallel)"), &reference, &parallel);
+}
+
+// ---------------------------------------------------------------------
+// Success-path equivalence
+// ---------------------------------------------------------------------
+
+#[test]
+fn flood_matches_reference_on_all_topologies() {
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        differential(
+            &format!("flood/{name}"),
+            &g,
+            BandwidthModel::Local,
+            vec![Flood { seen: false }; k],
+            4 * k,
+        );
+    }
+}
+
+#[test]
+fn bfs_matches_reference_on_all_topologies() {
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        differential(
+            &format!("bfs/{name}"),
+            &g,
+            BandwidthModel::Local,
+            vec![Bfs { dist: None }; k],
+            4 * k,
+        );
+    }
+}
+
+#[test]
+fn max_id_matches_reference_on_all_topologies() {
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        // Scrambled ids so the max travels a non-trivial path.
+        let states: Vec<MaxId> = (0..k)
+            .map(|v| MaxId::new(((v as u64).wrapping_mul(0x9E37) % 251) + 1))
+            .collect();
+        differential(
+            &format!("max-id/{name}"),
+            &g,
+            BandwidthModel::Local,
+            states,
+            4 * k,
+        );
+    }
+}
+
+#[test]
+fn congest_metering_matches_reference() {
+    // Under a CONGEST budget wide enough for the 64-bit BFS messages,
+    // the metered bit totals must agree exactly on every topology.
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        differential(
+            &format!("bfs-congest/{name}"),
+            &g,
+            BandwidthModel::Congest { bits_per_edge: 64 },
+            vec![Bfs { dist: None }; k],
+            4 * k,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error-path equivalence
+// ---------------------------------------------------------------------
+
+#[test]
+fn bandwidth_errors_match_reference() {
+    // The violation fires at round 1 on node 3 (round 0's keep-alive
+    // broadcasts hold the run open); all engines must report the same
+    // offending edge, round, bit count, and budget.
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        let states: Vec<FatSender> = (0..k)
+            .map(|_| FatSender {
+                trigger_node: 3,
+                trigger_round: 1,
+            })
+            .collect();
+        let model = BandwidthModel::Congest { bits_per_edge: 512 };
+
+        let ref_err = run_reference(&g, model, states.clone(), 16).unwrap_err();
+        assert!(
+            matches!(ref_err, EngineError::BandwidthExceeded { .. }),
+            "{name}: reference produced {ref_err:?}"
+        );
+
+        let mut net = Network::new(&g, model);
+        let serial_err = net.run(states.clone(), 16).unwrap_err();
+        assert_eq!(ref_err, serial_err, "{name}: serial error");
+
+        let mut scratch = EngineScratch::new();
+        let parallel_err = net
+            .run_with_options(states, 16, &mut scratch, &RunOptions::parallel(3))
+            .unwrap_err();
+        assert_eq!(ref_err, parallel_err, "{name}: parallel error");
+    }
+}
+
+#[test]
+fn round_limit_errors_match_reference() {
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        let states = vec![Chatter; k];
+
+        let ref_err = run_reference(&g, BandwidthModel::Local, states.clone(), 7).unwrap_err();
+        assert_eq!(ref_err, EngineError::RoundLimit { max_rounds: 7 });
+
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let serial_err = net.run(states.clone(), 7).unwrap_err();
+        assert_eq!(ref_err, serial_err, "{name}: serial error");
+
+        let mut scratch = EngineScratch::new();
+        let parallel_err = net
+            .run_with_options(states, 7, &mut scratch, &RunOptions::parallel(3))
+            .unwrap_err();
+        assert_eq!(ref_err, parallel_err, "{name}: parallel error");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scratch-reuse equivalence across heterogeneous runs
+// ---------------------------------------------------------------------
+
+#[test]
+fn one_scratch_reused_across_topologies_matches_reference() {
+    // A single scratch serving every topology in sequence (the
+    // Monte-Carlo usage pattern) must not leak state between runs.
+    let mut scratch = EngineScratch::new();
+    for (name, g) in topologies() {
+        let k = g.node_count();
+        let reference =
+            run_reference(&g, BandwidthModel::Local, vec![Bfs { dist: None }; k], 4 * k).unwrap();
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let report = net
+            .run_with_scratch(vec![Bfs { dist: None }; k], 4 * k, &mut scratch)
+            .unwrap();
+        assert_reports_equal(&format!("bfs-reused-scratch/{name}"), &reference, &report);
+    }
+}

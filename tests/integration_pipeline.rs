@@ -97,7 +97,7 @@ fn ecc_distance_supports_reduction() {
     for _ in 0..50 {
         let x: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
         let mut y = x.clone();
-        y[rng.gen_range(0..8)] ^= 1 << rng.gen_range(0..64);
+        y[rng.gen_range(0..8usize)] ^= 1u64 << rng.gen_range(0..64u32);
         let cx = code.encode(&x);
         let cy = code.encode(&y);
         let d = dut_ecc::distance::hamming_distance(&cx, &cy, code.output_bits());

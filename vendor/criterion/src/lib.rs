@@ -1,0 +1,377 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! This workspace must build with no network access (see
+//! `vendor/README.md`), so the benchmark entry points the bench crate
+//! uses are re-implemented here over a straightforward wall-clock
+//! harness: warm up until the per-iteration cost stabilizes, then take
+//! `sample_size` samples and report min / median / max. Results are
+//! printed in the familiar `name  time: [low mid high]` shape and also
+//! appended as JSON lines to `target/criterion-stub/results.jsonl` so
+//! scripts can consume them.
+//!
+//! Statistical machinery (outlier classification, regression detection,
+//! HTML reports) is intentionally absent; swapping the real crate back
+//! in is a one-line `Cargo.toml` change.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<SampleStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Measured statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct SampleStats {
+    /// Benchmark identifier (`group/function/param`).
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Parses CLI-style configuration. This shim accepts and ignores
+    /// arguments (filters, `--bench`), matching how `cargo bench`
+    /// invokes the harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_benchmark(id, self.sample_size, self.measurement_time, f);
+        report(&stats);
+        self.results.push(stats);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Writes the accumulated results to
+    /// `target/criterion-stub/results.jsonl` (best-effort) and prints a
+    /// one-line summary. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = std::path::Path::new("target").join("criterion-stub");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("results.jsonl"))
+            {
+                for s in &self.results {
+                    let _ = writeln!(
+                        f,
+                        "{{\"id\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"max_ns\":{},\"iters_per_sample\":{},\"samples\":{}}}",
+                        s.id.replace('"', "'"),
+                        s.min_ns,
+                        s.median_ns,
+                        s.max_ns,
+                        s.iters_per_sample,
+                        s.samples
+                    );
+                }
+            }
+        }
+        println!("benchmarks complete: {} result(s)", self.results.len());
+    }
+}
+
+/// A benchmark group, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs `f` as a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let stats = run_benchmark(
+            &full,
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.measurement_time
+                .unwrap_or(self.parent.measurement_time),
+            f,
+        );
+        report(&stats);
+        self.parent.results.push(stats);
+        self
+    }
+
+    /// Runs `f` with an input value as a benchmark in this group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting happens eagerly; this exists for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function/parameter`.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the display text of a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The display text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) -> SampleStats
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: run single iterations until we know roughly how long
+    // one takes (bounded so very slow benchmarks still terminate).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let calibration_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    for _ in 0..5 {
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        if calibration_start.elapsed() > measurement_time / 4 {
+            break;
+        }
+    }
+
+    // Choose iterations per sample so all samples fit the budget.
+    let budget_per_sample = measurement_time / (sample_size.max(1) as u32);
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    SampleStats {
+        id: id.to_string(),
+        min_ns: samples_ns[0],
+        median_ns: samples_ns[samples_ns.len() / 2],
+        max_ns: *samples_ns.last().expect("at least one sample"),
+        iters_per_sample: iters,
+        samples: samples_ns.len(),
+    }
+}
+
+fn report(s: &SampleStats) {
+    println!(
+        "{:<48} time:   [{} {} {}]",
+        s.id,
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.max_ns)
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        let s = &c.results[0];
+        assert!(s.min_ns > 0.0 && s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+                b.iter(|| black_box(x) * black_box(x))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "g/square/7");
+    }
+}

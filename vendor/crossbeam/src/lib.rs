@@ -1,0 +1,18 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 scoped-thread API.
+//!
+//! This workspace must build with no network access (see
+//! `vendor/README.md`); the only `crossbeam` feature the crates use is
+//! `crossbeam::scope`, which std has provided natively since 1.63
+//! (`std::thread::scope`). This shim adapts the std API to the crossbeam
+//! call shape — `scope(|s| { s.spawn(|_| ...); })` returning a `Result`
+//! — so swapping the real crate back in is a one-line `Cargo.toml`
+//! change.
+//!
+//! Divergence: if a spawned thread panics, `std::thread::scope`
+//! re-raises the panic on the caller instead of returning `Err`. Every
+//! call site in this workspace treats a worker panic as fatal, so the
+//! observable behavior (a panic) is the same.
+
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,91 @@
+//! Scoped threads in the crossbeam 0.8 call shape, on std scoped threads.
+
+use std::any::Any;
+
+/// Result of a scope: `Err` carries a child-panic payload in real
+/// crossbeam; this shim always returns `Ok` (a child panic propagates as
+/// a panic instead — see the crate docs).
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope in which threads borrowing from the environment can be
+/// spawned.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle so it
+    /// can spawn further threads (unused by this workspace, but part of
+    /// the crossbeam signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            handle: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread, joinable before the scope ends.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    handle: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> Result<T> {
+        self.handle.join()
+    }
+}
+
+/// Creates a scope: all threads spawned inside are joined before
+/// `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let r = scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Size specification for collection strategies: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a size from the specification.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` of values from `element`, sized by `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `HashSet`s with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for HashSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    Z: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        // Aim for the drawn size, tolerating duplicates: a bounded number
+        // of extra attempts, then accept a smaller set (real proptest
+        // also treats the size as a target, not a guarantee, when the
+        // element domain is small).
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < 10 * (target + 1) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// A `HashSet` of values from `element`, sized by `size` (best-effort
+/// when the element domain is small).
+pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    Z: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_case("vec_sizes", 0);
+        let v = vec(0u16..256, 8usize).generate(&mut rng);
+        assert_eq!(v.len(), 8);
+        for _ in 0..50 {
+            let v = vec(0usize..20, 0..200).generate(&mut rng);
+            assert!(v.len() < 200);
+            assert!(v.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn hash_set_respects_domain() {
+        let mut rng = TestRng::for_case("hs", 1);
+        for _ in 0..50 {
+            let s = hash_set(0usize..32, 0..12).generate(&mut rng);
+            assert!(s.len() < 12);
+            assert!(s.iter().all(|&x| x < 32));
+        }
+    }
+}

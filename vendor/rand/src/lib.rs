@@ -1,0 +1,323 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! This workspace must build with no network access (see
+//! `vendor/README.md`), so the handful of `rand` items the crates use are
+//! re-implemented here on top of a xoshiro256++ generator with SplitMix64
+//! seeding. The API surface — `Rng`, `SeedableRng`, `rngs::StdRng`,
+//! `seq::SliceRandom` — matches rand 0.8 closely enough that swapping the
+//! real crate back in is a one-line `Cargo.toml` change.
+//!
+//! The generator is deterministic: the same seed yields the same stream on
+//! every platform, which is all the experiments require. The streams are
+//! **not** identical to the real `StdRng` (ChaCha12); seeds are reproducible
+//! within this workspace only.
+
+pub mod rngs;
+pub mod seq;
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over all values for integers, `[0, 1)` for floats).
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// (the conventional rand 0.8 behavior).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut state);
+            let bytes = v.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod distributions {
+    //! The distribution subset: `Standard` and uniform ranges.
+
+    use crate::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over all values for integers
+    /// and `bool`, uniform over `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $conv:expr),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($conv)(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int! {
+        u8 => |r: &mut R| r.next_u64() as u8,
+        u16 => |r: &mut R| r.next_u64() as u16,
+        u32 => |r: &mut R| r.next_u32(),
+        u64 => |r: &mut R| r.next_u64(),
+        u128 => |r: &mut R| ((r.next_u64() as u128) << 64) | r.next_u64() as u128,
+        usize => |r: &mut R| r.next_u64() as usize,
+        i8 => |r: &mut R| r.next_u64() as i8,
+        i16 => |r: &mut R| r.next_u64() as i16,
+        i32 => |r: &mut R| r.next_u32() as i32,
+        i64 => |r: &mut R| r.next_u64() as i64,
+        isize => |r: &mut R| r.next_u64() as isize,
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        /// Uniform on `[0, 1)` with 53 bits of precision.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        /// Uniform on `[0, 1)` with 24 bits of precision.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling from ranges.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled uniformly, mirroring
+        /// `rand::distributions::uniform::SampleRange`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Widening-multiply bounded sampling: maps a full-width `u64`
+        /// into `[0, span)`. The modulo bias is below `span / 2^64`,
+        /// far beneath Monte-Carlo resolution at experiment scales.
+        #[inline]
+        fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(bounded_u64(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        if span > u64::MAX as u128 {
+                            // Full-width range: every value is valid.
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+                    }
+                }
+            )*};
+        }
+
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_range {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let unit: $t = crate::distributions::Distribution::sample(
+                            &crate::distributions::Standard,
+                            rng,
+                        );
+                        self.start + (self.end - self.start) * unit
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let unit: $t = crate::distributions::Distribution::sample(
+                            &crate::distributions::Standard,
+                            rng,
+                        );
+                        lo + (hi - lo) * unit
+                    }
+                }
+            )*};
+        }
+
+        impl_float_range!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.gen::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.gen::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0u64..=5);
+            assert!(y <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}
