@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: every change must pass this sequence (see README §CI).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "ci.sh: all green"

@@ -19,8 +19,7 @@ fn bench_packaging(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tree", k), &k, |b, _| {
             b.iter(|| {
                 black_box(
-                    solve_token_packaging(&g, &tokens, &ids, 8, BandwidthModel::Local)
-                        .unwrap(),
+                    solve_token_packaging(&g, &tokens, &ids, 8, BandwidthModel::Local).unwrap(),
                 )
             })
         });

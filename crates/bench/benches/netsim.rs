@@ -4,8 +4,16 @@
 //! retained naive reference engine (`before`) against the flat-buffer
 //! engine (`after`, plus scratch-reuse and parallel variants); their
 //! numbers are recorded in `BENCH_netsim.json` at the repo root.
+//!
+//! `--metrics out.jsonl` skips Criterion and instead runs each engine
+//! scenario once with a recording sink, appending one `dut-metrics/1`
+//! record per scenario (see `docs/METRICS.md`):
+//!
+//! ```text
+//! cargo bench -p dut-bench --bench netsim -- --metrics netsim.jsonl
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dut_core::decision::Decision;
 use dut_core::gap::GapTester;
 use dut_core::montecarlo::{estimate_failure_rate, estimate_failure_rate_with_state, trial_rng};
@@ -20,9 +28,11 @@ use dut_netsim::engine::{
     BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
 };
 use dut_netsim::graph::NodeId;
-use dut_netsim::reference::run_reference;
+use dut_netsim::reference::{run_reference, run_reference_observed};
 use dut_netsim::topology;
+use dut_obs::{JsonlWriter, MemorySink, RunRecord};
 use std::hint::black_box;
+use std::path::Path;
 
 /// All-to-all gossip: every node broadcasts its running maximum for a
 /// fixed number of rounds. On a clique this is the densest message load
@@ -115,7 +125,12 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("clique256_broadcast/after_flat_scratch", |b| {
         let mut net = Network::new(&clique, BandwidthModel::Local);
         let mut scratch = EngineScratch::new();
-        b.iter(|| black_box(net.run_with_scratch(gossip_states(256), 32, &mut scratch).unwrap()))
+        b.iter(|| {
+            black_box(
+                net.run_with_scratch(gossip_states(256), 32, &mut scratch)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("clique256_broadcast/after_flat_parallel", |b| {
         let mut net = Network::new(&clique, BandwidthModel::Local);
@@ -135,15 +150,18 @@ fn bench_engine(c: &mut Criterion) {
     let bfs_states = |k: usize| vec![Bfs { dist: None }; k];
     group.bench_function("line4096_bfs/before_reference", |b| {
         b.iter(|| {
-            black_box(
-                run_reference(&line, BandwidthModel::Local, bfs_states(4096), 8192).unwrap(),
-            )
+            black_box(run_reference(&line, BandwidthModel::Local, bfs_states(4096), 8192).unwrap())
         })
     });
     group.bench_function("line4096_bfs/after_flat_scratch", |b| {
         let mut net = Network::new(&line, BandwidthModel::Local);
         let mut scratch = EngineScratch::new();
-        b.iter(|| black_box(net.run_with_scratch(bfs_states(4096), 8192, &mut scratch).unwrap()))
+        b.iter(|| {
+            black_box(
+                net.run_with_scratch(bfs_states(4096), 8192, &mut scratch)
+                    .unwrap(),
+            )
+        })
     });
 
     group.finish();
@@ -228,6 +246,110 @@ fn bench_mis_and_routing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--metrics` mode: one observed execution per engine scenario,
+/// one `dut-metrics/1` record each, pairing the engine's `RunReport`
+/// totals with the sink's `netsim.*` / `reference.*` counters and
+/// per-round histograms. The scenarios mirror the `netsim_engine`
+/// Criterion group so a record can be read next to `BENCH_netsim.json`.
+fn run_metrics(path: &Path) -> std::io::Result<()> {
+    let mut w = JsonlWriter::create(path)?;
+    let gossip_states = |k: usize| -> Vec<Gossip> {
+        (0..k)
+            .map(|v| Gossip {
+                best: v as u64,
+                rounds_left: 8,
+            })
+            .collect()
+    };
+    let bfs_states = |k: usize| vec![Bfs { dist: None }; k];
+    let mut sink = MemorySink::new();
+    let mut record = |w: &mut JsonlWriter,
+                      sink: &MemorySink,
+                      case: &str,
+                      k: usize,
+                      rounds: usize,
+                      messages: usize,
+                      bits: usize|
+     -> std::io::Result<()> {
+        let rec = RunRecord::new("bench.netsim", case)
+            .param("k", k)
+            .param("rounds", rounds)
+            .param("messages", messages)
+            .param("bits", bits);
+        w.write(&rec, sink)
+    };
+
+    // 256-node clique, 8 rounds of all-to-all gossip.
+    let clique = topology::complete(256);
+    let r = run_reference_observed(
+        &clique,
+        BandwidthModel::Local,
+        gossip_states(256),
+        32,
+        &mut sink,
+    )
+    .unwrap();
+    record(
+        &mut w,
+        &sink,
+        "clique256_broadcast/before_reference",
+        256,
+        r.rounds,
+        r.total_messages,
+        r.total_bits,
+    )?;
+    sink.reset();
+    let mut net = Network::new(&clique, BandwidthModel::Local);
+    let r = net.run_observed(gossip_states(256), 32, &mut sink).unwrap();
+    record(
+        &mut w,
+        &sink,
+        "clique256_broadcast/after_flat",
+        256,
+        r.rounds,
+        r.total_messages,
+        r.total_bits,
+    )?;
+
+    // 4096-node line BFS wavefront.
+    let line = topology::line(4096);
+    sink.reset();
+    let r = run_reference_observed(
+        &line,
+        BandwidthModel::Local,
+        bfs_states(4096),
+        8192,
+        &mut sink,
+    )
+    .unwrap();
+    record(
+        &mut w,
+        &sink,
+        "line4096_bfs/before_reference",
+        4096,
+        r.rounds,
+        r.total_messages,
+        r.total_bits,
+    )?;
+    sink.reset();
+    let mut net = Network::new(&line, BandwidthModel::Local);
+    let mut scratch = EngineScratch::new();
+    let r = net
+        .run_with_scratch_observed(bfs_states(4096), 8192, &mut scratch, &mut sink)
+        .unwrap();
+    record(
+        &mut w,
+        &sink,
+        "line4096_bfs/after_flat_scratch",
+        4096,
+        r.rounds,
+        r.total_messages,
+        r.total_bits,
+    )?;
+
+    w.flush()
+}
+
 criterion_group!(
     benches,
     bench_engine,
@@ -235,4 +357,16 @@ criterion_group!(
     bench_primitives,
     bench_mis_and_routing
 );
-criterion_main!(benches);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(at) = args.iter().position(|a| a == "--metrics") {
+        let path = args.get(at + 1).expect("--metrics needs a path");
+        run_metrics(Path::new(path)).expect("failed to write metrics");
+        eprintln!("wrote {path}");
+        return;
+    }
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -5,26 +5,40 @@
 //! experiments [--quick] all
 //! experiments [--quick] e1 e4 e6
 //! experiments --json results.json all
+//! experiments --metrics metrics.jsonl e6
 //! experiments --list
 //! ```
+//!
+//! `--metrics` appends one `dut-metrics/1` JSON object per tester run
+//! (for the instrumented experiments; see `docs/METRICS.md`).
+//! Experiment ids are zero-pad tolerant: `e06` names `e6`.
 
-use dut_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use dut_bench::{normalize_id, run_experiment, MetricsLog, Scale, ALL_EXPERIMENTS};
+use std::path::Path;
 use std::time::Instant;
+
+const USAGE: &str =
+    "usage: experiments [--quick] [--list] [--json out.json] [--metrics out.jsonl] \
+     (all | e1 .. e12)+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
-    let mut expect_json_path = false;
+    let mut metrics_path: Option<String> = None;
+    let mut expect_path_for: Option<&str> = None;
     for a in &args {
-        if expect_json_path {
-            json_path = Some(a.clone());
-            expect_json_path = false;
+        if let Some(flag) = expect_path_for.take() {
+            match flag {
+                "--json" => json_path = Some(a.clone()),
+                _ => metrics_path = Some(a.clone()),
+            }
             continue;
         }
         match a.as_str() {
-            "--json" => expect_json_path = true,
+            "--json" => expect_path_for = Some("--json"),
+            "--metrics" => expect_path_for = Some("--metrics"),
             "--quick" | "-q" => scale = Scale::Quick,
             "--list" | "-l" => {
                 for id in ALL_EXPERIMENTS {
@@ -33,19 +47,39 @@ fn main() {
                 return;
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
-            other if ALL_EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
             other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--quick] [--list] (all | e1 .. e12)+");
-                std::process::exit(2);
+                let id = normalize_id(other);
+                if ALL_EXPERIMENTS.contains(&id.as_str()) {
+                    ids.push(id);
+                } else {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
             }
         }
     }
+    if let Some(flag) = expect_path_for {
+        eprintln!("{flag} needs a path argument");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
     if ids.is_empty() {
-        eprintln!("usage: experiments [--quick] [--list] (all | e1 .. e12)+");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     ids.dedup();
+
+    let mut log = match &metrics_path {
+        Some(path) => match MetricsLog::create(Path::new(path)) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("failed to create {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => MetricsLog::disabled(),
+    };
 
     println!(
         "# Distributed Uniformity Testing — experiment run ({})\n",
@@ -57,7 +91,7 @@ fn main() {
     let mut all_tables: Vec<dut_bench::Table> = Vec::new();
     for id in ids {
         let start = Instant::now();
-        let tables = run_experiment(&id, scale);
+        let tables = run_experiment(&id, scale, &mut log);
         for table in &tables {
             println!("{table}");
         }
@@ -75,5 +109,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = metrics_path {
+        if let Err(e) = log.flush() {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} metric records to {path}", log.records());
     }
 }

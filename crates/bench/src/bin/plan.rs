@@ -120,10 +120,7 @@ fn main() {
                 k / t.tau(),
                 t.virtual_plan().threshold
             );
-            println!(
-                "  rounds            : O(D + {}) per run",
-                t.tau()
-            );
+            println!("  rounds            : O(D + {}) per run", t.tau());
         }
         Err(e) => println!("  infeasible: {e}"),
     }

@@ -36,7 +36,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "E1b: gap tester soundness (Lemma 3.4.2)",
         "Rejection rate on ε-far families must reach (1+γε²)δ; the Paninski family is the \
          extremal (hardest) case, other families reject strictly more.",
-        &["n", "eps", "family", "bound (1+γε²)δ", "measured reject", "ok"],
+        &[
+            "n",
+            "eps",
+            "family",
+            "bound (1+γε²)δ",
+            "measured reject",
+            "ok",
+        ],
     );
 
     for &(n, eps, delta) in &grid {
@@ -55,7 +62,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fmt_f(eps),
             tester.samples().to_string(),
             fmt_f(tester.delta()),
-            format!("{} [{}, {}]", fmt_f(est.rate), fmt_f(est.lower), fmt_f(est.upper)),
+            format!(
+                "{} [{}, {}]",
+                fmt_f(est.rate),
+                fmt_f(est.lower),
+                fmt_f(est.upper)
+            ),
             ok.to_string(),
         ]);
 
@@ -77,7 +89,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 fmt_f(eps),
                 family.name().to_string(),
                 fmt_f(bound),
-                format!("{} [{}, {}]", fmt_f(est.rate), fmt_f(est.lower), fmt_f(est.upper)),
+                format!(
+                    "{} [{}, {}]",
+                    fmt_f(est.rate),
+                    fmt_f(est.lower),
+                    fmt_f(est.upper)
+                ),
                 ok.to_string(),
             ]);
         }
@@ -96,7 +113,12 @@ mod tests {
         for t in &tables {
             assert!(!t.rows.is_empty());
             for row in &t.rows {
-                assert_eq!(row.last().unwrap(), "true", "violation in {}: {row:?}", t.title);
+                assert_eq!(
+                    row.last().unwrap(),
+                    "true",
+                    "violation in {}: {row:?}",
+                    t.title
+                );
             }
         }
     }

@@ -18,7 +18,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let ns: Vec<usize> = scale.pick(
         vec![1 << 12, 1 << 16, 1 << 20],
-        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 24],
+        vec![
+            1 << 10,
+            1 << 12,
+            1 << 14,
+            1 << 16,
+            1 << 18,
+            1 << 20,
+            1 << 24,
+        ],
     );
     for n in ns {
         for &delta in &[0.001f64, 0.01, 0.05] {

@@ -98,7 +98,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fmt_f(theorem_1_1_samples(n, k, eps, p)),
             fmt_f(p_u),
             fmt_f(p_f),
-            format!("{} [{}, {}]", fmt_f(mc.rate), fmt_f(mc.lower), fmt_f(mc.upper)),
+            format!(
+                "{} [{}, {}]",
+                fmt_f(mc.rate),
+                fmt_f(mc.lower),
+                fmt_f(mc.upper)
+            ),
             fmt_f(comp_err),
             fmt_f(sound_err),
             plan.feasible.to_string(),

@@ -94,7 +94,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
             plan.threshold.to_string(),
             fmt_f(p_u),
             fmt_f(p_f),
-            format!("{} [{}, {}]", fmt_f(mc.rate), fmt_f(mc.lower), fmt_f(mc.upper)),
+            format!(
+                "{} [{}, {}]",
+                fmt_f(mc.rate),
+                fmt_f(mc.lower),
+                fmt_f(mc.upper)
+            ),
             fmt_f(comp_err),
             fmt_f(sound_err),
         ]);

@@ -55,8 +55,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     for shape in ["uniform", "two-class", "power-law"] {
         let costs = cost_shape(shape, k);
-        let tester =
-            AsymmetricThresholdTester::plan(n, &costs, eps, p).expect("plannable shape");
+        let tester = AsymmetricThresholdTester::plan(n, &costs, eps, p).expect("plannable shape");
         let theory = theory_max_cost_threshold(n, &costs, eps);
         let mut rng = StdRng::seed_from_u64(501);
         let err_u = (0..trials)
@@ -144,10 +143,17 @@ mod tests {
     fn quick_run_cost_law_and_lemma_hold() {
         let tables = run(Scale::Quick);
         // E5a: ratios roughly constant and errors controlled.
-        let ratios: Vec<f64> = tables[0].rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let ratios: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[4].parse().unwrap())
+            .collect();
         let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
             / ratios.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 2.0, "cost-law constant varies too much: {ratios:?}");
+        assert!(
+            spread < 2.0,
+            "cost-law constant varies too much: {ratios:?}"
+        );
         // E5b: AND rule strictly costlier.
         for row in &tables[1].rows {
             let ratio: f64 = row[4].parse().unwrap();

@@ -5,6 +5,7 @@
 //! bounds, verifies the CONGEST bit budget end-to-end (the simulator
 //! enforces it), and records decisions on uniform vs far inputs.
 
+use crate::metrics::MetricsLog;
 use crate::table::{fmt_f, Table};
 use crate::Scale;
 use dut_congest::CongestUniformityTester;
@@ -12,11 +13,15 @@ use dut_core::decision::Decision;
 use dut_distributions::families::paninski_far;
 use dut_distributions::DiscreteDistribution;
 use dut_netsim::topology::Topology;
+use dut_obs::{MemorySink, RunRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Runs E6.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs E6, appending one `dut-metrics/1` record per tester run to
+/// `log` (params: topology, input, trial, n, k, eps; the record's
+/// `congest.rounds` / `congest.bits` counters sum to the table's
+/// round/bit totals).
+pub fn run(scale: Scale, log: &mut MetricsLog) -> Vec<Table> {
     let n = 1 << 12;
     let k = 12_000;
     let eps = 1.0;
@@ -54,6 +59,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "rounds",
             "theory D+τ",
             "rounds/(D+τ)",
+            "bits",
             "packages",
             "rejects(U)",
             "rejects(far)",
@@ -84,25 +90,61 @@ pub fn run(scale: Scale) -> Vec<Table> {
         };
         let theory = d as f64 + tester_g.tau() as f64;
         let mut rounds_sum = 0usize;
+        let mut bits_sum = 0usize;
         let mut packages = 0usize;
         let mut rej_u = 0usize;
         let mut rej_f = 0usize;
-        for _ in 0..trials {
-            let ru = tester_g.run(&g, &uniform, &mut rng).expect("run ok");
+        // One record per tester run; the sink is reset per run so each
+        // line holds exactly that run's counters.
+        let record = |log: &mut MetricsLog,
+                      sink: &MemorySink,
+                      input: &str,
+                      trial: usize,
+                      kk: usize,
+                      r: &dut_congest::CongestRunResult| {
+            if !log.enabled() {
+                return;
+            }
+            let rec = RunRecord::new("e6", &format!("{}/{input}", topo.name()))
+                .param("n", n)
+                .param("k", kk)
+                .param("eps", eps)
+                .param("trial", trial)
+                .param("rounds", r.rounds)
+                .param("bits", r.bits)
+                .param("packages", r.packages)
+                .param("decision", format!("{:?}", r.decision));
+            log.write(&rec, sink).expect("metrics write");
+        };
+        let mut sink = MemorySink::new();
+        for trial in 0..trials {
+            sink.reset();
+            let ru = tester_g
+                .run_observed(&g, &uniform, &mut rng, &mut sink)
+                .expect("run ok");
             rounds_sum += ru.rounds;
+            bits_sum += ru.bits;
             packages = ru.packages;
             rej_u += usize::from(ru.decision == Decision::Reject);
-            let rf = tester_g.run(&g, &far, &mut rng).expect("run ok");
+            record(log, &sink, "uniform", trial, kk, &ru);
+            sink.reset();
+            let rf = tester_g
+                .run_observed(&g, &far, &mut rng, &mut sink)
+                .expect("run ok");
             rounds_sum += rf.rounds;
+            bits_sum += rf.bits;
             rej_f += usize::from(rf.decision == Decision::Reject);
+            record(log, &sink, "far", trial, kk, &rf);
         }
         let mean_rounds = rounds_sum as f64 / (2 * trials) as f64;
+        let mean_bits = bits_sum as f64 / (2 * trials) as f64;
         t.push_row(vec![
             topo.name().to_string(),
             d.to_string(),
             fmt_f(mean_rounds),
             fmt_f(theory),
             fmt_f(mean_rounds / theory),
+            fmt_f(mean_bits),
             packages.to_string(),
             format!("{rej_u}/{trials}"),
             format!("{rej_f}/{trials}"),
@@ -117,7 +159,7 @@ mod tests {
 
     #[test]
     fn quick_run_rounds_track_d_plus_tau() {
-        let tables = run(Scale::Quick);
+        let tables = run(Scale::Quick, &mut MetricsLog::disabled());
         for row in &tables[0].rows {
             let ratio: f64 = row[4].parse().unwrap();
             assert!(
@@ -126,9 +168,59 @@ mod tests {
                 row[0]
             );
             // Far must reject at least as often as uniform.
-            let ru: usize = row[6].split('/').next().unwrap().parse().unwrap();
-            let rf: usize = row[7].split('/').next().unwrap().parse().unwrap();
+            let ru: usize = row[7].split('/').next().unwrap().parse().unwrap();
+            let rf: usize = row[8].split('/').next().unwrap().parse().unwrap();
             assert!(rf >= ru, "no separation on {}: {row:?}", row[0]);
+        }
+    }
+
+    /// Pulls the integer following `"key":` out of a JSONL line.
+    fn field_u64(line: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\":");
+        let at = line
+            .find(&pat)
+            .unwrap_or_else(|| panic!("no {key} in {line}"));
+        line[at + pat.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn metrics_records_match_table_totals() {
+        // Same seed → logging must not perturb the tables, and the
+        // per-run records must re-derive the table's means exactly.
+        let plain = run(Scale::Quick, &mut MetricsLog::disabled());
+        let mut log = MetricsLog::buffer();
+        let logged = run(Scale::Quick, &mut log);
+        assert_eq!(plain, logged, "metrics logging perturbed the experiment");
+
+        let table = &logged[0];
+        // Quick scale: 6 trials x 2 inputs per topology, 3 topologies.
+        assert_eq!(log.records(), table.rows.len() * 2 * 6);
+        for row in &table.rows {
+            let topo = &row[0];
+            let runs: Vec<&String> = log
+                .lines()
+                .iter()
+                .filter(|l| l.contains(&format!("\"case\":\"{topo}/")))
+                .collect();
+            assert_eq!(runs.len(), 12, "wrong record count for {topo}");
+            for line in &runs {
+                assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
+                assert!(line.contains("\"experiment\":\"e6\""));
+                // The run-level params agree with the sink's counters.
+                assert_eq!(field_u64(line, "rounds"), field_u64(line, "congest.rounds"));
+                assert_eq!(field_u64(line, "bits"), field_u64(line, "congest.bits"));
+                // The netsim substrate metered the aggregation phases.
+                assert!(field_u64(line, "netsim.bits") > 0);
+            }
+            let rounds_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.rounds")).sum();
+            let bits_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.bits")).sum();
+            assert_eq!(fmt_f(rounds_sum as f64 / 12.0), row[2], "rounds for {topo}");
+            assert_eq!(fmt_f(bits_sum as f64 / 12.0), row[5], "bits for {topo}");
         }
     }
 }

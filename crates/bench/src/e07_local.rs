@@ -23,7 +23,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let trials = scale.pick(10, 30);
     let topologies: Vec<Topology> = scale.pick(
         vec![Topology::Grid, Topology::Line],
-        vec![Topology::Grid, Topology::Line, Topology::Ring, Topology::ErdosRenyi],
+        vec![
+            Topology::Grid,
+            Topology::Line,
+            Topology::Ring,
+            Topology::ErdosRenyi,
+        ],
     );
 
     let uniform = DiscreteDistribution::uniform(n);
@@ -124,7 +129,10 @@ mod tests {
             assert!(mis <= mis_bound, "MIS bound violated: {row:?}");
             let gathered: usize = row[4].parse().unwrap();
             let gather_bound: usize = row[5].parse().unwrap();
-            assert!(gathered >= gather_bound, "gathering bound violated: {row:?}");
+            assert!(
+                gathered >= gather_bound,
+                "gathering bound violated: {row:?}"
+            );
             let ru: usize = row[7].split('/').next().unwrap().parse().unwrap();
             let rf: usize = row[8].split('/').next().unwrap().parse().unwrap();
             assert!(rf >= ru, "no separation: {row:?}");

@@ -9,8 +9,8 @@
 
 use crate::table::{fmt_f, Table};
 use crate::Scale;
-use dut_core::montecarlo::ErrorEstimate;
 use dut_core::montecarlo::trial_rng;
+use dut_core::montecarlo::ErrorEstimate;
 use dut_lowerbound::theorem_7_2_bound;
 use dut_smp::{EqualityProtocol, PublicCoinEquality, SmpProtocol};
 use rand::Rng;

@@ -74,9 +74,18 @@ pub fn run(scale: Scale) -> Vec<Table> {
         });
         t.push_row(vec![
             label.to_string(),
-            if expect == Decision::Accept { "η".into() } else { "ε-far μ".into() },
+            if expect == Decision::Accept {
+                "η".into()
+            } else {
+                "ε-far μ".into()
+            },
             expect.to_string(),
-            format!("{} [{}, {}]", fmt_f(err.rate), fmt_f(err.lower), fmt_f(err.upper)),
+            format!(
+                "{} [{}, {}]",
+                fmt_f(err.rate),
+                fmt_f(err.lower),
+                fmt_f(err.upper)
+            ),
         ]);
     }
 
@@ -92,7 +101,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 .count();
             t.push_row(vec![
                 format!("distributed (k={k})"),
-                if expect == Decision::Accept { "η".into() } else { "ε-far μ".into() },
+                if expect == Decision::Accept {
+                    "η".into()
+                } else {
+                    "ε-far μ".into()
+                },
                 expect.to_string(),
                 format!("{errors}/{dist_trials}"),
             ]);

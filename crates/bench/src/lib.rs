@@ -30,8 +30,10 @@ pub mod e09_lemma21;
 pub mod e10_baselines;
 pub mod e11_identity;
 pub mod e12_lowerbound;
+pub mod metrics;
 pub mod table;
 
+pub use metrics::MetricsLog;
 pub use table::{tables_to_json, Table};
 
 /// Global scale knob: `Quick` shrinks trial counts and sweep ranges so
@@ -60,19 +62,32 @@ pub const ALL_EXPERIMENTS: [&str; 12] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
-/// Runs one experiment by id, returning its rendered tables.
+/// Canonicalizes a user-typed experiment id: strips leading zeros
+/// after the `e`, so `e06` and `E6` both name `e6`. Ids that don't
+/// look like `e<number>` pass through unchanged (and fail lookup).
+pub fn normalize_id(id: &str) -> String {
+    let lower = id.to_ascii_lowercase();
+    match lower.strip_prefix('e').and_then(|d| d.parse::<u64>().ok()) {
+        Some(n) => format!("e{n}"),
+        None => lower,
+    }
+}
+
+/// Runs one experiment by (canonical) id, returning its rendered
+/// tables. Experiments that support `--metrics` append one
+/// `dut-metrics/1` record per tester run to `log`; the rest ignore it.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id.
-pub fn run_experiment(id: &str, scale: Scale) -> Vec<Table> {
+pub fn run_experiment(id: &str, scale: Scale, log: &mut MetricsLog) -> Vec<Table> {
     match id {
         "e1" => e01_gap::run(scale),
         "e2" => e02_scaling::run(scale),
         "e3" => e03_and_rule::run(scale),
         "e4" => e04_threshold::run(scale),
         "e5" => e05_asymmetric::run(scale),
-        "e6" => e06_congest::run(scale),
+        "e6" => e06_congest::run(scale, log),
         "e7" => e07_local::run(scale),
         "e8" => e08_smp::run(scale),
         "e9" => e09_lemma21::run(scale),

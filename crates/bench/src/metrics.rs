@@ -1,0 +1,135 @@
+//! Optional `dut-metrics/1` JSONL logging for experiment runners.
+//!
+//! The `experiments` binary constructs a [`MetricsLog`] from the
+//! `--metrics out.jsonl` flag and threads it into instrumented
+//! experiments; each tester run then appends one JSON object pairing
+//! the run's parameters with its [`dut_obs::MemorySink`] snapshot.
+//! The record layout is documented in `docs/METRICS.md`.
+
+use dut_obs::{JsonlWriter, MemorySink, RunRecord};
+use std::io;
+use std::path::Path;
+
+#[derive(Debug)]
+enum Out {
+    /// Drop records; `enabled()` is false so runners can skip work.
+    Disabled,
+    /// Append records to a `.jsonl` file.
+    File(JsonlWriter),
+    /// Keep serialized lines in memory (tests).
+    Buffer(Vec<String>),
+}
+
+/// A destination for per-run metric records, threaded through the
+/// experiment runners that support `--metrics`.
+#[derive(Debug)]
+pub struct MetricsLog {
+    out: Out,
+    records: usize,
+}
+
+impl MetricsLog {
+    /// A log that drops everything; [`MetricsLog::enabled`] is false.
+    pub fn disabled() -> Self {
+        MetricsLog {
+            out: Out::Disabled,
+            records: 0,
+        }
+    }
+
+    /// A log appending to `path` (truncated on open).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(MetricsLog {
+            out: Out::File(JsonlWriter::create(path)?),
+            records: 0,
+        })
+    }
+
+    /// An in-memory log for tests; read back with [`MetricsLog::lines`].
+    pub fn buffer() -> Self {
+        MetricsLog {
+            out: Out::Buffer(Vec::new()),
+            records: 0,
+        }
+    }
+
+    /// Whether records are kept. Runners may skip building records
+    /// (but must not change their RNG usage) when this is false.
+    pub fn enabled(&self) -> bool {
+        !matches!(self.out, Out::Disabled)
+    }
+
+    /// Appends one record line pairing `record` with `sink`'s
+    /// accumulated metrics. A disabled log ignores the call.
+    ///
+    /// # Errors
+    ///
+    /// Fails only in file mode, on an I/O error.
+    pub fn write(&mut self, record: &RunRecord, sink: &MemorySink) -> io::Result<()> {
+        match &mut self.out {
+            Out::Disabled => return Ok(()),
+            Out::File(w) => w.write(record, sink)?,
+            Out::Buffer(lines) => lines.push(record.to_jsonl(sink)),
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered file output.
+    ///
+    /// # Errors
+    ///
+    /// Fails only in file mode, on an I/O error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.out {
+            Out::File(w) => w.flush(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The serialized lines of a [`MetricsLog::buffer`] log (empty for
+    /// the other modes).
+    pub fn lines(&self) -> &[String] {
+        match &self.out {
+            Out::Buffer(lines) => lines,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_obs::Sink;
+
+    #[test]
+    fn disabled_log_drops_records() {
+        let mut log = MetricsLog::disabled();
+        assert!(!log.enabled());
+        log.write(&RunRecord::new("e0", "x"), &MemorySink::new())
+            .unwrap();
+        assert_eq!(log.records(), 0);
+        assert!(log.lines().is_empty());
+    }
+
+    #[test]
+    fn buffer_log_keeps_lines() {
+        let mut log = MetricsLog::buffer();
+        assert!(log.enabled());
+        let mut sink = MemorySink::new();
+        sink.add("congest.rounds", 7);
+        log.write(&RunRecord::new("e6", "star/uniform"), &sink)
+            .unwrap();
+        assert_eq!(log.records(), 1);
+        assert!(log.lines()[0].contains("\"congest.rounds\":7"));
+    }
+}

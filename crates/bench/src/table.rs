@@ -17,11 +17,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        caption: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
             caption: caption.into(),
@@ -180,7 +176,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f(0.0), "0");
         assert_eq!(fmt_f(0.12345), "0.1235");
-        assert_eq!(fmt_f(3.14159), "3.142");
+        assert_eq!(fmt_f(2.34567), "2.346");
         assert_eq!(fmt_f(123456.0), "123456");
     }
 }

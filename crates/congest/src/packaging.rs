@@ -13,9 +13,7 @@
 
 use dut_netsim::algorithms::bfs::{build_bfs_tree, BfsTree};
 use dut_netsim::algorithms::leader::elect_leader;
-use dut_netsim::engine::{
-    BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox,
-};
+use dut_netsim::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
 use dut_netsim::graph::{Graph, NodeId};
 use std::collections::VecDeque;
 
@@ -103,7 +101,8 @@ impl NodeProtocol for ForwardNode {
         }
         if self.sent == self.quota {
             // Quota met: everything still buffered is kept.
-            self.kept.append(&mut Vec::from(std::mem::take(&mut self.buffer)));
+            self.kept
+                .append(&mut Vec::from(std::mem::take(&mut self.buffer)));
             self.flushed = true;
         }
     }
@@ -232,12 +231,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use std::collections::HashMap;
 
-    fn run_packaging(
-        g: &Graph,
-        tau: usize,
-        tokens_per_node: usize,
-        seed: u64,
-    ) -> PackagingResult {
+    fn run_packaging(g: &Graph, tau: usize, tokens_per_node: usize, seed: u64) -> PackagingResult {
         let k = g.node_count();
         let mut rng = StdRng::seed_from_u64(seed);
         // Unique token values so we can check the "at most one package"
@@ -384,8 +378,7 @@ mod tests {
         let tokens: Vec<Vec<u64>> = (0..9).map(|v| vec![v as u64]).collect();
         let mut ids: Vec<u64> = (0..9).collect();
         ids[4] = 1000;
-        let r =
-            solve_token_packaging(&g, &tokens, &ids, 3, BandwidthModel::Local).unwrap();
+        let r = solve_token_packaging(&g, &tokens, &ids, 3, BandwidthModel::Local).unwrap();
         assert_eq!(r.leader, 4);
         assert_eq!(r.tree.root, 4);
     }

@@ -16,11 +16,12 @@ use dut_core::decision::Decision;
 use dut_core::error::PlanError;
 use dut_core::gap::GapTester;
 use dut_core::params::{plan_threshold, ThresholdPlan, WindowMethod};
-use dut_netsim::algorithms::convergecast::{broadcast_value, convergecast_sum};
-use dut_netsim::engine::BandwidthModel;
-use dut_netsim::graph::Graph;
 use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
+use dut_netsim::algorithms::convergecast::{broadcast_value_observed, convergecast_sum_observed};
+use dut_netsim::engine::BandwidthModel;
+use dut_netsim::graph::Graph;
+use dut_obs::{keys, NoopSink, Sink};
 use rand::Rng;
 
 /// A planned CONGEST uniformity tester.
@@ -69,7 +70,8 @@ pub struct CongestRunResult {
     pub packages: usize,
     /// Total protocol rounds (packaging + aggregation + broadcast).
     pub rounds: usize,
-    /// Total bits sent.
+    /// Total bits sent across all phases: packaging *plus* the
+    /// convergecast of the vote count and the verdict broadcast.
     pub bits: usize,
     /// The rejection threshold used.
     pub threshold: usize,
@@ -177,6 +179,34 @@ impl CongestUniformityTester {
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
     {
+        self.run_observed(g, oracle, rng, &mut NoopSink)
+    }
+
+    /// [`CongestUniformityTester::run`] recording `congest.*` metrics
+    /// into `sink` (run/round/bit totals, packages formed, rejecting
+    /// packages — the Theorem 1.4 cost profile); the convergecast and
+    /// broadcast phases record their `netsim.*` detail as well. Sinks
+    /// never touch the RNG, so observed runs make the same decisions as
+    /// [`CongestUniformityTester::run`] on the same RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CongestUniformityTester::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the planned `k`.
+    pub fn run_observed<O, R>(
+        &self,
+        g: &Graph,
+        oracle: &O,
+        rng: &mut R,
+        sink: &mut dyn Sink,
+    ) -> Result<CongestRunResult, dut_netsim::engine::EngineError>
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
         assert_eq!(
             g.node_count(),
             self.k,
@@ -219,7 +249,9 @@ impl CongestUniformityTester {
         for (owner, package) in &packaging.packages {
             samples.clear();
             samples.extend(package.iter().map(|&t| t as usize));
-            if self.package_tester.run_on_samples_with(&samples, &mut collision)
+            if self
+                .package_tester
+                .run_on_samples_with(&samples, &mut collision)
                 == Decision::Reject
             {
                 votes[*owner] += 1;
@@ -228,7 +260,8 @@ impl CongestUniformityTester {
         }
 
         // Phase 6: convergecast the vote count to the root.
-        let (total_votes, rounds_sum) = convergecast_sum(g, &packaging.tree, &votes, model)?;
+        let (total_votes, conv_cost) =
+            convergecast_sum_observed(g, &packaging.tree, &votes, model, sink)?;
         debug_assert_eq!(total_votes as usize, rejecting);
 
         // Phase 7: root decides and broadcasts the verdict.
@@ -238,18 +271,29 @@ impl CongestUniformityTester {
             Decision::Accept
         };
         let verdict_bit = u64::from(decision == Decision::Reject);
-        let (received, rounds_bcast) =
-            broadcast_value(g, &packaging.tree, verdict_bit, model)?;
+        let (received, bcast_cost) =
+            broadcast_value_observed(g, &packaging.tree, verdict_bit, model, sink)?;
         debug_assert!(received.iter().all(|&v| v == verdict_bit));
 
-        Ok(CongestRunResult {
+        let result = CongestRunResult {
             decision,
             rejecting_packages: rejecting,
             packages: packaging.packages.len(),
-            rounds: packaging.rounds + rounds_sum + rounds_bcast,
-            bits: packaging.bits,
+            rounds: packaging.rounds + conv_cost.rounds + bcast_cost.rounds,
+            bits: packaging.bits + conv_cost.bits + bcast_cost.bits,
             threshold: self.virtual_plan.threshold,
-        })
+        };
+        if sink.enabled() {
+            sink.add(keys::CONGEST_RUNS, 1);
+            sink.add(keys::CONGEST_ROUNDS, result.rounds as u64);
+            sink.add(keys::CONGEST_BITS, result.bits as u64);
+            sink.add(keys::CONGEST_PACKAGES, result.packages as u64);
+            sink.add(
+                keys::CONGEST_REJECTING_PACKAGES,
+                result.rejecting_packages as u64,
+            );
+        }
+        Ok(result)
     }
 }
 
@@ -291,9 +335,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let trials = 12;
         let errors = (0..trials)
-            .filter(|_| {
-                t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject
-            })
+            .filter(|_| t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject)
             .count();
         assert!(errors <= trials / 3 + 1, "false alarms {errors}/{trials}");
     }
@@ -308,7 +350,10 @@ mod tests {
         let errors = (0..trials)
             .filter(|_| t.run(&g, &far, &mut rng).unwrap().decision == Decision::Accept)
             .count();
-        assert!(errors <= trials / 3 + 1, "missed detections {errors}/{trials}");
+        assert!(
+            errors <= trials / 3 + 1,
+            "missed detections {errors}/{trials}"
+        );
     }
 
     #[test]
@@ -323,9 +368,7 @@ mod tests {
             .filter(|_| t.run(&g, &far, &mut rng).unwrap().decision == Decision::Reject)
             .count();
         let uni_rejects = (0..trials)
-            .filter(|_| {
-                t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject
-            })
+            .filter(|_| t.run(&g, &uniform, &mut rng).unwrap().decision == Decision::Reject)
             .count();
         // The plan's predicted per-run errors sit just under 1/3, so the
         // counts are noisy at a dozen trials; require clear separation
@@ -334,8 +377,14 @@ mod tests {
             far_rejects > uni_rejects,
             "no separation: far {far_rejects} vs uniform {uni_rejects}"
         );
-        assert!(far_rejects >= trials / 2, "far rejects {far_rejects}/{trials}");
-        assert!(uni_rejects <= trials / 2, "uniform rejects {uni_rejects}/{trials}");
+        assert!(
+            far_rejects >= trials / 2,
+            "far rejects {far_rejects}/{trials}"
+        );
+        assert!(
+            uni_rejects <= trials / 2,
+            "uniform rejects {uni_rejects}/{trials}"
+        );
     }
 
     #[test]
@@ -364,6 +413,46 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let r = t.run(&g, &uniform, &mut rng).unwrap();
         assert!(r.packages > 0);
+    }
+
+    #[test]
+    fn observed_run_matches_and_accounts_all_phases() {
+        use dut_obs::{keys, MemorySink};
+        let t = CongestUniformityTester::plan(N, K, EPS, 1.0 / 3.0, 1).unwrap();
+        let g = topology::star(K);
+        let uniform = DiscreteDistribution::uniform(N);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let plain = t.run(&g, &uniform, &mut r1).unwrap();
+        let mut sink = MemorySink::new();
+        let observed = t.run_observed(&g, &uniform, &mut r2, &mut sink).unwrap();
+
+        // Observation must not perturb the protocol.
+        assert_eq!(plain.decision, observed.decision);
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.bits, observed.bits);
+        assert_eq!(plain.rejecting_packages, observed.rejecting_packages);
+
+        assert_eq!(sink.counter(keys::CONGEST_RUNS), 1);
+        assert_eq!(sink.counter(keys::CONGEST_ROUNDS), observed.rounds as u64);
+        assert_eq!(sink.counter(keys::CONGEST_BITS), observed.bits as u64);
+        assert_eq!(
+            sink.counter(keys::CONGEST_PACKAGES),
+            observed.packages as u64
+        );
+        assert_eq!(
+            sink.counter(keys::CONGEST_REJECTING_PACKAGES),
+            observed.rejecting_packages as u64
+        );
+        // The aggregation phases put real bits on the wire, and the
+        // total accounts for them on top of packaging.
+        let aggregation =
+            sink.counter(keys::CONVERGECAST_BITS) + sink.counter(keys::BROADCAST_BITS);
+        assert!(aggregation > 0, "convergecast/broadcast bits not recorded");
+        assert!(
+            observed.bits as u64 > aggregation,
+            "total bits must include packaging on top of aggregation"
+        );
     }
 
     #[test]

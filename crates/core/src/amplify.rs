@@ -13,6 +13,7 @@ use crate::gap::GapTester;
 use crate::scratch::TesterScratch;
 use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
+use dut_obs::{keys, Sink};
 use rand::Rng;
 
 /// `m` independent repetitions of a [`GapTester`], rejecting iff all
@@ -98,7 +99,12 @@ impl RepeatedGapTester {
     /// decisions and RNG stream, no steady-state allocation. Note the
     /// short-circuit means fewer RNG draws on early acceptance — exactly
     /// as in `run`.
-    pub fn run_with_scratch<O, R>(&self, oracle: &O, rng: &mut R, scratch: &mut TesterScratch) -> Decision
+    pub fn run_with_scratch<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+    ) -> Decision
     where
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
@@ -109,6 +115,48 @@ impl RepeatedGapTester {
             }
         }
         Decision::Reject
+    }
+
+    /// [`RepeatedGapTester::run_with_scratch`] recording
+    /// `core.amplify.*` metrics into `sink`: one run, the repetitions
+    /// actually executed (the AND-of-rejects short-circuit stops on the
+    /// first accept), and the rejecting repetitions among them. Inner
+    /// repetitions record `core.gap.*` as well.
+    pub fn run_with_scratch_observed<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+        sink: &mut dyn Sink,
+    ) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut executed = 0u64;
+        let mut decision = Decision::Reject;
+        for _ in 0..self.m {
+            executed += 1;
+            if self
+                .inner
+                .run_with_scratch_observed(oracle, rng, scratch, sink)
+                == Decision::Accept
+            {
+                decision = Decision::Accept;
+                break;
+            }
+        }
+        if sink.enabled() {
+            let rejections = if decision == Decision::Accept {
+                executed - 1
+            } else {
+                executed
+            };
+            sink.add(keys::CORE_AMPLIFY_RUNS, 1);
+            sink.add(keys::CORE_AMPLIFY_REPETITIONS, executed);
+            sink.add(keys::CORE_AMPLIFY_REJECTIONS, rejections);
+        }
+        decision
     }
 
     /// Runs the tester on pre-drawn samples, consuming `m·s` of them in
@@ -139,7 +187,11 @@ impl RepeatedGapTester {
     /// # Panics
     ///
     /// Panics if fewer than [`Self::samples`] samples are provided.
-    pub fn run_on_samples_with(&self, samples: &[usize], collision: &mut CollisionScratch) -> Decision {
+    pub fn run_on_samples_with(
+        &self,
+        samples: &[usize],
+        collision: &mut CollisionScratch,
+    ) -> Decision {
         let s = self.inner.samples();
         assert!(
             samples.len() >= self.samples(),
@@ -153,6 +205,47 @@ impl RepeatedGapTester {
             }
         }
         Decision::Reject
+    }
+
+    /// [`RepeatedGapTester::run_on_samples_with`] recording
+    /// `core.amplify.*` (and inner `core.gap.*`) metrics into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`Self::samples`] samples are provided.
+    pub fn run_on_samples_observed(
+        &self,
+        samples: &[usize],
+        collision: &mut CollisionScratch,
+        sink: &mut dyn Sink,
+    ) -> Decision {
+        let s = self.inner.samples();
+        assert!(
+            samples.len() >= self.samples(),
+            "need {} samples, got {}",
+            self.samples(),
+            samples.len()
+        );
+        let mut executed = 0u64;
+        let mut decision = Decision::Reject;
+        for chunk in samples.chunks_exact(s).take(self.m) {
+            executed += 1;
+            if self.inner.run_on_samples_observed(chunk, collision, sink) == Decision::Accept {
+                decision = Decision::Accept;
+                break;
+            }
+        }
+        if sink.enabled() {
+            let rejections = if decision == Decision::Accept {
+                executed - 1
+            } else {
+                executed
+            };
+            sink.add(keys::CORE_AMPLIFY_RUNS, 1);
+            sink.add(keys::CORE_AMPLIFY_REPETITIONS, executed);
+            sink.add(keys::CORE_AMPLIFY_REJECTIONS, rejections);
+        }
+        decision
     }
 }
 

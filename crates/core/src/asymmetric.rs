@@ -127,12 +127,7 @@ impl AsymmetricThresholdTester {
     ///
     /// Fails when no budget admits a valid window (network too
     /// small/expensive relative to `1/ε⁴`).
-    pub fn plan(
-        n: usize,
-        costs: &CostVector,
-        epsilon: f64,
-        p: f64,
-    ) -> Result<Self, PlanError> {
+    pub fn plan(n: usize, costs: &CostVector, epsilon: f64, p: f64) -> Result<Self, PlanError> {
         if !(epsilon > 0.0 && epsilon <= 1.0) {
             return Err(PlanError::InvalidParameter {
                 name: "epsilon",
@@ -303,12 +298,7 @@ impl AsymmetricAndTester {
     ///
     /// Fails when no `(m, C)` yields positive γ on the participating
     /// nodes.
-    pub fn plan(
-        n: usize,
-        costs: &CostVector,
-        epsilon: f64,
-        p: f64,
-    ) -> Result<Self, PlanError> {
+    pub fn plan(n: usize, costs: &CostVector, epsilon: f64, p: f64) -> Result<Self, PlanError> {
         if !(epsilon > 0.0 && epsilon <= 1.0) {
             return Err(PlanError::InvalidParameter {
                 name: "epsilon",
@@ -344,9 +334,7 @@ impl AsymmetricAndTester {
             if let Some(plan) = Self::try_budget(n, costs, epsilon, p, m, c_budget) {
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        plan.predicted_soundness_error < b.predicted_soundness_error
-                    }
+                    Some(b) => plan.predicted_soundness_error < b.predicted_soundness_error,
                 };
                 if better {
                     best = Some(plan);
@@ -489,18 +477,10 @@ pub fn theory_max_cost_threshold(n: usize, costs: &CostVector, epsilon: f64) -> 
 
 /// The paper's closed-form maximum-cost bound for the asymmetric AND
 /// tester (§4.1): `C = √2·(ln 1/(1−p))^{1/(2m)}·m·√n / ‖T‖₂ₘ`.
-pub fn theory_max_cost_and(
-    n: usize,
-    costs: &CostVector,
-    epsilon: f64,
-    p: f64,
-) -> f64 {
+pub fn theory_max_cost_and(n: usize, costs: &CostVector, epsilon: f64, p: f64) -> f64 {
     let m = default_and_repetitions(epsilon, p);
     let ln_term = (1.0 / (1.0 - p)).ln();
-    (2.0f64).sqrt()
-        * ln_term.powf(1.0 / (2.0 * m as f64))
-        * m as f64
-        * (n as f64).sqrt()
+    (2.0f64).sqrt() * ln_term.powf(1.0 / (2.0 * m as f64)) * m as f64 * (n as f64).sqrt()
         / costs.inverse_norm(2.0 * m as f64)
 }
 

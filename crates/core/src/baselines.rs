@@ -252,7 +252,10 @@ mod tests {
         let t1 = CollisionCountTester::plan(1 << 10, 0.5, 3.0).unwrap();
         let t2 = CollisionCountTester::plan(1 << 14, 0.5, 3.0).unwrap();
         let ratio = t2.samples() as f64 / t1.samples() as f64;
-        assert!((ratio - 4.0).abs() < 0.1, "16x domain → 4x samples, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.1,
+            "16x domain → 4x samples, got {ratio}"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::params::{delta_for_samples, gamma_slack, samples_for_delta};
 use crate::scratch::TesterScratch;
 use dut_distributions::collision::{has_collision, CollisionScratch};
 use dut_distributions::SampleOracle;
+use dut_obs::{keys, Sink};
 use rand::Rng;
 
 /// The single-collision gap tester `A_δ`.
@@ -151,7 +152,12 @@ impl GapTester {
     /// sample stream into `scratch` and checks collisions with the O(s)
     /// marking table, so steady-state trials allocate nothing. Returns
     /// the same decision as `run` for the same RNG state.
-    pub fn run_with_scratch<O, R>(&self, oracle: &O, rng: &mut R, scratch: &mut TesterScratch) -> Decision
+    pub fn run_with_scratch<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+    ) -> Decision
     where
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
@@ -165,6 +171,26 @@ impl GapTester {
         samples.clear();
         oracle.draw_into(rng, self.s, samples);
         Decision::from_accept(!collision.has_collision(samples))
+    }
+
+    /// [`GapTester::run_with_scratch`] recording `core.gap.*` metrics
+    /// into `sink`: one run, the `s` samples it consumed, and whether a
+    /// collision was found (Theorem 1.1's per-node sample cost is
+    /// exactly the `core.gap.samples / core.gap.runs` ratio).
+    pub fn run_with_scratch_observed<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+        sink: &mut dyn Sink,
+    ) -> Decision
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let decision = self.run_with_scratch(oracle, rng, scratch);
+        record_gap_run(sink, self.s, decision);
+        decision
     }
 
     /// Runs the tester on pre-drawn samples (used by the CONGEST/LOCAL
@@ -184,7 +210,11 @@ impl GapTester {
 
     /// [`GapTester::run_on_samples`] with a caller-owned collision
     /// detector (allocation-free in the steady state).
-    pub fn run_on_samples_with(&self, samples: &[usize], collision: &mut CollisionScratch) -> Decision {
+    pub fn run_on_samples_with(
+        &self,
+        samples: &[usize],
+        collision: &mut CollisionScratch,
+    ) -> Decision {
         debug_assert!(
             samples.len() >= self.s,
             "gap tester planned for {} samples, got {}",
@@ -193,6 +223,31 @@ impl GapTester {
         );
         let take = samples.len().min(self.s);
         Decision::from_accept(!collision.has_collision(&samples[..take]))
+    }
+
+    /// [`GapTester::run_on_samples_with`] recording `core.gap.*`
+    /// metrics into `sink` (samples consumed counts the examined
+    /// prefix, which is `s` on a correctly planned call).
+    pub fn run_on_samples_observed(
+        &self,
+        samples: &[usize],
+        collision: &mut CollisionScratch,
+        sink: &mut dyn Sink,
+    ) -> Decision {
+        let decision = self.run_on_samples_with(samples, collision);
+        record_gap_run(sink, samples.len().min(self.s), decision);
+        decision
+    }
+}
+
+/// Shared `core.gap.*` recording for the observed run variants.
+fn record_gap_run(sink: &mut dyn Sink, samples: usize, decision: Decision) {
+    if sink.enabled() {
+        sink.add(keys::CORE_GAP_RUNS, 1);
+        sink.add(keys::CORE_GAP_SAMPLES, samples as u64);
+        if decision == Decision::Reject {
+            sink.add(keys::CORE_GAP_COLLISIONS, 1);
+        }
     }
 }
 
@@ -319,6 +374,34 @@ mod tests {
                 "case {case:?}"
             );
         }
+    }
+
+    #[test]
+    fn observed_run_matches_and_records() {
+        use dut_obs::MemorySink;
+        let n = 1 << 10;
+        let t = GapTester::new(n, 0.3).unwrap();
+        let far = paninski_far(n, 1.0).unwrap();
+        let mut scratch = TesterScratch::new();
+        let mut sink = MemorySink::new();
+        let trials = 50u64;
+        let mut rejects = 0u64;
+        for seed in 0..trials {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let plain = t.run_with_scratch(&far, &mut r1, &mut scratch);
+            let observed = t.run_with_scratch_observed(&far, &mut r2, &mut scratch, &mut sink);
+            assert_eq!(plain, observed, "seed {seed}");
+            if plain == Decision::Reject {
+                rejects += 1;
+            }
+        }
+        assert_eq!(sink.counter(dut_obs::keys::CORE_GAP_RUNS), trials);
+        assert_eq!(
+            sink.counter(dut_obs::keys::CORE_GAP_SAMPLES),
+            trials * t.samples() as u64
+        );
+        assert_eq!(sink.counter(dut_obs::keys::CORE_GAP_COLLISIONS), rejects);
     }
 
     #[test]

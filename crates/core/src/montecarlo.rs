@@ -127,7 +127,8 @@ where
                     }
                     // Mix the index into the seed (splitmix64-style) so
                     // nearby trials do not share RNG streams.
-                    let seed = splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let seed =
+                        splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     if trial(seed, &mut state) {
                         local += 1;
                     }

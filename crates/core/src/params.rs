@@ -259,9 +259,7 @@ pub fn plan_and_rule(n: usize, k: usize, epsilon: f64, p: f64) -> Result<AndPlan
                     (true, false) => true,
                     (false, true) => false,
                     // Among infeasible plans, smaller soundness error wins.
-                    (false, false) => {
-                        plan.predicted_soundness_error < b.predicted_soundness_error
-                    }
+                    (false, false) => plan.predicted_soundness_error < b.predicted_soundness_error,
                 }
             }
         };
@@ -415,10 +413,8 @@ pub fn plan_threshold(
                     };
                     let threshold = (lo.ceil() as usize).max(1);
                     if lo <= hi && (threshold as f64) <= hi {
-                        let comp =
-                            (-((threshold as f64 - eta_u).powi(2)) / (3.0 * eta_u)).exp();
-                        let sound =
-                            (-((eta_f - threshold as f64).powi(2)) / (2.0 * eta_f)).exp();
+                        let comp = (-((threshold as f64 - eta_u).powi(2)) / (3.0 * eta_u)).exp();
+                        let sound = (-((eta_f - threshold as f64).powi(2)) / (2.0 * eta_f)).exp();
                         Some((threshold, comp.min(1.0), sound.min(1.0)))
                     } else {
                         None
@@ -663,7 +659,10 @@ mod tests {
             term *= lambda / (j as f64 + 1.0);
         }
         let b = binomial_cdf(100_000, 1e-4, 15);
-        assert!((b - pois_cdf).abs() < 1e-3, "binomial {b} vs poisson {pois_cdf}");
+        assert!(
+            (b - pois_cdf).abs() < 1e-3,
+            "binomial {b} vs poisson {pois_cdf}"
+        );
     }
 
     #[test]
@@ -730,8 +729,7 @@ mod tests {
 
     #[test]
     fn threshold_plan_normal_window() {
-        let plan =
-            plan_threshold(1 << 20, 150_000, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
+        let plan = plan_threshold(1 << 20, 150_000, 0.5, 1.0 / 3.0, WindowMethod::Normal).unwrap();
         assert!(plan.gamma > 0.0);
         assert!(plan.threshold >= 1);
         assert!(plan.eta_far > plan.eta_uniform);

@@ -19,7 +19,20 @@ use crate::gap::GapTester;
 use crate::params::{plan_and_rule, plan_threshold, AndPlan, ThresholdPlan, WindowMethod};
 use crate::scratch::TesterScratch;
 use dut_distributions::SampleOracle;
+use dut_obs::{keys, Sink};
 use rand::Rng;
+
+/// Shared `core.zero_round.*` recording for the network testers.
+fn record_zero_round(sink: &mut dyn Sink, outcome: &NetworkOutcome) {
+    if sink.enabled() {
+        sink.add(keys::CORE_ZERO_ROUND_RUNS, 1);
+        sink.add(keys::CORE_ZERO_ROUND_VOTES, outcome.nodes as u64);
+        sink.add(
+            keys::CORE_ZERO_ROUND_REJECTIONS,
+            outcome.rejecting_nodes as u64,
+        );
+    }
+}
 
 /// The 0-round AND-rule network tester (Theorem 1.1).
 ///
@@ -113,6 +126,42 @@ impl AndNetworkTester {
             rejecting_nodes: rejecting,
             nodes: self.plan.k,
         }
+    }
+
+    /// [`AndNetworkTester::run_with_scratch`] recording
+    /// `core.zero_round.*` metrics into `sink` (one run, `k` votes, the
+    /// rejecting votes); each node's tester records `core.amplify.*`
+    /// and `core.gap.*` as well. The protocol itself sends no messages
+    /// — Theorem 1.1's entire cost is samples, which is what these
+    /// counters surface.
+    pub fn run_with_scratch_observed<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+        sink: &mut dyn Sink,
+    ) -> NetworkOutcome
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut rejecting = 0usize;
+        for _ in 0..self.plan.k {
+            if self
+                .node_tester
+                .run_with_scratch_observed(oracle, rng, scratch, sink)
+                == Decision::Reject
+            {
+                rejecting += 1;
+            }
+        }
+        let outcome = NetworkOutcome {
+            decision: DecisionRule::And.decide(rejecting),
+            rejecting_nodes: rejecting,
+            nodes: self.plan.k,
+        };
+        record_zero_round(sink, &outcome);
+        outcome
     }
 }
 
@@ -223,6 +272,36 @@ impl ThresholdNetworkTester {
         self.outcome_from_votes(rejecting)
     }
 
+    /// [`ThresholdNetworkTester::run_with_scratch`] recording
+    /// `core.zero_round.*` metrics into `sink`; each node's gap tester
+    /// records `core.gap.*` as well, so `core.gap.samples` across a run
+    /// is the network's total sample cost (`k · s`, Theorem 1.2).
+    pub fn run_with_scratch_observed<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        scratch: &mut TesterScratch,
+        sink: &mut dyn Sink,
+    ) -> NetworkOutcome
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut rejecting = 0usize;
+        for _ in 0..self.plan.k {
+            if self
+                .node_tester
+                .run_with_scratch_observed(oracle, rng, scratch, sink)
+                == Decision::Reject
+            {
+                rejecting += 1;
+            }
+        }
+        let outcome = self.outcome_from_votes(rejecting);
+        record_zero_round(sink, &outcome);
+        outcome
+    }
+
     /// Applies the threshold rule to an externally computed rejection
     /// count (used when the nodes are *virtual* — e.g. token packages in
     /// the CONGEST protocol).
@@ -295,10 +374,7 @@ mod tests {
         let n = 1 << 20;
         let t = ThresholdNetworkTester::plan(n, 150_000, 0.5, 1.0 / 3.0).unwrap();
         let t_val = t.threshold();
-        assert_eq!(
-            t.outcome_from_votes(t_val - 1).decision,
-            Decision::Accept
-        );
+        assert_eq!(t.outcome_from_votes(t_val - 1).decision, Decision::Accept);
         assert_eq!(t.outcome_from_votes(t_val).decision, Decision::Reject);
     }
 
@@ -369,6 +445,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observed_runs_match_and_record_votes() {
+        use dut_obs::{keys, MemorySink};
+        let n = 1 << 14;
+        let far = paninski_far(n, 0.75).unwrap();
+        let mut scratch = TesterScratch::new();
+        let thr_t = ThresholdNetworkTester::plan(n, 4096, 0.75, 1.0 / 3.0).unwrap();
+        let mut sink = MemorySink::new();
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let plain = thr_t.run_with_scratch(&far, &mut r1, &mut scratch);
+        let observed = thr_t.run_with_scratch_observed(&far, &mut r2, &mut scratch, &mut sink);
+        assert_eq!(plain, observed);
+        assert_eq!(sink.counter(keys::CORE_ZERO_ROUND_RUNS), 1);
+        assert_eq!(sink.counter(keys::CORE_ZERO_ROUND_VOTES), 4096);
+        assert_eq!(
+            sink.counter(keys::CORE_ZERO_ROUND_REJECTIONS),
+            observed.rejecting_nodes as u64
+        );
+        // Theorem 1.2's sample cost: every node drew exactly s samples.
+        assert_eq!(
+            sink.counter(keys::CORE_GAP_SAMPLES),
+            (4096 * thr_t.samples_per_node()) as u64
+        );
+
+        let and_t = AndNetworkTester::plan(n, 64, 0.75, 1.0 / 3.0).unwrap();
+        let mut and_sink = MemorySink::new();
+        let mut r1 = StdRng::seed_from_u64(12);
+        let mut r2 = StdRng::seed_from_u64(12);
+        let plain = and_t.run_with_scratch(&far, &mut r1, &mut scratch);
+        let observed = and_t.run_with_scratch_observed(&far, &mut r2, &mut scratch, &mut and_sink);
+        assert_eq!(plain, observed);
+        assert_eq!(sink.counter(keys::CORE_ZERO_ROUND_RUNS), 1);
+        assert_eq!(and_sink.counter(keys::CORE_AMPLIFY_RUNS), 64);
+        // Short-circuiting: executed repetitions never exceed m per node.
+        assert!(
+            and_sink.counter(keys::CORE_AMPLIFY_REPETITIONS)
+                <= (64 * and_t.node_tester().repetitions()) as u64
+        );
     }
 
     #[test]

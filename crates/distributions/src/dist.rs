@@ -208,7 +208,11 @@ impl DiscreteDistribution {
     ///
     /// Panics if `perm` is not a permutation of `{0, .., n-1}`.
     pub fn permute(&self, perm: &[usize]) -> DiscreteDistribution {
-        assert_eq!(perm.len(), self.domain_size(), "permutation length mismatch");
+        assert_eq!(
+            perm.len(),
+            self.domain_size(),
+            "permutation length mismatch"
+        );
         let mut pmf = vec![f64::NAN; self.domain_size()];
         for (x, &y) in perm.iter().enumerate() {
             assert!(pmf[y].is_nan(), "permutation repeats index {y}");
@@ -248,13 +252,19 @@ mod tests {
     #[test]
     fn from_pmf_rejects_negative() {
         let err = DiscreteDistribution::from_pmf(vec![1.5, -0.5]).unwrap_err();
-        assert!(matches!(err, DistributionError::InvalidMass { index: 1, .. }));
+        assert!(matches!(
+            err,
+            DistributionError::InvalidMass { index: 1, .. }
+        ));
     }
 
     #[test]
     fn from_pmf_rejects_nan() {
         let err = DiscreteDistribution::from_pmf(vec![f64::NAN, 1.0]).unwrap_err();
-        assert!(matches!(err, DistributionError::InvalidMass { index: 0, .. }));
+        assert!(matches!(
+            err,
+            DistributionError::InvalidMass { index: 0, .. }
+        ));
     }
 
     #[test]

@@ -170,10 +170,7 @@ mod tests {
     fn l1_distance_is_symmetric() {
         let a = DiscreteDistribution::from_pmf(vec![0.7, 0.3]).unwrap();
         let b = DiscreteDistribution::from_pmf(vec![0.2, 0.8]).unwrap();
-        assert_eq!(
-            l1_distance(&a, &b).unwrap(),
-            l1_distance(&b, &a).unwrap()
-        );
+        assert_eq!(l1_distance(&a, &b).unwrap(), l1_distance(&b, &a).unwrap());
     }
 
     #[test]
@@ -250,7 +247,10 @@ mod tests {
     #[test]
     fn hellinger_bounds_and_sandwich() {
         let cases = [
-            (paninski_far(64, 0.5).unwrap(), DiscreteDistribution::uniform(64)),
+            (
+                paninski_far(64, 0.5).unwrap(),
+                DiscreteDistribution::uniform(64),
+            ),
             (
                 DiscreteDistribution::from_pmf(vec![1.0, 0.0]).unwrap(),
                 DiscreteDistribution::from_pmf(vec![0.0, 1.0]).unwrap(),

@@ -69,7 +69,10 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 ///
 /// Panics for odd `n`, `epsilon ∉ [0, 1]`, or `s = 0`.
 pub fn paninski_all_distinct_probability(n: usize, epsilon: f64, s: usize) -> f64 {
-    assert!(n >= 2 && n.is_multiple_of(2), "paired family needs an even domain");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "paired family needs an even domain"
+    );
     assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
     assert!(s >= 1, "need at least one sample");
     if s > n {

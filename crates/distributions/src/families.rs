@@ -17,8 +17,8 @@
 //! uniform and guarantees the output's L1 distance equals `epsilon` (up to
 //! floating point), so experiments can sweep ε directly.
 
-use crate::distance::l1_to_uniform;
 use crate::dist::DiscreteDistribution;
+use crate::distance::l1_to_uniform;
 use crate::error::DistributionError;
 use rand::Rng;
 
@@ -278,7 +278,11 @@ impl FarFamily {
     /// # Errors
     ///
     /// Propagates the family constructor's error conditions.
-    pub fn instantiate(&self, n: usize, epsilon: f64) -> Result<DiscreteDistribution, DistributionError> {
+    pub fn instantiate(
+        &self,
+        n: usize,
+        epsilon: f64,
+    ) -> Result<DiscreteDistribution, DistributionError> {
         match self {
             FarFamily::Paninski => paninski_far(n, epsilon),
             FarFamily::HeavySet => heavy_set_far(n, epsilon),

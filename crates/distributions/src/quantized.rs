@@ -58,7 +58,13 @@ impl QuantizedGaussian {
     ///
     /// Returns [`DistributionError::InvalidParameter`] for non-positive
     /// `sigma`, an empty range, or `n == 0`.
-    pub fn new(n: usize, mean: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, DistributionError> {
+    pub fn new(
+        n: usize,
+        mean: f64,
+        sigma: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, DistributionError> {
         if n == 0 {
             return Err(DistributionError::EmptyDomain);
         }

@@ -7,21 +7,21 @@
 /// Primitive polynomials (feedback masks, excluding the x^m term) for
 /// GF(2^m), m = 2..=16. Standard table values.
 const PRIMITIVE_POLY: [u32; 15] = [
-    0b111,                 // m=2:  x^2+x+1
-    0b1011,                // m=3:  x^3+x+1
-    0b10011,               // m=4:  x^4+x+1
-    0b100101,              // m=5:  x^5+x^2+1
-    0b1000011,             // m=6:  x^6+x+1
-    0b10001001,            // m=7:  x^7+x^3+1
-    0b100011101,           // m=8:  x^8+x^4+x^3+x^2+1
-    0b1000010001,          // m=9:  x^9+x^4+1
-    0b10000001001,         // m=10: x^10+x^3+1
-    0b100000000101,        // m=11: x^11+x^2+1
-    0b1000001010011,       // m=12: x^12+x^6+x^4+x+1
-    0b10000000011011,      // m=13: x^13+x^4+x^3+x+1
-    0b100010001000011,     // m=14: x^14+x^10+x^6+x+1
-    0b1000000000000011,    // m=15: x^15+x+1
-    0b10001000000001011,   // m=16: x^16+x^12+x^3+x+1
+    0b111,               // m=2:  x^2+x+1
+    0b1011,              // m=3:  x^3+x+1
+    0b10011,             // m=4:  x^4+x+1
+    0b100101,            // m=5:  x^5+x^2+1
+    0b1000011,           // m=6:  x^6+x+1
+    0b10001001,          // m=7:  x^7+x^3+1
+    0b100011101,         // m=8:  x^8+x^4+x^3+x^2+1
+    0b1000010001,        // m=9:  x^9+x^4+1
+    0b10000001001,       // m=10: x^10+x^3+1
+    0b100000000101,      // m=11: x^11+x^2+1
+    0b1000001010011,     // m=12: x^12+x^6+x^4+x+1
+    0b10000000011011,    // m=13: x^13+x^4+x^3+x+1
+    0b100010001000011,   // m=14: x^14+x^10+x^6+x+1
+    0b1000000000000011,  // m=15: x^15+x+1
+    0b10001000000001011, // m=16: x^16+x^12+x^3+x+1
 ];
 
 /// The field `GF(2^m)` with precomputed log/antilog tables.
@@ -174,10 +174,7 @@ mod tests {
         for a in 0..32u16 {
             for b in 0..32u16 {
                 for c in [0u16, 1, 7, 19, 31] {
-                    assert_eq!(
-                        f.mul(a, f.add(b, c)),
-                        f.add(f.mul(a, b), f.mul(a, c))
-                    );
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
                 }
             }
         }

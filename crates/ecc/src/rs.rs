@@ -39,7 +39,12 @@ impl<'f> RsCode<'f> {
         for i in 0..n.saturating_sub(1) {
             points.push(field.alpha_pow(i));
         }
-        RsCode { field, n, k, points }
+        RsCode {
+            field,
+            n,
+            k,
+            points,
+        }
     }
 
     /// Code length `N` (symbols).
@@ -77,10 +82,7 @@ impl<'f> RsCode<'f> {
         for &c in message {
             assert!((c as usize) < self.field.size(), "symbol out of field");
         }
-        self.points
-            .iter()
-            .map(|&x| self.eval(message, x))
-            .collect()
+        self.points.iter().map(|&x| self.eval(message, x)).collect()
     }
 
     /// Horner evaluation of the message polynomial at `x`.
@@ -133,10 +135,7 @@ mod tests {
             b[idx] ^= 1 + rng.gen_range(0..255) as u16;
             let ca = rs.encode(&a);
             let cb = rs.encode(&b);
-            assert!(
-                hamming(&ca, &cb) >= d,
-                "pair closer than MDS distance {d}"
-            );
+            assert!(hamming(&ca, &cb) >= d, "pair closer than MDS distance {d}");
         }
     }
 

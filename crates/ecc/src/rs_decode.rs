@@ -39,11 +39,7 @@ impl Error for DecodeError {}
 /// Returns `None` if the system is singular in a way that admits no
 /// solution (free variables are set to zero).
 #[allow(clippy::needless_range_loop)]
-fn solve_linear(
-    field: &GaloisField,
-    mut a: Vec<Vec<u16>>,
-    mut b: Vec<u16>,
-) -> Option<Vec<u16>> {
+fn solve_linear(field: &GaloisField, mut a: Vec<Vec<u16>>, mut b: Vec<u16>) -> Option<Vec<u16>> {
     let rows = a.len();
     let cols = if rows == 0 { 0 } else { a[0].len() };
     let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
@@ -97,11 +93,7 @@ fn solve_linear(
 
 /// Polynomial long division `num / den` over the field; returns
 /// `(quotient, remainder)`. Leading zeros are tolerated.
-fn poly_div(
-    field: &GaloisField,
-    num: &[u16],
-    den: &[u16],
-) -> (Vec<u16>, Vec<u16>) {
+fn poly_div(field: &GaloisField, num: &[u16], den: &[u16]) -> (Vec<u16>, Vec<u16>) {
     let deg = |p: &[u16]| p.iter().rposition(|&c| c != 0);
     let Some(dd) = deg(den) else {
         panic!("division by the zero polynomial");
@@ -238,11 +230,7 @@ mod tests {
             for &pos in positions.iter().take(errors) {
                 cw[pos] ^= 1 + rng.gen_range(0..255) as u16;
             }
-            assert_eq!(
-                rs.decode(&cw).unwrap(),
-                msg,
-                "failed at {errors} errors"
-            );
+            assert_eq!(rs.decode(&cw).unwrap(), msg, "failed at {errors} errors");
         }
     }
 

@@ -34,6 +34,7 @@ use dut_netsim::algorithms::routing::route_to_centers;
 use dut_netsim::engine::BandwidthModel;
 use dut_netsim::graph::Graph;
 use dut_netsim::power::{neighborhood, power_graph};
+use dut_obs::{keys, NoopSink, Sink};
 use rand::Rng;
 
 /// A planned LOCAL-model uniformity tester.
@@ -221,8 +222,31 @@ impl LocalUniformityTester {
     ///
     /// Panics if `g`'s node count differs from the planned `k`, or the
     /// graph is disconnected.
-    #[allow(clippy::needless_range_loop)]
     pub fn run<O, R>(&self, g: &Graph, oracle: &O, rng: &mut R) -> LocalRunResult
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.run_observed(g, oracle, rng, &mut NoopSink)
+    }
+
+    /// [`LocalUniformityTester::run`] recording `local.*` counters (and
+    /// the per-center `core.gap.*` / `core.amplify.*` metrics) into
+    /// `sink`. The sink never touches the RNG, so decisions are
+    /// bit-identical to the unobserved run on the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the planned `k`, or the
+    /// graph is disconnected.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run_observed<O, R>(
+        &self,
+        g: &Graph,
+        oracle: &O,
+        rng: &mut R,
+        sink: &mut dyn Sink,
+    ) -> LocalRunResult
     where
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
@@ -290,11 +314,20 @@ impl LocalUniformityTester {
                 // tester and accepts — completeness is unaffected.
                 continue;
             }
-            if self.node_tester.run_on_samples_with(&gathered[v], &mut collision)
+            if self
+                .node_tester
+                .run_on_samples_observed(&gathered[v], &mut collision, sink)
                 == Decision::Reject
             {
                 rejecting += 1;
             }
+        }
+
+        if sink.enabled() {
+            sink.add(keys::LOCAL_RUNS, 1);
+            sink.add(keys::LOCAL_ROUNDS, rounds as u64);
+            sink.add(keys::LOCAL_MIS_SIZE, mis_size as u64);
+            sink.add(keys::LOCAL_MIN_GATHERED, min_gathered as u64);
         }
 
         LocalRunResult {
@@ -420,6 +453,36 @@ mod tests {
             "rounds {} >> r * O(log k)",
             r.rounds
         );
+    }
+
+    #[test]
+    fn observed_run_matches_and_records() {
+        let t = LocalUniformityTester::plan(N, K, EPS, 1.0 / 3.0).unwrap();
+        let g = topology::grid(64, 64);
+        let uniform = DiscreteDistribution::uniform(N);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let plain = t.run(&g, &uniform, &mut rng);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sink = dut_obs::MemorySink::new();
+        let observed = t.run_observed(&g, &uniform, &mut rng, &mut sink);
+
+        assert_eq!(plain.outcome.decision, observed.outcome.decision);
+        assert_eq!(plain.mis_size, observed.mis_size);
+        assert_eq!(plain.rounds, observed.rounds);
+
+        assert_eq!(sink.counter(keys::LOCAL_RUNS), 1);
+        assert_eq!(sink.counter(keys::LOCAL_ROUNDS), observed.rounds as u64);
+        assert_eq!(sink.counter(keys::LOCAL_MIS_SIZE), observed.mis_size as u64);
+        assert_eq!(
+            sink.counter(keys::LOCAL_MIN_GATHERED),
+            observed.min_gathered as u64
+        );
+        // Every sufficiently-supplied MIS center ran its amplified tester.
+        assert!(sink.counter(keys::CORE_AMPLIFY_RUNS) >= 1);
+        assert!(sink.counter(keys::CORE_AMPLIFY_RUNS) <= observed.mis_size as u64);
+        assert!(sink.counter(keys::CORE_GAP_SAMPLES) > 0);
     }
 
     #[test]

@@ -35,7 +35,8 @@ impl NodeProtocol for BfsNode {
             out.broadcast(Compact(0));
             return;
         }
-        if let Some(&(from, Compact(d))) = inbox.iter().min_by_key(|&&(from, Compact(d))| (d, from)) {
+        if let Some(&(from, Compact(d))) = inbox.iter().min_by_key(|&&(from, Compact(d))| (d, from))
+        {
             self.parent = Some(from);
             self.depth = Some(d + 1);
             out.broadcast(Compact(d + 1));

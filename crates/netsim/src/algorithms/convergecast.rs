@@ -8,6 +8,20 @@
 use super::bfs::BfsTree;
 use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
 use crate::graph::{Graph, NodeId};
+use dut_obs::{keys, NoopSink, Sink};
+
+/// Wire cost of one tree operation (convergecast or broadcast), taken
+/// from the underlying engine report so callers can account for the
+/// bits these primitives actually put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeOpCost {
+    /// Rounds used.
+    pub rounds: usize,
+    /// Messages delivered.
+    pub messages: usize,
+    /// Payload bits delivered.
+    pub bits: usize,
+}
 
 /// Per-node convergecast state.
 #[derive(Debug, Clone)]
@@ -63,6 +77,28 @@ pub fn convergecast_sum(
     values: &[u64],
     model: BandwidthModel,
 ) -> Result<(u64, usize), EngineError> {
+    let (total, cost) = convergecast_sum_observed(g, tree, values, model, &mut NoopSink)?;
+    Ok((total, cost.rounds))
+}
+
+/// [`convergecast_sum`] that also returns the operation's wire cost and
+/// records it into `sink` under the `netsim.convergecast.*` keys (the
+/// underlying engine run records `netsim.*` as well).
+///
+/// # Errors
+///
+/// Same conditions as [`convergecast_sum`].
+///
+/// # Panics
+///
+/// Panics if `values` length does not match the graph.
+pub fn convergecast_sum_observed(
+    g: &Graph,
+    tree: &BfsTree,
+    values: &[u64],
+    model: BandwidthModel,
+    sink: &mut dyn Sink,
+) -> Result<(u64, TreeOpCost), EngineError> {
     assert_eq!(values.len(), g.node_count(), "one value per node");
     let states: Vec<ConvNode> = (0..g.node_count())
         .map(|v| ConvNode {
@@ -74,8 +110,18 @@ pub fn convergecast_sum(
         })
         .collect();
     let mut net = Network::new(g, model);
-    let report = net.run(states, 2 * g.node_count() + 4)?;
-    Ok((report.nodes[tree.root].acc, report.rounds))
+    let report = net.run_observed(states, 2 * g.node_count() + 4, sink)?;
+    let cost = TreeOpCost {
+        rounds: report.rounds,
+        messages: report.total_messages,
+        bits: report.total_bits,
+    };
+    if sink.enabled() {
+        sink.add(keys::CONVERGECAST_RUNS, 1);
+        sink.add(keys::CONVERGECAST_ROUNDS, cost.rounds as u64);
+        sink.add(keys::CONVERGECAST_BITS, cost.bits as u64);
+    }
+    Ok((report.nodes[tree.root].acc, cost))
 }
 
 /// Per-node broadcast state.
@@ -126,6 +172,24 @@ pub fn broadcast_value(
     value: u64,
     model: BandwidthModel,
 ) -> Result<(Vec<u64>, usize), EngineError> {
+    let (values, cost) = broadcast_value_observed(g, tree, value, model, &mut NoopSink)?;
+    Ok((values, cost.rounds))
+}
+
+/// [`broadcast_value`] that also returns the operation's wire cost and
+/// records it into `sink` under the `netsim.broadcast.*` keys (the
+/// underlying engine run records `netsim.*` as well).
+///
+/// # Errors
+///
+/// Same conditions as [`broadcast_value`].
+pub fn broadcast_value_observed(
+    g: &Graph,
+    tree: &BfsTree,
+    value: u64,
+    model: BandwidthModel,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<u64>, TreeOpCost), EngineError> {
     let states: Vec<BcastNode> = (0..g.node_count())
         .map(|v| BcastNode {
             children: tree.children[v].clone(),
@@ -134,13 +198,23 @@ pub fn broadcast_value(
         })
         .collect();
     let mut net = Network::new(g, model);
-    let report = net.run(states, 2 * g.node_count() + 4)?;
+    let report = net.run_observed(states, 2 * g.node_count() + 4, sink)?;
+    let cost = TreeOpCost {
+        rounds: report.rounds,
+        messages: report.total_messages,
+        bits: report.total_bits,
+    };
+    if sink.enabled() {
+        sink.add(keys::BROADCAST_RUNS, 1);
+        sink.add(keys::BROADCAST_ROUNDS, cost.rounds as u64);
+        sink.add(keys::BROADCAST_BITS, cost.bits as u64);
+    }
     let values = report
         .nodes
         .iter()
         .map(|n| n.value.expect("broadcast reached all nodes"))
         .collect();
-    Ok((values, report.rounds))
+    Ok((values, cost))
 }
 
 #[cfg(test)]
@@ -158,8 +232,7 @@ mod tests {
         let g = topology::line(5);
         let tree = tree_of(&g, 0);
         let values = [1u64, 2, 3, 4, 5];
-        let (total, rounds) =
-            convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+        let (total, rounds) = convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
         assert_eq!(total, 15);
         // height 4: leaf's value takes 4 hops + quiescence overhead
         assert!((4..=8).contains(&rounds), "rounds = {rounds}");
@@ -170,8 +243,7 @@ mod tests {
         let g = topology::star(64);
         let tree = tree_of(&g, 0);
         let values = vec![1u64; 64];
-        let (total, rounds) =
-            convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+        let (total, rounds) = convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
         assert_eq!(total, 64);
         assert!(rounds <= 4, "star convergecast took {rounds} rounds");
     }

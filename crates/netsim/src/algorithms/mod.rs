@@ -15,7 +15,10 @@ pub mod mis;
 pub mod routing;
 
 pub use bfs::{build_bfs_tree, BfsTree};
-pub use convergecast::{broadcast_value, convergecast_sum};
+pub use convergecast::{
+    broadcast_value, broadcast_value_observed, convergecast_sum, convergecast_sum_observed,
+    TreeOpCost,
+};
 pub use distributed_mis::{distributed_luby_mis, DistributedMisResult};
 pub use leader::elect_leader;
 pub use mis::{luby_mis, verify_mis, MisResult};

@@ -180,8 +180,7 @@ mod tests {
         let center_of = vec![0; 6];
         let payloads: Vec<Vec<u64>> = (0..6).map(|v| vec![v as u64 + 10]).collect();
         let (delivered, rounds) =
-            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
-                .unwrap();
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX).unwrap();
         let mut at_center = delivered[0].clone();
         at_center.sort_unstable();
         assert_eq!(at_center, vec![10, 11, 12, 13, 14, 15]);
@@ -197,8 +196,7 @@ mod tests {
         let center_of = vec![0, 0, 0, 0, 7, 7, 7, 7];
         let payloads: Vec<Vec<u64>> = (0..8).map(|v| vec![v as u64]).collect();
         let (delivered, _) =
-            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
-                .unwrap();
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX).unwrap();
         let mut left = delivered[0].clone();
         left.sort_unstable();
         let mut right = delivered[7].clone();
@@ -213,8 +211,7 @@ mod tests {
         let center_of = vec![0; 5];
         let payloads: Vec<Vec<u64>> = (0..5).map(|v| vec![v as u64, v as u64 + 100]).collect();
         let (delivered, rounds) =
-            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
-                .unwrap();
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX).unwrap();
         assert_eq!(delivered[0].len(), 10);
         assert!(rounds <= 4);
     }
@@ -250,8 +247,7 @@ mod tests {
         let center_of = vec![0, 1, 2, 3]; // everyone is their own center
         let payloads: Vec<Vec<u64>> = (0..4).map(|v| vec![v as u64 * 7]).collect();
         let (delivered, rounds) =
-            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
-                .unwrap();
+            route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX).unwrap();
         for (v, d) in delivered.iter().enumerate() {
             assert_eq!(d, &vec![v as u64 * 7]);
         }

@@ -31,8 +31,47 @@
 //! multiple threads with bit-identical results. The pre-existing
 //! nested-`Vec` engine is retained as [`crate::reference`] for
 //! differential testing and benchmarking.
+//!
+//! # Invariants
+//!
+//! The flat representation rests on four invariants (DESIGN.md §7 gives
+//! the performance rationale; this is the normative statement):
+//!
+//! 1. **CSR layout.** The graph view is a compressed-sparse-row pair
+//!    `(offsets, neighbors)`: node `v`'s neighbor list is
+//!    `neighbors[offsets[v]..offsets[v+1]]`, in the same order as
+//!    [`Graph::neighbors`]. The CSR is rebuilt (reusing capacity) at
+//!    the start of every run, so mid-run graph mutation is unsupported
+//!    by construction. The same `offsets`-slicing scheme indexes the
+//!    message arena: `arena[inbox_offsets[v]..inbox_offsets[v+1]]` is
+//!    `v`'s inbox for the current round.
+//!
+//! 2. **Double-buffer handoff.** Each round reads inboxes from the
+//!    `arena` filled by the *previous* round while staging new sends
+//!    into `staged`; `deliver` then turns `staged` into the next
+//!    round's `arena` in place. Messages sent in round `r` are
+//!    therefore visible exactly in round `r+1`, never earlier, and the
+//!    parallel path can share the arena immutably across workers.
+//!
+//! 3. **Counting-sort stability.** Delivery groups `staged` (global
+//!    send order: node order, then send order within a node) by
+//!    destination with a *stable* counting sort, so each inbox sees
+//!    messages in the exact order naive per-inbox pushes would produce.
+//!    Differential tests against [`crate::reference`] and the
+//!    serial/parallel bit-identity guarantee both depend on this.
+//!
+//! 4. **EngineScratch reuse contract.** Between runs a scratch holds
+//!    only capacity, never state: every run begins by re-sizing and
+//!    re-zeroing (see `EngineScratch::prepare`), and the transient
+//!    buffers `neighbor_pos`/`edge_bits` are all-zero outside the
+//!    windows in which a single node is stepped or metered — restored
+//!    even on early error returns by `prepare` of the *next* run.
+//!    Hence a scratch may be reused across different graphs, protocols,
+//!    and bandwidth models, and a run's results never depend on what
+//!    the scratch was previously used for.
 
 use crate::graph::{Csr, Graph, NodeId};
+use dut_obs::{keys, NoopSink, Sink, Span};
 use std::error::Error;
 use std::fmt;
 
@@ -72,7 +111,10 @@ impl MessageSize for u64 {
 
 impl<T: MessageSize> MessageSize for Vec<T> {
     fn size_bits(&self) -> usize {
-        self.iter().map(MessageSize::size_bits).sum::<usize>().max(1)
+        self.iter()
+            .map(MessageSize::size_bits)
+            .sum::<usize>()
+            .max(1)
     }
 }
 
@@ -468,10 +510,34 @@ impl RunOptions {
 struct Metrics {
     total_messages: usize,
     total_bits: usize,
+    /// Max single-edge bits over all *completed* rounds.
     max_edge_bits: usize,
+    /// Max single-edge bits within the round currently being metered;
+    /// folded into `max_edge_bits` by [`Metrics::end_round`]. Keeping
+    /// the in-round max separate costs nothing per message and lets an
+    /// observed run report per-round slot congestion.
+    round_max_edge_bits: usize,
 }
 
 impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            total_messages: 0,
+            total_bits: 0,
+            max_edge_bits: 0,
+            round_max_edge_bits: 0,
+        }
+    }
+
+    /// Closes the current round: folds the in-round edge max into the
+    /// run-wide max and returns it.
+    fn end_round(&mut self) -> usize {
+        let round_max = self.round_max_edge_bits;
+        self.round_max_edge_bits = 0;
+        self.max_edge_bits = self.max_edge_bits.max(round_max);
+        round_max
+    }
+
     /// Meters one node's staged sends. `neighbor_pos` must be filled for
     /// `from`; `edge_bits` must be zero on entry and is re-zeroed for
     /// `from`'s degree before returning `Ok`.
@@ -505,7 +571,7 @@ impl Metrics {
                     });
                 }
             }
-            self.max_edge_bits = self.max_edge_bits.max(entry);
+            self.round_max_edge_bits = self.round_max_edge_bits.max(entry);
             self.total_messages += 1;
             self.total_bits += bits;
         }
@@ -513,6 +579,58 @@ impl Metrics {
             *b = 0;
         }
         Ok(())
+    }
+}
+
+/// Per-round observation state for an instrumented run.
+///
+/// One `enabled()` check per round is the whole cost against a
+/// disabled sink: the message/bit deltas, the edge-max fold, and the
+/// clock reads are all skipped (the fold still happens, but it is two
+/// integer ops). No per-message work is ever added.
+struct RoundObs {
+    prev_messages: usize,
+    prev_bits: usize,
+}
+
+impl RoundObs {
+    fn new() -> Self {
+        RoundObs {
+            prev_messages: 0,
+            prev_bits: 0,
+        }
+    }
+
+    /// Closes one round: folds the in-round edge max into the run max
+    /// and, when the sink is enabled, records the round's message and
+    /// bit deltas, its max single-edge bits, and its wall time.
+    fn end_round(&mut self, sink: &mut dyn Sink, metrics: &mut Metrics, span: Span) {
+        let round_max = metrics.end_round();
+        if sink.enabled() {
+            sink.observe(
+                keys::NETSIM_ROUND_MESSAGES,
+                (metrics.total_messages - self.prev_messages) as u64,
+            );
+            sink.observe(
+                keys::NETSIM_ROUND_BITS,
+                (metrics.total_bits - self.prev_bits) as u64,
+            );
+            sink.observe(keys::NETSIM_ROUND_MAX_EDGE_BITS, round_max as u64);
+            self.prev_messages = metrics.total_messages;
+            self.prev_bits = metrics.total_bits;
+            span.finish(sink, keys::NETSIM_ROUND_NANOS);
+        }
+    }
+}
+
+/// Records the run-total counters of a successfully completed run.
+fn record_run(sink: &mut dyn Sink, rounds: usize, metrics: &Metrics) {
+    if sink.enabled() {
+        sink.add(keys::NETSIM_RUNS, 1);
+        sink.add(keys::NETSIM_ROUNDS, rounds as u64);
+        sink.add(keys::NETSIM_MESSAGES, metrics.total_messages as u64);
+        sink.add(keys::NETSIM_BITS, metrics.total_bits as u64);
+        sink.observe(keys::NETSIM_RUN_MAX_EDGE_BITS, metrics.max_edge_bits as u64);
     }
 }
 
@@ -619,6 +737,44 @@ impl<'g> Network<'g> {
         max_rounds: usize,
         scratch: &mut EngineScratch<P::Msg>,
     ) -> Result<RunReport<P>, EngineError> {
+        self.run_with_scratch_observed(states, max_rounds, scratch, &mut NoopSink)
+    }
+
+    /// Like [`Network::run`], recording metrics into `sink` (see
+    /// [`dut_obs::keys`], `netsim.*`): run-total counters plus per-round
+    /// histograms of messages, bits, max single-edge bits, and
+    /// wall-clock nanoseconds. Allocates a fresh scratch per call.
+    ///
+    /// Sinks never influence execution — an observed run makes the same
+    /// decisions, metrics, and errors as an unobserved one, and a
+    /// [`NoopSink`] reduces this to exactly [`Network::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_observed<P: NodeProtocol>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunReport<P>, EngineError> {
+        let mut scratch = EngineScratch::new();
+        self.run_with_scratch_observed(states, max_rounds, &mut scratch, sink)
+    }
+
+    /// [`Network::run_observed`] with a caller-held [`EngineScratch`];
+    /// the allocation-free path for instrumented Monte-Carlo loops.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_with_scratch_observed<P: NodeProtocol>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+        sink: &mut dyn Sink,
+    ) -> Result<RunReport<P>, EngineError> {
         let mut states = self.check_states(states)?;
         scratch.prepare(self.graph);
         let EngineScratch {
@@ -632,16 +788,15 @@ impl<'g> Network<'g> {
             edge_bits,
             ..
         } = scratch;
-        let mut metrics = Metrics {
-            total_messages: 0,
-            total_bits: 0,
-            max_edge_bits: 0,
-        };
+        let mut metrics = Metrics::new();
+        let mut obs = RoundObs::new();
 
         for round in 0..max_rounds {
             if round > 0 && arena.is_empty() && states.iter().all(NodeProtocol::is_done) {
+                record_run(sink, round, &metrics);
                 return Ok(finish(round, metrics, states));
             }
+            let span = Span::start(&*sink);
 
             for (node, state) in states.iter_mut().enumerate() {
                 let nbrs = csr.neighbors(node);
@@ -670,6 +825,7 @@ impl<'g> Network<'g> {
             }
 
             deliver(staged, arena, inbox_offsets, counts, perm);
+            obs.end_round(sink, &mut metrics, span);
         }
         Err(EngineError::RoundLimit { max_rounds })
     }
@@ -693,11 +849,34 @@ impl<'g> Network<'g> {
         P: NodeProtocol + Send,
         P::Msg: Send + Sync,
     {
+        self.run_with_options_observed(states, max_rounds, scratch, options, &mut NoopSink)
+    }
+
+    /// [`Network::run_with_options`] recording metrics into `sink`.
+    /// Metering and observation stay serial on the merged send buffer,
+    /// so the recorded metrics are bit-identical regardless of thread
+    /// count, exactly like the run results themselves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_with_options_observed<P>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+        options: &RunOptions,
+        sink: &mut dyn Sink,
+    ) -> Result<RunReport<P>, EngineError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
         let threads = options.effective_threads(self.graph.node_count());
         if threads <= 1 {
-            return self.run_with_scratch(states, max_rounds, scratch);
+            return self.run_with_scratch_observed(states, max_rounds, scratch, sink);
         }
-        self.run_parallel(states, max_rounds, scratch, threads)
+        self.run_parallel(states, max_rounds, scratch, threads, sink)
     }
 
     fn check_states<P>(&self, states: Vec<P>) -> Result<Vec<P>, EngineError> {
@@ -716,6 +895,7 @@ impl<'g> Network<'g> {
         max_rounds: usize,
         scratch: &mut EngineScratch<P::Msg>,
         threads: usize,
+        sink: &mut dyn Sink,
     ) -> Result<RunReport<P>, EngineError>
     where
         P: NodeProtocol + Send,
@@ -743,17 +923,16 @@ impl<'g> Network<'g> {
             edge_bits,
             workers,
         } = scratch;
-        let mut metrics = Metrics {
-            total_messages: 0,
-            total_bits: 0,
-            max_edge_bits: 0,
-        };
+        let mut metrics = Metrics::new();
+        let mut obs = RoundObs::new();
         let chunk_len = k.div_ceil(threads);
 
         for round in 0..max_rounds {
             if round > 0 && arena.is_empty() && states.iter().all(NodeProtocol::is_done) {
+                record_run(sink, round, &metrics);
                 return Ok(finish(round, metrics, states));
             }
+            let span = Span::start(&*sink);
 
             // Step nodes in contiguous chunks, one per worker. Workers
             // only read the arena and write their own staging buffers.
@@ -777,10 +956,8 @@ impl<'g> Network<'g> {
                             for (off, state) in chunk.iter_mut().enumerate() {
                                 let node = base + off;
                                 let nbrs = csr.neighbors(node);
-                                let inbox =
-                                    &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
-                                let mut out =
-                                    Outbox::new(node, nbrs, neighbor_pos, staged);
+                                let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
+                                let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
                                 state.on_round(node, round, inbox, &mut out);
                                 if out.index_filled() {
                                     for &nb in nbrs {
@@ -835,6 +1012,7 @@ impl<'g> Network<'g> {
             }
 
             deliver(staged, arena, inbox_offsets, counts, perm);
+            obs.end_round(sink, &mut metrics, span);
         }
         Err(EngineError::RoundLimit { max_rounds })
     }
@@ -897,7 +1075,11 @@ mod tests {
         let g_star = topology::star(16);
         let mut net = Network::new(&g_star, BandwidthModel::Local);
         let report = net.run(vec![Flood { seen: false }; 16], 32).unwrap();
-        assert!(report.rounds <= 4, "star flood took {} rounds", report.rounds);
+        assert!(
+            report.rounds <= 4,
+            "star flood took {} rounds",
+            report.rounds
+        );
     }
 
     #[test]
@@ -926,10 +1108,7 @@ mod tests {
             assert_eq!(again.rounds, first.rounds);
             assert_eq!(again.total_messages, first.total_messages);
             assert_eq!(again.total_bits, first.total_bits);
-            assert_eq!(
-                again.max_edge_bits_per_round,
-                first.max_edge_bits_per_round
-            );
+            assert_eq!(again.max_edge_bits_per_round, first.max_edge_bits_per_round);
         }
     }
 
@@ -969,10 +1148,7 @@ mod tests {
             assert_eq!(par.rounds, serial.rounds);
             assert_eq!(par.total_messages, serial.total_messages);
             assert_eq!(par.total_bits, serial.total_bits);
-            assert_eq!(
-                par.max_edge_bits_per_round,
-                serial.max_edge_bits_per_round
-            );
+            assert_eq!(par.max_edge_bits_per_round, serial.max_edge_bits_per_round);
             assert!(par.nodes.iter().all(|n| n.seen));
         }
     }

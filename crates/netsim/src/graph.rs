@@ -43,12 +43,12 @@ impl Graph {
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "endpoint out of range");
-        assert_ne!(u, v, "self-loops are not allowed");
         assert!(
-            !self.adj[u].contains(&v),
-            "duplicate edge {{{u}, {v}}}"
+            u < self.adj.len() && v < self.adj.len(),
+            "endpoint out of range"
         );
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(!self.adj[u].contains(&v), "duplicate edge {{{u}, {v}}}");
         self.adj[u].push(v);
         self.adj[v].push(u);
         self.edge_count += 1;
@@ -227,10 +227,7 @@ impl Graph {
         let _ = writeln!(out, "graph {name} {{");
         if let Some(hl) = highlight {
             for &v in hl {
-                let _ = writeln!(
-                    out,
-                    "  {v} [style=filled, fillcolor=lightblue];"
-                );
+                let _ = writeln!(out, "  {v} [style=filled, fillcolor=lightblue];");
             }
         }
         for (u, v) in self.edges() {

@@ -11,10 +11,9 @@
 //!
 //! Use [`crate::engine::Network`] for real work.
 
-use crate::engine::{
-    BandwidthModel, EngineError, MessageSize, NodeProtocol, Outbox, RunReport,
-};
+use crate::engine::{BandwidthModel, EngineError, MessageSize, NodeProtocol, Outbox, RunReport};
 use crate::graph::{Graph, NodeId};
+use dut_obs::{keys, NoopSink, Sink, Span};
 
 /// Runs `states` on `graph` under `model` with the naive engine.
 ///
@@ -30,6 +29,25 @@ pub fn run_reference<P: NodeProtocol>(
     model: BandwidthModel,
     states: Vec<P>,
     max_rounds: usize,
+) -> Result<RunReport<P>, EngineError> {
+    run_reference_observed(graph, model, states, max_rounds, &mut NoopSink)
+}
+
+/// [`run_reference`] recording metrics into `sink` under the
+/// `reference.*` keys (see [`dut_obs::keys`]) — the same shape the flat
+/// engine records under `netsim.*`, so a differential harness can
+/// compare the two engines' per-round cost profiles, not just their
+/// final reports.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::engine::Network::run`].
+pub fn run_reference_observed<P: NodeProtocol>(
+    graph: &Graph,
+    model: BandwidthModel,
+    states: Vec<P>,
+    max_rounds: usize,
+    sink: &mut dyn Sink,
 ) -> Result<RunReport<P>, EngineError> {
     let k = graph.node_count();
     if states.len() != k {
@@ -52,6 +70,12 @@ pub fn run_reference<P: NodeProtocol>(
         // Quiescence check: nothing in flight and everyone done.
         let in_flight = inboxes.iter().any(|b| !b.is_empty());
         if round > 0 && !in_flight && states.iter().all(NodeProtocol::is_done) {
+            if sink.enabled() {
+                sink.add(keys::REFERENCE_RUNS, 1);
+                sink.add(keys::REFERENCE_ROUNDS, round as u64);
+                sink.add(keys::REFERENCE_MESSAGES, total_messages as u64);
+                sink.add(keys::REFERENCE_BITS, total_bits as u64);
+            }
             return Ok(RunReport {
                 rounds: round,
                 total_messages,
@@ -60,13 +84,15 @@ pub fn run_reference<P: NodeProtocol>(
                 nodes: states,
             });
         }
+        let span = Span::start(&*sink);
+        let (prev_messages, prev_bits) = (total_messages, total_bits);
+        let mut round_max = 0usize;
 
         for (node, state) in states.iter_mut().enumerate() {
             let neighbors = graph.neighbors(node);
             let mut sends: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
             let mut out = Outbox::new(node, neighbors, &mut neighbor_pos, &mut sends);
             state.on_round(node, round, &inboxes[node], &mut out);
-            drop(out);
             for &nb in neighbors {
                 neighbor_pos[nb] = 0;
             }
@@ -97,7 +123,7 @@ pub fn run_reference<P: NodeProtocol>(
                         });
                     }
                 }
-                max_edge_bits = max_edge_bits.max(entry);
+                round_max = round_max.max(entry);
                 total_messages += 1;
                 total_bits += bits;
                 next_inboxes[to].push((node, msg));
@@ -108,6 +134,16 @@ pub fn run_reference<P: NodeProtocol>(
             b.clear();
         }
         std::mem::swap(&mut inboxes, &mut next_inboxes);
+        max_edge_bits = max_edge_bits.max(round_max);
+        if sink.enabled() {
+            sink.observe(
+                keys::REFERENCE_ROUND_MESSAGES,
+                (total_messages - prev_messages) as u64,
+            );
+            sink.observe(keys::REFERENCE_ROUND_BITS, (total_bits - prev_bits) as u64);
+            sink.observe(keys::REFERENCE_ROUND_MAX_EDGE_BITS, round_max as u64);
+            span.finish(sink, keys::REFERENCE_ROUND_NANOS);
+        }
     }
     Err(EngineError::RoundLimit { max_rounds })
 }
@@ -145,16 +181,24 @@ mod tests {
     #[test]
     fn reference_preserves_seed_behavior() {
         let g = topology::line(8);
-        let report =
-            run_reference(&g, BandwidthModel::Local, vec![Flood { seen: false }; 8], 32)
-                .unwrap();
+        let report = run_reference(
+            &g,
+            BandwidthModel::Local,
+            vec![Flood { seen: false }; 8],
+            32,
+        )
+        .unwrap();
         assert!(report.nodes.iter().all(|n| n.seen));
         assert_eq!(report.rounds, 9);
 
         let g3 = topology::line(3);
-        let r3 =
-            run_reference(&g3, BandwidthModel::Local, vec![Flood { seen: false }; 3], 32)
-                .unwrap();
+        let r3 = run_reference(
+            &g3,
+            BandwidthModel::Local,
+            vec![Flood { seen: false }; 3],
+            32,
+        )
+        .unwrap();
         assert_eq!(r3.total_messages, 4);
         assert_eq!(r3.total_bits, 4);
         assert_eq!(r3.max_edge_bits_per_round, 1);

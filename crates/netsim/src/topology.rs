@@ -114,7 +114,10 @@ pub fn connected_erdos_renyi<R: Rng + ?Sized>(k: usize, p: f64, rng: &mut R) -> 
                 reps[comp[v]] = Some(v);
             }
         }
-        let reps: Vec<usize> = reps.into_iter().map(|r| r.expect("component has a node")).collect();
+        let reps: Vec<usize> = reps
+            .into_iter()
+            .map(|r| r.expect("component has a node"))
+            .collect();
         for w in reps.windows(2) {
             if !g.has_edge(w[0], w[1]) {
                 g.add_edge(w[0], w[1]);

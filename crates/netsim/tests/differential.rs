@@ -360,8 +360,13 @@ fn one_scratch_reused_across_topologies_matches_reference() {
     let mut scratch = EngineScratch::new();
     for (name, g) in topologies() {
         let k = g.node_count();
-        let reference =
-            run_reference(&g, BandwidthModel::Local, vec![Bfs { dist: None }; k], 4 * k).unwrap();
+        let reference = run_reference(
+            &g,
+            BandwidthModel::Local,
+            vec![Bfs { dist: None }; k],
+            4 * k,
+        )
+        .unwrap();
         let mut net = Network::new(&g, BandwidthModel::Local);
         let report = net
             .run_with_scratch(vec![Bfs { dist: None }; k], 4 * k, &mut scratch)

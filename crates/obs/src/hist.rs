@@ -1,0 +1,168 @@
+//! A fixed-size power-of-two histogram.
+//!
+//! Observations are `u64` values (bits, rounds, nanoseconds); bucket
+//! `i` counts the values whose bit length is `i` (so bucket 0 holds
+//! only zeros, bucket 1 holds `1`, bucket 2 holds `2..=3`, and so on).
+//! This gives ~2x resolution over the full `u64` range in a flat
+//! 65-slot array — no allocation, no configuration, and merging two
+//! histograms is element-wise addition, which keeps differential tests
+//! exact.
+
+/// Number of buckets: one per possible bit length of a `u64` (0..=64).
+pub const BUCKETS: usize = 65;
+
+/// A power-of-two histogram with exact count/sum/min/max side stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts; bucket `i` holds values of bit length `i`.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Element-wise merge of `other` into `self` (used to aggregate
+    /// per-thread or per-run sinks).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// The bucket a value lands in: its bit length (0 for value 0).
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn records_track_side_stats() {
+        let mut h = Histogram::new();
+        for v in [4u64, 1, 9, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 14);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+    }
+}

@@ -1,0 +1,134 @@
+//! A minimal JSON writer — just enough for the `dut-metrics/1` records.
+//!
+//! The workspace builds offline with no external crates, so the
+//! observability layer serializes by hand, exactly like
+//! `dut-bench::table` does for experiment tables. Only the forms the
+//! schema needs are provided: objects with string/integer/float/raw
+//! fields, built in insertion order.
+
+use std::fmt::Write as _;
+
+/// An incrementally built JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field. Non-finite values serialize as `null`
+    /// (JSON has no NaN/infinity).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (e.g. a nested object
+    /// built with another `JsonObject`).
+    pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_object_in_order() {
+        let mut o = JsonObject::new();
+        o.field_str("a", "x").field_u64("b", 7).field_f64("c", 1.5);
+        assert_eq!(o.finish(), r#"{"a":"x","b":7,"c":1.5}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.field_f64("x", f64::NAN).field_f64("y", f64::INFINITY);
+        assert_eq!(o.finish(), r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn raw_fields_nest() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("n", 1);
+        let mut o = JsonObject::new();
+        o.field_raw("params", &inner.finish());
+        assert_eq!(o.finish(), r#"{"params":{"n":1}}"#);
+    }
+}

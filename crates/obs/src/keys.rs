@@ -1,0 +1,124 @@
+//! The metric key registry.
+//!
+//! Every instrumented call site uses one of these constants, so the
+//! set of keys a binary can emit is closed and greppable, and
+//! `docs/METRICS.md` can document each one's unit and the theorem it
+//! checks against. Naming convention: `<layer>.<subject>.<measure>`,
+//! with `<layer>.round.*` for per-round histogram observations and
+//! plain `<layer>.*` for run-total counters.
+
+// ---------------------------------------------------------------- netsim
+
+/// Counter: engine runs completed (one per `run_observed` call).
+pub const NETSIM_RUNS: &str = "netsim.runs";
+/// Counter: synchronous rounds executed, summed over runs.
+pub const NETSIM_ROUNDS: &str = "netsim.rounds";
+/// Counter: messages delivered, summed over runs.
+pub const NETSIM_MESSAGES: &str = "netsim.messages";
+/// Counter: message payload bits metered by the bandwidth model.
+pub const NETSIM_BITS: &str = "netsim.bits";
+/// Histogram: messages delivered in one round.
+pub const NETSIM_ROUND_MESSAGES: &str = "netsim.round.messages";
+/// Histogram: payload bits delivered in one round.
+pub const NETSIM_ROUND_BITS: &str = "netsim.round.bits";
+/// Histogram: max bits crossing any single directed edge in one round
+/// (per-round slot congestion; the CONGEST model caps this).
+pub const NETSIM_ROUND_MAX_EDGE_BITS: &str = "netsim.round.max_edge_bits";
+/// Histogram: wall-clock nanoseconds spent executing one round
+/// (node stepping + metering + delivery).
+pub const NETSIM_ROUND_NANOS: &str = "netsim.round.nanos";
+/// Histogram: per-run max bits on any directed edge in any round.
+pub const NETSIM_RUN_MAX_EDGE_BITS: &str = "netsim.run.max_edge_bits";
+
+// ------------------------------------------------------- netsim reference
+
+/// Counter: reference-engine runs completed.
+pub const REFERENCE_RUNS: &str = "reference.runs";
+/// Counter: rounds executed by the reference engine.
+pub const REFERENCE_ROUNDS: &str = "reference.rounds";
+/// Counter: messages delivered by the reference engine.
+pub const REFERENCE_MESSAGES: &str = "reference.messages";
+/// Counter: bits metered by the reference engine.
+pub const REFERENCE_BITS: &str = "reference.bits";
+/// Histogram: messages per round in the reference engine.
+pub const REFERENCE_ROUND_MESSAGES: &str = "reference.round.messages";
+/// Histogram: bits per round in the reference engine.
+pub const REFERENCE_ROUND_BITS: &str = "reference.round.bits";
+/// Histogram: per-round max single-edge bits in the reference engine.
+pub const REFERENCE_ROUND_MAX_EDGE_BITS: &str = "reference.round.max_edge_bits";
+/// Histogram: wall-clock nanoseconds per reference-engine round.
+pub const REFERENCE_ROUND_NANOS: &str = "reference.round.nanos";
+
+// ------------------------------------------------- netsim tree primitives
+
+/// Counter: convergecast invocations.
+pub const CONVERGECAST_RUNS: &str = "netsim.convergecast.runs";
+/// Counter: rounds spent inside convergecast.
+pub const CONVERGECAST_ROUNDS: &str = "netsim.convergecast.rounds";
+/// Counter: payload bits carried by convergecast messages.
+pub const CONVERGECAST_BITS: &str = "netsim.convergecast.bits";
+/// Counter: broadcast invocations.
+pub const BROADCAST_RUNS: &str = "netsim.broadcast.runs";
+/// Counter: rounds spent inside broadcast.
+pub const BROADCAST_ROUNDS: &str = "netsim.broadcast.rounds";
+/// Counter: payload bits carried by broadcast messages.
+pub const BROADCAST_BITS: &str = "netsim.broadcast.bits";
+
+// ------------------------------------------------------------------ core
+
+/// Counter: gap-tester runs (one per tested sample multiset).
+pub const CORE_GAP_RUNS: &str = "core.gap.runs";
+/// Counter: samples consumed by the gap tester (Thm 1.1: s per run).
+pub const CORE_GAP_SAMPLES: &str = "core.gap.samples";
+/// Counter: gap-tester runs that found a collision (the tester's
+/// single reject bit; it does not count individual colliding pairs).
+pub const CORE_GAP_COLLISIONS: &str = "core.gap.collisions";
+/// Counter: amplified-tester runs.
+pub const CORE_AMPLIFY_RUNS: &str = "core.amplify.runs";
+/// Counter: independent repetitions executed across amplified runs.
+pub const CORE_AMPLIFY_REPETITIONS: &str = "core.amplify.repetitions";
+/// Counter: rejecting repetitions across amplified runs.
+pub const CORE_AMPLIFY_REJECTIONS: &str = "core.amplify.rejections";
+/// Counter: zero-round network simulations.
+pub const CORE_ZERO_ROUND_RUNS: &str = "core.zero_round.runs";
+/// Counter: per-node votes cast inside zero-round simulations
+/// (equals nodes x runs; the protocol sends no messages, Thm 1.2).
+pub const CORE_ZERO_ROUND_VOTES: &str = "core.zero_round.votes";
+/// Counter: rejecting votes inside zero-round simulations.
+pub const CORE_ZERO_ROUND_REJECTIONS: &str = "core.zero_round.rejections";
+
+// --------------------------------------------------------------- congest
+
+/// Counter: CONGEST tester runs.
+pub const CONGEST_RUNS: &str = "congest.runs";
+/// Counter: CONGEST rounds consumed (packaging + aggregation phases).
+pub const CONGEST_ROUNDS: &str = "congest.rounds";
+/// Counter: total bits the CONGEST tester put on the wire
+/// (package announcements + convergecast + broadcast; Thm 5.1 budget).
+pub const CONGEST_BITS: &str = "congest.bits";
+/// Counter: sample packages formed across runs.
+pub const CONGEST_PACKAGES: &str = "congest.packages";
+/// Counter: rejecting packages across runs.
+pub const CONGEST_REJECTING_PACKAGES: &str = "congest.rejecting_packages";
+
+// ----------------------------------------------------------------- local
+
+/// Counter: LOCAL tester runs.
+pub const LOCAL_RUNS: &str = "local.runs";
+/// Counter: LOCAL rounds consumed (Lemma 7.3: O(log* n) radius).
+pub const LOCAL_ROUNDS: &str = "local.rounds";
+/// Counter: nodes selected into the maximal independent set.
+pub const LOCAL_MIS_SIZE: &str = "local.mis_size";
+/// Counter: minimum samples gathered by any MIS center, summed
+/// over runs (each center must clear the Thm 1.1 sample bound).
+pub const LOCAL_MIN_GATHERED: &str = "local.min_gathered";
+
+// ------------------------------------------------------------------- smp
+
+/// Counter: SMP protocol executions.
+pub const SMP_RUNS: &str = "smp.runs";
+/// Counter: referee input bits across executions (sum of both
+/// players' message lengths; the Thm 1.4 / simultaneous-messages cost).
+pub const SMP_MESSAGE_BITS: &str = "smp.message_bits";
+/// Counter: accepting executions.
+pub const SMP_ACCEPTS: &str = "smp.accepts";

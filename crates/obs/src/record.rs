@@ -1,0 +1,197 @@
+//! The `dut-metrics/1` run record and a line-oriented writer.
+//!
+//! One [`RunRecord`] serializes to one JSON object on one line, so an
+//! experiment or bench run appends records to a `.jsonl` file that
+//! downstream tooling can diff, grep, and regression-track across
+//! PRs. The field set and units are documented in `docs/METRICS.md`.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::JsonObject;
+use crate::sink::MemorySink;
+
+/// Schema identifier stamped into every record as the `"schema"` field.
+///
+/// Bump the suffix only on breaking changes to the record layout;
+/// adding new keys to `counters`/`histograms` is non-breaking.
+pub const SCHEMA: &str = "dut-metrics/1";
+
+/// A typed run parameter (`n`, `eps`, topology name, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// An unsigned integer parameter.
+    U64(u64),
+    /// A float parameter (serialized as `null` if non-finite).
+    F64(f64),
+    /// A string parameter.
+    Str(String),
+}
+
+impl From<u64> for ParamValue {
+    fn from(v: u64) -> Self {
+        ParamValue::U64(v)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::F64(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+/// One run's identity and parameters; pairs with a [`MemorySink`]
+/// snapshot to form a complete JSONL line.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    experiment: String,
+    case: String,
+    params: Vec<(String, ParamValue)>,
+}
+
+impl RunRecord {
+    /// Starts a record for one run of `experiment` (e.g. `"e6"`) on
+    /// `case` (a free-form sub-case label, e.g. `"star/uniform"`).
+    pub fn new(experiment: &str, case: &str) -> Self {
+        RunRecord {
+            experiment: experiment.to_string(),
+            case: case.to_string(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends one named parameter (builder style). Parameters keep
+    /// insertion order in the serialized record.
+    pub fn param(mut self, name: &str, value: impl Into<ParamValue>) -> Self {
+        self.params.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes this record plus the sink's accumulated metrics as
+    /// one `dut-metrics/1` JSON object (no trailing newline).
+    pub fn to_jsonl(&self, sink: &MemorySink) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", SCHEMA);
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("case", &self.case);
+        let mut params = JsonObject::new();
+        for (name, value) in &self.params {
+            match value {
+                ParamValue::U64(v) => params.field_u64(name, *v),
+                ParamValue::F64(v) => params.field_f64(name, *v),
+                ParamValue::Str(v) => params.field_str(name, v),
+            };
+        }
+        obj.field_raw("params", &params.finish());
+        sink.snapshot_into(&mut obj);
+        obj.finish()
+    }
+}
+
+/// Appends `dut-metrics/1` records to a file, one per line.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    out: BufWriter<File>,
+}
+
+impl JsonlWriter {
+    /// Creates (truncating) `path` for writing records.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlWriter {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Writes one record line for `record` + `sink`.
+    pub fn write(&mut self, record: &RunRecord, sink: &MemorySink) -> io::Result<()> {
+        self.out.write_all(record.to_jsonl(sink).as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+
+    #[test]
+    fn record_serializes_schema_identity_and_params() {
+        let mut sink = MemorySink::new();
+        sink.add("netsim.bits", 96);
+        sink.observe("netsim.round.bits", 96);
+        let line = RunRecord::new("e6", "star/uniform")
+            .param("n", 4096u64)
+            .param("eps", 1.0)
+            .param("topology", "star")
+            .to_jsonl(&sink);
+        assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
+        assert!(line.contains("\"experiment\":\"e6\""));
+        assert!(line.contains("\"case\":\"star/uniform\""));
+        assert!(line.contains("\"params\":{\"n\":4096,\"eps\":1,\"topology\":\"star\"}"));
+        assert!(line.contains("\"counters\":{\"netsim.bits\":96}"));
+        assert!(line.contains(
+            "\"histograms\":{\"netsim.round.bits\":\
+             {\"count\":1,\"sum\":96,\"min\":96,\"max\":96,\"mean\":96}}"
+        ));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn empty_sink_serializes_empty_maps() {
+        let line = RunRecord::new("e1", "x").to_jsonl(&MemorySink::new());
+        assert!(line.contains("\"params\":{}"));
+        assert!(line.contains("\"counters\":{}"));
+        assert!(line.ends_with("\"histograms\":{}}"));
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_record() {
+        let dir = std::env::temp_dir().join("dut_obs_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let mut w = JsonlWriter::create(&path).unwrap();
+        let mut sink = MemorySink::new();
+        sink.add("k", 1);
+        w.write(&RunRecord::new("e1", "a"), &sink).unwrap();
+        w.write(&RunRecord::new("e1", "b"), &sink).unwrap();
+        w.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
+            assert!(line.ends_with('}'));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,214 @@
+//! The recording interface and its two standard implementations.
+//!
+//! Instrumented code takes a `&mut dyn Sink` and writes monotone
+//! counters and histogram observations to it. The contract that keeps
+//! hot paths free when observability is off:
+//!
+//! * [`Sink::enabled`] must be cheap (a constant for the standard
+//!   sinks). Instrumented code uses it to skip *measurement itself* —
+//!   clock reads, per-round counter deltas — not just the `add` call.
+//! * `add`/`observe` on a disabled sink are still safe no-ops, so
+//!   call sites that already have a value on hand need no branch.
+//! * Sinks never touch the RNG or the simulated protocol state, so an
+//!   instrumented run is bit-identical to an uninstrumented one.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json::JsonObject;
+
+/// Destination for metrics: monotone counters and histogram samples.
+///
+/// Keys are `&'static str` constants from [`crate::keys`] so recording
+/// never allocates. The trait is object-safe; instrumented APIs accept
+/// `&mut dyn Sink` to avoid generics bleeding through the stack.
+pub trait Sink {
+    /// Whether this sink records anything.
+    ///
+    /// Instrumented code gates *measurement* on this (e.g. it skips
+    /// `Instant::now()` and per-round delta bookkeeping when `false`),
+    /// so a disabled sink makes instrumentation cost nothing.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the monotone counter named `key`.
+    fn add(&mut self, key: &'static str, delta: u64);
+
+    /// Records one observation of `value` in the histogram named `key`.
+    fn observe(&mut self, key: &'static str, value: u64);
+}
+
+/// The default sink: records nothing, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&mut self, _key: &'static str, _delta: u64) {}
+
+    fn observe(&mut self, _key: &'static str, _value: u64) {}
+}
+
+/// An in-memory accumulator over sorted maps, for tests and the
+/// `--metrics` modes of the experiments/bench binaries.
+///
+/// `BTreeMap` keeps snapshot iteration in deterministic key order, so
+/// two runs with the same seed serialize to byte-identical JSONL.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Current value of the counter `key` (0 if never added to).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The histogram recorded under `key`, if any observation was made.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Clears every counter and histogram, keeping allocations.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+
+    /// Folds every counter and histogram of `other` into `self`.
+    pub fn merge(&mut self, other: &MemorySink) {
+        for (k, v) in other.counters.iter() {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in other.histograms.iter() {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// Serializes the accumulated state as two nested JSON objects,
+    /// `"counters"` and `"histograms"`, into `obj`.
+    ///
+    /// Histograms are summarized as `{count, sum, min, max, mean}`;
+    /// the raw buckets stay in memory (tests can read them via
+    /// [`MemorySink::histogram`]) so records stay one line.
+    pub(crate) fn snapshot_into(&self, obj: &mut JsonObject) {
+        let mut counters = JsonObject::new();
+        for (k, v) in self.counters.iter() {
+            counters.field_u64(k, *v);
+        }
+        obj.field_raw("counters", &counters.finish());
+
+        let mut hists = JsonObject::new();
+        for (k, h) in self.histograms.iter() {
+            let mut one = JsonObject::new();
+            one.field_u64("count", h.count());
+            one.field_u64("sum", h.sum());
+            one.field_u64("min", h.min());
+            one.field_u64("max", h.max());
+            one.field_f64("mean", h.mean());
+            hists.field_raw(k, &one.finish());
+        }
+        obj.field_raw("histograms", &hists.finish());
+    }
+}
+
+impl Sink for MemorySink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&mut self, key: &'static str, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    fn observe(&mut self, key: &'static str, value: u64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_silent() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.add("x", 5);
+        s.observe("x", 5);
+    }
+
+    #[test]
+    fn memory_sink_accumulates_counters() {
+        let mut s = MemorySink::new();
+        assert!(s.enabled());
+        s.add("a", 2);
+        s.add("a", 3);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn memory_sink_accumulates_histograms() {
+        let mut s = MemorySink::new();
+        s.observe("h", 4);
+        s.observe("h", 6);
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn merge_folds_both_kinds() {
+        let mut a = MemorySink::new();
+        a.add("c", 1);
+        a.observe("h", 8);
+        let mut b = MemorySink::new();
+        b.add("c", 2);
+        b.add("d", 7);
+        b.observe("h", 16);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("d"), 7);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = MemorySink::new();
+        s.add("c", 1);
+        s.observe("h", 1);
+        s.reset();
+        assert_eq!(s.counter("c"), 0);
+        assert!(s.histogram("h").is_none());
+        assert_eq!(s.counters().count(), 0);
+    }
+
+    #[test]
+    fn dyn_sink_dispatch_works() {
+        let mut mem = MemorySink::new();
+        let sink: &mut dyn Sink = &mut mem;
+        sink.add("k", 9);
+        assert_eq!(mem.counter("k"), 9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Wall-clock span timers that respect the sink's enabled gate.
+
+use std::time::Instant;
+
+use crate::sink::Sink;
+
+/// A wall-clock timer for one span of work (a round, a phase, a run).
+///
+/// `Span::start` reads the clock only when the sink is enabled, so a
+/// span started against a [`crate::NoopSink`] costs two branches and
+/// no syscalls. Finish it explicitly with [`Span::finish`] — spans
+/// deliberately do not record on drop, because an observation needs a
+/// key and a sink, and implicit recording in destructors would hide
+/// clock reads in hot loops.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a timer, reading the clock only if `sink.enabled()`.
+    pub fn start(sink: &dyn Sink) -> Self {
+        Span {
+            started: if sink.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// A span that is always off regardless of the sink it is
+    /// finished against. Useful as an initializer before a loop.
+    pub fn disabled() -> Self {
+        Span { started: None }
+    }
+
+    /// Records the elapsed nanoseconds (saturated to `u64`) into
+    /// `sink` under `key`, if the span was started enabled.
+    ///
+    /// Returns the elapsed nanoseconds, or 0 for a disabled span.
+    pub fn finish(self, sink: &mut dyn Sink, key: &'static str) -> u64 {
+        match self.started {
+            Some(t0) => {
+                let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                sink.observe(key, nanos);
+                nanos
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MemorySink, NoopSink};
+
+    #[test]
+    fn span_records_elapsed_on_enabled_sink() {
+        let mut sink = MemorySink::new();
+        let span = Span::start(&sink);
+        let nanos = span.finish(&mut sink, "t");
+        let h = sink.histogram("t").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), nanos);
+    }
+
+    #[test]
+    fn span_on_disabled_sink_never_records() {
+        let noop = NoopSink;
+        let span = Span::start(&noop);
+        // Finishing against an enabled sink still records nothing:
+        // the span was never started.
+        let mut sink = MemorySink::new();
+        assert_eq!(span.finish(&mut sink, "t"), 0);
+        assert!(sink.histogram("t").is_none());
+    }
+
+    #[test]
+    fn disabled_constructor_matches_disabled_start() {
+        let mut sink = MemorySink::new();
+        assert_eq!(Span::disabled().finish(&mut sink, "t"), 0);
+        assert!(sink.histogram("t").is_none());
+    }
+}

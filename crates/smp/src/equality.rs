@@ -253,12 +253,7 @@ impl EqualityProtocol {
         ChunkMessage { row, col, bits }
     }
 
-    fn chunk<R: Rng + ?Sized>(
-        &self,
-        input: &[u64],
-        vertical: bool,
-        rng: &mut R,
-    ) -> ChunkMessage {
+    fn chunk<R: Rng + ?Sized>(&self, input: &[u64], vertical: bool, rng: &mut R) -> ChunkMessage {
         let codeword = self.code.encode(input);
         self.chunk_from_codeword(&codeword, vertical, rng)
     }
@@ -382,10 +377,7 @@ mod tests {
         let p2 = EqualityProtocol::new(1 << 14, 2.0, 0.05, 4).unwrap();
         // 16x input should cost ~4x chunk bits.
         let ratio = p2.chunk_len() as f64 / p1.chunk_len() as f64;
-        assert!(
-            (3.0..5.0).contains(&ratio),
-            "chunk growth {ratio} not ~4x"
-        );
+        assert!((3.0..5.0).contains(&ratio), "chunk growth {ratio} not ~4x");
         // And stays well below the trivial n-bit protocol.
         assert!(p2.message_bits_bound() < (1 << 14) / 4);
     }

@@ -1,5 +1,6 @@
 //! SMP protocol framework: messages, costs, and a generic runner.
 
+use dut_obs::{keys, Sink};
 use rand::Rng;
 
 /// Communication cost of one SMP execution, in bits.
@@ -65,6 +66,30 @@ pub trait SmpProtocol {
         };
         (self.referee(&ma, &mb), cost)
     }
+
+    /// [`SmpProtocol::run`] recording `smp.*` counters into `sink`:
+    /// one `smp.runs` tick, the referee's total input bits
+    /// (`smp.message_bits`, both players summed), and `smp.accepts`
+    /// when the referee outputs `true`. The sink never touches either
+    /// player's RNG, so the execution is bit-identical to [`run`].
+    ///
+    /// [`run`]: SmpProtocol::run
+    fn run_observed<R: Rng + ?Sized>(
+        &self,
+        x: &Self::Input,
+        y: &Self::Input,
+        alice_rng: &mut R,
+        bob_rng: &mut R,
+        sink: &mut dyn Sink,
+    ) -> (bool, SmpCost) {
+        let (out, cost) = self.run(x, y, alice_rng, bob_rng);
+        if sink.enabled() {
+            sink.add(keys::SMP_RUNS, 1);
+            sink.add(keys::SMP_MESSAGE_BITS, cost.total_bits() as u64);
+            sink.add(keys::SMP_ACCEPTS, u64::from(out));
+        }
+        (out, cost)
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +131,26 @@ mod tests {
         assert_eq!(cost.total_bits(), 2);
         let (out, _) = p.run(&[1u64], &[0u64], &mut ra, &mut rb);
         assert!(!out);
+    }
+
+    #[test]
+    fn observed_run_matches_and_records() {
+        let p = FirstBit;
+        let mut sink = dut_obs::MemorySink::new();
+
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(2);
+        let (out, cost) = p.run_observed(&[1u64], &[1u64], &mut ra, &mut rb, &mut sink);
+        assert!(out);
+        let (out, _) = p.run_observed(&[1u64], &[0u64], &mut ra, &mut rb, &mut sink);
+        assert!(!out);
+
+        assert_eq!(sink.counter(keys::SMP_RUNS), 2);
+        assert_eq!(
+            sink.counter(keys::SMP_MESSAGE_BITS),
+            2 * cost.total_bits() as u64
+        );
+        assert_eq!(sink.counter(keys::SMP_ACCEPTS), 1);
     }
 
     #[test]

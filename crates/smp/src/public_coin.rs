@@ -168,10 +168,7 @@ mod tests {
             }
         }
         let rate = rejects as f64 / trials as f64;
-        assert!(
-            rate > 0.98,
-            "10 hash bits should reject ~99.9%: {rate}"
-        );
+        assert!(rate > 0.98, "10 hash bits should reject ~99.9%: {rate}");
     }
 
     #[test]

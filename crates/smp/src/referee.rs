@@ -220,8 +220,7 @@ mod tests {
             top_counts[far.sample(&mut rng) >> 4] += 1;
         }
         let top_collisions: u64 = top_counts.iter().map(|&c| c * (c - 1) / 2).sum();
-        let expected_uniform =
-            (k as f64) * (k as f64 - 1.0) / 2.0 * (16.0 / n as f64);
+        let expected_uniform = (k as f64) * (k as f64 - 1.0) / 2.0 * (16.0 / n as f64);
         // Top-bit collisions look exactly uniform (no excess).
         assert!(
             (top_collisions as f64) < expected_uniform * 1.05,

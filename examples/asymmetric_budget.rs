@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert_eq!(ok.decision, Decision::Accept);
     assert_eq!(alarm.decision, Decision::Reject);
-    println!("\nevery node paid at most {:.1} energy units.", tester.max_cost());
+    println!(
+        "\nevery node paid at most {:.1} energy units.",
+        tester.max_cost()
+    );
     Ok(())
 }

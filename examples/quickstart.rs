@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(outcome.decision, Decision::Reject);
 
-    println!("\nthe network distinguished them with ~{} samples per node.", plan.samples_per_node);
+    println!(
+        "\nthe network distinguished them with ~{} samples per node.",
+        plan.samples_per_node
+    );
     Ok(())
 }

@@ -22,9 +22,8 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let request_types = 1 << 10;
     // Baseline: Zipf-distributed request mix.
-    let eta = DiscreteDistribution::from_weights(
-        (1..=request_types).map(|i| 1.0 / i as f64).collect(),
-    )?;
+    let eta =
+        DiscreteDistribution::from_weights((1..=request_types).map(|i| 1.0 / i as f64).collect())?;
 
     // Build the filter: η is rounded onto a 1/g grid; samples map to
     // slots so that "μ = η" becomes "slots uniform".
@@ -45,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The drift distance (minus filter rounding) is the ε we test at.
     let epsilon = drift_distance - filter.rounding_l1_error() - 0.05;
     let k = 120_000;
-    let tester =
-        ThresholdNetworkTester::plan(filter.output_domain_size(), k, epsilon, 1.0 / 3.0)?;
+    let tester = ThresholdNetworkTester::plan(filter.output_domain_size(), k, epsilon, 1.0 / 3.0)?;
     println!(
         "{k} monitors, {} filtered samples each, threshold {}",
         tester.samples_per_node(),
@@ -57,12 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let baseline_oracle = FilteredOracle::new(&filter, &eta);
     let outcome = tester.run(&baseline_oracle, &mut rng);
-    println!("\nbaseline traffic -> {} ({} alarms)", outcome.decision, outcome.rejecting_nodes);
+    println!(
+        "\nbaseline traffic -> {} ({} alarms)",
+        outcome.decision, outcome.rejecting_nodes
+    );
     assert_eq!(outcome.decision, Decision::Accept);
 
     let drifted_oracle = FilteredOracle::new(&filter, &drifted);
     let outcome = tester.run(&drifted_oracle, &mut rng);
-    println!("drifted traffic  -> {} ({} alarms)", outcome.decision, outcome.rejecting_nodes);
+    println!(
+        "drifted traffic  -> {} ({} alarms)",
+        outcome.decision, outcome.rejecting_nodes
+    );
     assert_eq!(outcome.decision, Decision::Reject);
 
     println!("\ndrift detected through the local filter reduction — no node ever saw η's pmf at runtime.");

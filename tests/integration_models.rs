@@ -65,9 +65,7 @@ fn all_three_models_agree_on_verdicts() {
     // this scale is the weak "1/2 + Θ(ε²)" signal — compare rejection
     // counts rather than asserting a single verdict.
     let lc_u_rejects = (0..5)
-        .filter(|_| {
-            local.run(&lg, &local_uniform, &mut rng).outcome.decision == Decision::Reject
-        })
+        .filter(|_| local.run(&lg, &local_uniform, &mut rng).outcome.decision == Decision::Reject)
         .count();
     let lc_f_rejects = (0..5)
         .filter(|_| local.run(&lg, &local_far, &mut rng).outcome.decision == Decision::Reject)
@@ -139,8 +137,8 @@ fn identity_filter_composes_with_congest() {
     use dut_core::identity::{FilteredOracle, IdentityFilter};
 
     let n = 1 << 8;
-    let eta = DiscreteDistribution::from_weights((1..=n).map(|i| 1.0 / i as f64).collect())
-        .unwrap();
+    let eta =
+        DiscreteDistribution::from_weights((1..=n).map(|i| 1.0 / i as f64).collect()).unwrap();
     let filter = IdentityFilter::new(&eta, 16).unwrap();
     let g_domain = filter.output_domain_size();
 

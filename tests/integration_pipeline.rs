@@ -1,9 +1,7 @@
 //! End-to-end pipeline checks that span crates: distributions → core
 //! math → SMP/ECC → lower-bound consistency.
 
-use dut_core::params::{
-    plan_threshold, samples_for_delta, theorem_1_2_samples, WindowMethod,
-};
+use dut_core::params::{plan_threshold, samples_for_delta, theorem_1_2_samples, WindowMethod};
 use dut_distributions::collision::collision_probability;
 use dut_distributions::families::paninski_far;
 use dut_ecc::{BinaryCode, RandomLinearCode};
@@ -17,7 +15,11 @@ use rand::{Rng, SeedableRng};
 /// √(2δn) ≥ Corollary 7.4's bound.
 #[test]
 fn upper_bounds_dominate_lower_bounds() {
-    for &(n, k) in &[(1usize << 14, 50_000usize), (1 << 18, 200_000), (1 << 20, 1_000_000)] {
+    for &(n, k) in &[
+        (1usize << 14, 50_000usize),
+        (1 << 18, 200_000),
+        (1 << 20, 1_000_000),
+    ] {
         let upper = theorem_1_2_samples(n, k, 0.5);
         let lower = theorem_1_3_bound(n, k);
         assert!(
@@ -64,7 +66,10 @@ fn smp_cost_bracketed_by_bounds() {
         let law = (24.0 * tau * delta * n as f64).sqrt();
         let lower = dut_lowerbound::theorem_7_2_bound(n, tau, delta);
         assert!(cost <= 3.0 * law + 40.0, "n={n}: cost {cost} vs law {law}");
-        assert!(cost >= lower, "n={n}: cost {cost} below lower bound {lower}");
+        assert!(
+            cost >= lower,
+            "n={n}: cost {cost} below lower bound {lower}"
+        );
     }
 }
 
@@ -122,12 +127,10 @@ fn reduction_gap_grows_with_samples() {
         let mut ra = StdRng::seed_from_u64(seed);
         let mut rb = StdRng::seed_from_u64(seed ^ 0xF0F0);
         let x = [0x1234_5678_9ABC_DEF0u64, 0x0FED_CBA9_8765_4321];
-        let y = if equal {
-            x
-        } else {
-            [x[0] ^ 1, x[1]]
-        };
-        (0..trials).filter(|_| p.run(&x, &y, &mut ra, &mut rb).0).count() as f64
+        let y = if equal { x } else { [x[0] ^ 1, x[1]] };
+        (0..trials)
+            .filter(|_| p.run(&x, &y, &mut ra, &mut rb).0)
+            .count() as f64
             / trials as f64
     };
     let gap_small = rate(8, true, 1) - rate(8, false, 2);

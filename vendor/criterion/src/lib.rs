@@ -276,8 +276,8 @@ where
 
     // Choose iterations per sample so all samples fit the budget.
     let budget_per_sample = measurement_time / (sample_size.max(1) as u32);
-    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, 1_000_000_000) as u64;
+    let iters =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size.max(1) {

@@ -208,7 +208,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 candidates in a row: {}", self.reason);
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
     }
 }
 
