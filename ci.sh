@@ -18,4 +18,10 @@ cargo test --workspace -q
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+echo "==> fault differential suite (serial == parallel == reference, faulted)"
+cargo test --release -p dut-netsim --test differential -q
+
+echo "==> fixed-seed fault-sweep smoke (E13, quick scale)"
+cargo run --release -p dut-bench --bin experiments -- --quick e13 > /dev/null
+
 echo "ci.sh: all green"

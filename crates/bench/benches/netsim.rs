@@ -263,13 +263,13 @@ fn run_metrics(path: &Path) -> std::io::Result<()> {
     };
     let bfs_states = |k: usize| vec![Bfs { dist: None }; k];
     let mut sink = MemorySink::new();
-    let mut record = |w: &mut JsonlWriter,
-                      sink: &MemorySink,
-                      case: &str,
-                      k: usize,
-                      rounds: usize,
-                      messages: usize,
-                      bits: usize|
+    let record = |w: &mut JsonlWriter,
+                  sink: &MemorySink,
+                  case: &str,
+                  k: usize,
+                  rounds: usize,
+                  messages: usize,
+                  bits: usize|
      -> std::io::Result<()> {
         let rec = RunRecord::new("bench.netsim", case)
             .param("k", k)

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: experiments [--quick] [--list] [--json out.json] [--metrics out.jsonl] \
-     (all | e1 .. e12)+";
+     (all | e1 .. e13)+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

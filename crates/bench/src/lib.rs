@@ -30,6 +30,7 @@ pub mod e09_lemma21;
 pub mod e10_baselines;
 pub mod e11_identity;
 pub mod e12_lowerbound;
+pub mod e13_faults;
 pub mod metrics;
 pub mod table;
 
@@ -58,8 +59,8 @@ impl Scale {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// Canonicalizes a user-typed experiment id: strips leading zeros
@@ -94,6 +95,7 @@ pub fn run_experiment(id: &str, scale: Scale, log: &mut MetricsLog) -> Vec<Table
         "e10" => e10_baselines::run(scale),
         "e11" => e11_identity::run(scale),
         "e12" => e12_lowerbound::run(scale),
+        "e13" => e13_faults::run(scale, log),
         other => panic!("unknown experiment id: {other}"),
     }
 }

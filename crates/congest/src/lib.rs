@@ -20,8 +20,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod packaging;
+pub mod robust;
 pub mod tester;
 
-pub use packaging::{solve_token_packaging, PackagingResult};
-pub use tester::{CongestRunResult, CongestUniformityTester};
+pub use codec::{CodedWord, JustesenCodec};
+pub use packaging::{solve_token_packaging, PackagingError, PackagingResult};
+pub use robust::{robust_bandwidth_model, solve_token_packaging_robust, RobustStats};
+pub use tester::{CongestError, CongestRunResult, CongestUniformityTester, RobustRunResult};

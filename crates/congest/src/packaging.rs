@@ -61,8 +61,11 @@ impl NodeProtocol for ResidueNode {
 /// The pipelined token-forwarding phase: each node forwards one token per
 /// round toward its parent until it has forwarded `c(v)` tokens, keeping
 /// everything else. The root "forwards" by discarding.
+///
+/// `pub(crate)` so the robust pipeline can re-run this phase through an
+/// error-correcting codec.
 #[derive(Debug, Clone)]
-struct ForwardNode {
+pub(crate) struct ForwardNode {
     parent: Option<NodeId>,
     /// Tokens to forward up (the residue `c(v)`).
     quota: u64,
@@ -112,6 +115,129 @@ impl NodeProtocol for ForwardNode {
     }
 }
 
+/// Round budget for the forwarding phase: `O(τ + height)` with slack.
+pub(crate) fn forward_round_limit(tau: usize, tree: &BfsTree) -> usize {
+    2 * (tau + tree.height + 4) + 8
+}
+
+/// Initial forwarding states for quota vector `quotas` (shared between
+/// the plain and the coded/robust pipelines).
+pub(crate) fn forward_states(
+    tree: &BfsTree,
+    tokens: &[Vec<u64>],
+    quotas: &[u64],
+) -> Vec<ForwardNode> {
+    (0..tokens.len())
+        .map(|v| ForwardNode {
+            parent: tree.parent[v],
+            quota: quotas[v],
+            sent: 0,
+            buffer: tokens[v].iter().copied().collect(),
+            kept: Vec::new(),
+            discarded: 0,
+            flushed: false,
+        })
+        .collect()
+}
+
+/// Token-conservation check for the fault-injected forwarding phase:
+/// every token must end up either kept at some node or discarded at the
+/// root. A dropped forwarding message loses its token in flight — the
+/// starved node can still flush (its own quota is met) and the network
+/// quiesces with a partial group somewhere, so the robust pipeline must
+/// count losses *before* cutting packages. A fault-free run never loses
+/// tokens. Returns the number of tokens lost; `total` is the token
+/// count the network started with.
+pub(crate) fn tokens_lost<'a>(nodes: impl Iterator<Item = &'a ForwardNode>, total: usize) -> usize {
+    let accounted: usize = nodes.map(|n| n.kept.len() + n.discarded as usize).sum();
+    total - accounted
+}
+
+/// Cuts each node's kept tokens into packages of exactly `tau` and sums
+/// the root's discards (shared between the plain and robust pipelines).
+pub(crate) fn cut_packages<'a>(
+    nodes: impl Iterator<Item = &'a ForwardNode>,
+    tau: usize,
+) -> (Vec<(NodeId, Vec<u64>)>, usize) {
+    let mut packages = Vec::new();
+    let mut discarded = 0usize;
+    for (v, node) in nodes.enumerate() {
+        discarded += node.discarded as usize;
+        debug_assert_eq!(
+            node.kept.len() % tau,
+            0,
+            "node {v} kept {} tokens, not a multiple of tau={tau}",
+            node.kept.len()
+        );
+        for chunk in node.kept.chunks_exact(tau) {
+            packages.push((v, chunk.to_vec()));
+        }
+    }
+    (packages, discarded)
+}
+
+/// Why a token-packaging run could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackagingError {
+    /// `tau == 0`: packages of size zero are not meaningful (Definition 2
+    /// requires multisets of exactly τ ≥ 1 tokens).
+    ZeroTau,
+    /// `tokens` or `ids` does not provide exactly one entry per node.
+    LengthMismatch {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// Entries in `tokens`.
+        tokens: usize,
+        /// Entries in `ids`.
+        ids: usize,
+    },
+    /// The underlying protocol run failed (empty or disconnected graph,
+    /// CONGEST budget violation, round-limit exhaustion).
+    Engine(EngineError),
+    /// Faults exceeded what the robust pipeline can absorb: either the
+    /// reliable residue phase gave up on `failures` subtree reports
+    /// despite retries (quotas would be inconsistent), or the
+    /// forwarding phase lost `failures` tokens in flight (packages
+    /// would come out short).
+    FaultOverwhelmed {
+        /// Deliveries lost for good: subtree reports the retry budget
+        /// could not recover, or tokens dropped during forwarding.
+        failures: u64,
+    },
+}
+
+impl std::fmt::Display for PackagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackagingError::ZeroTau => write!(f, "package size tau must be at least 1"),
+            PackagingError::LengthMismatch { nodes, tokens, ids } => write!(
+                f,
+                "input lengths mismatch: {nodes} nodes but {tokens} token lists and {ids} ids"
+            ),
+            PackagingError::Engine(e) => write!(f, "packaging protocol failed: {e}"),
+            PackagingError::FaultOverwhelmed { failures } => write!(
+                f,
+                "faults overwhelmed the robust pipeline: {failures} deliveries lost for good"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PackagingError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for PackagingError {
+    fn from(e: EngineError) -> Self {
+        PackagingError::Engine(e)
+    }
+}
+
 /// The output of token packaging.
 #[derive(Debug, Clone)]
 pub struct PackagingResult {
@@ -139,22 +265,28 @@ pub struct PackagingResult {
 ///
 /// # Errors
 ///
-/// Propagates engine errors (disconnected graph, CONGEST violations).
-///
-/// # Panics
-///
-/// Panics if `tau == 0` or input lengths mismatch.
+/// Returns [`PackagingError::ZeroTau`] if `tau == 0`,
+/// [`PackagingError::LengthMismatch`] if `tokens` or `ids` does not
+/// match the node count, and [`PackagingError::Engine`] for protocol
+/// failures (empty or disconnected graph, CONGEST violations).
 pub fn solve_token_packaging(
     g: &Graph,
     tokens: &[Vec<u64>],
     ids: &[u64],
     tau: usize,
     model: BandwidthModel,
-) -> Result<PackagingResult, EngineError> {
-    assert!(tau >= 1, "package size must be at least 1");
-    assert_eq!(tokens.len(), g.node_count(), "one token list per node");
-    assert_eq!(ids.len(), g.node_count(), "one id per node");
+) -> Result<PackagingResult, PackagingError> {
+    if tau == 0 {
+        return Err(PackagingError::ZeroTau);
+    }
     let k = g.node_count();
+    if tokens.len() != k || ids.len() != k {
+        return Err(PackagingError::LengthMismatch {
+            nodes: k,
+            tokens: tokens.len(),
+            ids: ids.len(),
+        });
+    }
 
     // Phase 1: leader election (max id).
     let (leader, rounds_leader) = elect_leader(g, ids, model)?;
@@ -175,6 +307,8 @@ pub fn solve_token_packaging(
         .collect();
     let mut net = Network::new(g, model);
     let residue_report = net.run(residue_states, 2 * k + 4)?;
+    // Unreachable expect: `ResidueNode::is_done` is `c.is_some()`, and the
+    // engine only returns a successful report once every node is done.
     let quotas: Vec<u64> = residue_report
         .nodes
         .iter()
@@ -182,36 +316,13 @@ pub fn solve_token_packaging(
         .collect();
 
     // Phase 4: pipelined forwarding for ~τ + height rounds.
-    let forward_states: Vec<ForwardNode> = (0..k)
-        .map(|v| ForwardNode {
-            parent: tree.parent[v],
-            quota: quotas[v],
-            sent: 0,
-            buffer: tokens[v].iter().copied().collect(),
-            kept: Vec::new(),
-            discarded: 0,
-            flushed: false,
-        })
-        .collect();
+    let states = forward_states(&tree, tokens, &quotas);
     let mut net = Network::new(g, model);
-    let max_rounds = 2 * (tau + tree.height + 4) + 8;
-    let forward_report = net.run(forward_states, max_rounds)?;
+    let max_rounds = forward_round_limit(tau, &tree);
+    let forward_report = net.run(states, max_rounds)?;
 
     // Cut each node's kept tokens into packages of exactly τ.
-    let mut packages = Vec::new();
-    let mut discarded = 0usize;
-    for (v, node) in forward_report.nodes.iter().enumerate() {
-        discarded += node.discarded as usize;
-        debug_assert_eq!(
-            node.kept.len() % tau,
-            0,
-            "node {v} kept {} tokens, not a multiple of tau={tau}",
-            node.kept.len()
-        );
-        for chunk in node.kept.chunks_exact(tau) {
-            packages.push((v, chunk.to_vec()));
-        }
-    }
+    let (packages, discarded) = cut_packages(forward_report.nodes.iter(), tau);
 
     Ok(PackagingResult {
         packages,
@@ -370,6 +481,67 @@ mod tests {
         for (_, p) in &r.packages {
             assert_eq!(p.len(), 5);
         }
+    }
+
+    #[test]
+    fn packaging_tau_zero_is_a_typed_error() {
+        let g = topology::line(4);
+        let tokens: Vec<Vec<u64>> = (0..4).map(|v| vec![v as u64]).collect();
+        let ids: Vec<u64> = (0..4).collect();
+        let err = solve_token_packaging(&g, &tokens, &ids, 0, BandwidthModel::Local).unwrap_err();
+        assert_eq!(err, PackagingError::ZeroTau);
+    }
+
+    #[test]
+    fn packaging_length_mismatch_is_a_typed_error() {
+        let g = topology::line(4);
+        let tokens: Vec<Vec<u64>> = (0..3).map(|v| vec![v as u64]).collect();
+        let ids: Vec<u64> = (0..4).collect();
+        let err = solve_token_packaging(&g, &tokens, &ids, 2, BandwidthModel::Local).unwrap_err();
+        assert_eq!(
+            err,
+            PackagingError::LengthMismatch {
+                nodes: 4,
+                tokens: 3,
+                ids: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn packaging_on_disconnected_graph_is_a_typed_error() {
+        // Two components: the leader's BFS flood stabilizes without
+        // reaching the far side, so packaging reports the unreached node
+        // instead of timing out or panicking.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let tokens: Vec<Vec<u64>> = (0..6).map(|v| vec![v as u64]).collect();
+        let ids: Vec<u64> = vec![9, 1, 2, 3, 4, 5]; // leader in component {0,1,2}
+        let err = solve_token_packaging(&g, &tokens, &ids, 2, BandwidthModel::Local).unwrap_err();
+        assert_eq!(
+            err,
+            PackagingError::Engine(EngineError::Unreached { node: 3 })
+        );
+    }
+
+    #[test]
+    fn packaging_on_empty_graph_is_a_typed_error() {
+        let g = Graph::from_edges(0, &[]);
+        let err = solve_token_packaging(&g, &[], &[], 2, BandwidthModel::Local).unwrap_err();
+        assert_eq!(err, PackagingError::Engine(EngineError::EmptyNetwork));
+    }
+
+    #[test]
+    fn packaging_on_single_node_graph_works() {
+        // K_1: the node is its own leader and root; its c = tokens mod τ
+        // is discarded and the rest packaged locally.
+        let g = Graph::from_edges(1, &[]);
+        let tokens = vec![vec![10u64, 11, 12, 13, 14]];
+        let ids = vec![7u64];
+        let r = solve_token_packaging(&g, &tokens, &ids, 2, BandwidthModel::Local).unwrap();
+        check_definition_2(&r, 5, 2);
+        assert_eq!(r.packages.len(), 2);
+        assert_eq!(r.discarded, 1);
+        assert_eq!(r.leader, 0);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! forwarding pipeline, with `τ = Θ(n/(kε⁴))` — the paper's
 //! `O(D + n/(kε⁴))`.
 
-use crate::packaging::solve_token_packaging;
+use crate::codec::JustesenCodec;
+use crate::packaging::{solve_token_packaging, PackagingError};
+use crate::robust::{robust_bandwidth_model, solve_token_packaging_robust, RobustStats};
 use dut_core::decision::Decision;
 use dut_core::error::PlanError;
 use dut_core::gap::GapTester;
@@ -19,7 +21,11 @@ use dut_core::params::{plan_threshold, ThresholdPlan, WindowMethod};
 use dut_distributions::collision::CollisionScratch;
 use dut_distributions::SampleOracle;
 use dut_netsim::algorithms::convergecast::{broadcast_value_observed, convergecast_sum_observed};
+use dut_netsim::algorithms::{
+    reliable_broadcast_value_coded, reliable_convergecast_sums_coded, RelMsg, RetryPolicy,
+};
 use dut_netsim::engine::BandwidthModel;
+use dut_netsim::fault::FaultPlan;
 use dut_netsim::graph::Graph;
 use dut_obs::{keys, NoopSink, Sink};
 use rand::Rng;
@@ -57,6 +63,45 @@ pub struct CongestUniformityTester {
     tau: usize,
     virtual_plan: ThresholdPlan,
     package_tester: GapTester,
+}
+
+/// Why a CONGEST tester run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// The packaging phase failed (degenerate inputs or protocol error).
+    Packaging(PackagingError),
+    /// An aggregation phase (convergecast/broadcast) failed.
+    Engine(dut_netsim::engine::EngineError),
+}
+
+impl std::fmt::Display for CongestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CongestError::Packaging(e) => write!(f, "congest tester: {e}"),
+            CongestError::Engine(e) => write!(f, "congest tester aggregation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CongestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CongestError::Packaging(e) => Some(e),
+            CongestError::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<PackagingError> for CongestError {
+    fn from(e: PackagingError) -> Self {
+        CongestError::Packaging(e)
+    }
+}
+
+impl From<dut_netsim::engine::EngineError> for CongestError {
+    fn from(e: dut_netsim::engine::EngineError) -> Self {
+        CongestError::Engine(e)
+    }
 }
 
 /// The outcome of one CONGEST tester run.
@@ -157,14 +202,46 @@ impl CongestUniformityTester {
         diameter as f64 + self.n as f64 / (self.k as f64 * epsilon.powi(4))
     }
 
+    /// Each node draws its samples (tokens) and a random id from a
+    /// poly(k) namespace (k² — O(log k) bits, fitting the CONGEST
+    /// budget); the maximum id is unique with probability 1 − O(1/k),
+    /// and we redraw otherwise.
+    fn draw_inputs<O, R>(&self, oracle: &O, rng: &mut R) -> (Vec<Vec<u64>>, Vec<u64>)
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let tokens: Vec<Vec<u64>> = (0..self.k)
+            .map(|_| {
+                oracle
+                    .draw_many(rng, self.samples_per_node)
+                    .into_iter()
+                    .map(|x| x as u64)
+                    .collect()
+            })
+            .collect();
+        let namespace = (self.k as u64).saturating_mul(self.k as u64).max(2);
+        let ids = loop {
+            let ids: Vec<u64> = (0..self.k).map(|_| rng.gen_range(0..namespace)).collect();
+            // Unreachable expect: `plan` rejects k = 0 networks
+            // (NetworkTooSmall), so `ids` is never empty here.
+            let max = *ids.iter().max().expect("non-empty network");
+            if ids.iter().filter(|&&i| i == max).count() == 1 {
+                break ids;
+            }
+        };
+        (tokens, ids)
+    }
+
     /// Runs the full protocol on `g` with samples drawn from `oracle`.
     ///
     /// `g` must have exactly `k` nodes (the planned network size).
     ///
     /// # Errors
     ///
-    /// Propagates engine errors (disconnected graphs, CONGEST budget
-    /// violations).
+    /// Returns [`CongestError::Packaging`] when the packaging phase
+    /// fails (disconnected or empty graphs included) and
+    /// [`CongestError::Engine`] when an aggregation phase does.
     ///
     /// # Panics
     ///
@@ -174,7 +251,7 @@ impl CongestUniformityTester {
         g: &Graph,
         oracle: &O,
         rng: &mut R,
-    ) -> Result<CongestRunResult, dut_netsim::engine::EngineError>
+    ) -> Result<CongestRunResult, CongestError>
     where
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
@@ -202,7 +279,7 @@ impl CongestUniformityTester {
         oracle: &O,
         rng: &mut R,
         sink: &mut dyn Sink,
-    ) -> Result<CongestRunResult, dut_netsim::engine::EngineError>
+    ) -> Result<CongestRunResult, CongestError>
     where
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
@@ -212,29 +289,7 @@ impl CongestUniformityTester {
             self.k,
             "graph size does not match planned network size"
         );
-        // Each node draws its samples (tokens) and a random id.
-        let tokens: Vec<Vec<u64>> = (0..self.k)
-            .map(|_| {
-                oracle
-                    .draw_many(rng, self.samples_per_node)
-                    .into_iter()
-                    .map(|x| x as u64)
-                    .collect()
-            })
-            .collect();
-        let ids: Vec<u64> = {
-            // Random ids from a poly(k) namespace (k² — O(log k) bits,
-            // fitting the CONGEST budget); the maximum is unique with
-            // probability 1 − O(1/k), and we retry otherwise.
-            let namespace = (self.k as u64).saturating_mul(self.k as u64).max(2);
-            loop {
-                let ids: Vec<u64> = (0..self.k).map(|_| rng.gen_range(0..namespace)).collect();
-                let max = *ids.iter().max().expect("non-empty network");
-                if ids.iter().filter(|&&i| i == max).count() == 1 {
-                    break ids;
-                }
-            }
-        };
+        let (tokens, ids) = self.draw_inputs(oracle, rng);
         let model = BandwidthModel::congest_for(self.n.max(self.k));
 
         // Phase 1-4: token packaging.
@@ -295,6 +350,180 @@ impl CongestUniformityTester {
         }
         Ok(result)
     }
+
+    /// Runs the fault-hardened protocol under a [`FaultPlan`]: every
+    /// message is Justesen-encoded (flips below the code's certified
+    /// radius corrected transparently), packaging runs the robust
+    /// pipeline, and the vote aggregation and verdict broadcast go over
+    /// the ack/retry tree primitives. `max_retries` bounds per-message
+    /// retransmissions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CongestUniformityTester::run`], plus
+    /// [`PackagingError::FaultOverwhelmed`] (wrapped in
+    /// [`CongestError::Packaging`]) when faults exceed the retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the planned `k`.
+    pub fn run_robust<O, R>(
+        &self,
+        g: &Graph,
+        oracle: &O,
+        rng: &mut R,
+        plan: &FaultPlan,
+        max_retries: usize,
+    ) -> Result<RobustRunResult, CongestError>
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.run_robust_observed(g, oracle, rng, plan, max_retries, &mut NoopSink)
+    }
+
+    /// [`CongestUniformityTester::run_robust`] recording the
+    /// `congest.robust.*` and `congest.ecc.*` metrics into `sink` on
+    /// top of the fault-free profile.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CongestUniformityTester::run_robust`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the planned `k`.
+    pub fn run_robust_observed<O, R>(
+        &self,
+        g: &Graph,
+        oracle: &O,
+        rng: &mut R,
+        plan: &FaultPlan,
+        max_retries: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RobustRunResult, CongestError>
+    where
+        O: SampleOracle + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(
+            g.node_count(),
+            self.k,
+            "graph size does not match planned network size"
+        );
+        let (tokens, ids) = self.draw_inputs(oracle, rng);
+        // The budget must hold one codeword per edge per round; token
+        // values and ids still fit inside the codewords' payload.
+        let model = robust_bandwidth_model();
+
+        // Phase 1-4: robust token packaging.
+        let (packaging, mut stats) = solve_token_packaging_robust(
+            g,
+            &tokens,
+            &ids,
+            self.tau,
+            model,
+            plan,
+            max_retries,
+            sink,
+        )?;
+
+        // Phase 5: every package votes (0 rounds — local computation).
+        let mut votes = vec![0u64; self.k];
+        let mut rejecting = 0usize;
+        let mut collision = CollisionScratch::with_domain(self.n);
+        let mut samples: Vec<usize> = Vec::new();
+        for (owner, package) in &packaging.packages {
+            samples.clear();
+            samples.extend(package.iter().map(|&t| t as usize));
+            if self
+                .package_tester
+                .run_on_samples_with(&samples, &mut collision)
+                == Decision::Reject
+            {
+                votes[*owner] += 1;
+                rejecting += 1;
+            }
+        }
+
+        // Phase 6: reliable convergecast of the vote count. The root's
+        // subtree sum is the network total; ARQ failures mean some
+        // subtree's votes were lost for good and the verdict is on a
+        // partial count — surfaced in `stats.failures`, not hidden.
+        let policy = RetryPolicy::for_tree(&packaging.tree, max_retries);
+        let (sums, conv_cost, conv_stats) = reliable_convergecast_sums_coded(
+            g,
+            &packaging.tree,
+            &votes,
+            model,
+            plan,
+            policy,
+            JustesenCodec::<RelMsg>::new(),
+            sink,
+        )?;
+        stats.absorb_codec(conv_stats);
+        stats.retransmits += conv_cost.retransmits;
+        stats.failures += conv_cost.failures;
+        let total_votes = sums[packaging.tree.root];
+
+        // Phase 7: root decides; reliable broadcast of the verdict.
+        let decision = if (total_votes as usize) >= self.virtual_plan.threshold {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        };
+        let verdict_bit = u64::from(decision == Decision::Reject);
+        let (received, bcast_cost, bcast_stats) = reliable_broadcast_value_coded(
+            g,
+            &packaging.tree,
+            verdict_bit,
+            model,
+            plan,
+            policy,
+            JustesenCodec::<RelMsg>::new(),
+            sink,
+        )?;
+        stats.absorb_codec(bcast_stats);
+        stats.retransmits += bcast_cost.retransmits;
+        stats.failures += bcast_cost.failures;
+        let informed_nodes = received.iter().filter(|v| v.is_some()).count();
+
+        let result = RobustRunResult {
+            run: CongestRunResult {
+                decision,
+                rejecting_packages: rejecting,
+                packages: packaging.packages.len(),
+                rounds: packaging.rounds + conv_cost.rounds + bcast_cost.rounds,
+                bits: packaging.bits + conv_cost.bits + bcast_cost.bits,
+                threshold: self.virtual_plan.threshold,
+            },
+            stats,
+            informed_nodes,
+        };
+        if sink.enabled() {
+            sink.add(keys::CONGEST_ROBUST_RUNS, 1);
+            sink.add(keys::CONGEST_ECC_CORRECTED_BITS, stats.corrected_bits);
+            sink.add(keys::CONGEST_ECC_DECODE_FAILURES, stats.decode_failures);
+            sink.add(keys::CONGEST_ROBUST_RETRANSMITS, stats.retransmits);
+            sink.add(keys::CONGEST_ROBUST_FAILURES, stats.failures);
+        }
+        Ok(result)
+    }
+}
+
+/// The outcome of one fault-hardened CONGEST tester run.
+#[derive(Debug, Clone)]
+pub struct RobustRunResult {
+    /// The protocol outcome (decision, packages, round/bit totals).
+    pub run: CongestRunResult,
+    /// Fault-handling totals: corrected bits, decode failures, ARQ
+    /// retransmissions and permanent delivery failures. With
+    /// `stats.failures > 0` the decision was taken on a partial vote
+    /// count.
+    pub stats: RobustStats,
+    /// Nodes that learned the verdict (all `k` unless the broadcast
+    /// exhausted its retries somewhere).
+    pub informed_nodes: usize,
 }
 
 #[cfg(test)]
@@ -453,6 +682,112 @@ mod tests {
             observed.bits as u64 > aggregation,
             "total bits must include packaging on top of aggregation"
         );
+    }
+
+    /// A deliberately small plan: robust runs Justesen-decode every
+    /// message, which is far heavier per message than the plain path,
+    /// so the fault tests stay at a few hundred nodes.
+    fn small_plan() -> (CongestUniformityTester, Graph) {
+        let t = CongestUniformityTester::plan(2048, 250, 1.0, 1.0 / 3.0, 32).unwrap();
+        (t, topology::grid(10, 25))
+    }
+
+    #[test]
+    fn robust_fault_free_run_matches_plain() {
+        let (t, g) = small_plan();
+        let uniform = DiscreteDistribution::uniform(2048);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let plain = t.run(&g, &uniform, &mut r1).unwrap();
+        let robust = t
+            .run_robust(&g, &uniform, &mut r2, &FaultPlan::none(), 4)
+            .unwrap();
+        // Same RNG seed → same tokens and ids; without faults the
+        // hardened pipeline must reproduce the plain protocol exactly.
+        assert_eq!(robust.run.decision, plain.decision);
+        assert_eq!(robust.run.rejecting_packages, plain.rejecting_packages);
+        assert_eq!(robust.run.packages, plain.packages);
+        assert_eq!(robust.stats, RobustStats::default());
+        assert_eq!(robust.informed_nodes, g.node_count());
+    }
+
+    #[test]
+    fn robust_run_corrects_flips_and_records_metrics() {
+        use dut_obs::{keys, MemorySink};
+        let (t, g) = small_plan();
+        let uniform = DiscreteDistribution::uniform(2048);
+        let mut r1 = StdRng::seed_from_u64(13);
+        let mut r2 = StdRng::seed_from_u64(13);
+        let clean = t
+            .run_robust(&g, &uniform, &mut r1, &FaultPlan::none(), 4)
+            .unwrap();
+        let plan = FaultPlan::seeded(0xF1A6).with_flips(2e-4);
+        let mut sink = MemorySink::new();
+        let faulted = t
+            .run_robust_observed(&g, &uniform, &mut r2, &plan, 4, &mut sink)
+            .unwrap();
+        // Flips stay far below the per-word correction radius at this
+        // rate, so the codec absorbs them all and nothing downstream
+        // can tell the difference.
+        assert_eq!(faulted.run.decision, clean.run.decision);
+        assert_eq!(faulted.run.rejecting_packages, clean.run.rejecting_packages);
+        assert_eq!(faulted.run.packages, clean.run.packages);
+        assert!(faulted.stats.corrected_bits > 0, "plan must flip bits");
+        assert_eq!(faulted.stats.decode_failures, 0);
+        assert_eq!(faulted.stats.failures, 0);
+        assert_eq!(faulted.informed_nodes, g.node_count());
+
+        assert_eq!(sink.counter(keys::CONGEST_ROBUST_RUNS), 1);
+        assert_eq!(
+            sink.counter(keys::CONGEST_ECC_CORRECTED_BITS),
+            faulted.stats.corrected_bits
+        );
+        assert_eq!(sink.counter(keys::CONGEST_ECC_DECODE_FAILURES), 0);
+        assert_eq!(sink.counter(keys::CONGEST_ROBUST_FAILURES), 0);
+    }
+
+    #[test]
+    fn robust_run_survives_drops_via_retries() {
+        let (t, g) = small_plan();
+        let uniform = DiscreteDistribution::uniform(2048);
+        let mut r1 = StdRng::seed_from_u64(17);
+        let mut r2 = StdRng::seed_from_u64(17);
+        let clean = t
+            .run_robust(&g, &uniform, &mut r1, &FaultPlan::none(), 8)
+            .unwrap();
+        // Fault seed chosen so no drop lands in the retry-free
+        // forwarding phase but several hit the reliable phases, which
+        // recover by retransmission. A dropped BFS announcement can
+        // reshape the tree — and with it package composition and
+        // votes — but success still certifies exact Definition-2
+        // packaging: the same ⌊total/τ⌋ packages form.
+        let plan = FaultPlan::seeded(2).with_drops(0.002);
+        let faulted = t.run_robust(&g, &uniform, &mut r2, &plan, 8).unwrap();
+        assert_eq!(faulted.run.packages, clean.run.packages);
+        assert_eq!(faulted.stats.failures, 0);
+        assert!(
+            faulted.stats.retransmits > 0,
+            "drops must force at least one retransmission"
+        );
+        assert_eq!(faulted.informed_nodes, g.node_count());
+    }
+
+    #[test]
+    fn robust_run_drops_err_typed_rather_than_mispackage() {
+        // The unprotected forwarding phase loses tokens under this fault
+        // seed; the token-conservation check must surface it as a typed
+        // error — short packages or a panic are both bugs.
+        let (t, g) = small_plan();
+        let uniform = DiscreteDistribution::uniform(2048);
+        let mut rng = StdRng::seed_from_u64(17);
+        let plan = FaultPlan::seeded(0).with_drops(0.002);
+        let err = t.run_robust(&g, &uniform, &mut rng, &plan, 8).unwrap_err();
+        match err {
+            CongestError::Packaging(
+                PackagingError::FaultOverwhelmed { .. } | PackagingError::Engine(_),
+            ) => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   defaults to [`crate::linear::RandomLinearCode`] instead.
 
 use crate::gf::GaloisField;
+use crate::rs_decode::{berlekamp_welch, DecodeError};
 use crate::BinaryCode;
 
 /// A Justesen-style concatenated code.
@@ -86,6 +87,75 @@ impl JustesenCode {
             acc = self.field.add(self.field.mul(acc, x), c);
         }
         acc
+    }
+
+    /// The certified correction radius in wire *bits*: `⌊(N−K)/2⌋`.
+    ///
+    /// Any pattern of at most this many bit flips is corrected by
+    /// [`JustesenCode::decode`]: each flip lands in exactly one inner
+    /// block, so `t` flips corrupt at most `t` inner blocks; each
+    /// corrupted block yields at most one wrong outer symbol after
+    /// nearest-codeword inner decoding; and the outer Berlekamp–Welch
+    /// decoder corrects up to `⌊(N−K)/2⌋` outer symbol errors.
+    pub fn certified_correction_radius(&self) -> usize {
+        (self.n_outer - self.k_outer) / 2
+    }
+
+    /// Decodes a received word of [`BinaryCode::output_bits`] bits,
+    /// correcting any pattern of at most
+    /// [`JustesenCode::certified_correction_radius`] bit flips, and
+    /// returns the message repacked into `⌈input_bits/64⌉` words.
+    ///
+    /// Inner decoding is brute force over the `2^m` Wozencraft
+    /// codewords `(x, αⁱ·x)` per position (nearest by Hamming cost;
+    /// ties break to the smallest `x`, keeping the decoder
+    /// deterministic); outer decoding is `berlekamp_welch` at the
+    /// evaluation points `α⁰ … α^{N−1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the inner-decoded symbols are not
+    /// within the outer code's error capacity of any codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received` has fewer than `output_bits` bits.
+    pub fn decode(&self, received: &[u64]) -> Result<Vec<u64>, DecodeError> {
+        let m = self.symbol_bits();
+        assert!(
+            received.len() * 64 >= self.output_bits(),
+            "received word too short for {} bits",
+            self.output_bits()
+        );
+        let capacity = self.certified_correction_radius();
+        // Inner decode: nearest Wozencraft codeword at each position.
+        let mut symbols = Vec::with_capacity(self.n_outer);
+        for i in 0..self.n_outer {
+            let y1 = get_bits(received, 2 * i * m, m);
+            let y2 = get_bits(received, (2 * i + 1) * m, m);
+            let mult = self.field.alpha_pow(i);
+            let mut best = 0u16;
+            let mut best_cost = usize::MAX;
+            for x in 0..self.field.size() {
+                let x = x as u16;
+                let cost = (x ^ y1).count_ones() as usize
+                    + (self.field.mul(mult, x) ^ y2).count_ones() as usize;
+                if cost < best_cost {
+                    best = x;
+                    best_cost = cost;
+                }
+            }
+            symbols.push(best);
+        }
+        // Outer decode at the same points the encoder evaluated.
+        let points: Vec<u16> = (0..self.n_outer).map(|i| self.field.alpha_pow(i)).collect();
+        let message = berlekamp_welch(&self.field, &points, &symbols, self.k_outer)
+            .ok_or(DecodeError { capacity })?;
+        let mut out = vec![0u64; self.input_bits().div_ceil(64)];
+        for (i, &s) in message.iter().enumerate() {
+            set_bits(&mut out, i * m, m, s);
+        }
+        Ok(out)
     }
 }
 
@@ -242,5 +312,77 @@ mod tests {
     #[should_panic(expected = "outer dimension")]
     fn oversized_dimension_panics() {
         let _ = JustesenCode::new(4, 16);
+    }
+
+    #[test]
+    fn decode_clean_round_trip() {
+        let c = JustesenCode::rate_one_third(5); // N=31, K=20, radius 5
+        assert_eq!(c.certified_correction_radius(), 5);
+        let words = c.input_bits().div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut msg: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+            // Mask bits past input_bits so the round trip is exact.
+            let extra = words * 64 - c.input_bits();
+            if extra > 0 {
+                *msg.last_mut().unwrap() &= u64::MAX >> extra;
+            }
+            let cw = c.encode(&msg);
+            assert_eq!(c.decode(&cw).expect("clean decode"), msg);
+        }
+    }
+
+    #[test]
+    fn decode_corrects_up_to_radius() {
+        let c = JustesenCode::rate_one_third(5);
+        let words = c.input_bits().div_ceil(64);
+        let out_bits = c.output_bits();
+        let mut rng = StdRng::seed_from_u64(12);
+        for trial in 0..50 {
+            let mut msg: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+            let extra = words * 64 - c.input_bits();
+            if extra > 0 {
+                *msg.last_mut().unwrap() &= u64::MAX >> extra;
+            }
+            let mut cw = c.encode(&msg);
+            let t = rng.gen_range(1..=c.certified_correction_radius());
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < t {
+                flipped.insert(rng.gen_range(0..out_bits));
+            }
+            for &bit in &flipped {
+                cw[bit / 64] ^= 1u64 << (bit % 64);
+            }
+            assert_eq!(
+                c.decode(&cw).unwrap_or_else(|e| panic!(
+                    "trial {trial}: {t} flips within radius failed: {e}"
+                )),
+                msg
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_overwhelming_corruption() {
+        // Far beyond the radius the decoder must not silently return
+        // the original message: it either fails or lands on a
+        // different (nearer) codeword.
+        let c = JustesenCode::rate_one_third(5);
+        let words = c.input_bits().div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut msg: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let extra = words * 64 - c.input_bits();
+        if extra > 0 {
+            *msg.last_mut().unwrap() &= u64::MAX >> extra;
+        }
+        let mut cw = c.encode(&msg);
+        // Flip roughly half of all wire bits.
+        for bit in (0..c.output_bits()).step_by(2) {
+            cw[bit / 64] ^= 1u64 << (bit % 64);
+        }
+        match c.decode(&cw) {
+            Err(e) => assert_eq!(e.capacity, c.certified_correction_radius()),
+            Ok(decoded) => assert_ne!(decoded, msg),
+        }
     }
 }

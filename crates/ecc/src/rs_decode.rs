@@ -9,6 +9,12 @@
 //! find `E(x)` (monic, degree `e`) and `Q(x)` (degree `< K+e`) with
 //! `Q(aᵢ) = rᵢ·E(aᵢ)` at every evaluation point; then the message
 //! polynomial is `Q(x)/E(x)`.
+//!
+//! The solver core (`berlekamp_welch`) is parameterized by the
+//! evaluation points, because [`crate::rs::RsCode`] and the outer code
+//! of [`crate::justesen::JustesenCode`] evaluate at *different* point
+//! sequences (`0, α⁰, α¹, …` versus `α⁰ … α^{N−1}`); both decoders
+//! share it.
 
 use crate::gf::GaloisField;
 use crate::rs::RsCode;
@@ -19,7 +25,9 @@ use std::fmt;
 /// inconsistent word).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
-    /// The maximum number of symbol errors the code can correct.
+    /// The maximum number of errors the code can correct — outer
+    /// *symbols* for [`crate::rs::RsCode`], wire *bits* for
+    /// [`crate::justesen::JustesenCode`].
     pub capacity: usize,
 }
 
@@ -115,6 +123,88 @@ fn poly_div(field: &GaloisField, num: &[u16], den: &[u16]) -> (Vec<u16>, Vec<u16
     (quot, rem)
 }
 
+/// Horner evaluation of `coeffs` (low-order first) at `x`.
+fn eval_poly(field: &GaloisField, coeffs: &[u16], x: u16) -> u16 {
+    let mut acc = 0u16;
+    for &c in coeffs.iter().rev() {
+        acc = field.add(field.mul(acc, x), c);
+    }
+    acc
+}
+
+/// The Berlekamp–Welch core over arbitrary distinct evaluation points:
+/// finds the unique polynomial of degree `< k` whose evaluations at
+/// `points` are within `e = ⌊(points.len() − k) / 2⌋` symbol errors of
+/// `received`, returning its `k` coefficients (low-order first).
+/// Returns `None` when no codeword lies within the error capacity.
+///
+/// Shared by [`RsCode::decode`] and
+/// [`crate::justesen::JustesenCode::decode`], whose outer codes use
+/// different point sequences.
+pub(crate) fn berlekamp_welch(
+    field: &GaloisField,
+    points: &[u16],
+    received: &[u16],
+    k: usize,
+) -> Option<Vec<u16>> {
+    let n = points.len();
+    debug_assert_eq!(received.len(), n);
+    let e = (n - k) / 2;
+
+    // Unknowns: Q_0..Q_{k+e-1}, E_0..E_{e-1}  (E_e = 1 monic).
+    // Equation i: Σ_j Q_j a_i^j + r_i·Σ_{j<e} E_j a_i^j = r_i·a_i^e.
+    let cols = k + 2 * e;
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    for (i, &ai) in points.iter().enumerate() {
+        let ri = received[i];
+        let mut row = vec![0u16; cols];
+        let mut pw = 1u16;
+        for cell in row.iter_mut().take(k + e) {
+            *cell = pw;
+            pw = field.mul(pw, ai);
+        }
+        let mut pw = 1u16;
+        for cell in row.iter_mut().skip(k + e) {
+            *cell = field.mul(ri, pw);
+            pw = field.mul(pw, ai);
+        }
+        // rhs: r_i · a_i^e
+        let rhs = field.mul(ri, field.pow(ai, e as u64));
+        a.push(row);
+        b.push(rhs);
+    }
+    let x = solve_linear(field, a, b)?;
+
+    let q: Vec<u16> = x[..k + e].to_vec();
+    let mut err_loc: Vec<u16> = x[k + e..].to_vec();
+    err_loc.push(1); // monic x^e term
+
+    let (msg, rem) = poly_div(field, &q, &err_loc);
+    if rem.iter().any(|&c| c != 0) {
+        return None;
+    }
+    let mut message = vec![0u16; k];
+    for (i, slot) in message.iter_mut().enumerate() {
+        *slot = msg.get(i).copied().unwrap_or(0);
+    }
+    // Degree check: Q/E must have degree < k.
+    if msg.iter().skip(k).any(|&c| c != 0) {
+        return None;
+    }
+    // Verify: the decoded message must be within e of the received
+    // word (guards against a consistent-but-wrong solve).
+    let dist = points
+        .iter()
+        .zip(received)
+        .filter(|&(&p, &r)| eval_poly(field, &message, p) != r)
+        .count();
+    if dist > e {
+        return None;
+    }
+    Some(message)
+}
+
 impl RsCode<'_> {
     /// Decodes a received word (length `N`), correcting up to
     /// `⌊(N−K)/2⌋` symbol errors, and returns the `K` message symbols.
@@ -130,68 +220,9 @@ impl RsCode<'_> {
     pub fn decode(&self, received: &[u16]) -> Result<Vec<u16>, DecodeError> {
         let n = self.length();
         let k = self.dimension();
-        let field = self.field();
         assert_eq!(received.len(), n, "received word must have N symbols");
-        let e = (n - k) / 2;
-        let capacity = e;
-
-        // Fast path: re-encode check for the error-free case is folded
-        // into the general solve (e = 0 still works), but skip algebra
-        // when the code cannot correct anything.
-        // Unknowns: Q_0..Q_{k+e-1}, E_0..E_{e-1}  (E_e = 1 monic).
-        // Equation i: Σ_j Q_j a_i^j + r_i·Σ_{j<e} E_j a_i^j = r_i·a_i^e.
-        let points = self.points();
-        let cols = k + 2 * e;
-        let mut a = Vec::with_capacity(n);
-        let mut b = Vec::with_capacity(n);
-        for (i, &ai) in points.iter().enumerate() {
-            let ri = received[i];
-            let mut row = vec![0u16; cols];
-            let mut pw = 1u16;
-            for cell in row.iter_mut().take(k + e) {
-                *cell = pw;
-                pw = field.mul(pw, ai);
-            }
-            let mut pw = 1u16;
-            for cell in row.iter_mut().skip(k + e) {
-                *cell = field.mul(ri, pw);
-                pw = field.mul(pw, ai);
-            }
-            // rhs: r_i · a_i^e
-            let rhs = field.mul(ri, field.pow(ai, e as u64));
-            a.push(row);
-            b.push(rhs);
-        }
-        let x = solve_linear(field, a, b).ok_or(DecodeError { capacity })?;
-
-        let q: Vec<u16> = x[..k + e].to_vec();
-        let mut err_loc: Vec<u16> = x[k + e..].to_vec();
-        err_loc.push(1); // monic x^e term
-
-        let (msg, rem) = poly_div(field, &q, &err_loc);
-        if rem.iter().any(|&c| c != 0) {
-            return Err(DecodeError { capacity });
-        }
-        let mut message = vec![0u16; k];
-        for (i, slot) in message.iter_mut().enumerate() {
-            *slot = msg.get(i).copied().unwrap_or(0);
-        }
-        // Degree check: Q/E must have degree < k.
-        if msg.iter().skip(k).any(|&c| c != 0) {
-            return Err(DecodeError { capacity });
-        }
-        // Verify: the decoded message must be within e of the received
-        // word (guards against a consistent-but-wrong solve).
-        let reencoded = self.encode(&message);
-        let dist = reencoded
-            .iter()
-            .zip(received)
-            .filter(|(a, b)| a != b)
-            .count();
-        if dist > capacity {
-            return Err(DecodeError { capacity });
-        }
-        Ok(message)
+        let capacity = (n - k) / 2;
+        berlekamp_welch(self.field(), self.points(), received, k).ok_or(DecodeError { capacity })
     }
 }
 

@@ -6,7 +6,11 @@
 //! rounds and fits CONGEST (messages are one depth value of
 //! `O(log k)` bits).
 
-use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
+use crate::algorithms::coded::{codec_stats, CodecStats, CodedProtocol, MessageCodec};
+use crate::engine::{
+    BandwidthModel, Compact, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+};
+use crate::fault::FaultPlan;
 use crate::graph::{Graph, NodeId};
 
 /// Per-node state of the BFS protocol.
@@ -44,7 +48,13 @@ impl NodeProtocol for BfsNode {
     }
 
     fn is_done(&self) -> bool {
-        self.depth.is_some()
+        // Always done: quiescence then means "the flood stabilized", not
+        // "every node was reached". On a connected graph this ends at the
+        // same round as waiting for all depths (the last adopters'
+        // broadcasts are still in flight); on a disconnected graph it
+        // ends promptly instead of spinning to the round limit, and the
+        // unreached component is reported as a typed error below.
+        true
     }
 }
 
@@ -89,9 +99,10 @@ impl BfsTree {
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::RoundLimit`] if the graph is disconnected (the
-/// flood never reaches the far side), or a bandwidth violation under an
-/// unreasonably tight CONGEST budget.
+/// Returns [`EngineError::EmptyNetwork`] on a zero-node graph,
+/// [`EngineError::Unreached`] if the graph is disconnected (the flood
+/// stabilizes without reaching the far component), or a bandwidth
+/// violation under an unreasonably tight CONGEST budget.
 #[allow(clippy::needless_range_loop)]
 pub fn build_bfs_tree(
     g: &Graph,
@@ -99,6 +110,9 @@ pub fn build_bfs_tree(
     model: BandwidthModel,
 ) -> Result<(BfsTree, usize), EngineError> {
     let k = g.node_count();
+    if k == 0 {
+        return Err(EngineError::EmptyNetwork);
+    }
     let states = (0..k)
         .map(|_| BfsNode {
             root,
@@ -115,7 +129,7 @@ pub fn build_bfs_tree(
     let mut height = 0usize;
     for (v, st) in report.nodes.iter().enumerate() {
         parent[v] = st.parent;
-        depth[v] = st.depth.expect("flood reached all nodes") as usize;
+        depth[v] = st.depth.ok_or(EngineError::Unreached { node: v })? as usize;
         height = height.max(depth[v]);
         if let Some(p) = st.parent {
             children[p].push(v);
@@ -130,6 +144,77 @@ pub fn build_bfs_tree(
             height,
         },
         report.rounds,
+    ))
+}
+
+/// [`build_bfs_tree`] with messages travelling through `codec` under a
+/// [`FaultPlan`]. Flips below the codec's correction radius are fixed
+/// transparently, so the tree is identical to the fault-free one;
+/// dropped or undecodable announcements can make a node adopt a
+/// non-shortest parent (the result is still a valid rooted tree with
+/// consistent depths) or, if a node never hears any announcement,
+/// surface as [`EngineError::Unreached`].
+///
+/// # Errors
+///
+/// Same conditions as [`build_bfs_tree`].
+#[allow(clippy::needless_range_loop)]
+pub fn build_bfs_tree_coded<C>(
+    g: &Graph,
+    root: NodeId,
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    codec: C,
+) -> Result<(BfsTree, usize, CodecStats), EngineError>
+where
+    C: MessageCodec<Plain = Compact> + Clone + Send,
+    C::Wire: Send + Sync,
+{
+    let k = g.node_count();
+    if k == 0 {
+        return Err(EngineError::EmptyNetwork);
+    }
+    let states: Vec<CodedProtocol<BfsNode, C>> = (0..k)
+        .map(|_| {
+            CodedProtocol::new(
+                BfsNode {
+                    root,
+                    parent: None,
+                    depth: None,
+                },
+                codec.clone(),
+            )
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let mut scratch = EngineScratch::new();
+    let options = RunOptions::default().with_faults(plan.clone());
+    let report = net.run_with_options(states, 2 * k + 4, &mut scratch, &options)?;
+    let stats = codec_stats(&report.nodes);
+
+    let mut parent = vec![None; k];
+    let mut depth = vec![0usize; k];
+    let mut children = vec![Vec::new(); k];
+    let mut height = 0usize;
+    for (v, st) in report.nodes.iter().enumerate() {
+        let st = st.inner();
+        parent[v] = st.parent;
+        depth[v] = st.depth.ok_or(EngineError::Unreached { node: v })? as usize;
+        height = height.max(depth[v]);
+        if let Some(p) = st.parent {
+            children[p].push(v);
+        }
+    }
+    Ok((
+        BfsTree {
+            root,
+            parent,
+            depth,
+            children,
+            height,
+        },
+        report.rounds,
+        stats,
     ))
 }
 
@@ -210,6 +295,22 @@ mod tests {
     fn disconnected_graph_errors() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         let err = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap_err();
-        assert!(matches!(err, EngineError::RoundLimit { .. }));
+        assert_eq!(err, EngineError::Unreached { node: 2 });
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = Graph::from_edges(0, &[]);
+        let err = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap_err();
+        assert_eq!(err, EngineError::EmptyNetwork);
+    }
+
+    #[test]
+    fn single_node_graph_is_a_trivial_tree() {
+        let g = Graph::from_edges(1, &[]);
+        let (tree, _) = build_bfs_tree(&g, 0, BandwidthModel::Local).unwrap();
+        assert_eq!(tree.depth, vec![0]);
+        assert_eq!(tree.parent, vec![None]);
+        assert_eq!(tree.height, 0);
     }
 }

@@ -209,6 +209,9 @@ pub fn broadcast_value_observed(
         sink.add(keys::BROADCAST_ROUNDS, cost.rounds as u64);
         sink.add(keys::BROADCAST_BITS, cost.bits as u64);
     }
+    // Unreachable expect: `BcastNode::is_done` requires `value.is_some()`,
+    // and the engine only returns a successful report once every node is
+    // done, so a value is set everywhere.
     let values = report
         .nodes
         .iter()

@@ -5,7 +5,11 @@
 //! they have heard; after `D + O(1)` rounds the flood stabilizes and the
 //! node holding the global maximum knows it is the leader.
 
-use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
+use crate::algorithms::coded::{codec_stats, CodecStats, CodedProtocol, MessageCodec};
+use crate::engine::{
+    BandwidthModel, Compact, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+};
+use crate::fault::FaultPlan;
 use crate::graph::{Graph, NodeId};
 
 /// Per-node max-flood state.
@@ -55,7 +59,8 @@ impl NodeProtocol for LeaderNode {
 ///
 /// # Errors
 ///
-/// Propagates engine errors.
+/// Returns [`EngineError::EmptyNetwork`] on a zero-node graph, and
+/// propagates engine errors from the flood itself.
 ///
 /// # Panics
 ///
@@ -67,7 +72,9 @@ pub fn elect_leader(
     model: BandwidthModel,
 ) -> Result<(NodeId, usize), EngineError> {
     assert_eq!(ids.len(), g.node_count(), "one id per node");
-    let max = *ids.iter().max().expect("non-empty network");
+    let Some(&max) = ids.iter().max() else {
+        return Err(EngineError::EmptyNetwork);
+    };
     assert_eq!(
         ids.iter().filter(|&&i| i == max).count(),
         1,
@@ -83,12 +90,77 @@ pub fn elect_leader(
         .collect();
     let mut net = Network::new(g, model);
     let report = net.run(states, 2 * g.node_count() + 4)?;
+    // Unreachable expect: the unique maximum asserted above never loses a
+    // comparison, so the node holding it still has `best == my_id == max`
+    // once the flood quiesces.
     let leader = report
         .nodes
         .iter()
         .position(|n| n.my_id == n.best && n.my_id == max)
         .expect("exactly one node holds the maximum");
     Ok((leader, report.rounds))
+}
+
+/// [`elect_leader`] with messages travelling through `codec` under a
+/// [`FaultPlan`]: bit flips below the codec's correction radius are
+/// fixed transparently; undecodable or dropped floods simply re-trigger
+/// on the next improving id. The max-id holder elects itself even under
+/// heavy faults (no flood can overwrite the global maximum), but other
+/// nodes may terminate without having heard it.
+///
+/// # Errors
+///
+/// Same conditions as [`elect_leader`].
+///
+/// # Panics
+///
+/// Same conditions as [`elect_leader`].
+pub fn elect_leader_coded<C>(
+    g: &Graph,
+    ids: &[u64],
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    codec: C,
+) -> Result<(NodeId, usize, CodecStats), EngineError>
+where
+    C: MessageCodec<Plain = Compact> + Clone + Send,
+    C::Wire: Send + Sync,
+{
+    assert_eq!(ids.len(), g.node_count(), "one id per node");
+    let Some(&max) = ids.iter().max() else {
+        return Err(EngineError::EmptyNetwork);
+    };
+    assert_eq!(
+        ids.iter().filter(|&&i| i == max).count(),
+        1,
+        "maximum id must be unique"
+    );
+    let states: Vec<CodedProtocol<LeaderNode, C>> = ids
+        .iter()
+        .map(|&my_id| {
+            CodedProtocol::new(
+                LeaderNode {
+                    my_id,
+                    best: my_id,
+                    pending: false,
+                },
+                codec.clone(),
+            )
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let mut scratch = EngineScratch::new();
+    let options = RunOptions::default().with_faults(plan.clone());
+    let report = net.run_with_options(states, 2 * g.node_count() + 4, &mut scratch, &options)?;
+    let stats = codec_stats(&report.nodes);
+    // Unreachable expect: no id exceeds the unique maximum, so faults can
+    // delay but never displace the max holder's self-election.
+    let leader = report
+        .nodes
+        .iter()
+        .position(|n| n.inner().my_id == n.inner().best && n.inner().my_id == max)
+        .expect("exactly one node holds the maximum");
+    Ok((leader, report.rounds, stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,838 @@
+//! Reliable (ack/retry) tree primitives for faulty channels.
+//!
+//! The plain [`super::convergecast`] primitives assume every message
+//! arrives; one dropped message deadlocks the aggregation (a parent
+//! waits forever for a child that already reported). These variants run
+//! the same tree patterns over a stop-and-wait ARQ: every data message
+//! is acknowledged by its receiver, senders retransmit unacknowledged
+//! messages on a fixed two-round timeout (send at `r` → delivery at
+//! `r+1` → ack delivery at `r+2`) up to a bounded retry budget, and
+//! receivers stop waiting for missing senders at a deadline round. Both
+//! bounds live in [`RetryPolicy`].
+//!
+//! Degradation is graceful and *accounted*: a sender that exhausts its
+//! retries, or a receiver that hits its deadline with children still
+//! unreported, increments the failure count in [`ReliableCost`] (and
+//! the `netsim.reliable.failures` metric) instead of hanging the run.
+//! Retransmissions beyond each message's first send are counted too.
+//! With no faults injected, the primitives compute exactly what their
+//! unreliable counterparts compute.
+//!
+//! Messages are [`RelMsg`] values. Protection against *bit flips* (as
+//! opposed to drops) is layered separately: the `_coded` variants wrap
+//! the protocol in a [`super::coded::CodedProtocol`], so an
+//! error-correcting [`MessageCodec`] (e.g. the Justesen codec in
+//! `dut-congest`) can fix in-flight corruption transparently, and a
+//! word corrupted beyond the code's radius degrades into a drop that
+//! the ARQ recovers.
+
+use super::bfs::BfsTree;
+use super::coded::{
+    codec_stats, CodecMessage, CodecStats, CodedProtocol, IdentityCodec, MessageCodec,
+};
+use crate::engine::{
+    BandwidthModel, EngineError, EngineScratch, MessageSize, Network, NodeProtocol, Outbox,
+    RunOptions,
+};
+use crate::fault::{FaultInjectable, FaultPlan};
+use crate::graph::{Graph, NodeId};
+use dut_obs::{keys, NoopSink, Sink};
+
+/// One message of the reliable tree protocols.
+///
+/// Wire layout (the [`CodecMessage`] packing, and the bit positions
+/// [`FaultInjectable::flip_bit`] corrupts): bit 0 is the kind (1 =
+/// `Data`), bits 1..33 the sequence number, bits 33..97 the payload
+/// (`Data` only — an `Ack` is 33 wire bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelMsg {
+    /// A payload transmission (or retransmission) with a sequence
+    /// number for duplicate suppression.
+    Data {
+        /// Sequence number of this payload on its directed edge.
+        seq: u32,
+        /// The payload.
+        value: u64,
+    },
+    /// Acknowledges receipt of the `Data` with the same sequence
+    /// number.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u32,
+    },
+}
+
+impl MessageSize for RelMsg {
+    fn size_bits(&self) -> usize {
+        match self {
+            RelMsg::Data { .. } => 97,
+            RelMsg::Ack { .. } => 33,
+        }
+    }
+}
+
+impl CodecMessage for RelMsg {
+    const PACKED_BITS: usize = 97;
+
+    fn to_bits(&self) -> u128 {
+        match *self {
+            RelMsg::Data { seq, value } => {
+                1u128 | (u128::from(seq) << 1) | (u128::from(value) << 33)
+            }
+            RelMsg::Ack { seq } => u128::from(seq) << 1,
+        }
+    }
+
+    fn from_bits(bits: u128) -> Self {
+        let seq = ((bits >> 1) & 0xFFFF_FFFF) as u32;
+        if bits & 1 == 1 {
+            RelMsg::Data {
+                seq,
+                value: ((bits >> 33) & u128::from(u64::MAX)) as u64,
+            }
+        } else {
+            RelMsg::Ack { seq }
+        }
+    }
+}
+
+impl FaultInjectable for RelMsg {
+    fn flip_bit(&mut self, bit: usize) {
+        // Flip in the packed domain so every wire bit (kind, seq,
+        // payload) is corruptible; a flipped kind bit deterministically
+        // reinterprets the word as the other variant.
+        *self = RelMsg::from_bits(self.to_bits() ^ (1u128 << (bit % Self::PACKED_BITS)));
+    }
+}
+
+/// Retry/deadline bounds for the reliable primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per data message beyond its first send.
+    /// A sender that spends the whole budget unacknowledged gives up
+    /// (one failure).
+    pub max_retries: usize,
+    /// Round at which receivers stop waiting: a node still missing
+    /// child reports (convergecast) finalizes with what it has, and a
+    /// node still without a value (broadcast) terminates empty. One
+    /// failure per child still unreported at the deadline.
+    pub deadline: usize,
+}
+
+impl RetryPolicy {
+    /// A policy sized for `tree`: generous enough that a fault-free run
+    /// never hits either bound, and every hop can spend its full retry
+    /// budget before any deadline fires.
+    pub fn for_tree(tree: &BfsTree, max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            deadline: (tree.height + 1) * 2 * (max_retries + 1) + 8,
+        }
+    }
+
+    /// Rounds one hop's full ARQ cycle can take: `max_retries + 1`
+    /// transmissions, two rounds apart, plus the final ack flight.
+    fn stride(&self) -> usize {
+        2 * (self.max_retries + 1) + 2
+    }
+
+    /// The give-up round for a node at `depth` in a tree of `height`
+    /// when data flows *up* (convergecast): deeper nodes give up
+    /// earlier, leaving each level a full ARQ stride to forward its
+    /// (possibly partial) sum before the level above stops listening.
+    fn up_deadline(&self, depth: usize, height: usize) -> usize {
+        self.deadline + self.stride() * (height - depth)
+    }
+
+    /// The give-up round when data flows *down* (broadcast): deeper
+    /// nodes wait longer, because the value cannot reach depth `d`
+    /// before `d` ARQ strides have passed.
+    fn down_deadline(&self, depth: usize) -> usize {
+        self.deadline + self.stride() * depth
+    }
+
+    /// Round budget a run under this policy needs on `tree` before the
+    /// engine's round limit could only indicate a bug (every node is
+    /// done by its staggered deadline plus one final retry window).
+    fn max_rounds(&self, tree: &BfsTree) -> usize {
+        self.deadline + self.stride() * (tree.height + 2) + 8
+    }
+}
+
+/// Cost and fault accounting of one reliable tree operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReliableCost {
+    /// Rounds used.
+    pub rounds: usize,
+    /// Messages sent (data + acks, including dropped ones — senders are
+    /// metered before the channel).
+    pub messages: usize,
+    /// Payload bits sent.
+    pub bits: usize,
+    /// Retransmissions beyond each message's first send.
+    pub retransmits: u64,
+    /// Delivery failures: retry budgets exhausted plus children still
+    /// unreported (or unacknowledged) at the deadline.
+    pub failures: u64,
+}
+
+/// Shared stop-and-wait sender state for one directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ArqSend {
+    acked: bool,
+    gave_up: bool,
+    sends: usize,
+    last_send: Option<usize>,
+}
+
+impl ArqSend {
+    fn new() -> Self {
+        ArqSend {
+            acked: false,
+            gave_up: false,
+            sends: 0,
+            last_send: None,
+        }
+    }
+
+    fn settled(&self) -> bool {
+        self.acked || self.gave_up
+    }
+
+    /// Advances the ARQ one round; returns `Some(retransmit)` when a
+    /// send is due this round (`retransmit` = not the first), `None`
+    /// otherwise. Flips to `gave_up` when the budget is spent.
+    fn due(&mut self, round: usize, max_retries: usize) -> Option<bool> {
+        if self.settled() {
+            return None;
+        }
+        match self.last_send {
+            Some(r) if round < r + 2 => None, // ack still in flight
+            _ => {
+                if self.sends > max_retries {
+                    self.gave_up = true;
+                    None
+                } else {
+                    self.sends += 1;
+                    self.last_send = Some(round);
+                    Some(self.sends > 1)
+                }
+            }
+        }
+    }
+}
+
+/// Per-node state of the reliable convergecast.
+#[derive(Debug, Clone, PartialEq)]
+struct RConvNode {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    reported: Vec<bool>,
+    acc: u64,
+    ready: bool,
+    up: ArqSend,
+    max_retries: usize,
+    /// This node's own give-up round: the policy deadline staggered by
+    /// tree depth (deeper nodes give up earlier), so a node that
+    /// finalizes a partial sum still has a full ARQ window to push it
+    /// up before its parent stops listening.
+    deadline: usize,
+    retransmits: u64,
+    failures: u64,
+}
+
+impl NodeProtocol for RConvNode {
+    type Msg = RelMsg;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, RelMsg)],
+        out: &mut Outbox<'_, RelMsg>,
+    ) {
+        for &(from, msg) in inbox {
+            match msg {
+                RelMsg::Data { seq, value } => {
+                    if let Some(i) = self.children.iter().position(|&c| c == from) {
+                        // Accept a child's subtree sum once, and only
+                        // while this node's own sum is still open — a
+                        // report arriving after the deadline finalized
+                        // the sum was already counted as a failure.
+                        // Ack regardless, so no child retries forever.
+                        if !self.ready && !self.reported[i] {
+                            self.reported[i] = true;
+                            self.acc = self.acc.wrapping_add(value);
+                        }
+                        out.send(from, RelMsg::Ack { seq });
+                    }
+                }
+                RelMsg::Ack { .. } => {
+                    if self.parent == Some(from) {
+                        self.up.acked = true;
+                    }
+                }
+            }
+        }
+        if !self.ready {
+            let missing = self.reported.iter().filter(|r| !**r).count();
+            if missing == 0 {
+                self.ready = true;
+            } else if round >= self.deadline {
+                self.failures += missing as u64;
+                self.ready = true;
+            }
+        }
+        if self.ready && !self.up.settled() {
+            if let Some(p) = self.parent {
+                if let Some(retransmit) = self.up.due(round, self.max_retries) {
+                    if retransmit {
+                        self.retransmits += 1;
+                    }
+                    out.send(
+                        p,
+                        RelMsg::Data {
+                            seq: 0,
+                            value: self.acc,
+                        },
+                    );
+                }
+                if self.up.gave_up {
+                    self.failures += 1;
+                }
+            } else {
+                self.up.acked = true; // root has nowhere to send
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.ready && self.up.settled()
+    }
+}
+
+/// Per-node state of the reliable broadcast.
+#[derive(Debug, Clone, PartialEq)]
+struct RBcastNode {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    value: Option<u64>,
+    down: Vec<ArqSend>,
+    expired: bool,
+    max_retries: usize,
+    /// Give-up round, staggered by depth (deeper nodes wait longer —
+    /// the value reaches them later).
+    deadline: usize,
+    retransmits: u64,
+    failures: u64,
+}
+
+impl NodeProtocol for RBcastNode {
+    type Msg = RelMsg;
+
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, RelMsg)],
+        out: &mut Outbox<'_, RelMsg>,
+    ) {
+        for &(from, msg) in inbox {
+            match msg {
+                RelMsg::Data { seq, value } => {
+                    if self.parent == Some(from) {
+                        if self.value.is_none() {
+                            self.value = Some(value);
+                        }
+                        out.send(from, RelMsg::Ack { seq });
+                    }
+                }
+                RelMsg::Ack { .. } => {
+                    if let Some(i) = self.children.iter().position(|&c| c == from) {
+                        self.down[i].acked = true;
+                    }
+                }
+            }
+        }
+        if let Some(v) = self.value {
+            for (i, &child) in self.children.iter().enumerate() {
+                let was_settled = self.down[i].settled();
+                if let Some(retransmit) = self.down[i].due(round, self.max_retries) {
+                    if retransmit {
+                        self.retransmits += 1;
+                    }
+                    out.send(child, RelMsg::Data { seq: 0, value: v });
+                }
+                // `due` flips to gave-up at most once per edge; count
+                // the transition exactly then.
+                if !was_settled && self.down[i].gave_up {
+                    self.failures += 1;
+                }
+            }
+        } else if round >= self.deadline {
+            // Never reached: the parent's retry budget accounted the
+            // edge failure; just stop waiting.
+            self.expired = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.expired || (self.value.is_some() && self.down.iter().all(ArqSend::settled))
+    }
+}
+
+/// Reliable convergecast with messages travelling through `codec`:
+/// computes, at every node, the sum of `values` over its subtree
+/// (`result[tree.root]` is the grand total), tolerating message drops
+/// via ack/retry and — with an error-correcting codec — bit flips up to
+/// the code's correction radius. Returns the per-node subtree sums, the
+/// operation's cost, and the codec's correction totals.
+///
+/// Under fault injection the sums are exact whenever no failure was
+/// recorded; with `cost.failures > 0` the affected subtrees are
+/// partial.
+///
+/// # Errors
+///
+/// Propagates engine errors (CONGEST budget violations; round-limit
+/// exhaustion cannot occur under the policy's own deadline unless the
+/// graph/tree are malformed).
+///
+/// # Panics
+///
+/// Panics if `values` length does not match the graph.
+#[allow(clippy::too_many_arguments)]
+pub fn reliable_convergecast_sums_coded<C>(
+    g: &Graph,
+    tree: &BfsTree,
+    values: &[u64],
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    codec: C,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<u64>, ReliableCost, CodecStats), EngineError>
+where
+    C: MessageCodec<Plain = RelMsg> + Clone + Send,
+    C::Wire: Send + Sync,
+{
+    assert_eq!(values.len(), g.node_count(), "one value per node");
+    let states: Vec<CodedProtocol<RConvNode, C>> = (0..g.node_count())
+        .map(|v| {
+            CodedProtocol::new(
+                RConvNode {
+                    parent: tree.parent[v],
+                    children: tree.children[v].clone(),
+                    reported: vec![false; tree.children[v].len()],
+                    acc: values[v],
+                    ready: false,
+                    up: ArqSend::new(),
+                    max_retries: policy.max_retries,
+                    deadline: policy.up_deadline(tree.depth[v], tree.height),
+                    retransmits: 0,
+                    failures: 0,
+                },
+                codec.clone(),
+            )
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let mut scratch = EngineScratch::new();
+    let options = RunOptions::default().with_faults(plan.clone());
+    let report = net.run_with_options_observed(
+        states,
+        policy.max_rounds(tree),
+        &mut scratch,
+        &options,
+        sink,
+    )?;
+    let stats = codec_stats(&report.nodes);
+    let (mut retransmits, mut failures) = (0u64, 0u64);
+    let sums: Vec<u64> = report
+        .nodes
+        .iter()
+        .map(|n| {
+            retransmits += n.inner().retransmits;
+            failures += n.inner().failures;
+            n.inner().acc
+        })
+        .collect();
+    let cost = ReliableCost {
+        rounds: report.rounds,
+        messages: report.total_messages,
+        bits: report.total_bits,
+        retransmits,
+        failures,
+    };
+    record_reliable(sink, &cost);
+    Ok((sums, cost, stats))
+}
+
+/// Reliable broadcast with messages travelling through `codec`: pushes
+/// `value` from the root down the tree under ack/retry. Returns each
+/// node's received value (`None` where delivery failed for good), the
+/// operation's cost, and the codec's correction totals.
+///
+/// # Errors
+///
+/// Same conditions as [`reliable_convergecast_sums_coded`].
+#[allow(clippy::too_many_arguments)]
+pub fn reliable_broadcast_value_coded<C>(
+    g: &Graph,
+    tree: &BfsTree,
+    value: u64,
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    codec: C,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<Option<u64>>, ReliableCost, CodecStats), EngineError>
+where
+    C: MessageCodec<Plain = RelMsg> + Clone + Send,
+    C::Wire: Send + Sync,
+{
+    let states: Vec<CodedProtocol<RBcastNode, C>> = (0..g.node_count())
+        .map(|v| {
+            CodedProtocol::new(
+                RBcastNode {
+                    parent: tree.parent[v],
+                    children: tree.children[v].clone(),
+                    value: if v == tree.root { Some(value) } else { None },
+                    down: vec![ArqSend::new(); tree.children[v].len()],
+                    expired: false,
+                    max_retries: policy.max_retries,
+                    deadline: policy.down_deadline(tree.depth[v]),
+                    retransmits: 0,
+                    failures: 0,
+                },
+                codec.clone(),
+            )
+        })
+        .collect();
+    let mut net = Network::new(g, model);
+    let mut scratch = EngineScratch::new();
+    let options = RunOptions::default().with_faults(plan.clone());
+    let report = net.run_with_options_observed(
+        states,
+        policy.max_rounds(tree),
+        &mut scratch,
+        &options,
+        sink,
+    )?;
+    let stats = codec_stats(&report.nodes);
+    let (mut retransmits, mut failures) = (0u64, 0u64);
+    let received: Vec<Option<u64>> = report
+        .nodes
+        .iter()
+        .map(|n| {
+            retransmits += n.inner().retransmits;
+            failures += n.inner().failures;
+            n.inner().value
+        })
+        .collect();
+    let cost = ReliableCost {
+        rounds: report.rounds,
+        messages: report.total_messages,
+        bits: report.total_bits,
+        retransmits,
+        failures,
+    };
+    record_reliable(sink, &cost);
+    Ok((received, cost, stats))
+}
+
+fn record_reliable(sink: &mut dyn Sink, cost: &ReliableCost) {
+    if sink.enabled() {
+        sink.add(keys::NETSIM_RELIABLE_RETRANSMITS, cost.retransmits);
+        sink.add(keys::NETSIM_RELIABLE_FAILURES, cost.failures);
+    }
+}
+
+/// [`reliable_convergecast_sums_coded`] with the identity codec (ARQ
+/// only, no flip correction).
+///
+/// # Errors
+///
+/// Same conditions as [`reliable_convergecast_sums_coded`].
+///
+/// # Panics
+///
+/// Panics if `values` length does not match the graph.
+pub fn reliable_convergecast_sums(
+    g: &Graph,
+    tree: &BfsTree,
+    values: &[u64],
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+) -> Result<(Vec<u64>, ReliableCost), EngineError> {
+    reliable_convergecast_sums_observed(g, tree, values, model, plan, policy, &mut NoopSink)
+}
+
+/// [`reliable_convergecast_sums`] recording `netsim.reliable.*` metrics
+/// into `sink`.
+///
+/// # Errors
+///
+/// Same conditions as [`reliable_convergecast_sums_coded`].
+///
+/// # Panics
+///
+/// Panics if `values` length does not match the graph.
+pub fn reliable_convergecast_sums_observed(
+    g: &Graph,
+    tree: &BfsTree,
+    values: &[u64],
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<u64>, ReliableCost), EngineError> {
+    let (sums, cost, _) = reliable_convergecast_sums_coded(
+        g,
+        tree,
+        values,
+        model,
+        plan,
+        policy,
+        IdentityCodec::<RelMsg>::new(),
+        sink,
+    )?;
+    Ok((sums, cost))
+}
+
+/// [`reliable_broadcast_value_coded`] with the identity codec (ARQ
+/// only, no flip correction).
+///
+/// # Errors
+///
+/// Same conditions as [`reliable_convergecast_sums_coded`].
+pub fn reliable_broadcast_value(
+    g: &Graph,
+    tree: &BfsTree,
+    value: u64,
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+) -> Result<(Vec<Option<u64>>, ReliableCost), EngineError> {
+    reliable_broadcast_value_observed(g, tree, value, model, plan, policy, &mut NoopSink)
+}
+
+/// [`reliable_broadcast_value`] recording `netsim.reliable.*` metrics
+/// into `sink`.
+///
+/// # Errors
+///
+/// Same conditions as [`reliable_convergecast_sums_coded`].
+pub fn reliable_broadcast_value_observed(
+    g: &Graph,
+    tree: &BfsTree,
+    value: u64,
+    model: BandwidthModel,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<Option<u64>>, ReliableCost), EngineError> {
+    let (received, cost, _) = reliable_broadcast_value_coded(
+        g,
+        tree,
+        value,
+        model,
+        plan,
+        policy,
+        IdentityCodec::<RelMsg>::new(),
+        sink,
+    )?;
+    Ok((received, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::bfs::build_bfs_tree;
+    use crate::algorithms::convergecast::convergecast_sum;
+    use crate::topology;
+
+    fn tree_of(g: &Graph, root: NodeId) -> BfsTree {
+        build_bfs_tree(g, root, BandwidthModel::Local).unwrap().0
+    }
+
+    #[test]
+    fn relmsg_packing_round_trips() {
+        for msg in [
+            RelMsg::Data { seq: 0, value: 0 },
+            RelMsg::Data {
+                seq: 17,
+                value: u64::MAX,
+            },
+            RelMsg::Data {
+                seq: u32::MAX,
+                value: 0xDEAD_BEEF,
+            },
+            RelMsg::Ack { seq: 0 },
+            RelMsg::Ack { seq: u32::MAX },
+        ] {
+            assert_eq!(RelMsg::from_bits(msg.to_bits()), msg);
+        }
+        // An ack packs no payload bits.
+        assert_eq!(RelMsg::Ack { seq: 3 }.to_bits() >> 33, 0);
+    }
+
+    #[test]
+    fn relmsg_flips_act_on_packed_bits() {
+        let mut m = RelMsg::Data { seq: 1, value: 8 };
+        m.flip_bit(0); // kind bit: Data -> Ack
+        assert_eq!(m, RelMsg::Ack { seq: 1 });
+        // Flipping back yields a Data again, but the payload bits were
+        // genuinely lost in the Ack representation — zero, not 8.
+        m.flip_bit(0);
+        assert_eq!(m, RelMsg::Data { seq: 1, value: 0 });
+        m.flip_bit(1); // low seq bit
+        assert_eq!(m, RelMsg::Data { seq: 0, value: 0 });
+        m.flip_bit(33); // low payload bit
+        assert_eq!(m, RelMsg::Data { seq: 0, value: 1 });
+    }
+
+    #[test]
+    fn fault_free_matches_plain_convergecast() {
+        for g in [topology::line(12), topology::star(16), topology::grid(4, 5)] {
+            let tree = tree_of(&g, 0);
+            let values: Vec<u64> = (0..g.node_count() as u64).map(|v| v * 3 + 1).collect();
+            let (plain_total, _) =
+                convergecast_sum(&g, &tree, &values, BandwidthModel::Local).unwrap();
+            let policy = RetryPolicy::for_tree(&tree, 4);
+            let (sums, cost) = reliable_convergecast_sums(
+                &g,
+                &tree,
+                &values,
+                BandwidthModel::Local,
+                &FaultPlan::none(),
+                policy,
+            )
+            .unwrap();
+            assert_eq!(sums[tree.root], plain_total);
+            assert_eq!(cost.retransmits, 0, "no faults, no retries");
+            assert_eq!(cost.failures, 0);
+            // Per-node sums are subtree sums.
+            let sizes = tree.subtree_sizes();
+            for v in 0..g.node_count() {
+                if sizes[v] == 1 {
+                    assert_eq!(sums[v], values[v], "leaf {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retries() {
+        let g = topology::line(10);
+        let tree = tree_of(&g, 0);
+        let values: Vec<u64> = (1..=10).collect();
+        let policy = RetryPolicy::for_tree(&tree, 8);
+        let plan = FaultPlan::seeded(42).with_drops(0.3);
+        let (sums, cost) =
+            reliable_convergecast_sums(&g, &tree, &values, BandwidthModel::Local, &plan, policy)
+                .unwrap();
+        assert_eq!(cost.failures, 0, "retry budget should absorb 30% drops");
+        assert_eq!(sums[tree.root], 55, "total must be exact despite drops");
+        assert!(cost.retransmits > 0, "a 30% drop rate must force retries");
+    }
+
+    #[test]
+    fn overwhelming_drops_fail_gracefully() {
+        let g = topology::line(8);
+        let tree = tree_of(&g, 0);
+        let values = vec![1u64; 8];
+        let policy = RetryPolicy {
+            max_retries: 1,
+            deadline: 24,
+        };
+        let plan = FaultPlan::seeded(7).with_drops(0.97);
+        let (sums, cost) =
+            reliable_convergecast_sums(&g, &tree, &values, BandwidthModel::Local, &plan, policy)
+                .unwrap();
+        assert!(cost.failures > 0, "97% drops must defeat a 1-retry budget");
+        assert!(sums[tree.root] < 8, "partial total under failures");
+    }
+
+    #[test]
+    fn broadcast_fault_free_reaches_everyone() {
+        let g = topology::balanced_binary_tree(31);
+        let tree = tree_of(&g, 0);
+        let policy = RetryPolicy::for_tree(&tree, 4);
+        let (values, cost) = reliable_broadcast_value(
+            &g,
+            &tree,
+            99,
+            BandwidthModel::Local,
+            &FaultPlan::none(),
+            policy,
+        )
+        .unwrap();
+        assert!(values.iter().all(|&v| v == Some(99)));
+        assert_eq!(cost.retransmits, 0);
+        assert_eq!(cost.failures, 0);
+    }
+
+    #[test]
+    fn broadcast_recovers_from_drops() {
+        let g = topology::grid(5, 5);
+        let tree = tree_of(&g, 0);
+        let policy = RetryPolicy::for_tree(&tree, 8);
+        let plan = FaultPlan::seeded(5).with_drops(0.3);
+        let (values, cost) =
+            reliable_broadcast_value(&g, &tree, 7, BandwidthModel::Local, &plan, policy).unwrap();
+        assert!(
+            values.iter().all(|&v| v == Some(7)),
+            "ARQ must deliver everywhere: {values:?}"
+        );
+        assert!(cost.retransmits > 0);
+        assert_eq!(cost.failures, 0);
+    }
+
+    #[test]
+    fn crashed_subtree_is_accounted_not_hung() {
+        let g = topology::line(6);
+        let tree = tree_of(&g, 0); // chain 0-1-2-3-4-5
+        let values = vec![1u64; 6];
+        let policy = RetryPolicy {
+            max_retries: 2,
+            deadline: 40,
+        };
+        // Node 4 crashes immediately: node 5's reports die, and node
+        // 3 never hears from 4.
+        let plan = FaultPlan::seeded(1).with_crash(4, 0);
+        let (sums, cost) =
+            reliable_convergecast_sums(&g, &tree, &values, BandwidthModel::Local, &plan, policy)
+                .unwrap();
+        assert!(cost.failures > 0, "crash must surface as failures");
+        assert_eq!(sums[tree.root], 4, "nodes 0..=3 still counted");
+    }
+
+    #[test]
+    fn observed_run_records_reliable_keys() {
+        use dut_obs::MemorySink;
+        let g = topology::line(10);
+        let tree = tree_of(&g, 0);
+        let values = vec![1u64; 10];
+        let policy = RetryPolicy::for_tree(&tree, 8);
+        let plan = FaultPlan::seeded(42).with_drops(0.3);
+        let mut sink = MemorySink::new();
+        let (_, cost) = reliable_convergecast_sums_observed(
+            &g,
+            &tree,
+            &values,
+            BandwidthModel::Local,
+            &plan,
+            policy,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(
+            sink.counter(keys::NETSIM_RELIABLE_RETRANSMITS),
+            cost.retransmits
+        );
+        assert_eq!(sink.counter(keys::NETSIM_RELIABLE_FAILURES), cost.failures);
+        assert!(sink.counter(keys::NETSIM_FAULT_DROPPED_MESSAGES) > 0);
+    }
+}

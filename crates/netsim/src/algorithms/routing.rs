@@ -69,7 +69,12 @@ impl NodeProtocol for RouteNode {
         }
         let forward = self.queue.len().min(self.batch);
         for _ in 0..forward {
+            // Unreachable expect: `forward <= queue.len()` by construction.
             let parcel = self.queue.pop_front().expect("checked length");
+            // Reachable only by violating the documented precondition that
+            // center assignments are path-consistent (every node on a
+            // shortest path to a center shares that center); see # Panics
+            // on `route_to_centers`.
             let hop = self
                 .next_hop
                 .expect("non-center nodes have a next hop while parcels remain");
@@ -96,11 +101,15 @@ impl NodeProtocol for RouteNode {
 ///
 /// # Errors
 ///
-/// Propagates engine errors (round limit when a center is unreachable).
+/// Returns [`EngineError::Unreached`] when a node's assigned center is
+/// in another component, and propagates engine errors from the routing
+/// run itself.
 ///
 /// # Panics
 ///
-/// Panics on input length mismatches or an out-of-range center.
+/// Panics on input length mismatches, an out-of-range center, or a
+/// path-inconsistent center assignment (a node on a shortest path to a
+/// center must itself be assigned to that center).
 #[allow(clippy::needless_range_loop)]
 pub fn route_to_centers(
     g: &Graph,
@@ -127,7 +136,9 @@ pub fn route_to_centers(
             if center_of[v] != c || v == c {
                 continue;
             }
-            let dv = dist[v].expect("assigned center must be reachable");
+            let dv = dist[v].ok_or(EngineError::Unreached { node: v })?;
+            // Unreachable expect: `dv >= 1` here (v != c), so BFS
+            // guarantees a neighbor at distance `dv - 1`.
             let hop = g
                 .neighbors(v)
                 .iter()
@@ -239,6 +250,17 @@ mod tests {
         let model = BandwidthModel::Congest { bits_per_edge: 16 };
         let (delivered, _) = route_to_centers(&g, &center_of, &payloads, model, 1).unwrap();
         assert_eq!(delivered[0].len(), 16);
+    }
+
+    #[test]
+    fn unreachable_center_is_a_typed_error() {
+        // Node 2 (in the far component) is assigned to center 0.
+        let g = crate::graph::Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let center_of = vec![0, 0, 0, 2];
+        let payloads: Vec<Vec<u64>> = (0..4).map(|v| vec![v as u64]).collect();
+        let err = route_to_centers(&g, &center_of, &payloads, BandwidthModel::Local, usize::MAX)
+            .unwrap_err();
+        assert_eq!(err, EngineError::Unreached { node: 2 });
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //!    and bandwidth models, and a run's results never depend on what
 //!    the scratch was previously used for.
 
+use crate::fault::{FaultInjectable, FaultPlan};
 use crate::graph::{Csr, Graph, NodeId};
 use dut_obs::{keys, NoopSink, Sink, Span};
 use std::error::Error;
@@ -194,6 +195,15 @@ pub enum EngineError {
         /// Protocol states supplied.
         states: usize,
     },
+    /// The operation requires at least one node.
+    EmptyNetwork,
+    /// A protocol that must reach every node failed to reach `node` —
+    /// a disconnected input, or (under fault injection) a retry budget
+    /// exhausted before the node was reached.
+    Unreached {
+        /// The node that was never reached.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -219,6 +229,12 @@ impl fmt::Display for EngineError {
                 f,
                 "graph has {graph_nodes} nodes but {states} protocol states were supplied"
             ),
+            EngineError::EmptyNetwork => {
+                write!(f, "operation requires a non-empty network")
+            }
+            EngineError::Unreached { node } => {
+                write!(f, "protocol failed to reach node {node}")
+            }
         }
     }
 }
@@ -330,8 +346,9 @@ impl<'a, M> Outbox<'a, M> {
     }
 
     /// Neighbors of the sending node (so protocols need not carry the
-    /// graph around).
-    pub fn neighbors(&self) -> &[NodeId] {
+    /// graph around). The slice borrows from the engine, not from the
+    /// outbox, so it can be held across [`Outbox::send`] calls.
+    pub fn neighbors(&self) -> &'a [NodeId] {
         self.neighbors
     }
 }
@@ -349,6 +366,13 @@ pub struct RunReport<P> {
     /// The maximum bits pushed over any directed edge in any single
     /// round — must be ≤ the CONGEST budget when one is enforced.
     pub max_edge_bits_per_round: usize,
+    /// Messages lost in transit under fault injection (always 0 in an
+    /// unfaulted run). Dropped messages are still metered: the sender
+    /// paid for them, so `total_messages`/`total_bits` include them.
+    pub dropped_messages: usize,
+    /// Wire bits flipped in transit under fault injection (always 0 in
+    /// an unfaulted run).
+    pub flipped_bits: usize,
     /// Final per-node protocol states (outputs live here).
     pub nodes: Vec<P>,
 }
@@ -401,6 +425,11 @@ pub struct EngineScratch<M> {
     /// Cumulative bits sent to each neighbor position this round by the
     /// node currently being metered. Zeroed outside each window.
     edge_bits: Vec<usize>,
+    /// Per-neighbor-position message counters used by the fault paths
+    /// to number a node's messages per directed edge (the fault
+    /// stream's message index). Zeroed outside each window, like
+    /// `edge_bits`.
+    edge_msgs: Vec<usize>,
     workers: Vec<WorkerScratch<M>>,
 }
 
@@ -415,6 +444,7 @@ impl<M> Default for EngineScratch<M> {
             perm: Vec::new(),
             neighbor_pos: Vec::new(),
             edge_bits: Vec::new(),
+            edge_msgs: Vec::new(),
             workers: Vec::new(),
         }
     }
@@ -444,6 +474,8 @@ impl<M> EngineScratch<M> {
         self.neighbor_pos.resize(k, 0);
         self.edge_bits.clear();
         self.edge_bits.resize(self.csr.max_degree(), 0);
+        self.edge_msgs.clear();
+        self.edge_msgs.resize(self.csr.max_degree(), 0);
     }
 }
 
@@ -463,6 +495,13 @@ pub struct RunOptions {
     /// Minimum node count before the parallel path engages; below it the
     /// run is serial regardless of `threads`.
     pub parallel_threshold: usize,
+    /// The fault model applied to the run. [`FaultPlan::none`] (the
+    /// default) routes to the plain, unfaulted code paths, so results
+    /// are bit-identical to runs without options. Any active plan is
+    /// applied identically by the serial and parallel paths (and by
+    /// [`crate::reference::run_reference_faulted`]); see
+    /// [`crate::fault`].
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -470,6 +509,7 @@ impl Default for RunOptions {
         RunOptions {
             threads: 0,
             parallel_threshold: 512,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -488,7 +528,14 @@ impl RunOptions {
         RunOptions {
             threads,
             parallel_threshold: 0,
+            ..RunOptions::default()
         }
+    }
+
+    /// Attaches a fault plan; see [`crate::fault::FaultPlan`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     fn effective_threads(&self, nodes: usize) -> usize {
@@ -517,6 +564,10 @@ struct Metrics {
     /// the in-round max separate costs nothing per message and lets an
     /// observed run report per-round slot congestion.
     round_max_edge_bits: usize,
+    /// Messages lost to fault injection (0 on the unfaulted paths).
+    dropped_messages: usize,
+    /// Wire bits flipped by fault injection (0 on the unfaulted paths).
+    flipped_bits: usize,
 }
 
 impl Metrics {
@@ -526,6 +577,8 @@ impl Metrics {
             total_bits: 0,
             max_edge_bits: 0,
             round_max_edge_bits: 0,
+            dropped_messages: 0,
+            flipped_bits: 0,
         }
     }
 
@@ -631,6 +684,23 @@ fn record_run(sink: &mut dyn Sink, rounds: usize, metrics: &Metrics) {
         sink.add(keys::NETSIM_MESSAGES, metrics.total_messages as u64);
         sink.add(keys::NETSIM_BITS, metrics.total_bits as u64);
         sink.observe(keys::NETSIM_RUN_MAX_EDGE_BITS, metrics.max_edge_bits as u64);
+    }
+}
+
+/// Records fault-injection totals. Called only on the faulted code
+/// paths, so unfaulted observed runs emit byte-identical metric streams
+/// to what they emitted before fault injection existed.
+fn record_faults(sink: &mut dyn Sink, rounds: usize, metrics: &Metrics, plan: &FaultPlan) {
+    if sink.enabled() {
+        sink.add(
+            keys::NETSIM_FAULT_DROPPED_MESSAGES,
+            metrics.dropped_messages as u64,
+        );
+        sink.add(keys::NETSIM_FAULT_FLIPPED_BITS, metrics.flipped_bits as u64);
+        sink.add(
+            keys::NETSIM_FAULT_CRASHED_NODES,
+            plan.effective_crashes(rounds) as u64,
+        );
     }
 }
 
@@ -830,10 +900,113 @@ impl<'g> Network<'g> {
         Err(EngineError::RoundLimit { max_rounds })
     }
 
+    /// The serial loop with an active [`FaultPlan`]: crashed nodes are
+    /// skipped (and count as done), every staged message is metered at
+    /// its original size, and then the plan drops or corrupts it before
+    /// delivery. Kept separate from [`Network::run_with_scratch_observed`]
+    /// so the unfaulted path carries neither the fault branches nor the
+    /// [`FaultInjectable`] bound.
+    fn run_serial_faulted<P>(
+        &mut self,
+        states: Vec<P>,
+        max_rounds: usize,
+        scratch: &mut EngineScratch<P::Msg>,
+        plan: &FaultPlan,
+        sink: &mut dyn Sink,
+    ) -> Result<RunReport<P>, EngineError>
+    where
+        P: NodeProtocol,
+        P::Msg: FaultInjectable,
+    {
+        let mut states = self.check_states(states)?;
+        scratch.prepare(self.graph);
+        let EngineScratch {
+            csr,
+            arena,
+            inbox_offsets,
+            staged,
+            counts,
+            perm,
+            neighbor_pos,
+            edge_bits,
+            edge_msgs,
+            ..
+        } = scratch;
+        let mut metrics = Metrics::new();
+        let mut obs = RoundObs::new();
+
+        for round in 0..max_rounds {
+            let quiescent = round > 0
+                && arena.is_empty()
+                && states
+                    .iter()
+                    .enumerate()
+                    .all(|(v, s)| s.is_done() || plan.crashed(v, round));
+            if quiescent {
+                record_run(sink, round, &metrics);
+                record_faults(sink, round, &metrics, plan);
+                return Ok(finish(round, metrics, states));
+            }
+            let span = Span::start(&*sink);
+
+            for (node, state) in states.iter_mut().enumerate() {
+                if plan.crashed(node, round) {
+                    continue;
+                }
+                let nbrs = csr.neighbors(node);
+                let start = staged.len();
+                let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
+                let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
+                state.on_round(node, round, inbox, &mut out);
+                if out.index_filled() {
+                    metrics.meter_node(
+                        self.model,
+                        round,
+                        &staged[start..],
+                        neighbor_pos,
+                        edge_bits,
+                        nbrs.len(),
+                    )?;
+                    // Channel faults, after metering: the sender paid
+                    // for the original message. Surviving messages are
+                    // compacted in place, preserving send order.
+                    let mut w = start;
+                    for r in start..staged.len() {
+                        let to = staged[r].0;
+                        let pos = (neighbor_pos[to] - 1) as usize;
+                        let idx = edge_msgs[pos];
+                        edge_msgs[pos] += 1;
+                        match plan.apply(round, node, to, idx, &mut staged[r].2) {
+                            None => metrics.dropped_messages += 1,
+                            Some(flips) => {
+                                metrics.flipped_bits += flips as usize;
+                                staged.swap(w, r);
+                                w += 1;
+                            }
+                        }
+                    }
+                    staged.truncate(w);
+                    for b in edge_msgs.iter_mut().take(nbrs.len()) {
+                        *b = 0;
+                    }
+                    for &nb in nbrs {
+                        neighbor_pos[nb] = 0;
+                    }
+                }
+            }
+
+            deliver(staged, arena, inbox_offsets, counts, perm);
+            obs.end_round(sink, &mut metrics, span);
+        }
+        Err(EngineError::RoundLimit { max_rounds })
+    }
+
     /// Like [`Network::run_with_scratch`], with optional multi-threaded
-    /// node stepping for large graphs. Successful runs (and error
-    /// values) are bit-identical to the serial engine regardless of
-    /// thread count; see [`RunOptions`].
+    /// node stepping for large graphs and optional fault injection
+    /// ([`RunOptions::faults`]). Successful runs (and error values) are
+    /// bit-identical to the serial engine regardless of thread count;
+    /// see [`RunOptions`]. With [`FaultPlan::none`] the run is
+    /// bit-identical to [`Network::run_with_scratch`].
     ///
     /// # Errors
     ///
@@ -847,7 +1020,7 @@ impl<'g> Network<'g> {
     ) -> Result<RunReport<P>, EngineError>
     where
         P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
+        P::Msg: Send + Sync + FaultInjectable,
     {
         self.run_with_options_observed(states, max_rounds, scratch, options, &mut NoopSink)
     }
@@ -855,7 +1028,10 @@ impl<'g> Network<'g> {
     /// [`Network::run_with_options`] recording metrics into `sink`.
     /// Metering and observation stay serial on the merged send buffer,
     /// so the recorded metrics are bit-identical regardless of thread
-    /// count, exactly like the run results themselves.
+    /// count, exactly like the run results themselves. Fault totals
+    /// (`netsim.fault.*`) are recorded only when a plan is active, so
+    /// unfaulted observed runs emit exactly the streams they always
+    /// did.
     ///
     /// # Errors
     ///
@@ -870,13 +1046,24 @@ impl<'g> Network<'g> {
     ) -> Result<RunReport<P>, EngineError>
     where
         P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
+        P::Msg: Send + Sync + FaultInjectable,
     {
         let threads = options.effective_threads(self.graph.node_count());
+        let faults = if options.faults.is_none() {
+            None
+        } else {
+            Some(&options.faults)
+        };
         if threads <= 1 {
-            return self.run_with_scratch_observed(states, max_rounds, scratch, sink);
+            return match faults {
+                // The fault-free plan routes to the plain serial path:
+                // bit-identical to a run without options, by
+                // construction rather than by argument.
+                None => self.run_with_scratch_observed(states, max_rounds, scratch, sink),
+                Some(plan) => self.run_serial_faulted(states, max_rounds, scratch, plan, sink),
+            };
         }
-        self.run_parallel(states, max_rounds, scratch, threads, sink)
+        self.run_parallel(states, max_rounds, scratch, threads, faults, sink)
     }
 
     fn check_states<P>(&self, states: Vec<P>) -> Result<Vec<P>, EngineError> {
@@ -895,11 +1082,12 @@ impl<'g> Network<'g> {
         max_rounds: usize,
         scratch: &mut EngineScratch<P::Msg>,
         threads: usize,
+        faults: Option<&FaultPlan>,
         sink: &mut dyn Sink,
     ) -> Result<RunReport<P>, EngineError>
     where
         P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
+        P::Msg: Send + Sync + FaultInjectable,
     {
         let mut states = self.check_states(states)?;
         let k = self.graph.node_count();
@@ -921,6 +1109,7 @@ impl<'g> Network<'g> {
             perm,
             neighbor_pos,
             edge_bits,
+            edge_msgs,
             workers,
         } = scratch;
         let mut metrics = Metrics::new();
@@ -928,8 +1117,17 @@ impl<'g> Network<'g> {
         let chunk_len = k.div_ceil(threads);
 
         for round in 0..max_rounds {
-            if round > 0 && arena.is_empty() && states.iter().all(NodeProtocol::is_done) {
+            let quiescent = round > 0
+                && arena.is_empty()
+                && states
+                    .iter()
+                    .enumerate()
+                    .all(|(v, s)| s.is_done() || faults.is_some_and(|plan| plan.crashed(v, round)));
+            if quiescent {
                 record_run(sink, round, &metrics);
+                if let Some(plan) = faults {
+                    record_faults(sink, round, &metrics, plan);
+                }
                 return Ok(finish(round, metrics, states));
             }
             let span = Span::start(&*sink);
@@ -955,6 +1153,9 @@ impl<'g> Network<'g> {
                             } = worker;
                             for (off, state) in chunk.iter_mut().enumerate() {
                                 let node = base + off;
+                                if faults.is_some_and(|plan| plan.crashed(node, round)) {
+                                    continue;
+                                }
                                 let nbrs = csr.neighbors(node);
                                 let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
                                 let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
@@ -984,8 +1185,13 @@ impl<'g> Network<'g> {
 
             // Meter serially over the merged buffer. Sends of one node
             // are contiguous, so runs of equal `from` share one
-            // neighbor_pos fill.
+            // neighbor_pos fill. With faults active, each run is
+            // metered at original size and then filtered/corrupted into
+            // the compaction cursor `w` — the same per-edge message
+            // indices and survivor order the serial faulted path
+            // produces, hence bit-identical results.
             let mut i = 0;
+            let mut w = 0;
             while i < staged.len() {
                 let from = staged[i].1;
                 let nbrs = csr.neighbors(from);
@@ -1004,11 +1210,35 @@ impl<'g> Network<'g> {
                     edge_bits,
                     nbrs.len(),
                 );
+                if res.is_ok() {
+                    if let Some(plan) = faults {
+                        for r in i..j {
+                            let to = staged[r].0;
+                            let pos = (neighbor_pos[to] - 1) as usize;
+                            let idx = edge_msgs[pos];
+                            edge_msgs[pos] += 1;
+                            match plan.apply(round, from, to, idx, &mut staged[r].2) {
+                                None => metrics.dropped_messages += 1,
+                                Some(flips) => {
+                                    metrics.flipped_bits += flips as usize;
+                                    staged.swap(w, r);
+                                    w += 1;
+                                }
+                            }
+                        }
+                        for b in edge_msgs.iter_mut().take(nbrs.len()) {
+                            *b = 0;
+                        }
+                    }
+                }
                 for &nb in nbrs {
                     neighbor_pos[nb] = 0;
                 }
                 res?;
                 i = j;
+            }
+            if faults.is_some() {
+                staged.truncate(w);
             }
 
             deliver(staged, arena, inbox_offsets, counts, perm);
@@ -1024,6 +1254,8 @@ fn finish<P>(rounds: usize, metrics: Metrics, states: Vec<P>) -> RunReport<P> {
         total_messages: metrics.total_messages,
         total_bits: metrics.total_bits,
         max_edge_bits_per_round: metrics.max_edge_bits,
+        dropped_messages: metrics.dropped_messages,
+        flipped_bits: metrics.flipped_bits,
         nodes: states,
     }
 }

@@ -1,0 +1,452 @@
+//! Deterministic, seeded fault injection for the round engine.
+//!
+//! A [`FaultPlan`] describes a stochastic channel/process fault model —
+//! per-message drop probability, per-bit flip probability (a binary
+//! symmetric channel), and an optional node-crash schedule — that the
+//! engine applies while delivering messages. The plan travels in
+//! [`crate::engine::RunOptions`], so the same protocol code runs
+//! faulted or fault-free without modification.
+//!
+//! # Determinism
+//!
+//! Every fault decision is drawn from a dedicated keyed counter stream:
+//! a 64-bit block derived by a splitmix64-style mixer from
+//! `(seed, lane, round, from, to, message-index, bit-index)`, where
+//! `message-index` numbers the messages a node pushes over one directed
+//! edge within one round, in send order. The stream is *stateless* —
+//! no generator advances — so the decision for a given message depends
+//! only on its coordinates, never on evaluation order. That is what
+//! lets the flat serial engine, the parallel path (which meters a
+//! merged buffer), and the naive reference engine agree bit-for-bit on
+//! the same plan, and what makes faulted runs resumable: re-running any
+//! prefix of rounds reproduces the same faults.
+//!
+//! Protocol RNGs are untouched: fault randomness is keyed by
+//! [`FaultPlan::seed`] alone, so a faulted run with `drop_prob = 0`,
+//! `flip_prob = 0` and no crashes is bit-identical to an unfaulted run
+//! (the engine routes [`FaultPlan::none`] to the unfaulted code paths
+//! outright).
+//!
+//! # Semantics
+//!
+//! * The *sender* pays for every message it stages: metering, CONGEST
+//!   budget enforcement, and `total_bits` all see the original message.
+//!   Faults act on delivery only, mirroring a physical channel.
+//! * A dropped message simply never arrives; `dropped_messages` on the
+//!   [`crate::engine::RunReport`] counts it.
+//! * Bit flips are i.i.d. per wire bit ([`MessageSize::size_bits`] bits
+//!   per message); each flip calls [`FaultInjectable::flip_bit`] on the
+//!   in-flight copy. `flipped_bits` counts them.
+//! * A node crashed at round `c` executes no round ≥ `c`: it is skipped
+//!   by the scheduler, counts as done for quiescence, and messages that
+//!   would be delivered to it at round ≥ `c` are dropped (and counted).
+
+use crate::engine::{Compact, MessageSize};
+use crate::graph::NodeId;
+
+/// Lane constants separating the drop and flip decision streams, so a
+/// message's drop draw never correlates with its bit-flip draws.
+const LANE_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const LANE_FLIP: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// The splitmix64 finalizer: an invertible 64-bit mixer with full
+/// avalanche, used here as the block function of the keyed counter
+/// stream.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Maps a 64-bit word to a uniform `f64` in `[0, 1)` using the top 53
+/// bits (the standard exact construction).
+#[inline]
+fn u01(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A deterministic fault model for one run. See the [module
+/// docs](self) for semantics and the determinism argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Keys the fault stream. Two runs with equal seeds (and equal
+    /// protocol behavior) suffer identical faults; the seed is
+    /// independent of any protocol RNG.
+    pub seed: u64,
+    /// Probability that a message is dropped in transit, per message.
+    pub drop_prob: f64,
+    /// Probability that each wire bit of a delivered message is
+    /// flipped, independently (binary symmetric channel).
+    pub flip_prob: f64,
+    /// Crash schedule: `(node, round)` pairs; the node executes no
+    /// round ≥ `round`.
+    pub crashes: Vec<(NodeId, usize)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan. The engine recognizes it and runs the
+    /// plain, unfaulted code paths, so results are bit-identical to a
+    /// run without any plan.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            flip_prob: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A plan keyed by `seed` with no faults enabled yet; combine with
+    /// the `with_*` builders.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-bit flip probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_flips(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability {p} not in [0, 1]"
+        );
+        self.flip_prob = p;
+        self
+    }
+
+    /// Schedules `node` to crash at `round` (it executes no round ≥
+    /// `round`).
+    pub fn with_crash(mut self, node: NodeId, round: usize) -> Self {
+        self.crashes.push((node, round));
+        self
+    }
+
+    /// Whether the plan injects no faults at all (the seed is ignored:
+    /// a seeded but all-zero plan is still fault-free).
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0 && self.flip_prob == 0.0 && self.crashes.is_empty()
+    }
+
+    /// Whether `node` has crashed by `round` (inclusive).
+    pub fn crashed(&self, node: NodeId, round: usize) -> bool {
+        self.crashes.iter().any(|&(v, r)| v == node && r <= round)
+    }
+
+    /// Crash entries that took effect within a run of `rounds` rounds.
+    pub(crate) fn effective_crashes(&self, rounds: usize) -> usize {
+        self.crashes.iter().filter(|&&(_, r)| r < rounds).count()
+    }
+
+    /// One block of the keyed counter stream. Absorption is positional
+    /// (each coordinate passes through the mixer before the next is
+    /// folded in), so permuted coordinates produce unrelated blocks.
+    #[inline]
+    fn word(
+        &self,
+        lane: u64,
+        round: usize,
+        from: NodeId,
+        to: NodeId,
+        idx: usize,
+        extra: u64,
+    ) -> u64 {
+        let mut h = mix(self.seed ^ lane);
+        h = mix(h.wrapping_add(round as u64));
+        h = mix(h ^ (from as u64));
+        h = mix(h ^ (to as u64));
+        h = mix(h ^ (idx as u64));
+        mix(h ^ extra)
+    }
+
+    /// Applies channel faults to the `idx`-th message node `from` sends
+    /// to `to` in `round`. Returns `None` if the message is dropped
+    /// (including delivery to a crashed node), otherwise the number of
+    /// bits flipped in place.
+    ///
+    /// Metering happens *before* this call: the sender is charged for
+    /// the original message whether or not it survives the channel.
+    pub fn apply<M: MessageSize + FaultInjectable>(
+        &self,
+        round: usize,
+        from: NodeId,
+        to: NodeId,
+        idx: usize,
+        msg: &mut M,
+    ) -> Option<u32> {
+        // Messages sent in `round` are delivered at `round + 1`; a
+        // receiver crashed by then never processes them.
+        if self.crashed(to, round + 1) {
+            return None;
+        }
+        if self.drop_prob > 0.0
+            && u01(self.word(LANE_DROP, round, from, to, idx, 0)) < self.drop_prob
+        {
+            return None;
+        }
+        let mut flips = 0u32;
+        if self.flip_prob > 0.0 {
+            // Bit count fixed up front: flips must not change how many
+            // draws this message consumes (variable-width encodings can
+            // shrink under flips).
+            let bits = msg.size_bits();
+            for b in 0..bits {
+                if u01(self.word(LANE_FLIP, round, from, to, idx, b as u64)) < self.flip_prob {
+                    msg.flip_bit(b);
+                    flips += 1;
+                }
+            }
+        }
+        Some(flips)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Messages that can be corrupted bit-wise by the fault layer.
+///
+/// Running under [`crate::engine::RunOptions`] (which carries a
+/// [`FaultPlan`]) requires the protocol's message type to implement
+/// this; the plain `run`/`run_with_scratch` entry points do not.
+///
+/// `flip_bit(b)` flips wire bit `b`, where `b` is drawn below
+/// [`MessageSize::size_bits`] *as measured before any flip of this
+/// message*. Implementations must be deterministic; when earlier flips
+/// shrink a variable-width encoding, out-of-range `b` may be treated as
+/// a no-op or flipped at the raw position — either is fine as long as
+/// it is a pure function of `(message value, b)`.
+pub trait FaultInjectable {
+    /// Flips wire bit `bit` of this message in place.
+    fn flip_bit(&mut self, bit: usize);
+}
+
+impl FaultInjectable for () {
+    fn flip_bit(&mut self, _bit: usize) {
+        // The unit message carries no information; its 1 wire bit is
+        // pure framing.
+    }
+}
+
+impl FaultInjectable for bool {
+    fn flip_bit(&mut self, _bit: usize) {
+        *self = !*self;
+    }
+}
+
+impl FaultInjectable for u32 {
+    fn flip_bit(&mut self, bit: usize) {
+        *self ^= 1u32 << (bit % 32);
+    }
+}
+
+impl FaultInjectable for u64 {
+    fn flip_bit(&mut self, bit: usize) {
+        *self ^= 1u64 << (bit % 64);
+    }
+}
+
+impl FaultInjectable for Compact {
+    fn flip_bit(&mut self, bit: usize) {
+        self.0 ^= 1u64 << (bit % 64);
+    }
+}
+
+impl<T: MessageSize + FaultInjectable> FaultInjectable for Vec<T> {
+    fn flip_bit(&mut self, mut bit: usize) {
+        for item in self.iter_mut() {
+            let s = item.size_bits();
+            if bit < s {
+                item.flip_bit(bit);
+                return;
+            }
+            bit -= s;
+        }
+        // Empty vectors meter as 1 framing bit; nothing to corrupt.
+    }
+}
+
+impl<A, B> FaultInjectable for (A, B)
+where
+    A: MessageSize + FaultInjectable,
+    B: FaultInjectable,
+{
+    fn flip_bit(&mut self, bit: usize) {
+        let a_bits = self.0.size_bits();
+        if bit < a_bits {
+            self.0.flip_bit(bit);
+        } else {
+            self.1.flip_bit(bit - a_bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        // The seed alone does not make a plan faulty.
+        assert!(FaultPlan::seeded(42).is_none());
+        assert!(!FaultPlan::seeded(42).with_drops(0.1).is_none());
+        assert!(!FaultPlan::seeded(42).with_flips(0.1).is_none());
+        assert!(!FaultPlan::seeded(42).with_crash(0, 3).is_none());
+    }
+
+    #[test]
+    fn stream_is_stateless_and_order_independent() {
+        let plan = FaultPlan::seeded(7).with_drops(0.5);
+        let a: Vec<u64> = (0..32)
+            .map(|i| plan.word(LANE_DROP, 3, 1, 2, i, 0))
+            .collect();
+        // Re-evaluating in any order reproduces the same blocks.
+        let b: Vec<u64> = (0..32)
+            .rev()
+            .map(|i| plan.word(LANE_DROP, 3, 1, 2, i, 0))
+            .collect();
+        let b_rev: Vec<u64> = b.into_iter().rev().collect();
+        assert_eq!(a, b_rev);
+    }
+
+    #[test]
+    fn coordinates_decorrelate() {
+        let plan = FaultPlan::seeded(7);
+        // Swapping from/to, or shifting the same delta between round
+        // and idx, must not collide.
+        assert_ne!(
+            plan.word(LANE_DROP, 0, 1, 2, 0, 0),
+            plan.word(LANE_DROP, 0, 2, 1, 0, 0)
+        );
+        assert_ne!(
+            plan.word(LANE_DROP, 1, 1, 2, 0, 0),
+            plan.word(LANE_DROP, 0, 1, 2, 1, 0)
+        );
+        assert_ne!(
+            plan.word(LANE_DROP, 0, 1, 2, 0, 0),
+            plan.word(LANE_FLIP, 0, 1, 2, 0, 0)
+        );
+    }
+
+    #[test]
+    fn u01_stays_in_unit_interval() {
+        let plan = FaultPlan::seeded(0xABCD);
+        for i in 0..1000 {
+            let x = u01(plan.word(LANE_FLIP, i, 0, 1, 0, 0));
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(11).with_drops(0.25);
+        let mut dropped = 0;
+        let trials = 20_000;
+        for i in 0..trials {
+            let mut msg = 0u64;
+            if plan.apply(i, 0, 1, 0, &mut msg).is_none() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn flip_rate_tracks_probability_per_bit() {
+        let plan = FaultPlan::seeded(12).with_flips(0.1);
+        let mut flips = 0u64;
+        let trials = 2_000;
+        for i in 0..trials {
+            let mut msg = u64::MAX; // 64 wire bits
+            flips += u64::from(plan.apply(i, 0, 1, 0, &mut msg).unwrap());
+        }
+        let rate = flips as f64 / (trials * 64) as f64;
+        assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
+    }
+
+    #[test]
+    fn flips_are_reported_accurately() {
+        let plan = FaultPlan::seeded(13).with_flips(0.2);
+        for i in 0..200 {
+            let original = 0xDEAD_BEEFu64;
+            let mut msg = original;
+            let flips = plan.apply(i, 2, 3, 1, &mut msg).unwrap();
+            assert_eq!((msg ^ original).count_ones(), flips);
+        }
+    }
+
+    #[test]
+    fn crash_schedule_is_inclusive() {
+        let plan = FaultPlan::seeded(1).with_crash(4, 10);
+        assert!(!plan.crashed(4, 9));
+        assert!(plan.crashed(4, 10));
+        assert!(plan.crashed(4, 11));
+        assert!(!plan.crashed(3, 11));
+        // Messages delivered at the crash round are dropped.
+        let mut msg = 1u64;
+        assert_eq!(plan.apply(9, 0, 4, 0, &mut msg), None);
+        assert!(plan.apply(8, 0, 4, 0, &mut msg).is_some());
+        assert_eq!(plan.effective_crashes(11), 1);
+        assert_eq!(plan.effective_crashes(10), 0);
+    }
+
+    #[test]
+    fn compound_messages_route_flips() {
+        // Vec<u64>: bit 70 lands in the second element, bit 6.
+        let mut v = vec![0u64, 0u64];
+        v.flip_bit(70);
+        assert_eq!(v, vec![0, 1 << 6]);
+
+        // (Compact, u64): Compact(5) is 3 wire bits, so bit 3 is the
+        // second component's bit 0.
+        let mut pair = (Compact(5), 0u64);
+        pair.flip_bit(3);
+        assert_eq!(pair, (Compact(5), 1));
+        pair.flip_bit(1);
+        assert_eq!(pair, (Compact(7), 1));
+    }
+
+    #[test]
+    fn same_seed_same_faults_different_seed_different_faults() {
+        let a = FaultPlan::seeded(5).with_drops(0.3);
+        let b = FaultPlan::seeded(5).with_drops(0.3);
+        let c = FaultPlan::seeded(6).with_drops(0.3);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..256)
+                .map(|i| {
+                    let mut m = 0u64;
+                    p.apply(0, 0, 1, i, &mut m).is_none()
+                })
+                .collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c));
+    }
+}

@@ -25,6 +25,8 @@
 //!   distributed BFS-tree construction, max-id leader election,
 //!   convergecast aggregation and broadcast, and Luby's MIS (on power
 //!   graphs `G^r`, as the LOCAL tester requires).
+//! * [`fault`] — deterministic, seeded fault injection (message drops,
+//!   bit flips, node crashes) applied identically by every engine path.
 //! * [`power`] — power-graph construction `G^r`.
 //!
 //! # Example: flooding a token
@@ -67,10 +69,12 @@
 
 pub mod algorithms;
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod power;
 pub mod reference;
 pub mod topology;
 
 pub use engine::{BandwidthModel, EngineScratch, Network, RunOptions, RunReport};
+pub use fault::{FaultInjectable, FaultPlan};
 pub use graph::{Csr, DegreeStats, Graph, NodeId};

@@ -12,6 +12,7 @@
 //! Use [`crate::engine::Network`] for real work.
 
 use crate::engine::{BandwidthModel, EngineError, MessageSize, NodeProtocol, Outbox, RunReport};
+use crate::fault::{FaultInjectable, FaultPlan};
 use crate::graph::{Graph, NodeId};
 use dut_obs::{keys, NoopSink, Sink, Span};
 
@@ -81,6 +82,8 @@ pub fn run_reference_observed<P: NodeProtocol>(
                 total_messages,
                 total_bits,
                 max_edge_bits_per_round: max_edge_bits,
+                dropped_messages: 0,
+                flipped_bits: 0,
                 nodes: states,
             });
         }
@@ -127,6 +130,173 @@ pub fn run_reference_observed<P: NodeProtocol>(
                 total_messages += 1;
                 total_bits += bits;
                 next_inboxes[to].push((node, msg));
+            }
+        }
+
+        for b in inboxes.iter_mut() {
+            b.clear();
+        }
+        std::mem::swap(&mut inboxes, &mut next_inboxes);
+        max_edge_bits = max_edge_bits.max(round_max);
+        if sink.enabled() {
+            sink.observe(
+                keys::REFERENCE_ROUND_MESSAGES,
+                (total_messages - prev_messages) as u64,
+            );
+            sink.observe(keys::REFERENCE_ROUND_BITS, (total_bits - prev_bits) as u64);
+            sink.observe(keys::REFERENCE_ROUND_MAX_EDGE_BITS, round_max as u64);
+            span.finish(sink, keys::REFERENCE_ROUND_NANOS);
+        }
+    }
+    Err(EngineError::RoundLimit { max_rounds })
+}
+
+/// [`run_reference`] under an active [`FaultPlan`], in the naive style:
+/// per-send linear scans for CONGEST accounting *and* for the per-edge
+/// message index that keys the fault stream. This is the executable
+/// specification of faulted execution the flat engine's serial and
+/// parallel fault paths are differentially tested against.
+///
+/// Semantics mirror the flat engine exactly: crashed nodes are skipped
+/// and count as done for quiescence; every send is metered at its
+/// original size (the sender pays even for dropped messages); the plan
+/// then drops or bit-flips the message before delivery.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::engine::Network::run`].
+pub fn run_reference_faulted<P>(
+    graph: &Graph,
+    model: BandwidthModel,
+    states: Vec<P>,
+    max_rounds: usize,
+    plan: &FaultPlan,
+) -> Result<RunReport<P>, EngineError>
+where
+    P: NodeProtocol,
+    P::Msg: FaultInjectable,
+{
+    run_reference_faulted_observed(graph, model, states, max_rounds, plan, &mut NoopSink)
+}
+
+/// [`run_reference_faulted`] recording metrics into `sink` under the
+/// `reference.*` keys, plus the `reference.fault.*` fault totals.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::engine::Network::run`].
+pub fn run_reference_faulted_observed<P>(
+    graph: &Graph,
+    model: BandwidthModel,
+    states: Vec<P>,
+    max_rounds: usize,
+    plan: &FaultPlan,
+    sink: &mut dyn Sink,
+) -> Result<RunReport<P>, EngineError>
+where
+    P: NodeProtocol,
+    P::Msg: FaultInjectable,
+{
+    let k = graph.node_count();
+    if states.len() != k {
+        return Err(EngineError::NodeCountMismatch {
+            graph_nodes: k,
+            states: states.len(),
+        });
+    }
+    let mut states = states;
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+    let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); k];
+    let mut neighbor_pos: Vec<u32> = vec![0; k];
+    let mut total_messages = 0usize;
+    let mut total_bits = 0usize;
+    let mut max_edge_bits = 0usize;
+    let mut dropped_messages = 0usize;
+    let mut flipped_bits = 0usize;
+
+    for round in 0..max_rounds {
+        let in_flight = inboxes.iter().any(|b| !b.is_empty());
+        let quiescent = round > 0
+            && !in_flight
+            && states
+                .iter()
+                .enumerate()
+                .all(|(v, s)| s.is_done() || plan.crashed(v, round));
+        if quiescent {
+            if sink.enabled() {
+                sink.add(keys::REFERENCE_RUNS, 1);
+                sink.add(keys::REFERENCE_ROUNDS, round as u64);
+                sink.add(keys::REFERENCE_MESSAGES, total_messages as u64);
+                sink.add(keys::REFERENCE_BITS, total_bits as u64);
+                sink.add(
+                    keys::REFERENCE_FAULT_DROPPED_MESSAGES,
+                    dropped_messages as u64,
+                );
+                sink.add(keys::REFERENCE_FAULT_FLIPPED_BITS, flipped_bits as u64);
+            }
+            return Ok(RunReport {
+                rounds: round,
+                total_messages,
+                total_bits,
+                max_edge_bits_per_round: max_edge_bits,
+                dropped_messages,
+                flipped_bits,
+                nodes: states,
+            });
+        }
+        let span = Span::start(&*sink);
+        let (prev_messages, prev_bits) = (total_messages, total_bits);
+        let mut round_max = 0usize;
+
+        for (node, state) in states.iter_mut().enumerate() {
+            if plan.crashed(node, round) {
+                continue;
+            }
+            let neighbors = graph.neighbors(node);
+            let mut sends: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+            let mut out = Outbox::new(node, neighbors, &mut neighbor_pos, &mut sends);
+            state.on_round(node, round, &inboxes[node], &mut out);
+            for &nb in neighbors {
+                neighbor_pos[nb] = 0;
+            }
+
+            // Per-destination bit totals and message counts; the count
+            // is the fault stream's per-edge message index.
+            let mut sent_to: Vec<(NodeId, usize, usize)> = Vec::new();
+            for (to, _, mut msg) in sends {
+                let bits = msg.size_bits();
+                let (entry, idx) = match sent_to.iter_mut().find(|(d, _, _)| *d == to) {
+                    Some(e) => {
+                        e.1 += bits;
+                        e.2 += 1;
+                        (e.1, e.2 - 1)
+                    }
+                    None => {
+                        sent_to.push((to, bits, 1));
+                        (bits, 0)
+                    }
+                };
+                if let BandwidthModel::Congest { bits_per_edge } = model {
+                    if entry > bits_per_edge {
+                        return Err(EngineError::BandwidthExceeded {
+                            from: node,
+                            to,
+                            round,
+                            bits: entry,
+                            budget: bits_per_edge,
+                        });
+                    }
+                }
+                round_max = round_max.max(entry);
+                total_messages += 1;
+                total_bits += bits;
+                match plan.apply(round, node, to, idx, &mut msg) {
+                    None => dropped_messages += 1,
+                    Some(flips) => {
+                        flipped_bits += flips as usize;
+                        next_inboxes[to].push((node, msg));
+                    }
+                }
             }
         }
 

@@ -12,8 +12,9 @@ use dut_netsim::engine::{
     BandwidthModel, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
     RunReport,
 };
+use dut_netsim::fault::{FaultInjectable, FaultPlan};
 use dut_netsim::graph::{Graph, NodeId};
-use dut_netsim::reference::run_reference;
+use dut_netsim::reference::{run_reference, run_reference_faulted};
 use dut_netsim::topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -207,7 +208,7 @@ fn assert_reports_equal<P: PartialEq + std::fmt::Debug>(
 fn differential<P>(label: &str, g: &Graph, model: BandwidthModel, states: Vec<P>, max_rounds: usize)
 where
     P: NodeProtocol + Clone + PartialEq + std::fmt::Debug + Send,
-    P::Msg: Send + Sync,
+    P::Msg: Send + Sync + FaultInjectable,
 {
     let reference = run_reference(g, model, states.clone(), max_rounds)
         .unwrap_or_else(|e| panic!("{label}: reference failed: {e}"));
@@ -346,6 +347,192 @@ fn round_limit_errors_match_reference() {
             .run_with_options(states, 7, &mut scratch, &RunOptions::parallel(3))
             .unwrap_err();
         assert_eq!(ref_err, parallel_err, "{name}: parallel error");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection equivalence
+// ---------------------------------------------------------------------
+
+/// The fault plans the matrix runs under: drops only, flips only, a
+/// crash schedule, and all three together.
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("drops", FaultPlan::seeded(0xFA01).with_drops(0.15)),
+        ("flips", FaultPlan::seeded(0xFA02).with_flips(0.01)),
+        ("crash", FaultPlan::seeded(0xFA03).with_crash(1, 2)),
+        (
+            "mixed",
+            FaultPlan::seeded(0xFA04)
+                .with_drops(0.1)
+                .with_flips(0.005)
+                .with_crash(2, 3),
+        ),
+    ]
+}
+
+fn assert_outcomes_equal<P: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reference: &Result<RunReport<P>, EngineError>,
+    candidate: &Result<RunReport<P>, EngineError>,
+) {
+    match (reference, candidate) {
+        (Ok(r), Ok(c)) => assert_reports_equal(label, r, c),
+        (Err(r), Err(c)) => assert_eq!(r, c, "{label}: error values"),
+        (r, c) => panic!(
+            "{label}: outcomes diverge: reference ok={} vs candidate ok={}",
+            r.is_ok(),
+            c.is_ok()
+        ),
+    }
+}
+
+/// Runs `states` under `plan` three ways — faulted reference, flat
+/// serial, flat parallel (3 threads) — and asserts the three outcomes
+/// are bit-identical: same reports and final states on success, same
+/// error values on failure. Faults can legitimately push a protocol
+/// into an error (an unreached flood hits the round limit), so both
+/// paths are compared.
+fn fault_differential<P>(
+    label: &str,
+    g: &Graph,
+    model: BandwidthModel,
+    states: Vec<P>,
+    max_rounds: usize,
+    plan: &FaultPlan,
+) where
+    P: NodeProtocol + Clone + PartialEq + std::fmt::Debug + Send,
+    P::Msg: Send + Sync + FaultInjectable,
+{
+    let reference = run_reference_faulted(g, model, states.clone(), max_rounds, plan);
+
+    let mut net = Network::new(g, model);
+    let mut scratch = EngineScratch::new();
+    let serial_options = RunOptions::default().with_faults(plan.clone());
+    let serial = net.run_with_options(states.clone(), max_rounds, &mut scratch, &serial_options);
+    assert_outcomes_equal(&format!("{label} (serial)"), &reference, &serial);
+
+    let parallel_options = RunOptions::parallel(3).with_faults(plan.clone());
+    let parallel = net.run_with_options(states, max_rounds, &mut scratch, &parallel_options);
+    assert_outcomes_equal(&format!("{label} (parallel)"), &reference, &parallel);
+}
+
+#[test]
+fn faulted_flood_matches_reference_on_full_matrix() {
+    for (plan_name, plan) in fault_plans() {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            fault_differential(
+                &format!("flood/{plan_name}/{name}"),
+                &g,
+                BandwidthModel::Local,
+                vec![Flood { seen: false }; k],
+                4 * k,
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_bfs_matches_reference_on_full_matrix() {
+    for (plan_name, plan) in fault_plans() {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            fault_differential(
+                &format!("bfs/{plan_name}/{name}"),
+                &g,
+                BandwidthModel::Congest { bits_per_edge: 64 },
+                vec![Bfs { dist: None }; k],
+                4 * k,
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_max_id_matches_reference_on_full_matrix() {
+    for (plan_name, plan) in fault_plans() {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            let states: Vec<MaxId> = (0..k)
+                .map(|v| MaxId::new(((v as u64).wrapping_mul(0x9E37) % 251) + 1))
+                .collect();
+            fault_differential(
+                &format!("max-id/{plan_name}/{name}"),
+                &g,
+                BandwidthModel::Local,
+                states,
+                4 * k,
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_bandwidth_errors_match_reference_on_full_matrix() {
+    // Senders pay for dropped messages, so the metering — and the exact
+    // offending edge/round/bits of the violation — must agree under
+    // faults too.
+    for (plan_name, plan) in fault_plans() {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            let states: Vec<FatSender> = (0..k)
+                .map(|_| FatSender {
+                    trigger_node: 3,
+                    trigger_round: 1,
+                })
+                .collect();
+            fault_differential(
+                &format!("fat-sender/{plan_name}/{name}"),
+                &g,
+                BandwidthModel::Congest { bits_per_edge: 512 },
+                states,
+                16,
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_round_limit_errors_match_reference_on_full_matrix() {
+    for (plan_name, plan) in fault_plans() {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            fault_differential(
+                &format!("chatter/{plan_name}/{name}"),
+                &g,
+                BandwidthModel::Local,
+                vec![Chatter; k],
+                7,
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fault_plan_matches_unfaulted_run() {
+    // FaultPlan::none() and a seeded-but-all-zero plan must both take
+    // the plain path: identical reports to a run without any options.
+    for plan in [FaultPlan::none(), FaultPlan::seeded(0x5EED)] {
+        for (name, g) in topologies() {
+            let k = g.node_count();
+            let plain = {
+                let mut net = Network::new(&g, BandwidthModel::Local);
+                net.run(vec![Bfs { dist: None }; k], 4 * k).unwrap()
+            };
+            let mut net = Network::new(&g, BandwidthModel::Local);
+            let mut scratch = EngineScratch::new();
+            let options = RunOptions::default().with_faults(plan.clone());
+            let faulted = net
+                .run_with_options(vec![Bfs { dist: None }; k], 4 * k, &mut scratch, &options)
+                .unwrap();
+            assert_reports_equal(&format!("bfs-zero-fault/{name}"), &plain, &faulted);
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use dut_netsim::engine::{BandwidthModel, Network, NodeProtocol, Outbox};
 use dut_netsim::graph::{Graph, NodeId};
 use dut_netsim::reference::{run_reference, run_reference_observed};
 use dut_netsim::{topology, EngineScratch, RunOptions};
-use dut_obs::{keys, MemorySink, NoopSink, Sink};
+use dut_obs::{keys, MemorySink, NoopSink};
 
 /// Flood with a 32-bit payload so bit totals are non-trivial.
 #[derive(Clone, Debug)]

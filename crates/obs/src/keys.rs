@@ -30,6 +30,24 @@ pub const NETSIM_ROUND_NANOS: &str = "netsim.round.nanos";
 /// Histogram: per-run max bits on any directed edge in any round.
 pub const NETSIM_RUN_MAX_EDGE_BITS: &str = "netsim.run.max_edge_bits";
 
+// ---------------------------------------------------- netsim fault layer
+
+/// Counter: messages dropped in transit by fault injection (the sender
+/// was still metered for them). Recorded only on faulted runs.
+pub const NETSIM_FAULT_DROPPED_MESSAGES: &str = "netsim.fault.dropped_messages";
+/// Counter: wire bits flipped in transit by fault injection. Recorded
+/// only on faulted runs.
+pub const NETSIM_FAULT_FLIPPED_BITS: &str = "netsim.fault.flipped_bits";
+/// Counter: scheduled node crashes that took effect within the run.
+pub const NETSIM_FAULT_CRASHED_NODES: &str = "netsim.fault.crashed_nodes";
+/// Counter: retransmissions performed by the reliable (ack/retry) tree
+/// primitives, beyond each message's first transmission.
+pub const NETSIM_RELIABLE_RETRANSMITS: &str = "netsim.reliable.retransmits";
+/// Counter: delivery failures in the reliable tree primitives — a
+/// sender exhausted its retry budget, or a receiver hit its deadline
+/// with children still unreported.
+pub const NETSIM_RELIABLE_FAILURES: &str = "netsim.reliable.failures";
+
 // ------------------------------------------------------- netsim reference
 
 /// Counter: reference-engine runs completed.
@@ -48,6 +66,12 @@ pub const REFERENCE_ROUND_BITS: &str = "reference.round.bits";
 pub const REFERENCE_ROUND_MAX_EDGE_BITS: &str = "reference.round.max_edge_bits";
 /// Histogram: wall-clock nanoseconds per reference-engine round.
 pub const REFERENCE_ROUND_NANOS: &str = "reference.round.nanos";
+/// Counter: messages dropped by fault injection in the reference
+/// engine (differential mirror of `netsim.fault.dropped_messages`).
+pub const REFERENCE_FAULT_DROPPED_MESSAGES: &str = "reference.fault.dropped_messages";
+/// Counter: wire bits flipped by fault injection in the reference
+/// engine (differential mirror of `netsim.fault.flipped_bits`).
+pub const REFERENCE_FAULT_FLIPPED_BITS: &str = "reference.fault.flipped_bits";
 
 // ------------------------------------------------- netsim tree primitives
 
@@ -100,6 +124,21 @@ pub const CONGEST_BITS: &str = "congest.bits";
 pub const CONGEST_PACKAGES: &str = "congest.packages";
 /// Counter: rejecting packages across runs.
 pub const CONGEST_REJECTING_PACKAGES: &str = "congest.rejecting_packages";
+/// Counter: robust (fault-tolerant) CONGEST tester runs.
+pub const CONGEST_ROBUST_RUNS: &str = "congest.robust.runs";
+/// Counter: wire bits corrected by the Justesen message codec across
+/// robust runs (flips below the certified radius, fixed transparently).
+pub const CONGEST_ECC_CORRECTED_BITS: &str = "congest.ecc.corrected_bits";
+/// Counter: codewords the Justesen codec failed to decode (corruption
+/// beyond the certified radius); each is treated as a dropped message
+/// and left to the retry layer.
+pub const CONGEST_ECC_DECODE_FAILURES: &str = "congest.ecc.decode_failures";
+/// Counter: retransmissions performed by the robust tester's ARQ
+/// phases (residue, forwarding, aggregation, broadcast).
+pub const CONGEST_ROBUST_RETRANSMITS: &str = "congest.robust.retransmits";
+/// Counter: unrecovered delivery failures in robust runs (retry budget
+/// or deadline exhausted somewhere in the pipeline).
+pub const CONGEST_ROBUST_FAILURES: &str = "congest.robust.failures";
 
 // ----------------------------------------------------------------- local
 
