@@ -21,6 +21,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> fault differential suite (serial == parallel == reference, faulted)"
 cargo test --release -p dut-netsim --test differential -q
 
+echo "==> testkit lane (exact oracles, strategies, regression suite)"
+cargo test --release -p dut-testkit -q
+
+echo "==> overflow-checks lane (arithmetic panics surface in release codecs)"
+RUSTFLAGS="-C overflow-checks=on" \
+    cargo test --release -p dut-ecc -p dut-distributions -q \
+    --target-dir target/overflow-checks
+
+echo "==> fixed-seed codec-corruption smoke (RS + Justesen, seeded)"
+cargo test --release -p dut-testkit --test fuzz_drivers -q
+
 echo "==> fixed-seed fault-sweep smoke (E13, quick scale)"
 cargo run --release -p dut-bench --bin experiments -- --quick e13 > /dev/null
 

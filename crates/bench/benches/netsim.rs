@@ -179,23 +179,24 @@ fn bench_montecarlo(c: &mut Criterion) {
     let trials = 20_000;
     group.bench_function("mc_gap_20k/before_alloc", |b| {
         b.iter(|| {
-            black_box(estimate_failure_rate(trials, 7, |seed| {
-                let mut rng = trial_rng(seed);
-                tester.run(&uniform, &mut rng) == Decision::Reject
-            }))
+            black_box(
+                estimate_failure_rate(trials, 7, |seed| {
+                    let mut rng = trial_rng(seed);
+                    tester.run(&uniform, &mut rng) == Decision::Reject
+                })
+                .expect("trials > 0"),
+            )
         })
     });
     group.bench_function("mc_gap_20k/after_scratch", |b| {
         b.iter(|| {
-            black_box(estimate_failure_rate_with_state(
-                trials,
-                7,
-                TesterScratch::new,
-                |seed, scratch| {
+            black_box(
+                estimate_failure_rate_with_state(trials, 7, TesterScratch::new, |seed, scratch| {
                     let mut rng = trial_rng(seed);
                     tester.run_with_scratch(&uniform, &mut rng, scratch) == Decision::Reject
-                },
-            ))
+                })
+                .expect("trials > 0"),
+            )
         })
     });
 

@@ -55,6 +55,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             estimate_failure_rate(trials, 101, move |seed| {
                 t.run(&u, &mut trial_rng(seed)) == Decision::Reject
             })
+            .expect("trials > 0")
         };
         let ok = est.lower <= tester.delta();
         completeness.push_row(vec![
@@ -82,6 +83,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 estimate_failure_rate(trials, 211, move |seed| {
                     t.run(&far, &mut trial_rng(seed)) == Decision::Reject
                 })
+                .expect("trials > 0")
             };
             let ok = est.upper >= bound;
             soundness.push_row(vec![

@@ -87,7 +87,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let far = paninski_far(n, eps).expect("valid far instance");
         let mc = estimate_failure_rate(mc_trials, 303 + k as u64, move |seed| {
             node.run(&far, &mut trial_rng(seed)) == Decision::Reject
-        });
+        })
+        .expect("trials > 0");
 
         let comp_err = 1.0 - (1.0 - p_u).powi(k as i32);
         let sound_err = (1.0 - p_f).powi(k as i32);

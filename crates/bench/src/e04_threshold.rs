@@ -83,7 +83,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let far = paninski_far(n, eps).expect("valid far instance");
         let mc = estimate_failure_rate(mc_trials, 403 + k as u64, move |seed| {
             node.run(&far, &mut trial_rng(seed)) == Decision::Reject
-        });
+        })
+        .expect("trials > 0");
 
         let comp_err = binomial_tail_ge(k, p_u, plan.threshold);
         let sound_err = binomial_cdf(k, p_f, plan.threshold.saturating_sub(1));

@@ -57,6 +57,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             estimate_failure_rate(trials, 1001, move |seed| {
                 counting.run(&u, &mut trial_rng(seed)) == Decision::Reject
             })
+            .expect("trials > 0")
             .rate
         };
         let cc_f = {
@@ -64,6 +65,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             estimate_failure_rate(trials, 1002, move |seed| {
                 counting.run(&f, &mut trial_rng(seed)) == Decision::Accept
             })
+            .expect("trials > 0")
             .rate
         };
         let singleton = SingletonCountTester::with_samples(n, s, eps).expect("valid");
@@ -72,6 +74,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             estimate_failure_rate(trials, 1005, move |seed| {
                 singleton.run(&u, &mut trial_rng(seed)) == Decision::Reject
             })
+            .expect("trials > 0")
             .rate
         };
         let sc_f = {
@@ -79,6 +82,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             estimate_failure_rate(trials, 1006, move |seed| {
                 singleton.run(&f, &mut trial_rng(seed)) == Decision::Accept
             })
+            .expect("trials > 0")
             .rate
         };
         // Single-collision tester at the same s (δ saturates near 1 for
@@ -89,11 +93,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 let su = estimate_failure_rate(trials, 1003, move |seed| {
                     g.run(&u, &mut trial_rng(seed)) == Decision::Reject
                 })
+                .expect("trials > 0")
                 .rate;
                 let f = far.clone();
                 let sf = estimate_failure_rate(trials, 1004, move |seed| {
                     g.run(&f, &mut trial_rng(seed)) == Decision::Accept
                 })
+                .expect("trials > 0")
                 .rate;
                 fmt_f(su.max(sf))
             }

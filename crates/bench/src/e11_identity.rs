@@ -71,7 +71,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let mut rng = trial_rng(seed);
             let oracle = FilteredOracle::new(&filter_c, &mu_c);
             central.run(&oracle, &mut rng) != expect
-        });
+        })
+        .expect("trials > 0");
         t.push_row(vec![
             label.to_string(),
             if expect == Decision::Accept {

@@ -1,0 +1,11 @@
+//! Seeded fault-plan fuzz smoke for token packaging, using the shared
+//! driver from `dut-testkit`. The larger sweep lives in
+//! `crates/testkit/tests/fuzz_drivers.rs`; this lane keeps a fast
+//! regression signal inside the crate that owns the protocol.
+
+use dut_testkit::fuzz::fuzz_token_packaging;
+
+#[test]
+fn token_packaging_fault_smoke() {
+    fuzz_token_packaging(0xC09E_5701, 120).assert_contract();
+}

@@ -77,4 +77,5 @@ pub mod zero_round;
 pub use decision::Decision;
 pub use error::PlanError;
 pub use gap::GapTester;
+pub use montecarlo::MonteCarloError;
 pub use scratch::TesterScratch;

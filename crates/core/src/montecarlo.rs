@@ -10,7 +10,31 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Why a Monte-Carlo estimate could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonteCarloError {
+    /// `trials == 0`: an estimate over no trials has no defined rate or
+    /// interval.
+    ZeroTrials,
+}
+
+impl fmt::Display for MonteCarloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonteCarloError::ZeroTrials => {
+                write!(f, "monte-carlo estimation needs at least one trial")
+            }
+        }
+    }
+}
+
+impl Error for MonteCarloError {}
 
 /// A Monte-Carlo estimate of a failure probability, with a Wilson score
 /// confidence interval.
@@ -46,22 +70,49 @@ impl ErrorEstimate {
         let denom = 1.0 + z2 / n;
         let center = (p + z2 / (2.0 * n)) / denom;
         let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        // At the degenerate counts the Wilson endpoints are exactly 0
+        // and 1 (the sqrt term collapses to z/2n and cancels); pin them
+        // so rounding noise cannot make `certified_*` claim a strict
+        // bound the data does not support.
+        let lower = if failures == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
+        let upper = if failures == trials {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
         ErrorEstimate {
             trials,
             failures,
             rate: p,
-            lower: (center - half).max(0.0),
-            upper: (center + half).min(1.0),
+            lower,
+            upper,
             z,
         }
     }
 
     /// Whether the interval certifies the rate is below `bound`.
+    ///
+    /// The comparison is **strict** at the endpoint: an interval whose
+    /// `upper` equals `bound` exactly is *not* certified below it. In
+    /// particular `certified_below(1.0)` is false for an all-failure
+    /// estimate (`upper == 1.0`), and `certified_below(0.0)` is always
+    /// false. Certification is one-sided: `!certified_below(b)` does
+    /// not imply `certified_above(b)` — the interval may straddle `b`.
     pub fn certified_below(&self, bound: f64) -> bool {
         self.upper < bound
     }
 
     /// Whether the interval certifies the rate is above `bound`.
+    ///
+    /// Strict at the endpoint, mirroring
+    /// [`certified_below`](Self::certified_below): an interval whose
+    /// `lower` equals `bound` exactly is *not* certified above it, so
+    /// `certified_above(0.0)` is false for a zero-failure estimate
+    /// (`lower == 0.0`) and `certified_above(1.0)` is always false.
     pub fn certified_above(&self, bound: f64) -> bool {
         self.lower > bound
     }
@@ -75,10 +126,21 @@ impl ErrorEstimate {
 /// the estimate is reproducible and independent of the number of worker
 /// threads.
 ///
+/// # Errors
+///
+/// Returns [`MonteCarloError::ZeroTrials`] if `trials == 0`.
+///
 /// # Panics
 ///
-/// Panics if `trials == 0`.
-pub fn estimate_failure_rate<F>(trials: usize, base_seed: u64, trial: F) -> ErrorEstimate
+/// If a trial closure panics, the **original panic payload** is
+/// re-raised on the calling thread (not a generic "worker panicked"
+/// message), so `catch_unwind`-based harnesses and test assertions see
+/// the trial's own message.
+pub fn estimate_failure_rate<F>(
+    trials: usize,
+    base_seed: u64,
+    trial: F,
+) -> Result<ErrorEstimate, MonteCarloError>
 where
     F: Fn(u64) -> bool + Sync,
 {
@@ -95,50 +157,92 @@ where
 /// estimate is identical to `estimate_failure_rate`'s for the same
 /// `base_seed` — state only carries buffers, never statistics.
 ///
+/// # Errors
+///
+/// Returns [`MonteCarloError::ZeroTrials`] if `trials == 0`.
+///
 /// # Panics
 ///
-/// Panics if `trials == 0`.
+/// Re-raises the original payload of the first observed trial panic,
+/// as [`estimate_failure_rate`] does.
 pub fn estimate_failure_rate_with_state<S, I, F>(
     trials: usize,
     base_seed: u64,
     init: I,
     trial: F,
-) -> ErrorEstimate
+) -> Result<ErrorEstimate, MonteCarloError>
 where
     I: Fn() -> S + Sync,
     F: Fn(u64, &mut S) -> bool + Sync,
 {
-    assert!(trials > 0, "need at least one trial");
+    if trials == 0 {
+        return Err(MonteCarloError::ZeroTrials);
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(trials);
     let failures = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    // First trial-panic payload, carried across the scope join so the
+    // caller sees the trial's own panic, not the scope's generic one.
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
-                let mut state = init();
-                let mut local = 0usize;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
-                        break;
+                // `init` and `trial` run under `catch_unwind` so a
+                // panicking trial closure stops this worker cleanly;
+                // the payload is stashed instead of unwinding through
+                // the scope (which would replace it with "a scoped
+                // thread panicked").
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init();
+                    let mut local = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        // Mix the index into the seed (splitmix64-style) so
+                        // nearby trials do not share RNG streams.
+                        let seed =
+                            splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        if trial(seed, &mut state) {
+                            local += 1;
+                        }
                     }
-                    // Mix the index into the seed (splitmix64-style) so
-                    // nearby trials do not share RNG streams.
-                    let seed =
-                        splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    if trial(seed, &mut state) {
-                        local += 1;
+                    local
+                }));
+                match caught {
+                    Ok(local) => {
+                        failures.fetch_add(local, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        // Stop the other workers early; the estimate is
+                        // void anyway.
+                        next.fetch_add(trials, Ordering::Relaxed);
+                        let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
                     }
                 }
-                failures.fetch_add(local, Ordering::Relaxed);
             });
         }
-    })
-    .expect("monte-carlo worker panicked");
-    ErrorEstimate::from_counts(trials, failures.load(Ordering::Relaxed), 1.96)
+    });
+    // Workers catch their own panics, so the scope itself cannot fail.
+    let () = scope_result.expect("worker panics are caught inside the workers");
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
+        resume_unwind(payload);
+    }
+    Ok(ErrorEstimate::from_counts(
+        trials,
+        failures.load(Ordering::Relaxed),
+        1.96,
+    ))
 }
 
 /// Convenience: a seeded [`StdRng`] for use inside trial closures.
@@ -200,15 +304,15 @@ mod tests {
     #[test]
     fn estimate_is_deterministic() {
         let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
-        let a = estimate_failure_rate(10_000, 7, f);
-        let b = estimate_failure_rate(10_000, 7, f);
+        let a = estimate_failure_rate(10_000, 7, f).unwrap();
+        let b = estimate_failure_rate(10_000, 7, f).unwrap();
         assert_eq!(a.failures, b.failures);
     }
 
     #[test]
     fn estimate_converges_to_truth() {
         let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.3;
-        let e = estimate_failure_rate(100_000, 11, f);
+        let e = estimate_failure_rate(100_000, 11, f).unwrap();
         assert!((e.rate - 0.3).abs() < 0.01, "rate {} far from 0.3", e.rate);
         assert!(e.lower <= 0.3 && 0.3 <= e.upper);
     }
@@ -216,7 +320,7 @@ mod tests {
     #[test]
     fn with_state_matches_stateless() {
         let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
-        let a = estimate_failure_rate(10_000, 7, f);
+        let a = estimate_failure_rate(10_000, 7, f).unwrap();
         // Per-worker counters must not perturb seeding or counting.
         let b = estimate_failure_rate_with_state(
             10_000,
@@ -226,15 +330,58 @@ mod tests {
                 *calls += 1;
                 f(seed)
             },
-        );
+        )
+        .unwrap();
         assert_eq!(a.failures, b.failures);
     }
 
     #[test]
     fn different_seeds_give_different_streams() {
         let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.5;
-        let a = estimate_failure_rate(10_000, 1, f);
-        let b = estimate_failure_rate(10_000, 2, f);
+        let a = estimate_failure_rate(10_000, 1, f).unwrap();
+        let b = estimate_failure_rate(10_000, 2, f).unwrap();
         assert_ne!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn zero_trials_is_typed_error() {
+        // The seed code panicked here via `assert!`.
+        let err = estimate_failure_rate(0, 7, |_| false).unwrap_err();
+        assert_eq!(err, MonteCarloError::ZeroTrials);
+        let err = estimate_failure_rate_with_state(0, 7, || (), |_, ()| false).unwrap_err();
+        assert_eq!(err, MonteCarloError::ZeroTrials);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_propagated() {
+        // The seed code joined workers through the scoped-thread shim,
+        // which replaces the payload with "a scoped thread panicked".
+        let caught = std::panic::catch_unwind(|| {
+            let _ = estimate_failure_rate(100, 7, |seed| {
+                if seed % 3 == 0 {
+                    panic!("distinctive trial failure 0xBEEF");
+                }
+                false
+            });
+        })
+        .expect_err("a trial panicked");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("distinctive trial failure 0xBEEF"),
+            "payload was not preserved: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn certification_is_strict_at_endpoints() {
+        let all = ErrorEstimate::from_counts(100, 100, 1.96);
+        assert!(!all.certified_below(1.0));
+        let none = ErrorEstimate::from_counts(100, 0, 1.96);
+        assert!(!none.certified_above(0.0));
+        assert!(!none.certified_below(0.0));
     }
 }

@@ -32,7 +32,8 @@
 //!         let mut rng = trial_rng(seed);
 //!         tester.run_with_scratch(&uniform, &mut rng, scratch) == Decision::Reject
 //!     },
-//! );
+//! )
+//! .unwrap();
 //! assert!(estimate.rate <= 0.1);
 //! ```
 

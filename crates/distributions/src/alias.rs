@@ -22,7 +22,12 @@ impl AliasTable {
     ///
     /// Weights need not be normalized; they are normalized internally.
     /// Panics if the weight vector is empty or sums to a non-positive
-    /// value — callers ([`DiscreteDistribution`]) validate first.
+    /// or non-finite value — callers ([`DiscreteDistribution`])
+    /// validate first. The finiteness assert matters: a `+inf` total
+    /// (one infinite weight, or finite weights whose sum overflows)
+    /// would make `scale == 0` and silently degenerate the sampler, so
+    /// it must fail loudly here rather than sample from the wrong
+    /// distribution.
     ///
     /// [`DiscreteDistribution`]: crate::DiscreteDistribution
     pub(crate) fn new(weights: &[f64]) -> Self {
@@ -34,6 +39,10 @@ impl AliasTable {
         let n = weights.len();
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "alias table weights must have positive sum");
+        assert!(
+            total.is_finite(),
+            "alias table weights must have a finite sum"
+        );
 
         // Scale so the average column is exactly 1.
         let scale = n as f64 / total;

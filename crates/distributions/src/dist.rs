@@ -90,7 +90,10 @@ impl DiscreteDistribution {
     ///
     /// Returns [`DistributionError::EmptyDomain`] for an empty vector,
     /// [`DistributionError::InvalidMass`] for negative/non-finite weights,
-    /// and [`DistributionError::NotNormalized`] if all weights are zero.
+    /// and [`DistributionError::NotNormalized`] if all weights are zero or
+    /// their sum overflows `f64` (individually finite weights like two
+    /// `f64::MAX` entries can still sum to `+inf`, which would normalize
+    /// every entry to zero and leave the sampler degenerate).
     pub fn from_weights(weights: Vec<f64>) -> Result<Self, DistributionError> {
         if weights.is_empty() {
             return Err(DistributionError::EmptyDomain);
@@ -101,7 +104,7 @@ impl DiscreteDistribution {
             }
         }
         let sum: f64 = weights.iter().sum();
-        if sum <= 0.0 {
+        if sum <= 0.0 || !sum.is_finite() {
             return Err(DistributionError::NotNormalized { sum });
         }
         let pmf: Vec<f64> = weights.iter().map(|w| w / sum).collect();
@@ -284,6 +287,23 @@ mod tests {
     fn from_weights_rejects_all_zero() {
         let err = DiscreteDistribution::from_weights(vec![0.0, 0.0]).unwrap_err();
         assert!(matches!(err, DistributionError::NotNormalized { .. }));
+    }
+
+    #[test]
+    fn from_weights_rejects_overflowing_sum() {
+        // Each weight is finite, but the sum overflows to +inf; the seed
+        // code panicked inside the alias-table construction here.
+        let err = DiscreteDistribution::from_weights(vec![f64::MAX, f64::MAX]).unwrap_err();
+        assert!(matches!(err, DistributionError::NotNormalized { .. }));
+    }
+
+    #[test]
+    fn from_weights_rejects_infinite_weight() {
+        let err = DiscreteDistribution::from_weights(vec![1.0, f64::INFINITY]).unwrap_err();
+        assert!(matches!(
+            err,
+            DistributionError::InvalidMass { index: 1, .. }
+        ));
     }
 
     #[test]

@@ -59,28 +59,54 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
     ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
 }
 
+/// Slop allowed when snapping `epsilon` onto the `[0, 1]` endpoints.
+///
+/// Callers that derive ε from an integer grid — `1/⌈1/ε⌉`-style
+/// parameter planning is ubiquitous in the experiment harnesses — can
+/// land a few ulps outside the closed interval (e.g. `1.0 + 2e-16`, or
+/// `-1e-17` from a subtraction). Those are representation artifacts of
+/// a mathematically valid ε, not caller bugs, so they are snapped to
+/// the endpoint instead of panicking.
+const EPSILON_SNAP: f64 = 1e-9;
+
 /// Exact probability that `s` iid samples from the paired distribution
 /// with per-pair masses `((1+ε)/n, (1−ε)/n)` are all distinct.
 ///
 /// `epsilon = 0` gives the uniform distribution on `n` elements;
 /// `epsilon > 0` gives the Paninski ε-far family. `n` must be even.
 ///
+/// Degenerate edges are total rather than panics: `s = 0` returns `1`
+/// (an empty sample set is vacuously all-distinct), and `epsilon`
+/// within `1e-9` of an endpoint of `[0, 1]` is snapped onto
+/// it (at `ε = 1` the light element of every pair has zero mass, so the
+/// support degenerates to `n/2` elements and `s > n/2` always
+/// collides).
+///
 /// # Panics
 ///
-/// Panics for odd `n`, `epsilon ∉ [0, 1]`, or `s = 0`.
+/// Panics for odd `n`, or `epsilon` outside `[0, 1]` by more than the
+/// snap tolerance (including NaN).
 pub fn paninski_all_distinct_probability(n: usize, epsilon: f64, s: usize) -> f64 {
     assert!(
         n >= 2 && n.is_multiple_of(2),
         "paired family needs an even domain"
     );
-    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
-    assert!(s >= 1, "need at least one sample");
+    assert!(
+        (-EPSILON_SNAP..=1.0 + EPSILON_SNAP).contains(&epsilon),
+        "epsilon must be in [0, 1] (within rounding slop), got {epsilon}"
+    );
+    let epsilon = epsilon.clamp(0.0, 1.0);
+    if s == 0 {
+        return 1.0;
+    }
     if s > n {
         return 0.0;
     }
     let m = (n / 2) as u64; // number of pairs
     let c1 = 2.0 / n as f64;
-    let c2 = (1.0 - epsilon * epsilon) / (n as f64 * n as f64);
+    // Clamped: after the ε snap this cannot go negative, but keep the
+    // guard local so `ln` below never sees a negative argument.
+    let c2 = ((1.0 - epsilon * epsilon) / (n as f64 * n as f64)).max(0.0);
     let ln_c1 = c1.ln();
     // c2 = 0 at epsilon = 1: only the j = 0 term survives.
     let ln_c2 = if c2 > 0.0 { c2.ln() } else { f64::NEG_INFINITY };
@@ -110,6 +136,10 @@ pub fn paninski_all_distinct_probability(n: usize, epsilon: f64, s: usize) -> f6
 
 /// Exact rejection probability (`Pr[some collision]`) of the
 /// single-collision gap tester with `s` samples on the paired family.
+///
+/// Shares the edge behavior of [`paninski_all_distinct_probability`]:
+/// `s = 0` returns `0` (no samples, no collision), and `epsilon` is
+/// snapped onto `[0, 1]` within the rounding tolerance.
 pub fn paninski_rejection_probability(n: usize, epsilon: f64, s: usize) -> f64 {
     1.0 - paninski_all_distinct_probability(n, epsilon, s)
 }
@@ -220,5 +250,37 @@ mod tests {
     #[test]
     fn oversampled_domain_always_collides() {
         assert_eq!(paninski_all_distinct_probability(10, 0.0, 11), 0.0);
+    }
+
+    #[test]
+    fn zero_samples_are_vacuously_distinct() {
+        // The seed code panicked on s = 0; an empty sample set has no
+        // collision by definition.
+        assert_eq!(paninski_all_distinct_probability(100, 0.5, 0), 1.0);
+        assert_eq!(paninski_rejection_probability(100, 0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn epsilon_endpoint_rounding_is_snapped() {
+        // 1/⌈1/ε⌉-style planning can land a few ulps outside [0, 1];
+        // the seed code panicked here.
+        let over = 1.0 + 1e-12;
+        let under = -1e-12;
+        assert_eq!(
+            paninski_all_distinct_probability(20, over, 5),
+            paninski_all_distinct_probability(20, 1.0, 5)
+        );
+        assert_eq!(
+            paninski_all_distinct_probability(20, under, 5),
+            paninski_all_distinct_probability(20, 0.0, 5)
+        );
+        // Snapped ε = 1 keeps the degenerate-support behavior exact.
+        assert_eq!(paninski_all_distinct_probability(20, over, 11), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_far_out_of_range_still_panics() {
+        let _ = paninski_all_distinct_probability(20, 1.5, 5);
     }
 }

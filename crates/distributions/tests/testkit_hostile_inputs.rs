@@ -1,0 +1,32 @@
+//! Cross-crate checks driven by `dut-testkit` strategies: constructor
+//! totality on hostile weight vectors (NaN, infinities, negatives,
+//! denormals, overflow-prone magnitudes) and round-trip sanity on
+//! well-formed pmfs.
+
+use dut_distributions::DiscreteDistribution;
+use dut_testkit::strategies::{hostile_weights, pmf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn from_weights_is_total_on_hostile_vectors(weights in hostile_weights(1, 13)) {
+        // Any typed outcome is acceptable; only a panic fails the case.
+        let _ = DiscreteDistribution::from_weights(weights);
+    }
+
+    #[test]
+    fn from_pmf_is_total_on_hostile_vectors(masses in hostile_weights(1, 13)) {
+        let _ = DiscreteDistribution::from_pmf(masses);
+    }
+
+    #[test]
+    fn from_pmf_accepts_generated_pmfs(masses in pmf(1, 48)) {
+        let dist = DiscreteDistribution::from_pmf(masses.clone())
+            .expect("strategy emits normalized pmfs");
+        prop_assert_eq!(dist.domain_size(), masses.len());
+        let total: f64 = dist.pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+}

@@ -114,19 +114,18 @@ impl JustesenCode {
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError`] when the inner-decoded symbols are not
-    /// within the outer code's error capacity of any codeword.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `received` has fewer than `output_bits` bits.
+    /// Returns [`DecodeError::WrongLength`] if `received` carries fewer
+    /// than `output_bits` bits, and [`DecodeError::BeyondCapacity`]
+    /// when the inner-decoded symbols are not within the outer code's
+    /// error capacity of any codeword.
     pub fn decode(&self, received: &[u64]) -> Result<Vec<u64>, DecodeError> {
         let m = self.symbol_bits();
-        assert!(
-            received.len() * 64 >= self.output_bits(),
-            "received word too short for {} bits",
-            self.output_bits()
-        );
+        if received.len() * 64 < self.output_bits() {
+            return Err(DecodeError::WrongLength {
+                expected: self.output_bits(),
+                actual: received.len() * 64,
+            });
+        }
         let capacity = self.certified_correction_radius();
         // Inner decode: nearest Wozencraft codeword at each position.
         let mut symbols = Vec::with_capacity(self.n_outer);
@@ -150,7 +149,7 @@ impl JustesenCode {
         // Outer decode at the same points the encoder evaluated.
         let points: Vec<u16> = (0..self.n_outer).map(|i| self.field.alpha_pow(i)).collect();
         let message = berlekamp_welch(&self.field, &points, &symbols, self.k_outer)
-            .ok_or(DecodeError { capacity })?;
+            .ok_or(DecodeError::BeyondCapacity { capacity })?;
         let mut out = vec![0u64; self.input_bits().div_ceil(64)];
         for (i, &s) in message.iter().enumerate() {
             set_bits(&mut out, i * m, m, s);
@@ -381,7 +380,7 @@ mod tests {
             cw[bit / 64] ^= 1u64 << (bit % 64);
         }
         match c.decode(&cw) {
-            Err(e) => assert_eq!(e.capacity, c.certified_correction_radius()),
+            Err(e) => assert_eq!(e.capacity(), Some(c.certified_correction_radius())),
             Ok(decoded) => assert_ne!(decoded, msg),
         }
     }

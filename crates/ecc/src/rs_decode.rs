@@ -21,23 +21,54 @@ use crate::rs::RsCode;
 use std::error::Error;
 use std::fmt;
 
-/// Decoding failure: more errors than the code can correct (or an
-/// inconsistent word).
+/// Decoding failure. Decoders must be total on adversarial input —
+/// coded protocol paths feed them whatever arrives off the wire — so
+/// every rejection is a typed variant here, never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecodeError {
-    /// The maximum number of errors the code can correct — outer
-    /// *symbols* for [`crate::rs::RsCode`], wire *bits* for
+pub enum DecodeError {
+    /// More errors than the code can correct (or an inconsistent word).
+    BeyondCapacity {
+        /// The maximum number of errors the code can correct — outer
+        /// *symbols* for [`crate::rs::RsCode`], wire *bits* for
+        /// [`crate::justesen::JustesenCode`].
+        capacity: usize,
+    },
+    /// The received word has the wrong length — exactly `N` symbols for
+    /// [`crate::rs::RsCode`], at least `output_bits` bits for
     /// [`crate::justesen::JustesenCode`].
-    pub capacity: usize,
+    WrongLength {
+        /// The length the decoder requires (symbols for RS, bits for
+        /// Justesen).
+        expected: usize,
+        /// The length actually received (in the same unit).
+        actual: usize,
+    },
+}
+
+impl DecodeError {
+    /// The error capacity for [`DecodeError::BeyondCapacity`], `None`
+    /// otherwise. Convenience for call sites that only care about the
+    /// undecodable case.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            DecodeError::BeyondCapacity { capacity } => Some(*capacity),
+            DecodeError::WrongLength { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "received word is not decodable within {} symbol errors",
-            self.capacity
-        )
+        match self {
+            DecodeError::BeyondCapacity { capacity } => write!(
+                f,
+                "received word is not decodable within {capacity} symbol errors"
+            ),
+            DecodeError::WrongLength { expected, actual } => write!(
+                f,
+                "received word has length {actual}, decoder requires {expected}"
+            ),
+        }
     }
 }
 
@@ -100,12 +131,13 @@ fn solve_linear(field: &GaloisField, mut a: Vec<Vec<u16>>, mut b: Vec<u16>) -> O
 }
 
 /// Polynomial long division `num / den` over the field; returns
-/// `(quotient, remainder)`. Leading zeros are tolerated.
-fn poly_div(field: &GaloisField, num: &[u16], den: &[u16]) -> (Vec<u16>, Vec<u16>) {
+/// `(quotient, remainder)`, or `None` when `den` is the zero
+/// polynomial. Leading zeros are tolerated. Degenerate divisors are a
+/// decode failure for the callers, not a programming error, so this
+/// must not panic.
+fn poly_div(field: &GaloisField, num: &[u16], den: &[u16]) -> Option<(Vec<u16>, Vec<u16>)> {
     let deg = |p: &[u16]| p.iter().rposition(|&c| c != 0);
-    let Some(dd) = deg(den) else {
-        panic!("division by the zero polynomial");
-    };
+    let dd = deg(den)?;
     let mut rem: Vec<u16> = num.to_vec();
     let mut quot = vec![0u16; num.len().max(1)];
     while let Some(dn) = deg(&rem) {
@@ -120,7 +152,7 @@ fn poly_div(field: &GaloisField, num: &[u16], den: &[u16]) -> (Vec<u16>, Vec<u16
             rem[i + shift] = field.add(rem[i + shift], sub);
         }
     }
-    (quot, rem)
+    Some((quot, rem))
 }
 
 /// Horner evaluation of `coeffs` (low-order first) at `x`.
@@ -180,7 +212,7 @@ pub(crate) fn berlekamp_welch(
     let mut err_loc: Vec<u16> = x[k + e..].to_vec();
     err_loc.push(1); // monic x^e term
 
-    let (msg, rem) = poly_div(field, &q, &err_loc);
+    let (msg, rem) = poly_div(field, &q, &err_loc)?;
     if rem.iter().any(|&c| c != 0) {
         return None;
     }
@@ -211,18 +243,21 @@ impl RsCode<'_> {
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError`] when the word is not within the error
-    /// capacity of any codeword.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `received` does not have exactly `N` symbols.
+    /// Returns [`DecodeError::WrongLength`] if `received` does not have
+    /// exactly `N` symbols, and [`DecodeError::BeyondCapacity`] when
+    /// the word is not within the error capacity of any codeword.
     pub fn decode(&self, received: &[u16]) -> Result<Vec<u16>, DecodeError> {
         let n = self.length();
         let k = self.dimension();
-        assert_eq!(received.len(), n, "received word must have N symbols");
+        if received.len() != n {
+            return Err(DecodeError::WrongLength {
+                expected: n,
+                actual: received.len(),
+            });
+        }
         let capacity = (n - k) / 2;
-        berlekamp_welch(self.field(), self.points(), received, k).ok_or(DecodeError { capacity })
+        berlekamp_welch(self.field(), self.points(), received, k)
+            .ok_or(DecodeError::BeyondCapacity { capacity })
     }
 }
 
@@ -286,7 +321,7 @@ mod tests {
                 let d = re.iter().zip(&cw).filter(|(a, b)| a != b).count();
                 assert!(d <= 4);
             }
-            Err(e) => assert_eq!(e.capacity, 4),
+            Err(e) => assert_eq!(e, DecodeError::BeyondCapacity { capacity: 4 }),
         }
     }
 
@@ -333,12 +368,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "N symbols")]
-    fn wrong_length_panics() {
+    fn wrong_length_is_typed_error() {
         let (f, msg) = setup();
         let rs = RsCode::new(&f, 16, 8);
         let cw = rs.encode(&msg);
-        let _ = rs.decode(&cw[..10]);
+        assert_eq!(
+            rs.decode(&cw[..10]).unwrap_err(),
+            DecodeError::WrongLength {
+                expected: 16,
+                actual: 10
+            }
+        );
+        let mut long = cw.clone();
+        long.push(0);
+        assert!(matches!(
+            rs.decode(&long).unwrap_err(),
+            DecodeError::WrongLength { actual: 17, .. }
+        ));
     }
 
     #[test]
@@ -347,8 +393,15 @@ mod tests {
         // (x^2 + 1) = (x + 1)(x + 1) over GF(2^m)
         let num = vec![1u16, 0, 1];
         let den = vec![1u16, 1];
-        let (q, r) = poly_div(&f, &num, &den);
+        let (q, r) = poly_div(&f, &num, &den).unwrap();
         assert!(r.iter().all(|&c| c == 0));
         assert_eq!(&q[..2], &[1, 1]);
+    }
+
+    #[test]
+    fn poly_div_by_zero_polynomial_is_none() {
+        let f = GaloisField::new(4);
+        assert!(poly_div(&f, &[1u16, 0, 1], &[0u16, 0]).is_none());
+        assert!(poly_div(&f, &[1u16], &[]).is_none());
     }
 }

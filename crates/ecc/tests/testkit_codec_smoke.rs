@@ -1,0 +1,16 @@
+//! Seeded differential-fuzz smoke for the codecs, using the shared
+//! drivers from `dut-testkit`. The full 10^4-case sweeps live in
+//! `crates/testkit/tests/fuzz_drivers.rs`; these lanes keep a fast
+//! regression signal inside the crate that owns the decoders.
+
+use dut_testkit::fuzz::{fuzz_justesen_codec, fuzz_rs_codec};
+
+#[test]
+fn rs_codec_corruption_smoke() {
+    fuzz_rs_codec(0xECC_5EED, 1_000).assert_contract();
+}
+
+#[test]
+fn justesen_codec_corruption_smoke() {
+    fuzz_justesen_codec(0xECC_5EEE, 600).assert_contract();
+}

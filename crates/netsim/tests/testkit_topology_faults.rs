@@ -1,0 +1,38 @@
+//! Property checks on the netsim primitives, driven by the shared
+//! `dut-testkit` strategies: every generated topology must be a
+//! simple, connected, undirected graph, and fault plans must classify
+//! themselves consistently.
+
+use dut_testkit::strategies::{fault_plan, topology_graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_topologies_are_connected_simple_and_symmetric(g in topology_graph(2, 24)) {
+        prop_assert!(g.node_count() >= 1);
+        prop_assert!(g.is_connected());
+        for v in 0..g.node_count() {
+            for &u in g.neighbors(v) {
+                prop_assert_ne!(u, v, "self-loop at {}", v);
+                prop_assert!(
+                    g.neighbors(u).contains(&v),
+                    "edge {}->{} missing its reverse", v, u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plans_classify_themselves_consistently(plan in fault_plan(8, 16, 0.3, 0.3)) {
+        let quiet = plan.drop_prob == 0.0
+            && plan.flip_prob == 0.0
+            && plan.crashes.is_empty();
+        prop_assert_eq!(plan.is_none(), quiet);
+        for &(node, round) in &plan.crashes {
+            prop_assert!(plan.crashed(node, round), "crash entry not visible at its own round");
+            prop_assert!(plan.crashed(node, round + 1), "crashes must be permanent");
+        }
+    }
+}

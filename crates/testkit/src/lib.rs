@@ -1,0 +1,38 @@
+//! Cross-crate correctness tooling for the distributed-uniformity-testing
+//! workspace.
+//!
+//! Every `dut-*` crate tests the same three kinds of objects — discrete
+//! distributions, network/fault configurations, and coded wire words —
+//! and before this crate each test tree grew its own ad-hoc generators
+//! and its own half-reference implementations to check against. This
+//! crate centralizes that machinery:
+//!
+//! * [`strategies`] — proptest strategies shared by every crate's test
+//!   tree: valid probability mass functions, *hostile* weight vectors
+//!   (NaN/±inf/denormal/negative entries, overflowing sums),
+//!   far-from-uniform family instances, graph topologies, and seeded
+//!   [`dut_netsim::fault::FaultPlan`]s.
+//! * [`oracles`] — exact small-`n` reference oracles, implemented
+//!   independently of the production closed forms: brute-force and
+//!   elementary-symmetric all-distinct probabilities (the failure law
+//!   of the single-collision gap tester), reference L1 distance and
+//!   collision probability χ. Agreement tests pit these against
+//!   `dut_distributions::exact` and `dut_core::montecarlo`.
+//! * [`fuzz`] — seeded differential fuzz drivers: Reed–Solomon and
+//!   Justesen codec round-trips under random corruption at, below, and
+//!   beyond the certified radius, and token packaging under randomized
+//!   fault plans. Drivers run decode paths under `catch_unwind` and
+//!   report — the typed-error contract of the decoders means a panic is
+//!   always a bug.
+//!
+//! The crate is a *dev-dependency* of the crates it exercises (Cargo
+//! permits the cycle: `dut-testkit` depends on `dut-ecc`, and `dut-ecc`
+//! dev-depends on `dut-testkit`), so the same strategies and oracles are
+//! usable from every test tree without duplication.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fuzz;
+pub mod oracles;
+pub mod strategies;

@@ -1,0 +1,175 @@
+//! Exact small-`n` reference oracles.
+//!
+//! These are *independent* implementations of quantities the production
+//! crates compute with optimized closed forms, so the two sides can be
+//! pitted against each other:
+//!
+//! * `dut_distributions::exact::paninski_all_distinct_probability`
+//!   evaluates a binomial-sum closed form in log space, specialized to
+//!   pair-perturbation families. [`all_distinct_probability`] here runs
+//!   the elementary-symmetric DP on the *explicit pmf* — any pmf, no
+//!   logs, no binomials — and
+//!   [`all_distinct_probability_exhaustive`] literally enumerates
+//!   ordered sample tuples for tiny instances.
+//! * `dut_core::montecarlo::estimate_failure_rate` reports Wilson
+//!   intervals around a Monte-Carlo rate; the oracles give the exact
+//!   rate those intervals must cover.
+//!
+//! Agreement tests live in this crate's `tests/` tree and in the
+//! downstream crates' test trees.
+
+/// Elementary symmetric polynomial `e_s(p_0, …, p_{n−1})` by the
+/// standard O(n·s) dynamic program (`e[j] += e[j−1]·p` per item).
+///
+/// # Panics
+///
+/// Panics if any mass is not finite.
+pub fn elementary_symmetric(pmf: &[f64], s: usize) -> f64 {
+    assert!(
+        pmf.iter().all(|p| p.is_finite()),
+        "oracle needs finite masses"
+    );
+    if s > pmf.len() {
+        return 0.0;
+    }
+    let mut e = vec![0.0f64; s + 1];
+    e[0] = 1.0;
+    for &p in pmf {
+        for j in (1..=s).rev() {
+            e[j] += e[j - 1] * p;
+        }
+    }
+    e[s]
+}
+
+/// Exact probability that `s` iid samples from the distribution with
+/// masses `pmf` are **all distinct**: `s! · e_s(pmf)` (each unordered
+/// distinct support set is realized by `s!` orderings).
+///
+/// This is the failure law of the single-collision gap tester: on the
+/// uniform distribution the tester errs (rejects) with probability
+/// `1 − all_distinct`, and on an ε-far distribution it errs (accepts)
+/// with probability `all_distinct`.
+///
+/// # Panics
+///
+/// Panics if a mass is not finite, or if `s > 170` (where `s!`
+/// overflows `f64`; the oracle targets small-`n` cross-checks).
+pub fn all_distinct_probability(pmf: &[f64], s: usize) -> f64 {
+    assert!(s <= 170, "s! overflows f64 beyond 170; use the closed form");
+    let mut factorial = 1.0f64;
+    for j in 2..=s {
+        factorial *= j as f64;
+    }
+    (factorial * elementary_symmetric(pmf, s)).clamp(0.0, 1.0)
+}
+
+/// Exact all-distinct probability by brute-force enumeration of every
+/// ordered `s`-tuple of **distinct** indices (summing `Π pmf[iⱼ]`).
+/// Exponential — the guard keeps it to genuinely tiny instances, where
+/// it serves as ground truth for [`all_distinct_probability`] itself.
+///
+/// # Panics
+///
+/// Panics if `n^s` exceeds `10^7` tuples.
+pub fn all_distinct_probability_exhaustive(pmf: &[f64], s: usize) -> f64 {
+    let n = pmf.len();
+    let budget = (n as f64).powi(s as i32);
+    assert!(
+        budget <= 1e7,
+        "exhaustive oracle limited to n^s <= 1e7, got {budget}"
+    );
+    if s > n {
+        return 0.0;
+    }
+    fn recurse(pmf: &[f64], used: &mut [bool], remaining: usize, acc: f64) -> f64 {
+        if remaining == 0 {
+            return acc;
+        }
+        let mut total = 0.0;
+        for i in 0..pmf.len() {
+            if !used[i] {
+                used[i] = true;
+                total += recurse(pmf, used, remaining - 1, acc * pmf[i]);
+                used[i] = false;
+            }
+        }
+        total
+    }
+    let mut used = vec![false; n];
+    recurse(pmf, &mut used, s, 1.0).clamp(0.0, 1.0)
+}
+
+/// Exact rejection probability of the single-collision gap tester with
+/// `s` samples on `pmf`: `1 − all_distinct_probability`.
+pub fn rejection_probability(pmf: &[f64], s: usize) -> f64 {
+    1.0 - all_distinct_probability(pmf, s)
+}
+
+/// Reference L1 distance to the uniform distribution on the pmf's
+/// domain: `Σ |pmf(x) − 1/n|`.
+pub fn l1_to_uniform(pmf: &[f64]) -> f64 {
+    let u = 1.0 / pmf.len() as f64;
+    pmf.iter().map(|&p| (p - u).abs()).sum()
+}
+
+/// Reference collision probability `χ(μ) = Σ μ(x)²` (the quantity of
+/// the paper's Lemma 3.2: χ ≥ (1 + ε²)/n for ε-far μ).
+pub fn collision_chi(pmf: &[f64]) -> f64 {
+    pmf.iter().map(|&p| p * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementary_symmetric_small_cases() {
+        // e_0 = 1, e_1 = sum, e_2(a,b,c) = ab + ac + bc.
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(elementary_symmetric(&p, 0), 1.0);
+        assert!((elementary_symmetric(&p, 1) - 1.0).abs() < 1e-12);
+        let e2 = 0.2 * 0.3 + 0.2 * 0.5 + 0.3 * 0.5;
+        assert!((elementary_symmetric(&p, 2) - e2).abs() < 1e-12);
+        assert!((elementary_symmetric(&p, 3) - 0.2 * 0.3 * 0.5).abs() < 1e-12);
+        assert_eq!(elementary_symmetric(&p, 4), 0.0);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_enumeration() {
+        let pmf = [0.1, 0.15, 0.2, 0.25, 0.3];
+        for s in 0..=5 {
+            let dp = all_distinct_probability(&pmf, s);
+            let brute = all_distinct_probability_exhaustive(&pmf, s);
+            assert!((dp - brute).abs() < 1e-12, "s={s}: {dp} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn uniform_two_samples_collide_with_one_over_n() {
+        let n = 8;
+        let pmf = vec![1.0 / n as f64; n];
+        let reject = rejection_probability(&pmf, 2);
+        assert!((reject - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversampling_always_collides() {
+        let pmf = [0.25; 4];
+        assert_eq!(all_distinct_probability(&pmf, 5), 0.0);
+        assert_eq!(all_distinct_probability_exhaustive(&pmf, 5), 0.0);
+    }
+
+    #[test]
+    fn reference_distances() {
+        let pmf = [0.5, 0.5, 0.0, 0.0];
+        assert!((l1_to_uniform(&pmf) - 1.0).abs() < 1e-12);
+        assert!((collision_chi(&pmf) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_mass_is_rejected() {
+        let _ = elementary_symmetric(&[0.5, f64::NAN], 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Proptest strategies shared across the workspace's test trees.
+//!
+//! All strategies are built on the vendored offline proptest shim
+//! (deterministic per test name and case index, no shrinking), so any
+//! failing case is reproducible from its printed case number.
+
+use dut_distributions::families::FarFamily;
+use dut_distributions::DiscreteDistribution;
+use dut_netsim::fault::FaultPlan;
+use dut_netsim::graph::Graph;
+use dut_netsim::topology::Topology;
+use proptest::collection;
+use proptest::{any, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A valid probability mass function with between `min_n` and `max_n`
+/// entries: strictly positive weights, normalized to sum 1 (within the
+/// constructors' `1e-9` tolerance).
+pub fn pmf(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    assert!(min_n >= 1 && min_n <= max_n, "need 1 <= min_n <= max_n");
+    (min_n..=max_n)
+        .prop_flat_map(|n| collection::vec(0.01f64..1.0, n))
+        .prop_map(|weights| {
+            let sum: f64 = weights.iter().sum();
+            weights.iter().map(|w| w / sum).collect()
+        })
+}
+
+/// One *hostile* weight entry: most draws are ordinary positive values,
+/// but NaN, ±infinity, negatives, zero, denormals, and `f64::MAX`
+/// (whose sums overflow to `+inf`) all appear with fixed probability.
+/// Distribution constructors must reject every invalid combination with
+/// a typed error — never a panic, and never a silently degenerate
+/// sampler.
+pub fn hostile_weight() -> impl Strategy<Value = f64> {
+    (0usize..10, 0.0f64..1.0).prop_map(|(kind, x)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -(x + 0.001),
+        4 => 0.0,
+        // Denormal territory: scaling the minimum positive normal down.
+        5 => f64::MIN_POSITIVE * x,
+        // Two of these sum to +inf even though each entry is finite.
+        6 => f64::MAX,
+        _ => x + 0.001,
+    })
+}
+
+/// A weight vector of `min_n..max_n` [`hostile_weight`] entries.
+pub fn hostile_weights(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    assert!(min_n >= 1 && min_n < max_n, "need 1 <= min_n < max_n");
+    (min_n..max_n).prop_flat_map(|n| collection::vec(hostile_weight(), n))
+}
+
+/// A far-family selector: `(family, n, epsilon)` with even `n` and
+/// `epsilon` in `[0.1, 1.0]`, filtered to combinations the family
+/// constructor accepts.
+pub fn far_instance(max_half_n: usize) -> impl Strategy<Value = (FarFamily, usize, f64)> {
+    assert!(max_half_n >= 4, "need max_half_n >= 4");
+    (
+        0usize..FarFamily::ALL.len(),
+        4usize..=max_half_n,
+        0.1f64..=1.0,
+    )
+        .prop_map(|(f, half, eps)| (FarFamily::ALL[f], 2 * half, eps))
+        .prop_filter(
+            "family constructor rejects the combination",
+            |(f, n, eps)| f.instantiate(*n, *eps).is_ok(),
+        )
+}
+
+/// A far-from-uniform distribution drawn from the [`FarFamily`]
+/// catalogue (see [`far_instance`] for the parameter ranges).
+pub fn far_distribution(max_half_n: usize) -> impl Strategy<Value = DiscreteDistribution> {
+    far_instance(max_half_n).prop_map(|(f, n, eps)| {
+        f.instantiate(n, eps)
+            .expect("far_instance filtered to valid combinations")
+    })
+}
+
+/// A connected graph from the [`Topology`] catalogue on roughly
+/// `min_k..=max_k` nodes (some topologies round the node count; read it
+/// back from [`Graph::node_count`]).
+pub fn topology_graph(min_k: usize, max_k: usize) -> impl Strategy<Value = Graph> {
+    assert!(min_k >= 1 && min_k <= max_k, "need 1 <= min_k <= max_k");
+    (0usize..Topology::ALL.len(), min_k..=max_k, any::<u64>()).prop_map(|(t, k, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Topology::ALL[t].instantiate(k, &mut rng)
+    })
+}
+
+/// A seeded [`FaultPlan`] with drop probability below `max_drop`, flip
+/// probability below `max_flip`, and up to two crashes among
+/// `max_nodes` nodes in the first `max_rounds` rounds. Roughly one plan
+/// in four is the fault-free [`FaultPlan::none`], so fault-free paths
+/// stay covered.
+pub fn fault_plan(
+    max_nodes: usize,
+    max_rounds: usize,
+    max_drop: f64,
+    max_flip: f64,
+) -> impl Strategy<Value = FaultPlan> {
+    assert!(max_nodes >= 1 && max_rounds >= 1, "need nonempty ranges");
+    assert!(
+        (0.0..=1.0).contains(&max_drop) && (0.0..=1.0).contains(&max_flip),
+        "probabilities must be in [0, 1]"
+    );
+    (
+        any::<u64>(),
+        0usize..4,
+        0.0f64..=max_drop,
+        0.0f64..=max_flip,
+        collection::vec((0usize..max_nodes, 0usize..max_rounds), 0..3),
+    )
+        .prop_map(|(seed, none_draw, drop, flip, crashes)| {
+            if none_draw == 0 {
+                return FaultPlan::none();
+            }
+            let mut plan = FaultPlan::seeded(seed).with_drops(drop).with_flips(flip);
+            for (node, round) in crashes {
+                plan = plan.with_crash(node, round);
+            }
+            plan
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pmf_is_normalized(p in pmf(1, 40)) {
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            prop_assert!(p.iter().all(|&x| x > 0.0 && x.is_finite()));
+            prop_assert!(DiscreteDistribution::from_pmf(p).is_ok());
+        }
+
+        #[test]
+        fn far_instances_construct(d in far_distribution(32)) {
+            prop_assert!(d.domain_size() >= 8);
+        }
+
+        #[test]
+        fn topologies_are_connected(g in topology_graph(2, 24)) {
+            prop_assert!(g.node_count() >= 1);
+            let (_, components) = g.connected_components();
+            prop_assert_eq!(components, 1);
+        }
+
+        #[test]
+        fn fault_plans_are_within_bounds(plan in fault_plan(8, 20, 0.3, 0.05)) {
+            prop_assert!((0.0..=0.3).contains(&plan.drop_prob));
+            prop_assert!((0.0..=0.05).contains(&plan.flip_prob));
+            prop_assert!(plan.crashes.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn hostile_weights_hit_the_specials() {
+        // Over enough draws the palette must produce each special kind.
+        let strat = hostile_weights(8, 16);
+        let (mut nan, mut inf, mut neg, mut max) = (false, false, false, false);
+        for case in 0..200u32 {
+            let mut rng = proptest::TestRng::for_case("hostile_specials", case);
+            for w in strat.generate(&mut rng) {
+                nan |= w.is_nan();
+                inf |= w.is_infinite();
+                neg |= w < 0.0;
+                max |= w == f64::MAX;
+            }
+        }
+        assert!(
+            nan && inf && neg && max,
+            "palette coverage: nan={nan} inf={inf} neg={neg} max={max}"
+        );
+    }
+}
