@@ -1,38 +1,116 @@
 #!/usr/bin/env bash
-# Tier-1 gate: every change must pass this sequence (see README §CI).
+# Tier-1 gate: every change must pass `./ci.sh` (all lanes, in order).
+#
+# Lanes are individually addressable so the GitHub Actions matrix
+# (.github/workflows/ci.yml) can run them as parallel jobs:
+#
+#   ./ci.sh                 # every lane, the local pre-push gate
+#   ./ci.sh lint test       # just those lanes, in the order given
+#   ./ci.sh --list          # lane names, one per line
+#
+# Lane -> invariant map lives in docs/ARCHITECTURE.md §CI.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+# Minimum supported Rust version; must match workspace.package.rust-version
+# in Cargo.toml (the msrv lane greps it out so they can't drift).
+MSRV="$(sed -n 's/^rust-version = "\(.*\)"$/\1/p' Cargo.toml)"
 
-echo "==> cargo clippy --workspace (warnings are errors)"
-cargo clippy --workspace -- -D warnings
+lane_lint() {
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+    echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
 
-echo "==> cargo build --workspace --release"
-cargo build --workspace --release
+lane_test() {
+    echo "==> cargo build --workspace --release"
+    cargo build --workspace --release
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+}
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+lane_fault_differential() {
+    echo "==> fault differential suite (serial == parallel == reference, faulted)"
+    cargo test --release -p dut-netsim --test differential -q
+}
 
-echo "==> cargo doc --workspace --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+lane_testkit() {
+    echo "==> testkit lane (exact oracles, strategies, regression suite)"
+    cargo test --release -p dut-testkit -q
+    echo "==> parallel differential suite (serial == 2 == 8 threads, bit-identical)"
+    cargo test --release -p dut-core --test parallel_differential -q
+    cargo test --release -p dut-congest --test parallel_differential -q
+    echo "==> fixed-seed codec-corruption smoke (RS + Justesen, seeded)"
+    cargo test --release -p dut-testkit --test fuzz_drivers -q
+}
 
-echo "==> fault differential suite (serial == parallel == reference, faulted)"
-cargo test --release -p dut-netsim --test differential -q
+lane_overflow() {
+    echo "==> overflow-checks lane (arithmetic panics surface in release codecs)"
+    RUSTFLAGS="-C overflow-checks=on" \
+        cargo test --release -p dut-ecc -p dut-distributions -q \
+        --target-dir target/overflow-checks
+}
 
-echo "==> testkit lane (exact oracles, strategies, regression suite)"
-cargo test --release -p dut-testkit -q
+lane_experiments_smoke() {
+    echo "==> experiments smoke (E1-E13 quick scale, verdicts vs EXPERIMENTS.md)"
+    cargo run --release -p dut-bench --bin experiments -- --quick --check all > /dev/null
+}
 
-echo "==> overflow-checks lane (arithmetic panics surface in release codecs)"
-RUSTFLAGS="-C overflow-checks=on" \
-    cargo test --release -p dut-ecc -p dut-distributions -q \
-    --target-dir target/overflow-checks
+lane_perf_gate() {
+    echo "==> perf-regression gate (BENCH_netsim.json + BENCH_montecarlo.json)"
+    cargo run --release -p dut-bench --bin ci-bench-check
+}
 
-echo "==> fixed-seed codec-corruption smoke (RS + Justesen, seeded)"
-cargo test --release -p dut-testkit --test fuzz_drivers -q
+lane_msrv() {
+    echo "==> msrv lane (workspace builds on Rust ${MSRV})"
+    if command -v rustup > /dev/null && rustup toolchain list | grep -q "^${MSRV}"; then
+        cargo "+${MSRV}" build --workspace --locked
+    elif [ "${CI:-}" = "true" ]; then
+        # CI must install the toolchain (the workflow's msrv job does);
+        # a silent skip there would let an MSRV break land.
+        echo "msrv lane requires the ${MSRV} toolchain in CI" >&2
+        exit 1
+    else
+        echo "    (skipped: rustup toolchain ${MSRV} not installed;"
+        echo "     install with: rustup toolchain install ${MSRV})"
+    fi
+}
 
-echo "==> fixed-seed fault-sweep smoke (E13, quick scale)"
-cargo run --release -p dut-bench --bin experiments -- --quick e13 > /dev/null
+LANES=(lint test fault-differential testkit overflow experiments-smoke perf-gate msrv)
+
+if [ "${1:-}" = "--list" ]; then
+    printf '%s\n' "${LANES[@]}"
+    exit 0
+fi
+
+run_lane() {
+    case "$1" in
+        lint) lane_lint ;;
+        test) lane_test ;;
+        fault-differential) lane_fault_differential ;;
+        testkit) lane_testkit ;;
+        overflow) lane_overflow ;;
+        experiments-smoke) lane_experiments_smoke ;;
+        perf-gate) lane_perf_gate ;;
+        msrv) lane_msrv ;;
+        *)
+            echo "unknown lane: $1 (try: ./ci.sh --list)" >&2
+            exit 2
+            ;;
+    esac
+}
+
+if [ "$#" -eq 0 ]; then
+    for lane in "${LANES[@]}"; do
+        run_lane "$lane"
+    done
+else
+    for lane in "$@"; do
+        run_lane "$lane"
+    done
+fi
 
 echo "ci.sh: all green"

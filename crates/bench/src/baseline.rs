@@ -1,0 +1,122 @@
+//! Scanner-parser for the committed `BENCH_*.json` baselines at the
+//! repo root.
+//!
+//! These files are written by us (criterion summaries transcribed by
+//! hand, or `ci-bench-check --refresh`), so this is a closed-world
+//! scanner like the checkpoint reader — **not** a general JSON parser.
+//! It tolerates reordered or extra fields but assumes the quoting and
+//! nesting the repo's own files use: one `"name"` key per workload
+//! object, medians either as a direct `"median_ms"` number or nested
+//! as `"after_ms": { .. "median": x .. }`.
+
+/// One named workload and the baseline median we gate against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineWorkload {
+    /// Workload name, e.g. `clique256_broadcast`.
+    pub name: String,
+    /// Committed median wall-clock in milliseconds (the `after`/current
+    /// implementation — the one CI re-times).
+    pub median_ms: f64,
+}
+
+/// Extracts every workload (name + median) from a `BENCH_*.json`
+/// baseline file.
+///
+/// # Errors
+///
+/// Returns a message naming the first workload entry missing a usable
+/// median, or an error if no workloads are present at all.
+pub fn parse_workloads(json: &str) -> Result<Vec<BaselineWorkload>, String> {
+    let body = match json.find("\"workloads\"") {
+        Some(at) => &json[at..],
+        None => return Err("no \"workloads\" array in baseline file".into()),
+    };
+    let starts: Vec<usize> = match_indices(body, "\"name\":");
+    if starts.is_empty() {
+        return Err("empty \"workloads\" array in baseline file".into());
+    }
+    let mut out = Vec::with_capacity(starts.len());
+    for (i, &at) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(body.len());
+        let seg = &body[at..end];
+        let name =
+            quoted_after(seg, "\"name\":").ok_or_else(|| format!("unreadable name near {seg}"))?;
+        let median = number_after(seg, "\"median_ms\":")
+            .or_else(|| {
+                let after = seg.find("\"after_ms\"")?;
+                number_after(&seg[after..], "\"median\":")
+            })
+            .ok_or_else(|| format!("workload {name}: no median_ms or after_ms.median"))?;
+        out.push(BaselineWorkload {
+            name,
+            median_ms: median,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads a top-level (or first-occurring) numeric field, e.g.
+/// `"speedup_parallel"`.
+pub fn number_field(json: &str, key: &str) -> Option<f64> {
+    number_after(json, &format!("\"{key}\":"))
+}
+
+fn match_indices(s: &str, pat: &str) -> Vec<usize> {
+    s.match_indices(pat).map(|(i, _)| i).collect()
+}
+
+fn quoted_after(s: &str, key: &str) -> Option<String> {
+    let rest = &s[s.find(key)? + key.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn number_after(s: &str, key: &str) -> Option<f64> {
+    let rest = s[s.find(key)? + key.len()..].trim_start();
+    let tok: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    tok.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_netsim_baseline() {
+        let json = include_str!("../../../BENCH_netsim.json");
+        let workloads = parse_workloads(json).unwrap();
+        let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["clique256_broadcast", "line4096_bfs", "mc_gap_20k"],
+            "ci-bench-check times exactly these three workloads; renaming \
+             one in BENCH_netsim.json requires updating the gate"
+        );
+        for w in &workloads {
+            assert!(w.median_ms > 0.0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn direct_median_ms_and_nested_after_median_both_parse() {
+        let json = r#"{"workloads":[
+            {"name":"a","median_ms": 12.5},
+            {"name":"b","before_ms":{"median": 9.0},"after_ms":{"min":1.0,"median":2.25,"max":3.0}}
+        ],"speedup_parallel": 1.75}"#;
+        let workloads = parse_workloads(json).unwrap();
+        assert_eq!(workloads[0].median_ms, 12.5);
+        assert_eq!(workloads[1].median_ms, 2.25);
+        assert_eq!(number_field(json, "speedup_parallel"), Some(1.75));
+    }
+
+    #[test]
+    fn missing_median_is_a_named_error() {
+        let err = parse_workloads(r#"{"workloads":[{"name":"broken"}]}"#).unwrap_err();
+        assert!(err.contains("broken"), "{err}");
+        assert!(parse_workloads("{}").is_err());
+    }
+}

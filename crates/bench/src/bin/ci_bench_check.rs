@@ -1,0 +1,353 @@
+//! CI perf-regression gate (`ci.sh perf-gate`).
+//!
+//! Re-times the three `BENCH_netsim.json` workloads (current/"after"
+//! variants only, plain `Instant` medians — quick mode, no Criterion)
+//! and the parallel Monte-Carlo executor on the E1 quick sweep, then
+//! compares against the committed baselines:
+//!
+//! * any netsim workload more than `DUT_BENCH_SLACK` (default 0.25,
+//!   i.e. 25%) slower than its committed median fails the gate;
+//! * the Monte-Carlo parallel sweep is held to the same slack against
+//!   `BENCH_montecarlo.json`, and on machines with ≥ 4 cores must also
+//!   keep its ≥ 2× speedup over the serial run;
+//! * serial and parallel sweeps must agree bit-for-bit (always
+//!   enforced — a perf run that changes results is a correctness bug,
+//!   not a slowdown).
+//!
+//! Refresh the Monte-Carlo baseline after an intentional perf change
+//! with:
+//!
+//! ```text
+//! cargo run -p dut-bench --release --bin ci-bench-check -- --refresh
+//! ```
+//!
+//! (`BENCH_netsim.json` is refreshed from Criterion instead:
+//! `cargo bench -p dut-bench --bench netsim`.)
+
+use dut_bench::baseline::{number_field, parse_workloads, BaselineWorkload};
+use dut_bench::{e01_gap, Scale};
+use dut_core::decision::Decision;
+use dut_core::gap::GapTester;
+use dut_core::montecarlo::{set_default_threads, trial_rng};
+use dut_core::scratch::TesterScratch;
+use dut_core::MonteCarlo;
+use dut_distributions::DiscreteDistribution;
+use dut_netsim::engine::{BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox};
+use dut_netsim::graph::NodeId;
+use dut_netsim::topology;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Samples per netsim workload; medians are stable enough at 5 for a
+/// 25% gate.
+const SAMPLES: usize = 5;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn slack() -> f64 {
+    match std::env::var("DUT_BENCH_SLACK") {
+        Ok(v) if !v.is_empty() => v
+            .parse()
+            .unwrap_or_else(|_| panic!("DUT_BENCH_SLACK must be a number, got {v}")),
+        _ => 0.25,
+    }
+}
+
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+// The two protocols mirror benches/netsim.rs so the gate times the
+// exact workloads the committed medians describe.
+
+#[derive(Clone)]
+struct Gossip {
+    best: u64,
+    rounds_left: u32,
+}
+
+impl NodeProtocol for Gossip {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        _node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        for &(_, v) in inbox {
+            self.best = self.best.max(v);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            out.broadcast(self.best);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+#[derive(Clone)]
+struct Bfs {
+    dist: Option<u64>,
+}
+
+impl NodeProtocol for Bfs {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        if self.dist.is_some() {
+            return;
+        }
+        if node == 0 && round == 0 {
+            self.dist = Some(0);
+            out.broadcast(1);
+        } else if let Some(&d) = inbox.iter().map(|(_, d)| d).min() {
+            self.dist = Some(d);
+            out.broadcast(d + 1);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.dist.is_some()
+    }
+}
+
+fn time_netsim_workload(name: &str) -> f64 {
+    match name {
+        "clique256_broadcast" => {
+            let clique = topology::complete(256);
+            let mut net = Network::new(&clique, BandwidthModel::Local);
+            let mut scratch = EngineScratch::new();
+            let states = || -> Vec<Gossip> {
+                (0..256)
+                    .map(|v| Gossip {
+                        best: v as u64,
+                        rounds_left: 8,
+                    })
+                    .collect()
+            };
+            median_ms(SAMPLES, || {
+                black_box(net.run_with_scratch(states(), 32, &mut scratch).unwrap());
+            })
+        }
+        "line4096_bfs" => {
+            let line = topology::line(4096);
+            let mut net = Network::new(&line, BandwidthModel::Local);
+            let mut scratch = EngineScratch::new();
+            median_ms(SAMPLES, || {
+                black_box(
+                    net.run_with_scratch(vec![Bfs { dist: None }; 4096], 8192, &mut scratch)
+                        .unwrap(),
+                );
+            })
+        }
+        "mc_gap_20k" => {
+            let n = 1 << 16;
+            let tester = GapTester::new(n, 0.05).unwrap();
+            let uniform = DiscreteDistribution::uniform(n);
+            median_ms(SAMPLES, || {
+                black_box(
+                    MonteCarlo::new(20_000, 7)
+                        .run_with_state(TesterScratch::new, |seed, scratch| {
+                            let mut rng = trial_rng(seed);
+                            tester.run_with_scratch(&uniform, &mut rng, scratch) == Decision::Reject
+                        })
+                        .expect("trials > 0"),
+                );
+            })
+        }
+        other => panic!("BENCH_netsim.json names workload {other}, which this gate can't time"),
+    }
+}
+
+/// Gregorian date from a UNIX timestamp (Howard Hinnant's
+/// civil-from-days), so `--refresh` can stamp the baseline without a
+/// date crate.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs() as i64;
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+struct McMeasurement {
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    cores: usize,
+}
+
+/// Times the E1 quick sweep serially and with all cores, asserting the
+/// two produce identical tables.
+fn measure_montecarlo() -> McMeasurement {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    set_default_threads(1);
+    let mut serial_tables = Vec::new();
+    let serial_ms = median_ms(1, || serial_tables = e01_gap::run(Scale::Quick));
+    set_default_threads(0);
+    let mut parallel_tables = Vec::new();
+    let parallel_ms = median_ms(1, || parallel_tables = e01_gap::run(Scale::Quick));
+    assert_eq!(
+        serial_tables, parallel_tables,
+        "serial and parallel E1 sweeps disagree — determinism bug, not a perf problem"
+    );
+    McMeasurement {
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        cores,
+    }
+}
+
+fn montecarlo_json(m: &McMeasurement) -> String {
+    format!(
+        r#"{{
+  "description": "Parallel Monte-Carlo executor vs the serial run on the E1 quick sweep (100k gap-tester trials per grid cell, completeness + soundness sides; bit-identical tables asserted before timing). Regenerate with `cargo run -p dut-bench --release --bin ci-bench-check -- --refresh`; the >=2x speedup target applies on machines with >= 4 cores and is checked by `ci.sh perf-gate` only there.",
+  "date": "{}",
+  "cores": {},
+  "workloads": [
+    {{
+      "name": "e1_quick_serial",
+      "detail": "e01_gap::run(Scale::Quick), MonteCarloConfig threads=1",
+      "median_ms": {:.2}
+    }},
+    {{
+      "name": "e1_quick_parallel",
+      "detail": "e01_gap::run(Scale::Quick), MonteCarloConfig threads=all cores",
+      "median_ms": {:.2}
+    }}
+  ],
+  "speedup_parallel": {:.2},
+  "target_speedup": 2.0,
+  "target_applies_from_cores": 4,
+  "target_checked": {},
+  "bit_identical": true
+}}
+"#,
+        today(),
+        m.cores,
+        m.serial_ms,
+        m.parallel_ms,
+        m.speedup,
+        m.cores >= 4,
+    )
+}
+
+fn main() {
+    let refresh = match std::env::args().nth(1).as_deref() {
+        Some("--refresh") => true,
+        None => false,
+        Some(other) => {
+            eprintln!("usage: ci-bench-check [--refresh]  (unknown argument: {other})");
+            std::process::exit(2);
+        }
+    };
+    let root = repo_root();
+    let slack = slack();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Netsim workloads vs BENCH_netsim.json.
+    let netsim_path = root.join("BENCH_netsim.json");
+    let baselines = parse_workloads(
+        &std::fs::read_to_string(&netsim_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", netsim_path.display())),
+    )
+    .expect("BENCH_netsim.json parses");
+    println!("perf gate (slack {:.0}%):", slack * 100.0);
+    for BaselineWorkload { name, median_ms } in &baselines {
+        let measured = time_netsim_workload(name);
+        let limit = median_ms * (1.0 + slack);
+        let verdict = if measured <= limit { "ok" } else { "SLOW" };
+        println!(
+            "  {name}: {measured:.2} ms (baseline {median_ms:.2} ms, limit {limit:.2} ms) {verdict}"
+        );
+        if measured > limit {
+            failures.push(format!(
+                "{name}: {measured:.2} ms exceeds {median_ms:.2} ms baseline by more than {:.0}%",
+                slack * 100.0
+            ));
+        }
+    }
+
+    // Monte-Carlo executor vs BENCH_montecarlo.json.
+    let mc = measure_montecarlo();
+    println!(
+        "  e1_quick (cores={}): serial {:.2} ms, parallel {:.2} ms, speedup {:.2}x",
+        mc.cores, mc.serial_ms, mc.parallel_ms, mc.speedup
+    );
+    let mc_path = root.join("BENCH_montecarlo.json");
+    if refresh {
+        std::fs::write(&mc_path, montecarlo_json(&mc))
+            .unwrap_or_else(|e| panic!("write {}: {e}", mc_path.display()));
+        println!("refreshed {}", mc_path.display());
+    } else {
+        let baseline = std::fs::read_to_string(&mc_path)
+            .unwrap_or_else(|e| panic!("read {}: {e} (run --refresh once)", mc_path.display()));
+        let recorded = parse_workloads(&baseline)
+            .ok()
+            .and_then(|ws| ws.into_iter().find(|w| w.name == "e1_quick_parallel"))
+            .expect("BENCH_montecarlo.json has an e1_quick_parallel workload");
+        let limit = recorded.median_ms * (1.0 + slack);
+        if mc.parallel_ms > limit {
+            failures.push(format!(
+                "e1_quick_parallel: {:.2} ms exceeds {:.2} ms baseline by more than {:.0}%",
+                mc.parallel_ms,
+                recorded.median_ms,
+                slack * 100.0
+            ));
+        }
+        let target = number_field(&baseline, "target_speedup").unwrap_or(2.0);
+        let applies_from =
+            number_field(&baseline, "target_applies_from_cores").unwrap_or(4.0) as usize;
+        if mc.cores >= applies_from && mc.speedup < target {
+            failures.push(format!(
+                "parallel speedup {:.2}x below the {target:.1}x target on {} cores",
+                mc.speedup, mc.cores
+            ));
+        } else if mc.cores < applies_from {
+            println!("  (speedup target {target:.1}x not enforced below {applies_from} cores)");
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf gate passed");
+    } else {
+        eprintln!("perf gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "if the slowdown is intentional, refresh the baselines \
+             (see BENCH_*.json descriptions) or raise DUT_BENCH_SLACK"
+        );
+        std::process::exit(1);
+    }
+}

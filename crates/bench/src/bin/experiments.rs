@@ -6,20 +6,32 @@
 //! experiments [--quick] e1 e4 e6
 //! experiments --json results.json all
 //! experiments --metrics metrics.jsonl e6
+//! experiments --check --quick all
+//! experiments --threads 8 --checkpoint ck/ e1
 //! experiments --list
 //! ```
 //!
 //! `--metrics` appends one `dut-metrics/1` JSON object per tester run
 //! (for the instrumented experiments; see `docs/METRICS.md`).
+//! `--check` re-derives each experiment's verdict from the freshly
+//! generated tables and exits non-zero if an experiment that
+//! EXPERIMENTS.md records as **Holds** no longer does — this is the CI
+//! smoke lane's regression gate. `--threads N` sets the Monte-Carlo
+//! worker count (results are bit-identical at any value; 0 = all
+//! cores). `--checkpoint DIR` persists chunk-level Monte-Carlo
+//! progress to `DIR/e<N>.jsonl` so interrupted sweeps resume.
 //! Experiment ids are zero-pad tolerant: `e06` names `e6`.
 
-use dut_bench::{normalize_id, run_experiment, MetricsLog, Scale, ALL_EXPERIMENTS};
-use std::path::Path;
+use dut_bench::{
+    normalize_id, run_experiment_ctx, verdict, ExperimentCtx, MetricsLog, Scale, ALL_EXPERIMENTS,
+};
+use dut_core::Checkpoint;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const USAGE: &str =
-    "usage: experiments [--quick] [--list] [--json out.json] [--metrics out.jsonl] \
-     (all | e1 .. e13)+";
+    "usage: experiments [--quick] [--list] [--check] [--threads N] [--checkpoint dir] \
+     [--json out.json] [--metrics out.jsonl] (all | e1 .. e13)+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,18 +39,31 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
-    let mut expect_path_for: Option<&str> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut check = false;
+    let mut expect_value_for: Option<&str> = None;
     for a in &args {
-        if let Some(flag) = expect_path_for.take() {
+        if let Some(flag) = expect_value_for.take() {
             match flag {
                 "--json" => json_path = Some(a.clone()),
-                _ => metrics_path = Some(a.clone()),
+                "--metrics" => metrics_path = Some(a.clone()),
+                "--checkpoint" => checkpoint_dir = Some(PathBuf::from(a)),
+                _ => match a.parse::<usize>() {
+                    Ok(n) => dut_core::montecarlo::set_default_threads(n),
+                    Err(_) => {
+                        eprintln!("--threads needs a number, got {a}");
+                        std::process::exit(2);
+                    }
+                },
             }
             continue;
         }
         match a.as_str() {
-            "--json" => expect_path_for = Some("--json"),
-            "--metrics" => expect_path_for = Some("--metrics"),
+            "--json" => expect_value_for = Some("--json"),
+            "--metrics" => expect_value_for = Some("--metrics"),
+            "--checkpoint" => expect_value_for = Some("--checkpoint"),
+            "--threads" | "-j" => expect_value_for = Some("--threads"),
+            "--check" => check = true,
             "--quick" | "-q" => scale = Scale::Quick,
             "--list" | "-l" => {
                 for id in ALL_EXPERIMENTS {
@@ -59,8 +84,8 @@ fn main() {
             }
         }
     }
-    if let Some(flag) = expect_path_for {
-        eprintln!("{flag} needs a path argument");
+    if let Some(flag) = expect_value_for {
+        eprintln!("{flag} needs a value argument");
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -80,6 +105,12 @@ fn main() {
         },
         None => MetricsLog::disabled(),
     };
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 
     println!(
         "# Distributed Uniformity Testing — experiment run ({})\n",
@@ -89,18 +120,52 @@ fn main() {
         }
     );
     let mut all_tables: Vec<dut_bench::Table> = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
     for id in ids {
         let start = Instant::now();
-        let tables = run_experiment(&id, scale, &mut log);
+        let mut checkpoint = match &checkpoint_dir {
+            Some(dir) => match Checkpoint::open(&dir.join(format!("{id}.jsonl"))) {
+                Ok(ck) => Some(ck),
+                Err(e) => {
+                    eprintln!("unusable checkpoint for {id}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => None,
+        };
+        let tables = run_experiment_ctx(
+            &id,
+            ExperimentCtx {
+                scale,
+                log: &mut log,
+                checkpoint: checkpoint.as_mut(),
+            },
+        );
         for table in &tables {
             println!("{table}");
         }
-        all_tables.extend(tables);
         println!(
             "_{} finished in {:.1}s_\n",
             id,
             start.elapsed().as_secs_f64()
         );
+        if check {
+            let fresh = verdict::check(&id, &tables);
+            let recorded_holds = verdict::recorded_holds(&id)
+                .unwrap_or_else(|| panic!("{id} missing from EXPERIMENTS.md verdict table"));
+            match (&fresh, recorded_holds) {
+                (Err(why), true) => {
+                    println!("_{id} verdict: REGRESSED — {why}_\n");
+                    regressions.push(format!("{id}: {why}"));
+                }
+                (Err(why), false) => {
+                    // Recorded as not holding; an Err is the status quo.
+                    println!("_{id} verdict: fails as recorded ({why})_\n");
+                }
+                (Ok(()), _) => println!("_{id} verdict: holds_\n"),
+            }
+        }
+        all_tables.extend(tables);
     }
     if let Some(path) = json_path {
         let json = dut_bench::tables_to_json(&all_tables);
@@ -116,5 +181,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {} metric records to {path}", log.records());
+    }
+    if !regressions.is_empty() {
+        eprintln!("verdict regressions ({}):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
     }
 }

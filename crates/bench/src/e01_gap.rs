@@ -8,12 +8,27 @@ use crate::table::{fmt_f, Table};
 use crate::Scale;
 use dut_core::decision::Decision;
 use dut_core::gap::GapTester;
-use dut_core::montecarlo::{estimate_failure_rate, trial_rng};
+use dut_core::montecarlo::{trial_rng, MonteCarlo};
+use dut_core::Checkpoint;
 use dut_distributions::families::FarFamily;
 use dut_distributions::DiscreteDistribution;
 
 /// Runs E1.
 pub fn run(scale: Scale) -> Vec<Table> {
+    run_ctx(scale, None)
+}
+
+/// Runs E1 with an optional chunk-level Monte-Carlo checkpoint: each
+/// grid cell estimates under a stable label
+/// (`e1a/n=..,eps=..,delta=..` / `e1b/../family=..`), so an
+/// interrupted full-scale sweep resumes where it stopped and still
+/// produces bit-identical tables.
+///
+/// # Panics
+///
+/// Panics if `checkpoint` points at a file recorded under different
+/// parameters (scale change against a stale file — delete it).
+pub fn run_ctx(scale: Scale, mut checkpoint: Option<&mut Checkpoint>) -> Vec<Table> {
     let trials = scale.pick(100_000, 400_000);
     let grid: Vec<(usize, f64, f64)> = scale.pick(
         vec![(1 << 14, 1.0, 0.01), (1 << 16, 0.5, 0.005)],
@@ -52,10 +67,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let est = {
             let t = tester;
             let u = uniform.clone();
-            estimate_failure_rate(trials, 101, move |seed| {
-                t.run(&u, &mut trial_rng(seed)) == Decision::Reject
-            })
-            .expect("trials > 0")
+            let mut mc = MonteCarlo::new(trials, 101);
+            if let Some(ck) = checkpoint.as_deref_mut() {
+                mc = mc.checkpoint(ck, format!("e1a/n={n},eps={eps},delta={delta}"));
+            }
+            mc.run(move |seed| t.run(&u, &mut trial_rng(seed)) == Decision::Reject)
+                .expect("trials > 0 and a usable checkpoint")
         };
         let ok = est.lower <= tester.delta();
         completeness.push_row(vec![
@@ -80,10 +97,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let bound = tester.soundness_rejection_bound(eps);
             let est = {
                 let t = tester;
-                estimate_failure_rate(trials, 211, move |seed| {
-                    t.run(&far, &mut trial_rng(seed)) == Decision::Reject
-                })
-                .expect("trials > 0")
+                let mut mc = MonteCarlo::new(trials, 211);
+                if let Some(ck) = checkpoint.as_deref_mut() {
+                    let label =
+                        format!("e1b/n={n},eps={eps},delta={delta},family={}", family.name());
+                    mc = mc.checkpoint(ck, label);
+                }
+                mc.run(move |seed| t.run(&far, &mut trial_rng(seed)) == Decision::Reject)
+                    .expect("trials > 0 and a usable checkpoint")
             };
             let ok = est.upper >= bound;
             soundness.push_row(vec![
@@ -114,14 +135,9 @@ mod tests {
         assert_eq!(tables.len(), 2);
         for t in &tables {
             assert!(!t.rows.is_empty());
-            for row in &t.rows {
-                assert_eq!(
-                    row.last().unwrap(),
-                    "true",
-                    "violation in {}: {row:?}",
-                    t.title
-                );
-            }
         }
+        // The CI smoke lane re-checks the same invariant via --check;
+        // routing the test through it keeps the two from drifting.
+        crate::verdict::check("e1", &tables).unwrap();
     }
 }

@@ -55,13 +55,7 @@ mod tests {
     #[test]
     fn ratios_stay_in_band() {
         let tables = run(Scale::Quick);
-        for row in &tables[0].rows {
-            let ratio: f64 = row[3].parse().unwrap();
-            assert!(ratio <= 1.0 + 1e-9, "{row:?}");
-            let s: usize = row[2].parse().unwrap();
-            if s >= 10 {
-                assert!(ratio > 0.8, "{row:?}");
-            }
-        }
+        assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e2", &tables).unwrap();
     }
 }

@@ -120,26 +120,7 @@ mod tests {
     #[test]
     fn quick_run_protects_completeness_and_validates_mc() {
         let tables = run(Scale::Quick);
-        for row in &tables[0].rows {
-            if row[4] == "-" {
-                continue;
-            }
-            let comp: f64 = row[7].parse().unwrap();
-            assert!(comp < 0.4, "completeness error too high: {row:?}");
-            let pu: f64 = row[4].parse().unwrap();
-            let pf: f64 = row[5].parse().unwrap();
-            assert!(pf > pu, "no per-node separation: {row:?}");
-            // MC interval must contain the exact value.
-            let parts: Vec<&str> = row[6]
-                .trim_matches(['[', ']'])
-                .split(['[', ',', ']'])
-                .collect();
-            let lo: f64 = parts[1].trim().parse().unwrap();
-            let hi: f64 = parts[2].trim().parse().unwrap();
-            assert!(
-                lo - 1e-4 <= pf && pf <= hi + 1e-4,
-                "MC interval [{lo}, {hi}] misses exact {pf}"
-            );
-        }
+        assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e3", &tables).unwrap();
     }
 }

@@ -146,29 +146,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_run_meets_error_targets() {
+    fn quick_run_meets_error_targets_and_beats_baselines() {
         let tables = run(Scale::Quick);
-        for row in &tables[0].rows {
-            if row[4] == "-" {
-                continue;
-            }
-            let comp: f64 = row[7].parse().unwrap();
-            let sound: f64 = row[8].parse().unwrap();
-            assert!(comp <= 0.4, "completeness {row:?}");
-            assert!(sound <= 0.4, "soundness {row:?}");
-        }
-    }
-
-    #[test]
-    fn quick_run_threshold_beats_and_and_centralized() {
-        let tables = run(Scale::Quick);
-        for row in &tables[1].rows {
-            let thr: f64 = row[1].parse().unwrap();
-            let cent: f64 = row[3].parse().unwrap();
-            assert!(thr < cent, "threshold not below centralized: {row:?}");
-            if let Ok(and) = row[2].parse::<f64>() {
-                assert!(thr <= and, "threshold not below AND: {row:?}");
-            }
-        }
+        assert!(!tables[0].rows.is_empty());
+        assert!(!tables[1].rows.is_empty());
+        crate::verdict::check("e4", &tables).unwrap();
     }
 }

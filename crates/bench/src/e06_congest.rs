@@ -160,18 +160,8 @@ mod tests {
     #[test]
     fn quick_run_rounds_track_d_plus_tau() {
         let tables = run(Scale::Quick, &mut MetricsLog::disabled());
-        for row in &tables[0].rows {
-            let ratio: f64 = row[4].parse().unwrap();
-            assert!(
-                ratio < 10.0,
-                "rounds not O(D + tau) on {}: ratio {ratio}",
-                row[0]
-            );
-            // Far must reject at least as often as uniform.
-            let ru: usize = row[7].split('/').next().unwrap().parse().unwrap();
-            let rf: usize = row[8].split('/').next().unwrap().parse().unwrap();
-            assert!(rf >= ru, "no separation on {}: {row:?}", row[0]);
-        }
+        assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e6", &tables).unwrap();
     }
 
     /// Pulls the integer following `"key":` out of a JSONL line.

@@ -120,22 +120,7 @@ mod tests {
     #[test]
     fn quick_run_respects_section_6_invariants() {
         let tables = run(Scale::Quick);
-        for row in &tables[0].rows {
-            if row[1] == "—" {
-                continue; // honestly-reported infeasible topology
-            }
-            let mis: usize = row[2].parse().unwrap();
-            let mis_bound: usize = row[3].parse().unwrap();
-            assert!(mis <= mis_bound, "MIS bound violated: {row:?}");
-            let gathered: usize = row[4].parse().unwrap();
-            let gather_bound: usize = row[5].parse().unwrap();
-            assert!(
-                gathered >= gather_bound,
-                "gathering bound violated: {row:?}"
-            );
-            let ru: usize = row[7].split('/').next().unwrap().parse().unwrap();
-            let rf: usize = row[8].split('/').next().unwrap().parse().unwrap();
-            assert!(rf >= ru, "no separation: {row:?}");
-        }
+        assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e7", &tables).unwrap();
     }
 }

@@ -158,17 +158,7 @@ mod tests {
     #[test]
     fn quick_run_meets_bounds() {
         let tables = run(Scale::Quick);
-        for row in &tables[0].rows {
-            let cost: f64 = row[1].parse().unwrap();
-            let upper_shape: f64 = row[2].parse().unwrap();
-            let lower: f64 = row[3].parse().unwrap();
-            // Cost sits between the bounds (up to the +2log coords term).
-            assert!(cost <= 3.0 * upper_shape + 40.0, "{row:?}");
-            assert!(cost >= lower, "cost below the lower bound?! {row:?}");
-            // Rejection reaches the τδ target (within the interval).
-            let rate: f64 = row[4].split(' ').next().unwrap().parse().unwrap();
-            let target: f64 = row[5].parse().unwrap();
-            assert!(rate >= 0.8 * target, "{row:?}");
-        }
+        assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e8", &tables).unwrap();
     }
 }

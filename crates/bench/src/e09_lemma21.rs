@@ -50,10 +50,8 @@ mod tests {
     fn lemma_holds_everywhere() {
         for scale in [Scale::Quick, Scale::Full] {
             let tables = run(scale);
-            for row in &tables[0].rows {
-                let ratio: f64 = row[4].parse().unwrap();
-                assert!(ratio >= 1.0, "lemma 2.1 violated at {row:?}");
-            }
+            assert!(!tables[0].rows.is_empty());
+            crate::verdict::check("e9", &tables).unwrap();
         }
     }
 }

@@ -123,16 +123,7 @@ mod tests {
     #[test]
     fn counting_tester_improves_with_samples() {
         let tables = run(Scale::Quick);
-        let errs: Vec<f64> = tables[0]
-            .rows
-            .iter()
-            .map(|r| r[2].parse().unwrap())
-            .collect();
-        assert!(
-            errs.last().unwrap() < errs.first().unwrap(),
-            "error not decreasing: {errs:?}"
-        );
-        // At 4√n/ε² the counting tester is well under 1/3.
-        assert!(*errs.last().unwrap() < 1.0 / 3.0, "{errs:?}");
+        assert!(tables[0].rows.len() >= 2);
+        crate::verdict::check("e10", &tables).unwrap();
     }
 }

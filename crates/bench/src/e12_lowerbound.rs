@@ -55,13 +55,7 @@ mod tests {
     #[test]
     fn quick_run_shows_the_transition() {
         let tables = run(Scale::Quick);
-        let rows = &tables[0].rows;
-        let first_err: f64 = rows.first().unwrap()[2].parse().unwrap();
-        let last_err: f64 = rows.last().unwrap()[2].parse().unwrap();
-        assert!(
-            first_err > 0.3,
-            "far-below-threshold should fail: {first_err}"
-        );
-        assert!(last_err < first_err, "no transition: {rows:?}");
+        assert!(tables[0].rows.len() >= 2);
+        crate::verdict::check("e12", &tables).unwrap();
     }
 }

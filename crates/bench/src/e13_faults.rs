@@ -162,24 +162,8 @@ mod tests {
     #[test]
     fn quick_sweep_faults_absorbed_or_typed() {
         let tables = run(Scale::Quick, &mut MetricsLog::disabled());
-        let rows = &tables[0].rows;
-        // Row 0 is the fault-free control: everything survives, nothing
-        // to correct or retry.
-        let (survived, total) = split(&rows[0][2]);
-        assert_eq!(survived, total, "fault-free runs must all survive");
-        assert_eq!(rows[0][3], "0", "no corrected bits without faults");
-        assert_eq!(rows[0][5], "0", "no retransmits without faults");
-        // Row 1 is flips-only below the radius: fully absorbed.
-        let (survived, total) = split(&rows[1][2]);
-        assert_eq!(survived, total, "sub-radius flips must be corrected");
-        let corrected: f64 = rows[1][3].parse().unwrap();
-        assert!(corrected > 0.0, "flips must actually be injected");
-        assert_eq!(rows[1][4], "0", "no decode failures below the radius");
-    }
-
-    fn split(cell: &str) -> (usize, usize) {
-        let (a, b) = cell.split_once('/').unwrap();
-        (a.parse().unwrap(), b.parse().unwrap())
+        assert!(tables[0].rows.len() >= 2);
+        crate::verdict::check("e13", &tables).unwrap();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod e01_gap;
 pub mod e02_scaling;
 pub mod e03_and_rule;
@@ -33,6 +34,7 @@ pub mod e12_lowerbound;
 pub mod e13_faults;
 pub mod metrics;
 pub mod table;
+pub mod verdict;
 
 pub use metrics::MetricsLog;
 pub use table::{tables_to_json, Table};
@@ -74,28 +76,63 @@ pub fn normalize_id(id: &str) -> String {
     }
 }
 
+/// Everything an experiment run can be handed besides its id: the
+/// scale, the optional metrics log, and an optional Monte-Carlo
+/// checkpoint file (threaded into the executor-driven experiments so
+/// long sweeps survive interruption and resume bit-identically).
+#[derive(Debug)]
+pub struct ExperimentCtx<'a> {
+    /// Quick/Full scale knob.
+    pub scale: Scale,
+    /// Per-run `dut-metrics/1` records for experiments that emit them.
+    pub log: &'a mut MetricsLog,
+    /// Chunk-level Monte-Carlo checkpoint (`--checkpoint`); currently
+    /// consumed by E1, whose 400k-trial grids dominate full-scale
+    /// wall-clock time.
+    pub checkpoint: Option<&'a mut dut_core::Checkpoint>,
+}
+
 /// Runs one experiment by (canonical) id, returning its rendered
 /// tables. Experiments that support `--metrics` append one
-/// `dut-metrics/1` record per tester run to `log`; the rest ignore it.
+/// `dut-metrics/1` record per tester run to `ctx.log`; the rest ignore
+/// it.
+///
+/// # Panics
+///
+/// Panics on an unknown id, or if `ctx.checkpoint` names an unusable
+/// checkpoint file (plan mismatch against a stale file — delete it).
+pub fn run_experiment_ctx(id: &str, ctx: ExperimentCtx<'_>) -> Vec<Table> {
+    match id {
+        "e1" => e01_gap::run_ctx(ctx.scale, ctx.checkpoint),
+        "e2" => e02_scaling::run(ctx.scale),
+        "e3" => e03_and_rule::run(ctx.scale),
+        "e4" => e04_threshold::run(ctx.scale),
+        "e5" => e05_asymmetric::run(ctx.scale),
+        "e6" => e06_congest::run(ctx.scale, ctx.log),
+        "e7" => e07_local::run(ctx.scale),
+        "e8" => e08_smp::run(ctx.scale),
+        "e9" => e09_lemma21::run(ctx.scale),
+        "e10" => e10_baselines::run(ctx.scale),
+        "e11" => e11_identity::run(ctx.scale),
+        "e12" => e12_lowerbound::run(ctx.scale),
+        "e13" => e13_faults::run(ctx.scale, ctx.log),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}
+
+/// [`run_experiment_ctx`] without a checkpoint — the stable entry
+/// point tests and examples use.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id.
 pub fn run_experiment(id: &str, scale: Scale, log: &mut MetricsLog) -> Vec<Table> {
-    match id {
-        "e1" => e01_gap::run(scale),
-        "e2" => e02_scaling::run(scale),
-        "e3" => e03_and_rule::run(scale),
-        "e4" => e04_threshold::run(scale),
-        "e5" => e05_asymmetric::run(scale),
-        "e6" => e06_congest::run(scale, log),
-        "e7" => e07_local::run(scale),
-        "e8" => e08_smp::run(scale),
-        "e9" => e09_lemma21::run(scale),
-        "e10" => e10_baselines::run(scale),
-        "e11" => e11_identity::run(scale),
-        "e12" => e12_lowerbound::run(scale),
-        "e13" => e13_faults::run(scale, log),
-        other => panic!("unknown experiment id: {other}"),
-    }
+    run_experiment_ctx(
+        id,
+        ExperimentCtx {
+            scale,
+            log,
+            checkpoint: None,
+        },
+    )
 }

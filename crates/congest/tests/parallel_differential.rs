@@ -1,0 +1,40 @@
+//! Serial ↔ parallel differential suite for the CONGEST tester (CI's
+//! testkit lane): the full packaging + convergecast + broadcast
+//! protocol run inside Monte-Carlo trials must produce bit-identical
+//! estimates and merged round/bit metrics at any thread count.
+
+use dut_congest::CongestUniformityTester;
+use dut_core::decision::Decision;
+use dut_core::montecarlo::trial_rng;
+use dut_distributions::families::paninski_far;
+use dut_netsim::topology;
+use dut_testkit::parallel::assert_thread_invariant_observed;
+
+#[test]
+fn congest_tester_is_thread_invariant_observed() {
+    let n = 1 << 12;
+    let k = 12_000;
+    let tester = CongestUniformityTester::plan(n, k, 1.0, 1.0 / 3.0, 1).expect("plannable");
+    let g = topology::star(k);
+    let far = paninski_far(n, 1.0).expect("valid family");
+    let trials = 24;
+    let (est, sink) = assert_thread_invariant_observed(
+        trials,
+        2026,
+        || (),
+        |seed, (), sink| {
+            let mut rng = trial_rng(seed);
+            tester
+                .run_observed(&g, &far, &mut rng, sink)
+                .expect("protocol completes")
+                .decision
+                == Decision::Reject
+        },
+    );
+    // Far input at ε=1: the network must reject at least sometimes,
+    // and every trial must have metered its rounds and bits.
+    assert!(est.rate > 0.0, "far input never rejected: {est:?}");
+    assert_eq!(sink.counter(dut_obs::keys::CONGEST_RUNS) as usize, trials);
+    assert!(sink.counter(dut_obs::keys::CONGEST_ROUNDS) > 0);
+    assert!(sink.counter(dut_obs::keys::CONGEST_BITS) > 0);
+}

@@ -1,0 +1,622 @@
+//! Chunk-level checkpointing for Monte-Carlo estimates.
+//!
+//! Long experiment sweeps (E1's 400k-trial grids, overnight full-scale
+//! runs) should survive interruption: the parallel executor
+//! ([`crate::executor`]) divides trials into fixed chunks, and a
+//! [`Checkpoint`] appends one line per *completed* chunk to a JSONL
+//! file in the `dut-metrics/1` schema (the same
+//! [`dut_obs::JsonlWriter`] format the `--metrics` flag emits, see
+//! `docs/METRICS.md`). Re-running the same estimate against the same
+//! file skips every recorded chunk and recomputes only the missing
+//! ones — producing a final estimate **bit-identical** to an
+//! uninterrupted run, because chunk boundaries, per-trial seeds, and
+//! the chunk-ordered reduction are all independent of which run
+//! executed a chunk (or on how many threads).
+//!
+//! # File format
+//!
+//! One estimate (keyed by a caller-chosen *label*) writes:
+//!
+//! * a **plan line** — `"experiment":"mc/plan"`, `"case":"<label>"`,
+//!   params `trials`, `chunk_size`, `base_seed`, `observed` — written
+//!   once, before any chunk of that label;
+//! * one **chunk line** per completed chunk —
+//!   `"experiment":"mc/chunk"`, params `chunk`, `start`, `len`,
+//!   `failures`, plus the chunk sink's counters (in the record's
+//!   standard `counters` object) and full-fidelity histograms (bucket
+//!   level, in the `hists` param; the record's `histograms` object
+//!   holds the usual human-readable summaries).
+//!
+//! Multiple labels share one file, so a whole experiment (one label
+//! per grid cell) checkpoints into a single JSONL. On open, a torn
+//! final line (the run died mid-write) is truncated away; that chunk
+//! simply reruns. Any other malformed line is a typed
+//! [`CheckpointError`] — a checkpoint is either trustworthy or
+//! rejected, never silently reinterpreted. Resuming with different
+//! parameters (trial count, chunk size, seed, observed mode) under an
+//! existing label is a [`CheckpointError::PlanMismatch`]; delete the
+//! file to start over.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dut_obs::hist::BUCKETS;
+use dut_obs::{keys, Histogram, JsonlWriter, MemorySink, RunRecord, Sink};
+
+/// Why a checkpoint file could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An I/O error (message retained; `io::Error` itself is not `Eq`).
+    Io(String),
+    /// The label contains characters outside the safe set
+    /// `[A-Za-z0-9 ._/,:=^()+-]` (kept out of JSON-escape territory so
+    /// checkpoint lines parse without a full JSON reader).
+    BadLabel(String),
+    /// The file records a plan for this label that disagrees with the
+    /// requested estimate (different trials / chunk size / seed /
+    /// observed mode).
+    PlanMismatch {
+        /// The estimate's label.
+        label: String,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A (non-final) line failed to parse, or chunk lines are
+    /// inconsistent with their plan.
+    Corrupt {
+        /// 1-based line number in the checkpoint file.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A chunk line recorded a metric key that is not in the
+    /// [`dut_obs::keys`] registry (the checkpoint came from a
+    /// different build).
+    UnknownKey {
+        /// 1-based line number in the checkpoint file.
+        line: usize,
+        /// The unregistered key.
+        key: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadLabel(l) => {
+                write!(
+                    f,
+                    "checkpoint label {l:?} has characters outside the safe set"
+                )
+            }
+            CheckpointError::PlanMismatch { label, detail } => {
+                write!(f, "checkpoint plan for {label:?} does not match: {detail}")
+            }
+            CheckpointError::Corrupt { line, detail } => {
+                write!(f, "checkpoint line {line} is corrupt: {detail}")
+            }
+            CheckpointError::UnknownKey { line, key } => {
+                write!(
+                    f,
+                    "checkpoint line {line} records unknown metric key {key:?}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+fn io_err(e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io(e.to_string())
+}
+
+/// The parameters a label's chunks were produced under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Plan {
+    pub trials: usize,
+    pub chunk_size: usize,
+    pub base_seed: u64,
+    pub observed: bool,
+}
+
+/// One completed chunk: its failure count and (for observed runs) the
+/// chunk's recorded metrics at full fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChunkRecord {
+    pub failures: usize,
+    pub sink: MemorySink,
+}
+
+/// An append-only JSONL checkpoint shared by any number of labeled
+/// estimates. See the module docs for the format and guarantees.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    writer: JsonlWriter,
+    plans: BTreeMap<String, Plan>,
+    chunks: BTreeMap<(String, usize), ChunkRecord>,
+}
+
+impl Checkpoint {
+    /// Opens (creating if absent) the checkpoint at `path`, loading
+    /// every previously recorded chunk. A torn final line is truncated
+    /// away and its chunk will rerun.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure, or a typed parse
+    /// error if the file's complete lines are not a valid checkpoint.
+    pub fn open(path: &Path) -> Result<Self, CheckpointError> {
+        let mut text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        // A torn tail (the writing process died mid-line) is expected;
+        // drop it and rerun that chunk. Truncate the file so the next
+        // append starts on a clean line boundary.
+        if !text.is_empty() && !text.ends_with('\n') {
+            let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            text.truncate(keep);
+            fs::write(path, &text).map_err(io_err)?;
+        }
+        let mut plans = BTreeMap::new();
+        let mut chunks = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            parse_line(line, idx + 1, &mut plans, &mut chunks)?;
+        }
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            writer: JsonlWriter::append(path).map_err(io_err)?,
+            plans,
+            chunks,
+        })
+    }
+
+    /// The file this checkpoint appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of chunks recorded as complete under `label`.
+    pub fn completed_chunks(&self, label: &str) -> usize {
+        self.chunks
+            .range((label.to_string(), 0)..=(label.to_string(), usize::MAX))
+            .count()
+    }
+
+    /// Registers (or validates) the plan for `label` and returns the
+    /// already-completed chunks to prefill the executor with.
+    pub(crate) fn begin(
+        &mut self,
+        label: &str,
+        plan: Plan,
+    ) -> Result<Vec<(usize, ChunkRecord)>, CheckpointError> {
+        validate_label(label)?;
+        match self.plans.get(label) {
+            Some(existing) if *existing != plan => {
+                return Err(CheckpointError::PlanMismatch {
+                    label: label.to_string(),
+                    detail: format!("recorded {existing:?}, requested {plan:?}"),
+                });
+            }
+            Some(_) => {}
+            None => {
+                let record = RunRecord::new("mc/plan", label)
+                    .param("trials", plan.trials)
+                    .param("chunk_size", plan.chunk_size)
+                    .param("base_seed", plan.base_seed)
+                    .param("observed", u64::from(plan.observed));
+                self.writer
+                    .write(&record, &MemorySink::new())
+                    .and_then(|()| self.writer.flush())
+                    .map_err(io_err)?;
+                self.plans.insert(label.to_string(), plan);
+            }
+        }
+        Ok(self
+            .chunks
+            .range((label.to_string(), 0)..=(label.to_string(), usize::MAX))
+            .map(|((_, chunk), rec)| (*chunk, rec.clone()))
+            .collect())
+    }
+
+    /// Appends one completed chunk under `label` and flushes, so a kill
+    /// at any later point preserves it.
+    pub(crate) fn append_chunk(
+        &mut self,
+        label: &str,
+        chunk: usize,
+        start: usize,
+        len: usize,
+        failures: usize,
+        sink: &MemorySink,
+    ) -> Result<(), CheckpointError> {
+        let record = RunRecord::new("mc/chunk", label)
+            .param("chunk", chunk)
+            .param("start", start)
+            .param("len", len)
+            .param("failures", failures)
+            .param("hists", encode_hists(sink));
+        self.writer
+            .write(&record, sink)
+            .and_then(|()| self.writer.flush())
+            .map_err(io_err)?;
+        self.chunks.insert(
+            (label.to_string(), chunk),
+            ChunkRecord {
+                failures,
+                sink: sink.clone(),
+            },
+        );
+        Ok(())
+    }
+}
+
+fn validate_label(label: &str) -> Result<(), CheckpointError> {
+    let ok = !label.is_empty()
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || " ._/,:=^()+-".contains(c));
+    if ok {
+        Ok(())
+    } else {
+        Err(CheckpointError::BadLabel(label.to_string()))
+    }
+}
+
+// --------------------------------------------------------------- parsing
+//
+// Checkpoint lines are emitted by this module through `RunRecord`, whose
+// hand-rolled serializer writes fields in a fixed order with no
+// whitespace; labels are restricted to escape-free characters. That
+// closed world is what these scanning parsers rely on — they are not a
+// general JSON reader and reject anything they did not write.
+
+fn parse_line(
+    line: &str,
+    line_no: usize,
+    plans: &mut BTreeMap<String, Plan>,
+    chunks: &mut BTreeMap<(String, usize), ChunkRecord>,
+) -> Result<(), CheckpointError> {
+    let corrupt = |detail: &str| CheckpointError::Corrupt {
+        line: line_no,
+        detail: detail.to_string(),
+    };
+    let experiment = field_str(line, "experiment").ok_or_else(|| corrupt("no experiment field"))?;
+    let label = field_str(line, "case").ok_or_else(|| corrupt("no case field"))?;
+    match experiment {
+        "mc/plan" => {
+            let plan = Plan {
+                trials: field_usize(line, "trials").ok_or_else(|| corrupt("no trials"))?,
+                chunk_size: field_usize(line, "chunk_size")
+                    .ok_or_else(|| corrupt("no chunk_size"))?,
+                base_seed: field_u64(line, "base_seed").ok_or_else(|| corrupt("no base_seed"))?,
+                observed: field_u64(line, "observed").ok_or_else(|| corrupt("no observed"))? != 0,
+            };
+            if plan.chunk_size == 0 || plan.trials == 0 {
+                return Err(corrupt("plan with zero trials or chunk_size"));
+            }
+            match plans.get(label) {
+                Some(existing) if *existing != plan => {
+                    return Err(corrupt("conflicting duplicate plan for label"));
+                }
+                _ => {
+                    plans.insert(label.to_string(), plan);
+                }
+            }
+        }
+        "mc/chunk" => {
+            let plan = *plans
+                .get(label)
+                .ok_or_else(|| corrupt("chunk line before its plan line"))?;
+            let chunk = field_usize(line, "chunk").ok_or_else(|| corrupt("no chunk"))?;
+            let start = field_usize(line, "start").ok_or_else(|| corrupt("no start"))?;
+            let len = field_usize(line, "len").ok_or_else(|| corrupt("no len"))?;
+            let failures = field_usize(line, "failures").ok_or_else(|| corrupt("no failures"))?;
+            let expect_start = chunk.checked_mul(plan.chunk_size);
+            if expect_start != Some(start)
+                || start >= plan.trials
+                || len != plan.chunk_size.min(plan.trials - start)
+                || failures > len
+            {
+                return Err(corrupt("chunk geometry disagrees with its plan"));
+            }
+            let mut sink = MemorySink::new();
+            for (key, value) in parse_counters(line).ok_or_else(|| corrupt("no counters object"))? {
+                let key = keys::lookup(key).ok_or_else(|| CheckpointError::UnknownKey {
+                    line: line_no,
+                    key: key.to_string(),
+                })?;
+                sink.add(key, value);
+            }
+            let hists = field_str(line, "hists").ok_or_else(|| corrupt("no hists param"))?;
+            for (key, hist) in decode_hists(hists, line_no)? {
+                sink.merge_histogram(key, &hist);
+            }
+            let record = ChunkRecord { failures, sink };
+            match chunks.get(&(label.to_string(), chunk)) {
+                Some(existing) if *existing != record => {
+                    return Err(corrupt("conflicting duplicate chunk record"));
+                }
+                _ => {
+                    chunks.insert((label.to_string(), chunk), record);
+                }
+            }
+        }
+        other => {
+            return Err(corrupt(&format!("unknown record kind {other:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the (escape-free by construction) string value of
+/// `"key":"value"`.
+fn field_str<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extracts the integer value of `"key":digits`.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn field_usize(line: &str, key: &str) -> Option<usize> {
+    field_u64(line, key).and_then(|v| usize::try_from(v).ok())
+}
+
+/// Returns the `(key, value)` pairs of the flat `"counters":{...}`
+/// object.
+fn parse_counters(line: &str) -> Option<Vec<(&str, u64)>> {
+    let pat = "\"counters\":{";
+    let at = line.find(pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find('}')?;
+    let body = &rest[..end];
+    let mut out = Vec::new();
+    if body.is_empty() {
+        return Some(out);
+    }
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.strip_prefix('"')?.strip_suffix('"')?;
+        out.push((key, value.parse().ok()?));
+    }
+    Some(out)
+}
+
+/// Serializes every histogram of `sink` at full bucket fidelity:
+/// `key=count,sum,min,max[,i:c]*` entries joined by `;`.
+fn encode_hists(sink: &MemorySink) -> String {
+    let mut entries = Vec::new();
+    for (key, h) in sink.histograms() {
+        let mut entry = format!("{key}={},{},{},{}", h.count(), h.sum(), h.min(), h.max());
+        for (i, c) in h.buckets().iter().enumerate().filter(|(_, c)| **c > 0) {
+            entry.push_str(&format!(",{i}:{c}"));
+        }
+        entries.push(entry);
+    }
+    entries.join(";")
+}
+
+/// The inverse of [`encode_hists`].
+fn decode_hists(
+    encoded: &str,
+    line_no: usize,
+) -> Result<Vec<(&'static str, Histogram)>, CheckpointError> {
+    let corrupt = |detail: &str| CheckpointError::Corrupt {
+        line: line_no,
+        detail: detail.to_string(),
+    };
+    let mut out = Vec::new();
+    if encoded.is_empty() {
+        return Ok(out);
+    }
+    for entry in encoded.split(';') {
+        let (key, body) = entry
+            .split_once('=')
+            .ok_or_else(|| corrupt("histogram entry without '='"))?;
+        let key = keys::lookup(key).ok_or_else(|| CheckpointError::UnknownKey {
+            line: line_no,
+            key: key.to_string(),
+        })?;
+        let mut parts = body.split(',');
+        let mut stat = || -> Result<u64, CheckpointError> {
+            parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| corrupt("histogram entry missing side stats"))
+        };
+        let (count, sum, min, max) = (stat()?, stat()?, stat()?, stat()?);
+        let mut buckets = [0u64; BUCKETS];
+        for pair in parts {
+            let (i, c) = pair
+                .split_once(':')
+                .ok_or_else(|| corrupt("histogram bucket without ':'"))?;
+            let i: usize = i.parse().map_err(|_| corrupt("bad bucket index"))?;
+            if i >= BUCKETS {
+                return Err(corrupt("bucket index out of range"));
+            }
+            buckets[i] = c.parse().map_err(|_| corrupt("bad bucket count"))?;
+        }
+        let hist = Histogram::from_parts(count, sum, min, max, buckets)
+            .ok_or_else(|| corrupt("histogram side stats disagree with buckets"))?;
+        out.push((key, hist));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_obs::keys as k;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dut_core_checkpoint_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn plan() -> Plan {
+        Plan {
+            trials: 100,
+            chunk_size: 16,
+            base_seed: 7,
+            observed: true,
+        }
+    }
+
+    #[test]
+    fn fresh_open_begin_append_reload() {
+        let path = tmp("fresh.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.begin("a/b", plan()).unwrap(), vec![]);
+        let mut sink = MemorySink::new();
+        sink.add(k::CORE_GAP_RUNS, 16);
+        sink.observe(k::NETSIM_ROUND_BITS, 96);
+        sink.observe(k::NETSIM_ROUND_BITS, 5);
+        ck.append_chunk("a/b", 2, 32, 16, 3, &sink).unwrap();
+        drop(ck);
+
+        let mut re = Checkpoint::open(&path).unwrap();
+        assert_eq!(re.completed_chunks("a/b"), 1);
+        let done = re.begin("a/b", plan()).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 2);
+        assert_eq!(done[0].1.failures, 3);
+        // Full fidelity: the restored sink equals the recorded one.
+        assert_eq!(done[0].1.sink, sink);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_mismatch_is_typed() {
+        let path = tmp("mismatch.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        let other = Plan {
+            base_seed: 8,
+            ..plan()
+        };
+        assert!(matches!(
+            ck.begin("x", other),
+            Err(CheckpointError::PlanMismatch { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_rerun() {
+        let path = tmp("torn.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        ck.append_chunk("x", 0, 0, 16, 1, &MemorySink::new())
+            .unwrap();
+        drop(ck);
+        // Simulate a kill mid-write of the next chunk line.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":\"dut-metrics/1\",\"experiment\":\"mc/chu");
+        fs::write(&path, &text).unwrap();
+        let re = Checkpoint::open(&path).unwrap();
+        assert_eq!(re.completed_chunks("x"), 1);
+        // The torn bytes are gone from disk.
+        assert!(fs::read_to_string(&path).unwrap().ends_with('\n'));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_rejected() {
+        let path = tmp("corrupt.jsonl");
+        let _ = fs::remove_file(&path);
+        fs::write(
+            &path,
+            "{\"schema\":\"dut-metrics/1\",\"experiment\":\"mc/wat\",\"case\":\"x\"}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Checkpoint::open(&path),
+            Err(CheckpointError::Corrupt { line: 1, .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_metric_key_is_rejected() {
+        let path = tmp("unknown_key.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        ck.append_chunk("x", 0, 0, 16, 0, &MemorySink::new())
+            .unwrap();
+        drop(ck);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"counters\":{}", "\"counters\":{\"not.a.key\":1}");
+        fs::write(&path, text).unwrap();
+        assert!(matches!(
+            Checkpoint::open(&path),
+            Err(CheckpointError::UnknownKey { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_labels_are_rejected() {
+        let path = tmp("label.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        assert!(matches!(
+            ck.begin("quo\"te", plan()),
+            Err(CheckpointError::BadLabel(_))
+        ));
+        assert!(matches!(
+            ck.begin("", plan()),
+            Err(CheckpointError::BadLabel(_))
+        ));
+        assert!(ck.begin("ok label/n=16,eps=0.5", plan()).is_ok());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hist_encoding_round_trips() {
+        let mut sink = MemorySink::new();
+        for v in [0u64, 1, 3, 1 << 40] {
+            sink.observe(k::NETSIM_ROUND_NANOS, v);
+        }
+        sink.observe(k::NETSIM_ROUND_BITS, 12);
+        let encoded = encode_hists(&sink);
+        let decoded = decode_hists(&encoded, 1).unwrap();
+        assert_eq!(decoded.len(), 2);
+        let mut rebuilt = MemorySink::new();
+        for (key, h) in &decoded {
+            rebuilt.merge_histogram(key, h);
+        }
+        assert_eq!(
+            rebuilt.histogram(k::NETSIM_ROUND_NANOS),
+            sink.histogram(k::NETSIM_ROUND_NANOS)
+        );
+        assert_eq!(
+            rebuilt.histogram(k::NETSIM_ROUND_BITS),
+            sink.histogram(k::NETSIM_ROUND_BITS)
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! The deterministic parallel Monte-Carlo executor.
+//!
+//! Every estimate in this repository — each cell of an experiment
+//! grid, each differential fuzz budget — is a loop of independent
+//! boolean trials. This module runs those loops in parallel while
+//! keeping the result **bit-identical at any thread count**:
+//!
+//! * **Stateless per-trial seeding.** Trial `i`'s RNG seed is
+//!   [`derive_trial_seed`]`(base_seed, i)` — a splitmix64 finalizer
+//!   over the trial *index*, the same counter-stream trick the fault
+//!   substrate uses — so a trial's randomness depends only on
+//!   `(base_seed, i)`, never on which worker ran it or what ran
+//!   before it.
+//! * **Fixed chunk geometry.** Trials are partitioned into contiguous
+//!   chunks whose size is a pure function of the trial count (or an
+//!   explicit [`MonteCarloConfig::chunk_size`]) — never of the thread
+//!   count. Workers claim whole chunks from an atomic counter
+//!   (work-stealing: a fast worker simply claims more chunks).
+//! * **Order-independent reduction.** Each chunk produces a failure
+//!   count and (for observed runs) a private [`MemorySink`]. Failure
+//!   counts add and sinks merge element-wise — both commutative and
+//!   associative over integers — and the final reduction walks chunks
+//!   in index order, so the totals are identical whether the run used
+//!   1 thread or 64, chunk size 16 or 1024.
+//! * **Per-worker state.** `init()` runs once per worker; trials reuse
+//!   that worker's scratch buffers (`TesterScratch` and friends), so
+//!   the per-trial hot path allocates nothing.
+//!
+//! Chunks are also the unit of checkpointing: with a
+//! [`crate::checkpoint::Checkpoint`] attached, each completed chunk is
+//! appended (and flushed) to a JSONL file, and a rerun skips every
+//! recorded chunk — the final estimate is bit-identical to an
+//! uninterrupted run because chunk geometry and seeds don't depend on
+//! who computed a chunk.
+//!
+//! The ergonomic entry points live in [`crate::montecarlo`]
+//! ([`crate::montecarlo::MonteCarlo`] and the free `estimate_*`
+//! functions); this module holds the engine and its configuration.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dut_obs::{MemorySink, NoopSink, Sink};
+
+use crate::checkpoint::{Checkpoint, CheckpointError, ChunkRecord, Plan};
+
+/// Largest chunk the automatic policy picks. 1024 trials per chunk
+/// keeps checkpoint files small (≤ ~400 lines for a 400k-trial cell)
+/// while leaving chunk-claim contention negligible.
+pub const MAX_AUTO_CHUNK: usize = 1024;
+
+/// Process-wide default worker count; 0 means "ask the OS".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by configs with `threads == 0`
+/// (the `--threads` flag of the experiments binary lands here).
+/// Passing 0 restores the OS-reported parallelism. Thread count never
+/// affects results — only wall-clock time.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count an auto-threaded config resolves to: the
+/// [`set_default_threads`] override if set, else the OS-reported
+/// available parallelism.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// The chunk size the automatic policy picks for `trials`: about 64
+/// chunks per run, clamped to `[16, `[`MAX_AUTO_CHUNK`]`]` and never
+/// larger than the run. A pure function of `trials` — deliberately
+/// independent of thread count — so chunk geometry (and therefore
+/// checkpoint layout) is reproducible.
+pub fn auto_chunk_size(trials: usize) -> usize {
+    (trials / 64).clamp(16, MAX_AUTO_CHUNK).min(trials.max(1))
+}
+
+/// How a Monte-Carlo run executes. **Never** what it computes: every
+/// config produces bit-identical estimates for the same
+/// `(trials, base_seed, trial)`; this only tunes threads and
+/// checkpoint granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Worker threads; 0 = [`default_threads`].
+    pub threads: usize,
+    /// Trials per chunk; 0 = [`auto_chunk_size`].
+    pub chunk_size: usize,
+}
+
+impl MonteCarloConfig {
+    /// Auto threads, auto chunk size — what the free
+    /// `estimate_failure_rate*` functions use.
+    pub fn auto() -> Self {
+        MonteCarloConfig::default()
+    }
+
+    /// Single-threaded execution (the serial side of the
+    /// serial-vs-parallel differential tests).
+    pub fn serial() -> Self {
+        MonteCarloConfig {
+            threads: 1,
+            chunk_size: 0,
+        }
+    }
+
+    /// Exactly `threads` workers (0 = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        MonteCarloConfig {
+            threads,
+            chunk_size: 0,
+        }
+    }
+
+    /// Sets the chunk size (0 = auto). Affects checkpoint granularity
+    /// and scheduling only, never results — but a checkpoint records
+    /// its chunk size, so resuming must use the same value.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The worker count this config resolves to right now.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+        .max(1)
+    }
+
+    /// The chunk size this config resolves to for a `trials`-sized run.
+    pub fn resolved_chunk_size(&self, trials: usize) -> usize {
+        if self.chunk_size == 0 {
+            auto_chunk_size(trials)
+        } else {
+            self.chunk_size.min(trials.max(1))
+        }
+    }
+}
+
+/// What one chunk produced (or was restored with).
+#[derive(Debug)]
+struct ChunkOut {
+    failures: usize,
+    sink: Option<MemorySink>,
+}
+
+/// The chunk-ordered reduction of a whole run.
+#[derive(Debug)]
+pub(crate) struct Reduction {
+    /// Total failed trials.
+    pub failures: usize,
+    /// Merge of every chunk's sink, in chunk-index order (empty for
+    /// unobserved runs).
+    pub sink: MemorySink,
+}
+
+/// Runs `trials` boolean trials chunk-parallel and reduces them
+/// deterministically. `trial(seed, state, sink)` returns `true` iff
+/// the trial **failed**; `init()` runs once per worker. With
+/// `observe`, each chunk records into a private [`MemorySink`];
+/// without, trials see a [`NoopSink`] (`enabled() == false`) and the
+/// reduction's sink stays empty.
+///
+/// Panics in `init`/`trial` re-raise their original payload on the
+/// caller. Checkpoint failures surface as `Err` and stop the run early.
+pub(crate) fn run_chunked<S, I, F>(
+    cfg: MonteCarloConfig,
+    trials: usize,
+    base_seed: u64,
+    observe: bool,
+    checkpoint: Option<(&mut Checkpoint, &str)>,
+    init: I,
+    trial: F,
+) -> Result<Reduction, CheckpointError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(u64, &mut S, &mut dyn Sink) -> bool + Sync,
+{
+    assert!(trials > 0, "callers guard trials == 0");
+    let chunk_size = cfg.resolved_chunk_size(trials);
+    let chunk_count = trials.div_ceil(chunk_size);
+    let results: Vec<OnceLock<ChunkOut>> = (0..chunk_count).map(|_| OnceLock::new()).collect();
+
+    let ck = match checkpoint {
+        Some((ck, label)) => {
+            let plan = Plan {
+                trials,
+                chunk_size,
+                base_seed,
+                observed: observe,
+            };
+            for (chunk, ChunkRecord { failures, sink }) in ck.begin(label, plan)? {
+                let out = ChunkOut {
+                    failures,
+                    sink: observe.then_some(sink),
+                };
+                results[chunk].set(out).expect("chunks are recorded once");
+            }
+            Some((Mutex::new(ck), label))
+        }
+        None => None,
+    };
+
+    let threads = cfg.resolved_threads().min(chunk_count);
+    let next = AtomicUsize::new(0);
+    // First trial-panic payload, carried across the scope join so the
+    // caller sees the trial's own panic, not the scope's generic one.
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let ck_failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
+    let (results_ref, init_ref, trial_ref, ck_ref) = (&results, &init, &trial, &ck);
+
+    let scope_result = crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // `init` and `trial` run under `catch_unwind` so a
+                // panicking closure stops this worker cleanly; the
+                // payload is stashed instead of unwinding through the
+                // scope (which would replace it with "a scoped thread
+                // panicked").
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init_ref();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunk_count {
+                            break;
+                        }
+                        if results_ref[c].get().is_some() {
+                            continue; // restored from the checkpoint
+                        }
+                        let start = c * chunk_size;
+                        let len = chunk_size.min(trials - start);
+                        let mut failures = 0usize;
+                        let mut mem = observe.then(MemorySink::new);
+                        let mut noop = NoopSink;
+                        for i in start..start + len {
+                            let seed = derive_trial_seed(base_seed, i as u64);
+                            let sink: &mut dyn Sink = match mem.as_mut() {
+                                Some(m) => m,
+                                None => &mut noop,
+                            };
+                            if trial_ref(seed, &mut state, sink) {
+                                failures += 1;
+                            }
+                        }
+                        if let Some((ck, label)) = ck_ref {
+                            let empty = MemorySink::new();
+                            let chunk_sink = mem.as_ref().unwrap_or(&empty);
+                            let appended = ck
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .append_chunk(label, c, start, len, failures, chunk_sink);
+                            if let Err(e) = appended {
+                                // Stop the other workers early; the
+                                // run fails with the typed error.
+                                next.fetch_add(chunk_count, Ordering::Relaxed);
+                                let mut slot = ck_failure.lock().unwrap_or_else(|e| e.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                        let out = ChunkOut {
+                            failures,
+                            sink: mem,
+                        };
+                        results_ref[c].set(out).expect("each chunk is claimed once");
+                    }
+                }));
+                if let Err(payload) = caught {
+                    // Stop the other workers early; the estimate is
+                    // void anyway.
+                    next.fetch_add(chunk_count, Ordering::Relaxed);
+                    let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            });
+        }
+    });
+    // Workers catch their own panics, so the scope itself cannot fail.
+    let () = scope_result.expect("worker panics are caught inside the workers");
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
+        resume_unwind(payload);
+    }
+    if let Some(e) = ck_failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+
+    // Chunk-ordered reduction. Counter addition and histogram merges
+    // are commutative, so this equals any other order — walking the
+    // index order just makes the determinism obvious.
+    let mut failures = 0usize;
+    let mut sink = MemorySink::new();
+    for slot in &results {
+        let out = slot.get().expect("all chunks completed");
+        failures += out.failures;
+        if let Some(mem) = &out.sink {
+            sink.merge(mem);
+        }
+    }
+    Ok(Reduction { failures, sink })
+}
+
+/// The seed trial `i` runs under: a splitmix64 finalizer over the
+/// trial index mixed into `base_seed`, so nearby trials get unrelated
+/// RNG streams and a trial's randomness is a pure function of
+/// `(base_seed, index)` — the property that makes parallel, resumed,
+/// and serial runs bit-identical.
+pub fn derive_trial_seed(base_seed: u64, index: u64) -> u64 {
+    splitmix64(base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_chunks_are_a_pure_function_of_trials() {
+        assert_eq!(auto_chunk_size(1), 1);
+        assert_eq!(auto_chunk_size(10), 10);
+        assert_eq!(auto_chunk_size(40), 16);
+        assert_eq!(auto_chunk_size(20_000), 312);
+        assert_eq!(auto_chunk_size(400_000), MAX_AUTO_CHUNK);
+    }
+
+    #[test]
+    fn resolved_chunk_size_clamps_to_trials() {
+        let cfg = MonteCarloConfig::auto().chunk_size(1 << 20);
+        assert_eq!(cfg.resolved_chunk_size(100), 100);
+        assert_eq!(MonteCarloConfig::auto().resolved_chunk_size(5), 5);
+    }
+
+    #[test]
+    fn default_threads_override_round_trips() {
+        // Serial configs ignore the override entirely.
+        assert_eq!(MonteCarloConfig::serial().resolved_threads(), 1);
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(MonteCarloConfig::auto().resolved_threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn trial_seeds_are_stateless_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| derive_trial_seed(7, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_trial_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in a {
+            assert!(seen.insert(s), "seed collision");
+        }
+    }
+
+    #[test]
+    fn resumed_chunks_are_skipped_not_recomputed() {
+        let dir = std::env::temp_dir().join("dut_core_executor_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("skip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let trial = |seed: u64, (): &mut (), _sink: &mut dyn Sink| seed.is_multiple_of(3);
+        let cfg = MonteCarloConfig::serial().chunk_size(50);
+
+        let mut ck = Checkpoint::open(&path).unwrap();
+        let full = run_chunked(cfg, 500, 9, false, Some((&mut ck, "cell")), || (), trial).unwrap();
+        assert_eq!(ck.completed_chunks("cell"), 10);
+        let lines_after_first = std::fs::read_to_string(&path).unwrap().lines().count();
+
+        // Re-running against the same file restores every chunk and
+        // appends nothing new.
+        let again = run_chunked(cfg, 500, 9, false, Some((&mut ck, "cell")), || (), trial).unwrap();
+        assert_eq!(again.failures, full.failures);
+        let lines_after_second = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_after_first, lines_after_second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failure_counts_are_chunk_and_thread_invariant() {
+        let trial = |seed: u64, (): &mut (), _sink: &mut dyn Sink| seed.is_multiple_of(5);
+        let mut counts = Vec::new();
+        for cfg in [
+            MonteCarloConfig::serial(),
+            MonteCarloConfig::with_threads(2).chunk_size(7),
+            MonteCarloConfig::with_threads(8).chunk_size(101),
+            MonteCarloConfig::auto(),
+        ] {
+            let red = run_chunked(cfg, 1000, 42, false, None, || (), trial).unwrap();
+            counts.push(red.failures);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -31,7 +31,10 @@
 //!   distribution η down to uniformity testing, which "continues to work
 //!   in the distributed setting" (§1).
 //! * [`montecarlo`] — parallel Monte-Carlo error estimation with Wilson
-//!   score intervals (how every experiment measures error probabilities).
+//!   score intervals (how every experiment measures error probabilities),
+//!   built on the deterministic chunk-parallel [`executor`] with
+//!   JSONL [`checkpoint`]/resume — results are bit-identical at any
+//!   thread count.
 //! * [`decision`] — accept/reject decision types and network decision
 //!   rules.
 //!
@@ -65,8 +68,10 @@
 pub mod amplify;
 pub mod asymmetric;
 pub mod baselines;
+pub mod checkpoint;
 pub mod decision;
 pub mod error;
+pub mod executor;
 pub mod gap;
 pub mod identity;
 pub mod montecarlo;
@@ -74,8 +79,10 @@ pub mod params;
 pub mod scratch;
 pub mod zero_round;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use decision::Decision;
 pub use error::PlanError;
+pub use executor::MonteCarloConfig;
 pub use gap::GapTester;
-pub use montecarlo::MonteCarloError;
+pub use montecarlo::{MonteCarlo, MonteCarloError};
 pub use scratch::TesterScratch;

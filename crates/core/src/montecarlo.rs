@@ -4,17 +4,32 @@
 //! soundness `1−(1+Θ(ε²))δ` differ by a Θ(ε²δ) sliver — so every
 //! experiment estimates error probabilities with enough trials to
 //! resolve the gap, and reports Wilson score intervals rather than bare
-//! point estimates. Trials run in parallel across CPU cores with
-//! deterministic per-trial seeds, so results reproduce exactly
-//! regardless of thread count.
+//! point estimates. Trials run on the deterministic chunk-parallel
+//! executor ([`crate::executor`]): per-trial seeds are a pure function
+//! of `(base_seed, trial_index)` and the reduction is chunk-ordered, so
+//! failure counts, Wilson intervals, and merged metrics reproduce
+//! exactly at any thread count — and runs can checkpoint/resume
+//! ([`crate::checkpoint`]) without changing a single bit of the result.
+//!
+//! Entry points, from simplest to fullest:
+//!
+//! * [`estimate_failure_rate`] — stateless trials, auto config.
+//! * [`estimate_failure_rate_with_state`] — per-worker scratch reuse.
+//! * [`MonteCarlo`] — the builder: explicit
+//!   [`MonteCarloConfig`], metrics-observing trials
+//!   ([`MonteCarlo::run_observed`]), and chunk-level checkpointing.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use dut_obs::{MemorySink, Sink};
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::executor::{run_chunked, MonteCarloConfig};
+
+pub use crate::executor::{default_threads, derive_trial_seed, set_default_threads};
 
 /// Why a Monte-Carlo estimate could not be produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +37,9 @@ pub enum MonteCarloError {
     /// `trials == 0`: an estimate over no trials has no defined rate or
     /// interval.
     ZeroTrials,
+    /// The attached checkpoint file could not be used (plan mismatch,
+    /// corruption, or I/O failure).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for MonteCarloError {
@@ -30,11 +48,25 @@ impl fmt::Display for MonteCarloError {
             MonteCarloError::ZeroTrials => {
                 write!(f, "monte-carlo estimation needs at least one trial")
             }
+            MonteCarloError::Checkpoint(e) => write!(f, "monte-carlo checkpoint failed: {e}"),
         }
     }
 }
 
-impl Error for MonteCarloError {}
+impl Error for MonteCarloError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MonteCarloError::ZeroTrials => None,
+            MonteCarloError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for MonteCarloError {
+    fn from(e: CheckpointError) -> Self {
+        MonteCarloError::Checkpoint(e)
+    }
+}
 
 /// A Monte-Carlo estimate of a failure probability, with a Wilson score
 /// confidence interval.
@@ -118,13 +150,177 @@ impl ErrorEstimate {
     }
 }
 
+/// Builder for one Monte-Carlo estimate: trial count and base seed
+/// (the identity of the estimate — these determine the result), plus
+/// execution knobs (thread count, chunk size, checkpoint — these never
+/// change the result).
+///
+/// ```rust
+/// use dut_core::montecarlo::{MonteCarlo, trial_rng};
+/// use dut_core::executor::MonteCarloConfig;
+/// use rand::Rng;
+///
+/// let parallel = MonteCarlo::new(10_000, 7)
+///     .run(|seed| trial_rng(seed).gen::<f64>() < 0.25)
+///     .unwrap();
+/// let serial = MonteCarlo::new(10_000, 7)
+///     .config(MonteCarloConfig::serial())
+///     .run(|seed| trial_rng(seed).gen::<f64>() < 0.25)
+///     .unwrap();
+/// assert_eq!(parallel, serial); // bit-identical, interval included
+/// ```
+#[derive(Debug)]
+pub struct MonteCarlo<'a> {
+    trials: usize,
+    base_seed: u64,
+    config: MonteCarloConfig,
+    checkpoint: Option<(&'a mut Checkpoint, String)>,
+}
+
+impl<'a> MonteCarlo<'a> {
+    /// Starts an estimate over `trials` trials seeded from `base_seed`,
+    /// with auto (thread-count-adaptive, result-invariant) execution.
+    pub fn new(trials: usize, base_seed: u64) -> Self {
+        MonteCarlo {
+            trials,
+            base_seed,
+            config: MonteCarloConfig::auto(),
+            checkpoint: None,
+        }
+    }
+
+    /// Sets the execution config (threads, chunk size).
+    pub fn config(mut self, config: MonteCarloConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a checkpoint: completed chunks append to `ck` under
+    /// `label`, and chunks already recorded there are skipped. The
+    /// label identifies this estimate within the (shared) file — one
+    /// label per grid cell, e.g. `"e1a/n=65536,delta=0.050"`.
+    pub fn checkpoint(mut self, ck: &'a mut Checkpoint, label: impl Into<String>) -> Self {
+        self.checkpoint = Some((ck, label.into()));
+        self
+    }
+
+    /// Runs stateless trials: `trial(seed)` returns `true` iff the
+    /// trial **failed**.
+    ///
+    /// # Errors
+    ///
+    /// [`MonteCarloError::ZeroTrials`] if `trials == 0`;
+    /// [`MonteCarloError::Checkpoint`] if an attached checkpoint is
+    /// unusable.
+    ///
+    /// # Panics
+    ///
+    /// If a trial closure panics, the **original panic payload** is
+    /// re-raised on the calling thread (not a generic "worker
+    /// panicked" message), so `catch_unwind`-based harnesses and test
+    /// assertions see the trial's own message.
+    pub fn run<F>(self, trial: F) -> Result<ErrorEstimate, MonteCarloError>
+    where
+        F: Fn(u64) -> bool + Sync,
+    {
+        self.run_with_state(|| (), move |seed, ()| trial(seed))
+    }
+
+    /// Runs trials with per-worker mutable state: each worker thread
+    /// calls `init()` once and passes the resulting value to every
+    /// trial it runs. This is how scratch buffers
+    /// ([`crate::scratch::TesterScratch`]) thread through the
+    /// Monte-Carlo loop — trials reuse their worker's buffers instead
+    /// of allocating.
+    ///
+    /// Trial seeds are assigned by trial *index*, not by worker, so the
+    /// estimate is identical to [`MonteCarlo::run`]'s for the same
+    /// `base_seed` — state only carries buffers, never statistics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MonteCarlo::run`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`MonteCarlo::run`].
+    pub fn run_with_state<S, I, F>(
+        self,
+        init: I,
+        trial: F,
+    ) -> Result<ErrorEstimate, MonteCarloError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(u64, &mut S) -> bool + Sync,
+    {
+        self.dispatch(false, init, |seed, state, _sink| trial(seed, state))
+            .map(|(estimate, _)| estimate)
+    }
+
+    /// Runs metrics-observing trials: each trial additionally records
+    /// into a [`Sink`], and the per-chunk sinks are merged in chunk
+    /// order into one [`MemorySink`] returned beside the estimate. The
+    /// merged metrics are bit-identical at any thread count (counter
+    /// sums and histogram merges are element-wise), so observed runs
+    /// serialize to byte-identical `dut-metrics/1` records.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MonteCarlo::run`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`MonteCarlo::run`].
+    pub fn run_observed<S, I, F>(
+        self,
+        init: I,
+        trial: F,
+    ) -> Result<(ErrorEstimate, MemorySink), MonteCarloError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(u64, &mut S, &mut dyn Sink) -> bool + Sync,
+    {
+        self.dispatch(true, init, trial)
+    }
+
+    fn dispatch<S, I, F>(
+        self,
+        observe: bool,
+        init: I,
+        trial: F,
+    ) -> Result<(ErrorEstimate, MemorySink), MonteCarloError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(u64, &mut S, &mut dyn Sink) -> bool + Sync,
+    {
+        let MonteCarlo {
+            trials,
+            base_seed,
+            config,
+            checkpoint,
+        } = self;
+        if trials == 0 {
+            return Err(MonteCarloError::ZeroTrials);
+        }
+        let mut checkpoint = checkpoint;
+        let ck = checkpoint
+            .as_mut()
+            .map(|(ck, label)| (&mut **ck, label.as_str()));
+        let reduction = run_chunked(config, trials, base_seed, observe, ck, init, trial)?;
+        Ok((
+            ErrorEstimate::from_counts(trials, reduction.failures, 1.96),
+            reduction.sink,
+        ))
+    }
+}
+
 /// Runs `trials` independent boolean trials in parallel and estimates
 /// the failure rate at 95% confidence.
 ///
 /// `trial(seed)` must return `true` iff the trial **failed**. Each trial
 /// receives a distinct deterministic seed derived from `base_seed`, so
 /// the estimate is reproducible and independent of the number of worker
-/// threads.
+/// threads. Equivalent to [`MonteCarlo::new`]`(trials, base_seed).run(trial)`.
 ///
 /// # Errors
 ///
@@ -144,18 +340,11 @@ pub fn estimate_failure_rate<F>(
 where
     F: Fn(u64) -> bool + Sync,
 {
-    estimate_failure_rate_with_state(trials, base_seed, || (), |seed, ()| trial(seed))
+    MonteCarlo::new(trials, base_seed).run(trial)
 }
 
-/// [`estimate_failure_rate`] with per-worker mutable state: each worker
-/// thread calls `init()` once and passes the resulting value to every
-/// trial it runs. This is how scratch buffers
-/// ([`crate::scratch::TesterScratch`]) thread through the Monte-Carlo
-/// loop — trials reuse their worker's buffers instead of allocating.
-///
-/// Trial seeds are assigned by trial *index*, not by worker, so the
-/// estimate is identical to `estimate_failure_rate`'s for the same
-/// `base_seed` — state only carries buffers, never statistics.
+/// [`estimate_failure_rate`] with per-worker mutable state; see
+/// [`MonteCarlo::run_with_state`] for the contract.
 ///
 /// # Errors
 ///
@@ -175,74 +364,31 @@ where
     I: Fn() -> S + Sync,
     F: Fn(u64, &mut S) -> bool + Sync,
 {
-    if trials == 0 {
-        return Err(MonteCarloError::ZeroTrials);
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials);
-    let failures = AtomicUsize::new(0);
-    let next = AtomicUsize::new(0);
-    // First trial-panic payload, carried across the scope join so the
-    // caller sees the trial's own panic, not the scope's generic one.
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    let scope_result = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                // `init` and `trial` run under `catch_unwind` so a
-                // panicking trial closure stops this worker cleanly;
-                // the payload is stashed instead of unwinding through
-                // the scope (which would replace it with "a scoped
-                // thread panicked").
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    let mut state = init();
-                    let mut local = 0usize;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= trials {
-                            break;
-                        }
-                        // Mix the index into the seed (splitmix64-style) so
-                        // nearby trials do not share RNG streams.
-                        let seed =
-                            splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        if trial(seed, &mut state) {
-                            local += 1;
-                        }
-                    }
-                    local
-                }));
-                match caught {
-                    Ok(local) => {
-                        failures.fetch_add(local, Ordering::Relaxed);
-                    }
-                    Err(payload) => {
-                        // Stop the other workers early; the estimate is
-                        // void anyway.
-                        next.fetch_add(trials, Ordering::Relaxed);
-                        let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
-                        if slot.is_none() {
-                            *slot = Some(payload);
-                        }
-                    }
-                }
-            });
-        }
-    });
-    // Workers catch their own panics, so the scope itself cannot fail.
-    let () = scope_result.expect("worker panics are caught inside the workers");
-    if let Some(payload) = panic_payload
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-    {
-        resume_unwind(payload);
-    }
-    Ok(ErrorEstimate::from_counts(
-        trials,
-        failures.load(Ordering::Relaxed),
-        1.96,
-    ))
+    MonteCarlo::new(trials, base_seed).run_with_state(init, trial)
+}
+
+/// [`estimate_failure_rate`] with metrics-observing trials; see
+/// [`MonteCarlo::run_observed`] for the merge guarantees.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::ZeroTrials`] if `trials == 0`.
+///
+/// # Panics
+///
+/// Re-raises the original payload of the first observed trial panic,
+/// as [`estimate_failure_rate`] does.
+pub fn estimate_failure_rate_observed<S, I, F>(
+    trials: usize,
+    base_seed: u64,
+    init: I,
+    trial: F,
+) -> Result<(ErrorEstimate, MemorySink), MonteCarloError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(u64, &mut S, &mut dyn Sink) -> bool + Sync,
+{
+    MonteCarlo::new(trials, base_seed).run_observed(init, trial)
 }
 
 /// Convenience: a seeded [`StdRng`] for use inside trial closures.
@@ -250,17 +396,10 @@ pub fn trial_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::MonteCarloConfig;
     use rand::Rng;
 
     #[test]
@@ -336,6 +475,45 @@ mod tests {
     }
 
     #[test]
+    fn observed_matches_stateless_and_counts_metrics() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let a = estimate_failure_rate(10_000, 7, f).unwrap();
+        let (b, sink) = estimate_failure_rate_observed(
+            10_000,
+            7,
+            || (),
+            |seed, (), sink: &mut dyn Sink| {
+                sink.add(dut_obs::keys::CORE_GAP_RUNS, 1);
+                sink.observe(dut_obs::keys::NETSIM_ROUND_BITS, seed % 128);
+                f(seed)
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sink.counter(dut_obs::keys::CORE_GAP_RUNS), 10_000);
+        assert_eq!(
+            sink.histogram(dut_obs::keys::NETSIM_ROUND_BITS)
+                .unwrap()
+                .count(),
+            10_000
+        );
+    }
+
+    #[test]
+    fn builder_configs_are_result_invariant() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let auto = estimate_failure_rate(4_096, 9, f).unwrap();
+        for cfg in [
+            MonteCarloConfig::serial(),
+            MonteCarloConfig::with_threads(2),
+            MonteCarloConfig::with_threads(8).chunk_size(37),
+        ] {
+            let e = MonteCarlo::new(4_096, 9).config(cfg).run(f).unwrap();
+            assert_eq!(e, auto, "config {cfg:?} changed the estimate");
+        }
+    }
+
+    #[test]
     fn different_seeds_give_different_streams() {
         let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.5;
         let a = estimate_failure_rate(10_000, 1, f).unwrap();
@@ -383,5 +561,62 @@ mod tests {
         let none = ErrorEstimate::from_counts(100, 0, 1.96);
         assert!(!none.certified_above(0.0));
         assert!(!none.certified_below(0.0));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("dut_core_mc_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let plain = estimate_failure_rate(2_000, 5, f).unwrap();
+
+        let mut ck = Checkpoint::open(&path).unwrap();
+        let first = MonteCarlo::new(2_000, 5)
+            .config(MonteCarloConfig::auto().chunk_size(128))
+            .checkpoint(&mut ck, "cell")
+            .run(f)
+            .unwrap();
+        assert_eq!(first, plain);
+        drop(ck);
+
+        // Truncate the file to the plan + 3 chunk lines ("kill after
+        // k chunks"), then resume against it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+        let mut ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.completed_chunks("cell"), 3);
+        let resumed = MonteCarlo::new(2_000, 5)
+            .config(MonteCarloConfig::auto().chunk_size(128))
+            .checkpoint(&mut ck, "cell")
+            .run(f)
+            .unwrap();
+        assert_eq!(resumed, plain);
+        assert_eq!(ck.completed_chunks("cell"), 2_000usize.div_ceil(128));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_plan_mismatch_is_typed() {
+        let dir = std::env::temp_dir().join("dut_core_mc_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        MonteCarlo::new(100, 1)
+            .checkpoint(&mut ck, "x")
+            .run(|_| false)
+            .unwrap();
+        let err = MonteCarlo::new(100, 2)
+            .checkpoint(&mut ck, "x")
+            .run(|_| false)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MonteCarloError::Checkpoint(CheckpointError::PlanMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -86,6 +86,45 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Reconstructs a histogram from previously serialized state
+    /// (checkpoint resume); the inverse of reading [`Histogram::count`],
+    /// [`Histogram::sum`], [`Histogram::min`], [`Histogram::max`], and
+    /// [`Histogram::buckets`] off a recorded histogram.
+    ///
+    /// Returns `None` when the parts are inconsistent: bucket counts
+    /// that don't sum to `count`, a nonempty histogram with
+    /// `min > max`, or an empty one with nonzero side stats — so a
+    /// corrupt checkpoint surfaces as an error instead of skewed
+    /// statistics.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    ) -> Option<Self> {
+        let bucket_total: u64 = buckets.iter().copied().fold(0, u64::saturating_add);
+        if bucket_total != count {
+            return None;
+        }
+        if count == 0 {
+            if sum != 0 || min != 0 || max != 0 {
+                return None;
+            }
+            return Some(Histogram::new());
+        }
+        if min > max {
+            return None;
+        }
+        Some(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+
     /// Element-wise merge of `other` into `self` (used to aggregate
     /// per-thread or per-run sinks).
     pub fn merge(&mut self, other: &Histogram) {
@@ -146,6 +185,35 @@ mod tests {
         h.record(2);
         h.record(3);
         assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 7, 7, 1 << 20] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), *h.buckets()).unwrap();
+        assert_eq!(rebuilt, h);
+        // Empty round-trips too (min is stored as u64::MAX internally
+        // but reported as 0).
+        let e = Histogram::new();
+        let rebuilt = Histogram::from_parts(0, 0, 0, 0, [0; BUCKETS]).unwrap();
+        assert_eq!(rebuilt.count(), e.count());
+        assert_eq!(rebuilt.min(), e.min());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistency() {
+        // Buckets don't sum to count.
+        assert!(Histogram::from_parts(3, 10, 1, 9, [0; BUCKETS]).is_none());
+        // Empty with nonzero side stats.
+        assert!(Histogram::from_parts(0, 1, 0, 0, [0; BUCKETS]).is_none());
+        // min > max on a nonempty histogram.
+        let mut b = [0u64; BUCKETS];
+        b[2] = 1;
+        assert!(Histogram::from_parts(1, 3, 9, 3, b).is_none());
     }
 
     #[test]

@@ -6,158 +6,216 @@
 //! checks against. Naming convention: `<layer>.<subject>.<measure>`,
 //! with `<layer>.round.*` for per-round histogram observations and
 //! plain `<layer>.*` for run-total counters.
+//!
+//! The `registry!` declaration also collects every
+//! key into [`ALL`], and [`lookup`] maps a runtime string back to its
+//! `&'static str` constant — which is how checkpoint files
+//! (`dut_core::checkpoint`) restore a [`crate::MemorySink`] whose maps
+//! are keyed by `&'static str`.
 
-// ---------------------------------------------------------------- netsim
+/// Declares the key constants and collects them into [`ALL`] so the
+/// registry and the constants can never drift apart.
+macro_rules! registry {
+    ($($(#[$meta:meta])* $name:ident = $value:literal;)+) => {
+        $($(#[$meta])* pub const $name: &str = $value;)+
 
-/// Counter: engine runs completed (one per `run_observed` call).
-pub const NETSIM_RUNS: &str = "netsim.runs";
-/// Counter: synchronous rounds executed, summed over runs.
-pub const NETSIM_ROUNDS: &str = "netsim.rounds";
-/// Counter: messages delivered, summed over runs.
-pub const NETSIM_MESSAGES: &str = "netsim.messages";
-/// Counter: message payload bits metered by the bandwidth model.
-pub const NETSIM_BITS: &str = "netsim.bits";
-/// Histogram: messages delivered in one round.
-pub const NETSIM_ROUND_MESSAGES: &str = "netsim.round.messages";
-/// Histogram: payload bits delivered in one round.
-pub const NETSIM_ROUND_BITS: &str = "netsim.round.bits";
-/// Histogram: max bits crossing any single directed edge in one round
-/// (per-round slot congestion; the CONGEST model caps this).
-pub const NETSIM_ROUND_MAX_EDGE_BITS: &str = "netsim.round.max_edge_bits";
-/// Histogram: wall-clock nanoseconds spent executing one round
-/// (node stepping + metering + delivery).
-pub const NETSIM_ROUND_NANOS: &str = "netsim.round.nanos";
-/// Histogram: per-run max bits on any directed edge in any round.
-pub const NETSIM_RUN_MAX_EDGE_BITS: &str = "netsim.run.max_edge_bits";
+        /// Every key in the registry, in declaration order.
+        pub const ALL: &[&str] = &[$($value),+];
+    };
+}
 
-// ---------------------------------------------------- netsim fault layer
+registry! {
+    // -------------------------------------------------------------- netsim
 
-/// Counter: messages dropped in transit by fault injection (the sender
-/// was still metered for them). Recorded only on faulted runs.
-pub const NETSIM_FAULT_DROPPED_MESSAGES: &str = "netsim.fault.dropped_messages";
-/// Counter: wire bits flipped in transit by fault injection. Recorded
-/// only on faulted runs.
-pub const NETSIM_FAULT_FLIPPED_BITS: &str = "netsim.fault.flipped_bits";
-/// Counter: scheduled node crashes that took effect within the run.
-pub const NETSIM_FAULT_CRASHED_NODES: &str = "netsim.fault.crashed_nodes";
-/// Counter: retransmissions performed by the reliable (ack/retry) tree
-/// primitives, beyond each message's first transmission.
-pub const NETSIM_RELIABLE_RETRANSMITS: &str = "netsim.reliable.retransmits";
-/// Counter: delivery failures in the reliable tree primitives — a
-/// sender exhausted its retry budget, or a receiver hit its deadline
-/// with children still unreported.
-pub const NETSIM_RELIABLE_FAILURES: &str = "netsim.reliable.failures";
+    /// Counter: engine runs completed (one per `run_observed` call).
+    NETSIM_RUNS = "netsim.runs";
+    /// Counter: synchronous rounds executed, summed over runs.
+    NETSIM_ROUNDS = "netsim.rounds";
+    /// Counter: messages delivered, summed over runs.
+    NETSIM_MESSAGES = "netsim.messages";
+    /// Counter: message payload bits metered by the bandwidth model.
+    NETSIM_BITS = "netsim.bits";
+    /// Histogram: messages delivered in one round.
+    NETSIM_ROUND_MESSAGES = "netsim.round.messages";
+    /// Histogram: payload bits delivered in one round.
+    NETSIM_ROUND_BITS = "netsim.round.bits";
+    /// Histogram: max bits crossing any single directed edge in one round
+    /// (per-round slot congestion; the CONGEST model caps this).
+    NETSIM_ROUND_MAX_EDGE_BITS = "netsim.round.max_edge_bits";
+    /// Histogram: wall-clock nanoseconds spent executing one round
+    /// (node stepping + metering + delivery).
+    NETSIM_ROUND_NANOS = "netsim.round.nanos";
+    /// Histogram: per-run max bits on any directed edge in any round.
+    NETSIM_RUN_MAX_EDGE_BITS = "netsim.run.max_edge_bits";
 
-// ------------------------------------------------------- netsim reference
+    // -------------------------------------------------- netsim fault layer
 
-/// Counter: reference-engine runs completed.
-pub const REFERENCE_RUNS: &str = "reference.runs";
-/// Counter: rounds executed by the reference engine.
-pub const REFERENCE_ROUNDS: &str = "reference.rounds";
-/// Counter: messages delivered by the reference engine.
-pub const REFERENCE_MESSAGES: &str = "reference.messages";
-/// Counter: bits metered by the reference engine.
-pub const REFERENCE_BITS: &str = "reference.bits";
-/// Histogram: messages per round in the reference engine.
-pub const REFERENCE_ROUND_MESSAGES: &str = "reference.round.messages";
-/// Histogram: bits per round in the reference engine.
-pub const REFERENCE_ROUND_BITS: &str = "reference.round.bits";
-/// Histogram: per-round max single-edge bits in the reference engine.
-pub const REFERENCE_ROUND_MAX_EDGE_BITS: &str = "reference.round.max_edge_bits";
-/// Histogram: wall-clock nanoseconds per reference-engine round.
-pub const REFERENCE_ROUND_NANOS: &str = "reference.round.nanos";
-/// Counter: messages dropped by fault injection in the reference
-/// engine (differential mirror of `netsim.fault.dropped_messages`).
-pub const REFERENCE_FAULT_DROPPED_MESSAGES: &str = "reference.fault.dropped_messages";
-/// Counter: wire bits flipped by fault injection in the reference
-/// engine (differential mirror of `netsim.fault.flipped_bits`).
-pub const REFERENCE_FAULT_FLIPPED_BITS: &str = "reference.fault.flipped_bits";
+    /// Counter: messages dropped in transit by fault injection (the sender
+    /// was still metered for them). Recorded only on faulted runs.
+    NETSIM_FAULT_DROPPED_MESSAGES = "netsim.fault.dropped_messages";
+    /// Counter: wire bits flipped in transit by fault injection. Recorded
+    /// only on faulted runs.
+    NETSIM_FAULT_FLIPPED_BITS = "netsim.fault.flipped_bits";
+    /// Counter: scheduled node crashes that took effect within the run.
+    NETSIM_FAULT_CRASHED_NODES = "netsim.fault.crashed_nodes";
+    /// Counter: retransmissions performed by the reliable (ack/retry) tree
+    /// primitives, beyond each message's first transmission.
+    NETSIM_RELIABLE_RETRANSMITS = "netsim.reliable.retransmits";
+    /// Counter: delivery failures in the reliable tree primitives — a
+    /// sender exhausted its retry budget, or a receiver hit its deadline
+    /// with children still unreported.
+    NETSIM_RELIABLE_FAILURES = "netsim.reliable.failures";
 
-// ------------------------------------------------- netsim tree primitives
+    // ----------------------------------------------------- netsim reference
 
-/// Counter: convergecast invocations.
-pub const CONVERGECAST_RUNS: &str = "netsim.convergecast.runs";
-/// Counter: rounds spent inside convergecast.
-pub const CONVERGECAST_ROUNDS: &str = "netsim.convergecast.rounds";
-/// Counter: payload bits carried by convergecast messages.
-pub const CONVERGECAST_BITS: &str = "netsim.convergecast.bits";
-/// Counter: broadcast invocations.
-pub const BROADCAST_RUNS: &str = "netsim.broadcast.runs";
-/// Counter: rounds spent inside broadcast.
-pub const BROADCAST_ROUNDS: &str = "netsim.broadcast.rounds";
-/// Counter: payload bits carried by broadcast messages.
-pub const BROADCAST_BITS: &str = "netsim.broadcast.bits";
+    /// Counter: reference-engine runs completed.
+    REFERENCE_RUNS = "reference.runs";
+    /// Counter: rounds executed by the reference engine.
+    REFERENCE_ROUNDS = "reference.rounds";
+    /// Counter: messages delivered by the reference engine.
+    REFERENCE_MESSAGES = "reference.messages";
+    /// Counter: bits metered by the reference engine.
+    REFERENCE_BITS = "reference.bits";
+    /// Histogram: messages per round in the reference engine.
+    REFERENCE_ROUND_MESSAGES = "reference.round.messages";
+    /// Histogram: bits per round in the reference engine.
+    REFERENCE_ROUND_BITS = "reference.round.bits";
+    /// Histogram: per-round max single-edge bits in the reference engine.
+    REFERENCE_ROUND_MAX_EDGE_BITS = "reference.round.max_edge_bits";
+    /// Histogram: wall-clock nanoseconds per reference-engine round.
+    REFERENCE_ROUND_NANOS = "reference.round.nanos";
+    /// Counter: messages dropped by fault injection in the reference
+    /// engine (differential mirror of `netsim.fault.dropped_messages`).
+    REFERENCE_FAULT_DROPPED_MESSAGES = "reference.fault.dropped_messages";
+    /// Counter: wire bits flipped by fault injection in the reference
+    /// engine (differential mirror of `netsim.fault.flipped_bits`).
+    REFERENCE_FAULT_FLIPPED_BITS = "reference.fault.flipped_bits";
 
-// ------------------------------------------------------------------ core
+    // ----------------------------------------------- netsim tree primitives
 
-/// Counter: gap-tester runs (one per tested sample multiset).
-pub const CORE_GAP_RUNS: &str = "core.gap.runs";
-/// Counter: samples consumed by the gap tester (Thm 1.1: s per run).
-pub const CORE_GAP_SAMPLES: &str = "core.gap.samples";
-/// Counter: gap-tester runs that found a collision (the tester's
-/// single reject bit; it does not count individual colliding pairs).
-pub const CORE_GAP_COLLISIONS: &str = "core.gap.collisions";
-/// Counter: amplified-tester runs.
-pub const CORE_AMPLIFY_RUNS: &str = "core.amplify.runs";
-/// Counter: independent repetitions executed across amplified runs.
-pub const CORE_AMPLIFY_REPETITIONS: &str = "core.amplify.repetitions";
-/// Counter: rejecting repetitions across amplified runs.
-pub const CORE_AMPLIFY_REJECTIONS: &str = "core.amplify.rejections";
-/// Counter: zero-round network simulations.
-pub const CORE_ZERO_ROUND_RUNS: &str = "core.zero_round.runs";
-/// Counter: per-node votes cast inside zero-round simulations
-/// (equals nodes x runs; the protocol sends no messages, Thm 1.2).
-pub const CORE_ZERO_ROUND_VOTES: &str = "core.zero_round.votes";
-/// Counter: rejecting votes inside zero-round simulations.
-pub const CORE_ZERO_ROUND_REJECTIONS: &str = "core.zero_round.rejections";
+    /// Counter: convergecast invocations.
+    CONVERGECAST_RUNS = "netsim.convergecast.runs";
+    /// Counter: rounds spent inside convergecast.
+    CONVERGECAST_ROUNDS = "netsim.convergecast.rounds";
+    /// Counter: payload bits carried by convergecast messages.
+    CONVERGECAST_BITS = "netsim.convergecast.bits";
+    /// Counter: broadcast invocations.
+    BROADCAST_RUNS = "netsim.broadcast.runs";
+    /// Counter: rounds spent inside broadcast.
+    BROADCAST_ROUNDS = "netsim.broadcast.rounds";
+    /// Counter: payload bits carried by broadcast messages.
+    BROADCAST_BITS = "netsim.broadcast.bits";
 
-// --------------------------------------------------------------- congest
+    // ---------------------------------------------------------------- core
 
-/// Counter: CONGEST tester runs.
-pub const CONGEST_RUNS: &str = "congest.runs";
-/// Counter: CONGEST rounds consumed (packaging + aggregation phases).
-pub const CONGEST_ROUNDS: &str = "congest.rounds";
-/// Counter: total bits the CONGEST tester put on the wire
-/// (package announcements + convergecast + broadcast; Thm 5.1 budget).
-pub const CONGEST_BITS: &str = "congest.bits";
-/// Counter: sample packages formed across runs.
-pub const CONGEST_PACKAGES: &str = "congest.packages";
-/// Counter: rejecting packages across runs.
-pub const CONGEST_REJECTING_PACKAGES: &str = "congest.rejecting_packages";
-/// Counter: robust (fault-tolerant) CONGEST tester runs.
-pub const CONGEST_ROBUST_RUNS: &str = "congest.robust.runs";
-/// Counter: wire bits corrected by the Justesen message codec across
-/// robust runs (flips below the certified radius, fixed transparently).
-pub const CONGEST_ECC_CORRECTED_BITS: &str = "congest.ecc.corrected_bits";
-/// Counter: codewords the Justesen codec failed to decode (corruption
-/// beyond the certified radius); each is treated as a dropped message
-/// and left to the retry layer.
-pub const CONGEST_ECC_DECODE_FAILURES: &str = "congest.ecc.decode_failures";
-/// Counter: retransmissions performed by the robust tester's ARQ
-/// phases (residue, forwarding, aggregation, broadcast).
-pub const CONGEST_ROBUST_RETRANSMITS: &str = "congest.robust.retransmits";
-/// Counter: unrecovered delivery failures in robust runs (retry budget
-/// or deadline exhausted somewhere in the pipeline).
-pub const CONGEST_ROBUST_FAILURES: &str = "congest.robust.failures";
+    /// Counter: gap-tester runs (one per tested sample multiset).
+    CORE_GAP_RUNS = "core.gap.runs";
+    /// Counter: samples consumed by the gap tester (Thm 1.1: s per run).
+    CORE_GAP_SAMPLES = "core.gap.samples";
+    /// Counter: gap-tester runs that found a collision (the tester's
+    /// single reject bit; it does not count individual colliding pairs).
+    CORE_GAP_COLLISIONS = "core.gap.collisions";
+    /// Counter: amplified-tester runs.
+    CORE_AMPLIFY_RUNS = "core.amplify.runs";
+    /// Counter: independent repetitions executed across amplified runs.
+    CORE_AMPLIFY_REPETITIONS = "core.amplify.repetitions";
+    /// Counter: rejecting repetitions across amplified runs.
+    CORE_AMPLIFY_REJECTIONS = "core.amplify.rejections";
+    /// Counter: zero-round network simulations.
+    CORE_ZERO_ROUND_RUNS = "core.zero_round.runs";
+    /// Counter: per-node votes cast inside zero-round simulations
+    /// (equals nodes x runs; the protocol sends no messages, Thm 1.2).
+    CORE_ZERO_ROUND_VOTES = "core.zero_round.votes";
+    /// Counter: rejecting votes inside zero-round simulations.
+    CORE_ZERO_ROUND_REJECTIONS = "core.zero_round.rejections";
 
-// ----------------------------------------------------------------- local
+    // ------------------------------------------------------------- congest
 
-/// Counter: LOCAL tester runs.
-pub const LOCAL_RUNS: &str = "local.runs";
-/// Counter: LOCAL rounds consumed (Lemma 7.3: O(log* n) radius).
-pub const LOCAL_ROUNDS: &str = "local.rounds";
-/// Counter: nodes selected into the maximal independent set.
-pub const LOCAL_MIS_SIZE: &str = "local.mis_size";
-/// Counter: minimum samples gathered by any MIS center, summed
-/// over runs (each center must clear the Thm 1.1 sample bound).
-pub const LOCAL_MIN_GATHERED: &str = "local.min_gathered";
+    /// Counter: CONGEST tester runs.
+    CONGEST_RUNS = "congest.runs";
+    /// Counter: CONGEST rounds consumed (packaging + aggregation phases).
+    CONGEST_ROUNDS = "congest.rounds";
+    /// Counter: total bits the CONGEST tester put on the wire
+    /// (package announcements + convergecast + broadcast; Thm 5.1 budget).
+    CONGEST_BITS = "congest.bits";
+    /// Counter: sample packages formed across runs.
+    CONGEST_PACKAGES = "congest.packages";
+    /// Counter: rejecting packages across runs.
+    CONGEST_REJECTING_PACKAGES = "congest.rejecting_packages";
+    /// Counter: robust (fault-tolerant) CONGEST tester runs.
+    CONGEST_ROBUST_RUNS = "congest.robust.runs";
+    /// Counter: wire bits corrected by the Justesen message codec across
+    /// robust runs (flips below the certified radius, fixed transparently).
+    CONGEST_ECC_CORRECTED_BITS = "congest.ecc.corrected_bits";
+    /// Counter: codewords the Justesen codec failed to decode (corruption
+    /// beyond the certified radius); each is treated as a dropped message
+    /// and left to the retry layer.
+    CONGEST_ECC_DECODE_FAILURES = "congest.ecc.decode_failures";
+    /// Counter: retransmissions performed by the robust tester's ARQ
+    /// phases (residue, forwarding, aggregation, broadcast).
+    CONGEST_ROBUST_RETRANSMITS = "congest.robust.retransmits";
+    /// Counter: unrecovered delivery failures in robust runs (retry budget
+    /// or deadline exhausted somewhere in the pipeline).
+    CONGEST_ROBUST_FAILURES = "congest.robust.failures";
 
-// ------------------------------------------------------------------- smp
+    // --------------------------------------------------------------- local
 
-/// Counter: SMP protocol executions.
-pub const SMP_RUNS: &str = "smp.runs";
-/// Counter: referee input bits across executions (sum of both
-/// players' message lengths; the Thm 1.4 / simultaneous-messages cost).
-pub const SMP_MESSAGE_BITS: &str = "smp.message_bits";
-/// Counter: accepting executions.
-pub const SMP_ACCEPTS: &str = "smp.accepts";
+    /// Counter: LOCAL tester runs.
+    LOCAL_RUNS = "local.runs";
+    /// Counter: LOCAL rounds consumed (Lemma 7.3: O(log* n) radius).
+    LOCAL_ROUNDS = "local.rounds";
+    /// Counter: nodes selected into the maximal independent set.
+    LOCAL_MIS_SIZE = "local.mis_size";
+    /// Counter: minimum samples gathered by any MIS center, summed
+    /// over runs (each center must clear the Thm 1.1 sample bound).
+    LOCAL_MIN_GATHERED = "local.min_gathered";
+
+    // ----------------------------------------------------------------- smp
+
+    /// Counter: SMP protocol executions.
+    SMP_RUNS = "smp.runs";
+    /// Counter: referee input bits across executions (sum of both
+    /// players' message lengths; the Thm 1.4 / simultaneous-messages cost).
+    SMP_MESSAGE_BITS = "smp.message_bits";
+    /// Counter: accepting executions.
+    SMP_ACCEPTS = "smp.accepts";
+}
+
+/// Maps a runtime string to the registered `&'static str` key it names,
+/// or `None` if no such key exists.
+///
+/// Sinks ([`crate::MemorySink`]) key their maps by `&'static str` so
+/// recording never allocates; anything that *deserializes* metrics
+/// (checkpoint resume, JSONL readers) goes through this to get back
+/// into the registry.
+pub fn lookup(name: &str) -> Option<&'static str> {
+    ALL.iter().find(|k| **k == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_constants() {
+        for key in [NETSIM_BITS, CORE_GAP_RUNS, CONGEST_ROUNDS, SMP_ACCEPTS] {
+            assert!(ALL.contains(&key));
+        }
+        assert!(ALL.len() >= 40);
+    }
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        let mut seen = std::collections::BTreeSet::new();
+        for key in ALL {
+            assert!(seen.insert(*key), "duplicate key {key}");
+        }
+    }
+
+    #[test]
+    fn lookup_round_trips_and_rejects_unknowns() {
+        let name = String::from("core.gap.runs");
+        assert_eq!(lookup(&name), Some(CORE_GAP_RUNS));
+        assert_eq!(lookup("no.such.key"), None);
+    }
+}

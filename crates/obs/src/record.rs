@@ -127,6 +127,16 @@ impl JsonlWriter {
         })
     }
 
+    /// Opens `path` for appending records, creating it if absent. This
+    /// is the mode checkpoint files use: earlier lines survive and new
+    /// records accumulate behind them.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = File::options().append(true).create(true).open(path)?;
+        Ok(JsonlWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
     /// Writes one record line for `record` + `sink`.
     pub fn write(&mut self, record: &RunRecord, sink: &MemorySink) -> io::Result<()> {
         self.out.write_all(record.to_jsonl(sink).as_bytes())?;
@@ -192,6 +202,27 @@ mod tests {
             assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
             assert!(line.ends_with('}'));
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_preserves_existing_lines() {
+        let dir = std::env::temp_dir().join("dut_obs_append_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.jsonl");
+        let sink = MemorySink::new();
+        let mut w = JsonlWriter::create(&path).unwrap();
+        w.write(&RunRecord::new("e1", "a"), &sink).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let mut w = JsonlWriter::append(&path).unwrap();
+        w.write(&RunRecord::new("e1", "b"), &sink).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"case\":\"a\""));
+        assert!(text.contains("\"case\":\"b\""));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -56,7 +56,7 @@ impl Sink for NoopSink {
 ///
 /// `BTreeMap` keeps snapshot iteration in deterministic key order, so
 /// two runs with the same seed serialize to byte-identical JSONL.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemorySink {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
@@ -92,6 +92,14 @@ impl MemorySink {
     pub fn reset(&mut self) {
         self.counters.clear();
         self.histograms.clear();
+    }
+
+    /// Folds a whole [`Histogram`] into the one recorded under `key`
+    /// (element-wise, like [`MemorySink::merge`]). This is how
+    /// checkpoint resume restores full-fidelity histograms — counters
+    /// restore through plain [`Sink::add`].
+    pub fn merge_histogram(&mut self, key: &'static str, h: &Histogram) {
+        self.histograms.entry(key).or_default().merge(h);
     }
 
     /// Folds every counter and histogram of `other` into `self`.

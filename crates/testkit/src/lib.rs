@@ -24,6 +24,11 @@
 //!   fault plans. Drivers run decode paths under `catch_unwind` and
 //!   report — the typed-error contract of the decoders means a panic is
 //!   always a bug.
+//! * [`parallel`] — the serial ↔ parallel differential harness for the
+//!   Monte-Carlo executor: one trial closure run serial, 2-thread, and
+//!   8-thread/ragged-chunk, asserting bit-identical estimates and
+//!   merged metrics. Backs the `parallel_differential` integration
+//!   suites in `dut-core` and `dut-congest`.
 //!
 //! The crate is a *dev-dependency* of the crates it exercises (Cargo
 //! permits the cycle: `dut-testkit` depends on `dut-ecc`, and `dut-ecc`
@@ -35,4 +40,5 @@
 
 pub mod fuzz;
 pub mod oracles;
+pub mod parallel;
 pub mod strategies;

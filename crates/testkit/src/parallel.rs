@@ -1,0 +1,148 @@
+//! Serial ↔ parallel differential harness for the Monte-Carlo
+//! executor.
+//!
+//! The executor's contract (`dut_core::executor`) is that failure
+//! counts, Wilson intervals, and merged metrics sinks are **pure
+//! functions of `(trials, base_seed)`** — thread count and chunk size
+//! must never show in the output. These helpers run one trial closure
+//! under a spread of configurations (serial, 2 threads, 8 threads with
+//! a deliberately ragged chunk size) and assert every run is
+//! bit-identical to the serial one. CI's testkit lane runs them over
+//! the real testers (gap, amplified, zero-round, CONGEST) via the
+//! `parallel_differential` integration suites in `dut-core` and
+//! `dut-congest`.
+
+use dut_core::montecarlo::ErrorEstimate;
+use dut_core::{MonteCarlo, MonteCarloConfig};
+use dut_obs::{Histogram, MemorySink, Sink};
+
+/// Counters plus non-wall-clock histograms, in key order.
+type SinkView<'a> = (Vec<(&'static str, u64)>, Vec<(&'static str, &'a Histogram)>);
+
+/// The deterministic projection of a sink: every counter and every
+/// histogram except wall-clock observations (`*.nanos`), which are
+/// measurements of the run rather than outputs of it and legitimately
+/// differ between configurations.
+fn deterministic_view(sink: &MemorySink) -> SinkView<'_> {
+    (
+        sink.counters().collect(),
+        sink.histograms()
+            .filter(|(k, _)| !k.ends_with(".nanos"))
+            .collect(),
+    )
+}
+
+/// The configuration spread every differential run is checked under:
+/// serial, dual-thread with the automatic chunk size, and 8 threads
+/// with a ragged chunk size (37) that guarantees a short final chunk
+/// and more chunks than threads.
+pub fn config_spread() -> Vec<(&'static str, MonteCarloConfig)> {
+    vec![
+        ("serial", MonteCarloConfig::serial()),
+        ("2 threads", MonteCarloConfig::with_threads(2)),
+        (
+            "8 threads, chunk 37",
+            MonteCarloConfig::with_threads(8).chunk_size(37),
+        ),
+    ]
+}
+
+/// Runs `trial` (an observed trial closure: seed + per-worker state +
+/// sink) under [`config_spread`], asserting the estimate **and** the
+/// merged sink are bit-identical across all configurations (modulo
+/// `*.nanos` wall-clock histograms, which time the run rather than
+/// describe it). Returns the serial result for further assertions.
+///
+/// # Panics
+///
+/// Panics (via `assert_eq!`) on any divergence, or if the run itself
+/// fails (`trials == 0`).
+pub fn assert_thread_invariant_observed<S, I, F>(
+    trials: usize,
+    base_seed: u64,
+    init: I,
+    trial: F,
+) -> (ErrorEstimate, MemorySink)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(u64, &mut S, &mut dyn Sink) -> bool + Sync,
+{
+    let mut runs = config_spread()
+        .into_iter()
+        .map(|(label, config)| {
+            let out = MonteCarlo::new(trials, base_seed)
+                .config(config)
+                .run_observed(&init, &trial)
+                .expect("trials > 0");
+            (label, out)
+        })
+        .collect::<Vec<_>>();
+    let (_, reference) = runs.remove(0);
+    for (label, out) in runs {
+        assert_eq!(
+            reference.0, out.0,
+            "estimate diverged between serial and `{label}`"
+        );
+        assert_eq!(
+            deterministic_view(&reference.1),
+            deterministic_view(&out.1),
+            "merged metrics diverged between serial and `{label}`"
+        );
+    }
+    (reference.0, reference.1)
+}
+
+/// [`assert_thread_invariant_observed`] for unobserved stateful trials
+/// (no sink); checks the estimate alone.
+pub fn assert_thread_invariant<S, I, F>(
+    trials: usize,
+    base_seed: u64,
+    init: I,
+    trial: F,
+) -> ErrorEstimate
+where
+    I: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> bool + Sync,
+{
+    let mut estimates = config_spread()
+        .into_iter()
+        .map(|(label, config)| {
+            let est = MonteCarlo::new(trials, base_seed)
+                .config(config)
+                .run_with_state(&init, &trial)
+                .expect("trials > 0");
+            (label, est)
+        })
+        .collect::<Vec<_>>();
+    let (_, reference) = estimates.remove(0);
+    for (label, est) in estimates {
+        assert_eq!(
+            reference, est,
+            "estimate diverged between serial and `{label}`"
+        );
+    }
+    reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_closure_is_invariant_and_returns_serial_result() {
+        let est = assert_thread_invariant(500, 99, || (), |seed, ()| seed.is_multiple_of(7));
+        assert!(est.rate > 0.0 && est.rate < 1.0);
+
+        let (est2, sink) = assert_thread_invariant_observed(
+            500,
+            99,
+            || (),
+            |seed, (), sink: &mut dyn Sink| {
+                sink.add(dut_obs::keys::CORE_GAP_RUNS, 1);
+                seed.is_multiple_of(7)
+            },
+        );
+        assert_eq!(est, est2, "observation must not perturb the estimate");
+        assert_eq!(sink.counter(dut_obs::keys::CORE_GAP_RUNS), 500);
+    }
+}
