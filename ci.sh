@@ -47,6 +47,19 @@ lane_testkit() {
     cargo test --release -p dut-testkit --test fuzz_drivers -q
 }
 
+lane_feature_matrix() {
+    echo "==> feature-matrix lane (fast-sampling on/off, no-default-features)"
+    # fast-sampling swaps the Monte-Carlo trial generator to BatchRng:
+    # a different (still deterministic) sample stream. The differential
+    # suites must hold on it, not just on the default stream.
+    cargo test --release --workspace --features dut-core/fast-sampling -q \
+        --target-dir target/feature-matrix
+    # No defaults: every crate must build and test without any optional
+    # feature, so nothing load-bearing hides behind one.
+    cargo test --release --workspace --no-default-features -q \
+        --target-dir target/feature-matrix
+}
+
 lane_overflow() {
     echo "==> overflow-checks lane (arithmetic panics surface in release codecs)"
     RUSTFLAGS="-C overflow-checks=on" \
@@ -60,7 +73,7 @@ lane_experiments_smoke() {
 }
 
 lane_perf_gate() {
-    echo "==> perf-regression gate (BENCH_netsim.json + BENCH_montecarlo.json)"
+    echo "==> perf-regression gate (BENCH_netsim.json + BENCH_montecarlo.json + BENCH_sampling.json)"
     cargo run --release -p dut-bench --bin ci-bench-check
 }
 
@@ -79,7 +92,7 @@ lane_msrv() {
     fi
 }
 
-LANES=(lint test fault-differential testkit overflow experiments-smoke perf-gate msrv)
+LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke perf-gate msrv)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${LANES[@]}"
@@ -92,6 +105,7 @@ run_lane() {
         test) lane_test ;;
         fault-differential) lane_fault_differential ;;
         testkit) lane_testkit ;;
+        feature-matrix) lane_feature_matrix ;;
         overflow) lane_overflow ;;
         experiments-smoke) lane_experiments_smoke ;;
         perf-gate) lane_perf_gate ;;

@@ -1,21 +1,27 @@
 //! CI perf-regression gate (`ci.sh perf-gate`).
 //!
 //! Re-times the three `BENCH_netsim.json` workloads (current/"after"
-//! variants only, plain `Instant` medians — quick mode, no Criterion)
-//! and the parallel Monte-Carlo executor on the E1 quick sweep, then
-//! compares against the committed baselines:
+//! variants only, plain `Instant` medians — quick mode, no Criterion),
+//! the parallel Monte-Carlo executor on the E1 quick sweep, and the
+//! batched sampling kernels, then compares against the committed
+//! baselines:
 //!
 //! * any netsim workload more than `DUT_BENCH_SLACK` (default 0.25,
 //!   i.e. 25%) slower than its committed median fails the gate;
 //! * the Monte-Carlo parallel sweep is held to the same slack against
 //!   `BENCH_montecarlo.json`, and on machines with ≥ 4 cores must also
 //!   keep its ≥ 2× speedup over the serial run;
+//! * the `BENCH_sampling.json` workloads (alias-table draws and
+//!   collision counting, sort-based vs scratch-table) are held to the
+//!   same slack, and the batched alias path must keep its
+//!   `target_alias_speedup` (2×) advantage over the frozen seed
+//!   kernel (`alias_scalar_reference`), slack-adjusted;
 //! * serial and parallel sweeps must agree bit-for-bit (always
 //!   enforced — a perf run that changes results is a correctness bug,
 //!   not a slowdown).
 //!
-//! Refresh the Monte-Carlo baseline after an intentional perf change
-//! with:
+//! Refresh the Monte-Carlo and sampling baselines after an intentional
+//! perf change with:
 //!
 //! ```text
 //! cargo run -p dut-bench --release --bin ci-bench-check -- --refresh
@@ -31,6 +37,8 @@ use dut_core::gap::GapTester;
 use dut_core::montecarlo::{set_default_threads, trial_rng};
 use dut_core::scratch::TesterScratch;
 use dut_core::MonteCarlo;
+use dut_distributions::batch::BatchRng;
+use dut_distributions::collision::{has_collision, CollisionScratch};
 use dut_distributions::DiscreteDistribution;
 use dut_netsim::engine::{BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox};
 use dut_netsim::graph::NodeId;
@@ -205,6 +213,176 @@ struct McMeasurement {
     cores: usize,
 }
 
+/// Draws per alias-table timing pass.
+const ALIAS_DRAWS: usize = 1 << 20;
+/// Domain size for both sampling workloads (the E1 sweet spot).
+const SAMPLING_DOMAIN: usize = 1 << 16;
+/// Sample sets per collision-counting timing pass.
+const COLLISION_SETS: usize = 20_000;
+/// Samples per set — the gap tester's s at (n = 2^16, δ = 0.05).
+const COLLISION_SAMPLES: usize = 81;
+
+struct SamplingMeasurement {
+    alias_reference_ms: f64,
+    alias_scalar_ms: f64,
+    alias_batched_ms: f64,
+    alias_speedup: f64,
+    alias_speedup_vs_scalar: f64,
+    collision_sort_ms: f64,
+    collision_scratch_ms: f64,
+    collision_speedup: f64,
+}
+
+/// The frozen pre-optimization alias sampler: parallel `prob`/`alias`
+/// arrays and a per-draw `if` on the fraction comparison. This is the
+/// kernel the seed shipped, re-implemented here so the speedup gate
+/// compares against a fixed reference that cannot silently inherit
+/// later layout optimizations. The comparison select reliably lowers
+/// to a conditional branch (it feeds a store), which mispredicts on
+/// the coin-flip `frac < prob` outcome — exactly the cost the
+/// pick-pair kernel removes.
+struct ReferenceAlias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl ReferenceAlias {
+    fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            alias[s as usize] = l;
+            let donated = (prob[l as usize] + prob[s as usize]) - 1.0;
+            prob[l as usize] = donated;
+            if donated < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        ReferenceAlias { prob, alias }
+    }
+
+    fn fill<R: rand::Rng>(&self, rng: &mut R, out: &mut [u32]) {
+        for o in out.iter_mut() {
+            let i = rng.gen_range(0..self.prob.len());
+            *o = if rng.gen::<f64>() < self.prob[i] {
+                i as u32
+            } else {
+                self.alias[i]
+            };
+        }
+    }
+}
+
+/// Times the batched sampling kernels against their scalar references:
+/// the frozen seed kernel ([`ReferenceAlias`]) and today's per-draw
+/// [`DiscreteDistribution::sample`], both on `StdRng` (the default
+/// path), vs [`DiscreteDistribution::sample_batch`] on [`BatchRng`]
+/// (the `fast-sampling` path); and sort-based collision detection vs
+/// the bitset [`CollisionScratch`]. Bit/verdict agreement between the
+/// live paths is proven by the differential test suites; the reference
+/// kernel's draw-identity with the live sampler is asserted here
+/// before timing.
+fn measure_sampling() -> SamplingMeasurement {
+    let weights: Vec<f64> = (0..SAMPLING_DOMAIN).map(|i| 1.0 / (i + 1) as f64).collect();
+    let dist =
+        DiscreteDistribution::from_weights(weights.clone()).expect("valid power-law weights");
+    let reference = ReferenceAlias::new(&weights);
+    let mut out = vec![0u32; 4096];
+    {
+        // The reference must be the same sampler, draw for draw —
+        // otherwise the speedup it anchors is fiction.
+        let mut rng = trial_rng(42);
+        reference.fill(&mut rng, &mut out);
+        let mut rng = trial_rng(42);
+        let expect: Vec<u32> = (0..out.len())
+            .map(|_| dist.sample(&mut rng) as u32)
+            .collect();
+        assert_eq!(
+            out, expect,
+            "reference alias kernel diverged from the live sampler"
+        );
+    }
+    let alias_reference_ms = median_ms(SAMPLES, || {
+        let mut rng = trial_rng(42);
+        let mut done = 0;
+        while done < ALIAS_DRAWS {
+            let take = out.len().min(ALIAS_DRAWS - done);
+            reference.fill(&mut rng, &mut out[..take]);
+            done += take;
+        }
+        black_box(out[0]);
+    });
+    let alias_scalar_ms = median_ms(SAMPLES, || {
+        let mut rng = trial_rng(42);
+        let mut acc = 0usize;
+        for _ in 0..ALIAS_DRAWS {
+            acc ^= dist.sample(&mut rng);
+        }
+        black_box(acc);
+    });
+    let alias_batched_ms = median_ms(SAMPLES, || {
+        let mut rng = BatchRng::new(42);
+        let mut done = 0;
+        while done < ALIAS_DRAWS {
+            let take = out.len().min(ALIAS_DRAWS - done);
+            dist.sample_batch(&mut rng, &mut out[..take]);
+            done += take;
+        }
+        black_box(out[0]);
+    });
+
+    let uniform = DiscreteDistribution::uniform(SAMPLING_DOMAIN);
+    let mut sets = Vec::new();
+    let mut rng = BatchRng::new(7);
+    uniform.sample_batch_into(&mut rng, COLLISION_SETS * COLLISION_SAMPLES, &mut sets);
+    let collision_sort_ms = median_ms(SAMPLES, || {
+        let mut hits = 0u32;
+        for set in sets.chunks_exact(COLLISION_SAMPLES) {
+            hits += u32::from(has_collision(set));
+        }
+        black_box(hits);
+    });
+    let mut scratch = CollisionScratch::with_domain(SAMPLING_DOMAIN);
+    let collision_scratch_ms = median_ms(SAMPLES, || {
+        let mut hits = 0u32;
+        for set in sets.chunks_exact(COLLISION_SAMPLES) {
+            hits += u32::from(scratch.has_collision(set));
+        }
+        black_box(hits);
+    });
+    SamplingMeasurement {
+        alias_reference_ms,
+        alias_scalar_ms,
+        alias_batched_ms,
+        alias_speedup: alias_reference_ms / alias_batched_ms,
+        alias_speedup_vs_scalar: alias_scalar_ms / alias_batched_ms,
+        collision_sort_ms,
+        collision_scratch_ms,
+        collision_speedup: collision_sort_ms / collision_scratch_ms,
+    }
+}
+
 /// Times the E1 quick sweep serially and with all cores, asserting the
 /// two produce identical tables.
 fn measure_montecarlo() -> McMeasurement {
@@ -228,6 +406,21 @@ fn measure_montecarlo() -> McMeasurement {
 }
 
 fn montecarlo_json(m: &McMeasurement) -> String {
+    let notes = if m.cores >= 4 {
+        format!(
+            "Recorded on a {}-core machine, so the >=2x parallel target was enforced at record \
+             time (measured {:.2}x).",
+            m.cores, m.speedup
+        )
+    } else {
+        format!(
+            "Recorded on a {}-core machine: the >=2x parallel-over-serial target cannot be \
+             exercised here (target_applies_from_cores = 4), so this baseline only pins \
+             absolute wall-clock; the speedup clause of the gate activates automatically on \
+             >=4-core runners.",
+            m.cores
+        )
+    };
     format!(
         r#"{{
   "description": "Parallel Monte-Carlo executor vs the serial run on the E1 quick sweep (100k gap-tester trials per grid cell, completeness + soundness sides; bit-identical tables asserted before timing). Regenerate with `cargo run -p dut-bench --release --bin ci-bench-check -- --refresh`; the >=2x speedup target applies on machines with >= 4 cores and is checked by `ci.sh perf-gate` only there.",
@@ -249,7 +442,8 @@ fn montecarlo_json(m: &McMeasurement) -> String {
   "target_speedup": 2.0,
   "target_applies_from_cores": 4,
   "target_checked": {},
-  "bit_identical": true
+  "bit_identical": true,
+  "notes": "{}"
 }}
 "#,
         today(),
@@ -258,6 +452,58 @@ fn montecarlo_json(m: &McMeasurement) -> String {
         m.parallel_ms,
         m.speedup,
         m.cores >= 4,
+        notes,
+    )
+}
+
+fn sampling_json(m: &SamplingMeasurement) -> String {
+    format!(
+        r#"{{
+  "description": "Batched sampling kernels vs their scalar references: 2^20 alias-table draws from a 2^16-element power-law pmf, and collision detection over 20k sets of 81 uniform samples (sort-based has_collision vs the adaptive CollisionScratch (one-pass generation stamps below 2^19 domains, u64 bitset above)). The alias speedup gate compares DiscreteDistribution::sample_batch on the counter-based BatchRng (the fast-sampling configuration) against the frozen seed kernel (parallel prob/alias arrays, per-draw branchy select on StdRng), asserted draw-identical to the live sampler before timing. Regenerate with `cargo run -p dut-bench --release --bin ci-bench-check -- --refresh`. The gate holds every median to DUT_BENCH_SLACK and requires the alias speedup to stay at target_alias_speedup, slack-adjusted.",
+  "date": "{}",
+  "workloads": [
+    {{
+      "name": "alias_scalar_reference",
+      "detail": "1M draws, frozen seed kernel: parallel prob/alias arrays + branchy select, StdRng",
+      "median_ms": {:.2}
+    }},
+    {{
+      "name": "alias_scalar_stdrng",
+      "detail": "1M DiscreteDistribution::sample draws, StdRng (default path)",
+      "median_ms": {:.2}
+    }},
+    {{
+      "name": "alias_batched_batchrng",
+      "detail": "1M DiscreteDistribution::sample_batch draws, BatchRng (fast-sampling path)",
+      "median_ms": {:.2}
+    }},
+    {{
+      "name": "collision_sort_reference",
+      "detail": "20k x 81-sample sets, sort-based has_collision",
+      "median_ms": {:.2}
+    }},
+    {{
+      "name": "collision_scratch",
+      "detail": "20k x 81-sample sets, adaptive CollisionScratch (stamp mode at this domain)",
+      "median_ms": {:.2}
+    }}
+  ],
+  "speedup_alias_batched": {:.2},
+  "speedup_alias_vs_current_scalar": {:.2},
+  "speedup_collision_scratch": {:.2},
+  "target_alias_speedup": 2.0,
+  "notes": "speedup_alias_batched is measured against the frozen seed kernel (alias_scalar_reference), not against today's scalar path: the branchless pick-pair column layout that powers sample_batch also serves DiscreteDistribution::sample, so the live scalar path inherited most of the win (see speedup_alias_vs_current_scalar) and the two live paths are nearly RNG-bound-identical per draw. Gating against the frozen reference keeps the target meaningful: it fails if the batched kernel ever regresses to a mispredicting select or a lane-buffered fill."
+}}
+"#,
+        today(),
+        m.alias_reference_ms,
+        m.alias_scalar_ms,
+        m.alias_batched_ms,
+        m.collision_sort_ms,
+        m.collision_scratch_ms,
+        m.alias_speedup,
+        m.alias_speedup_vs_scalar,
+        m.collision_speedup,
     )
 }
 
@@ -334,6 +580,66 @@ fn main() {
             ));
         } else if mc.cores < applies_from {
             println!("  (speedup target {target:.1}x not enforced below {applies_from} cores)");
+        }
+    }
+
+    // Batched sampling kernels vs BENCH_sampling.json.
+    let sm = measure_sampling();
+    println!(
+        "  sampling: alias reference {:.2} ms, scalar {:.2} ms, batched {:.2} ms ({:.2}x vs \
+         reference, {:.2}x vs scalar); collision sort {:.2} ms, scratch {:.2} ms ({:.2}x)",
+        sm.alias_reference_ms,
+        sm.alias_scalar_ms,
+        sm.alias_batched_ms,
+        sm.alias_speedup,
+        sm.alias_speedup_vs_scalar,
+        sm.collision_sort_ms,
+        sm.collision_scratch_ms,
+        sm.collision_speedup
+    );
+    let sampling_path = root.join("BENCH_sampling.json");
+    if refresh {
+        std::fs::write(&sampling_path, sampling_json(&sm))
+            .unwrap_or_else(|e| panic!("write {}: {e}", sampling_path.display()));
+        println!("refreshed {}", sampling_path.display());
+    } else {
+        let baseline = std::fs::read_to_string(&sampling_path).unwrap_or_else(|e| {
+            panic!("read {}: {e} (run --refresh once)", sampling_path.display())
+        });
+        let recorded = parse_workloads(&baseline).expect("BENCH_sampling.json parses");
+        let measured = [
+            ("alias_scalar_reference", sm.alias_reference_ms),
+            ("alias_scalar_stdrng", sm.alias_scalar_ms),
+            ("alias_batched_batchrng", sm.alias_batched_ms),
+            ("collision_sort_reference", sm.collision_sort_ms),
+            ("collision_scratch", sm.collision_scratch_ms),
+        ];
+        for (name, ms) in measured {
+            let Some(base) = recorded.iter().find(|w| w.name == name) else {
+                failures.push(format!(
+                    "BENCH_sampling.json has no {name} workload (run --refresh once)"
+                ));
+                continue;
+            };
+            let limit = base.median_ms * (1.0 + slack);
+            if ms > limit {
+                failures.push(format!(
+                    "{name}: {ms:.2} ms exceeds {:.2} ms baseline by more than {:.0}%",
+                    base.median_ms,
+                    slack * 100.0
+                ));
+            }
+        }
+        let target = number_field(&baseline, "target_alias_speedup").unwrap_or(2.0);
+        // A throughput ratio on one box is stable but not noise-free;
+        // hold it to the slack-adjusted target rather than the raw one.
+        let floor = target / (1.0 + slack);
+        if sm.alias_speedup < floor {
+            failures.push(format!(
+                "batched alias speedup {:.2}x below the slack-adjusted {target:.1}x target \
+                 ({floor:.2}x)",
+                sm.alias_speedup
+            ));
         }
     }
 

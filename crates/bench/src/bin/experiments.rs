@@ -20,6 +20,12 @@
 //! worker count (results are bit-identical at any value; 0 = all
 //! cores). `--checkpoint DIR` persists chunk-level Monte-Carlo
 //! progress to `DIR/e<N>.jsonl` so interrupted sweeps resume.
+//! `--adaptive[=TOL]` turns on confidence-sequence early stopping for
+//! the Monte-Carlo experiments (E1/E2/E5): each grid cell stops as
+//! soon as its decision threshold is resolved at interval tolerance
+//! `TOL` (default 0.002), cutting wall-clock time without changing any
+//! verdict; intervals and trial counts do change, so recorded
+//! EXPERIMENTS.md tables are regenerated without the flag.
 //! Experiment ids are zero-pad tolerant: `e06` names `e6`.
 
 use dut_bench::{
@@ -31,7 +37,12 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: experiments [--quick] [--list] [--check] [--threads N] [--checkpoint dir] \
-     [--json out.json] [--metrics out.jsonl] (all | e1 .. e13)+";
+     [--adaptive[=TOL]] [--json out.json] [--metrics out.jsonl] (all | e1 .. e13)+";
+
+/// Interval tolerance a bare `--adaptive` uses: tight enough that every
+/// E1 verdict margin survives, loose enough to stop clear-cut cells
+/// after a few chunks.
+const DEFAULT_ADAPTIVE_TOL: f64 = 0.002;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +51,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut adaptive: Option<f64> = None;
     let mut check = false;
     let mut expect_value_for: Option<&str> = None;
     for a in &args {
@@ -64,6 +76,7 @@ fn main() {
             "--checkpoint" => expect_value_for = Some("--checkpoint"),
             "--threads" | "-j" => expect_value_for = Some("--threads"),
             "--check" => check = true,
+            "--adaptive" => adaptive = Some(DEFAULT_ADAPTIVE_TOL),
             "--quick" | "-q" => scale = Scale::Quick,
             "--list" | "-l" => {
                 for id in ALL_EXPERIMENTS {
@@ -72,6 +85,16 @@ fn main() {
                 return;
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--adaptive=") => {
+                let value = &other["--adaptive=".len()..];
+                match value.parse::<f64>() {
+                    Ok(tol) if tol.is_finite() && tol > 0.0 => adaptive = Some(tol),
+                    _ => {
+                        eprintln!("--adaptive needs a positive tolerance, got {value}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 let id = normalize_id(other);
                 if ALL_EXPERIMENTS.contains(&id.as_str()) {
@@ -139,6 +162,7 @@ fn main() {
                 scale,
                 log: &mut log,
                 checkpoint: checkpoint.as_mut(),
+                adaptive,
             },
         );
         for table in &tables {

@@ -5,30 +5,68 @@
 //! ≥ (1+γε²)δ), across a grid of (n, ε, δ).
 
 use crate::table::{fmt_f, Table};
-use crate::Scale;
+use crate::{MetricsLog, Scale};
 use dut_core::decision::Decision;
+use dut_core::executor::MonteCarloConfig;
 use dut_core::gap::GapTester;
-use dut_core::montecarlo::{trial_rng, MonteCarlo};
+use dut_core::montecarlo::{sampling_rng, ErrorEstimate, MonteCarlo};
 use dut_core::Checkpoint;
 use dut_distributions::families::FarFamily;
 use dut_distributions::DiscreteDistribution;
+use dut_obs::{MemorySink, RunRecord, Sink};
 
 /// Runs E1.
 pub fn run(scale: Scale) -> Vec<Table> {
-    run_ctx(scale, None)
+    run_ctx(scale, None, None, &mut MetricsLog::disabled())
 }
 
-/// Runs E1 with an optional chunk-level Monte-Carlo checkpoint: each
-/// grid cell estimates under a stable label
-/// (`e1a/n=..,eps=..,delta=..` / `e1b/../family=..`), so an
-/// interrupted full-scale sweep resumes where it stopped and still
-/// produces bit-identical tables.
+/// Logs one `dut-metrics/1` record for an adaptive grid cell: the
+/// trials the confidence sequence actually spent against the cell's
+/// fixed budget (the `mc.adaptive.*` keys). No-op on a disabled log,
+/// and never called on fixed-budget runs — those have no stopping
+/// story to tell.
+fn record_spend(log: &mut MetricsLog, case: &str, est: &ErrorEstimate, budget: usize) {
+    if !log.enabled() {
+        return;
+    }
+    let mut sink = MemorySink::new();
+    sink.add(dut_obs::keys::MC_ADAPTIVE_TRIALS_SPENT, est.trials as u64);
+    sink.add(dut_obs::keys::MC_ADAPTIVE_BUDGET, budget as u64);
+    log.write(&RunRecord::new("e1", case), &sink)
+        .expect("metrics log write");
+}
+
+/// Runs E1 with the full context:
+///
+/// * `checkpoint` — chunk-level Monte-Carlo checkpointing: each grid
+///   cell estimates under a stable label
+///   (`e1a/n=..,eps=..,delta=..` / `e1b/../family=..`), so an
+///   interrupted full-scale sweep resumes where it stopped and still
+///   produces bit-identical tables.
+/// * `adaptive` — confidence-sequence early stopping
+///   ([`MonteCarloConfig::adaptive`]) with the cell's own decision
+///   threshold (δ for completeness cells, the `(1+γε²)δ` bound for
+///   soundness cells): a cell stops as soon as its interval clears the
+///   threshold or shrinks below the tolerance. Cells that straddle
+///   their threshold at the tolerance keep their fixed-budget verdict
+///   (`lower ≤ δ` / `upper ≥ bound` both hold for a straddling
+///   interval), so the rendered `ok` column agrees with the
+///   fixed-budget run's — only the intervals and trial counts move.
+/// * `log` — when adaptive and enabled, one record per cell pairs the
+///   spent trials with the budget (`mc.adaptive.trials_spent` /
+///   `mc.adaptive.budget`).
 ///
 /// # Panics
 ///
 /// Panics if `checkpoint` points at a file recorded under different
-/// parameters (scale change against a stale file — delete it).
-pub fn run_ctx(scale: Scale, mut checkpoint: Option<&mut Checkpoint>) -> Vec<Table> {
+/// parameters (scale or stop-rule change against a stale file —
+/// delete it).
+pub fn run_ctx(
+    scale: Scale,
+    mut checkpoint: Option<&mut Checkpoint>,
+    adaptive: Option<f64>,
+    log: &mut MetricsLog,
+) -> Vec<Table> {
     let trials = scale.pick(100_000, 400_000);
     let grid: Vec<(usize, f64, f64)> = scale.pick(
         vec![(1 << 14, 1.0, 0.01), (1 << 16, 0.5, 0.005)],
@@ -64,16 +102,23 @@ pub fn run_ctx(scale: Scale, mut checkpoint: Option<&mut Checkpoint>) -> Vec<Tab
     for &(n, eps, delta) in &grid {
         let tester = GapTester::new(n, delta).expect("plannable grid point");
         let uniform = DiscreteDistribution::uniform(n);
+        let label = format!("e1a/n={n},eps={eps},delta={delta}");
         let est = {
             let t = tester;
             let u = uniform.clone();
             let mut mc = MonteCarlo::new(trials, 101);
-            if let Some(ck) = checkpoint.as_deref_mut() {
-                mc = mc.checkpoint(ck, format!("e1a/n={n},eps={eps},delta={delta}"));
+            if let Some(tol) = adaptive {
+                mc = mc.config(MonteCarloConfig::adaptive(tol).stop_threshold(tester.delta()));
             }
-            mc.run(move |seed| t.run(&u, &mut trial_rng(seed)) == Decision::Reject)
+            if let Some(ck) = checkpoint.as_deref_mut() {
+                mc = mc.checkpoint(ck, label.clone());
+            }
+            mc.run(move |seed| t.run(&u, &mut sampling_rng(seed)) == Decision::Reject)
                 .expect("trials > 0 and a usable checkpoint")
         };
+        if adaptive.is_some() {
+            record_spend(log, &label, &est, trials);
+        }
         let ok = est.lower <= tester.delta();
         completeness.push_row(vec![
             n.to_string(),
@@ -95,17 +140,22 @@ pub fn run_ctx(scale: Scale, mut checkpoint: Option<&mut Checkpoint>) -> Vec<Tab
                 Err(_) => continue,
             };
             let bound = tester.soundness_rejection_bound(eps);
+            let label = format!("e1b/n={n},eps={eps},delta={delta},family={}", family.name());
             let est = {
                 let t = tester;
                 let mut mc = MonteCarlo::new(trials, 211);
-                if let Some(ck) = checkpoint.as_deref_mut() {
-                    let label =
-                        format!("e1b/n={n},eps={eps},delta={delta},family={}", family.name());
-                    mc = mc.checkpoint(ck, label);
+                if let Some(tol) = adaptive {
+                    mc = mc.config(MonteCarloConfig::adaptive(tol).stop_threshold(bound));
                 }
-                mc.run(move |seed| t.run(&far, &mut trial_rng(seed)) == Decision::Reject)
+                if let Some(ck) = checkpoint.as_deref_mut() {
+                    mc = mc.checkpoint(ck, label.clone());
+                }
+                mc.run(move |seed| t.run(&far, &mut sampling_rng(seed)) == Decision::Reject)
                     .expect("trials > 0 and a usable checkpoint")
             };
+            if adaptive.is_some() {
+                record_spend(log, &label, &est, trials);
+            }
             let ok = est.upper >= bound;
             soundness.push_row(vec![
                 n.to_string(),
@@ -139,5 +189,32 @@ mod tests {
         // The CI smoke lane re-checks the same invariant via --check;
         // routing the test through it keeps the two from drifting.
         crate::verdict::check("e1", &tables).unwrap();
+    }
+
+    #[test]
+    fn adaptive_run_keeps_every_verdict_and_spends_less() {
+        let mut log = MetricsLog::buffer();
+        let fixed = run(Scale::Quick);
+        let adaptive = run_ctx(Scale::Quick, None, Some(0.002), &mut log);
+        assert_eq!(fixed.len(), adaptive.len());
+        for (f, a) in fixed.iter().zip(&adaptive) {
+            assert_eq!(f.rows.len(), a.rows.len());
+            for (fr, ar) in f.rows.iter().zip(&a.rows) {
+                assert_eq!(fr.last(), ar.last(), "verdict moved on {ar:?}");
+            }
+        }
+        crate::verdict::check("e1", &adaptive).unwrap();
+        // Every cell logged its spend, and at least one stopped early.
+        let cells = 2 + dut_distributions::families::FarFamily::ALL.len() * 2;
+        assert!(log.records() >= cells - 2, "{} records", log.records());
+        let saved = log
+            .lines()
+            .iter()
+            .any(|l| !l.contains("\"mc.adaptive.trials_spent\":100000"));
+        assert!(
+            saved,
+            "no cell stopped before its budget:\n{:?}",
+            log.lines()
+        );
     }
 }

@@ -6,16 +6,53 @@
 
 use crate::table::{fmt_f, Table};
 use crate::Scale;
+use dut_core::decision::Decision;
+use dut_core::executor::MonteCarloConfig;
+use dut_core::gap::GapTester;
+use dut_core::montecarlo::{sampling_rng, MonteCarlo};
 use dut_core::params::{delta_for_samples, samples_for_delta};
+use dut_distributions::DiscreteDistribution;
+
+/// Largest domain the adaptive measurement column materializes a
+/// uniform pmf for; above this the cell reports `—` rather than
+/// allocating hundreds of megabytes (full scale sweeps up to 2^24).
+const ADAPTIVE_MEASURE_MAX_N: usize = 1 << 20;
 
 /// Runs E2.
 pub fn run(scale: Scale) -> Vec<Table> {
+    run_ctx(scale, None)
+}
+
+/// Runs E2, optionally with a confidence-sequence-measured column: when
+/// `adaptive` is set, each (n, δ) cell also runs the planned gap tester
+/// on the uniform distribution under
+/// [`MonteCarloConfig::adaptive`]`(tol)` with δ itself as the stop
+/// threshold, so the empirical rejection rate lands next to the
+/// planner's δ using only as many trials as the confidence sequence
+/// needs. The default (`None`) output is bit-identical to the historical
+/// fixed table — the extra column (and its Monte-Carlo work) only
+/// exists on adaptive runs, and the verdict never reads it.
+pub fn run_ctx(scale: Scale, adaptive: Option<f64>) -> Vec<Table> {
+    let base_cols = ["n", "delta", "s", "s(s-1)/(2δn)", "realized δ/requested δ"];
+    let adaptive_cols = [
+        "n",
+        "delta",
+        "s",
+        "s(s-1)/(2δn)",
+        "realized δ/requested δ",
+        "measured reject (adaptive MC)",
+    ];
     let mut t = Table::new(
         "E2: s = Θ(√(δn)) scaling (Theorem 3.1)",
         "The planned integer sample count s must satisfy s(s−1) ≤ 2δn < (s+1)s, so the \
          normalized ratio s(s−1)/(2δn) sits in (0.8, 1] once s is nontrivial.",
-        &["n", "delta", "s", "s(s-1)/(2δn)", "realized δ/requested δ"],
+        if adaptive.is_some() {
+            &adaptive_cols[..]
+        } else {
+            &base_cols[..]
+        },
     );
+    let budget = scale.pick(20_000, 100_000);
     let ns: Vec<usize> = scale.pick(
         vec![1 << 12, 1 << 16, 1 << 20],
         vec![
@@ -33,19 +70,45 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let Ok(s) = samples_for_delta(n, delta) else {
                 continue;
             };
-            let budget = 2.0 * delta * n as f64;
-            let ratio = (s * (s - 1)) as f64 / budget;
+            let budget_f = 2.0 * delta * n as f64;
+            let ratio = (s * (s - 1)) as f64 / budget_f;
             let realized = delta_for_samples(n, s) / delta;
-            t.push_row(vec![
+            let mut row = vec![
                 n.to_string(),
                 fmt_f(delta),
                 s.to_string(),
                 fmt_f(ratio),
                 fmt_f(realized),
-            ]);
+            ];
+            if let Some(tol) = adaptive {
+                row.push(measure_reject(n, delta, tol, budget));
+            }
+            t.push_row(row);
         }
     }
     vec![t]
+}
+
+/// The adaptive-only measurement cell: the gap tester's rejection rate
+/// on uniform, `rate [lo, hi] (trials)` with the trials the sequence
+/// spent, or `—` when the domain is too large to materialize.
+fn measure_reject(n: usize, delta: f64, tol: f64, budget: usize) -> String {
+    if n > ADAPTIVE_MEASURE_MAX_N {
+        return "—".to_string();
+    }
+    let tester = GapTester::new(n, delta).expect("plannable cell");
+    let uniform = DiscreteDistribution::uniform(n);
+    let est = MonteCarlo::new(budget, 131)
+        .config(MonteCarloConfig::adaptive(tol).stop_threshold(delta))
+        .run(|seed| tester.run(&uniform, &mut sampling_rng(seed)) == Decision::Reject)
+        .expect("budget > 0");
+    format!(
+        "{} [{}, {}] ({} trials)",
+        fmt_f(est.rate),
+        fmt_f(est.lower),
+        fmt_f(est.upper),
+        est.trials
+    )
 }
 
 #[cfg(test)]
@@ -56,6 +119,17 @@ mod tests {
     fn ratios_stay_in_band() {
         let tables = run(Scale::Quick);
         assert!(!tables[0].rows.is_empty());
+        crate::verdict::check("e2", &tables).unwrap();
+    }
+
+    #[test]
+    fn adaptive_run_adds_a_column_and_keeps_the_verdict() {
+        let tables = run_ctx(Scale::Quick, Some(0.01));
+        assert_eq!(tables[0].headers.len(), 6);
+        for row in &tables[0].rows {
+            assert_eq!(row.len(), 6);
+            assert!(row[5] == "—" || row[5].contains("trials"), "{row:?}");
+        }
         crate::verdict::check("e2", &tables).unwrap();
     }
 }

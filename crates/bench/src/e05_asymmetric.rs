@@ -12,6 +12,8 @@ use dut_core::asymmetric::{
     AsymmetricThresholdTester, CostVector,
 };
 use dut_core::decision::Decision;
+use dut_core::executor::MonteCarloConfig;
+use dut_core::montecarlo::{sampling_rng, MonteCarlo};
 use dut_distributions::families::paninski_far;
 use dut_distributions::DiscreteDistribution;
 use rand::rngs::StdRng;
@@ -29,11 +31,25 @@ fn cost_shape(name: &str, k: usize) -> CostVector {
 
 /// Runs E5.
 pub fn run(scale: Scale) -> Vec<Table> {
+    run_ctx(scale, None)
+}
+
+/// Runs E5, optionally with confidence-sequence error estimation: when
+/// `adaptive` is set, the `err(U)` / `err(far)` columns of E5a come
+/// from [`MonteCarloConfig::adaptive`] runs (stop threshold ½, the
+/// accept/reject midpoint) over a larger trial budget, instead of the
+/// fixed dozen-trial serial loop — sharper error estimates for the
+/// same or less work, parallel and reproducible at any thread count.
+/// The verdict only reads the cost-law columns, so both modes agree on
+/// it; the default (`None`) path is bit-identical to the historical
+/// output.
+pub fn run_ctx(scale: Scale, adaptive: Option<f64>) -> Vec<Table> {
     let n = 1 << 20;
     let k = scale.pick(150_000, 300_000);
     let eps = 0.5;
     let p = 1.0 / 3.0;
     let trials = scale.pick(12, 30);
+    let adaptive_budget = scale.pick(48, 200);
 
     let mut t = Table::new(
         "E5a: asymmetric threshold tester cost (§4.2)",
@@ -57,15 +73,36 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let costs = cost_shape(shape, k);
         let tester = AsymmetricThresholdTester::plan(n, &costs, eps, p).expect("plannable shape");
         let theory = theory_max_cost_threshold(n, &costs, eps);
-        let mut rng = StdRng::seed_from_u64(501);
-        let err_u = (0..trials)
-            .filter(|_| tester.run(&uniform, &mut rng).decision == Decision::Reject)
-            .count() as f64
-            / trials as f64;
-        let err_f = (0..trials)
-            .filter(|_| tester.run(&far, &mut rng).decision == Decision::Accept)
-            .count() as f64
-            / trials as f64;
+        let (err_u, err_f) = match adaptive {
+            None => {
+                let mut rng = StdRng::seed_from_u64(501);
+                let err_u = (0..trials)
+                    .filter(|_| tester.run(&uniform, &mut rng).decision == Decision::Reject)
+                    .count() as f64
+                    / trials as f64;
+                let err_f = (0..trials)
+                    .filter(|_| tester.run(&far, &mut rng).decision == Decision::Accept)
+                    .count() as f64
+                    / trials as f64;
+                (err_u, err_f)
+            }
+            Some(tol) => {
+                let cfg = MonteCarloConfig::adaptive(tol).stop_threshold(0.5);
+                let err_u = MonteCarlo::new(adaptive_budget, 501)
+                    .config(cfg)
+                    .run(|seed| {
+                        tester.run(&uniform, &mut sampling_rng(seed)).decision == Decision::Reject
+                    })
+                    .expect("budget > 0");
+                let err_f = MonteCarlo::new(adaptive_budget, 503)
+                    .config(cfg)
+                    .run(|seed| {
+                        tester.run(&far, &mut sampling_rng(seed)).decision == Decision::Accept
+                    })
+                    .expect("budget > 0");
+                (err_u.rate, err_f.rate)
+            }
+        };
         t.push_row(vec![
             shape.to_string(),
             fmt_f(costs.inverse_norm(2.0)),

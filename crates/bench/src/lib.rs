@@ -90,6 +90,15 @@ pub struct ExperimentCtx<'a> {
     /// consumed by E1, whose 400k-trial grids dominate full-scale
     /// wall-clock time.
     pub checkpoint: Option<&'a mut dut_core::Checkpoint>,
+    /// Confidence-sequence early stopping (`--adaptive`): the interval
+    /// half-width tolerance handed to
+    /// [`dut_core::executor::MonteCarloConfig::adaptive`]. `None` keeps
+    /// the fixed-budget runs whose outputs EXPERIMENTS.md records
+    /// bit-for-bit; `Some(tol)` lets the Monte-Carlo experiments (E1,
+    /// E2, E5) stop each cell as soon as its decision is resolved,
+    /// trading interval tightness for wall-clock time without changing
+    /// any verdict.
+    pub adaptive: Option<f64>,
 }
 
 /// Runs one experiment by (canonical) id, returning its rendered
@@ -103,11 +112,11 @@ pub struct ExperimentCtx<'a> {
 /// checkpoint file (plan mismatch against a stale file — delete it).
 pub fn run_experiment_ctx(id: &str, ctx: ExperimentCtx<'_>) -> Vec<Table> {
     match id {
-        "e1" => e01_gap::run_ctx(ctx.scale, ctx.checkpoint),
-        "e2" => e02_scaling::run(ctx.scale),
+        "e1" => e01_gap::run_ctx(ctx.scale, ctx.checkpoint, ctx.adaptive, ctx.log),
+        "e2" => e02_scaling::run_ctx(ctx.scale, ctx.adaptive),
         "e3" => e03_and_rule::run(ctx.scale),
         "e4" => e04_threshold::run(ctx.scale),
-        "e5" => e05_asymmetric::run(ctx.scale),
+        "e5" => e05_asymmetric::run_ctx(ctx.scale, ctx.adaptive),
         "e6" => e06_congest::run(ctx.scale, ctx.log),
         "e7" => e07_local::run(ctx.scale),
         "e8" => e08_smp::run(ctx.scale),
@@ -133,6 +142,7 @@ pub fn run_experiment(id: &str, scale: Scale, log: &mut MetricsLog) -> Vec<Table
             scale,
             log,
             checkpoint: None,
+            adaptive: None,
         },
     )
 }

@@ -115,6 +115,22 @@ fn io_err(e: std::io::Error) -> CheckpointError {
     CheckpointError::Io(e.to_string())
 }
 
+/// The stop rule a label's run was planned under, in exactly-comparable
+/// form: floats are stored as their IEEE bit patterns so plan equality
+/// (and the digits-only line format) stays exact. Plan lines written
+/// before adaptive stopping existed carry no stop params and parse as
+/// [`PlanStop::FixedBudget`], so old checkpoint files remain valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanStop {
+    FixedBudget,
+    Adaptive {
+        /// `f64::to_bits` of the interval-width tolerance.
+        tolerance_bits: u64,
+        /// `f64::to_bits` of the decision threshold, if one was set.
+        threshold_bits: Option<u64>,
+    },
+}
+
 /// The parameters a label's chunks were produced under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Plan {
@@ -122,6 +138,7 @@ pub(crate) struct Plan {
     pub chunk_size: usize,
     pub base_seed: u64,
     pub observed: bool,
+    pub stop: PlanStop,
 }
 
 /// One completed chunk: its failure count and (for observed runs) the
@@ -207,11 +224,23 @@ impl Checkpoint {
             }
             Some(_) => {}
             None => {
-                let record = RunRecord::new("mc/plan", label)
+                let mut record = RunRecord::new("mc/plan", label)
                     .param("trials", plan.trials)
                     .param("chunk_size", plan.chunk_size)
                     .param("base_seed", plan.base_seed)
                     .param("observed", u64::from(plan.observed));
+                if let PlanStop::Adaptive {
+                    tolerance_bits,
+                    threshold_bits,
+                } = plan.stop
+                {
+                    record = record
+                        .param("adaptive", 1u64)
+                        .param("tolerance_bits", tolerance_bits);
+                    if let Some(bits) = threshold_bits {
+                        record = record.param("threshold_bits", bits);
+                    }
+                }
                 self.writer
                     .write(&record, &MemorySink::new())
                     .and_then(|()| self.writer.flush())
@@ -292,12 +321,23 @@ fn parse_line(
     let label = field_str(line, "case").ok_or_else(|| corrupt("no case field"))?;
     match experiment {
         "mc/plan" => {
+            // Plan lines from pre-adaptive builds have no "adaptive"
+            // param and mean a fixed budget.
+            let stop = match field_u64(line, "adaptive") {
+                Some(v) if v != 0 => PlanStop::Adaptive {
+                    tolerance_bits: field_u64(line, "tolerance_bits")
+                        .ok_or_else(|| corrupt("adaptive plan without tolerance_bits"))?,
+                    threshold_bits: field_u64(line, "threshold_bits"),
+                },
+                _ => PlanStop::FixedBudget,
+            };
             let plan = Plan {
                 trials: field_usize(line, "trials").ok_or_else(|| corrupt("no trials"))?,
                 chunk_size: field_usize(line, "chunk_size")
                     .ok_or_else(|| corrupt("no chunk_size"))?,
                 base_seed: field_u64(line, "base_seed").ok_or_else(|| corrupt("no base_seed"))?,
                 observed: field_u64(line, "observed").ok_or_else(|| corrupt("no observed"))? != 0,
+                stop,
             };
             if plan.chunk_size == 0 || plan.trials == 0 {
                 return Err(corrupt("plan with zero trials or chunk_size"));
@@ -479,6 +519,7 @@ mod tests {
             chunk_size: 16,
             base_seed: 7,
             observed: true,
+            stop: PlanStop::FixedBudget,
         }
     }
 
@@ -520,6 +561,61 @@ mod tests {
             ck.begin("x", other),
             Err(CheckpointError::PlanMismatch { .. })
         ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_plan_round_trips_and_mismatches_fixed() {
+        let path = tmp("adaptive_plan.jsonl");
+        let _ = fs::remove_file(&path);
+        let adaptive = Plan {
+            stop: PlanStop::Adaptive {
+                tolerance_bits: 0.002f64.to_bits(),
+                threshold_bits: Some(0.05f64.to_bits()),
+            },
+            ..plan()
+        };
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", adaptive).unwrap();
+        ck.append_chunk("x", 0, 0, 16, 2, &MemorySink::new())
+            .unwrap();
+        drop(ck);
+
+        let mut re = Checkpoint::open(&path).unwrap();
+        // Same adaptive plan: accepted, chunk restored.
+        assert_eq!(re.begin("x", adaptive).unwrap().len(), 1);
+        // A fixed-budget (or differently tuned) plan is a mismatch.
+        assert!(matches!(
+            re.begin("x", plan()),
+            Err(CheckpointError::PlanMismatch { .. })
+        ));
+        let other = Plan {
+            stop: PlanStop::Adaptive {
+                tolerance_bits: 0.004f64.to_bits(),
+                threshold_bits: Some(0.05f64.to_bits()),
+            },
+            ..plan()
+        };
+        assert!(matches!(
+            re.begin("x", other),
+            Err(CheckpointError::PlanMismatch { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_lines_without_stop_params_parse_as_fixed_budget() {
+        // Compatibility: checkpoint files written before adaptive
+        // stopping existed must keep resuming fixed-budget runs.
+        let path = tmp("legacy_plan.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        drop(ck);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("adaptive"), "fixed plans stay param-free");
+        let mut re = Checkpoint::open(&path).unwrap();
+        assert!(re.begin("x", plan()).is_ok());
         let _ = fs::remove_file(&path);
     }
 

@@ -190,6 +190,7 @@ impl GapTester {
     {
         let decision = self.run_with_scratch(oracle, rng, scratch);
         record_gap_run(sink, self.s, decision);
+        record_batched_draws(sink, oracle.batched(), self.s);
         decision
     }
 
@@ -248,6 +249,19 @@ fn record_gap_run(sink: &mut dyn Sink, samples: usize, decision: Decision) {
         if decision == Decision::Reject {
             sink.add(keys::CORE_GAP_COLLISIONS, 1);
         }
+    }
+}
+
+/// `sampling.batch.*` recording: `draws` samples routed through a
+/// batched (`SampleOracle::batched`) oracle, processed in
+/// `LANES`-wide blocks.
+fn record_batched_draws(sink: &mut dyn Sink, batched: bool, draws: usize) {
+    if batched && sink.enabled() {
+        sink.add(keys::SAMPLING_BATCH_DRAWS, draws as u64);
+        sink.add(
+            keys::SAMPLING_BATCH_BLOCKS,
+            draws.div_ceil(dut_distributions::batch::LANES) as u64,
+        );
     }
 }
 
@@ -402,6 +416,17 @@ mod tests {
             trials * t.samples() as u64
         );
         assert_eq!(sink.counter(dut_obs::keys::CORE_GAP_COLLISIONS), rejects);
+        // The distribution oracle is batched, so the batched-draw
+        // counters mirror the sample count.
+        assert_eq!(
+            sink.counter(dut_obs::keys::SAMPLING_BATCH_DRAWS),
+            trials * t.samples() as u64
+        );
+        let blocks = (t.samples() as u64).div_ceil(dut_distributions::batch::LANES as u64);
+        assert_eq!(
+            sink.counter(dut_obs::keys::SAMPLING_BATCH_BLOCKS),
+            trials * blocks
+        );
     }
 
     #[test]

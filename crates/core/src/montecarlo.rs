@@ -27,7 +27,7 @@ use std::fmt;
 use dut_obs::{MemorySink, Sink};
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
-use crate::executor::{run_chunked, MonteCarloConfig};
+use crate::executor::{run_chunked, sequence_z, MonteCarloConfig, StopRule};
 
 pub use crate::executor::{default_threads, derive_trial_seed, set_default_threads};
 
@@ -307,10 +307,25 @@ impl<'a> MonteCarlo<'a> {
             .as_mut()
             .map(|(ck, label)| (&mut **ck, label.as_str()));
         let reduction = run_chunked(config, trials, base_seed, observe, ck, init, trial)?;
-        Ok((
-            ErrorEstimate::from_counts(trials, reduction.failures, 1.96),
-            reduction.sink,
-        ))
+        // Fixed-budget runs keep the historical fixed-z interval (bit
+        // identical to pre-adaptive builds). Adaptive runs report the
+        // confidence-sequence interval of their final look — wider per
+        // look, but simultaneously valid over every stop decision the
+        // run peeked at.
+        let z = match config.stop {
+            StopRule::FixedBudget => 1.96,
+            StopRule::Adaptive { .. } => sequence_z(reduction.chunks_counted - 1),
+        };
+        let estimate = ErrorEstimate::from_counts(reduction.trials, reduction.failures, z);
+        let mut sink = reduction.sink;
+        if observe && config.is_adaptive() {
+            sink.add(
+                dut_obs::keys::MC_ADAPTIVE_TRIALS_SPENT,
+                reduction.trials as u64,
+            );
+            sink.add(dut_obs::keys::MC_ADAPTIVE_BUDGET, trials as u64);
+        }
+        Ok((estimate, sink))
     }
 }
 
@@ -394,6 +409,34 @@ where
 /// Convenience: a seeded [`StdRng`] for use inside trial closures.
 pub fn trial_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// The generator [`sampling_rng`] returns: [`StdRng`] on the default
+/// path, swapped for the counter-based
+/// [`dut_distributions::batch::BatchRng`] under the `fast-sampling`
+/// cargo feature.
+#[cfg(not(feature = "fast-sampling"))]
+pub type SamplingRng = StdRng;
+
+/// The generator [`sampling_rng`] returns under `fast-sampling`: the
+/// counter-based [`dut_distributions::batch::BatchRng`], whose batch
+/// fills autovectorize.
+#[cfg(feature = "fast-sampling")]
+pub type SamplingRng = dut_distributions::batch::BatchRng;
+
+/// A seeded generator for the *sampling* hot path of a trial (the
+/// draws a tester feeds through `SampleOracle::draw_into`).
+///
+/// On the default build this is [`trial_rng`] — the documented
+/// `StdRng` streams, bit-identical to every recorded experiment. With
+/// the `fast-sampling` cargo feature it returns a
+/// [`dut_distributions::batch::BatchRng`] instead, which changes the
+/// RNG stream: the differential contract for that split is **verdict
+/// identity** (same accept/reject decisions, same statistics within
+/// exact-oracle checks), enforced by the testkit suites — never bit
+/// identity.
+pub fn sampling_rng(seed: u64) -> SamplingRng {
+    SamplingRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -596,6 +639,108 @@ mod tests {
         assert_eq!(resumed, plain);
         assert_eq!(ck.completed_chunks("cell"), 2_000usize.div_ceil(128));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_spends_fewer_trials_and_agrees_on_the_decision() {
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.02;
+        let fixed = estimate_failure_rate(100_000, 7, f).unwrap();
+        let adaptive = MonteCarlo::new(100_000, 7)
+            .config(MonteCarloConfig::adaptive(0.01).stop_threshold(0.5))
+            .run(f)
+            .unwrap();
+        assert!(
+            adaptive.trials < 100_000,
+            "spent the whole budget: {adaptive:?}"
+        );
+        // Both certify the same side of the decision threshold, and
+        // the adaptive interval still covers the true rate.
+        assert!(fixed.certified_below(0.5) && adaptive.certified_below(0.5));
+        assert!(adaptive.lower <= 0.02 && 0.02 <= adaptive.upper);
+        assert!(adaptive.z > 1.96, "sequence z must price the peeking");
+    }
+
+    #[test]
+    fn adaptive_estimates_are_thread_invariant() {
+        // Threshold close enough to the rate that several looks are
+        // needed — the stop lands mid-run, where racing workers could
+        // disagree if stopping were not prefix-ordered.
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let base = MonteCarloConfig::adaptive(1e-6)
+            .stop_threshold(0.3)
+            .chunk_size(37);
+        let first = MonteCarlo::new(10_000, 3)
+            .config(MonteCarloConfig { threads: 1, ..base })
+            .run(f)
+            .unwrap();
+        assert!(first.trials < 10_000 && first.trials > 37, "{first:?}");
+        for threads in [2, 8] {
+            let est = MonteCarlo::new(10_000, 3)
+                .config(MonteCarloConfig { threads, ..base })
+                .run(f)
+                .unwrap();
+            assert_eq!(est, first, "{threads} threads changed the stop");
+        }
+    }
+
+    #[test]
+    fn adaptive_checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("dut_core_mc_adaptive_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adaptive_resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let f = |seed: u64| trial_rng(seed).gen::<f64>() < 0.25;
+        let cfg = MonteCarloConfig::adaptive(1e-6)
+            .stop_threshold(0.3)
+            .chunk_size(64);
+
+        let mut ck = Checkpoint::open(&path).unwrap();
+        let full = MonteCarlo::new(50_000, 3)
+            .config(MonteCarloConfig { threads: 1, ..cfg })
+            .checkpoint(&mut ck, "cell")
+            .run(f)
+            .unwrap();
+        assert!(full.trials < 50_000, "must stop early: {full:?}");
+        drop(ck);
+
+        // Kill after 2 chunks, resume at a different thread count: the
+        // stop decision and the estimate must not move.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+        let mut ck = Checkpoint::open(&path).unwrap();
+        let resumed = MonteCarlo::new(50_000, 3)
+            .config(MonteCarloConfig { threads: 4, ..cfg })
+            .checkpoint(&mut ck, "cell")
+            .run(f)
+            .unwrap();
+        assert_eq!(resumed, full);
+
+        // Resuming a *fully recorded* adaptive run recomputes nothing
+        // and reproduces the estimate from the file alone.
+        let again = MonteCarlo::new(50_000, 3)
+            .config(cfg)
+            .checkpoint(&mut ck, "cell")
+            .run(f)
+            .unwrap();
+        assert_eq!(again, full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_observed_records_spend_and_budget() {
+        let (est, sink) = MonteCarlo::new(10_000, 5)
+            .config(MonteCarloConfig::adaptive(0.5))
+            .run_observed(
+                || (),
+                |seed, (), _sink: &mut dyn Sink| trial_rng(seed).gen::<f64>() < 0.1,
+            )
+            .unwrap();
+        assert_eq!(
+            sink.counter(dut_obs::keys::MC_ADAPTIVE_TRIALS_SPENT),
+            est.trials as u64
+        );
+        assert_eq!(sink.counter(dut_obs::keys::MC_ADAPTIVE_BUDGET), 10_000);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Exact discrete probability distributions over `{0, .., n-1}`.
 
 use crate::alias::AliasTable;
+use crate::batch::LANES;
 use crate::error::DistributionError;
 use rand::Rng;
 
@@ -157,6 +158,72 @@ impl DiscreteDistribution {
     /// Draws `count` iid samples.
     pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
         (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fills `out` with `out.len()` iid samples using the batched
+    /// kernels (branchless, `u32` output lanes).
+    ///
+    /// The raw `u64`s are consumed from `rng` in exactly the order
+    /// [`DiscreteDistribution::sample`] consumes them, so for any
+    /// generator this is bit-identical to `out.len()` scalar `sample`
+    /// calls — batching reorders work, never randomness. The uniform
+    /// fast path uses one widening-multiply word per sample; the alias
+    /// path two words (index, fraction). Both paths draw serially per
+    /// sample on purpose: a lane-buffered pre-fill tempts the
+    /// autovectorizer into synthesized 64-bit vector multiplies that
+    /// lose to native scalar `imul` on baseline x86-64 (see the
+    /// `alias` module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain size exceeds `u32::MAX` (samples must fit
+    /// the `u32` output lanes; alias-table construction already
+    /// enforces this for non-uniform distributions).
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        match &self.table {
+            Some(table) => table.sample_batch(rng, out),
+            None => {
+                assert!(
+                    self.pmf.len() <= u32::MAX as usize,
+                    "batched sampling domain exceeds u32 range"
+                );
+                let n = self.pmf.len() as u64;
+                for o in out.iter_mut() {
+                    // The exact `gen_range(0..n)` widening-multiply
+                    // reduction of the vendored rand.
+                    *o = ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u32;
+                }
+            }
+        }
+    }
+
+    /// Draws `count` iid samples via the batched kernels, **appending**
+    /// them to `out`. Bit-identical to pushing `count` scalar
+    /// [`DiscreteDistribution::sample`] calls (see
+    /// [`DiscreteDistribution::sample_batch`]); domains wider than
+    /// `u32` fall back to the scalar loop rather than panicking.
+    pub fn sample_batch_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+        out: &mut Vec<usize>,
+    ) {
+        if self.pmf.len() > u32::MAX as usize {
+            out.reserve(count);
+            for _ in 0..count {
+                out.push(self.sample(rng));
+            }
+            return;
+        }
+        out.reserve(count);
+        let mut lanes = [0u32; LANES];
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(LANES);
+            self.sample_batch(rng, &mut lanes[..take]);
+            out.extend(lanes[..take].iter().map(|&x| x as usize));
+            remaining -= take;
+        }
     }
 
     /// Returns the support (indices with positive mass).
@@ -381,5 +448,45 @@ mod tests {
         let a = DiscreteDistribution::uniform(4);
         let b = DiscreteDistribution::from_pmf(vec![0.25; 4]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_uniform_draws_are_bit_identical_to_scalar() {
+        let d = DiscreteDistribution::uniform(1000);
+        for seed in [0u64, 6, 99] {
+            let mut scalar = StdRng::seed_from_u64(seed);
+            let expect: Vec<u32> = (0..83).map(|_| d.sample(&mut scalar) as u32).collect();
+            let mut batched = StdRng::seed_from_u64(seed);
+            let mut got = vec![0u32; 83];
+            d.sample_batch(&mut batched, &mut got);
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_alias_draws_are_bit_identical_to_scalar() {
+        let d = DiscreteDistribution::from_weights(vec![3.0, 1.0, 0.0, 5.0, 0.25]).unwrap();
+        let mut scalar = StdRng::seed_from_u64(10);
+        let expect: Vec<usize> = d.sample_many(&mut scalar, 70);
+        let mut batched = StdRng::seed_from_u64(10);
+        let mut got = Vec::new();
+        d.sample_batch_into(&mut batched, 70, &mut got);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batched_into_appends_and_preserves_rng_state() {
+        use rand::RngCore;
+        let d = DiscreteDistribution::uniform(17);
+        let mut a = StdRng::seed_from_u64(12);
+        let mut out = vec![999usize];
+        d.sample_batch_into(&mut a, 41, &mut out);
+        assert_eq!(out.len(), 42);
+        assert_eq!(out[0], 999);
+        let mut b = StdRng::seed_from_u64(12);
+        for (i, &x) in out[1..].iter().enumerate() {
+            assert_eq!(x, d.sample(&mut b), "sample {i}");
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

@@ -18,6 +18,9 @@
 //!   divergence, and the Bernoulli-KL lower bound of the paper's Lemma 2.1.
 //! * [`oracle`] — sample oracles: the interface testers use to draw iid
 //!   samples.
+//! * [`batch`] — the counter-based [`batch::BatchRng`] generator and the
+//!   [`batch::LANES`] block width behind the batched sampling kernels
+//!   ([`DiscreteDistribution::sample_batch`]).
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod collision;
 pub mod distance;
 pub mod error;

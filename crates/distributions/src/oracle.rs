@@ -35,6 +35,15 @@ pub trait SampleOracle {
             out.push(self.draw(rng));
         }
     }
+
+    /// Whether [`SampleOracle::draw_into`] routes through the batched
+    /// ([`crate::batch::LANES`]-wide) sampling kernels. Purely
+    /// observational — the sample stream is bit-identical either way —
+    /// so instrumentation can record batched-draw counters only where
+    /// they are meaningful.
+    fn batched(&self) -> bool {
+        false
+    }
 }
 
 /// The basic oracle: samples from an explicit [`DiscreteDistribution`].
@@ -74,6 +83,14 @@ impl SampleOracle for DistributionOracle {
     fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         self.dist.sample(rng)
     }
+
+    fn draw_into<R: Rng + ?Sized>(&self, rng: &mut R, count: usize, out: &mut Vec<usize>) {
+        self.dist.sample_batch_into(rng, count, out);
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
 }
 
 impl SampleOracle for DiscreteDistribution {
@@ -83,6 +100,14 @@ impl SampleOracle for DiscreteDistribution {
 
     fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         self.sample(rng)
+    }
+
+    fn draw_into<R: Rng + ?Sized>(&self, rng: &mut R, count: usize, out: &mut Vec<usize>) {
+        self.sample_batch_into(rng, count, out);
+    }
+
+    fn batched(&self) -> bool {
+        true
     }
 }
 
@@ -116,6 +141,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let s = SampleOracle::draw(&d, &mut rng);
         assert!(s < 4);
+    }
+
+    #[test]
+    fn batched_draw_into_matches_scalar_draws() {
+        let d = DiscreteDistribution::from_weights(vec![1.0, 4.0, 2.0, 0.5]).unwrap();
+        let oracle = DistributionOracle::new(d);
+        assert!(oracle.batched());
+        let mut a = StdRng::seed_from_u64(21);
+        let mut got = Vec::new();
+        oracle.draw_into(&mut a, 53, &mut got);
+        let mut b = StdRng::seed_from_u64(21);
+        let expect: Vec<usize> = (0..53).map(|_| oracle.draw(&mut b)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -129,6 +129,20 @@ registry! {
     /// Counter: rejecting votes inside zero-round simulations.
     CORE_ZERO_ROUND_REJECTIONS = "core.zero_round.rejections";
 
+    /// Counter: trials an adaptive Monte-Carlo run actually spent
+    /// before its confidence sequence stopped it (equals the budget
+    /// when the sequence never triggered).
+    MC_ADAPTIVE_TRIALS_SPENT = "mc.adaptive.trials_spent";
+    /// Counter: the trial budget the adaptive run was allowed
+    /// (`trials_spent / budget` is the early-stopping saving).
+    MC_ADAPTIVE_BUDGET = "mc.adaptive.budget";
+    /// Counter: samples drawn through the batched (lane-oriented)
+    /// sampling kernels.
+    SAMPLING_BATCH_DRAWS = "sampling.batch.draws";
+    /// Counter: LANES-wide blocks processed by the batched kernels
+    /// (`draws / blocks` approaches the lane width on large requests).
+    SAMPLING_BATCH_BLOCKS = "sampling.batch.blocks";
+
     // ------------------------------------------------------------- congest
 
     /// Counter: CONGEST tester runs.
