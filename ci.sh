@@ -68,8 +68,17 @@ lane_overflow() {
 }
 
 lane_experiments_smoke() {
-    echo "==> experiments smoke (E1-E13 quick scale, verdicts vs EXPERIMENTS.md)"
+    echo "==> experiments smoke (E1-E14 quick scale, verdicts vs EXPERIMENTS.md)"
     cargo run --release -p dut-bench --bin experiments -- --quick --check all > /dev/null
+}
+
+lane_stream() {
+    echo "==> stream lane (merge-differential suite: sketches == batch testers)"
+    cargo test --release -p dut-stream -q
+    echo "==> stream lane (dgk feature: sublinear-memory sketch + merge law)"
+    cargo test --release -p dut-stream --features dgk -q
+    echo "==> stream lane (E14 quick smoke, verdict vs EXPERIMENTS.md)"
+    cargo run --release -p dut-bench --bin experiments -- --quick --check e14 > /dev/null
 }
 
 lane_perf_gate() {
@@ -92,7 +101,7 @@ lane_msrv() {
     fi
 }
 
-LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke perf-gate msrv)
+LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream perf-gate msrv)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${LANES[@]}"
@@ -108,6 +117,7 @@ run_lane() {
         feature-matrix) lane_feature_matrix ;;
         overflow) lane_overflow ;;
         experiments-smoke) lane_experiments_smoke ;;
+        stream) lane_stream ;;
         perf-gate) lane_perf_gate ;;
         msrv) lane_msrv ;;
         *)

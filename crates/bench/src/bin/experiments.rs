@@ -37,7 +37,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: experiments [--quick] [--list] [--check] [--threads N] [--checkpoint dir] \
-     [--adaptive[=TOL]] [--json out.json] [--metrics out.jsonl] (all | e1 .. e13)+";
+     [--adaptive[=TOL]] [--json out.json] [--metrics out.jsonl] (all | e1 .. e14)+";
 
 /// Interval tolerance a bare `--adaptive` uses: tight enough that every
 /// E1 verdict margin survives, loose enough to stop clear-cut cells

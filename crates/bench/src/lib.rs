@@ -32,6 +32,7 @@ pub mod e10_baselines;
 pub mod e11_identity;
 pub mod e12_lowerbound;
 pub mod e13_faults;
+pub mod e14_streaming;
 pub mod metrics;
 pub mod table;
 pub mod verdict;
@@ -61,8 +62,8 @@ impl Scale {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Canonicalizes a user-typed experiment id: strips leading zeros
@@ -125,6 +126,7 @@ pub fn run_experiment_ctx(id: &str, ctx: ExperimentCtx<'_>) -> Vec<Table> {
         "e11" => e11_identity::run(ctx.scale),
         "e12" => e12_lowerbound::run(ctx.scale),
         "e13" => e13_faults::run(ctx.scale, ctx.log),
+        "e14" => e14_streaming::run(ctx.scale, ctx.log),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -60,6 +60,7 @@ pub fn check(id: &str, tables: &[Table]) -> Result<(), String> {
         "e11" => check_e11(tables),
         "e12" => check_e12(tables),
         "e13" => check_e13(tables),
+        "e14" => check_e14(tables),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -372,6 +373,39 @@ fn check_e13(tables: &[Table]) -> Result<(), String> {
     }
     if flips[4] != "0" {
         return Err(fail(t, flips, "decode failures below the radius"));
+    }
+    Ok(())
+}
+
+/// E14 (streaming service): every shard count sustains positive
+/// throughput, verdicts are bit-identical across shard counts, and the
+/// coordinator separates uniform from Paninski-far traffic.
+fn check_e14(tables: &[Table]) -> Result<(), String> {
+    let perf = &tables[0];
+    if perf.rows.is_empty() {
+        return Err(format!("{}: no rows", perf.title));
+    }
+    for row in &perf.rows {
+        if num(perf, row, 3)? <= 0.0 {
+            return Err(fail(perf, row, "non-positive throughput"));
+        }
+    }
+    let sep = &tables[1];
+    if sep.rows.len() < 2 {
+        return Err(format!("{}: too few rows", sep.title));
+    }
+    for row in &sep.rows {
+        if row[4] != "true" {
+            return Err(fail(sep, row, "verdict differs across shard counts"));
+        }
+        let expect = match row[0].as_str() {
+            "uniform" => "Uniform",
+            "far" => "Far",
+            other => return Err(fail(sep, row, &format!("unknown input {other}"))),
+        };
+        if row[2] != expect {
+            return Err(fail(sep, row, "coordinator verdict misses the input"));
+        }
     }
     Ok(())
 }

@@ -14,6 +14,8 @@
 //!   uniform distribution.
 //! * [`collision`] — collision probability χ(μ) = Σ μ(x)², Lemma 3.2 of the
 //!   paper, and the Wiener birthday bound (the paper's Lemma 3.3).
+//! * [`counts`] — per-symbol occupancy counts, the shared state behind
+//!   the mergeable streaming sketches in `dut-stream`.
 //! * [`info`] — Shannon entropy, collision (Rényi-2) entropy, KL
 //!   divergence, and the Bernoulli-KL lower bound of the paper's Lemma 2.1.
 //! * [`oracle`] — sample oracles: the interface testers use to draw iid
@@ -52,6 +54,7 @@
 
 pub mod batch;
 pub mod collision;
+pub mod counts;
 pub mod distance;
 pub mod error;
 pub mod exact;

@@ -193,6 +193,27 @@ registry! {
     SMP_MESSAGE_BITS = "smp.message_bits";
     /// Counter: accepting executions.
     SMP_ACCEPTS = "smp.accepts";
+
+    // -------------------------------------------------------------- stream
+
+    /// Counter: samples ingested by a streaming service across all
+    /// labeled streams.
+    STREAM_PUSHES = "stream.pushes";
+    /// Counter: distinct labeled streams the service has seen.
+    STREAM_STREAMS = "stream.streams";
+    /// Counter: samples evicted by per-stream sliding windows (each
+    /// eviction retires the window's oldest sample from its sketch).
+    STREAM_WINDOW_EVICTIONS = "stream.window.evictions";
+    /// Counter: shard-local sketch merges performed by the coordinator
+    /// (one per non-empty stream folded into a global verdict).
+    STREAM_COORDINATOR_MERGES = "stream.coordinator.merges";
+    /// Counter: coordinator verdict looks taken so far — the index into
+    /// the union-bound Wilson schedule (`sequence_z`) that prices
+    /// repeated peeking into the anytime confidence level.
+    STREAM_COORDINATOR_LOOKS = "stream.coordinator.looks";
+    /// Counter: per-stream votes that currently reject, summed over
+    /// coordinator verdicts (the threshold rule compares these to T).
+    STREAM_COORDINATOR_REJECTING_VOTES = "stream.coordinator.rejecting_votes";
 }
 
 /// Maps a runtime string to the registered `&'static str` key it names,

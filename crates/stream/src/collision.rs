@@ -1,0 +1,227 @@
+//! The mergeable collision-counting sketch.
+
+use dut_distributions::counts::SymbolCounts;
+
+use crate::sketch::{Anytime, Sketch, Verdict};
+
+/// Mergeable collision pair counting: the streaming form of
+/// [`dut_core::baselines::CollisionCountTester`].
+///
+/// State is the per-symbol occupancy table plus the running pair count
+/// `M = Σ_x C(count(x), 2)`. Both update in O(1) per push because an
+/// occurrence of a symbol with prior count `c` creates exactly `c` new
+/// colliding pairs, and merge in O(|support of other|) by the pairwise
+/// decomposition
+///
+/// ```text
+/// pairs(a ∪ b) = pairs(a) + pairs(b) + Σ_x c_a(x)·c_b(x)
+/// ```
+///
+/// The verdict recomputes the batch tester's threshold at the *current*
+/// sample count, so at every point in the stream it equals
+/// `CollisionCountTester::with_samples(n, samples_so_far, ε)` run on the
+/// full sample multiset — bit-identically (the float expressions are
+/// replicated verbatim).
+#[derive(Debug, Clone)]
+pub struct CollisionSketch {
+    counts: SymbolCounts,
+    pairs: u64,
+    epsilon: f64,
+}
+
+impl CollisionSketch {
+    /// Creates an empty sketch over the domain `{0, .., n-1}` testing
+    /// ε-farness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or ε is not in `(0, 1]`.
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be nonempty");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        CollisionSketch {
+            counts: SymbolCounts::new(n),
+            pairs: 0,
+            epsilon,
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.counts.domain_size()
+    }
+
+    /// The ε the verdict threshold is computed for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The colliding-pair count `Σ_x C(count(x), 2)` seen so far —
+    /// equal to `dut_distributions::collision::collision_pair_count` on
+    /// the pushed multiset.
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Removes one previously pushed occurrence of `sample` (sliding
+    /// window eviction). The symbol's count drops from `c` to `c − 1`,
+    /// destroying exactly `c − 1` colliding pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is outside the domain or was never pushed.
+    pub fn retire(&mut self, sample: usize) {
+        let new = self.counts.decrement(sample);
+        self.pairs -= u64::from(new);
+    }
+
+    /// Re-compacts the internal support list after eviction churn; never
+    /// changes observable state.
+    pub fn compact(&mut self) {
+        self.counts.compact();
+    }
+}
+
+impl Sketch for CollisionSketch {
+    fn push(&mut self, sample: usize) {
+        let prior = self.counts.increment(sample);
+        self.pairs += u64::from(prior);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.domain_size(),
+            other.counts.domain_size(),
+            "merging collision sketches over different domains"
+        );
+        assert!(
+            self.epsilon.to_bits() == other.epsilon.to_bits(),
+            "merging collision sketches with different epsilon"
+        );
+        for (x, cb) in other.counts.iter_nonzero() {
+            let prior = self.counts.add(x, cb);
+            self.pairs += u64::from(prior) * u64::from(cb);
+        }
+        self.pairs += other.pairs;
+    }
+
+    fn verdict(&self) -> Anytime<Verdict> {
+        let total = self.counts.total();
+        if total < 2 {
+            return Anytime::exact(Verdict::Pending, total);
+        }
+        // Verbatim CollisionCountTester::with_samples threshold math at
+        // the current sample count — this is the bit-identity contract.
+        let s = total as usize;
+        let pairs_possible = s as f64 * (s as f64 - 1.0) / 2.0;
+        let threshold = pairs_possible / self.counts.domain_size() as f64
+            * (1.0 + self.epsilon * self.epsilon / 2.0);
+        let accept = (self.pairs as f64) <= threshold;
+        let value = if accept {
+            Verdict::Uniform
+        } else {
+            Verdict::Far
+        };
+        Anytime::exact(value, total)
+    }
+
+    fn samples(&self) -> u64 {
+        self.counts.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_core::baselines::CollisionCountTester;
+
+    fn batch_verdict(n: usize, eps: f64, samples: &[usize]) -> Verdict {
+        let tester = CollisionCountTester::with_samples(n, samples.len(), eps).unwrap();
+        Verdict::from_decision(tester.run_on_samples(samples))
+    }
+
+    #[test]
+    fn pending_below_two_samples() {
+        let mut sk = CollisionSketch::new(16, 0.5);
+        assert_eq!(sk.verdict().value, Verdict::Pending);
+        sk.push(3);
+        assert_eq!(sk.verdict().value, Verdict::Pending);
+        sk.push(4);
+        assert_ne!(sk.verdict().value, Verdict::Pending);
+    }
+
+    #[test]
+    fn streaming_verdict_matches_batch_tester() {
+        let n = 32;
+        let eps = 1.0;
+        let samples = [3usize, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9];
+        let mut sk = CollisionSketch::new(n, eps);
+        for (i, &x) in samples.iter().enumerate() {
+            sk.push(x);
+            if i >= 1 {
+                assert_eq!(
+                    sk.verdict().value,
+                    batch_verdict(n, eps, &samples[..=i]),
+                    "diverged at prefix {}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_implements_the_pairwise_decomposition() {
+        let n = 64;
+        let a = [1usize, 2, 2, 3, 7, 7, 7];
+        let b = [2usize, 3, 3, 7, 9];
+        let mut left = CollisionSketch::new(n, 1.0);
+        let mut right = CollisionSketch::new(n, 1.0);
+        for &x in &a {
+            left.push(x);
+        }
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut both = CollisionSketch::new(n, 1.0);
+        for &x in a.iter().chain(&b) {
+            both.push(x);
+        }
+        assert_eq!(left.pairs(), both.pairs());
+        assert_eq!(left.samples(), both.samples());
+        assert_eq!(left.verdict(), both.verdict());
+    }
+
+    #[test]
+    fn retire_undoes_push_exactly() {
+        let mut sk = CollisionSketch::new(16, 1.0);
+        for &x in &[5usize, 5, 5, 2] {
+            sk.push(x);
+        }
+        assert_eq!(sk.pairs(), 3);
+        sk.retire(5);
+        assert_eq!(sk.pairs(), 1);
+        sk.retire(5);
+        assert_eq!(sk.pairs(), 0);
+        assert_eq!(sk.samples(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = CollisionSketch::new(16, 1.0);
+        let b = CollisionSketch::new(32, 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different epsilon")]
+    fn merge_rejects_mismatched_epsilon() {
+        let mut a = CollisionSketch::new(16, 1.0);
+        let b = CollisionSketch::new(16, 0.5);
+        a.merge(&b);
+    }
+}

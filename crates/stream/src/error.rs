@@ -1,0 +1,68 @@
+//! Typed errors for the streaming layer.
+
+use std::fmt;
+
+/// Errors surfaced by the streaming service and sketch constructors.
+///
+/// Hostile *data* (out-of-domain samples arriving on a live stream) is
+/// always a typed error, never a panic; mismatched sketch *configurations*
+/// (merging sketches built over different domains) are caller bugs and
+/// panic, as documented on each `merge`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A sample outside the configured domain `{0, .., domain-1}`.
+    OutOfDomain {
+        /// The offending sample value.
+        sample: usize,
+        /// The configured domain size.
+        domain: usize,
+    },
+    /// A configuration parameter outside its valid range.
+    InvalidConfig {
+        /// The parameter's name.
+        name: &'static str,
+        /// The supplied value, as f64 for uniform display.
+        value: f64,
+        /// What the parameter must satisfy.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfDomain { sample, domain } => {
+                write!(f, "sample {sample} outside domain of size {domain}")
+            }
+            StreamError::InvalidConfig {
+                name,
+                value,
+                expected,
+            } => {
+                write!(f, "invalid config: {name} = {value}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamError::OutOfDomain {
+            sample: 10,
+            domain: 4,
+        };
+        assert!(e.to_string().contains("sample 10"));
+        let e = StreamError::InvalidConfig {
+            name: "shards",
+            value: 0.0,
+            expected: "shards >= 1",
+        };
+        assert!(e.to_string().contains("shards"));
+    }
+}

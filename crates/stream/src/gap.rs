@@ -1,0 +1,330 @@
+//! The single-collision gap sketch and the virtual-node threshold
+//! sketch built from it.
+
+use dut_core::decision::DecisionRule;
+use dut_core::params::ThresholdPlan;
+use dut_distributions::counts::SymbolCounts;
+
+use crate::sketch::{Anytime, Sketch, Verdict};
+
+/// Mergeable form of the paper's single-collision gap tester `A_δ`
+/// (§3.1): the only statistic is *whether any collision has occurred*.
+///
+/// Merging is exact: the union of two sample sets collides iff either
+/// side collided internally or their supports intersect, and the
+/// occupancy table makes the intersection check O(|support of other|).
+/// The verdict equals `Decision::from_accept(!has_collision(samples))`
+/// on the full multiset — the same statistic
+/// [`dut_core::gap::GapTester::run_on_samples`] computes.
+#[derive(Debug, Clone)]
+pub struct GapSketch {
+    counts: SymbolCounts,
+    collided: bool,
+}
+
+impl GapSketch {
+    /// Creates an empty sketch over the domain `{0, .., n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "domain must be nonempty");
+        GapSketch {
+            counts: SymbolCounts::new(n),
+            collided: false,
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.counts.domain_size()
+    }
+
+    /// Whether any collision has been observed so far.
+    pub fn has_collision(&self) -> bool {
+        self.collided
+    }
+
+    /// Resets the sketch to empty, keeping its table allocation (used
+    /// by [`ThresholdSketch`] between virtual-node blocks).
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.collided = false;
+    }
+}
+
+impl Sketch for GapSketch {
+    fn push(&mut self, sample: usize) {
+        let prior = self.counts.increment(sample);
+        self.collided |= prior > 0;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.domain_size(),
+            other.counts.domain_size(),
+            "merging gap sketches over different domains"
+        );
+        self.collided |= other.collided;
+        for (x, cb) in other.counts.iter_nonzero() {
+            let prior = self.counts.add(x, cb);
+            self.collided |= prior > 0;
+        }
+    }
+
+    fn verdict(&self) -> Anytime<Verdict> {
+        let total = self.counts.total();
+        if total < 2 {
+            return Anytime::exact(Verdict::Pending, total);
+        }
+        let value = if self.collided {
+            Verdict::Far
+        } else {
+            Verdict::Uniform
+        };
+        Anytime::exact(value, total)
+    }
+
+    fn samples(&self) -> u64 {
+        self.counts.total()
+    }
+}
+
+/// The streaming form of the Theorem 1.2 threshold network tester:
+/// consecutive pushes fill *virtual nodes* of `node_samples` samples
+/// each, every completed block casts one gap-tester vote (reject iff
+/// the block collided internally), and the network-level verdict
+/// applies the threshold rule `reject iff rejecting ≥ T` to the votes.
+///
+/// Fed the concatenation of the per-node sample vectors, the completed
+/// votes and the final verdict are bit-identical to
+/// [`dut_core::zero_round::ThresholdNetworkTester::outcome_from_votes`]
+/// with each node's vote computed by the batch gap tester on its block.
+///
+/// # Merge contract
+///
+/// Unlike the counting sketches, this sketch is *order-sensitive* —
+/// samples are attributed to virtual nodes positionally. `merge`
+/// therefore appends the other sketch's completed votes and requires
+/// `other` to be **block-aligned** (no partially filled node): merging
+/// an unaligned sketch would silently attribute its partial block to
+/// the wrong node, so it panics instead. Splitting a stream at
+/// block-boundary positions and merging the pieces in order is exact.
+#[derive(Debug, Clone)]
+pub struct ThresholdSketch {
+    node_samples: usize,
+    nodes: usize,
+    threshold: usize,
+    current: GapSketch,
+    filled: usize,
+    votes: usize,
+    rejecting: usize,
+}
+
+impl ThresholdSketch {
+    /// Creates an empty sketch: `nodes` virtual nodes of `node_samples`
+    /// samples each over the domain `{0, .., n-1}`, rejecting when at
+    /// least `threshold` node votes reject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `n`, `node_samples`, `nodes`, or `threshold`
+    /// is zero, or `threshold > nodes`.
+    pub fn new(n: usize, node_samples: usize, nodes: usize, threshold: usize) -> Self {
+        assert!(n > 0, "domain must be nonempty");
+        assert!(node_samples > 0, "node_samples must be positive");
+        assert!(nodes > 0, "nodes must be positive");
+        assert!(
+            (1..=nodes).contains(&threshold),
+            "threshold must be in 1..=nodes"
+        );
+        ThresholdSketch {
+            node_samples,
+            nodes,
+            threshold,
+            current: GapSketch::new(n),
+            filled: 0,
+            votes: 0,
+            rejecting: 0,
+        }
+    }
+
+    /// Builds the sketch from a planned Theorem 1.2 configuration.
+    pub fn from_plan(plan: &ThresholdPlan) -> Self {
+        ThresholdSketch::new(plan.n, plan.samples_per_node, plan.k, plan.threshold)
+    }
+
+    /// Completed node votes so far.
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+
+    /// Rejecting votes among the completed ones.
+    pub fn rejecting(&self) -> usize {
+        self.rejecting
+    }
+
+    /// The rejection-count threshold `T`.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Whether every sample of a completed virtual node has been
+    /// consumed — the precondition for being the `other` of a merge.
+    pub fn is_block_aligned(&self) -> bool {
+        self.filled == 0
+    }
+}
+
+impl Sketch for ThresholdSketch {
+    fn push(&mut self, sample: usize) {
+        assert!(
+            self.votes < self.nodes,
+            "all {} virtual nodes already voted",
+            self.nodes
+        );
+        self.current.push(sample);
+        self.filled += 1;
+        if self.filled == self.node_samples {
+            if self.current.has_collision() {
+                self.rejecting += 1;
+            }
+            self.votes += 1;
+            self.filled = 0;
+            self.current.reset();
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.current.domain_size(),
+            other.current.domain_size(),
+            "merging threshold sketches over different domains"
+        );
+        assert!(
+            self.node_samples == other.node_samples
+                && self.nodes == other.nodes
+                && self.threshold == other.threshold,
+            "merging threshold sketches with different plans"
+        );
+        assert!(
+            other.is_block_aligned(),
+            "merging a threshold sketch with a partially filled node block"
+        );
+        assert!(
+            self.votes + other.votes <= self.nodes,
+            "merged vote count exceeds the planned {} nodes",
+            self.nodes
+        );
+        self.votes += other.votes;
+        self.rejecting += other.rejecting;
+    }
+
+    fn verdict(&self) -> Anytime<Verdict> {
+        let samples = self.samples();
+        // The threshold rule's reject side is monotone in the vote
+        // count, so `Far` is decidable early; `Uniform` needs every
+        // planned node to have voted.
+        let value = if self.rejecting >= self.threshold {
+            Verdict::Far
+        } else if self.votes == self.nodes {
+            Verdict::from_decision(DecisionRule::Threshold(self.threshold).decide(self.rejecting))
+        } else {
+            Verdict::Pending
+        };
+        Anytime::exact(value, samples)
+    }
+
+    fn samples(&self) -> u64 {
+        (self.votes * self.node_samples + self.filled) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_distributions::collision::has_collision;
+
+    #[test]
+    fn gap_sketch_matches_batch_collision_bit() {
+        let n = 32;
+        let samples = [3usize, 1, 4, 1, 5];
+        let mut sk = GapSketch::new(n);
+        for (i, &x) in samples.iter().enumerate() {
+            sk.push(x);
+            assert_eq!(sk.has_collision(), has_collision(&samples[..=i]));
+        }
+        assert_eq!(sk.verdict().value, Verdict::Far);
+    }
+
+    #[test]
+    fn gap_merge_detects_cross_collisions() {
+        let n = 32;
+        let mut a = GapSketch::new(n);
+        let mut b = GapSketch::new(n);
+        a.push(1);
+        a.push(2);
+        b.push(3);
+        b.push(2); // collides with a's 2 only across the merge
+        assert!(!a.has_collision());
+        assert!(!b.has_collision());
+        a.merge(&b);
+        assert!(a.has_collision());
+        assert_eq!(a.samples(), 4);
+    }
+
+    #[test]
+    fn threshold_sketch_votes_per_block() {
+        // 3 nodes x 2 samples, T = 2.
+        let mut sk = ThresholdSketch::new(16, 2, 3, 2);
+        // Node 0: collision -> reject.
+        sk.push(5);
+        sk.push(5);
+        assert_eq!((sk.votes(), sk.rejecting()), (1, 1));
+        assert_eq!(sk.verdict().value, Verdict::Pending);
+        // Node 1: distinct -> accept.
+        sk.push(1);
+        sk.push(2);
+        assert_eq!((sk.votes(), sk.rejecting()), (2, 1));
+        // Node 2: collision -> reject; T = 2 reached.
+        sk.push(7);
+        sk.push(7);
+        assert_eq!(sk.verdict().value, Verdict::Far);
+        assert!(sk.verdict().certified);
+    }
+
+    #[test]
+    fn threshold_sketch_accepts_when_all_nodes_voted_below_t() {
+        let mut sk = ThresholdSketch::new(16, 2, 2, 2);
+        sk.push(1);
+        sk.push(2);
+        sk.push(3);
+        sk.push(3);
+        assert_eq!(sk.verdict().value, Verdict::Uniform);
+    }
+
+    #[test]
+    fn threshold_merge_folds_aligned_votes() {
+        let mut a = ThresholdSketch::new(16, 2, 4, 3);
+        let mut b = ThresholdSketch::new(16, 2, 4, 3);
+        a.push(1);
+        a.push(1); // reject
+        b.push(2);
+        b.push(3); // accept
+        b.push(4);
+        b.push(4); // reject
+        a.merge(&b);
+        assert_eq!((a.votes(), a.rejecting()), (3, 2));
+        assert_eq!(a.verdict().value, Verdict::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "partially filled node block")]
+    fn threshold_merge_rejects_unaligned_other() {
+        let mut a = ThresholdSketch::new(16, 2, 4, 3);
+        let mut b = ThresholdSketch::new(16, 2, 4, 3);
+        b.push(2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,213 @@
+//! The mergeable singleton-count (Paninski) sketch.
+
+use dut_distributions::counts::SymbolCounts;
+
+use crate::sketch::{Anytime, Sketch, Verdict};
+
+/// Mergeable singleton counting: the streaming form of
+/// [`dut_core::baselines::SingletonCountTester`].
+///
+/// State is the per-symbol occupancy table plus the running count of
+/// symbols seen *exactly once* (Paninski's K₁ statistic). A push moves
+/// one symbol's count from `c` to `c + 1`, which changes K₁ by
+/// `[c+1 = 1] − [c = 1]`; a merge folds the other table symbol by
+/// symbol with the same adjustment against the combined count. The
+/// verdict recomputes the batch tester's midpoint threshold at the
+/// current sample count, so it equals
+/// `SingletonCountTester::with_samples(n, samples_so_far, ε)` run on
+/// the full multiset — bit-identically.
+#[derive(Debug, Clone)]
+pub struct SingletonSketch {
+    counts: SymbolCounts,
+    singletons: u64,
+    epsilon: f64,
+}
+
+impl SingletonSketch {
+    /// Creates an empty sketch over the domain `{0, .., n-1}` testing
+    /// ε-farness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or ε is not in `(0, 1]`.
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be nonempty");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        SingletonSketch {
+            counts: SymbolCounts::new(n),
+            singletons: 0,
+            epsilon,
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.counts.domain_size()
+    }
+
+    /// The ε the verdict threshold is computed for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The number of symbols currently seen exactly once (K₁).
+    pub fn singletons(&self) -> u64 {
+        self.singletons
+    }
+
+    /// Removes one previously pushed occurrence of `sample` (sliding
+    /// window eviction): a symbol dropping from count 2 to 1 *becomes* a
+    /// singleton, from 1 to 0 *stops* being one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is outside the domain or was never pushed.
+    pub fn retire(&mut self, sample: usize) {
+        match self.counts.decrement(sample) {
+            0 => self.singletons -= 1,
+            1 => self.singletons += 1,
+            _ => {}
+        }
+    }
+
+    /// Re-compacts the internal support list after eviction churn; never
+    /// changes observable state.
+    pub fn compact(&mut self) {
+        self.counts.compact();
+    }
+}
+
+impl Sketch for SingletonSketch {
+    fn push(&mut self, sample: usize) {
+        match self.counts.increment(sample) {
+            0 => self.singletons += 1,
+            1 => self.singletons -= 1,
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.domain_size(),
+            other.counts.domain_size(),
+            "merging singleton sketches over different domains"
+        );
+        assert!(
+            self.epsilon.to_bits() == other.epsilon.to_bits(),
+            "merging singleton sketches with different epsilon"
+        );
+        self.singletons += other.singletons;
+        for (x, cb) in other.counts.iter_nonzero() {
+            let ca = self.counts.add(x, cb);
+            let before = u64::from(ca == 1) + u64::from(cb == 1);
+            let after = u64::from(ca + cb == 1);
+            // `singletons` already includes both sides' `before`
+            // contributions for x; replace them with the combined one.
+            self.singletons = self.singletons + after - before;
+        }
+    }
+
+    fn verdict(&self) -> Anytime<Verdict> {
+        let total = self.counts.total();
+        if total < 2 {
+            return Anytime::exact(Verdict::Pending, total);
+        }
+        // Verbatim SingletonCountTester::with_samples threshold math at
+        // the current sample count — the bit-identity contract.
+        let s = total as usize;
+        let nf = self.counts.domain_size() as f64;
+        let sf = s as f64;
+        let e_uniform = sf * (1.0 - 1.0 / nf).powi(s as i32 - 1);
+        let e_far = sf * (1.0 - (1.0 + self.epsilon * self.epsilon) / nf).powi(s as i32 - 1);
+        let threshold = (e_uniform + e_far) / 2.0;
+        let accept = self.singletons as f64 > threshold;
+        let value = if accept {
+            Verdict::Uniform
+        } else {
+            Verdict::Far
+        };
+        Anytime::exact(value, total)
+    }
+
+    fn samples(&self) -> u64 {
+        self.counts.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_core::baselines::SingletonCountTester;
+
+    fn batch_verdict(n: usize, eps: f64, samples: &[usize]) -> Verdict {
+        let tester = SingletonCountTester::with_samples(n, samples.len(), eps).unwrap();
+        Verdict::from_decision(tester.run_on_samples(samples))
+    }
+
+    #[test]
+    fn singleton_count_tracks_pushes_and_retires() {
+        let mut sk = SingletonSketch::new(16, 1.0);
+        sk.push(3);
+        assert_eq!(sk.singletons(), 1);
+        sk.push(3);
+        assert_eq!(sk.singletons(), 0);
+        sk.push(5);
+        assert_eq!(sk.singletons(), 1);
+        sk.retire(3);
+        assert_eq!(sk.singletons(), 2);
+        sk.retire(3);
+        assert_eq!(sk.singletons(), 1);
+    }
+
+    #[test]
+    fn streaming_verdict_matches_batch_tester() {
+        let n = 32;
+        let eps = 1.0;
+        let samples = [3usize, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 11, 12, 0];
+        let mut sk = SingletonSketch::new(n, eps);
+        for (i, &x) in samples.iter().enumerate() {
+            sk.push(x);
+            if i >= 1 {
+                assert_eq!(
+                    sk.verdict().value,
+                    batch_verdict(n, eps, &samples[..=i]),
+                    "diverged at prefix {}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_sketch_state() {
+        let n = 64;
+        let a = [1usize, 2, 2, 3, 7, 7, 7, 10];
+        let b = [2usize, 3, 3, 7, 9, 10, 11];
+        let mut left = SingletonSketch::new(n, 1.0);
+        let mut right = SingletonSketch::new(n, 1.0);
+        for &x in &a {
+            left.push(x);
+        }
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut both = SingletonSketch::new(n, 1.0);
+        for &x in a.iter().chain(&b) {
+            both.push(x);
+        }
+        assert_eq!(left.singletons(), both.singletons());
+        assert_eq!(left.verdict(), both.verdict());
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = SingletonSketch::new(16, 1.0);
+        let b = SingletonSketch::new(32, 1.0);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,176 @@
+//! The mergeable-sketch contract: incremental push, associative merge,
+//! anytime verdicts.
+
+use dut_core::executor::sequence_z;
+use dut_core::Decision;
+
+/// A three-way streaming verdict.
+///
+/// Unlike the batch [`Decision`], a streaming tester can be asked before
+/// it has seen enough data to decide at all; `Pending` is that state
+/// (e.g. fewer than two samples, where no collision statistic exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The data is consistent with the uniform distribution.
+    Uniform,
+    /// The data is ε-far from uniform.
+    Far,
+    /// Not enough data to decide yet.
+    Pending,
+}
+
+impl Verdict {
+    /// The batch [`Decision`] this verdict corresponds to, or `None`
+    /// while pending.
+    pub fn decision(self) -> Option<Decision> {
+        match self {
+            Verdict::Uniform => Some(Decision::Accept),
+            Verdict::Far => Some(Decision::Reject),
+            Verdict::Pending => None,
+        }
+    }
+
+    /// Builds a verdict from a batch decision.
+    pub fn from_decision(decision: Decision) -> Self {
+        match decision {
+            Decision::Accept => Verdict::Uniform,
+            Decision::Reject => Verdict::Far,
+        }
+    }
+}
+
+/// A value read *at some point mid-stream*, annotated with how much
+/// evidence backs it and where the read sits in the union-bound peeking
+/// schedule.
+///
+/// Two kinds of producers use this wrapper:
+///
+/// * Exact sketches ([`Anytime::exact`]): the value is a deterministic
+///   function of every sample seen, so it is `certified` as soon as it
+///   is decidable — there is no statistical risk in peeking.
+/// * The coordinator's anytime verdicts ([`Anytime::at_look`]): each
+///   peek is a `look` into the `sequence_z` union-bound Wilson schedule
+///   (the same schedule adaptive Monte-Carlo stopping uses), so the
+///   recorded `z` prices all previous peeks into the confidence level
+///   and `certified` reports whether the vote interval cleared the
+///   decision threshold at this look.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anytime<T> {
+    /// The value at this read.
+    pub value: T,
+    /// Samples the value is based on.
+    pub samples: u64,
+    /// Index of this read in the union-bound peeking schedule
+    /// (0 for exact sketch reads, which are not schedule-priced).
+    pub look: usize,
+    /// The Wilson width multiplier `sequence_z(look)` in effect.
+    pub z: f64,
+    /// Whether the value is certified at this read (always true for
+    /// exact sketches once the verdict is decidable).
+    pub certified: bool,
+}
+
+impl Anytime<Verdict> {
+    /// Wraps an exact sketch verdict: look 0, certified iff decidable.
+    pub fn exact(value: Verdict, samples: u64) -> Self {
+        Anytime {
+            value,
+            samples,
+            look: 0,
+            z: sequence_z(0),
+            certified: value != Verdict::Pending,
+        }
+    }
+
+    /// Wraps a coordinator verdict taken at `look` in the union-bound
+    /// schedule, with the caller's certification result.
+    pub fn at_look(value: Verdict, samples: u64, look: usize, certified: bool) -> Self {
+        Anytime {
+            value,
+            samples,
+            look,
+            z: sequence_z(look),
+            certified: certified && value != Verdict::Pending,
+        }
+    }
+}
+
+/// An incremental, mergeable uniformity tester.
+///
+/// # Contract
+///
+/// For any sample multiset, any way of partitioning it into sketches,
+/// pushing each part in any order, and merging the parts in any order
+/// (associativity *and* commutativity) must produce a sketch whose
+/// [`verdict`](Sketch::verdict) is **bit-identical** to pushing the
+/// whole multiset into one sketch — and equal to the corresponding
+/// batch tester in `dut_core` run on the multiset. This holds exactly,
+/// not approximately: the sketch states are integer counts and the
+/// verdict thresholds replicate the batch testers' float expressions
+/// verbatim. The merge-differential suite
+/// (`crates/stream/tests/merge_differential.rs`) enforces the contract
+/// on proptest-generated splits and merge orders.
+///
+/// The one exception is [`crate::ThresholdSketch`], whose virtual-node
+/// blocks make it order-sensitive; its merge contract is documented (and
+/// tested) on the type.
+pub trait Sketch {
+    /// Feeds one sample into the sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is outside the sketch's domain. Streams fed
+    /// from untrusted sources should validate through
+    /// [`crate::StreamService::ingest`], which returns a typed error
+    /// instead.
+    fn push(&mut self, sample: usize);
+
+    /// Folds another sketch of the same configuration into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different
+    /// configurations (domain, ε, …) — merging those is a caller bug
+    /// with no meaningful result.
+    fn merge(&mut self, other: &Self);
+
+    /// The verdict on everything pushed or merged so far.
+    fn verdict(&self) -> Anytime<Verdict>;
+
+    /// Number of samples pushed or merged so far.
+    fn samples(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_decision_round_trip() {
+        assert_eq!(Verdict::Uniform.decision(), Some(Decision::Accept));
+        assert_eq!(Verdict::Far.decision(), Some(Decision::Reject));
+        assert_eq!(Verdict::Pending.decision(), None);
+        assert_eq!(Verdict::from_decision(Decision::Accept), Verdict::Uniform);
+        assert_eq!(Verdict::from_decision(Decision::Reject), Verdict::Far);
+    }
+
+    #[test]
+    fn exact_wrapper_certifies_decidable_verdicts_only() {
+        let pending = Anytime::exact(Verdict::Pending, 1);
+        assert!(!pending.certified);
+        let decided = Anytime::exact(Verdict::Uniform, 10);
+        assert!(decided.certified);
+        assert_eq!(decided.look, 0);
+        assert_eq!(decided.z, sequence_z(0));
+    }
+
+    #[test]
+    fn at_look_prices_the_schedule() {
+        let v = Anytime::at_look(Verdict::Far, 100, 3, true);
+        assert_eq!(v.z, sequence_z(3));
+        assert!(v.certified);
+        // A pending verdict is never certified, whatever the caller says.
+        let p = Anytime::at_look(Verdict::Pending, 1, 0, true);
+        assert!(!p.certified);
+    }
+}

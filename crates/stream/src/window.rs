@@ -1,0 +1,201 @@
+//! Per-stream sliding windows over retire-capable sketches.
+
+use std::collections::VecDeque;
+
+use crate::collision::CollisionSketch;
+use crate::singleton::SingletonSketch;
+use crate::sketch::{Anytime, Sketch, Verdict};
+
+/// How often (in evictions) a window re-compacts its sketch's support
+/// list. Compaction is O(touched symbols) and only affects iteration
+/// cost, so the cadence is a constant-factor knob, not a correctness one.
+const COMPACT_EVERY: u64 = 4096;
+
+/// A sketch that can *retire* a previously pushed sample — the
+/// capability sliding-window eviction needs.
+///
+/// Retiring must be the exact inverse of pushing: after any interleaving
+/// of pushes and retires, the sketch state equals pushing only the
+/// still-live samples. The counting sketches ([`CollisionSketch`],
+/// [`SingletonSketch`]) support this in O(1); the single-collision
+/// [`crate::GapSketch`] deliberately does not (its collided bit is not
+/// invertible), so it cannot be windowed.
+pub trait Retire: Sketch {
+    /// Removes one previously pushed occurrence of `sample`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` was never pushed (callers own the
+    /// window bookkeeping, so this is always a bug).
+    fn retire(&mut self, sample: usize);
+
+    /// Optional housekeeping after eviction churn; must never change
+    /// observable state.
+    fn compact(&mut self) {}
+}
+
+impl Retire for CollisionSketch {
+    fn retire(&mut self, sample: usize) {
+        CollisionSketch::retire(self, sample);
+    }
+
+    fn compact(&mut self) {
+        CollisionSketch::compact(self);
+    }
+}
+
+impl Retire for SingletonSketch {
+    fn retire(&mut self, sample: usize) {
+        SingletonSketch::retire(self, sample);
+    }
+
+    fn compact(&mut self) {
+        SingletonSketch::compact(self);
+    }
+}
+
+/// A fixed-capacity sliding window over a [`Retire`]-capable sketch.
+///
+/// Pushing into a full window evicts the oldest sample and retires it
+/// from the sketch, so the sketch always reflects exactly the last
+/// `capacity` samples — its verdict equals the batch tester run on the
+/// window's current contents (enforced by the merge-differential
+/// suite). Windows are a *per-stream* construct: two windows' sketches
+/// can be merged for a cross-stream aggregate, but the windows
+/// themselves are not mergeable (eviction order is stream-local).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow<S> {
+    capacity: usize,
+    buf: VecDeque<usize>,
+    sketch: S,
+    evictions: u64,
+}
+
+impl<S: Retire> SlidingWindow<S> {
+    /// Wraps an empty sketch in a window of `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the sketch is not empty (a window
+    /// must own every sample its sketch has seen, or eviction
+    /// bookkeeping is wrong from the start).
+    pub fn new(capacity: usize, sketch: S) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(
+            sketch.samples() == 0,
+            "window sketch must start empty (it owns its sample lifecycle)"
+        );
+        SlidingWindow {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            sketch,
+            evictions: 0,
+        }
+    }
+
+    /// Pushes one sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, sample: usize) {
+        if self.buf.len() == self.capacity {
+            let oldest = self.buf.pop_front().expect("full window is nonempty");
+            self.sketch.retire(oldest);
+            self.evictions += 1;
+            if self.evictions.is_multiple_of(COMPACT_EVERY) {
+                self.sketch.compact();
+            }
+        }
+        self.buf.push_back(sample);
+        self.sketch.push(sample);
+    }
+
+    /// The verdict on the window's current contents.
+    pub fn verdict(&self) -> Anytime<Verdict> {
+        self.sketch.verdict()
+    }
+
+    /// The underlying sketch (for cross-stream merging at a
+    /// coordinator).
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples evicted over the window's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest_and_tracks_suffix() {
+        let mut w = SlidingWindow::new(3, CollisionSketch::new(16, 1.0));
+        for &x in &[1usize, 1, 2, 3] {
+            w.push(x);
+        }
+        // Window is now [1, 2, 3]: the colliding 1 was evicted.
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.evictions(), 1);
+        assert_eq!(w.sketch().pairs(), 0);
+        // Re-introduce a collision within the window.
+        w.push(2);
+        assert_eq!(w.sketch().pairs(), 1);
+    }
+
+    #[test]
+    fn window_sketch_equals_fresh_sketch_on_window_contents() {
+        let samples: Vec<usize> = (0..200).map(|i| (i * 7 + i / 3) % 16).collect();
+        let cap = 32;
+        let mut w = SlidingWindow::new(cap, CollisionSketch::new(16, 1.0));
+        for (i, &x) in samples.iter().enumerate() {
+            w.push(x);
+            let start = (i + 1).saturating_sub(cap);
+            let mut fresh = CollisionSketch::new(16, 1.0);
+            for &y in &samples[start..=i] {
+                fresh.push(y);
+            }
+            assert_eq!(w.sketch().pairs(), fresh.pairs(), "at push {i}");
+            assert_eq!(w.verdict(), fresh.verdict(), "at push {i}");
+        }
+    }
+
+    #[test]
+    fn singleton_window_matches_fresh_sketch() {
+        let samples: Vec<usize> = (0..100).map(|i| (i * 5 + 3) % 8).collect();
+        let cap = 16;
+        let mut w = SlidingWindow::new(cap, SingletonSketch::new(8, 1.0));
+        for (i, &x) in samples.iter().enumerate() {
+            w.push(x);
+            let start = (i + 1).saturating_sub(cap);
+            let mut fresh = SingletonSketch::new(8, 1.0);
+            for &y in &samples[start..=i] {
+                fresh.push(y);
+            }
+            assert_eq!(w.sketch().singletons(), fresh.singletons(), "at push {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must start empty")]
+    fn window_rejects_prefilled_sketch() {
+        let mut sk = CollisionSketch::new(8, 1.0);
+        sk.push(1);
+        let _ = SlidingWindow::new(4, sk);
+    }
+}

@@ -126,6 +126,91 @@ pub fn fault_plan(
         })
 }
 
+/// A sample stream partitioned into shards, with a shard merge order —
+/// the input shape of the sketch merge-law differential suites.
+///
+/// The samples live on the domain `{0, .., domain-1}`; `shard_of[i]`
+/// assigns sample `i` to one of `shards` shards, and `merge_order` is a
+/// permutation of `0..shards` giving the order the shard sketches are
+/// folded together. A mergeable sketch must produce bit-identical state
+/// from *any* value of `shard_of` and `merge_order` (the counting
+/// sketches are permutation-invariant, so arbitrary per-sample
+/// assignment is a valid adversary, not just contiguous splits).
+#[derive(Debug, Clone)]
+pub struct MergeSplit {
+    /// Domain size the samples are drawn from.
+    pub domain: usize,
+    /// The full sample stream.
+    pub samples: Vec<usize>,
+    /// Shard index (`< shards`) of each sample.
+    pub shard_of: Vec<usize>,
+    /// Number of shards.
+    pub shards: usize,
+    /// A permutation of `0..shards`: the order shard sketches merge.
+    pub merge_order: Vec<usize>,
+}
+
+impl MergeSplit {
+    /// The samples assigned to `shard`, in stream order.
+    pub fn shard_samples(&self, shard: usize) -> Vec<usize> {
+        self.samples
+            .iter()
+            .zip(&self.shard_of)
+            .filter(|&(_, &s)| s == shard)
+            .map(|(&x, _)| x)
+            .collect()
+    }
+}
+
+/// A [`MergeSplit`] with up to `max_domain` domain size, up to
+/// `max_samples` samples, and up to `max_shards` shards. Sample values
+/// are skewed (quadratic map) so collisions actually occur at small
+/// sample counts, and the merge order is a seeded Fisher–Yates
+/// permutation.
+pub fn merge_split(
+    max_domain: usize,
+    max_samples: usize,
+    max_shards: usize,
+) -> impl Strategy<Value = MergeSplit> {
+    assert!(max_domain >= 2, "need max_domain >= 2");
+    assert!(max_samples >= 2, "need max_samples >= 2");
+    assert!(max_shards >= 1, "need max_shards >= 1");
+    (2usize..=max_domain, 1usize..=max_shards).prop_flat_map(move |(domain, shards)| {
+        (
+            collection::vec(0.0f64..1.0, 2..max_samples + 1),
+            collection::vec(0usize..shards, max_samples),
+            any::<u64>(),
+        )
+            .prop_map(move |(raw, assignment, seed)| {
+                // Square the unit draw so small values are
+                // overrepresented: collisions appear even when
+                // samples ≪ √domain.
+                let samples: Vec<usize> = raw
+                    .iter()
+                    .map(|&u| ((u * u) * domain as f64) as usize % domain)
+                    .collect();
+                let shard_of = assignment[..samples.len()].to_vec();
+                let mut merge_order: Vec<usize> = (0..shards).collect();
+                // Seeded Fisher–Yates via splitmix-style mixing.
+                let mut state = seed;
+                for i in (1..shards).rev() {
+                    state = state
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(0x2545_F491_4F6C_DD1D);
+                    let j = (state >> 33) as usize % (i + 1);
+                    merge_order.swap(i, j);
+                }
+                MergeSplit {
+                    domain,
+                    samples,
+                    shard_of,
+                    shards,
+                    merge_order,
+                }
+            })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +245,45 @@ mod tests {
             prop_assert!((0.0..=0.05).contains(&plan.flip_prob));
             prop_assert!(plan.crashes.len() <= 2);
         }
+
+        #[test]
+        fn merge_splits_are_well_formed(ms in merge_split(64, 40, 6)) {
+            prop_assert!(ms.domain >= 2 && ms.domain <= 64);
+            prop_assert!(ms.samples.len() >= 2 && ms.samples.len() <= 40);
+            prop_assert_eq!(ms.samples.len(), ms.shard_of.len());
+            prop_assert!(ms.samples.iter().all(|&x| x < ms.domain));
+            prop_assert!(ms.shard_of.iter().all(|&s| s < ms.shards));
+            // merge_order is a permutation of 0..shards.
+            let mut order = ms.merge_order.clone();
+            order.sort_unstable();
+            let expect: Vec<usize> = (0..ms.shards).collect();
+            prop_assert_eq!(order, expect);
+            // Shard slices partition the stream.
+            let total: usize = (0..ms.shards)
+                .map(|s| ms.shard_samples(s).len())
+                .sum();
+            prop_assert_eq!(total, ms.samples.len());
+        }
+    }
+
+    #[test]
+    fn merge_splits_produce_collisions_and_shuffled_orders() {
+        // The strategy must actually exercise the interesting regime:
+        // repeated sample values and non-identity merge orders.
+        let strat = merge_split(64, 40, 6);
+        let (mut collided, mut shuffled) = (false, false);
+        for case in 0..100u32 {
+            let mut rng = proptest::TestRng::for_case("merge_split_coverage", case);
+            let ms = strat.generate(&mut rng);
+            let mut sorted = ms.samples.clone();
+            sorted.sort_unstable();
+            collided |= sorted.windows(2).any(|w| w[0] == w[1]);
+            shuffled |= ms.merge_order.windows(2).any(|w| w[0] > w[1]);
+        }
+        assert!(
+            collided && shuffled,
+            "coverage: collided={collided} shuffled={shuffled}"
+        );
     }
 
     #[test]
