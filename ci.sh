@@ -81,6 +81,13 @@ lane_stream() {
     cargo run --release -p dut-bench --bin experiments -- --quick --check e14 > /dev/null
 }
 
+lane_netsim_scale() {
+    echo "==> netsim-scale lane (10^6-node implicit-torus smoke, sharded bit-identity)"
+    cargo test --release -p dut-netsim --test scale -q -- --ignored
+    echo "==> netsim-scale lane (implicit-vs-materialized + sharded/sparse differential)"
+    cargo test --release -p dut-netsim --test implicit -q
+}
+
 lane_perf_gate() {
     echo "==> perf-regression gate (BENCH_netsim.json + BENCH_montecarlo.json + BENCH_sampling.json)"
     cargo run --release -p dut-bench --bin ci-bench-check
@@ -101,7 +108,7 @@ lane_msrv() {
     fi
 }
 
-LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream perf-gate msrv)
+LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream netsim-scale perf-gate msrv)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${LANES[@]}"
@@ -118,6 +125,7 @@ run_lane() {
         overflow) lane_overflow ;;
         experiments-smoke) lane_experiments_smoke ;;
         stream) lane_stream ;;
+        netsim-scale) lane_netsim_scale ;;
         perf-gate) lane_perf_gate ;;
         msrv) lane_msrv ;;
         *)

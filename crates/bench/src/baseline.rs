@@ -92,8 +92,13 @@ mod tests {
         let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(
             names,
-            ["clique256_broadcast", "line4096_bfs", "mc_gap_20k"],
-            "ci-bench-check times exactly these three workloads; renaming \
+            [
+                "clique256_broadcast",
+                "line4096_bfs",
+                "mc_gap_20k",
+                "torus_1m_gossip"
+            ],
+            "ci-bench-check times exactly these four workloads; renaming \
              one in BENCH_netsim.json requires updating the gate"
         );
         for w in &workloads {

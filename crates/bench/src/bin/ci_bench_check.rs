@@ -1,6 +1,6 @@
 //! CI perf-regression gate (`ci.sh perf-gate`).
 //!
-//! Re-times the three `BENCH_netsim.json` workloads (current/"after"
+//! Re-times the four `BENCH_netsim.json` workloads (current/"after"
 //! variants only, plain `Instant` medians — quick mode, no Criterion),
 //! the parallel Monte-Carlo executor on the E1 quick sweep, and the
 //! batched sampling kernels, then compares against the committed
@@ -40,9 +40,11 @@ use dut_core::MonteCarlo;
 use dut_distributions::batch::BatchRng;
 use dut_distributions::collision::{has_collision, CollisionScratch};
 use dut_distributions::DiscreteDistribution;
-use dut_netsim::engine::{BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox};
-use dut_netsim::graph::NodeId;
-use dut_netsim::topology;
+use dut_netsim::engine::{
+    BandwidthModel, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+};
+use dut_netsim::graph::{ImplicitTopology, NodeId};
+use dut_netsim::topology::{self, Torus2d};
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -181,8 +183,42 @@ fn time_netsim_workload(name: &str) -> f64 {
                 );
             })
         }
+        "torus_1m_gossip" => time_torus_1m_gossip(true),
         other => panic!("BENCH_netsim.json names workload {other}, which this gate can't time"),
     }
+}
+
+/// Gossip states for the million-node torus workload.
+fn torus_1m_states(k: usize) -> Vec<Gossip> {
+    (0..k)
+        .map(|v| Gossip {
+            best: v as u64,
+            rounds_left: 2,
+        })
+        .collect()
+}
+
+/// Times the 10⁶-node implicit-torus gossip burst: 2 broadcast rounds
+/// over a 1000×1000 torus (≈8M deliveries/round), neighbors computed on
+/// the fly. `sharded` picks the 8-thread sharded-delivery path (the
+/// baseline's "after" variant) vs plain serial delivery ("before").
+/// Heavier than the other workloads, so it takes 3 samples, not 5.
+fn time_torus_1m_gossip(sharded: bool) -> f64 {
+    let torus = Torus2d::new(1000, 1000);
+    let k = torus.node_count();
+    let mut net = Network::new(&torus, BandwidthModel::Local);
+    let mut scratch = EngineScratch::new();
+    let opts = if sharded {
+        RunOptions::parallel(8).with_shard_delivery(4096)
+    } else {
+        RunOptions::serial()
+    };
+    median_ms(3, || {
+        black_box(
+            net.run_with_options(torus_1m_states(k), 8, &mut scratch, &opts)
+                .unwrap(),
+        );
+    })
 }
 
 /// Gregorian date from a UNIX timestamp (Howard Hinnant's
@@ -540,6 +576,39 @@ fn main() {
                 "{name}: {measured:.2} ms exceeds {median_ms:.2} ms baseline by more than {:.0}%",
                 slack * 100.0
             ));
+        }
+    }
+
+    // Sharded-delivery speedup on the million-node torus. Like the
+    // Monte-Carlo speedup target, a 1-core runner cannot show parallel
+    // gains, so the >=2x clause activates only on >=4-core machines
+    // (sharded_target_applies_from_cores in BENCH_netsim.json); the
+    // absolute wall-clock gate above applies everywhere.
+    {
+        let baseline = std::fs::read_to_string(&netsim_path).expect("read again");
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let target = number_field(&baseline, "sharded_target_speedup").unwrap_or(2.0);
+        let applies_from =
+            number_field(&baseline, "sharded_target_applies_from_cores").unwrap_or(4.0) as usize;
+        if cores >= applies_from {
+            let serial_ms = time_torus_1m_gossip(false);
+            let sharded_ms = time_torus_1m_gossip(true);
+            let speedup = serial_ms / sharded_ms;
+            println!(
+                "  torus_1m_gossip sharded speedup: serial {serial_ms:.2} ms, sharded \
+                 {sharded_ms:.2} ms, {speedup:.2}x (target {target:.1}x on {cores} cores)"
+            );
+            let floor = target / (1.0 + slack);
+            if speedup < floor {
+                failures.push(format!(
+                    "sharded delivery speedup {speedup:.2}x below the slack-adjusted \
+                     {target:.1}x target ({floor:.2}x) on {cores} cores"
+                ));
+            }
+        } else {
+            println!(
+                "  (sharded speedup target {target:.1}x not enforced below {applies_from} cores)"
+            );
         }
     }
 

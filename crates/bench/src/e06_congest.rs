@@ -12,7 +12,8 @@ use dut_congest::CongestUniformityTester;
 use dut_core::decision::Decision;
 use dut_distributions::families::paninski_far;
 use dut_distributions::DiscreteDistribution;
-use dut_netsim::topology::Topology;
+use dut_netsim::graph::ImplicitTopology;
+use dut_netsim::topology::{MargulisExpander, Topology, Torus2d};
 use dut_obs::{MemorySink, RunRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,7 +151,148 @@ pub fn run(scale: Scale, log: &mut MetricsLog) -> Vec<Table> {
             format!("{rej_f}/{trials}"),
         ]);
     }
-    vec![t]
+
+    vec![t, run_implicit(scale, log, n, eps, p, &uniform, &far)]
+}
+
+/// E6b: the same tester over *implicit* topology families — neighbors
+/// are computed on the fly, never materialized into an edge list, so
+/// the identical pipeline (leader → BFS → residues → votes → verdict)
+/// is what the million-node netsim path exercises.
+#[allow(clippy::too_many_arguments)]
+fn run_implicit(
+    scale: Scale,
+    log: &mut MetricsLog,
+    n: usize,
+    eps: f64,
+    p: f64,
+    uniform: &DiscreteDistribution,
+    far: &DiscreteDistribution,
+) -> Table {
+    let trials = scale.pick(3, 6);
+    let mut t = Table::new(
+        "E6b: CONGEST tester over implicit topologies",
+        "Same protocol, but neighbors are generated on demand (no edge list in \
+         memory) — the access path the 10^6-node netsim runs use. Diameters are \
+         exact for the torus (⌊rows/2⌋+⌊cols/2⌋); the expander column reports \
+         ecc(0) of a one-off materialization as the D proxy.",
+        &[
+            "topology",
+            "diameter",
+            "rounds",
+            "theory D+τ",
+            "rounds/(D+τ)",
+            "bits",
+            "packages",
+            "rejects(U)",
+            "rejects(far)",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(602);
+
+    let torus = Torus2d::new(110, 110); // 12100 nodes, D = 110
+    let expander = MargulisExpander::new(110); // 12100 nodes, D = O(log k)
+    let exp_d = expander
+        .materialize()
+        .bfs_distances(0)
+        .iter()
+        .map(|d| d.expect("expander is connected"))
+        .max()
+        .unwrap();
+
+    #[allow(clippy::too_many_arguments)]
+    fn row_for<T: ImplicitTopology>(
+        name: &str,
+        topo: &T,
+        d: usize,
+        n: usize,
+        eps: f64,
+        p: f64,
+        trials: usize,
+        uniform: &DiscreteDistribution,
+        far: &DiscreteDistribution,
+        rng: &mut StdRng,
+        log: &mut MetricsLog,
+    ) -> Vec<String> {
+        let kk = topo.node_count();
+        let tester = CongestUniformityTester::plan(n, kk, eps, p, 1).expect("plannable");
+        let theory = d as f64 + tester.tau() as f64;
+        let mut rounds_sum = 0usize;
+        let mut bits_sum = 0usize;
+        let mut packages = 0usize;
+        let mut rej_u = 0usize;
+        let mut rej_f = 0usize;
+        let mut sink = MemorySink::new();
+        let record = |log: &mut MetricsLog,
+                          sink: &MemorySink,
+                          input: &str,
+                          trial: usize,
+                          r: &dut_congest::CongestRunResult| {
+            if !log.enabled() {
+                return;
+            }
+            let rec = RunRecord::new("e6", &format!("{name}/{input}"))
+                .param("n", n)
+                .param("k", kk)
+                .param("eps", eps)
+                .param("trial", trial)
+                .param("rounds", r.rounds)
+                .param("bits", r.bits)
+                .param("packages", r.packages)
+                .param("decision", format!("{:?}", r.decision));
+            log.write(&rec, sink).expect("metrics write");
+        };
+        for trial in 0..trials {
+            sink.reset();
+            let ru = tester
+                .run_observed(topo, uniform, rng, &mut sink)
+                .expect("run ok");
+            rounds_sum += ru.rounds;
+            bits_sum += ru.bits;
+            packages = ru.packages;
+            rej_u += usize::from(ru.decision == Decision::Reject);
+            record(log, &sink, "uniform", trial, &ru);
+            sink.reset();
+            let rf = tester
+                .run_observed(topo, far, rng, &mut sink)
+                .expect("run ok");
+            rounds_sum += rf.rounds;
+            bits_sum += rf.bits;
+            rej_f += usize::from(rf.decision == Decision::Reject);
+            record(log, &sink, "far", trial, &rf);
+        }
+        let mean_rounds = rounds_sum as f64 / (2 * trials) as f64;
+        let mean_bits = bits_sum as f64 / (2 * trials) as f64;
+        vec![
+            name.to_string(),
+            d.to_string(),
+            fmt_f(mean_rounds),
+            fmt_f(theory),
+            fmt_f(mean_rounds / theory),
+            fmt_f(mean_bits),
+            packages.to_string(),
+            format!("{rej_u}/{trials}"),
+            format!("{rej_f}/{trials}"),
+        ]
+    }
+
+    t.push_row(row_for(
+        "torus2d",
+        &torus,
+        110 / 2 + 110 / 2,
+        n,
+        eps,
+        p,
+        trials,
+        uniform,
+        far,
+        &mut rng,
+        log,
+    ));
+    t.push_row(row_for(
+        "margulis", &expander, exp_d, n, eps, p, trials, uniform, far, &mut rng, log,
+    ));
+    t
 }
 
 #[cfg(test)]
@@ -187,30 +329,43 @@ mod tests {
         let logged = run(Scale::Quick, &mut log);
         assert_eq!(plain, logged, "metrics logging perturbed the experiment");
 
-        let table = &logged[0];
-        // Quick scale: 6 trials x 2 inputs per topology, 3 topologies.
-        assert_eq!(log.records(), table.rows.len() * 2 * 6);
-        for row in &table.rows {
-            let topo = &row[0];
-            let runs: Vec<&String> = log
-                .lines()
-                .iter()
-                .filter(|l| l.contains(&format!("\"case\":\"{topo}/")))
-                .collect();
-            assert_eq!(runs.len(), 12, "wrong record count for {topo}");
-            for line in &runs {
-                assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
-                assert!(line.contains("\"experiment\":\"e6\""));
-                // The run-level params agree with the sink's counters.
-                assert_eq!(field_u64(line, "rounds"), field_u64(line, "congest.rounds"));
-                assert_eq!(field_u64(line, "bits"), field_u64(line, "congest.bits"));
-                // The netsim substrate metered the aggregation phases.
-                assert!(field_u64(line, "netsim.bits") > 0);
+        // Quick scale: 6 trials x 2 inputs per E6 topology, 3 trials x 2
+        // inputs per E6b implicit family.
+        assert_eq!(
+            log.records(),
+            logged[0].rows.len() * 12 + logged[1].rows.len() * 6
+        );
+        for (table, per_row) in [(&logged[0], 12usize), (&logged[1], 6usize)] {
+            for row in &table.rows {
+                let topo = &row[0];
+                let runs: Vec<&String> = log
+                    .lines()
+                    .iter()
+                    .filter(|l| l.contains(&format!("\"case\":\"{topo}/")))
+                    .collect();
+                assert_eq!(runs.len(), per_row, "wrong record count for {topo}");
+                for line in &runs {
+                    assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
+                    assert!(line.contains("\"experiment\":\"e6\""));
+                    // The run-level params agree with the sink's counters.
+                    assert_eq!(field_u64(line, "rounds"), field_u64(line, "congest.rounds"));
+                    assert_eq!(field_u64(line, "bits"), field_u64(line, "congest.bits"));
+                    // The netsim substrate metered the aggregation phases.
+                    assert!(field_u64(line, "netsim.bits") > 0);
+                }
+                let rounds_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.rounds")).sum();
+                let bits_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.bits")).sum();
+                assert_eq!(
+                    fmt_f(rounds_sum as f64 / per_row as f64),
+                    row[2],
+                    "rounds for {topo}"
+                );
+                assert_eq!(
+                    fmt_f(bits_sum as f64 / per_row as f64),
+                    row[5],
+                    "bits for {topo}"
+                );
             }
-            let rounds_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.rounds")).sum();
-            let bits_sum: u64 = runs.iter().map(|l| field_u64(l, "congest.bits")).sum();
-            assert_eq!(fmt_f(rounds_sum as f64 / 12.0), row[2], "rounds for {topo}");
-            assert_eq!(fmt_f(bits_sum as f64 / 12.0), row[5], "bits for {topo}");
         }
     }
 }

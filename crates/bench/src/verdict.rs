@@ -222,15 +222,19 @@ fn check_e5(tables: &[Table]) -> Result<(), String> {
 /// E6 (Theorems 5.1 + 1.4): rounds stay O(D + τ) and far inputs
 /// reject at least as often as uniform.
 fn check_e6(tables: &[Table]) -> Result<(), String> {
-    let t = &tables[0];
-    for row in &t.rows {
-        if num(t, row, 4)? >= 10.0 {
-            return Err(fail(t, row, "rounds not O(D + tau)"));
-        }
-        let (ru, _) = ratio_cell(t, row, 7)?;
-        let (rf, _) = ratio_cell(t, row, 8)?;
-        if rf < ru {
-            return Err(fail(t, row, "no separation"));
+    // Same invariants for E6 (materialized topologies) and E6b
+    // (implicit families) — the protocol must not care how neighbor
+    // lists are produced.
+    for t in tables {
+        for row in &t.rows {
+            if num(t, row, 4)? >= 10.0 {
+                return Err(fail(t, row, "rounds not O(D + tau)"));
+            }
+            let (ru, _) = ratio_cell(t, row, 7)?;
+            let (rf, _) = ratio_cell(t, row, 8)?;
+            if rf < ru {
+                return Err(fail(t, row, "no separation"));
+            }
         }
     }
     Ok(())

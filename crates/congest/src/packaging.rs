@@ -14,7 +14,7 @@
 use dut_netsim::algorithms::bfs::{build_bfs_tree, BfsTree};
 use dut_netsim::algorithms::leader::elect_leader;
 use dut_netsim::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
-use dut_netsim::graph::{Graph, NodeId};
+use dut_netsim::graph::{ImplicitTopology, NodeId};
 use std::collections::VecDeque;
 
 /// Bottom-up residue computation: like a convergecast, but each node
@@ -269,8 +269,8 @@ pub struct PackagingResult {
 /// [`PackagingError::LengthMismatch`] if `tokens` or `ids` does not
 /// match the node count, and [`PackagingError::Engine`] for protocol
 /// failures (empty or disconnected graph, CONGEST violations).
-pub fn solve_token_packaging(
-    g: &Graph,
+pub fn solve_token_packaging<T: ImplicitTopology>(
+    g: &T,
     tokens: &[Vec<u64>],
     ids: &[u64],
     tau: usize,
@@ -337,6 +337,7 @@ pub fn solve_token_packaging(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dut_netsim::graph::Graph;
     use dut_netsim::topology;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

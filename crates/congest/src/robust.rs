@@ -33,7 +33,7 @@ use dut_netsim::algorithms::{
 };
 use dut_netsim::engine::{BandwidthModel, Compact, EngineScratch, Network, RunOptions};
 use dut_netsim::fault::FaultPlan;
-use dut_netsim::graph::Graph;
+use dut_netsim::graph::ImplicitTopology;
 use dut_obs::Sink;
 
 /// Fault-handling totals of one robust packaging (or tester) run.
@@ -82,8 +82,8 @@ pub fn robust_bandwidth_model() -> BandwidthModel {
 /// plus [`PackagingError::FaultOverwhelmed`] when the retry budget was
 /// not enough to recover every subtree report.
 #[allow(clippy::too_many_arguments)]
-pub fn solve_token_packaging_robust(
-    g: &Graph,
+pub fn solve_token_packaging_robust<T: ImplicitTopology>(
+    g: &T,
     tokens: &[Vec<u64>],
     ids: &[u64],
     tau: usize,

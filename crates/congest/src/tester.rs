@@ -26,7 +26,7 @@ use dut_netsim::algorithms::{
 };
 use dut_netsim::engine::BandwidthModel;
 use dut_netsim::fault::FaultPlan;
-use dut_netsim::graph::Graph;
+use dut_netsim::graph::ImplicitTopology;
 use dut_obs::{keys, NoopSink, Sink};
 use rand::Rng;
 
@@ -105,7 +105,7 @@ impl From<dut_netsim::engine::EngineError> for CongestError {
 }
 
 /// The outcome of one CONGEST tester run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CongestRunResult {
     /// The network's verdict (as broadcast from the root).
     pub decision: Decision,
@@ -246,13 +246,14 @@ impl CongestUniformityTester {
     /// # Panics
     ///
     /// Panics if `g`'s node count differs from the planned `k`.
-    pub fn run<O, R>(
+    pub fn run<T, O, R>(
         &self,
-        g: &Graph,
+        g: &T,
         oracle: &O,
         rng: &mut R,
     ) -> Result<CongestRunResult, CongestError>
     where
+        T: ImplicitTopology,
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
     {
@@ -273,14 +274,15 @@ impl CongestUniformityTester {
     /// # Panics
     ///
     /// Panics if `g`'s node count differs from the planned `k`.
-    pub fn run_observed<O, R>(
+    pub fn run_observed<T, O, R>(
         &self,
-        g: &Graph,
+        g: &T,
         oracle: &O,
         rng: &mut R,
         sink: &mut dyn Sink,
     ) -> Result<CongestRunResult, CongestError>
     where
+        T: ImplicitTopology,
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
     {
@@ -367,15 +369,16 @@ impl CongestUniformityTester {
     /// # Panics
     ///
     /// Panics if `g`'s node count differs from the planned `k`.
-    pub fn run_robust<O, R>(
+    pub fn run_robust<T, O, R>(
         &self,
-        g: &Graph,
+        g: &T,
         oracle: &O,
         rng: &mut R,
         plan: &FaultPlan,
         max_retries: usize,
     ) -> Result<RobustRunResult, CongestError>
     where
+        T: ImplicitTopology,
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
     {
@@ -393,9 +396,9 @@ impl CongestUniformityTester {
     /// # Panics
     ///
     /// Panics if `g`'s node count differs from the planned `k`.
-    pub fn run_robust_observed<O, R>(
+    pub fn run_robust_observed<T, O, R>(
         &self,
-        g: &Graph,
+        g: &T,
         oracle: &O,
         rng: &mut R,
         plan: &FaultPlan,
@@ -403,6 +406,7 @@ impl CongestUniformityTester {
         sink: &mut dyn Sink,
     ) -> Result<RobustRunResult, CongestError>
     where
+        T: ImplicitTopology,
         O: SampleOracle + ?Sized,
         R: Rng + ?Sized,
     {
@@ -512,7 +516,7 @@ impl CongestUniformityTester {
 }
 
 /// The outcome of one fault-hardened CONGEST tester run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RobustRunResult {
     /// The protocol outcome (decision, packages, round/bit totals).
     pub run: CongestRunResult,
@@ -531,6 +535,7 @@ mod tests {
     use super::*;
     use dut_distributions::families::paninski_far;
     use dut_distributions::DiscreteDistribution;
+    use dut_netsim::graph::Graph;
     use dut_netsim::topology;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -690,6 +695,41 @@ mod tests {
     fn small_plan() -> (CongestUniformityTester, Graph) {
         let t = CongestUniformityTester::plan(2048, 250, 1.0, 1.0 / 3.0, 32).unwrap();
         (t, topology::grid(10, 25))
+    }
+
+    #[test]
+    fn runs_over_implicit_topologies_match_materialized() {
+        use dut_netsim::topology::Torus2d;
+        let (t, _) = small_plan();
+        let torus = Torus2d::new(10, 25); // 250 nodes, never materialized
+        let g = torus.materialize();
+        let uniform = DiscreteDistribution::uniform(2048);
+
+        let mut r1 = StdRng::seed_from_u64(21);
+        let mut r2 = StdRng::seed_from_u64(21);
+        let mat = t.run(&g, &uniform, &mut r1).unwrap();
+        let imp = t.run(&torus, &uniform, &mut r2).unwrap();
+        assert_eq!(mat, imp, "plain pipeline diverges on the implicit torus");
+
+        // Outcome equality (Ok or typed Err alike): the robust pipeline
+        // must make the identical decision stream on both views.
+        let plan = FaultPlan::seeded(0x1D05).with_drops(0.02).with_flips(0.001);
+        let mut r1 = StdRng::seed_from_u64(22);
+        let mut r2 = StdRng::seed_from_u64(22);
+        let mat = t.run_robust(&g, &uniform, &mut r1, &plan, 6);
+        let imp = t.run_robust(&torus, &uniform, &mut r2, &plan, 6);
+        assert_eq!(
+            mat, imp,
+            "robust pipeline diverges on the implicit torus under faults"
+        );
+
+        // And a gentle plan that succeeds outright on both.
+        let plan = FaultPlan::seeded(0x1D06).with_flips(0.0005);
+        let mut r1 = StdRng::seed_from_u64(23);
+        let mut r2 = StdRng::seed_from_u64(23);
+        let mat = t.run_robust(&g, &uniform, &mut r1, &plan, 8).unwrap();
+        let imp = t.run_robust(&torus, &uniform, &mut r2, &plan, 8).unwrap();
+        assert_eq!(mat, imp);
     }
 
     #[test]

@@ -132,6 +132,11 @@ pub(crate) enum PlanStop {
 }
 
 /// The parameters a label's chunks were produced under.
+///
+/// Deliberately *absent*: the executor's thread count. Chunks are
+/// seeded independently of which worker runs them, so resuming a
+/// checkpoint on a different `threads` setting (or serially) yields
+/// bit-identical results and must not be rejected as a mismatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Plan {
     pub trials: usize,
@@ -139,6 +144,47 @@ pub(crate) struct Plan {
     pub base_seed: u64,
     pub observed: bool,
     pub stop: PlanStop,
+}
+
+impl Plan {
+    /// Human-readable list of the fields on which `self` (the recorded
+    /// plan) and `requested` disagree, e.g.
+    /// `trials: recorded 1000, requested 2000; base_seed: recorded 7,
+    /// requested 9`.
+    fn diff(&self, requested: &Plan) -> String {
+        let mut parts = Vec::new();
+        if self.trials != requested.trials {
+            parts.push(format!(
+                "trials: recorded {}, requested {}",
+                self.trials, requested.trials
+            ));
+        }
+        if self.chunk_size != requested.chunk_size {
+            parts.push(format!(
+                "chunk_size: recorded {}, requested {}",
+                self.chunk_size, requested.chunk_size
+            ));
+        }
+        if self.base_seed != requested.base_seed {
+            parts.push(format!(
+                "base_seed: recorded {}, requested {}",
+                self.base_seed, requested.base_seed
+            ));
+        }
+        if self.observed != requested.observed {
+            parts.push(format!(
+                "observed: recorded {}, requested {}",
+                self.observed, requested.observed
+            ));
+        }
+        if self.stop != requested.stop {
+            parts.push(format!(
+                "stop rule: recorded {:?}, requested {:?}",
+                self.stop, requested.stop
+            ));
+        }
+        parts.join("; ")
+    }
 }
 
 /// One completed chunk: its failure count and (for observed runs) the
@@ -219,7 +265,7 @@ impl Checkpoint {
             Some(existing) if *existing != plan => {
                 return Err(CheckpointError::PlanMismatch {
                     label: label.to_string(),
-                    detail: format!("recorded {existing:?}, requested {plan:?}"),
+                    detail: existing.diff(&plan),
                 });
             }
             Some(_) => {}
@@ -548,7 +594,7 @@ mod tests {
     }
 
     #[test]
-    fn plan_mismatch_is_typed() {
+    fn plan_mismatch_is_typed_and_names_the_field() {
         let path = tmp("mismatch.jsonl");
         let _ = fs::remove_file(&path);
         let mut ck = Checkpoint::open(&path).unwrap();
@@ -557,10 +603,40 @@ mod tests {
             base_seed: 8,
             ..plan()
         };
-        assert!(matches!(
-            ck.begin("x", other),
-            Err(CheckpointError::PlanMismatch { .. })
-        ));
+        match ck.begin("x", other) {
+            Err(CheckpointError::PlanMismatch { label, detail }) => {
+                assert_eq!(label, "x");
+                // The diff names only the field that disagrees, with
+                // both values, instead of dumping both whole plans.
+                assert!(detail.contains("base_seed"), "detail: {detail}");
+                assert!(!detail.contains("trials"), "detail: {detail}");
+                assert!(!detail.contains("chunk_size"), "detail: {detail}");
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_mismatch_diff_lists_every_disagreeing_field() {
+        let path = tmp("mismatch_multi.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        let recorded = plan();
+        let other = Plan {
+            trials: recorded.trials + 1,
+            observed: !recorded.observed,
+            ..recorded
+        };
+        match ck.begin("x", other) {
+            Err(CheckpointError::PlanMismatch { detail, .. }) => {
+                assert!(detail.contains("trials"), "detail: {detail}");
+                assert!(detail.contains("observed"), "detail: {detail}");
+                assert!(!detail.contains("base_seed"), "detail: {detail}");
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
         let _ = fs::remove_file(&path);
     }
 

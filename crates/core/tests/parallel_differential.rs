@@ -128,3 +128,69 @@ fn checkpoint_kill_resume_round_trips() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The thread count is an execution detail, not part of a label's plan
+/// identity: a checkpoint written under any `threads` setting must
+/// resume under any other (8 → serial, 8 → 3, serial → 8) and stitch to
+/// the bit-identical estimate. Only trials / chunk_size / seed /
+/// observed / stop rule participate in plan matching.
+#[test]
+fn checkpoint_resume_accepts_any_thread_count() {
+    let n = 1 << 12;
+    let tester = GapTester::new(n, 0.05).expect("plannable");
+    let far = paninski_far(n, 1.0).expect("valid family");
+    let trial = |seed: u64, scratch: &mut TesterScratch| {
+        let mut rng = trial_rng(seed);
+        tester.run_with_scratch(&far, &mut rng, scratch) == Decision::Reject
+    };
+    let trials = 1_000;
+
+    let reference = MonteCarlo::new(trials, 31)
+        .config(MonteCarloConfig::serial().chunk_size(50))
+        .run_with_state(TesterScratch::new, trial)
+        .expect("trials > 0");
+
+    let dir = std::env::temp_dir().join(format!("dut-threads-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("any-threads.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    // First incarnation runs on 8 threads; kill it after 3 chunks.
+    let mut ck = Checkpoint::open(&path).unwrap();
+    MonteCarlo::new(trials, 31)
+        .config(MonteCarloConfig::with_threads(8).chunk_size(50))
+        .checkpoint(&mut ck, "threads/any")
+        .run_with_state(TesterScratch::new, trial)
+        .expect("usable checkpoint");
+    drop(ck);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let prefix: Vec<&str> = text.lines().take(4).collect();
+    std::fs::write(&path, format!("{}\n", prefix.join("\n"))).unwrap();
+
+    // Resume serially, then (from another killed prefix) on 3 threads;
+    // both must accept the plan and reproduce the reference estimate.
+    for threads in [1usize, 3] {
+        let mut ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.completed_chunks("threads/any"), 3);
+        let cfg = if threads == 1 {
+            MonteCarloConfig::serial().chunk_size(50)
+        } else {
+            MonteCarloConfig::with_threads(threads).chunk_size(50)
+        };
+        let resumed = MonteCarlo::new(trials, 31)
+            .config(cfg)
+            .checkpoint(&mut ck, "threads/any")
+            .run_with_state(TesterScratch::new, trial)
+            .expect("a different thread count must not be a PlanMismatch");
+        assert_eq!(
+            resumed, reference,
+            "resume under {threads} thread(s) diverged"
+        );
+        drop(ck);
+        // Re-truncate for the next thread count.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let prefix: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, format!("{}\n", prefix.join("\n"))).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

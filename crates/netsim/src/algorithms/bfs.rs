@@ -11,7 +11,7 @@ use crate::engine::{
     BandwidthModel, Compact, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
 };
 use crate::fault::FaultPlan;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{ImplicitTopology, NodeId};
 
 /// Per-node state of the BFS protocol.
 #[derive(Debug, Clone)]
@@ -104,8 +104,8 @@ impl BfsTree {
 /// stabilizes without reaching the far component), or a bandwidth
 /// violation under an unreasonably tight CONGEST budget.
 #[allow(clippy::needless_range_loop)]
-pub fn build_bfs_tree(
-    g: &Graph,
+pub fn build_bfs_tree<T: ImplicitTopology>(
+    g: &T,
     root: NodeId,
     model: BandwidthModel,
 ) -> Result<(BfsTree, usize), EngineError> {
@@ -159,14 +159,15 @@ pub fn build_bfs_tree(
 ///
 /// Same conditions as [`build_bfs_tree`].
 #[allow(clippy::needless_range_loop)]
-pub fn build_bfs_tree_coded<C>(
-    g: &Graph,
+pub fn build_bfs_tree_coded<T, C>(
+    g: &T,
     root: NodeId,
     model: BandwidthModel,
     plan: &FaultPlan,
     codec: C,
 ) -> Result<(BfsTree, usize, CodecStats), EngineError>
 where
+    T: ImplicitTopology,
     C: MessageCodec<Plain = Compact> + Clone + Send,
     C::Wire: Send + Sync,
 {
@@ -221,6 +222,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use crate::topology;
 
     #[test]

@@ -7,7 +7,7 @@
 
 use super::bfs::BfsTree;
 use crate::engine::{BandwidthModel, Compact, EngineError, Network, NodeProtocol, Outbox};
-use crate::graph::{Graph, NodeId};
+use crate::graph::{ImplicitTopology, NodeId};
 use dut_obs::{keys, NoopSink, Sink};
 
 /// Wire cost of one tree operation (convergecast or broadcast), taken
@@ -71,8 +71,8 @@ impl NodeProtocol for ConvNode {
 /// # Panics
 ///
 /// Panics if `values` length does not match the graph.
-pub fn convergecast_sum(
-    g: &Graph,
+pub fn convergecast_sum<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     values: &[u64],
     model: BandwidthModel,
@@ -92,8 +92,8 @@ pub fn convergecast_sum(
 /// # Panics
 ///
 /// Panics if `values` length does not match the graph.
-pub fn convergecast_sum_observed(
-    g: &Graph,
+pub fn convergecast_sum_observed<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     values: &[u64],
     model: BandwidthModel,
@@ -166,8 +166,8 @@ impl NodeProtocol for BcastNode {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn broadcast_value(
-    g: &Graph,
+pub fn broadcast_value<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     value: u64,
     model: BandwidthModel,
@@ -183,8 +183,8 @@ pub fn broadcast_value(
 /// # Errors
 ///
 /// Same conditions as [`broadcast_value`].
-pub fn broadcast_value_observed(
-    g: &Graph,
+pub fn broadcast_value_observed<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     value: u64,
     model: BandwidthModel,
@@ -226,7 +226,7 @@ mod tests {
     use crate::algorithms::bfs::build_bfs_tree;
     use crate::topology;
 
-    fn tree_of(g: &Graph, root: NodeId) -> BfsTree {
+    fn tree_of(g: &crate::graph::Graph, root: NodeId) -> BfsTree {
         build_bfs_tree(g, root, BandwidthModel::Local).unwrap().0
     }
 

@@ -10,7 +10,7 @@ use crate::engine::{
     BandwidthModel, Compact, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
 };
 use crate::fault::FaultPlan;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{ImplicitTopology, NodeId};
 
 /// Per-node max-flood state.
 #[derive(Debug, Clone)]
@@ -66,8 +66,8 @@ impl NodeProtocol for LeaderNode {
 ///
 /// Panics if `ids` length mismatches the graph, or the maximum id is not
 /// unique.
-pub fn elect_leader(
-    g: &Graph,
+pub fn elect_leader<T: ImplicitTopology>(
+    g: &T,
     ids: &[u64],
     model: BandwidthModel,
 ) -> Result<(NodeId, usize), EngineError> {
@@ -115,14 +115,15 @@ pub fn elect_leader(
 /// # Panics
 ///
 /// Same conditions as [`elect_leader`].
-pub fn elect_leader_coded<C>(
-    g: &Graph,
+pub fn elect_leader_coded<T, C>(
+    g: &T,
     ids: &[u64],
     model: BandwidthModel,
     plan: &FaultPlan,
     codec: C,
 ) -> Result<(NodeId, usize, CodecStats), EngineError>
 where
+    T: ImplicitTopology,
     C: MessageCodec<Plain = Compact> + Clone + Send,
     C::Wire: Send + Sync,
 {

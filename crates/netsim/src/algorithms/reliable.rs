@@ -35,7 +35,7 @@ use crate::engine::{
     RunOptions,
 };
 use crate::fault::{FaultInjectable, FaultPlan};
-use crate::graph::{Graph, NodeId};
+use crate::graph::{ImplicitTopology, NodeId};
 use dut_obs::{keys, NoopSink, Sink};
 
 /// One message of the reliable tree protocols.
@@ -402,8 +402,8 @@ impl NodeProtocol for RBcastNode {
 ///
 /// Panics if `values` length does not match the graph.
 #[allow(clippy::too_many_arguments)]
-pub fn reliable_convergecast_sums_coded<C>(
-    g: &Graph,
+pub fn reliable_convergecast_sums_coded<T, C>(
+    g: &T,
     tree: &BfsTree,
     values: &[u64],
     model: BandwidthModel,
@@ -413,6 +413,7 @@ pub fn reliable_convergecast_sums_coded<C>(
     sink: &mut dyn Sink,
 ) -> Result<(Vec<u64>, ReliableCost, CodecStats), EngineError>
 where
+    T: ImplicitTopology,
     C: MessageCodec<Plain = RelMsg> + Clone + Send,
     C::Wire: Send + Sync,
 {
@@ -477,8 +478,8 @@ where
 ///
 /// Same conditions as [`reliable_convergecast_sums_coded`].
 #[allow(clippy::too_many_arguments)]
-pub fn reliable_broadcast_value_coded<C>(
-    g: &Graph,
+pub fn reliable_broadcast_value_coded<T, C>(
+    g: &T,
     tree: &BfsTree,
     value: u64,
     model: BandwidthModel,
@@ -488,6 +489,7 @@ pub fn reliable_broadcast_value_coded<C>(
     sink: &mut dyn Sink,
 ) -> Result<(Vec<Option<u64>>, ReliableCost, CodecStats), EngineError>
 where
+    T: ImplicitTopology,
     C: MessageCodec<Plain = RelMsg> + Clone + Send,
     C::Wire: Send + Sync,
 {
@@ -558,8 +560,8 @@ fn record_reliable(sink: &mut dyn Sink, cost: &ReliableCost) {
 /// # Panics
 ///
 /// Panics if `values` length does not match the graph.
-pub fn reliable_convergecast_sums(
-    g: &Graph,
+pub fn reliable_convergecast_sums<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     values: &[u64],
     model: BandwidthModel,
@@ -579,8 +581,8 @@ pub fn reliable_convergecast_sums(
 /// # Panics
 ///
 /// Panics if `values` length does not match the graph.
-pub fn reliable_convergecast_sums_observed(
-    g: &Graph,
+pub fn reliable_convergecast_sums_observed<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     values: &[u64],
     model: BandwidthModel,
@@ -607,8 +609,8 @@ pub fn reliable_convergecast_sums_observed(
 /// # Errors
 ///
 /// Same conditions as [`reliable_convergecast_sums_coded`].
-pub fn reliable_broadcast_value(
-    g: &Graph,
+pub fn reliable_broadcast_value<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     value: u64,
     model: BandwidthModel,
@@ -624,8 +626,8 @@ pub fn reliable_broadcast_value(
 /// # Errors
 ///
 /// Same conditions as [`reliable_convergecast_sums_coded`].
-pub fn reliable_broadcast_value_observed(
-    g: &Graph,
+pub fn reliable_broadcast_value_observed<T: ImplicitTopology>(
+    g: &T,
     tree: &BfsTree,
     value: u64,
     model: BandwidthModel,
@@ -653,7 +655,7 @@ mod tests {
     use crate::algorithms::convergecast::convergecast_sum;
     use crate::topology;
 
-    fn tree_of(g: &Graph, root: NodeId) -> BfsTree {
+    fn tree_of(g: &crate::graph::Graph, root: NodeId) -> BfsTree {
         build_bfs_tree(g, root, BandwidthModel::Local).unwrap().0
     }
 

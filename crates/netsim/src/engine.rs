@@ -71,7 +71,7 @@
 //!    the scratch was previously used for.
 
 use crate::fault::{FaultInjectable, FaultPlan};
-use crate::graph::{Csr, Graph, NodeId};
+use crate::graph::{Csr, Graph, ImplicitTopology, NodeId};
 use dut_obs::{keys, NoopSink, Sink, Span};
 use std::error::Error;
 use std::fmt;
@@ -377,11 +377,26 @@ pub struct RunReport<P> {
     pub nodes: Vec<P>,
 }
 
-/// Per-thread staging buffers for parallel node stepping.
+/// Per-thread staging buffers for parallel node stepping, parallel
+/// metering, and sharded delivery.
 #[derive(Debug)]
 struct WorkerScratch<M> {
     staged: Vec<(NodeId, NodeId, M)>,
     neighbor_pos: Vec<u32>,
+    /// Neighbor scratch for implicit topologies (one per worker so
+    /// workers never contend).
+    nbr_buf: Vec<NodeId>,
+    /// Per-neighbor-position bit accounting for parallel metering.
+    edge_bits: Vec<usize>,
+    /// Per-neighbor-position message indices for parallel faulted
+    /// metering.
+    edge_msgs: Vec<usize>,
+    /// This worker's shard of the delivered arena (sharded delivery
+    /// phase B output, concatenated serially in shard order).
+    delivered: Vec<(NodeId, M)>,
+    /// Local permutation scratch for the shard-local stable counting
+    /// sort.
+    perm: Vec<usize>,
 }
 
 impl<M> Default for WorkerScratch<M> {
@@ -389,6 +404,11 @@ impl<M> Default for WorkerScratch<M> {
         WorkerScratch {
             staged: Vec::new(),
             neighbor_pos: Vec::new(),
+            nbr_buf: Vec::new(),
+            edge_bits: Vec::new(),
+            edge_msgs: Vec::new(),
+            delivered: Vec::new(),
+            perm: Vec::new(),
         }
     }
 }
@@ -430,6 +450,13 @@ pub struct EngineScratch<M> {
     /// stream's message index). Zeroed outside each window, like
     /// `edge_bits`.
     edge_msgs: Vec<usize>,
+    /// Neighbor scratch for implicit topologies on the serial paths
+    /// (unused — empty — when the topology primes the CSR).
+    nbr_buf: Vec<NodeId>,
+    /// Sparse-activity work list: `(node, inbox_lo, inbox_hi)` for every
+    /// node that received at least one message last round, sorted by
+    /// node id so sparse stepping preserves dense stepping order.
+    active: Vec<(NodeId, usize, usize)>,
     workers: Vec<WorkerScratch<M>>,
 }
 
@@ -445,6 +472,8 @@ impl<M> Default for EngineScratch<M> {
             neighbor_pos: Vec::new(),
             edge_bits: Vec::new(),
             edge_msgs: Vec::new(),
+            nbr_buf: Vec::new(),
+            active: Vec::new(),
             workers: Vec::new(),
         }
     }
@@ -456,13 +485,23 @@ impl<M> EngineScratch<M> {
         EngineScratch::default()
     }
 
-    /// Sizes every buffer for `g` and resets per-run state. Reuses
+    /// Sizes every buffer for `topo` and resets per-run state. Reuses
     /// existing capacity; also re-establishes the all-zero invariants of
     /// `neighbor_pos` / `edge_bits` that an error return may have left
     /// dirty.
-    fn prepare(&mut self, g: &Graph) {
-        self.csr.rebuild_from(g);
-        let k = g.node_count();
+    ///
+    /// Returns whether the topology primed the CSR ([`Graph`] does;
+    /// implicit families do not) — the engine reads neighbors from the
+    /// CSR when it did and calls [`ImplicitTopology::neighbors`]
+    /// otherwise.
+    fn prepare_for<T: ImplicitTopology>(&mut self, topo: &T) -> bool {
+        let use_csr = topo.prime_csr(&mut self.csr);
+        let k = topo.node_count();
+        let max_degree = if use_csr {
+            self.csr.max_degree()
+        } else {
+            topo.max_degree()
+        };
         self.arena.clear();
         self.staged.clear();
         self.inbox_offsets.clear();
@@ -473,9 +512,12 @@ impl<M> EngineScratch<M> {
         self.neighbor_pos.clear();
         self.neighbor_pos.resize(k, 0);
         self.edge_bits.clear();
-        self.edge_bits.resize(self.csr.max_degree(), 0);
+        self.edge_bits.resize(max_degree, 0);
         self.edge_msgs.clear();
-        self.edge_msgs.resize(self.csr.max_degree(), 0);
+        self.edge_msgs.resize(max_degree, 0);
+        self.nbr_buf.clear();
+        self.active.clear();
+        use_csr
     }
 }
 
@@ -502,6 +544,29 @@ pub struct RunOptions {
     /// [`crate::reference::run_reference_faulted`]); see
     /// [`crate::fault`].
     pub faults: FaultPlan,
+    /// Sparse-activity stepping: visit only nodes with pending messages
+    /// after round 0, making wavefront phases (BFS, convergecast)
+    /// O(active) per round instead of O(nodes). Requires the protocol
+    /// to be **silent-stable**: a node whose inbox is empty must not
+    /// send, must not change observable state, and must report the same
+    /// `is_done()` — every protocol in this repo except deliberately
+    /// chatty test stubs qualifies. Sparse runs step serially (the
+    /// work list is the parallelism bottleneck) and are bit-identical
+    /// to dense runs for silent-stable protocols; a run that can never
+    /// quiesce fails with the same [`EngineError::RoundLimit`] value as
+    /// the dense engine, just without spinning the remaining rounds.
+    pub sparse: bool,
+    /// Sharded intra-run delivery: on the parallel path, rounds whose
+    /// staged-message count reaches [`RunOptions::shard_threshold`]
+    /// partition the destination range into one contiguous shard per
+    /// worker, count/sort/permute shard-locally, and concatenate in
+    /// shard order — bit-identical to the serial counting sort by
+    /// construction. Metering also fans out (split at sender-run
+    /// boundaries) on those rounds. No effect on serial runs.
+    pub shard_delivery: bool,
+    /// Minimum staged messages in a round before [`Self::shard_delivery`]
+    /// engages; below it the serial counting sort wins.
+    pub shard_threshold: usize,
 }
 
 impl Default for RunOptions {
@@ -510,6 +575,9 @@ impl Default for RunOptions {
             threads: 0,
             parallel_threshold: 512,
             faults: FaultPlan::none(),
+            sparse: false,
+            shard_delivery: false,
+            shard_threshold: 4096,
         }
     }
 }
@@ -535,6 +603,21 @@ impl RunOptions {
     /// Attaches a fault plan; see [`crate::fault::FaultPlan`].
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables sparse-activity stepping (see [`RunOptions::sparse`]).
+    pub fn with_sparse(mut self) -> Self {
+        self.sparse = true;
+        self
+    }
+
+    /// Enables sharded delivery on the parallel path (see
+    /// [`RunOptions::shard_delivery`]); `threshold` is the minimum
+    /// staged-message count per round (0 = always shard).
+    pub fn with_shard_delivery(mut self, threshold: usize) -> Self {
+        self.shard_delivery = true;
+        self.shard_threshold = threshold;
         self
     }
 
@@ -749,21 +832,270 @@ fn deliver<M>(
     arena.extend(staged.drain(..).map(|(_, from, msg)| (from, msg)));
 }
 
-/// A synchronous network: a graph plus a bandwidth model.
+/// Sparse-mode delivery: the same stable counting sort as [`deliver`],
+/// but the prefix pass runs over *active destinations only* (O(a log a)
+/// for `a` receiving nodes, not O(nodes)), and the inbox bounds of each
+/// active node are recorded in `active` so sparse stepping never reads
+/// the — now partially stale — `inbox_offsets` entries of silent nodes.
+fn deliver_sparse<M>(
+    staged: &mut Vec<(NodeId, NodeId, M)>,
+    arena: &mut Vec<(NodeId, M)>,
+    inbox_offsets: &mut [usize],
+    counts: &mut [usize],
+    perm: &mut Vec<usize>,
+    active: &mut Vec<(NodeId, usize, usize)>,
+) {
+    active.clear();
+    for &(to, _, _) in staged.iter() {
+        if counts[to] == 0 {
+            active.push((to, 0, 0));
+        }
+        counts[to] += 1;
+    }
+    // Sorted by node id so sparse stepping visits receivers in the same
+    // relative order dense stepping would — the staged order (and hence
+    // all downstream RNG/fault streams) stays bit-identical.
+    active.sort_unstable_by_key(|e| e.0);
+    let mut off = 0;
+    for e in active.iter_mut() {
+        e.1 = off;
+        off += counts[e.0];
+        e.2 = off;
+        // Per-destination end cursor for the perm pass below; entries of
+        // silent nodes are left stale and never read in sparse mode.
+        inbox_offsets[e.0 + 1] = off;
+    }
+    // Identical slot rule to `deliver`; draining `counts` restores the
+    // all-zero invariant.
+    perm.clear();
+    for &(to, _, _) in staged.iter() {
+        perm.push(inbox_offsets[to + 1] - counts[to]);
+        counts[to] -= 1;
+    }
+    for i in 0..staged.len() {
+        while perm[i] != i {
+            let j = perm[i];
+            staged.swap(i, j);
+            perm.swap(i, j);
+        }
+    }
+    arena.clear();
+    arena.extend(staged.drain(..).map(|(_, from, msg)| (from, msg)));
+}
+
+/// Meters one contiguous chunk of the merged staged buffer (whole
+/// sender runs) with worker-local buffers, applying channel faults and
+/// compacting survivors to the chunk front. Returns the chunk's
+/// metrics, its survivor count, and the first error within it; the
+/// caller merges chunks in order, so totals, survivor order, and the
+/// first-error value are exactly what the serial metering pass
+/// produces.
+#[allow(clippy::too_many_arguments)]
+fn meter_chunk<T, M>(
+    model: BandwidthModel,
+    round: usize,
+    chunk: &mut [(NodeId, NodeId, M)],
+    worker: &mut WorkerScratch<M>,
+    csr: &Csr,
+    topo: &T,
+    use_csr: bool,
+    faults: Option<&FaultPlan>,
+) -> (Metrics, usize, Option<EngineError>)
+where
+    T: ImplicitTopology,
+    M: MessageSize + FaultInjectable,
+{
+    let WorkerScratch {
+        neighbor_pos,
+        nbr_buf,
+        edge_bits,
+        edge_msgs,
+        ..
+    } = worker;
+    let mut metrics = Metrics::new();
+    let mut i = 0;
+    let mut w = 0;
+    while i < chunk.len() {
+        let from = chunk[i].1;
+        let nbrs: &[NodeId] = if use_csr {
+            csr.neighbors(from)
+        } else {
+            topo.neighbors(from, nbr_buf)
+        };
+        for (p, &nb) in nbrs.iter().enumerate() {
+            neighbor_pos[nb] = p as u32 + 1;
+        }
+        let mut j = i;
+        while j < chunk.len() && chunk[j].1 == from {
+            j += 1;
+        }
+        let res = metrics.meter_node(
+            model,
+            round,
+            &chunk[i..j],
+            neighbor_pos,
+            edge_bits,
+            nbrs.len(),
+        );
+        if res.is_ok() {
+            if let Some(plan) = faults {
+                for r in i..j {
+                    let to = chunk[r].0;
+                    let pos = (neighbor_pos[to] - 1) as usize;
+                    let idx = edge_msgs[pos];
+                    edge_msgs[pos] += 1;
+                    match plan.apply(round, from, to, idx, &mut chunk[r].2) {
+                        None => metrics.dropped_messages += 1,
+                        Some(flips) => {
+                            metrics.flipped_bits += flips as usize;
+                            chunk.swap(w, r);
+                            w += 1;
+                        }
+                    }
+                }
+                for b in edge_msgs.iter_mut().take(nbrs.len()) {
+                    *b = 0;
+                }
+            }
+        }
+        for &nb in nbrs {
+            neighbor_pos[nb] = 0;
+        }
+        if let Err(e) = res {
+            return (metrics, w, Some(e));
+        }
+        i = j;
+    }
+    (metrics, w, None)
+}
+
+/// Sharded delivery: partitions the destination range into one
+/// contiguous shard per worker; each worker counts, prefix-sums, and
+/// stable-sorts its shard locally, and the shards concatenate in order
+/// — producing exactly the arena and offsets the serial [`deliver`]
+/// would, because each destination's slot assignment follows the same
+/// stable rule with a shard-wide base added.
+fn deliver_sharded<M: Clone + Send + Sync>(
+    staged: &mut Vec<(NodeId, NodeId, M)>,
+    arena: &mut Vec<(NodeId, M)>,
+    inbox_offsets: &mut [usize],
+    counts: &mut [usize],
+    workers: &mut [WorkerScratch<M>],
+    threads: usize,
+) {
+    let k = counts.len();
+    let shard_len = k.div_ceil(threads);
+    let staged_ref: &[(NodeId, NodeId, M)] = staged;
+
+    // Phase A: per-shard counting. Every worker scans the whole staged
+    // buffer read-only and counts its own destination range.
+    let totals = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for (shard_idx, counts_chunk) in counts.chunks_mut(shard_len).enumerate() {
+            let lo = shard_idx * shard_len;
+            handles.push(s.spawn(move |_| {
+                let hi = lo + counts_chunk.len();
+                let mut total = 0usize;
+                for &(to, _, _) in staged_ref {
+                    if to >= lo && to < hi {
+                        counts_chunk[to - lo] += 1;
+                        total += 1;
+                    }
+                }
+                total
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect::<Vec<usize>>()
+    })
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
+
+    // Shard bases: a serial prefix over at most `threads` entries.
+    let mut bases = Vec::with_capacity(totals.len());
+    let mut acc = 0;
+    for &t in &totals {
+        bases.push(acc);
+        acc += t;
+    }
+    inbox_offsets[0] = 0;
+
+    // Phase B: shard-local prefix sums (into disjoint `inbox_offsets`
+    // ranges) and the stable counting sort into each worker's
+    // `delivered`, draining the shard's counts back to zero.
+    crossbeam::scope(|s| {
+        let offs_tail = &mut inbox_offsets[1..];
+        for (((shard_idx, counts_chunk), offs_chunk), worker) in counts
+            .chunks_mut(shard_len)
+            .enumerate()
+            .zip(offs_tail.chunks_mut(shard_len))
+            .zip(workers.iter_mut())
+        {
+            let lo = shard_idx * shard_len;
+            let base = bases[shard_idx];
+            s.spawn(move |_| {
+                let hi = lo + counts_chunk.len();
+                let mut off = base;
+                for (i, c) in counts_chunk.iter().enumerate() {
+                    off += c;
+                    offs_chunk[i] = off;
+                }
+                let delivered = &mut worker.delivered;
+                let perm = &mut worker.perm;
+                delivered.clear();
+                perm.clear();
+                for (to, from, msg) in staged_ref {
+                    let to = *to;
+                    if to < lo || to >= hi {
+                        continue;
+                    }
+                    perm.push(offs_chunk[to - lo] - counts_chunk[to - lo] - base);
+                    counts_chunk[to - lo] -= 1;
+                    delivered.push((*from, msg.clone()));
+                }
+                for i in 0..delivered.len() {
+                    while perm[i] != i {
+                        let j = perm[i];
+                        delivered.swap(i, j);
+                        perm.swap(i, j);
+                    }
+                }
+            });
+        }
+    })
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
+
+    // Phase C: concatenate the shards in order.
+    arena.clear();
+    for w in workers.iter_mut() {
+        arena.append(&mut w.delivered);
+    }
+    staged.clear();
+}
+
+/// A synchronous network: a topology plus a bandwidth model.
+///
+/// The topology parameter defaults to [`Graph`] (stored adjacency,
+/// flattened into a CSR per run). Implicit families
+/// ([`crate::topology::Torus2d`] and friends) plug in through the same
+/// parameter and compute neighbors on the fly, so a 10⁷-node run never
+/// materializes an edge list; engine results are bit-identical to a run
+/// on `topology.materialize()`.
 #[derive(Debug)]
-pub struct Network<'g> {
-    graph: &'g Graph,
+pub struct Network<'g, T: ImplicitTopology = Graph> {
+    graph: &'g T,
     model: BandwidthModel,
 }
 
-impl<'g> Network<'g> {
+impl<'g, T: ImplicitTopology> Network<'g, T> {
     /// Creates a network over `graph` with the given bandwidth model.
-    pub fn new(graph: &'g Graph, model: BandwidthModel) -> Self {
+    pub fn new(graph: &'g T, model: BandwidthModel) -> Self {
         Network { graph, model }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
+    /// The underlying topology.
+    pub fn graph(&self) -> &T {
         self.graph
     }
 
@@ -846,7 +1178,7 @@ impl<'g> Network<'g> {
         sink: &mut dyn Sink,
     ) -> Result<RunReport<P>, EngineError> {
         let mut states = self.check_states(states)?;
-        scratch.prepare(self.graph);
+        let use_csr = scratch.prepare_for(self.graph);
         let EngineScratch {
             csr,
             arena,
@@ -856,6 +1188,7 @@ impl<'g> Network<'g> {
             perm,
             neighbor_pos,
             edge_bits,
+            nbr_buf,
             ..
         } = scratch;
         let mut metrics = Metrics::new();
@@ -869,7 +1202,11 @@ impl<'g> Network<'g> {
             let span = Span::start(&*sink);
 
             for (node, state) in states.iter_mut().enumerate() {
-                let nbrs = csr.neighbors(node);
+                let nbrs: &[NodeId] = if use_csr {
+                    csr.neighbors(node)
+                } else {
+                    self.graph.neighbors(node, nbr_buf)
+                };
                 let start = staged.len();
                 let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
                 let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
@@ -900,18 +1237,23 @@ impl<'g> Network<'g> {
         Err(EngineError::RoundLimit { max_rounds })
     }
 
-    /// The serial loop with an active [`FaultPlan`]: crashed nodes are
-    /// skipped (and count as done), every staged message is metered at
-    /// its original size, and then the plan drops or corrupts it before
-    /// delivery. Kept separate from [`Network::run_with_scratch_observed`]
-    /// so the unfaulted path carries neither the fault branches nor the
-    /// [`FaultInjectable`] bound.
-    fn run_serial_faulted<P>(
+    /// The serial loop with optional fault injection and optional
+    /// sparse-activity stepping. With a plan, crashed nodes are skipped
+    /// (and count as done), every staged message is metered at its
+    /// original size, and then the plan drops or corrupts it before
+    /// delivery. In sparse mode, rounds after the first visit only the
+    /// nodes recorded by [`deliver_sparse`] — bit-identical to the
+    /// dense loop for silent-stable protocols (see
+    /// [`RunOptions::sparse`]). Kept separate from
+    /// [`Network::run_with_scratch_observed`] so the plain path carries
+    /// neither the extra branches nor the [`FaultInjectable`] bound.
+    fn run_serial_core<P>(
         &mut self,
         states: Vec<P>,
         max_rounds: usize,
         scratch: &mut EngineScratch<P::Msg>,
-        plan: &FaultPlan,
+        plan: Option<&FaultPlan>,
+        sparse: bool,
         sink: &mut dyn Sink,
     ) -> Result<RunReport<P>, EngineError>
     where
@@ -919,7 +1261,7 @@ impl<'g> Network<'g> {
         P::Msg: FaultInjectable,
     {
         let mut states = self.check_states(states)?;
-        scratch.prepare(self.graph);
+        let use_csr = scratch.prepare_for(self.graph);
         let EngineScratch {
             csr,
             arena,
@@ -930,34 +1272,65 @@ impl<'g> Network<'g> {
             neighbor_pos,
             edge_bits,
             edge_msgs,
+            nbr_buf,
+            active,
             ..
         } = scratch;
         let mut metrics = Metrics::new();
         let mut obs = RoundObs::new();
 
         for round in 0..max_rounds {
-            let quiescent = round > 0
-                && arena.is_empty()
-                && states
+            if round > 0 && arena.is_empty() {
+                let quiescent = states
                     .iter()
                     .enumerate()
-                    .all(|(v, s)| s.is_done() || plan.crashed(v, round));
-            if quiescent {
-                record_run(sink, round, &metrics);
-                record_faults(sink, round, &metrics, plan);
-                return Ok(finish(round, metrics, states));
+                    .all(|(v, s)| s.is_done() || plan.is_some_and(|p| p.crashed(v, round)));
+                if quiescent {
+                    record_run(sink, round, &metrics);
+                    if let Some(p) = plan {
+                        record_faults(sink, round, &metrics, p);
+                    }
+                    return Ok(finish(round, metrics, states));
+                }
+                if sparse && plan.is_none() {
+                    // Nothing in flight and silent-stable nodes cannot
+                    // wake up: the dense loop would spin out the
+                    // remaining rounds and fail — fail now with the
+                    // identical error value. (With a crash schedule the
+                    // done-set can still change, so faulted runs spin.)
+                    return Err(EngineError::RoundLimit { max_rounds });
+                }
             }
             let span = Span::start(&*sink);
+            let sparse_round = sparse && round > 0;
+            if sparse_round && sink.enabled() {
+                sink.add(keys::NETSIM_SPARSE_ROUNDS, 1);
+                sink.observe(keys::NETSIM_SPARSE_ACTIVE_NODES, active.len() as u64);
+            }
 
-            for (node, state) in states.iter_mut().enumerate() {
-                if plan.crashed(node, round) {
+            let visits = if sparse_round {
+                active.len()
+            } else {
+                states.len()
+            };
+            for i in 0..visits {
+                let (node, lo, hi) = if sparse_round {
+                    active[i]
+                } else {
+                    (i, inbox_offsets[i], inbox_offsets[i + 1])
+                };
+                if plan.is_some_and(|p| p.crashed(node, round)) {
                     continue;
                 }
-                let nbrs = csr.neighbors(node);
+                let nbrs: &[NodeId] = if use_csr {
+                    csr.neighbors(node)
+                } else {
+                    self.graph.neighbors(node, nbr_buf)
+                };
                 let start = staged.len();
-                let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
+                let inbox = &arena[lo..hi];
                 let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
-                state.on_round(node, round, inbox, &mut out);
+                states[node].on_round(node, round, inbox, &mut out);
                 if out.index_filled() {
                     metrics.meter_node(
                         self.model,
@@ -967,27 +1340,30 @@ impl<'g> Network<'g> {
                         edge_bits,
                         nbrs.len(),
                     )?;
-                    // Channel faults, after metering: the sender paid
-                    // for the original message. Surviving messages are
-                    // compacted in place, preserving send order.
-                    let mut w = start;
-                    for r in start..staged.len() {
-                        let to = staged[r].0;
-                        let pos = (neighbor_pos[to] - 1) as usize;
-                        let idx = edge_msgs[pos];
-                        edge_msgs[pos] += 1;
-                        match plan.apply(round, node, to, idx, &mut staged[r].2) {
-                            None => metrics.dropped_messages += 1,
-                            Some(flips) => {
-                                metrics.flipped_bits += flips as usize;
-                                staged.swap(w, r);
-                                w += 1;
+                    if let Some(p) = plan {
+                        // Channel faults, after metering: the sender
+                        // paid for the original message. Surviving
+                        // messages are compacted in place, preserving
+                        // send order.
+                        let mut w = start;
+                        for r in start..staged.len() {
+                            let to = staged[r].0;
+                            let pos = (neighbor_pos[to] - 1) as usize;
+                            let idx = edge_msgs[pos];
+                            edge_msgs[pos] += 1;
+                            match p.apply(round, node, to, idx, &mut staged[r].2) {
+                                None => metrics.dropped_messages += 1,
+                                Some(flips) => {
+                                    metrics.flipped_bits += flips as usize;
+                                    staged.swap(w, r);
+                                    w += 1;
+                                }
                             }
                         }
-                    }
-                    staged.truncate(w);
-                    for b in edge_msgs.iter_mut().take(nbrs.len()) {
-                        *b = 0;
+                        staged.truncate(w);
+                        for b in edge_msgs.iter_mut().take(nbrs.len()) {
+                            *b = 0;
+                        }
                     }
                     for &nb in nbrs {
                         neighbor_pos[nb] = 0;
@@ -995,7 +1371,11 @@ impl<'g> Network<'g> {
                 }
             }
 
-            deliver(staged, arena, inbox_offsets, counts, perm);
+            if sparse {
+                deliver_sparse(staged, arena, inbox_offsets, counts, perm, active);
+            } else {
+                deliver(staged, arena, inbox_offsets, counts, perm);
+            }
             obs.end_round(sink, &mut metrics, span);
         }
         Err(EngineError::RoundLimit { max_rounds })
@@ -1054,19 +1434,38 @@ impl<'g> Network<'g> {
         } else {
             Some(&options.faults)
         };
+        if options.sparse {
+            // Sparse stepping is a serial mode: the active list, not
+            // node stepping, is the bottleneck it optimizes.
+            return self.run_serial_core(states, max_rounds, scratch, faults, true, sink);
+        }
         if threads <= 1 {
             return match faults {
                 // The fault-free plan routes to the plain serial path:
                 // bit-identical to a run without options, by
                 // construction rather than by argument.
                 None => self.run_with_scratch_observed(states, max_rounds, scratch, sink),
-                Some(plan) => self.run_serial_faulted(states, max_rounds, scratch, plan, sink),
+                Some(plan) => {
+                    self.run_serial_core(states, max_rounds, scratch, Some(plan), false, sink)
+                }
             };
         }
-        self.run_parallel(states, max_rounds, scratch, threads, faults, sink)
+        let shard = if options.shard_delivery {
+            Some(options.shard_threshold)
+        } else {
+            None
+        };
+        self.run_parallel(states, max_rounds, scratch, threads, faults, shard, sink)
     }
 
     fn check_states<P>(&self, states: Vec<P>) -> Result<Vec<P>, EngineError> {
+        if self.graph.node_count() == 0 {
+            // A 0-node run used to "succeed" vacuously in 1 round; at
+            // scale that silently masks sizing bugs (e.g. grid(r, 0)),
+            // so it is now a typed error, mirrored by the reference
+            // engine.
+            return Err(EngineError::EmptyNetwork);
+        }
         if states.len() != self.graph.node_count() {
             return Err(EngineError::NodeCountMismatch {
                 graph_nodes: self.graph.node_count(),
@@ -1076,6 +1475,7 @@ impl<'g> Network<'g> {
         Ok(states)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_parallel<P>(
         &mut self,
         states: Vec<P>,
@@ -1083,6 +1483,7 @@ impl<'g> Network<'g> {
         scratch: &mut EngineScratch<P::Msg>,
         threads: usize,
         faults: Option<&FaultPlan>,
+        shard: Option<usize>,
         sink: &mut dyn Sink,
     ) -> Result<RunReport<P>, EngineError>
     where
@@ -1091,7 +1492,8 @@ impl<'g> Network<'g> {
     {
         let mut states = self.check_states(states)?;
         let k = self.graph.node_count();
-        scratch.prepare(self.graph);
+        let use_csr = scratch.prepare_for(self.graph);
+        let max_degree = scratch.edge_bits.len();
         while scratch.workers.len() < threads {
             scratch.workers.push(WorkerScratch::default());
         }
@@ -1099,6 +1501,13 @@ impl<'g> Network<'g> {
             w.staged.clear();
             w.neighbor_pos.clear();
             w.neighbor_pos.resize(k, 0);
+            w.nbr_buf.clear();
+            w.edge_bits.clear();
+            w.edge_bits.resize(max_degree, 0);
+            w.edge_msgs.clear();
+            w.edge_msgs.resize(max_degree, 0);
+            w.delivered.clear();
+            w.perm.clear();
         }
         let EngineScratch {
             csr,
@@ -1110,8 +1519,12 @@ impl<'g> Network<'g> {
             neighbor_pos,
             edge_bits,
             edge_msgs,
+            nbr_buf,
             workers,
+            ..
         } = scratch;
+        let topo = self.graph;
+        let model = self.model;
         let mut metrics = Metrics::new();
         let mut obs = RoundObs::new();
         let chunk_len = k.div_ceil(threads);
@@ -1150,13 +1563,19 @@ impl<'g> Network<'g> {
                             let WorkerScratch {
                                 staged,
                                 neighbor_pos,
+                                nbr_buf,
+                                ..
                             } = worker;
                             for (off, state) in chunk.iter_mut().enumerate() {
                                 let node = base + off;
                                 if faults.is_some_and(|plan| plan.crashed(node, round)) {
                                     continue;
                                 }
-                                let nbrs = csr.neighbors(node);
+                                let nbrs: &[NodeId] = if use_csr {
+                                    csr.neighbors(node)
+                                } else {
+                                    topo.neighbors(node, nbr_buf)
+                                };
                                 let inbox = &arena[inbox_offsets[node]..inbox_offsets[node + 1]];
                                 let mut out = Outbox::new(node, nbrs, neighbor_pos, staged);
                                 state.on_round(node, round, inbox, &mut out);
@@ -1183,65 +1602,154 @@ impl<'g> Network<'g> {
                 staged.append(&mut w.staged);
             }
 
-            // Meter serially over the merged buffer. Sends of one node
-            // are contiguous, so runs of equal `from` share one
-            // neighbor_pos fill. With faults active, each run is
-            // metered at original size and then filtered/corrupted into
-            // the compaction cursor `w` — the same per-edge message
-            // indices and survivor order the serial faulted path
-            // produces, hence bit-identical results.
-            let mut i = 0;
-            let mut w = 0;
-            while i < staged.len() {
-                let from = staged[i].1;
-                let nbrs = csr.neighbors(from);
-                for (p, &nb) in nbrs.iter().enumerate() {
-                    neighbor_pos[nb] = p as u32 + 1;
+            let sharded = shard.is_some_and(|t| staged.len() >= t);
+            if sharded {
+                if sink.enabled() {
+                    sink.add(keys::NETSIM_SHARD_ROUNDS, 1);
+                    sink.add(keys::NETSIM_SHARD_MESSAGES, staged.len() as u64);
                 }
-                let mut j = i;
-                while j < staged.len() && staged[j].1 == from {
-                    j += 1;
+                // Parallel metering: split the merged buffer at
+                // sender-run boundaries (sends of one node are
+                // contiguous), meter each chunk with worker-local
+                // buffers, and merge totals in chunk order — the same
+                // per-edge message indices, survivor order, and first
+                // error the serial pass produces.
+                perm.clear();
+                perm.push(0);
+                let target = staged.len().div_ceil(threads);
+                let mut b = 0;
+                for _ in 1..threads {
+                    b = (b + target).min(staged.len());
+                    while b < staged.len() && staged[b].1 == staged[b - 1].1 {
+                        b += 1;
+                    }
+                    perm.push(b);
                 }
-                let res = metrics.meter_node(
-                    self.model,
-                    round,
-                    &staged[i..j],
-                    neighbor_pos,
-                    edge_bits,
-                    nbrs.len(),
-                );
-                if res.is_ok() {
-                    if let Some(plan) = faults {
-                        for r in i..j {
-                            let to = staged[r].0;
-                            let pos = (neighbor_pos[to] - 1) as usize;
-                            let idx = edge_msgs[pos];
-                            edge_msgs[pos] += 1;
-                            match plan.apply(round, from, to, idx, &mut staged[r].2) {
-                                None => metrics.dropped_messages += 1,
-                                Some(flips) => {
-                                    metrics.flipped_bits += flips as usize;
-                                    staged.swap(w, r);
-                                    w += 1;
-                                }
-                            }
+                perm.push(staged.len());
+                let results = {
+                    let mut slices: Vec<&mut [(NodeId, NodeId, P::Msg)]> =
+                        Vec::with_capacity(threads);
+                    let mut rest: &mut [(NodeId, NodeId, P::Msg)] = staged;
+                    let mut prev = 0;
+                    for &bnd in &perm[1..] {
+                        let (head, tail) = rest.split_at_mut(bnd - prev);
+                        slices.push(head);
+                        rest = tail;
+                        prev = bnd;
+                    }
+                    let csr: &Csr = csr;
+                    crossbeam::scope(|s| {
+                        let mut handles = Vec::with_capacity(threads);
+                        for (slice, worker) in slices.into_iter().zip(workers.iter_mut()) {
+                            handles.push(s.spawn(move |_| {
+                                meter_chunk(model, round, slice, worker, csr, topo, use_csr, faults)
+                            }));
                         }
-                        for b in edge_msgs.iter_mut().take(nbrs.len()) {
-                            *b = 0;
-                        }
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                };
+                let mut first_err = None;
+                let mut chunk_survivors = Vec::with_capacity(results.len());
+                for (m, w_local, err) in results {
+                    metrics.total_messages += m.total_messages;
+                    metrics.total_bits += m.total_bits;
+                    metrics.round_max_edge_bits =
+                        metrics.round_max_edge_bits.max(m.round_max_edge_bits);
+                    metrics.dropped_messages += m.dropped_messages;
+                    metrics.flipped_bits += m.flipped_bits;
+                    chunk_survivors.push(w_local);
+                    if first_err.is_none() {
+                        first_err = err;
                     }
                 }
-                for &nb in nbrs {
-                    neighbor_pos[nb] = 0;
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
-                res?;
-                i = j;
-            }
-            if faults.is_some() {
-                staged.truncate(w);
-            }
+                if faults.is_some() {
+                    // Survivors sit at the front of each chunk; compact
+                    // them across chunks, preserving order.
+                    let mut gw = 0;
+                    for (c, &survivors) in chunk_survivors.iter().enumerate() {
+                        let chunk_start = perm[c];
+                        for j in 0..survivors {
+                            staged.swap(gw, chunk_start + j);
+                            gw += 1;
+                        }
+                    }
+                    staged.truncate(gw);
+                }
 
-            deliver(staged, arena, inbox_offsets, counts, perm);
+                deliver_sharded(staged, arena, inbox_offsets, counts, workers, threads);
+            } else {
+                // Meter serially over the merged buffer. Sends of one
+                // node are contiguous, so runs of equal `from` share
+                // one neighbor_pos fill. With faults active, each run
+                // is metered at original size and then
+                // filtered/corrupted into the compaction cursor `w` —
+                // the same per-edge message indices and survivor order
+                // the serial faulted path produces, hence bit-identical
+                // results.
+                let mut i = 0;
+                let mut w = 0;
+                while i < staged.len() {
+                    let from = staged[i].1;
+                    let nbrs: &[NodeId] = if use_csr {
+                        csr.neighbors(from)
+                    } else {
+                        topo.neighbors(from, nbr_buf)
+                    };
+                    for (p, &nb) in nbrs.iter().enumerate() {
+                        neighbor_pos[nb] = p as u32 + 1;
+                    }
+                    let mut j = i;
+                    while j < staged.len() && staged[j].1 == from {
+                        j += 1;
+                    }
+                    let res = metrics.meter_node(
+                        model,
+                        round,
+                        &staged[i..j],
+                        neighbor_pos,
+                        edge_bits,
+                        nbrs.len(),
+                    );
+                    if res.is_ok() {
+                        if let Some(plan) = faults {
+                            for r in i..j {
+                                let to = staged[r].0;
+                                let pos = (neighbor_pos[to] - 1) as usize;
+                                let idx = edge_msgs[pos];
+                                edge_msgs[pos] += 1;
+                                match plan.apply(round, from, to, idx, &mut staged[r].2) {
+                                    None => metrics.dropped_messages += 1,
+                                    Some(flips) => {
+                                        metrics.flipped_bits += flips as usize;
+                                        staged.swap(w, r);
+                                        w += 1;
+                                    }
+                                }
+                            }
+                            for b in edge_msgs.iter_mut().take(nbrs.len()) {
+                                *b = 0;
+                            }
+                        }
+                    }
+                    for &nb in nbrs {
+                        neighbor_pos[nb] = 0;
+                    }
+                    res?;
+                    i = j;
+                }
+                if faults.is_some() {
+                    staged.truncate(w);
+                }
+
+                deliver(staged, arena, inbox_offsets, counts, perm);
+            }
             obs.end_round(sink, &mut metrics, span);
         }
         Err(EngineError::RoundLimit { max_rounds })

@@ -1,9 +1,57 @@
 //! Undirected graphs and basic graph algorithms.
 
 use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
 
 /// A node identifier: nodes are numbered `0 .. k`.
 pub type NodeId = usize;
+
+/// Typed rejection reasons for [`Graph::try_add_edge`].
+///
+/// The panicking [`Graph::add_edge`] keeps its historical contract;
+/// callers assembling graphs from untrusted or machine-generated edge
+/// lists (fuzzers, file loaders, degenerate-size sweeps) use
+/// [`Graph::try_add_edge`] and get these instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint is `>= node_count()`.
+    OutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Both endpoints are the same node. A self-loop would make the
+    /// round engine deliver a node its own message, which no CONGEST
+    /// protocol in this repo is written to expect.
+    SelfLoop {
+        /// The node.
+        node: NodeId,
+    },
+    /// The edge is already present. A parallel edge would double-deliver
+    /// every message sent over it in the flat engine.
+    Duplicate {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::OutOfRange { node, nodes } => {
+                write!(f, "endpoint {node} out of range for {nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Duplicate { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
 
 /// An undirected simple graph with adjacency lists.
 ///
@@ -37,11 +85,71 @@ impl Graph {
         g
     }
 
+    /// Builds a graph from an edge list, silently skipping self-loops
+    /// and duplicate edges (in either orientation) instead of panicking.
+    /// Out-of-range endpoints are still a hard error: they indicate a
+    /// sizing bug, not a redundant edge.
+    ///
+    /// The result runs identically on the flat and reference engines to
+    /// a graph built from the deduplicated list with [`Graph::from_edges`]
+    /// — without dedup a parallel edge would double-deliver messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints.
+    pub fn from_edges_dedup(k: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::new(k);
+        for &(u, v) in edges {
+            match g.try_add_edge(u, v) {
+                Ok(()) | Err(GraphError::SelfLoop { .. }) | Err(GraphError::Duplicate { .. }) => {}
+                Err(e @ GraphError::OutOfRange { .. }) => panic!("{e}"),
+            }
+        }
+        g
+    }
+
+    /// Builds a graph directly from adjacency lists, preserving the
+    /// neighbor *order* of every list. The round engine's message
+    /// staging and inbox ordering follow neighbor order, so this is the
+    /// constructor that lets an implicit topology materialize into a
+    /// [`Graph`] whose engine runs are bit-identical to its on-the-fly
+    /// runs (see [`ImplicitTopology::materialize`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any list contains an out-of-range node, a self-loop, a
+    /// duplicate neighbor, or if the lists are not symmetric (`u` lists
+    /// `v` but `v` does not list `u`).
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Self {
+        let k = adj.len();
+        let mut stamp = vec![usize::MAX; k];
+        let mut half_edges = 0usize;
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(v < k, "endpoint {v} out of range for {k} nodes");
+                assert_ne!(u, v, "self-loops are not allowed");
+                assert!(stamp[v] != u, "duplicate edge {{{u}, {v}}}");
+                stamp[v] = u;
+                assert!(
+                    adj[v].contains(&u),
+                    "asymmetric adjacency: {u} lists {v} but not vice versa"
+                );
+                half_edges += 1;
+            }
+        }
+        debug_assert!(half_edges.is_multiple_of(2));
+        Graph {
+            adj,
+            edge_count: half_edges / 2,
+        }
+    }
+
     /// Adds the undirected edge `{u, v}`.
     ///
     /// # Panics
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    /// Fallible callers use [`Graph::try_add_edge`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         assert!(
             u < self.adj.len() && v < self.adj.len(),
@@ -52,6 +160,33 @@ impl Graph {
         self.adj[u].push(v);
         self.adj[v].push(u);
         self.edge_count += 1;
+    }
+
+    /// Adds the undirected edge `{u, v}`, returning a typed
+    /// [`GraphError`] instead of panicking on out-of-range endpoints,
+    /// self-loops, or duplicate edges. On `Err` the graph is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::OutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::Duplicate`].
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let k = self.adj.len();
+        for node in [u, v] {
+            if node >= k {
+                return Err(GraphError::OutOfRange { node, nodes: k });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.adj[u].contains(&v) {
+            return Err(GraphError::Duplicate { u, v });
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edge_count += 1;
+        Ok(())
     }
 
     /// Number of nodes.
@@ -314,6 +449,90 @@ impl Csr {
     }
 }
 
+/// A topology whose neighbor lists are computed on the fly instead of
+/// being stored.
+///
+/// An explicit [`Graph`] on 10⁷ nodes costs gigabytes of adjacency
+/// lists; a torus or hypercube on the same node count is fully
+/// described by its dimensions. Implementors yield each node's
+/// neighbors into a caller-provided buffer in a **fixed canonical
+/// order** — the round engine's message staging and inbox ordering
+/// follow neighbor order, so the order is part of the topology's
+/// identity: a run on the implicit form and a run on
+/// [`ImplicitTopology::materialize`]'s output are bit-identical.
+///
+/// [`Graph`] itself implements the trait (borrowing its stored lists
+/// and ignoring the buffer), so engine and protocol entry points
+/// generic over `ImplicitTopology` accept both materialized and
+/// implicit networks; [`crate::engine::Network`] keeps its CSR fast
+/// path for `Graph` through [`ImplicitTopology::prime_csr`].
+pub trait ImplicitTopology: Sync {
+    /// Number of nodes; ids are dense `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// An upper bound on the degree of any node, used to size the
+    /// engine's per-neighbor accounting buffers. Must be `>=` every
+    /// actual degree; a slack bound only costs a few unused slots.
+    fn max_degree(&self) -> usize;
+
+    /// Writes `v`'s neighbors into `buf` (clearing it first) and
+    /// returns them. The order must be identical on every call — it is
+    /// observable through engine runs. Implementations backed by stored
+    /// adjacency (like [`Graph`]) may ignore `buf` and return their own
+    /// slice.
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId];
+
+    /// Materializes the topology into an explicit [`Graph`] with the
+    /// same neighbor order, validating symmetry and simplicity on the
+    /// way. Engine runs on the result are bit-identical to runs on
+    /// `self` — the property the implicit-vs-materialized differential
+    /// tests pin. Intended for small instances (tests, diameter
+    /// calculations); at 10⁷ nodes this is exactly the allocation the
+    /// trait exists to avoid.
+    fn materialize(&self) -> Graph {
+        let k = self.node_count();
+        let mut buf = Vec::new();
+        let mut adj = Vec::with_capacity(k);
+        for v in 0..k {
+            adj.push(self.neighbors(v, &mut buf).to_vec());
+        }
+        Graph::from_adjacency(adj)
+    }
+
+    /// Engine hook: refresh `csr` if this topology has stored adjacency
+    /// worth flattening into a packed scan view, and return whether the
+    /// engine should read neighbors from the CSR instead of calling
+    /// [`ImplicitTopology::neighbors`]. The default (implicit families)
+    /// leaves the CSR untouched and returns `false`; [`Graph`] rebuilds
+    /// it and returns `true`.
+    fn prime_csr(&self, _csr: &mut Csr) -> bool {
+        false
+    }
+}
+
+impl ImplicitTopology for Graph {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, _buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        &self.adj[v]
+    }
+
+    fn materialize(&self) -> Graph {
+        self.clone()
+    }
+
+    fn prime_csr(&self, csr: &mut Csr) -> bool {
+        csr.rebuild_from(self);
+        true
+    }
+}
+
 /// Degree summary returned by [`Graph::degree_stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
@@ -488,6 +707,72 @@ mod tests {
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.max_degree(), 0);
         assert_eq!(Csr::new().node_count(), 0);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_errors() {
+        let mut g = Graph::new(3);
+        assert_eq!(
+            g.try_add_edge(0, 5),
+            Err(GraphError::OutOfRange { node: 5, nodes: 3 })
+        );
+        assert_eq!(g.try_add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(g.try_add_edge(0, 1), Ok(()));
+        assert_eq!(
+            g.try_add_edge(1, 0),
+            Err(GraphError::Duplicate { u: 1, v: 0 })
+        );
+        // Errors leave the graph unchanged.
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn from_edges_dedup_skips_redundant_edges() {
+        let g = Graph::from_edges_dedup(3, &[(0, 1), (1, 0), (0, 0), (0, 1), (1, 2)]);
+        assert_eq!(g, Graph::from_edges(3, &[(0, 1), (1, 2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_dedup_still_rejects_out_of_range() {
+        let _ = Graph::from_edges_dedup(2, &[(0, 7)]);
+    }
+
+    #[test]
+    fn from_adjacency_round_trips_and_counts_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let adj: Vec<Vec<NodeId>> = (0..4).map(|v| g.neighbors(v).to_vec()).collect();
+        let g2 = Graph::from_adjacency(adj);
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn from_adjacency_rejects_asymmetry() {
+        let _ = Graph::from_adjacency(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn from_adjacency_rejects_duplicates() {
+        let _ = Graph::from_adjacency(vec![vec![1, 1], vec![0, 0]]);
+    }
+
+    #[test]
+    fn graph_implements_implicit_topology() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let mut buf = Vec::new();
+        assert_eq!(ImplicitTopology::node_count(&g), 4);
+        assert_eq!(ImplicitTopology::max_degree(&g), 2);
+        for v in 0..4 {
+            assert_eq!(ImplicitTopology::neighbors(&g, v, &mut buf), g.neighbors(v));
+        }
+        assert_eq!(ImplicitTopology::materialize(&g), g);
+        let mut csr = Csr::new();
+        assert!(g.prime_csr(&mut csr));
+        assert_eq!(csr, Csr::from_graph(&g));
     }
 
     #[test]

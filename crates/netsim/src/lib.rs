@@ -17,7 +17,10 @@
 //!   connectivity.
 //! * [`topology`] — generators for the standard experiment topologies
 //!   (line, ring, star, complete, balanced tree, 2D grid, connected
-//!   Erdős–Rényi).
+//!   Erdős–Rényi) plus implicit million-node families (torus,
+//!   hypercube, Margulis expander, line/ring/tree) that compute
+//!   neighbors on the fly via [`graph::ImplicitTopology`] instead of
+//!   materializing an edge list.
 //! * [`engine`] — the synchronous round engine: implement
 //!   [`engine::NodeProtocol`] and run it on any graph under either
 //!   bandwidth model.
@@ -77,4 +80,7 @@ pub mod topology;
 
 pub use engine::{BandwidthModel, EngineScratch, Network, RunOptions, RunReport};
 pub use fault::{FaultInjectable, FaultPlan};
-pub use graph::{Csr, DegreeStats, Graph, NodeId};
+pub use graph::{Csr, DegreeStats, Graph, GraphError, ImplicitTopology, NodeId};
+pub use topology::{
+    Hypercube, ImplicitLine, ImplicitRing, ImplicitTree, MargulisExpander, Torus2d,
+};

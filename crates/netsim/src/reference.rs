@@ -51,6 +51,11 @@ pub fn run_reference_observed<P: NodeProtocol>(
     sink: &mut dyn Sink,
 ) -> Result<RunReport<P>, EngineError> {
     let k = graph.node_count();
+    if k == 0 {
+        // Mirrors the flat engine: an empty network is a typed error,
+        // not a vacuous 1-round success.
+        return Err(EngineError::EmptyNetwork);
+    }
     if states.len() != k {
         return Err(EngineError::NodeCountMismatch {
             graph_nodes: k,
@@ -198,6 +203,11 @@ where
     P::Msg: FaultInjectable,
 {
     let k = graph.node_count();
+    if k == 0 {
+        // Mirrors the flat engine: an empty network is a typed error,
+        // not a vacuous 1-round success.
+        return Err(EngineError::EmptyNetwork);
+    }
     if states.len() != k {
         return Err(EngineError::NodeCountMismatch {
             graph_nodes: k,

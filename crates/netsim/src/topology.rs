@@ -7,10 +7,15 @@
 //! binary tree (`D = Θ(log k)`), 2D grid (`D = Θ(√k)`) and connected
 //! Erdős–Rényi graphs (`D = Θ(log k)` w.h.p.).
 
-use crate::graph::Graph;
+use crate::graph::{Graph, ImplicitTopology, NodeId};
 use rand::Rng;
 
 /// A line (path) on `k` nodes: `0 — 1 — ... — k−1`. Diameter `k−1`.
+///
+/// `line(0)` is the empty graph and `line(1)` a singleton; both are
+/// valid [`Graph`] values, and the round engine reports the empty one
+/// as a typed [`crate::engine::EngineError::EmptyNetwork`] instead of
+/// silently succeeding on zero nodes.
 pub fn line(k: usize) -> Graph {
     let mut g = Graph::new(k);
     for i in 1..k {
@@ -31,13 +36,15 @@ pub fn ring(k: usize) -> Graph {
     g
 }
 
-/// A star on `k ≥ 2` nodes with node 0 as the hub. Diameter 2.
+/// A star on `k ≥ 1` nodes with node 0 as the hub. Diameter 2 (0 for
+/// the degenerate `star(1)`, which is a valid singleton — a hub with no
+/// spokes — rather than a panic).
 ///
 /// # Panics
 ///
-/// Panics if `k < 2`.
+/// Panics if `k == 0`.
 pub fn star(k: usize) -> Graph {
-    assert!(k >= 2, "a star needs at least 2 nodes");
+    assert!(k >= 1, "a star needs at least 1 node (the hub)");
     let mut g = Graph::new(k);
     for i in 1..k {
         g.add_edge(0, i);
@@ -45,8 +52,18 @@ pub fn star(k: usize) -> Graph {
     g
 }
 
-/// The complete graph on `k` nodes. Diameter 1.
+/// The complete graph on `k` nodes. Diameter 1 (`complete(1)` is a
+/// valid singleton).
+///
+/// # Panics
+///
+/// Panics if the `k·(k−1)/2` edge count overflows `usize` — a sizing
+/// bug caught before it turns into an absurd allocation.
 pub fn complete(k: usize) -> Graph {
+    if k > 1 {
+        k.checked_mul(k - 1)
+            .expect("complete(k): edge count overflows usize");
+    }
     let mut g = Graph::new(k);
     for u in 0..k {
         for v in (u + 1)..k {
@@ -68,8 +85,20 @@ pub fn balanced_binary_tree(k: usize) -> Graph {
 
 /// A 2D grid with `rows × cols` nodes (row-major ids). Diameter
 /// `rows + cols − 2`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero (`grid(r, 0)` used to silently
+/// return the empty graph) or if `rows · cols` overflows `usize`.
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    let mut g = Graph::new(rows * cols);
+    assert!(
+        rows >= 1 && cols >= 1,
+        "grid dimensions must be at least 1x1 (got {rows}x{cols})"
+    );
+    let k = rows
+        .checked_mul(cols)
+        .expect("grid(rows, cols): node count overflows usize");
+    let mut g = Graph::new(k);
     for r in 0..rows {
         for c in 0..cols {
             let id = r * cols + c;
@@ -125,6 +154,323 @@ pub fn connected_erdos_renyi<R: Rng + ?Sized>(k: usize, p: f64, rng: &mut R) -> 
         }
     }
     g
+}
+
+// ---------------------------------------------------------------------------
+// Implicit families: neighbors computed on the fly, no stored edge list.
+//
+// At 10⁶–10⁷ nodes a materialized adjacency costs gigabytes before the
+// first round runs; these families implement [`ImplicitTopology`]
+// directly so the engine can ask for `neighbors(v)` in O(degree) with
+// zero setup memory. Every family's neighbor order is canonical and
+// documented, because the order is observable through engine runs (it
+// fixes inbox order and therefore counter-keyed fault streams).
+// `materialize()` (the trait default) validates symmetry/simplicity via
+// `Graph::from_adjacency`, which the differential tests lean on.
+// ---------------------------------------------------------------------------
+
+/// A 2D torus (wrap-around grid) with `rows × cols` nodes, row-major
+/// ids. Diameter `⌊rows/2⌋ + ⌊cols/2⌋`.
+///
+/// Neighbor order is up, down, left, right (wrapping), with duplicates
+/// collapsed (a dimension of length 2 makes up == down) and self-edges
+/// skipped (a dimension of length 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2d {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus2d {
+    /// Builds a `rows × cols` torus descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `rows · cols` overflows
+    /// `usize`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= 1 && cols >= 1,
+            "torus dimensions must be at least 1x1 (got {rows}x{cols})"
+        );
+        rows.checked_mul(cols)
+            .expect("Torus2d::new: node count overflows usize");
+        Torus2d { rows, cols }
+    }
+
+    /// Row dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+impl ImplicitTopology for Torus2d {
+    fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn max_degree(&self) -> usize {
+        let per_dim = |len: usize| if len >= 3 { 2 } else { len - 1 };
+        per_dim(self.rows) + per_dim(self.cols)
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        let (r, c) = (v / self.cols, v % self.cols);
+        let up = (r + self.rows - 1) % self.rows;
+        let down = (r + 1) % self.rows;
+        let left = (c + self.cols - 1) % self.cols;
+        let right = (c + 1) % self.cols;
+        for cand in [
+            up * self.cols + c,
+            down * self.cols + c,
+            r * self.cols + left,
+            r * self.cols + right,
+        ] {
+            if cand != v && !buf.contains(&cand) {
+                buf.push(cand);
+            }
+        }
+        buf
+    }
+}
+
+/// The `dim`-dimensional hypercube on `2^dim` nodes: `u ~ v` iff their
+/// ids differ in exactly one bit. Diameter `dim`.
+///
+/// Neighbor order flips bit 0 first: `v ^ 1, v ^ 2, …, v ^ 2^(dim−1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Builds a `dim`-dimensional hypercube descriptor (`dim == 0` is a
+    /// singleton).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2^dim` overflows `usize`.
+    pub fn new(dim: u32) -> Self {
+        assert!(dim < usize::BITS, "Hypercube::new: 2^{dim} overflows usize");
+        Hypercube { dim }
+    }
+
+    /// Number of dimensions (= degree of every node).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl ImplicitTopology for Hypercube {
+    fn node_count(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn max_degree(&self) -> usize {
+        self.dim as usize
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        for i in 0..self.dim {
+            buf.push(v ^ (1usize << i));
+        }
+        buf
+    }
+}
+
+/// The Margulis–Gabber–Galil expander on `Z_m × Z_m` (`m = side`),
+/// `m² ` nodes with id `x·m + y`. Each node connects to the eight
+/// images/preimages of the two affine generators `(x ± 2y, y)`,
+/// `(x ± (2y+1), y)`, `(x, y ± 2x)`, `(x, y ± (2x+1))` (mod `m`), a
+/// classical constant-degree expander family — diameter `Θ(log k)` with
+/// spectral gap bounded away from zero.
+///
+/// Neighbor order is the generator order above, with duplicates
+/// collapsed and self-edges skipped (both occur for small `m`). The
+/// candidate set is closed under inversion, so the relation is
+/// symmetric and `materialize()` passes `Graph::from_adjacency`'s
+/// symmetry check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MargulisExpander {
+    side: usize,
+}
+
+impl MargulisExpander {
+    /// Builds the expander descriptor on `side²` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0` or `side²` overflows `usize`.
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 1, "MargulisExpander::new: side must be at least 1");
+        side.checked_mul(side)
+            .expect("MargulisExpander::new: node count overflows usize");
+        MargulisExpander { side }
+    }
+
+    /// Grid side length (`node_count == side²`).
+    pub fn side(&self) -> usize {
+        self.side
+    }
+}
+
+impl ImplicitTopology for MargulisExpander {
+    fn node_count(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn max_degree(&self) -> usize {
+        // Eight generators, but never more neighbors than other nodes.
+        8.min(self.node_count().saturating_sub(1))
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        let m = self.side;
+        let (x, y) = (v / m, v % m);
+        let add = |a: usize, b: usize| (a + b % m) % m;
+        let sub = |a: usize, b: usize| (a + m - b % m) % m;
+        for (nx, ny) in [
+            (add(x, 2 * y), y),
+            (add(x, 2 * y + 1), y),
+            (sub(x, 2 * y), y),
+            (sub(x, 2 * y + 1), y),
+            (x, add(y, 2 * x)),
+            (x, add(y, 2 * x + 1)),
+            (x, sub(y, 2 * x)),
+            (x, sub(y, 2 * x + 1)),
+        ] {
+            let cand = nx * m + ny;
+            if cand != v && !buf.contains(&cand) {
+                buf.push(cand);
+            }
+        }
+        buf
+    }
+}
+
+/// Implicit form of [`line()`]: identical node ids and neighbor order
+/// (`[v−1, v+1]` clipped at the ends), so `materialize()` equals
+/// `line(k)` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplicitLine {
+    /// Number of nodes.
+    pub k: usize,
+}
+
+impl ImplicitTopology for ImplicitLine {
+    fn node_count(&self) -> usize {
+        self.k
+    }
+
+    fn max_degree(&self) -> usize {
+        match self.k {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 2,
+        }
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        if v > 0 {
+            buf.push(v - 1);
+        }
+        if v + 1 < self.k {
+            buf.push(v + 1);
+        }
+        buf
+    }
+}
+
+/// Implicit form of [`ring()`]: neighbor order matches the generator's
+/// edge-insertion order (`adj[0] = [1, k−1]`, `adj[k−1] = [k−2, 0]`,
+/// interior `[v−1, v+1]`), so `materialize()` equals `ring(k)` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplicitRing {
+    k: usize,
+}
+
+impl ImplicitRing {
+    /// Builds a `k`-node ring descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3` (matching [`ring()`]).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 3, "a ring needs at least 3 nodes");
+        ImplicitRing { k }
+    }
+}
+
+impl ImplicitTopology for ImplicitRing {
+    fn node_count(&self) -> usize {
+        self.k
+    }
+
+    fn max_degree(&self) -> usize {
+        2
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        if v == 0 {
+            buf.push(1);
+            buf.push(self.k - 1);
+        } else if v == self.k - 1 {
+            buf.push(v - 1);
+            buf.push(0);
+        } else {
+            buf.push(v - 1);
+            buf.push(v + 1);
+        }
+        buf
+    }
+}
+
+/// Implicit form of [`balanced_binary_tree()`] (heap layout): neighbor
+/// order `[parent, 2v+1, 2v+2]` clipped to range, matching the
+/// generator's edge-insertion order so `materialize()` equals
+/// `balanced_binary_tree(k)` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplicitTree {
+    /// Number of nodes.
+    pub k: usize,
+}
+
+impl ImplicitTopology for ImplicitTree {
+    fn node_count(&self) -> usize {
+        self.k
+    }
+
+    fn max_degree(&self) -> usize {
+        match self.k {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            _ => 3,
+        }
+    }
+
+    fn neighbors<'a>(&'a self, v: NodeId, buf: &'a mut Vec<NodeId>) -> &'a [NodeId] {
+        buf.clear();
+        if v > 0 {
+            buf.push((v - 1) / 2);
+        }
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < self.k {
+                buf.push(child);
+            }
+        }
+        buf
+    }
 }
 
 /// Catalogue of named topologies, used by experiment harnesses to sweep
@@ -281,5 +627,144 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn ring_too_small() {
         let _ = ring(2);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_valid_singletons() {
+        assert_eq!(line(0).node_count(), 0);
+        assert_eq!(line(1).node_count(), 1);
+        let hub = star(1);
+        assert_eq!(hub.node_count(), 1);
+        assert_eq!(hub.edge_count(), 0);
+        let k1 = complete(1);
+        assert_eq!(k1.node_count(), 1);
+        assert_eq!(k1.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 node")]
+    fn star_zero_panics() {
+        let _ = star(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1x1")]
+    fn grid_zero_dimension_panics() {
+        let _ = grid(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn grid_size_overflow_panics() {
+        let _ = grid(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn complete_size_overflow_panics() {
+        let _ = complete(usize::MAX);
+    }
+
+    #[test]
+    fn implicit_line_ring_tree_match_generators() {
+        for k in [0usize, 1, 2, 3, 5, 17] {
+            assert_eq!(ImplicitLine { k }.materialize(), line(k), "line k={k}");
+            assert_eq!(
+                ImplicitTree { k }.materialize(),
+                balanced_binary_tree(k),
+                "tree k={k}"
+            );
+        }
+        for k in [3usize, 4, 9, 32] {
+            assert_eq!(ImplicitRing::new(k).materialize(), ring(k), "ring k={k}");
+        }
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = Torus2d::new(4, 4);
+        let g = t.materialize();
+        assert_eq!(g.node_count(), 16);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn torus_degenerate_dimensions() {
+        // 1x1: a singleton, no self-loop.
+        let g = Torus2d::new(1, 1).materialize();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        // 2x2: wrap-around duplicates collapse, leaving a 4-cycle.
+        let g = Torus2d::new(2, 2).materialize();
+        assert_eq!(g.node_count(), 4);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2, "node {v}");
+        }
+        // 1xN: a ring seen from one row.
+        let g = Torus2d::new(1, 5).materialize();
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let h = Hypercube::new(4);
+        let g = h.materialize();
+        assert_eq!(g.node_count(), 16);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert_eq!(g.diameter(), 4);
+        // dim 0: a singleton.
+        assert_eq!(Hypercube::new(0).materialize().node_count(), 1);
+    }
+
+    #[test]
+    fn expander_is_connected_and_symmetric() {
+        for side in [1usize, 2, 3, 5, 8] {
+            // materialize() validates symmetry + simplicity internally.
+            let g = MargulisExpander::new(side).materialize();
+            assert_eq!(g.node_count(), side * side);
+            assert!(g.is_connected(), "side={side} disconnected");
+            let bound = MargulisExpander::new(side).max_degree();
+            for v in 0..g.node_count() {
+                assert!(g.degree(v) <= bound, "side={side} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_max_degree_bounds_hold() {
+        let topos: Vec<(Box<dyn Fn() -> Graph>, usize)> = vec![
+            (
+                Box::new(|| Torus2d::new(3, 7).materialize()),
+                Torus2d::new(3, 7).max_degree(),
+            ),
+            (
+                Box::new(|| Hypercube::new(5).materialize()),
+                Hypercube::new(5).max_degree(),
+            ),
+            (
+                Box::new(|| ImplicitLine { k: 9 }.materialize()),
+                ImplicitLine { k: 9 }.max_degree(),
+            ),
+            (
+                Box::new(|| ImplicitRing::new(6).materialize()),
+                ImplicitRing::new(6).max_degree(),
+            ),
+            (
+                Box::new(|| ImplicitTree { k: 12 }.materialize()),
+                ImplicitTree { k: 12 }.max_degree(),
+            ),
+        ];
+        for (build, bound) in topos {
+            let g = build();
+            for v in 0..g.node_count() {
+                assert!(g.degree(v) <= bound);
+            }
+        }
     }
 }

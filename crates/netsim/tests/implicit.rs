@@ -1,0 +1,507 @@
+//! Differential tests for the million-node scaling features:
+//!
+//! * implicit topologies vs their materialized [`Graph`]s —
+//!   neighbor-for-neighbor equivalence (proptest over `k ≤ 512`, all
+//!   families) and bit-identical engine runs;
+//! * sparse-activity stepping vs dense stepping;
+//! * sharded intra-run delivery vs serial delivery at 1/2/8 threads,
+//!   with and without fault plans.
+
+use dut_netsim::engine::{
+    BandwidthModel, EngineError, EngineScratch, Network, NodeProtocol, Outbox, RunOptions,
+    RunReport,
+};
+use dut_netsim::fault::FaultPlan;
+use dut_netsim::graph::{Graph, ImplicitTopology, NodeId};
+use dut_netsim::topology::{
+    Hypercube, ImplicitLine, ImplicitRing, ImplicitTree, MargulisExpander, Torus2d,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Protocols (same shapes as tests/differential.rs)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Flood {
+    seen: bool,
+}
+
+impl NodeProtocol for Flood {
+    type Msg = ();
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        let newly = (node == 0 && round == 0) || (!self.seen && !inbox.is_empty());
+        if newly {
+            self.seen = true;
+            out.broadcast(());
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.seen
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bfs {
+    dist: Option<u64>,
+}
+
+impl NodeProtocol for Bfs {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        if self.dist.is_some() {
+            return;
+        }
+        if node == 0 && round == 0 {
+            self.dist = Some(0);
+            out.broadcast(1);
+        } else if let Some(&d) = inbox.iter().map(|(_, d)| d).min() {
+            self.dist = Some(d);
+            out.broadcast(d + 1);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.dist.is_some()
+    }
+}
+
+/// Gossip that keeps every node sending for a fixed number of rounds —
+/// a delivery-heavy load that exercises the sharded path hard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Gossip {
+    rounds_left: u64,
+    acc: u64,
+}
+
+impl NodeProtocol for Gossip {
+    type Msg = u64;
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        _round: usize,
+        inbox: &[(NodeId, u64)],
+        out: &mut Outbox<'_, u64>,
+    ) {
+        for &(from, v) in inbox {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(v ^ from as u64);
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            out.broadcast(self.acc.wrapping_add(node as u64));
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn assert_reports_equal<P: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reference: &RunReport<P>,
+    candidate: &RunReport<P>,
+) {
+    assert_eq!(reference.rounds, candidate.rounds, "{label}: rounds");
+    assert_eq!(
+        reference.total_messages, candidate.total_messages,
+        "{label}: total_messages"
+    );
+    assert_eq!(
+        reference.total_bits, candidate.total_bits,
+        "{label}: total_bits"
+    );
+    assert_eq!(
+        reference.max_edge_bits_per_round, candidate.max_edge_bits_per_round,
+        "{label}: max_edge_bits_per_round"
+    );
+    assert_eq!(
+        reference.dropped_messages, candidate.dropped_messages,
+        "{label}: dropped_messages"
+    );
+    assert_eq!(
+        reference.flipped_bits, candidate.flipped_bits,
+        "{label}: flipped_bits"
+    );
+    assert_eq!(reference.nodes, candidate.nodes, "{label}: final states");
+}
+
+fn assert_outcomes_equal<P: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reference: &Result<RunReport<P>, EngineError>,
+    candidate: &Result<RunReport<P>, EngineError>,
+) {
+    match (reference, candidate) {
+        (Ok(r), Ok(c)) => assert_reports_equal(label, r, c),
+        (Err(r), Err(c)) => assert_eq!(r, c, "{label}: error values"),
+        (r, c) => panic!(
+            "{label}: outcomes diverge: reference ok={} vs candidate ok={}",
+            r.is_ok(),
+            c.is_ok()
+        ),
+    }
+}
+
+/// Asserts every node's implicit neighbor list equals the materialized
+/// graph's, in order, and that the degree bound holds.
+fn assert_neighbors_match<T: ImplicitTopology>(label: &str, topo: &T) {
+    let g = topo.materialize();
+    assert_eq!(g.node_count(), topo.node_count(), "{label}: node_count");
+    let mut buf = Vec::new();
+    for v in 0..topo.node_count() {
+        assert_eq!(
+            topo.neighbors(v, &mut buf),
+            g.neighbors(v),
+            "{label}: neighbors of {v}"
+        );
+        assert!(
+            g.degree(v) <= topo.max_degree(),
+            "{label}: degree bound at {v}"
+        );
+    }
+}
+
+/// Runs BFS + Flood on the implicit topology and on its materialized
+/// graph, serial and parallel, asserting bit-identical reports.
+fn assert_runs_match<T: ImplicitTopology>(label: &str, topo: &T) {
+    let g = topo.materialize();
+    let k = g.node_count();
+    if k == 0 {
+        return;
+    }
+    let model = BandwidthModel::Local;
+    let max_rounds = 4 * k + 8;
+
+    let mut mat_net = Network::new(&g, model);
+    let mut imp_net = Network::new(topo, model);
+
+    let mat = mat_net
+        .run(vec![Bfs { dist: None }; k], max_rounds)
+        .unwrap();
+    let imp = imp_net
+        .run(vec![Bfs { dist: None }; k], max_rounds)
+        .unwrap();
+    assert_reports_equal(&format!("{label}/bfs"), &mat, &imp);
+
+    let mut scratch = EngineScratch::new();
+    let imp_par = imp_net
+        .run_with_options(
+            vec![Bfs { dist: None }; k],
+            max_rounds,
+            &mut scratch,
+            &RunOptions::parallel(3),
+        )
+        .unwrap();
+    assert_reports_equal(&format!("{label}/bfs-parallel"), &mat, &imp_par);
+
+    let mat = mat_net
+        .run(vec![Flood { seen: false }; k], max_rounds)
+        .unwrap();
+    let imp = imp_net
+        .run(vec![Flood { seen: false }; k], max_rounds)
+        .unwrap();
+    assert_reports_equal(&format!("{label}/flood"), &mat, &imp);
+}
+
+// ---------------------------------------------------------------------
+// Implicit-vs-materialized equivalence (proptest, k ≤ 512, all families)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn torus_matches_materialized(rows in 1usize..23, cols in 1usize..23) {
+        let t = Torus2d::new(rows, cols);
+        assert_neighbors_match("torus", &t);
+    }
+
+    #[test]
+    fn hypercube_matches_materialized(dim in 0u32..10) {
+        let h = Hypercube::new(dim);
+        assert_neighbors_match("hypercube", &h);
+    }
+
+    #[test]
+    fn expander_matches_materialized(side in 1usize..23) {
+        let e = MargulisExpander::new(side);
+        assert_neighbors_match("expander", &e);
+    }
+
+    #[test]
+    fn line_matches_materialized(k in 0usize..513) {
+        assert_neighbors_match("line", &ImplicitLine { k });
+    }
+
+    #[test]
+    fn ring_matches_materialized(k in 3usize..513) {
+        assert_neighbors_match("ring", &ImplicitRing::new(k));
+    }
+
+    #[test]
+    fn tree_matches_materialized(k in 0usize..513) {
+        assert_neighbors_match("tree", &ImplicitTree { k });
+    }
+
+    #[test]
+    fn engine_runs_match_on_implicit_torus(rows in 2usize..9, cols in 2usize..9) {
+        assert_runs_match("torus", &Torus2d::new(rows, cols));
+    }
+
+    #[test]
+    fn engine_runs_match_on_implicit_expander(side in 2usize..8) {
+        assert_runs_match("expander", &MargulisExpander::new(side));
+    }
+}
+
+#[test]
+fn engine_runs_match_on_fixed_families() {
+    assert_runs_match("torus-4x4", &Torus2d::new(4, 4));
+    assert_runs_match("hypercube-5", &Hypercube::new(5));
+    assert_runs_match("expander-5", &MargulisExpander::new(5));
+    assert_runs_match("line-33", &ImplicitLine { k: 33 });
+    assert_runs_match("ring-32", &ImplicitRing::new(32));
+    assert_runs_match("tree-31", &ImplicitTree { k: 31 });
+}
+
+// ---------------------------------------------------------------------
+// Sparse-activity stepping
+// ---------------------------------------------------------------------
+
+#[test]
+fn sparse_matches_dense_on_wavefront_protocols() {
+    let torus = Torus2d::new(8, 8).materialize();
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("line", dut_netsim::topology::line(40)),
+        ("torus", torus),
+        ("tree", dut_netsim::topology::balanced_binary_tree(31)),
+    ];
+    for (name, g) in &graphs {
+        let k = g.node_count();
+        let mut net = Network::new(g, BandwidthModel::Local);
+        let dense = net.run(vec![Bfs { dist: None }; k], 4 * k).unwrap();
+        let mut scratch = EngineScratch::new();
+        let sparse = net
+            .run_with_options(
+                vec![Bfs { dist: None }; k],
+                4 * k,
+                &mut scratch,
+                &RunOptions::serial().with_sparse(),
+            )
+            .unwrap();
+        assert_reports_equal(&format!("sparse-bfs/{name}"), &dense, &sparse);
+
+        let dense = net.run(vec![Flood { seen: false }; k], 4 * k).unwrap();
+        let mut flood_scratch = EngineScratch::new();
+        let sparse = net
+            .run_with_options(
+                vec![Flood { seen: false }; k],
+                4 * k,
+                &mut flood_scratch,
+                &RunOptions::serial().with_sparse(),
+            )
+            .unwrap();
+        assert_reports_equal(&format!("sparse-flood/{name}"), &dense, &sparse);
+    }
+}
+
+#[test]
+fn sparse_matches_dense_under_faults() {
+    let g = dut_netsim::topology::grid(6, 7);
+    let k = g.node_count();
+    let plans = [
+        FaultPlan::seeded(0xAB01).with_drops(0.12),
+        FaultPlan::seeded(0xAB02).with_flips(0.01).with_crash(1, 2),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 64 });
+        let mut scratch = EngineScratch::new();
+        let dense = net.run_with_options(
+            vec![Bfs { dist: None }; k],
+            4 * k,
+            &mut scratch,
+            &RunOptions::serial().with_faults(plan.clone()),
+        );
+        let sparse = net.run_with_options(
+            vec![Bfs { dist: None }; k],
+            4 * k,
+            &mut scratch,
+            &RunOptions::serial().with_faults(plan.clone()).with_sparse(),
+        );
+        assert_outcomes_equal(&format!("sparse-faulted/{i}"), &dense, &sparse);
+    }
+}
+
+#[test]
+fn sparse_round_limit_error_matches_dense() {
+    // A flood that can never reach quiescence because node 0 never
+    // starts: every inbox stays empty, nodes stay not-done, and both
+    // modes must report the same RoundLimit error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct NeverDone;
+    impl NodeProtocol for NeverDone {
+        type Msg = ();
+        fn on_round(
+            &mut self,
+            _node: NodeId,
+            _round: usize,
+            _inbox: &[(NodeId, ())],
+            _out: &mut Outbox<'_, ()>,
+        ) {
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    let g = dut_netsim::topology::line(6);
+    let mut net = Network::new(&g, BandwidthModel::Local);
+    let dense = net.run(vec![NeverDone; 6], 12).unwrap_err();
+    let mut scratch = EngineScratch::new();
+    let sparse = net
+        .run_with_options(
+            vec![NeverDone; 6],
+            12,
+            &mut scratch,
+            &RunOptions::serial().with_sparse(),
+        )
+        .unwrap_err();
+    assert_eq!(dense, sparse);
+    assert_eq!(dense, EngineError::RoundLimit { max_rounds: 12 });
+}
+
+// ---------------------------------------------------------------------
+// Sharded delivery bit-identity
+// ---------------------------------------------------------------------
+
+fn gossip_states(k: usize) -> Vec<Gossip> {
+    (0..k)
+        .map(|v| Gossip {
+            rounds_left: 5 + (v as u64 % 3),
+            acc: v as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_delivery_matches_serial_at_all_thread_counts() {
+    let torus = Torus2d::new(16, 16);
+    let k = torus.node_count();
+    let mut net = Network::new(&torus, BandwidthModel::Local);
+    let serial = net.run(gossip_states(k), 64).unwrap();
+    for threads in [1usize, 2, 8] {
+        let mut scratch = EngineScratch::new();
+        let opts = RunOptions::parallel(threads).with_shard_delivery(0);
+        let sharded = net
+            .run_with_options(gossip_states(k), 64, &mut scratch, &opts)
+            .unwrap();
+        assert_reports_equal(&format!("sharded/{threads}"), &serial, &sharded);
+    }
+}
+
+#[test]
+fn sharded_delivery_matches_serial_under_fault_plans() {
+    let torus = Torus2d::new(12, 12);
+    let k = torus.node_count();
+    let plans = [
+        FaultPlan::seeded(0xC001).with_drops(0.1),
+        FaultPlan::seeded(0xC002).with_flips(0.02),
+        FaultPlan::seeded(0xC003)
+            .with_drops(0.05)
+            .with_flips(0.01)
+            .with_crash(3, 2),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        let mut net = Network::new(&torus, BandwidthModel::Local);
+        let mut scratch = EngineScratch::new();
+        let serial = net.run_with_options(
+            gossip_states(k),
+            64,
+            &mut scratch,
+            &RunOptions::serial().with_faults(plan.clone()),
+        );
+        for threads in [2usize, 8] {
+            let opts = RunOptions::parallel(threads)
+                .with_faults(plan.clone())
+                .with_shard_delivery(0);
+            let sharded = net.run_with_options(gossip_states(k), 64, &mut scratch, &opts);
+            assert_outcomes_equal(&format!("sharded-faulted/{i}/{threads}"), &serial, &sharded);
+        }
+    }
+}
+
+#[test]
+fn shard_threshold_gates_per_round() {
+    // With a threshold higher than any round's message count, sharding
+    // never engages; results must still match (it is the same serial
+    // path).
+    let torus = Torus2d::new(10, 10);
+    let k = torus.node_count();
+    let mut net = Network::new(&torus, BandwidthModel::Local);
+    let serial = net.run(gossip_states(k), 64).unwrap();
+    let mut scratch = EngineScratch::new();
+    let opts = RunOptions::parallel(4).with_shard_delivery(usize::MAX);
+    let gated = net
+        .run_with_options(gossip_states(k), 64, &mut scratch, &opts)
+        .unwrap();
+    assert_reports_equal("shard-gated", &serial, &gated);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_network_is_a_typed_error() {
+    let g = dut_netsim::topology::line(0);
+    let mut net = Network::new(&g, BandwidthModel::Local);
+    assert_eq!(
+        net.run(Vec::<Flood>::new(), 8).unwrap_err(),
+        EngineError::EmptyNetwork
+    );
+    let mut scratch = EngineScratch::new();
+    assert_eq!(
+        net.run_with_options(
+            Vec::<Flood>::new(),
+            8,
+            &mut scratch,
+            &RunOptions::parallel(4)
+        )
+        .unwrap_err(),
+        EngineError::EmptyNetwork
+    );
+    assert_eq!(
+        dut_netsim::reference::run_reference(&g, BandwidthModel::Local, Vec::<Flood>::new(), 8)
+            .unwrap_err(),
+        EngineError::EmptyNetwork
+    );
+}
+
+#[test]
+fn singleton_networks_run() {
+    for g in [
+        dut_netsim::topology::line(1),
+        dut_netsim::topology::star(1),
+        dut_netsim::topology::complete(1),
+        Torus2d::new(1, 1).materialize(),
+    ] {
+        let mut net = Network::new(&g, BandwidthModel::Local);
+        let report = net.run(vec![Flood { seen: false }; 1], 8).unwrap();
+        // Node 0 marks itself seen in round 0 and has no one to tell.
+        assert!(report.nodes[0].seen);
+        assert_eq!(report.total_messages, 0);
+    }
+}

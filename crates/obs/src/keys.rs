@@ -48,6 +48,24 @@ registry! {
     /// Histogram: per-run max bits on any directed edge in any round.
     NETSIM_RUN_MAX_EDGE_BITS = "netsim.run.max_edge_bits";
 
+    // ------------------------------------------- netsim scale-out (PR 8)
+
+    /// Counter: rounds whose delivery ran the sharded (multi-threaded
+    /// counting-sort) path. Recorded only when sharding is opted into
+    /// via `RunOptions::with_shard_delivery` and the round cleared the
+    /// size threshold.
+    NETSIM_SHARD_ROUNDS = "netsim.shard.rounds";
+    /// Counter: messages delivered by sharded rounds (subset of
+    /// `netsim.messages`).
+    NETSIM_SHARD_MESSAGES = "netsim.shard.messages";
+    /// Counter: rounds stepped in sparse-activity mode (only nodes with
+    /// pending messages visited). Recorded only under
+    /// `RunOptions::with_sparse`.
+    NETSIM_SPARSE_ROUNDS = "netsim.sparse.rounds";
+    /// Histogram: nodes visited in one sparse-activity round (round 0
+    /// visits all nodes and is not recorded).
+    NETSIM_SPARSE_ACTIVE_NODES = "netsim.sparse.active_nodes";
+
     // -------------------------------------------------- netsim fault layer
 
     /// Counter: messages dropped in transit by fault injection (the sender
