@@ -68,7 +68,7 @@ lane_overflow() {
 }
 
 lane_experiments_smoke() {
-    echo "==> experiments smoke (E1-E14 quick scale, verdicts vs EXPERIMENTS.md)"
+    echo "==> experiments smoke (E1-E15 quick scale, verdicts vs EXPERIMENTS.md)"
     cargo run --release -p dut-bench --bin experiments -- --quick --check all > /dev/null
 }
 
@@ -86,6 +86,30 @@ lane_netsim_scale() {
     cargo test --release -p dut-netsim --test scale -q -- --ignored
     echo "==> netsim-scale lane (implicit-vs-materialized + sharded/sparse differential)"
     cargo test --release -p dut-netsim --test implicit -q
+}
+
+lane_chaos() {
+    echo "==> chaos lane (boundary-search regression: pinned minimal witness, thread-invariant)"
+    # The pinned-witness test fails if the fixed-seed fault-boundary
+    # search stops reproducing its recorded minimal fault plan and
+    # drop/flip frontiers bit-identically.
+    cargo test --release -p dut-testkit chaos -q
+    echo "==> chaos lane (E15 soak verdict, quick scale)"
+    cargo run --release -p dut-bench --bin experiments -- --quick --check e15 > /dev/null
+    echo "==> chaos lane (30-second seeded wall-clock soak smoke)"
+    # The zero-silent-flips invariant holds at ANY horizon (unlike 100%
+    # pipeline survival, which only the pinned fixed-budget ticks
+    # guarantee), so the smoke audits it from the per-tick JSONL trail.
+    local soak_jsonl
+    soak_jsonl="$(mktemp)"
+    cargo run --release -p dut-bench --bin experiments -- \
+        --quick --soak 30 --metrics "${soak_jsonl}" > /dev/null
+    if grep -q '"soak.verdict_flips":[1-9]' "${soak_jsonl}"; then
+        echo "chaos lane: silent verdict flip during wall-clock soak" >&2
+        rm -f "${soak_jsonl}"
+        exit 1
+    fi
+    rm -f "${soak_jsonl}"
 }
 
 lane_perf_gate() {
@@ -108,7 +132,7 @@ lane_msrv() {
     fi
 }
 
-LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream netsim-scale perf-gate msrv)
+LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream netsim-scale chaos perf-gate msrv)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${LANES[@]}"
@@ -126,6 +150,7 @@ run_lane() {
         experiments-smoke) lane_experiments_smoke ;;
         stream) lane_stream ;;
         netsim-scale) lane_netsim_scale ;;
+        chaos) lane_chaos ;;
         perf-gate) lane_perf_gate ;;
         msrv) lane_msrv ;;
         *)

@@ -26,6 +26,10 @@
 //! `TOL` (default 0.002), cutting wall-clock time without changing any
 //! verdict; intervals and trial counts do change, so recorded
 //! EXPERIMENTS.md tables are regenerated without the flag.
+//! `--soak SECS` replaces the E15 soak loop's fixed tick budget with a
+//! wall-clock horizon (and implies `e15` when no ids are listed) —
+//! tick contents stay seed-pure, so the JSONL audit trail is
+//! reproducible per tick at any duration.
 //! Experiment ids are zero-pad tolerant: `e06` names `e6`.
 
 use dut_bench::{
@@ -37,7 +41,8 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: experiments [--quick] [--list] [--check] [--threads N] [--checkpoint dir] \
-     [--adaptive[=TOL]] [--json out.json] [--metrics out.jsonl] (all | e1 .. e14)+";
+     [--adaptive[=TOL]] [--soak SECS] [--json out.json] [--metrics out.jsonl] \
+     (all | e1 .. e15)+";
 
 /// Interval tolerance a bare `--adaptive` uses: tight enough that every
 /// E1 verdict margin survives, loose enough to stop clear-cut cells
@@ -52,6 +57,7 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut adaptive: Option<f64> = None;
+    let mut soak: Option<std::time::Duration> = None;
     let mut check = false;
     let mut expect_value_for: Option<&str> = None;
     for a in &args {
@@ -60,6 +66,13 @@ fn main() {
                 "--json" => json_path = Some(a.clone()),
                 "--metrics" => metrics_path = Some(a.clone()),
                 "--checkpoint" => checkpoint_dir = Some(PathBuf::from(a)),
+                "--soak" => match a.parse::<u64>() {
+                    Ok(secs) if secs > 0 => soak = Some(std::time::Duration::from_secs(secs)),
+                    _ => {
+                        eprintln!("--soak needs a positive number of seconds, got {a}");
+                        std::process::exit(2);
+                    }
+                },
                 _ => match a.parse::<usize>() {
                     Ok(n) => dut_core::montecarlo::set_default_threads(n),
                     Err(_) => {
@@ -74,6 +87,7 @@ fn main() {
             "--json" => expect_value_for = Some("--json"),
             "--metrics" => expect_value_for = Some("--metrics"),
             "--checkpoint" => expect_value_for = Some("--checkpoint"),
+            "--soak" => expect_value_for = Some("--soak"),
             "--threads" | "-j" => expect_value_for = Some("--threads"),
             "--check" => check = true,
             "--adaptive" => adaptive = Some(DEFAULT_ADAPTIVE_TOL),
@@ -113,8 +127,13 @@ fn main() {
         std::process::exit(2);
     }
     if ids.is_empty() {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+        if soak.is_some() {
+            // `experiments --soak SECS` alone means: run the soak.
+            ids.push("e15".to_string());
+        } else {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
     ids.dedup();
 
@@ -163,6 +182,7 @@ fn main() {
                 log: &mut log,
                 checkpoint: checkpoint.as_mut(),
                 adaptive,
+                soak,
             },
         );
         for table in &tables {

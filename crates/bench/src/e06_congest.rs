@@ -224,10 +224,10 @@ fn run_implicit(
         let mut rej_f = 0usize;
         let mut sink = MemorySink::new();
         let record = |log: &mut MetricsLog,
-                          sink: &MemorySink,
-                          input: &str,
-                          trial: usize,
-                          r: &dut_congest::CongestRunResult| {
+                      sink: &MemorySink,
+                      input: &str,
+                      trial: usize,
+                      r: &dut_congest::CongestRunResult| {
             if !log.enabled() {
                 return;
             }

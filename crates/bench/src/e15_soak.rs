@@ -1,0 +1,385 @@
+//! E15 — soak harness: long-horizon streaming + robust CONGEST under a
+//! sustained fault rate.
+//!
+//! Every other experiment measures one protocol run (or a short sweep)
+//! in isolation; the soak harness measures *stability over time*. A
+//! seeded tick loop pushes continuous traffic through a persistent
+//! [`StreamService`] (uniform and Paninski-far streams, each sample
+//! surviving a sustained ingest drop coin) and drives one robust
+//! τ-token packaging run per tick under a fault plan combining a low
+//! message-drop rate with a scheduled crash/rejoin cycle of varying
+//! outage length. Three long-horizon claims become machine-checkable:
+//!
+//! * **No silent verdict flips** — once the coordinator resolves a
+//!   verdict (Uniform/Far) it never flips to the opposite resolved
+//!   verdict on a later tick, and resolved verdicts match the traffic.
+//! * **Bounded retransmit growth** — per-tick ARQ retransmissions stay
+//!   flat across the horizon (no state leaks across ticks), so
+//!   cumulative retransmits grow at most linearly.
+//! * **Recovery** — every scheduled crash/rejoin cycle is absorbed by
+//!   the outage-widened retry policy; the recovery-time histogram
+//!   (downtime rounds per absorbed rejoin) covers every scheduled
+//!   outage length.
+//!
+//! Each tick is a pure function of its tick index (all seeds derive
+//! from `base_seed ^ tick`), so the `dut-metrics/1` audit trail is
+//! reproducible per tick whether the horizon is a fixed tick budget
+//! (`--check`, tests) or a wall-clock bound (`--soak SECS`).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::metrics::MetricsLog;
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+use dut_congest::{robust_bandwidth_model, solve_token_packaging_robust};
+use dut_distributions::families::paninski_far;
+use dut_distributions::DiscreteDistribution;
+use dut_netsim::fault::FaultPlan;
+use dut_netsim::topology;
+use dut_obs::keys::{
+    SOAK_DROPPED_SAMPLES, SOAK_PIPELINE_FAILURES, SOAK_PIPELINE_RUNS, SOAK_RECOVERY_ROUNDS,
+    SOAK_RETRANSMITS, SOAK_SAMPLES, SOAK_TICKS, SOAK_VERDICT_FLIPS,
+};
+use dut_obs::{MemorySink, RunRecord, Sink};
+use dut_stream::{StreamConfig, StreamService, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// splitmix64 — one deterministic, well-mixed child seed per (parent,
+/// salt) pair, the same derivation discipline the chaos search uses.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Uniform => "Uniform",
+        Verdict::Far => "Far",
+        Verdict::Pending => "Pending",
+    }
+}
+
+/// Tracks one coordinator verdict across ticks and counts *silent
+/// flips*: a resolved verdict changing to the other resolved verdict.
+/// Pending→resolved transitions are not flips.
+#[derive(Debug, Default)]
+struct FlipTracker {
+    last_resolved: Option<Verdict>,
+}
+
+impl FlipTracker {
+    fn observe(&mut self, cur: Verdict) -> bool {
+        if cur == Verdict::Pending {
+            return false;
+        }
+        let flipped = self.last_resolved.is_some_and(|prev| prev != cur);
+        self.last_resolved = Some(cur);
+        flipped
+    }
+}
+
+fn unique_tokens(k: usize, per_node: usize) -> Vec<Vec<u64>> {
+    let mut next = 0u64;
+    (0..k)
+        .map(|_| {
+            (0..per_node)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs E15 with the fixed tick budget (`Quick` 6 / `Full` 24) — the
+/// configuration the tests, `--check`, and EXPERIMENTS.md use.
+pub fn run(scale: Scale, log: &mut MetricsLog) -> Vec<Table> {
+    run_soak(scale, log, None)
+}
+
+/// Runs the soak loop. `wall = None` runs the fixed tick budget;
+/// `wall = Some(d)` keeps ticking until `d` has elapsed (at least one
+/// tick) — the `experiments --soak SECS` mode. Tick *contents* are
+/// identical either way: tick `t` is a pure function of `t`.
+///
+/// Appends one `dut-metrics/1` record per tick to `log` (params: tick,
+/// outage, verdicts, outcome; counters: per-tick `soak.*` + `stream.*`
+/// + ARQ totals; histogram: `soak.recovery_rounds`).
+pub fn run_soak(scale: Scale, log: &mut MetricsLog, wall: Option<Duration>) -> Vec<Table> {
+    // Streaming side: a persistent sharded service per traffic kind,
+    // windows sliding across the whole horizon.
+    let n = 1024usize;
+    let eps = 1.0;
+    let streams = 8u64;
+    let window = 192usize;
+    let per_stream = 96usize; // samples offered per stream per tick
+    let ingest_drop = 0.10; // sustained transport loss before the service
+    let reject_threshold = streams as usize / 2;
+    let base_seed = 0xE15_50AC;
+
+    // CONGEST side: the line-of-8 instance whose crash/rejoin phase
+    // timing is pinned by the dut-congest robust tests — node 6 crashes
+    // at round 4 (after the floods pass it, before node 5's residue
+    // report lands) and rejoins `outage` rounds later; the
+    // outage-widened retry policy must absorb every cycle.
+    let g = topology::line(8);
+    let k = g.node_count();
+    let tokens = unique_tokens(k, 2);
+    let ids: Vec<u64> = (1..=k as u64).collect();
+    let tau = 3usize;
+    let max_retries = 3usize;
+    let message_drop = 1e-3; // sustained wire loss under the ARQ layer
+    let crash_node = 6usize;
+    let crash_round = 4usize;
+    let model = robust_bandwidth_model();
+
+    let ticks_budget = scale.pick(6usize, 24);
+
+    let uniform = DiscreteDistribution::uniform(n);
+    let far = paninski_far(n, eps).expect("valid far instance");
+    let config = |seed_salt: u64| StreamConfig {
+        domain: n,
+        epsilon: eps,
+        window,
+        shards: 2,
+        reject_threshold,
+        base_seed: mix(base_seed, seed_salt),
+    };
+    let mut svc_u = StreamService::new(config(0xA0)).expect("valid config");
+    let mut svc_f = StreamService::new(config(0xA1)).expect("valid config");
+
+    let mut t_ticks = Table::new(
+        "E15: soak tick log (streaming + robust CONGEST under sustained faults)",
+        format!(
+            "n = {n}, ε = 1, {streams} streams x {per_stream} samples/tick, window = \
+             {window}, ingest drop = {ingest_drop}; line(8) robust packaging per tick, \
+             τ = {tau}, retries ≤ {max_retries}, wire drop = {message_drop}, node \
+             {crash_node} crashes at round {crash_round} and rejoins after the \
+             scheduled outage. Resolved verdicts must never flip, every outage must \
+             be absorbed, and per-tick retransmits must stay flat.",
+        ),
+        &[
+            "tick",
+            "ingested",
+            "dropped",
+            "verdict(U)",
+            "verdict(far)",
+            "flips",
+            "pipeline",
+            "outage",
+            "retransmits",
+        ],
+    );
+
+    // outage rounds → (scheduled, recovered, retransmits over recoveries)
+    let mut recovery: BTreeMap<usize, (usize, usize, u64)> = BTreeMap::new();
+    let mut flips_u = FlipTracker::default();
+    let mut flips_f = FlipTracker::default();
+    let mut total_flips = 0u64;
+    let mut sink = MemorySink::new();
+
+    let started = Instant::now();
+    let mut tick = 0usize;
+    loop {
+        match wall {
+            Some(d) => {
+                if tick > 0 && started.elapsed() >= d {
+                    break;
+                }
+            }
+            None => {
+                if tick == ticks_budget {
+                    break;
+                }
+            }
+        }
+        let tick_seed = mix(base_seed, tick as u64);
+        sink.reset();
+        sink.add(SOAK_TICKS, 1);
+
+        // ---- streaming burst: both services see the same transport,
+        // so one drop coin per slot governs both samples.
+        let mut drop_rng = StdRng::seed_from_u64(mix(tick_seed, 0xD0));
+        let mut rngs_u: Vec<StdRng> = (0..streams)
+            .map(|l| {
+                StdRng::seed_from_u64(dut_core::executor::derive_trial_seed(
+                    mix(tick_seed, 0x7A),
+                    l,
+                ))
+            })
+            .collect();
+        let mut rngs_f: Vec<StdRng> = (0..streams)
+            .map(|l| {
+                StdRng::seed_from_u64(dut_core::executor::derive_trial_seed(
+                    mix(tick_seed, 0x7B),
+                    l,
+                ))
+            })
+            .collect();
+        let mut ingested = 0u64;
+        let mut dropped = 0u64;
+        for _ in 0..per_stream {
+            for label in 0..streams {
+                let su = uniform.sample(&mut rngs_u[label as usize]);
+                let sf = far.sample(&mut rngs_f[label as usize]);
+                if drop_rng.gen_bool(ingest_drop) {
+                    dropped += 2;
+                } else {
+                    ingested += 2;
+                    svc_u
+                        .ingest_observed(label, su, &mut sink)
+                        .expect("in-domain");
+                    svc_f
+                        .ingest_observed(label, sf, &mut sink)
+                        .expect("in-domain");
+                }
+            }
+        }
+        sink.add(SOAK_SAMPLES, ingested);
+        sink.add(SOAK_DROPPED_SAMPLES, dropped);
+
+        let vu = svc_u.global_verdict_observed(&mut sink).value;
+        let vf = svc_f.global_verdict_observed(&mut sink).value;
+        let tick_flips = u64::from(flips_u.observe(vu)) + u64::from(flips_f.observe(vf));
+        total_flips += tick_flips;
+        sink.add(SOAK_VERDICT_FLIPS, tick_flips);
+
+        // ---- robust CONGEST run under this tick's fault plan.
+        let outage = 4 + 2 * (tick % 3); // 4, 6, 8 rounds of downtime
+        let plan = FaultPlan::seeded(mix(tick_seed, 0xFA))
+            .with_drops(message_drop)
+            .with_crash(crash_node, crash_round)
+            .with_rejoin(crash_node, crash_round + outage);
+        sink.add(SOAK_PIPELINE_RUNS, 1);
+        let outcome = solve_token_packaging_robust(
+            &g,
+            &tokens,
+            &ids,
+            tau,
+            model,
+            &plan,
+            max_retries,
+            &mut sink,
+        );
+        let entry = recovery.entry(outage).or_insert((0, 0, 0));
+        entry.0 += 1;
+        let (pipeline, retransmits) = match &outcome {
+            Ok((_, stats)) => {
+                entry.1 += 1;
+                entry.2 += stats.retransmits;
+                sink.add(SOAK_RETRANSMITS, stats.retransmits);
+                sink.observe(SOAK_RECOVERY_ROUNDS, outage as u64);
+                ("ok", stats.retransmits)
+            }
+            Err(_) => {
+                sink.add(SOAK_PIPELINE_FAILURES, 1);
+                ("overwhelmed", 0)
+            }
+        };
+
+        if log.enabled() {
+            let rec = RunRecord::new("e15", &format!("tick{tick}"))
+                .param("tick", tick)
+                .param("outage", outage)
+                .param("ingested", ingested)
+                .param("verdict_u", verdict_name(vu))
+                .param("verdict_far", verdict_name(vf))
+                .param("outcome", pipeline);
+            log.write(&rec, &sink).expect("metrics write");
+        }
+
+        t_ticks.push_row(vec![
+            tick.to_string(),
+            ingested.to_string(),
+            dropped.to_string(),
+            verdict_name(vu).to_string(),
+            verdict_name(vf).to_string(),
+            total_flips.to_string(),
+            pipeline.to_string(),
+            outage.to_string(),
+            retransmits.to_string(),
+        ]);
+        tick += 1;
+    }
+
+    let mut t_recovery = Table::new(
+        "E15: recovery-time histogram (scheduled crash/rejoin cycles)",
+        "Downtime rounds per scheduled outage vs how many of those cycles the \
+         outage-widened retry policy absorbed (run completed with exact packages). \
+         `recovered` must equal `scheduled` — a recoverable outage never surfaces \
+         as FaultOverwhelmed — and mean retransmits grow with the outage length, \
+         the price of bridging the gap."
+            .to_string(),
+        &[
+            "outage rounds",
+            "scheduled",
+            "recovered",
+            "mean retransmits",
+        ],
+    );
+    for (outage, (scheduled, recovered, retx)) in &recovery {
+        t_recovery.push_row(vec![
+            outage.to_string(),
+            scheduled.to_string(),
+            recovered.to_string(),
+            fmt_f(*retx as f64 / (*recovered).max(1) as f64),
+        ]);
+    }
+
+    vec![t_ticks, t_recovery]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_obs::keys::STREAM_PUSHES;
+
+    #[test]
+    fn quick_soak_holds_the_e15_verdict() {
+        let tables = run(Scale::Quick, &mut MetricsLog::disabled());
+        assert_eq!(tables.len(), 2);
+        crate::verdict::check("e15", &tables).unwrap();
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let a = run(Scale::Quick, &mut MetricsLog::disabled());
+        let b = run(Scale::Quick, &mut MetricsLog::disabled());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_log_one_record_per_tick() {
+        let mut log = MetricsLog::buffer();
+        let tables = run(Scale::Quick, &mut log);
+        assert_eq!(log.records(), tables[0].rows.len());
+        for line in log.lines() {
+            assert!(line.starts_with("{\"schema\":\"dut-metrics/1\""));
+            assert!(line.contains("\"experiment\":\"e15\""));
+            assert!(line.contains(SOAK_TICKS));
+            assert!(line.contains(STREAM_PUSHES));
+            assert!(line.contains(SOAK_RECOVERY_ROUNDS));
+        }
+        // Logging must not perturb the soak.
+        let plain = run(Scale::Quick, &mut MetricsLog::disabled());
+        assert_eq!(plain, tables);
+    }
+
+    #[test]
+    fn wall_clock_mode_runs_at_least_one_tick_with_identical_contents() {
+        let mut log = MetricsLog::disabled();
+        let timed = run_soak(Scale::Quick, &mut log, Some(Duration::ZERO));
+        assert!(!timed[0].rows.is_empty());
+        // Tick t is a pure function of t: the wall-clock run's prefix
+        // must match the fixed-budget run row for row.
+        let fixed = run(Scale::Quick, &mut MetricsLog::disabled());
+        for (a, b) in timed[0].rows.iter().zip(&fixed[0].rows) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod e11_identity;
 pub mod e12_lowerbound;
 pub mod e13_faults;
 pub mod e14_streaming;
+pub mod e15_soak;
 pub mod metrics;
 pub mod table;
 pub mod verdict;
@@ -62,8 +63,8 @@ impl Scale {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Canonicalizes a user-typed experiment id: strips leading zeros
@@ -100,6 +101,11 @@ pub struct ExperimentCtx<'a> {
     /// trading interval tightness for wall-clock time without changing
     /// any verdict.
     pub adaptive: Option<f64>,
+    /// Wall-clock soak horizon (`--soak SECS`): `Some(d)` keeps the E15
+    /// soak loop ticking until `d` elapses instead of running the fixed
+    /// per-scale tick budget. Tick contents are seed-pure either way;
+    /// every other experiment ignores it.
+    pub soak: Option<std::time::Duration>,
 }
 
 /// Runs one experiment by (canonical) id, returning its rendered
@@ -127,6 +133,7 @@ pub fn run_experiment_ctx(id: &str, ctx: ExperimentCtx<'_>) -> Vec<Table> {
         "e12" => e12_lowerbound::run(ctx.scale),
         "e13" => e13_faults::run(ctx.scale, ctx.log),
         "e14" => e14_streaming::run(ctx.scale, ctx.log),
+        "e15" => e15_soak::run_soak(ctx.scale, ctx.log, ctx.soak),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -145,6 +152,7 @@ pub fn run_experiment(id: &str, scale: Scale, log: &mut MetricsLog) -> Vec<Table
             log,
             checkpoint: None,
             adaptive: None,
+            soak: None,
         },
     )
 }

@@ -61,6 +61,7 @@ pub fn check(id: &str, tables: &[Table]) -> Result<(), String> {
         "e12" => check_e12(tables),
         "e13" => check_e13(tables),
         "e14" => check_e14(tables),
+        "e15" => check_e15(tables),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -409,6 +410,57 @@ fn check_e14(tables: &[Table]) -> Result<(), String> {
         };
         if row[2] != expect {
             return Err(fail(sep, row, "coordinator verdict misses the input"));
+        }
+    }
+    Ok(())
+}
+
+/// E15 (soak harness): zero silent verdict flips across the horizon,
+/// resolved verdicts match the traffic (and end resolved), every
+/// scheduled crash/rejoin cycle recovered, and per-tick retransmits
+/// stay flat (second-half mean ≤ 2x first-half mean + 8).
+fn check_e15(tables: &[Table]) -> Result<(), String> {
+    let t = &tables[0];
+    if t.rows.len() < 4 {
+        return Err(format!("{}: too few ticks", t.title));
+    }
+    let mut retx = Vec::new();
+    for row in &t.rows {
+        if row[3] == "Far" {
+            return Err(fail(t, row, "uniform traffic resolved Far"));
+        }
+        if row[4] == "Uniform" {
+            return Err(fail(t, row, "far traffic resolved Uniform"));
+        }
+        if row[5] != "0" {
+            return Err(fail(t, row, "silent verdict flip"));
+        }
+        if row[6] != "ok" {
+            return Err(fail(t, row, "pipeline run not absorbed"));
+        }
+        retx.push(num(t, row, 8)?);
+    }
+    let last = t.rows.last().expect("non-empty");
+    if last[3] != "Uniform" || last[4] != "Far" {
+        return Err(fail(t, last, "horizon ends with an unresolved verdict"));
+    }
+    let half = retx.len() / 2;
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let (early, late) = (mean(&retx[..half]), mean(&retx[half..]));
+    if late > 2.0 * early + 8.0 {
+        return Err(format!(
+            "{}: retransmit growth not bounded (first-half mean {early:.2}, \
+             second-half mean {late:.2})",
+            t.title
+        ));
+    }
+    let h = &tables[1];
+    if h.rows.len() < 2 {
+        return Err(format!("{}: recovery histogram too narrow", h.title));
+    }
+    for row in &h.rows {
+        if num(h, row, 1)? != num(h, row, 2)? {
+            return Err(fail(h, row, "scheduled outage not recovered"));
         }
     }
     Ok(())

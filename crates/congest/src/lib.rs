@@ -26,6 +26,6 @@ pub mod robust;
 pub mod tester;
 
 pub use codec::{CodedWord, JustesenCodec};
-pub use packaging::{solve_token_packaging, PackagingError, PackagingResult};
+pub use packaging::{solve_token_packaging, PackagingError, PackagingResult, RobustStage};
 pub use robust::{robust_bandwidth_model, solve_token_packaging_robust, RobustStats};
 pub use tester::{CongestError, CongestRunResult, CongestUniformityTester, RobustRunResult};

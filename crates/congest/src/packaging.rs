@@ -198,12 +198,46 @@ pub enum PackagingError {
     /// reliable residue phase gave up on `failures` subtree reports
     /// despite retries (quotas would be inconsistent), or the
     /// forwarding phase lost `failures` tokens in flight (packages
-    /// would come out short).
+    /// would come out short). The context fields locate the frontier:
+    /// which stage broke, how deep into the pipeline, and how much of
+    /// the stage's conserved quantity survived.
     FaultOverwhelmed {
         /// Deliveries lost for good: subtree reports the retry budget
         /// could not recover, or tokens dropped during forwarding.
         failures: u64,
+        /// The pipeline stage whose conservation check failed.
+        stage: RobustStage,
+        /// Cumulative pipeline round (across all phases) at which the
+        /// failing stage finished.
+        round: usize,
+        /// Units the stage had to deliver: subtree reports
+        /// ([`RobustStage::Residue`]) or tokens
+        /// ([`RobustStage::Forwarding`]).
+        expected: u64,
+        /// Units that actually survived the stage.
+        observed: u64,
     },
+}
+
+/// The robust-pipeline stage a [`PackagingError::FaultOverwhelmed`]
+/// report points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RobustStage {
+    /// The reliable (ack/retry) residue convergecast: the retry budget
+    /// gave up on one or more subtree token-count reports.
+    Residue,
+    /// Pipelined token forwarding: tokens were dropped in flight and
+    /// the conservation check caught the shortfall.
+    Forwarding,
+}
+
+impl std::fmt::Display for RobustStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RobustStage::Residue => write!(f, "residue"),
+            RobustStage::Forwarding => write!(f, "forwarding"),
+        }
+    }
 }
 
 impl std::fmt::Display for PackagingError {
@@ -215,9 +249,17 @@ impl std::fmt::Display for PackagingError {
                 "input lengths mismatch: {nodes} nodes but {tokens} token lists and {ids} ids"
             ),
             PackagingError::Engine(e) => write!(f, "packaging protocol failed: {e}"),
-            PackagingError::FaultOverwhelmed { failures } => write!(
+            PackagingError::FaultOverwhelmed {
+                failures,
+                stage,
+                round,
+                expected,
+                observed,
+            } => write!(
                 f,
-                "faults overwhelmed the robust pipeline: {failures} deliveries lost for good"
+                "faults overwhelmed the robust pipeline at the {stage} stage \
+                 (pipeline round {round}): {failures} deliveries lost for good, \
+                 {observed}/{expected} units survived"
             ),
         }
     }

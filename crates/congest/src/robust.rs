@@ -25,7 +25,8 @@
 
 use crate::codec::JustesenCodec;
 use crate::packaging::{
-    cut_packages, forward_round_limit, forward_states, tokens_lost, PackagingError, PackagingResult,
+    cut_packages, forward_round_limit, forward_states, tokens_lost, PackagingError,
+    PackagingResult, RobustStage,
 };
 use dut_netsim::algorithms::coded::{codec_stats, CodedProtocol};
 use dut_netsim::algorithms::{
@@ -120,7 +121,11 @@ pub fn solve_token_packaging_robust<T: ImplicitTopology>(
     // counts — c(v) = subtree_count(v) mod τ, which telescopes to the
     // paper's bottom-up residue.
     let counts: Vec<u64> = tokens.iter().map(|t| t.len() as u64).collect();
-    let policy = RetryPolicy::for_tree(&tree, max_retries);
+    // Size the retry policy for the worst scheduled outage: a node that
+    // crashes and rejoins must find its ARQ peers still retrying, so a
+    // recoverable outage never surfaces as FaultOverwhelmed.
+    let policy =
+        RetryPolicy::for_tree(&tree, max_retries).allowing_outage(plan.max_outage_rounds());
     let (sums, residue_cost, residue_stats) = reliable_convergecast_sums_coded(
         g,
         &tree,
@@ -135,8 +140,15 @@ pub fn solve_token_packaging_robust<T: ImplicitTopology>(
     stats.retransmits += residue_cost.retransmits;
     stats.failures += residue_cost.failures;
     if residue_cost.failures > 0 {
+        // One report expected per non-root node; every failure is a
+        // report (or its ack chain) the retry budget could not land.
+        let expected = (k - 1) as u64;
         return Err(PackagingError::FaultOverwhelmed {
             failures: residue_cost.failures,
+            stage: RobustStage::Residue,
+            round: rounds_leader + rounds_bfs + residue_cost.rounds,
+            expected,
+            observed: expected.saturating_sub(residue_cost.failures),
         });
     }
     let quotas: Vec<u64> = sums.iter().map(|&s| s % tau as u64).collect();
@@ -168,6 +180,10 @@ pub fn solve_token_packaging_robust<T: ImplicitTopology>(
     if lost > 0 {
         return Err(PackagingError::FaultOverwhelmed {
             failures: lost as u64,
+            stage: RobustStage::Forwarding,
+            round: rounds_leader + rounds_bfs + residue_cost.rounds + forward_report.rounds,
+            expected: total as u64,
+            observed: (total - lost) as u64,
         });
     }
 
@@ -292,6 +308,84 @@ mod tests {
                 assert_eq!(k - packaged, r.discarded);
             }
             Err(e) => panic!("seed chosen to survive 10% drops: {e}"),
+        }
+    }
+
+    #[test]
+    fn crash_rejoin_outage_is_absorbed_by_widened_policy() {
+        // With ids 1..=8 on a line the leader is node 7 and the BFS
+        // tree is the chain 7→6→…→0. Node 6 sleeps through rounds
+        // 4..11 of each phase: the floods have already passed it (it
+        // adopts at round 1, its last inbound flood message lands at
+        // round 3), the forwarding phase sends all quota tokens in the
+        // first two rounds, but node 5's residue report — sent at round
+        // 5 — lands squarely in the outage. The outage-widened retry
+        // policy keeps node 5 retrying until node 6 is back, so the run
+        // completes with exact packages instead of FaultOverwhelmed.
+        let g = topology::line(8);
+        let k = g.node_count();
+        let tokens = unique_tokens(k, 2);
+        let ids: Vec<u64> = (1..=k as u64).collect();
+        let model = robust_bandwidth_model();
+        let clean = solve_token_packaging(&g, &tokens, &ids, 3, model).unwrap();
+        let plan = FaultPlan::seeded(0x2E10)
+            .with_crash(6, 4)
+            .with_rejoin(6, 12);
+        let (robust, stats) =
+            solve_token_packaging_robust(&g, &tokens, &ids, 3, model, &plan, 2, &mut NoopSink)
+                .unwrap();
+        assert_eq!(stats.failures, 0, "outage must be absorbed, not fatal");
+        assert!(
+            stats.retransmits > 0,
+            "the outage must actually force retries"
+        );
+        assert_eq!(robust.packages, clean.packages);
+        assert_eq!(robust.discarded, clean.discarded);
+    }
+
+    #[test]
+    fn fault_overwhelmed_reports_stage_round_and_counts() {
+        // Same line, but node 6 never comes back: node 5's report can
+        // never land (retry budget exhausted) and the root's deadline
+        // fires with child 6 unreported. The error must say which stage
+        // broke, how deep into the pipeline, and how many reports
+        // survived. Fully deterministic — no drops, no flips.
+        let g = topology::line(8);
+        let k = g.node_count();
+        let tokens = unique_tokens(k, 1);
+        let ids: Vec<u64> = (1..=k as u64).collect();
+        let model = robust_bandwidth_model();
+        let plan = FaultPlan::seeded(0xDEAD).with_crash(6, 4);
+        let err =
+            solve_token_packaging_robust(&g, &tokens, &ids, 3, model, &plan, 1, &mut NoopSink)
+                .unwrap_err();
+        match err {
+            PackagingError::FaultOverwhelmed {
+                failures,
+                stage,
+                round,
+                expected,
+                observed,
+            } => {
+                assert_eq!(stage, RobustStage::Residue);
+                // Node 5's give-up plus the root's unreported child.
+                assert_eq!(failures, 2);
+                assert!(round > 0, "round must locate the failure in the pipeline");
+                assert_eq!(expected, (k - 1) as u64);
+                assert_eq!(observed, expected - failures);
+                let msg = format!(
+                    "{}",
+                    PackagingError::FaultOverwhelmed {
+                        failures,
+                        stage,
+                        round,
+                        expected,
+                        observed,
+                    }
+                );
+                assert!(msg.contains("residue"), "display names the stage: {msg}");
+            }
+            other => panic!("expected FaultOverwhelmed, got: {other:?}"),
         }
     }
 

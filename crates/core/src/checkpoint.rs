@@ -353,6 +353,41 @@ fn validate_label(label: &str) -> Result<(), CheckpointError> {
 // closed world is what these scanning parsers rely on — they are not a
 // general JSON reader and reject anything they did not write.
 
+/// Whether `line` is one *complete* record of the closed world this
+/// module writes: a single brace-balanced JSON object. The serializer
+/// never puts braces inside strings (labels are restricted to the
+/// brace-free safe set, every other value is digits), so a record torn
+/// mid-write — by a partial flush, a copy truncated at a block
+/// boundary, anything that is not the handled torn-*final*-line case —
+/// is exactly a line whose braces do not balance. Without this check a
+/// torn plan record whose surviving prefix still contains every param
+/// the scanning parser looks for would be silently accepted as a valid
+/// plan.
+fn line_is_complete(line: &str) -> bool {
+    if !line.starts_with('{') {
+        return false;
+    }
+    let mut depth = 0i64;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                // Balanced before the end: trailing garbage after the
+                // record object.
+                if depth == 0 && i + 1 != line.len() {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+    }
+    depth == 0
+}
+
 fn parse_line(
     line: &str,
     line_no: usize,
@@ -363,6 +398,9 @@ fn parse_line(
         line: line_no,
         detail: detail.to_string(),
     };
+    if !line_is_complete(line) {
+        return Err(corrupt("truncated or unbalanced record (torn write?)"));
+    }
     let experiment = field_str(line, "experiment").ok_or_else(|| corrupt("no experiment field"))?;
     let label = field_str(line, "case").ok_or_else(|| corrupt("no case field"))?;
     match experiment {
@@ -712,6 +750,60 @@ mod tests {
         assert_eq!(re.completed_chunks("x"), 1);
         // The torn bytes are gone from disk.
         assert!(fs::read_to_string(&path).unwrap().ends_with('\n'));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_interior_plan_record_is_rejected_not_reinterpreted() {
+        // A plan record torn *mid-file* (a later complete line follows,
+        // so torn-final-line truncation cannot rescue it). The torn
+        // prefix deliberately keeps every param the scanning parser
+        // reads — trials, chunk_size, base_seed, observed — which the
+        // pre-fix parser silently accepted as a valid plan.
+        let path = tmp("torn_plan.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        ck.append_chunk("x", 0, 0, 16, 1, &MemorySink::new())
+            .unwrap();
+        drop(ck);
+        let text = fs::read_to_string(&path).unwrap();
+        let (plan_line, rest) = text.split_once('\n').unwrap();
+        let cut = plan_line.find(",\"counters\"").unwrap();
+        let torn = format!("{}\n{rest}", &plan_line[..cut]);
+        fs::write(&path, torn).unwrap();
+        match Checkpoint::open(&path) {
+            Err(CheckpointError::Corrupt { line, detail }) => {
+                assert_eq!(line, 1);
+                assert!(detail.contains("truncated"), "detail: {detail}");
+            }
+            other => panic!("torn plan must be a typed error, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_interior_chunk_record_is_rejected() {
+        let path = tmp("torn_chunk.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path).unwrap();
+        ck.begin("x", plan()).unwrap();
+        let mut sink = MemorySink::new();
+        sink.add(k::CORE_GAP_RUNS, 16);
+        ck.append_chunk("x", 0, 0, 16, 1, &sink).unwrap();
+        ck.append_chunk("x", 1, 16, 16, 0, &sink).unwrap();
+        drop(ck);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        // Tear chunk 0 (line 2) after its params but keep chunk 1 whole.
+        let cut = lines[1].find(",\"counters\"").unwrap();
+        let torn_line = &lines[1][..cut];
+        lines[1] = torn_line;
+        fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        assert!(matches!(
+            Checkpoint::open(&path),
+            Err(CheckpointError::Corrupt { line: 2, .. })
+        ));
         let _ = fs::remove_file(&path);
     }
 

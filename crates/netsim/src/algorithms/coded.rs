@@ -270,6 +270,35 @@ where
     fn is_done(&self) -> bool {
         self.inner.is_done()
     }
+
+    fn on_rejoin(&mut self, node: NodeId, round: usize) {
+        // Codec state (correction totals) is pure accounting; only the
+        // wrapped protocol has timers to restart.
+        self.inner.on_rejoin(node, round);
+    }
+}
+
+impl<P, C> crate::recover::Recoverable for CodedProtocol<P, C>
+where
+    P: crate::recover::Recoverable,
+    C: MessageCodec,
+{
+    fn snapshot(&self) -> Vec<u64> {
+        // Correction totals travel with the snapshot so a restored run
+        // keeps honest codec accounting.
+        let mut words = vec![self.corrected_bits, self.decode_failures];
+        words.extend(self.inner.snapshot());
+        words
+    }
+
+    fn restore(&mut self, words: &[u64]) -> Result<(), crate::recover::RecoverError> {
+        let (head, rest) = words
+            .split_first_chunk::<2>()
+            .ok_or(crate::recover::RecoverError::Truncated)?;
+        self.corrected_bits = head[0];
+        self.decode_failures = head[1];
+        self.inner.restore(rest)
+    }
 }
 
 /// Sums the per-node codec counters of a completed run.

@@ -263,6 +263,16 @@ pub trait NodeProtocol {
     /// Whether this node has produced its final output. The run ends
     /// when all nodes are done and no messages are in flight.
     fn is_done(&self) -> bool;
+
+    /// Called once when this node rejoins after a crash
+    /// ([`FaultPlan::rejoins_at`]), at the rejoin round, before that
+    /// round's [`on_round`](NodeProtocol::on_round). The node's state is
+    /// exactly what it was when it crashed (stable storage); messages
+    /// delivered while it was down are gone. Protocols that keep
+    /// round-derived timers (retry deadlines, backoff) should reset
+    /// them here so recovery does not stall; the default does nothing,
+    /// which is correct for stateless-in-time protocols.
+    fn on_rejoin(&mut self, _node: NodeId, _round: usize) {}
 }
 
 /// Queues outgoing messages for one node during one round.
@@ -784,6 +794,14 @@ fn record_faults(sink: &mut dyn Sink, rounds: usize, metrics: &Metrics, plan: &F
             keys::NETSIM_FAULT_CRASHED_NODES,
             plan.effective_crashes(rounds) as u64,
         );
+        let rejoins = plan.effective_rejoins(rounds);
+        if rejoins > 0 {
+            sink.add(keys::NETSIM_REJOIN_NODES, rejoins as u64);
+            sink.add(
+                keys::NETSIM_REJOIN_DOWNTIME_ROUNDS,
+                plan.downtime_rounds(rounds) as u64,
+            );
+        }
     }
 }
 
@@ -1279,12 +1297,15 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
         let mut metrics = Metrics::new();
         let mut obs = RoundObs::new();
 
-        for round in 0..max_rounds {
+        let mut round = 0;
+        while round < max_rounds {
             if round > 0 && arena.is_empty() {
-                let quiescent = states
-                    .iter()
-                    .enumerate()
-                    .all(|(v, s)| s.is_done() || plan.is_some_and(|p| p.crashed(v, round)));
+                // A down node with a pending rejoin is a future
+                // wake-up, never a terminated one.
+                let quiescent = states.iter().enumerate().all(|(v, s)| {
+                    s.is_done()
+                        || plan.is_some_and(|p| p.crashed(v, round) && !p.will_rejoin(v, round))
+                });
                 if quiescent {
                     record_run(sink, round, &metrics);
                     if let Some(p) = plan {
@@ -1292,17 +1313,53 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
                     }
                     return Ok(finish(round, metrics, states));
                 }
-                if sparse && plan.is_none() {
+                // A rejoin firing *this* round is handled below (the
+                // wake-up push) — only fast-forward on rounds with no
+                // event of their own.
+                let wakes_now = plan.is_some_and(|p| {
+                    p.rejoins
+                        .iter()
+                        .any(|&(v, j)| j == round && p.rejoins_at(v, round))
+                });
+                if sparse && active.is_empty() && !wakes_now {
                     // Nothing in flight and silent-stable nodes cannot
-                    // wake up: the dense loop would spin out the
-                    // remaining rounds and fail — fail now with the
-                    // identical error value. (With a crash schedule the
-                    // done-set can still change, so faulted runs spin.)
-                    return Err(EngineError::RoundLimit { max_rounds });
+                    // wake up on their own: the only future done-set
+                    // changes are crash/rejoin schedule events. Jump
+                    // straight to the next one (the skipped rounds are
+                    // observationally empty), or fail with the exact
+                    // error value the dense loop would reach by
+                    // spinning out the remaining rounds.
+                    match plan.and_then(|p| p.next_event_after(round)) {
+                        Some(next) if next < max_rounds => {
+                            round = next;
+                            continue;
+                        }
+                        _ => return Err(EngineError::RoundLimit { max_rounds }),
+                    }
                 }
             }
             let span = Span::start(&*sink);
             let sparse_round = sparse && round > 0;
+            if sparse_round {
+                if let Some(p) = plan {
+                    // Rejoining nodes wake up with an empty inbox; they
+                    // must still be visited (on_rejoin + on_round), in
+                    // node-id order like every other sparse visit.
+                    let mut woke = false;
+                    for &(v, j) in &p.rejoins {
+                        if j == round
+                            && p.rejoins_at(v, round)
+                            && !active.iter().any(|&(a, _, _)| a == v)
+                        {
+                            active.push((v, 0, 0));
+                            woke = true;
+                        }
+                    }
+                    if woke {
+                        active.sort_unstable_by_key(|e| e.0);
+                    }
+                }
+            }
             if sparse_round && sink.enabled() {
                 sink.add(keys::NETSIM_SPARSE_ROUNDS, 1);
                 sink.observe(keys::NETSIM_SPARSE_ACTIVE_NODES, active.len() as u64);
@@ -1321,6 +1378,9 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
                 };
                 if plan.is_some_and(|p| p.crashed(node, round)) {
                     continue;
+                }
+                if plan.is_some_and(|p| p.rejoins_at(node, round)) {
+                    states[node].on_rejoin(node, round);
                 }
                 let nbrs: &[NodeId] = if use_csr {
                     csr.neighbors(node)
@@ -1377,6 +1437,7 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
                 deliver(staged, arena, inbox_offsets, counts, perm);
             }
             obs.end_round(sink, &mut metrics, span);
+            round += 1;
         }
         Err(EngineError::RoundLimit { max_rounds })
     }
@@ -1532,10 +1593,12 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
         for round in 0..max_rounds {
             let quiescent = round > 0
                 && arena.is_empty()
-                && states
-                    .iter()
-                    .enumerate()
-                    .all(|(v, s)| s.is_done() || faults.is_some_and(|plan| plan.crashed(v, round)));
+                && states.iter().enumerate().all(|(v, s)| {
+                    s.is_done()
+                        || faults.is_some_and(|plan| {
+                            plan.crashed(v, round) && !plan.will_rejoin(v, round)
+                        })
+                });
             if quiescent {
                 record_run(sink, round, &metrics);
                 if let Some(plan) = faults {
@@ -1570,6 +1633,9 @@ impl<'g, T: ImplicitTopology> Network<'g, T> {
                                 let node = base + off;
                                 if faults.is_some_and(|plan| plan.crashed(node, round)) {
                                     continue;
+                                }
+                                if faults.is_some_and(|plan| plan.rejoins_at(node, round)) {
+                                    state.on_rejoin(node, round);
                                 }
                                 let nbrs: &[NodeId] = if use_csr {
                                     csr.neighbors(node)

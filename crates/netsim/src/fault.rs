@@ -37,9 +37,20 @@
 //! * Bit flips are i.i.d. per wire bit ([`MessageSize::size_bits`] bits
 //!   per message); each flip calls [`FaultInjectable::flip_bit`] on the
 //!   in-flight copy. `flipped_bits` counts them.
-//! * A node crashed at round `c` executes no round ≥ `c`: it is skipped
-//!   by the scheduler, counts as done for quiescence, and messages that
-//!   would be delivered to it at round ≥ `c` are dropped (and counted).
+//! * A node crashed at round `c` executes no round ≥ `c` while it is
+//!   down: it is skipped by the scheduler, counts as done for
+//!   quiescence (unless a rejoin is still pending), and messages that
+//!   would be delivered to it while down are dropped (and counted).
+//! * A rejoin scheduled at round `j > c` brings the node back with
+//!   *stable-storage* semantics: its local protocol state is exactly
+//!   what it was when it crashed (the engine never clears it), it
+//!   missed every message delivered while it was down, and starting at
+//!   round `j` it executes again and can receive. The engine calls
+//!   [`crate::engine::NodeProtocol::on_rejoin`] once, at round `j`
+//!   before that round's `on_round`, so protocols can restart timers or
+//!   re-announce state. Crash/rejoin pairs may repeat (crash again
+//!   after a rejoin); the liveness query [`FaultPlan::crashed`] resolves
+//!   the latest event at or before the queried round.
 
 use crate::engine::{Compact, MessageSize};
 use crate::graph::NodeId;
@@ -83,8 +94,13 @@ pub struct FaultPlan {
     /// flipped, independently (binary symmetric channel).
     pub flip_prob: f64,
     /// Crash schedule: `(node, round)` pairs; the node executes no
-    /// round ≥ `round`.
+    /// round ≥ `round` while down (see `rejoins`).
     pub crashes: Vec<(NodeId, usize)>,
+    /// Rejoin schedule: `(node, round)` pairs; a node down because of
+    /// an earlier crash comes back at `round` with its pre-crash local
+    /// state (stable storage) and executes every round ≥ `round` until
+    /// a later crash, if any. A rejoin with no earlier crash is inert.
+    pub rejoins: Vec<(NodeId, usize)>,
 }
 
 impl FaultPlan {
@@ -97,6 +113,7 @@ impl FaultPlan {
             drop_prob: 0.0,
             flip_prob: 0.0,
             crashes: Vec::new(),
+            rejoins: Vec::new(),
         }
     }
 
@@ -138,26 +155,145 @@ impl FaultPlan {
     }
 
     /// Schedules `node` to crash at `round` (it executes no round ≥
-    /// `round`).
+    /// `round` until a later rejoin, if any).
     pub fn with_crash(mut self, node: NodeId, round: usize) -> Self {
         self.crashes.push((node, round));
+        self
+    }
+
+    /// Schedules `node` to rejoin at `round` after an earlier crash: it
+    /// resumes execution at `round` with its pre-crash local state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no crash of `node` strictly before
+    /// `round` that this rejoin could answer — a dangling rejoin is a
+    /// schedule bug, not a fault model.
+    pub fn with_rejoin(mut self, node: NodeId, round: usize) -> Self {
+        assert!(
+            self.crashes.iter().any(|&(v, c)| v == node && c < round),
+            "rejoin of node {node} at round {round} has no earlier crash"
+        );
+        self.rejoins.push((node, round));
         self
     }
 
     /// Whether the plan injects no faults at all (the seed is ignored:
     /// a seeded but all-zero plan is still fault-free).
     pub fn is_none(&self) -> bool {
-        self.drop_prob == 0.0 && self.flip_prob == 0.0 && self.crashes.is_empty()
+        self.drop_prob == 0.0
+            && self.flip_prob == 0.0
+            && self.crashes.is_empty()
+            && self.rejoins.is_empty()
     }
 
-    /// Whether `node` has crashed by `round` (inclusive).
+    /// Whether `node` is down at `round`: its latest crash/rejoin event
+    /// at or before `round` is a crash (a rejoin at the same round as a
+    /// crash wins — the node never misses a round). With an empty
+    /// rejoin schedule this is exactly the old permanent-crash query.
     pub fn crashed(&self, node: NodeId, round: usize) -> bool {
-        self.crashes.iter().any(|&(v, r)| v == node && r <= round)
+        let last_crash = self
+            .crashes
+            .iter()
+            .filter(|&&(v, c)| v == node && c <= round)
+            .map(|&(_, c)| c)
+            .max();
+        match last_crash {
+            None => false,
+            Some(c) => !self
+                .rejoins
+                .iter()
+                .any(|&(v, j)| v == node && j >= c && j <= round),
+        }
+    }
+
+    /// Whether `node` comes back to life exactly at `round`: a
+    /// scheduled rejoin that ends a real outage. The engines call the
+    /// [`crate::engine::NodeProtocol::on_rejoin`] hook at these
+    /// coordinates, once per rejoin, in every execution mode.
+    pub fn rejoins_at(&self, node: NodeId, round: usize) -> bool {
+        round > 0
+            && self.rejoins.iter().any(|&(v, j)| v == node && j == round)
+            && self.crashed(node, round - 1)
+            && !self.crashed(node, round)
+    }
+
+    /// Whether a rejoin of `node` is scheduled strictly after `round`.
+    /// The quiescence checks use this: a down node with a pending
+    /// rejoin is a future wake-up, not a terminated one.
+    pub fn will_rejoin(&self, node: NodeId, round: usize) -> bool {
+        self.rejoins.iter().any(|&(v, j)| v == node && j > round)
+    }
+
+    /// The earliest crash or rejoin round strictly after `round`, if
+    /// any. Sparse-activity stepping fast-forwards to this round when
+    /// nothing is in flight: between schedule events, silent-stable
+    /// nodes cannot change the done-set.
+    pub fn next_event_after(&self, round: usize) -> Option<usize> {
+        self.crashes
+            .iter()
+            .chain(self.rejoins.iter())
+            .map(|&(_, r)| r)
+            .filter(|&r| r > round)
+            .min()
     }
 
     /// Crash entries that took effect within a run of `rounds` rounds.
     pub(crate) fn effective_crashes(&self, rounds: usize) -> usize {
         self.crashes.iter().filter(|&&(_, r)| r < rounds).count()
+    }
+
+    /// Rejoin entries that took effect within a run of `rounds` rounds.
+    pub(crate) fn effective_rejoins(&self, rounds: usize) -> usize {
+        self.rejoins
+            .iter()
+            .filter(|&&(v, j)| j < rounds && self.rejoins_at(v, j))
+            .count()
+    }
+
+    /// Total rounds spent down by nodes whose outage ended in a rejoin
+    /// within a run of `rounds` rounds — the run's aggregate recovery
+    /// time (each rejoin contributes `rejoin_round - crash_round`).
+    pub(crate) fn downtime_rounds(&self, rounds: usize) -> usize {
+        self.rejoins
+            .iter()
+            .filter(|&&(v, j)| j < rounds && self.rejoins_at(v, j))
+            .map(|&(v, j)| {
+                let c = self
+                    .crashes
+                    .iter()
+                    .filter(|&&(u, c)| u == v && c < j)
+                    .map(|&(_, c)| c)
+                    .max()
+                    .expect("rejoins_at implies an earlier crash");
+                j - c
+            })
+            .sum()
+    }
+
+    /// Longest contiguous outage any node recovers from: the maximum
+    /// `rejoin_round - crash_round` gap over the plan's rejoin
+    /// schedule. Permanent crashes (no rejoin) are not counted — no
+    /// finite retry budget outlasts them, and the reliable primitives
+    /// already account them as failures. Retry policies can be widened
+    /// to survive every scheduled outage with
+    /// [`RetryPolicy::allowing_outage`](crate::algorithms::reliable::RetryPolicy::allowing_outage).
+    pub fn max_outage_rounds(&self) -> usize {
+        self.rejoins
+            .iter()
+            .filter(|&&(v, j)| self.rejoins_at(v, j))
+            .map(|&(v, j)| {
+                let c = self
+                    .crashes
+                    .iter()
+                    .filter(|&&(u, c)| u == v && c < j)
+                    .map(|&(_, c)| c)
+                    .max()
+                    .expect("rejoins_at implies an earlier crash");
+                j - c
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// One block of the keyed counter stream. Absorption is positional
@@ -415,6 +551,64 @@ mod tests {
         assert!(plan.apply(8, 0, 4, 0, &mut msg).is_some());
         assert_eq!(plan.effective_crashes(11), 1);
         assert_eq!(plan.effective_crashes(10), 0);
+    }
+
+    #[test]
+    fn rejoin_ends_the_outage() {
+        let plan = FaultPlan::seeded(2).with_crash(4, 10).with_rejoin(4, 14);
+        assert!(!plan.crashed(4, 9));
+        assert!(plan.crashed(4, 10));
+        assert!(plan.crashed(4, 13));
+        assert!(!plan.crashed(4, 14));
+        assert!(!plan.crashed(4, 20));
+        assert!(plan.rejoins_at(4, 14));
+        assert!(!plan.rejoins_at(4, 13));
+        assert!(!plan.rejoins_at(3, 14));
+        assert!(plan.will_rejoin(4, 10));
+        assert!(!plan.will_rejoin(4, 14));
+        // Delivery resumes at the rejoin round: messages sent at 13
+        // arrive at 14, when the node is back.
+        let mut msg = 1u64;
+        assert_eq!(plan.apply(12, 0, 4, 0, &mut msg), None);
+        assert!(plan.apply(13, 0, 4, 0, &mut msg).is_some());
+        assert_eq!(plan.effective_rejoins(15), 1);
+        assert_eq!(plan.effective_rejoins(14), 0);
+        assert_eq!(plan.downtime_rounds(15), 4);
+    }
+
+    #[test]
+    fn crash_rejoin_cycles_resolve_latest_event() {
+        let plan = FaultPlan::seeded(3)
+            .with_crash(1, 2)
+            .with_rejoin(1, 5)
+            .with_crash(1, 8)
+            .with_rejoin(1, 12);
+        assert!(!plan.crashed(1, 1));
+        assert!(plan.crashed(1, 3));
+        assert!(!plan.crashed(1, 6));
+        assert!(plan.crashed(1, 9));
+        assert!(!plan.crashed(1, 12));
+        assert!(plan.rejoins_at(1, 5));
+        assert!(plan.rejoins_at(1, 12));
+        assert_eq!(plan.next_event_after(0), Some(2));
+        assert_eq!(plan.next_event_after(5), Some(8));
+        assert_eq!(plan.next_event_after(12), None);
+        assert_eq!(plan.effective_rejoins(13), 2);
+        assert_eq!(plan.downtime_rounds(13), 3 + 4);
+        assert_eq!(plan.max_outage_rounds(), 4);
+        assert_eq!(FaultPlan::none().max_outage_rounds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no earlier crash")]
+    fn dangling_rejoin_is_rejected() {
+        let _ = FaultPlan::seeded(4).with_rejoin(0, 5);
+    }
+
+    #[test]
+    fn rejoin_only_difference_still_counts_as_faulted() {
+        let plan = FaultPlan::seeded(5).with_crash(0, 1).with_rejoin(0, 2);
+        assert!(!plan.is_none());
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod engine;
 pub mod fault;
 pub mod graph;
 pub mod power;
+pub mod recover;
 pub mod reference;
 pub mod topology;
 

@@ -1,0 +1,387 @@
+//! Crash-recovery snapshots for protocol state.
+//!
+//! The fault layer's rejoin schedule ([`crate::fault::FaultPlan`]
+//! `rejoins`) models *stable-storage* reboots: a node comes back with
+//! exactly the local state it crashed with, because the engine never
+//! clears node state while a node is down. This module is the
+//! complementary piece for state that must survive the **process**, not
+//! just the simulated node: a [`Recoverable`] protocol can serialize
+//! its per-node local state to a flat word vector, and a set of
+//! snapshots round-trips through the same append-only, torn-tail-safe
+//! line discipline the Monte-Carlo checkpoint files use
+//! (`dut_core::checkpoint`): one self-framing record per line, a length
+//! field up front, decode errors typed rather than panicking, and a
+//! torn final line detected instead of misparsed.
+//!
+//! The encoding is deliberately dumb — hex words, no schema evolution —
+//! because snapshots live exactly as long as one run: they are written
+//! by a driver that wants kill-resume (the soak harness) or phase
+//! hand-off (`run_robust`), and read back by the same binary.
+
+use std::fmt;
+
+/// Protocol state that can be snapshot to (and restored from) a flat
+/// `u64` word vector.
+///
+/// # Contract
+///
+/// `restore` after `snapshot` must reproduce a state that behaves
+/// identically: for any round schedule, the restored node sends the
+/// same messages and reaches `is_done` at the same round as the
+/// original would have. Implementations must consume exactly the words
+/// they wrote (wrappers append after their inner state), and must
+/// return a typed [`RecoverError`] — never panic — on malformed input,
+/// since snapshot bytes may come back through a torn file.
+pub trait Recoverable {
+    /// Serializes this node's local state.
+    fn snapshot(&self) -> Vec<u64>;
+
+    /// Restores this node's local state from `words` (all of them).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`] when `words` ends early,
+    /// [`RecoverError::Malformed`] when a field decodes to an
+    /// impossible value (e.g. a bool word that is neither 0 nor 1).
+    fn restore(&mut self, words: &[u64]) -> Result<(), RecoverError>;
+}
+
+/// Typed failure of a snapshot decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The word stream ended before the state was fully decoded.
+    Truncated,
+    /// A field held a value outside its domain.
+    Malformed {
+        /// Which field was malformed.
+        field: &'static str,
+    },
+    /// A snapshot line failed to parse (bad frame, bad hex, or a word
+    /// count that disagrees with the length field).
+    BadLine {
+        /// 0-based line number within the snapshot text.
+        line: usize,
+    },
+    /// The snapshot text holds state for a different node count.
+    NodeCountMismatch {
+        /// Nodes the snapshot was taken over.
+        snapshot: usize,
+        /// Nodes the caller wants to restore.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Truncated => write!(f, "snapshot word stream ended early"),
+            RecoverError::Malformed { field } => {
+                write!(f, "snapshot field `{field}` holds an impossible value")
+            }
+            RecoverError::BadLine { line } => {
+                write!(f, "snapshot line {line} is not a valid record")
+            }
+            RecoverError::NodeCountMismatch { snapshot, expected } => write!(
+                f,
+                "snapshot holds {snapshot} nodes but {expected} were expected"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// A cursor over a snapshot word stream with typed decode errors; the
+/// building block `restore` implementations use.
+#[derive(Debug)]
+pub struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// Starts reading `words` from the front.
+    pub fn new(words: &'a [u64]) -> Self {
+        WordReader { words, pos: 0 }
+    }
+
+    /// Next raw word.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`] at end of stream.
+    pub fn word(&mut self) -> Result<u64, RecoverError> {
+        let w = *self.words.get(self.pos).ok_or(RecoverError::Truncated)?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Next word as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`] at end of stream.
+    pub fn len(&mut self, field: &'static str) -> Result<usize, RecoverError> {
+        usize::try_from(self.word()?).map_err(|_| RecoverError::Malformed { field })
+    }
+
+    /// Next word as a bool (must be 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`] at end of stream;
+    /// [`RecoverError::Malformed`] on any word other than 0/1.
+    pub fn flag(&mut self, field: &'static str) -> Result<bool, RecoverError> {
+        match self.word()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(RecoverError::Malformed { field }),
+        }
+    }
+
+    /// Next word as `Option<usize>` (0 = `None`, `v+1` = `Some(v)`).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Truncated`] at end of stream.
+    pub fn opt(&mut self, field: &'static str) -> Result<Option<usize>, RecoverError> {
+        match self.word()? {
+            0 => Ok(None),
+            v => usize::try_from(v - 1)
+                .map(Some)
+                .map_err(|_| RecoverError::Malformed { field }),
+        }
+    }
+
+    /// Whether every word has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.words.len()
+    }
+}
+
+/// Encodes `Option<usize>` the way [`WordReader::opt`] decodes it.
+pub fn opt_word(v: Option<usize>) -> u64 {
+    match v {
+        None => 0,
+        Some(v) => v as u64 + 1,
+    }
+}
+
+/// Snapshots every node of a protocol vector.
+pub fn snapshot_nodes<P: Recoverable>(nodes: &[P]) -> Vec<Vec<u64>> {
+    nodes.iter().map(Recoverable::snapshot).collect()
+}
+
+/// Restores every node of a protocol vector from `snapshots`.
+///
+/// # Errors
+///
+/// [`RecoverError::NodeCountMismatch`] when the lengths differ; the
+/// first per-node decode error otherwise. Nodes before the failing one
+/// are already restored when an error is returned.
+pub fn restore_nodes<P: Recoverable>(
+    nodes: &mut [P],
+    snapshots: &[Vec<u64>],
+) -> Result<(), RecoverError> {
+    if nodes.len() != snapshots.len() {
+        return Err(RecoverError::NodeCountMismatch {
+            snapshot: snapshots.len(),
+            expected: nodes.len(),
+        });
+    }
+    for (node, words) in nodes.iter_mut().zip(snapshots) {
+        node.restore(words)?;
+    }
+    Ok(())
+}
+
+/// Serializes per-node snapshots as text: one `ns/state` record per
+/// node, `ns/state <node> <word-count> <hex words…>\n`, following the
+/// checkpoint-file discipline (self-framing lines, length up front, a
+/// final newline terminating the last record).
+pub fn encode_snapshots(snapshots: &[Vec<u64>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (node, words) in snapshots.iter().enumerate() {
+        write!(out, "ns/state {node} {}", words.len()).expect("string write");
+        for w in words {
+            write!(out, " {w:x}").expect("string write");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses text written by [`encode_snapshots`]. A torn final line (no
+/// trailing newline — the writer died mid-record) is dropped, exactly
+/// like the Monte-Carlo checkpoint's torn-tail rule; any other
+/// malformation is a typed error. Returns the per-node word vectors and
+/// how many whole records survived.
+///
+/// # Errors
+///
+/// [`RecoverError::BadLine`] naming the first unparseable complete
+/// line.
+pub fn decode_snapshots(text: &str) -> Result<Vec<Vec<u64>>, RecoverError> {
+    let whole = match text.rfind('\n') {
+        Some(last) => &text[..=last],
+        None => "", // a single torn line: nothing durable yet
+    };
+    let mut out = Vec::new();
+    for (line_no, line) in whole.lines().enumerate() {
+        let bad = || RecoverError::BadLine { line: line_no };
+        let mut fields = line.split(' ');
+        if fields.next() != Some("ns/state") {
+            return Err(bad());
+        }
+        let node: usize = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+        if node != line_no {
+            return Err(bad());
+        }
+        let count: usize = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+        let words: Vec<u64> = fields
+            .map(|f| u64::from_str_radix(f, 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad())?;
+        if words.len() != count {
+            return Err(bad());
+        }
+        out.push(words);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        acc: u64,
+        ready: bool,
+        parent: Option<usize>,
+        seen: Vec<u64>,
+    }
+
+    impl Recoverable for Toy {
+        fn snapshot(&self) -> Vec<u64> {
+            let mut w = vec![
+                self.acc,
+                u64::from(self.ready),
+                opt_word(self.parent),
+                self.seen.len() as u64,
+            ];
+            w.extend(&self.seen);
+            w
+        }
+
+        fn restore(&mut self, words: &[u64]) -> Result<(), RecoverError> {
+            let mut r = WordReader::new(words);
+            self.acc = r.word()?;
+            self.ready = r.flag("ready")?;
+            self.parent = r.opt("parent")?;
+            let n = r.len("seen")?;
+            self.seen.clear();
+            for _ in 0..n {
+                self.seen.push(r.word()?);
+            }
+            if !r.exhausted() {
+                return Err(RecoverError::Malformed { field: "trailer" });
+            }
+            Ok(())
+        }
+    }
+
+    fn toys() -> Vec<Toy> {
+        vec![
+            Toy {
+                acc: 7,
+                ready: true,
+                parent: None,
+                seen: vec![1, 2, 3],
+            },
+            Toy {
+                acc: u64::MAX,
+                ready: false,
+                parent: Some(0),
+                seen: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let original = toys();
+        let snaps = snapshot_nodes(&original);
+        let mut blank = vec![
+            Toy {
+                acc: 0,
+                ready: false,
+                parent: None,
+                seen: vec![9; 9],
+            };
+            2
+        ];
+        restore_nodes(&mut blank, &snaps).unwrap();
+        assert_eq!(blank, original);
+    }
+
+    #[test]
+    fn truncated_words_are_typed() {
+        let snaps = snapshot_nodes(&toys());
+        let mut cut = snaps[0].clone();
+        cut.pop();
+        let mut t = toys().remove(0);
+        assert_eq!(t.restore(&cut), Err(RecoverError::Truncated));
+    }
+
+    #[test]
+    fn malformed_flag_is_typed() {
+        let mut snap = snapshot_nodes(&toys()).remove(0);
+        snap[1] = 2; // `ready` must be 0/1
+        let mut t = toys().remove(0);
+        assert_eq!(
+            t.restore(&snap),
+            Err(RecoverError::Malformed { field: "ready" })
+        );
+    }
+
+    #[test]
+    fn text_round_trip_and_torn_tail() {
+        let snaps = snapshot_nodes(&toys());
+        let text = encode_snapshots(&snaps);
+        assert_eq!(decode_snapshots(&text).unwrap(), snaps);
+
+        // Tearing the final line drops that record, silently — the
+        // writer died mid-append, same rule as the checkpoint file.
+        let torn = &text[..text.len() - 3];
+        let partial = decode_snapshots(torn).unwrap();
+        assert_eq!(partial, snaps[..1]);
+
+        // A malformed *complete* line is a typed error, not a panic.
+        let mangled = text.replace("ns/state 1", "ns/state x");
+        assert_eq!(
+            decode_snapshots(&mangled),
+            Err(RecoverError::BadLine { line: 1 })
+        );
+        // A word-count lie is caught by the length field.
+        let lying = "ns/state 0 5 1 2\n";
+        assert_eq!(
+            decode_snapshots(lying),
+            Err(RecoverError::BadLine { line: 0 })
+        );
+    }
+
+    #[test]
+    fn node_count_mismatch_is_typed() {
+        let snaps = snapshot_nodes(&toys());
+        let mut one = toys()[..1].to_vec();
+        assert_eq!(
+            restore_nodes(&mut one, &snaps),
+            Err(RecoverError::NodeCountMismatch {
+                snapshot: 2,
+                expected: 1
+            })
+        );
+    }
+}

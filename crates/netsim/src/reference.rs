@@ -228,10 +228,9 @@ where
         let in_flight = inboxes.iter().any(|b| !b.is_empty());
         let quiescent = round > 0
             && !in_flight
-            && states
-                .iter()
-                .enumerate()
-                .all(|(v, s)| s.is_done() || plan.crashed(v, round));
+            && states.iter().enumerate().all(|(v, s)| {
+                s.is_done() || (plan.crashed(v, round) && !plan.will_rejoin(v, round))
+            });
         if quiescent {
             if sink.enabled() {
                 sink.add(keys::REFERENCE_RUNS, 1);
@@ -261,6 +260,9 @@ where
         for (node, state) in states.iter_mut().enumerate() {
             if plan.crashed(node, round) {
                 continue;
+            }
+            if plan.rejoins_at(node, round) {
+                state.on_rejoin(node, round);
             }
             let neighbors = graph.neighbors(node);
             let mut sends: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();

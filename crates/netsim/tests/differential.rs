@@ -355,7 +355,7 @@ fn round_limit_errors_match_reference() {
 // ---------------------------------------------------------------------
 
 /// The fault plans the matrix runs under: drops only, flips only, a
-/// crash schedule, and all three together.
+/// crash schedule, crash/rejoin cycles, and everything together.
 fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
     vec![
         ("drops", FaultPlan::seeded(0xFA01).with_drops(0.15)),
@@ -367,6 +367,20 @@ fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
                 .with_drops(0.1)
                 .with_flips(0.005)
                 .with_crash(2, 3),
+        ),
+        (
+            "crash-rejoin",
+            FaultPlan::seeded(0xFA05).with_crash(1, 2).with_rejoin(1, 7),
+        ),
+        (
+            "mixed-rejoin",
+            FaultPlan::seeded(0xFA06)
+                .with_drops(0.1)
+                .with_flips(0.005)
+                .with_crash(2, 3)
+                .with_rejoin(2, 8)
+                .with_crash(2, 11)
+                .with_rejoin(2, 13),
         ),
     ]
 }

@@ -326,6 +326,14 @@ fn sparse_matches_dense_under_faults() {
     let plans = [
         FaultPlan::seeded(0xAB01).with_drops(0.12),
         FaultPlan::seeded(0xAB02).with_flips(0.01).with_crash(1, 2),
+        // Crash-only plans: the sparse path must keep the run alive
+        // while a silent network waits out a crash schedule (it used to
+        // misreport RoundLimit as soon as the arena went quiet).
+        FaultPlan::seeded(0xAB03).with_crash(1, 2).with_crash(7, 0),
+        FaultPlan::seeded(0xAB04)
+            .with_crash(1, 2)
+            .with_rejoin(1, 10)
+            .with_crash(9, 1),
     ];
     for (i, plan) in plans.iter().enumerate() {
         let mut net = Network::new(&g, BandwidthModel::Congest { bits_per_edge: 64 });
@@ -383,6 +391,121 @@ fn sparse_round_limit_error_matches_dense() {
     assert_eq!(dense, EngineError::RoundLimit { max_rounds: 12 });
 }
 
+/// A flood whose rejoined nodes ask their neighbors for the value they
+/// slept through: `on_rejoin` schedules a request broadcast, any seen
+/// neighbor answers a request with the data, and the flood resumes into
+/// the subtree the outage had cut off. Silent-stable: a node with an
+/// empty inbox and no pending announce does nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RecoverFlood {
+    seen: bool,
+    announce: bool,
+}
+
+impl NodeProtocol for RecoverFlood {
+    type Msg = u32; // 0 = data, 1 = request
+    fn on_round(
+        &mut self,
+        node: NodeId,
+        round: usize,
+        inbox: &[(NodeId, u32)],
+        out: &mut Outbox<'_, u32>,
+    ) {
+        if self.announce {
+            self.announce = false;
+            out.broadcast(1);
+        }
+        let got_data = inbox.iter().any(|&(_, m)| m == 0);
+        if !self.seen && ((node == 0 && round == 0) || got_data) {
+            self.seen = true;
+            out.broadcast(0);
+        }
+        if self.seen && inbox.iter().any(|&(_, m)| m == 1) {
+            out.broadcast(0);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.seen && !self.announce
+    }
+    fn on_rejoin(&mut self, _node: NodeId, _round: usize) {
+        self.announce = true;
+    }
+}
+
+#[test]
+fn sparse_fast_forwards_over_quiet_outages() {
+    // Node 3 goes down at round 1, cutting the line's flood off from
+    // nodes 4..7; the network then goes completely quiet with a rejoin
+    // still pending at round 40. Dense spins the silent rounds; sparse
+    // jumps straight to the rejoin event. Both must wake node 3 (its
+    // rejoin announcement re-triggers the flood into the cut-off tail)
+    // and report bit-identical results, including the round count.
+    let g = dut_netsim::topology::line(8);
+    let k = g.node_count();
+    let fresh = || {
+        vec![
+            RecoverFlood {
+                seen: false,
+                announce: false
+            };
+            k
+        ]
+    };
+    let plan = FaultPlan::seeded(0xFF01)
+        .with_crash(3, 1)
+        .with_rejoin(3, 40);
+    let mut net = Network::new(&g, BandwidthModel::Local);
+    let mut scratch = EngineScratch::new();
+    let dense = net
+        .run_with_options(
+            fresh(),
+            128,
+            &mut scratch,
+            &RunOptions::serial().with_faults(plan.clone()),
+        )
+        .unwrap();
+    let sparse = net
+        .run_with_options(
+            fresh(),
+            128,
+            &mut scratch,
+            &RunOptions::serial().with_faults(plan.clone()).with_sparse(),
+        )
+        .unwrap();
+    assert_reports_equal("sparse-rejoin-wakeup", &dense, &sparse);
+    assert!(
+        dense.rounds > 40,
+        "run must extend past the rejoin: {}",
+        dense.rounds
+    );
+    assert!(
+        dense.nodes.iter().all(|n| n.seen),
+        "flood must recover into the cut-off tail: {:?}",
+        dense.nodes
+    );
+
+    // Same shape, but the node never rejoins: both modes must report
+    // the identical RoundLimit (sparse fast-forwards to it).
+    let stuck = FaultPlan::seeded(0xFF02).with_crash(3, 1);
+    let dense = net
+        .run_with_options(
+            fresh(),
+            64,
+            &mut scratch,
+            &RunOptions::serial().with_faults(stuck.clone()),
+        )
+        .map(|_| ());
+    let sparse = net
+        .run_with_options(
+            fresh(),
+            64,
+            &mut scratch,
+            &RunOptions::serial().with_faults(stuck).with_sparse(),
+        )
+        .map(|_| ());
+    assert_eq!(dense, sparse);
+}
+
 // ---------------------------------------------------------------------
 // Sharded delivery bit-identity
 // ---------------------------------------------------------------------
@@ -423,6 +546,10 @@ fn sharded_delivery_matches_serial_under_fault_plans() {
             .with_drops(0.05)
             .with_flips(0.01)
             .with_crash(3, 2),
+        FaultPlan::seeded(0xC004)
+            .with_drops(0.05)
+            .with_crash(3, 2)
+            .with_rejoin(3, 6),
     ];
     for (i, plan) in plans.iter().enumerate() {
         let mut net = Network::new(&torus, BandwidthModel::Local);

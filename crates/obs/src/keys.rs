@@ -76,6 +76,14 @@ registry! {
     NETSIM_FAULT_FLIPPED_BITS = "netsim.fault.flipped_bits";
     /// Counter: scheduled node crashes that took effect within the run.
     NETSIM_FAULT_CRASHED_NODES = "netsim.fault.crashed_nodes";
+    /// Counter: scheduled node rejoins that took effect within the run
+    /// (a crashed node coming back with its pre-crash state). Recorded
+    /// only on faulted runs whose plan has a rejoin schedule.
+    NETSIM_REJOIN_NODES = "netsim.rejoin.nodes";
+    /// Counter: total rounds spent down by nodes whose outage ended in
+    /// a rejoin (each rejoin contributes `rejoin_round - crash_round`)
+    /// — the run's aggregate recovery time.
+    NETSIM_REJOIN_DOWNTIME_ROUNDS = "netsim.rejoin.downtime_rounds";
     /// Counter: retransmissions performed by the reliable (ack/retry) tree
     /// primitives, beyond each message's first transmission.
     NETSIM_RELIABLE_RETRANSMITS = "netsim.reliable.retransmits";
@@ -211,6 +219,59 @@ registry! {
     SMP_MESSAGE_BITS = "smp.message_bits";
     /// Counter: accepting executions.
     SMP_ACCEPTS = "smp.accepts";
+
+    // --------------------------------------------------------------- chaos
+
+    /// Counter: protocol executions spent by a fault-boundary search
+    /// (rate probes + witness attempts + shrink candidates).
+    CHAOS_BOUNDARY_PROBES = "chaos.boundary.probes";
+    /// Counter: probe executions that failed (typed error or panic)
+    /// across a boundary search.
+    CHAOS_BOUNDARY_FAILURES = "chaos.boundary.failures";
+    /// Counter: the located drop-rate frontier in parts per million
+    /// (`rate * 1e6`, rounded down). Recorded only when the search
+    /// bracketed a drop frontier.
+    CHAOS_BOUNDARY_DROP_PPM = "chaos.boundary.drop_ppm";
+    /// Counter: the located flip-rate frontier in parts per million.
+    /// Recorded only when the search bracketed a flip frontier.
+    CHAOS_BOUNDARY_FLIP_PPM = "chaos.boundary.flip_ppm";
+    /// Counter: fault events (crashes + rejoins) in the minimal witness
+    /// plan after delta-debugging. Recorded only when a witness exists.
+    CHAOS_BOUNDARY_WITNESS_EVENTS = "chaos.boundary.witness_events";
+    /// Counter: candidate executions spent shrinking the witness to
+    /// 1-minimality.
+    CHAOS_BOUNDARY_SHRINK_STEPS = "chaos.boundary.shrink_steps";
+
+    // ---------------------------------------------------------------- soak
+
+    /// Counter: soak-harness ticks completed (one tick = one traffic
+    /// burst into the streaming service plus one robust CONGEST run
+    /// under the tick's fault plan).
+    SOAK_TICKS = "soak.ticks";
+    /// Counter: stream samples that survived the ingest fault coin and
+    /// reached the service, across all ticks.
+    SOAK_SAMPLES = "soak.samples";
+    /// Counter: stream samples lost to the sustained ingest drop rate
+    /// before reaching the service.
+    SOAK_DROPPED_SAMPLES = "soak.dropped_samples";
+    /// Counter: silent verdict flips — a resolved coordinator verdict
+    /// (Uniform/Far) that changed to the *other* resolved verdict on a
+    /// later tick. The E15 soak verdict requires this to stay 0;
+    /// Pending→resolved transitions are not flips.
+    SOAK_VERDICT_FLIPS = "soak.verdict_flips";
+    /// Counter: robust CONGEST pipeline runs driven by the soak loop.
+    SOAK_PIPELINE_RUNS = "soak.pipeline.runs";
+    /// Counter: soak pipeline runs that ended `FaultOverwhelmed`
+    /// (scheduled crash/rejoin cycles must be absorbed, so this stays 0
+    /// unless the sustained drop rate overwhelms a run).
+    SOAK_PIPELINE_FAILURES = "soak.pipeline.failures";
+    /// Counter: ARQ retransmissions spent by soak pipeline runs,
+    /// cumulative across ticks (the bounded-growth check divides this
+    /// by `soak.ticks`).
+    SOAK_RETRANSMITS = "soak.retransmits";
+    /// Histogram: recovery time per scheduled rejoin that was absorbed —
+    /// the crashed node's downtime in simulated rounds.
+    SOAK_RECOVERY_ROUNDS = "soak.recovery_rounds";
 
     // -------------------------------------------------------------- stream
 

@@ -24,6 +24,11 @@
 //!   fault plans. Drivers run decode paths under `catch_unwind` and
 //!   report — the typed-error contract of the decoders means a panic is
 //!   always a bug.
+//! * [`chaos`] — adversarial fault search: bracketing binary search on
+//!   drop/flip rates to the failure frontier of the robust packaging
+//!   pipeline, plus delta-debugging of crash schedules down to a
+//!   1-minimal witness plan. Produces a typed `FaultBoundaryReport`
+//!   that is bit-identical at 1, 2, and 8 search threads.
 //! * [`parallel`] — the serial ↔ parallel differential harness for the
 //!   Monte-Carlo executor: one trial closure run serial, 2-thread, and
 //!   8-thread/ragged-chunk, asserting bit-identical estimates and
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod fuzz;
 pub mod oracles;
 pub mod parallel;
