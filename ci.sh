@@ -68,8 +68,19 @@ lane_overflow() {
 }
 
 lane_experiments_smoke() {
-    echo "==> experiments smoke (E1-E15 quick scale, verdicts vs EXPERIMENTS.md)"
+    echo "==> experiments smoke (E1-E16 quick scale, verdicts vs EXPERIMENTS.md)"
     cargo run --release -p dut-bench --bin experiments -- --quick --check all > /dev/null
+}
+
+lane_conductance() {
+    echo "==> conductance lane (walk + pipeline differential: serial == sharded == reference)"
+    cargo test --release -p dut-congest --test conductance_differential -q
+    echo "==> conductance lane (walk proptests: engine invariance, clique stationarity)"
+    cargo test --release -p dut-congest --test walk_differential -q
+    echo "==> conductance lane (exact small-graph oracle cross-check)"
+    cargo test --release -p dut-testkit conductance -q
+    echo "==> conductance lane (E16 quick smoke, verdict vs EXPERIMENTS.md)"
+    cargo run --release -p dut-bench --bin experiments -- --quick --check e16 > /dev/null
 }
 
 lane_stream() {
@@ -132,7 +143,7 @@ lane_msrv() {
     fi
 }
 
-LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke stream netsim-scale chaos perf-gate msrv)
+LANES=(lint test fault-differential testkit feature-matrix overflow experiments-smoke conductance stream netsim-scale chaos perf-gate msrv)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${LANES[@]}"
@@ -148,6 +159,7 @@ run_lane() {
         feature-matrix) lane_feature_matrix ;;
         overflow) lane_overflow ;;
         experiments-smoke) lane_experiments_smoke ;;
+        conductance) lane_conductance ;;
         stream) lane_stream ;;
         netsim-scale) lane_netsim_scale ;;
         chaos) lane_chaos ;;

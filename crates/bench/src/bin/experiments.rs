@@ -42,7 +42,7 @@ use std::time::Instant;
 const USAGE: &str =
     "usage: experiments [--quick] [--list] [--check] [--threads N] [--checkpoint dir] \
      [--adaptive[=TOL]] [--soak SECS] [--json out.json] [--metrics out.jsonl] \
-     (all | e1 .. e15)+";
+     (all | e1 .. e16)+";
 
 /// Interval tolerance a bare `--adaptive` uses: tight enough that every
 /// E1 verdict margin survives, loose enough to stop clear-cut cells

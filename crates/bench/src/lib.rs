@@ -34,6 +34,7 @@ pub mod e12_lowerbound;
 pub mod e13_faults;
 pub mod e14_streaming;
 pub mod e15_soak;
+pub mod e16_conductance;
 pub mod metrics;
 pub mod table;
 pub mod verdict;
@@ -63,8 +64,9 @@ impl Scale {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Canonicalizes a user-typed experiment id: strips leading zeros
@@ -134,6 +136,7 @@ pub fn run_experiment_ctx(id: &str, ctx: ExperimentCtx<'_>) -> Vec<Table> {
         "e13" => e13_faults::run(ctx.scale, ctx.log),
         "e14" => e14_streaming::run(ctx.scale, ctx.log),
         "e15" => e15_soak::run_soak(ctx.scale, ctx.log, ctx.soak),
+        "e16" => e16_conductance::run(ctx.scale, ctx.log),
         other => panic!("unknown experiment id: {other}"),
     }
 }

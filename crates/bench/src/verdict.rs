@@ -62,6 +62,7 @@ pub fn check(id: &str, tables: &[Table]) -> Result<(), String> {
         "e13" => check_e13(tables),
         "e14" => check_e14(tables),
         "e15" => check_e15(tables),
+        "e16" => check_e16(tables),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -461,6 +462,66 @@ fn check_e15(tables: &[Table]) -> Result<(), String> {
     for row in &h.rows {
         if num(h, row, 1)? != num(h, row, 2)? {
             return Err(fail(h, row, "scheduled outage not recovered"));
+        }
+    }
+    Ok(())
+}
+
+/// E16 (conductance testing): expanders accepted, bridged two-cliques
+/// rejected — on the plain and on the robust (coded/ARQ, flips
+/// injected) pipeline — the realized round count stays within 1.5x the
+/// D + ln k/(ε·Φ²) envelope, and the walk census is bit-identical on
+/// every engine, clean and faulted.
+fn check_e16(tables: &[Table]) -> Result<(), String> {
+    let sep = &tables[0];
+    if sep.rows.len() < 4 {
+        return Err(format!("{}: too few pipeline rows", sep.title));
+    }
+    let (mut saw_robust, mut saw_accept, mut saw_reject) = (false, false, false);
+    for row in &sep.rows {
+        let expect = match row[0].as_str() {
+            "margulis" => "accept",
+            "bridged-cliques" => "reject",
+            other => return Err(fail(sep, row, &format!("unknown instance {other}"))),
+        };
+        if row[3] != expect {
+            return Err(fail(sep, row, "verdict misses the instance class"));
+        }
+        saw_accept |= expect == "accept";
+        saw_reject |= expect == "reject";
+        saw_robust |= row[1].starts_with("robust");
+        if num(sep, row, 8)? > 1.5 {
+            return Err(fail(sep, row, "round count exceeds 1.5x the theory bound"));
+        }
+    }
+    if !(saw_accept && saw_reject && saw_robust) {
+        return Err(format!(
+            "{}: sweep must cover accept, reject, and a robust pipeline row",
+            sep.title
+        ));
+    }
+    let ident = &tables[1];
+    if ident.rows.len() < 4 {
+        return Err(format!("{}: too few engine rows", ident.title));
+    }
+    let mut fp_by_plan: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    for row in &ident.rows {
+        if row[5] != "yes" {
+            return Err(fail(ident, row, "engine diverged from the serial census"));
+        }
+        match fp_by_plan.entry(row[0].as_str()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(row[4].as_str());
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != row[4].as_str() {
+                    return Err(fail(
+                        ident,
+                        row,
+                        "census fingerprint differs across engines",
+                    ));
+                }
+            }
         }
     }
     Ok(())

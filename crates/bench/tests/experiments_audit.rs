@@ -1,0 +1,72 @@
+//! Audit that the experiment registry stays closed: every id in
+//! `ALL_EXPERIMENTS` must be listable, dispatchable, checkable, and
+//! named by the usage text. Adding an experiment module without wiring
+//! one of those surfaces fails here instead of at runtime.
+
+use dut_bench::{normalize_id, verdict, ALL_EXPERIMENTS};
+use std::process::Command;
+
+#[test]
+fn list_flag_prints_exactly_the_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--list")
+        .output()
+        .expect("experiments --list runs");
+    assert!(out.status.success());
+    let listed: Vec<String> = String::from_utf8(out.stdout)
+        .expect("utf-8")
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect();
+    assert_eq!(listed, ALL_EXPERIMENTS.map(String::from).to_vec());
+}
+
+#[test]
+fn usage_text_names_the_full_experiment_range() {
+    let src = include_str!("../src/bin/experiments.rs");
+    let last = ALL_EXPERIMENTS.last().expect("non-empty registry");
+    let range = format!("e1 .. {last}");
+    assert!(
+        src.contains(&range),
+        "usage text must advertise `{range}` — update USAGE when extending ALL_EXPERIMENTS"
+    );
+}
+
+#[test]
+fn every_id_is_normal_form_and_has_a_dispatch_arm() {
+    let dispatch = include_str!("../src/lib.rs");
+    for id in ALL_EXPERIMENTS {
+        assert_eq!(normalize_id(id), id, "registry ids must be normal form");
+        let arm = format!("\"{id}\" =>");
+        assert!(
+            dispatch.contains(&arm),
+            "run_experiment_ctx has no `{arm}` dispatch arm"
+        );
+    }
+}
+
+#[test]
+fn every_id_has_a_check_arm_and_a_recorded_verdict() {
+    for id in ALL_EXPERIMENTS {
+        // `check` on empty tables may legitimately Err (nothing to
+        // inspect), but an id missing from its match panics with
+        // "unknown experiment id" — the one failure mode audited here.
+        let outcome = std::panic::catch_unwind(|| verdict::check(id, &[]));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(
+                !msg.contains("unknown experiment id"),
+                "verdict::check has no arm for {id}"
+            );
+        }
+        assert!(
+            verdict::recorded_holds(id).is_some(),
+            "EXPERIMENTS.md records no verdict for {id}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! CI lane-drift guard: `./ci.sh --list` and the GitHub Actions matrix
+//! must name exactly the same lanes, so a lane added to one side can
+//! never silently miss the other (the chaos lane was added to both by
+//! hand in an earlier change; this test makes the agreement
+//! machine-checked).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Lanes `./ci.sh --list` declares, in order.
+fn script_lanes() -> Vec<String> {
+    let root = repo_root();
+    let out = Command::new("bash")
+        .arg(root.join("ci.sh"))
+        .arg("--list")
+        .current_dir(&root)
+        .output()
+        .expect("ci.sh --list runs");
+    assert!(
+        out.status.success(),
+        "ci.sh --list failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("utf-8 lane names")
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+/// Lane entries of the `matrix.lane:` list in ci.yml, in order.
+fn workflow_matrix_lanes(workflow: &str) -> Vec<String> {
+    let mut lanes = Vec::new();
+    let mut in_matrix = false;
+    for line in workflow.lines() {
+        let trimmed = line.trim();
+        if trimmed == "lane:" {
+            in_matrix = true;
+            continue;
+        }
+        if in_matrix {
+            if let Some(entry) = trimmed.strip_prefix("- ") {
+                lanes.push(entry.trim().to_string());
+            } else if !trimmed.is_empty() {
+                break; // first non-entry line ends the list
+            }
+        }
+    }
+    lanes
+}
+
+#[test]
+fn workflow_matrix_matches_ci_sh_lanes() {
+    let root = repo_root();
+    let workflow =
+        std::fs::read_to_string(root.join(".github/workflows/ci.yml")).expect("ci.yml readable");
+    let matrix = workflow_matrix_lanes(&workflow);
+    assert!(
+        !matrix.is_empty(),
+        "no matrix.lane entries parsed from ci.yml"
+    );
+
+    let mut lanes = script_lanes();
+    assert!(!lanes.is_empty(), "no lanes parsed from ci.sh --list");
+
+    // The msrv lane runs as a dedicated job (it needs a different
+    // toolchain), not as a matrix entry — assert the job exists, then
+    // compare the rest exactly, order included.
+    assert!(
+        workflow.contains("./ci.sh msrv"),
+        "ci.yml lost the dedicated msrv job"
+    );
+    assert_eq!(
+        lanes.pop().as_deref(),
+        Some("msrv"),
+        "msrv must stay the final ci.sh lane (the dedicated-job contract)"
+    );
+    assert_eq!(
+        matrix, lanes,
+        "ci.yml matrix and ci.sh --list disagree — add the lane to both"
+    );
+
+    // Every matrix lane must also be dispatchable (a LANES entry with
+    // no run_lane arm would die at runtime; the case arm with no LANES
+    // entry would silently skip locally).
+    for lane in &matrix {
+        let status = Command::new("bash")
+            .arg("-c")
+            .arg(format!(
+                "grep -qE '^[[:space:]]*{lane}\\) lane_' ci.sh",
+                lane = regex_escape(lane)
+            ))
+            .current_dir(&root)
+            .status()
+            .expect("grep runs");
+        assert!(status.success(), "lane {lane} has no run_lane dispatch arm");
+    }
+}
+
+#[test]
+fn nightly_soak_workflow_is_wired() {
+    let root = repo_root();
+    let nightly = std::fs::read_to_string(root.join(".github/workflows/nightly.yml"))
+        .expect("nightly.yml readable");
+    assert!(
+        nightly.contains("schedule:"),
+        "nightly workflow lost its cron trigger"
+    );
+    assert!(
+        nightly.contains("workflow_dispatch"),
+        "nightly workflow must stay manually triggerable"
+    );
+    assert!(
+        nightly.contains("--soak 120"),
+        "nightly workflow must run the wall-clock soak"
+    );
+    assert!(
+        nightly.contains("--metrics soak.jsonl") && nightly.contains("upload-artifact"),
+        "nightly workflow must upload the soak JSONL audit trail"
+    );
+}
+
+fn regex_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                vec![c]
+            } else {
+                vec!['\\', c]
+            }
+        })
+        .collect()
+}

@@ -16,16 +16,24 @@
 //! * [`tester`] — the full CONGEST uniformity tester: planning (choosing
 //!   τ so the packages support the threshold tester), the protocol
 //!   composition, and round/bit accounting.
+//! * [`conductance`] — a second property-testing workload on the same
+//!   substrate: the Fichtenberger–Vasudev distributed conductance
+//!   tester (lazy random walks + collision convergecast), plain and
+//!   fault-hardened.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod conductance;
 pub mod packaging;
 pub mod robust;
 pub mod tester;
 
 pub use codec::{CodedWord, JustesenCodec};
+pub use conductance::{
+    ConductanceError, ConductanceRunResult, ConductanceStage, ConductanceTester, ConductanceVerdict,
+};
 pub use packaging::{solve_token_packaging, PackagingError, PackagingResult, RobustStage};
 pub use robust::{robust_bandwidth_model, solve_token_packaging_robust, RobustStats};
 pub use tester::{CongestError, CongestRunResult, CongestUniformityTester, RobustRunResult};

@@ -1,0 +1,219 @@
+//! Differential suite for the conductance tester (CI's `conductance`
+//! lane): the full pipeline and the walk phase alone must be
+//! bit-identical across the serial engine, the sharded parallel engine
+//! at any thread count, and the naive reference engine — clean and
+//! under E13-style fault plans — and the robust variant must keep its
+//! honesty contract (flips absorbed, losses typed, never a skewed
+//! verdict).
+
+use dut_congest::conductance::walk::{
+    run_walks_observed, run_walks_reference, run_walks_reference_faulted, walk_bandwidth_model,
+};
+use dut_congest::{ConductanceError, ConductanceStage, ConductanceTester};
+use dut_netsim::engine::RunOptions;
+use dut_netsim::fault::FaultPlan;
+use dut_netsim::graph::ImplicitTopology;
+use dut_netsim::topology::{bridged_cliques, MargulisExpander};
+use dut_obs::NoopSink;
+
+const SEED: u64 = 0xC0DA;
+
+fn e13_style_plan() -> FaultPlan {
+    // Flip-only at the E13 sweep's light rate: the coded pipeline must
+    // absorb every flip below the Justesen radius.
+    FaultPlan::seeded(0xE13).with_flips(3e-4)
+}
+
+#[test]
+fn full_pipeline_is_engine_invariant() {
+    let g = MargulisExpander::new(6).materialize();
+    let t = ConductanceTester::plan(36, 0.1, 0.5).expect("plannable");
+    let serial = t
+        .run_observed(&g, SEED, &RunOptions::default(), &mut NoopSink)
+        .expect("serial run");
+    for options in [
+        RunOptions::parallel(2),
+        RunOptions::parallel(4),
+        RunOptions::parallel(3).with_shard_delivery(1),
+    ] {
+        let other = t
+            .run_observed(&g, SEED, &options, &mut NoopSink)
+            .expect("parallel run");
+        assert_eq!(serial, other, "diverged under {options:?}");
+    }
+}
+
+#[test]
+fn walk_census_matches_reference_clean_and_faulted() {
+    let g = bridged_cliques(24);
+    let model = walk_bandwidth_model(24, 8);
+    let plans = [
+        FaultPlan::none(),
+        FaultPlan::seeded(5).with_flips(2e-3),
+        FaultPlan::seeded(6).with_drops(0.01),
+        FaultPlan::seeded(7)
+            .with_drops(0.005)
+            .with_flips(1e-3)
+            .with_crash(3, 6)
+            .with_rejoin(3, 11),
+    ];
+    for plan in plans {
+        let opts = RunOptions::default().with_faults(plan.clone());
+        let flat =
+            run_walks_observed(&g, SEED, 8, 16, model, &opts, &mut NoopSink).expect("flat engine");
+        let sharded = run_walks_observed(
+            &g,
+            SEED,
+            8,
+            16,
+            model,
+            &RunOptions::parallel(4)
+                .with_shard_delivery(1)
+                .with_faults(plan.clone()),
+            &mut NoopSink,
+        )
+        .expect("sharded engine");
+        let reference =
+            run_walks_reference_faulted(&g, SEED, 8, 16, model, &plan).expect("reference engine");
+        assert_eq!(flat, sharded, "flat vs sharded under {plan:?}");
+        assert_eq!(
+            flat.counts, reference.counts,
+            "flat vs reference under {plan:?}"
+        );
+        assert_eq!(flat.rounds, reference.rounds);
+        assert_eq!(flat.dropped_messages, reference.dropped_messages);
+    }
+}
+
+#[test]
+fn clean_walks_conserve_tokens_exactly() {
+    let g = MargulisExpander::new(5).materialize();
+    let model = walk_bandwidth_model(25, 6);
+    let outcome = run_walks_reference(&g.clone(), SEED, 6, 12, model).expect("reference run");
+    assert_eq!(outcome.total_tokens(), 25 * 6);
+    // Every source keeps its 6 tokens somewhere.
+    for src in 0..25 {
+        let alive: u64 = outcome.counts.iter().map(|row| row[src]).sum();
+        assert_eq!(alive, 6, "source {src}");
+    }
+}
+
+#[test]
+fn robust_pipeline_absorbs_e13_flip_plan_bit_identically() {
+    let g = MargulisExpander::new(6).materialize();
+    let t = ConductanceTester::plan(36, 0.1, 0.5).expect("plannable");
+    let (clean, _) = t
+        .run_robust(&g, SEED, &FaultPlan::none(), 3)
+        .expect("fault-free robust run");
+    let (faulted, stats) = t
+        .run_robust(&g, SEED, &e13_style_plan(), 3)
+        .expect("flips below the codec radius must be absorbed");
+    assert_eq!(clean.verdict, faulted.verdict);
+    assert_eq!(clean.collisions, faulted.collisions);
+    assert_eq!(clean.tokens, faulted.tokens);
+    assert_eq!(clean.sum_deg, faulted.sum_deg);
+    assert_eq!(clean.sum_deg_sq, faulted.sum_deg_sq);
+    assert!(stats.corrected_bits > 0, "plan never flipped anything");
+    assert_eq!(stats.failures, 0);
+}
+
+#[test]
+fn robust_pipeline_is_engine_invariant_under_faults() {
+    let g = MargulisExpander::new(4).materialize();
+    let t = ConductanceTester::plan(16, 0.1, 0.5)
+        .expect("plannable")
+        .with_walk_len(10);
+    let plan = e13_style_plan();
+    let (serial, _) = t
+        .run_robust_observed(&g, SEED, &plan, 3, &RunOptions::default(), &mut NoopSink)
+        .expect("serial robust run");
+    let (parallel, _) = t
+        .run_robust_observed(&g, SEED, &plan, 3, &RunOptions::parallel(4), &mut NoopSink)
+        .expect("parallel robust run");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn robust_pipeline_survives_crash_rejoin_in_collect_phase() {
+    // Fault-plan rounds are local to each engine sub-run. On line(8)
+    // the BFS tree is a depth-7 chain, so the bottom-up reliable
+    // collect keeps node 6 (the last hop before the root) busy well
+    // past round 4 — the crash window [4, 12) lands inside the ARQ
+    // chain and the outage-widened deadlines absorb it. A walk_len=2
+    // walk quiesces before round 4, so no tokens are in flight when
+    // the node goes dark: the verdict and statistic must match the
+    // fault-free run exactly.
+    let g = dut_netsim::topology::line(8);
+    let t = ConductanceTester::plan(8, 0.1, 0.5)
+        .expect("plannable")
+        .with_walk_len(2);
+    let (clean, _) = t
+        .run_robust(&g, SEED, &FaultPlan::none(), 4)
+        .expect("fault-free robust run");
+    let plan = FaultPlan::seeded(0x2E16)
+        .with_crash(6, 4)
+        .with_rejoin(6, 12);
+    let (survived, stats) = t
+        .run_robust(&g, SEED, &plan, 4)
+        .expect("outage-widened retries must absorb the crash window");
+    assert_eq!(clean.verdict, survived.verdict);
+    assert_eq!(clean.collisions, survived.collisions);
+    assert_eq!(clean.tokens, survived.tokens);
+    assert!(
+        stats.retransmits > 0,
+        "crash window never forced a retransmit: {stats:?}"
+    );
+}
+
+#[test]
+fn robust_pipeline_reports_walk_losses_as_typed_error() {
+    let g = bridged_cliques(16);
+    let t = ConductanceTester::plan(16, 0.1, 0.5).expect("plannable");
+    // Heavy drops: the retry-free walk phase must lose tokens, and the
+    // conservation check must refuse to manufacture a verdict.
+    let plan = FaultPlan::seeded(21).with_drops(0.05);
+    match t.run_robust(&g, SEED, &plan, 3) {
+        Err(ConductanceError::FaultOverwhelmed { stage, .. }) => {
+            assert_eq!(stage, ConductanceStage::Walk);
+        }
+        other => panic!("expected FaultOverwhelmed(Walk), got {other:?}"),
+    }
+}
+
+#[test]
+fn observed_runs_record_conductance_metrics() {
+    use dut_obs::{keys, MemorySink};
+    let g = MargulisExpander::new(4).materialize();
+    let t = ConductanceTester::plan(16, 0.1, 0.5).expect("plannable");
+    let mut sink = MemorySink::new();
+    let r = t
+        .run_observed(&g, SEED, &RunOptions::default(), &mut sink)
+        .expect("observed run");
+    assert_eq!(sink.counter(keys::CONGEST_CONDUCTANCE_RUNS), 1);
+    assert_eq!(sink.counter(keys::CONGEST_CONDUCTANCE_ROBUST_RUNS), 0);
+    assert_eq!(
+        sink.counter(keys::CONGEST_CONDUCTANCE_ROUNDS),
+        r.rounds as u64
+    );
+    assert_eq!(sink.counter(keys::CONGEST_CONDUCTANCE_TOKENS), r.tokens);
+    assert_eq!(
+        sink.counter(keys::CONGEST_CONDUCTANCE_ACCEPTS),
+        u64::from(r.verdict.accepts())
+    );
+    let (rr, _) = t
+        .run_robust_observed(
+            &g,
+            SEED,
+            &FaultPlan::none(),
+            3,
+            &RunOptions::default(),
+            &mut sink,
+        )
+        .expect("robust observed run");
+    assert_eq!(sink.counter(keys::CONGEST_CONDUCTANCE_RUNS), 2);
+    assert_eq!(sink.counter(keys::CONGEST_CONDUCTANCE_ROBUST_RUNS), 1);
+    assert_eq!(rr.verdict, r.verdict);
+    // Sinks never touch RNG: the observed runs must equal unobserved.
+    let plain = t.run(&g, SEED).expect("unobserved run");
+    assert_eq!(plain, r);
+}

@@ -1091,7 +1091,11 @@ mod tests {
         let mk_bcast = |v: usize| RBcastNode {
             parent: tree.parent[v],
             children: tree.children[v].clone(),
-            value: if v.is_multiple_of(2) { Some(v as u64 + 9) } else { None },
+            value: if v.is_multiple_of(2) {
+                Some(v as u64 + 9)
+            } else {
+                None
+            },
             down: tree.children[v]
                 .iter()
                 .map(|&c| ArqSend {

@@ -73,6 +73,36 @@ pub fn complete(k: usize) -> Graph {
     g
 }
 
+/// Two complete graphs on `⌈k/2⌉` and `⌊k/2⌋` nodes joined by a single
+/// bridge edge `(0, ⌈k/2⌉)`. The canonical far-from-expander instance
+/// for conductance testing: the cut at the bridge has conductance
+/// `Θ(1/k²)`, so lazy random walks stay trapped on their side and the
+/// endpoint collision statistic roughly doubles versus a true expander.
+///
+/// # Panics
+///
+/// Panics if `k < 4` (each side needs at least 2 nodes to be a clique)
+/// or if the clique edge count overflows `usize`.
+pub fn bridged_cliques(k: usize) -> Graph {
+    assert!(k >= 4, "bridged_cliques needs k >= 4 (got {k})");
+    let left = k.div_ceil(2);
+    k.checked_mul(k - 1)
+        .expect("bridged_cliques(k): edge count overflows usize");
+    let mut g = Graph::new(k);
+    for u in 0..left {
+        for v in (u + 1)..left {
+            g.add_edge(u, v);
+        }
+    }
+    for u in left..k {
+        for v in (u + 1)..k {
+            g.add_edge(u, v);
+        }
+    }
+    g.add_edge(0, left);
+    g
+}
+
 /// A balanced binary tree on `k` nodes (heap layout: node `i`'s children
 /// are `2i+1`, `2i+2`). Diameter `Θ(log k)`.
 pub fn balanced_binary_tree(k: usize) -> Graph {
@@ -570,6 +600,34 @@ mod tests {
         let g = complete(6);
         assert_eq!(g.edge_count(), 15);
         assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn bridged_cliques_shape() {
+        let g = bridged_cliques(10);
+        assert_eq!(g.node_count(), 10);
+        // Two K5s plus the bridge.
+        assert_eq!(g.edge_count(), 2 * 10 + 1);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 5); // clique-internal 4 + bridge
+        assert_eq!(g.degree(5), 5);
+        assert_eq!(g.degree(1), 4);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn bridged_cliques_odd_split() {
+        let g = bridged_cliques(7);
+        assert_eq!(g.node_count(), 7);
+        // K4 (6 edges) + K3 (3 edges) + bridge.
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "bridged_cliques needs k >= 4")]
+    fn bridged_cliques_too_small_panics() {
+        let _ = bridged_cliques(3);
     }
 
     #[test]

@@ -197,6 +197,26 @@ registry! {
     /// Counter: unrecovered delivery failures in robust runs (retry budget
     /// or deadline exhausted somewhere in the pipeline).
     CONGEST_ROBUST_FAILURES = "congest.robust.failures";
+    /// Counter: conductance tester runs (plain + robust).
+    CONGEST_CONDUCTANCE_RUNS = "congest.conductance.runs";
+    /// Counter: fault-hardened (coded/ARQ) conductance tester runs.
+    CONGEST_CONDUCTANCE_ROBUST_RUNS = "congest.conductance.robust_runs";
+    /// Counter: total pipeline rounds consumed by conductance runs
+    /// (leader + BFS + censuses + walks + collision/verdict phases).
+    CONGEST_CONDUCTANCE_ROUNDS = "congest.conductance.rounds";
+    /// Counter: rounds spent in the lazy-random-walk phase alone
+    /// (the O(log n / Φ) mixing portion of the round budget).
+    CONGEST_CONDUCTANCE_WALK_ROUNDS = "congest.conductance.walk_rounds";
+    /// Counter: total payload bits conductance runs put on the wire.
+    CONGEST_CONDUCTANCE_BITS = "congest.conductance.bits";
+    /// Counter: walk tokens surviving to the endpoint census (equals
+    /// `k·ℓ` on every successful run — conservation is enforced).
+    CONGEST_CONDUCTANCE_TOKENS = "congest.conductance.tokens";
+    /// Counter: endpoint collision statistic `S` summed over runs
+    /// (same-source resting pairs; the quantity the verdict thresholds).
+    CONGEST_CONDUCTANCE_COLLISIONS = "congest.conductance.collisions";
+    /// Counter: accepting conductance runs (verdict = expander).
+    CONGEST_CONDUCTANCE_ACCEPTS = "congest.conductance.accepts";
 
     // --------------------------------------------------------------- local
 

@@ -18,6 +18,8 @@
 //! Agreement tests live in this crate's `tests/` tree and in the
 //! downstream crates' test trees.
 
+use dut_netsim::graph::Graph;
+
 /// Elementary symmetric polynomial `e_s(p_0, …, p_{n−1})` by the
 /// standard O(n·s) dynamic program (`e[j] += e[j−1]·p` per item).
 ///
@@ -113,6 +115,58 @@ pub fn l1_to_uniform(pmf: &[f64]) -> f64 {
     pmf.iter().map(|&p| (p - u).abs()).sum()
 }
 
+/// Exact graph conductance by subset enumeration:
+/// `Φ(G) = min over ∅ ⊂ S ⊂ V of cut(S) / min(vol(S), vol(V∖S))`
+/// with `vol(S) = Σ_{v∈S} deg(v)` — the quantity the distributed
+/// conductance tester (`dut_congest::conductance`) decides about.
+/// Ground truth for the generator strategies: Margulis expanders must
+/// score high, bridged cliques near zero.
+///
+/// Complement symmetry lets node 0 be pinned outside `S`, so the scan
+/// is over `2^(k−1) − 1` proper subsets.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 nodes, more than 20 nodes
+/// (the enumeration is exponential — this oracle targets small-`k`
+/// cross-checks), or no edges (conductance is undefined at volume 0).
+pub fn exact_conductance(g: &Graph) -> f64 {
+    let k = g.node_count();
+    assert!(k >= 2, "conductance needs at least 2 nodes (got {k})");
+    assert!(
+        k <= 20,
+        "exact_conductance is exponential; k <= 20 (got {k})"
+    );
+    assert!(g.edge_count() > 0, "conductance is undefined without edges");
+    let degs: Vec<u64> = (0..k).map(|v| g.degree(v) as u64).collect();
+    let total_vol: u64 = degs.iter().sum();
+    let mut best = f64::INFINITY;
+    // Node 0 stays outside S; mask bit i selects node i+1.
+    for mask in 1u32..(1u32 << (k - 1)) {
+        let in_s = |v: usize| v > 0 && mask >> (v - 1) & 1 == 1;
+        let mut cut = 0u64;
+        let mut vol = 0u64;
+        for (v, &deg) in degs.iter().enumerate() {
+            if !in_s(v) {
+                continue;
+            }
+            vol += deg;
+            cut += g.neighbors(v).iter().filter(|&&u| !in_s(u)).count() as u64;
+        }
+        let denom = vol.min(total_vol - vol);
+        if denom == 0 {
+            // S (or its complement) is all isolated vertices; the cut
+            // is 0 too, and the ratio is taken as no constraint.
+            continue;
+        }
+        let phi = cut as f64 / denom as f64;
+        if phi < best {
+            best = phi;
+        }
+    }
+    best
+}
+
 /// Reference collision probability `χ(μ) = Σ μ(x)²` (the quantity of
 /// the paper's Lemma 3.2: χ ≥ (1 + ε²)/n for ε-far μ).
 pub fn collision_chi(pmf: &[f64]) -> f64 {
@@ -122,6 +176,50 @@ pub fn collision_chi(pmf: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dut_netsim::graph::ImplicitTopology;
+    use dut_netsim::topology::{bridged_cliques, complete, ring, star, MargulisExpander};
+
+    #[test]
+    fn conductance_of_complete_graph() {
+        // K4: the minimizing cut is 1-vs-3 (cut 3, vol 3) or 2-vs-2
+        // (cut 4, vol 6) -> Φ = min(1, 2/3) = 2/3.
+        let phi = exact_conductance(&complete(4));
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12, "phi {phi}");
+    }
+
+    #[test]
+    fn conductance_of_ring_halves() {
+        // C8: the best cut is 4 contiguous nodes — cut 2, vol 8.
+        let phi = exact_conductance(&ring(8));
+        assert!((phi - 0.25).abs() < 1e-12, "phi {phi}");
+    }
+
+    #[test]
+    fn conductance_of_star_leaf() {
+        // A single leaf: cut 1, vol 1 -> Φ = 1.
+        let phi = exact_conductance(&star(5));
+        assert!((phi - 1.0).abs() < 1e-12, "phi {phi}");
+    }
+
+    #[test]
+    fn conductance_separates_expander_from_bridged_cliques() {
+        // The generator pair the conductance tester's suites lean on:
+        // ground truth that the gap is real on oracle-sized instances.
+        let exp = MargulisExpander::new(4).materialize(); // k = 16
+        let far = bridged_cliques(16);
+        let phi_exp = exact_conductance(&exp);
+        let phi_far = exact_conductance(&far);
+        // Bridged K8s: cut 1, vol(side) = 8·7 + 1 = 57 -> Φ = 1/57.
+        assert!((phi_far - 1.0 / 57.0).abs() < 1e-12, "phi_far {phi_far}");
+        assert!(phi_exp > 0.2, "phi_exp {phi_exp}");
+        assert!(phi_exp > 10.0 * phi_far);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= 20")]
+    fn conductance_oracle_rejects_large_graphs() {
+        let _ = exact_conductance(&complete(21));
+    }
 
     #[test]
     fn elementary_symmetric_small_cases() {

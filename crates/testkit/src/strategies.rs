@@ -7,8 +7,8 @@
 use dut_distributions::families::FarFamily;
 use dut_distributions::DiscreteDistribution;
 use dut_netsim::fault::FaultPlan;
-use dut_netsim::graph::Graph;
-use dut_netsim::topology::Topology;
+use dut_netsim::graph::{Graph, ImplicitTopology};
+use dut_netsim::topology::{bridged_cliques, MargulisExpander, Topology};
 use proptest::collection;
 use proptest::{any, Strategy};
 use rand::rngs::StdRng;
@@ -89,6 +89,29 @@ pub fn topology_graph(min_k: usize, max_k: usize) -> impl Strategy<Value = Graph
         let mut rng = StdRng::seed_from_u64(seed);
         Topology::ALL[t].instantiate(k, &mut rng)
     })
+}
+
+/// A labeled conductance-testing instance: `(graph, is_expander)`.
+/// Expander draws come from the Margulis–Gabber–Galil family
+/// (`side ∈ 3..=max_side`, so `9..=max_side²` nodes) and far draws are
+/// two bridged cliques on an even node count in `12..=2·max_side²`
+/// (clique side ≥ 6 keeps Φ = 1/(side·(side−1)+1) below 0.05) —
+/// the completeness/soundness generator pair of the conductance
+/// tester's suites. Both labels appear with equal probability.
+pub fn conductance_instance(max_side: usize) -> impl Strategy<Value = (Graph, bool)> {
+    assert!(max_side >= 3, "need max_side >= 3");
+    (
+        any::<bool>(),
+        3usize..=max_side,
+        6usize..=max_side * max_side,
+    )
+        .prop_map(|(expander, side, half)| {
+            if expander {
+                (MargulisExpander::new(side).materialize(), true)
+            } else {
+                (bridged_cliques(2 * half), false)
+            }
+        })
 }
 
 /// A seeded [`FaultPlan`] with drop probability below `max_drop`, flip
@@ -237,6 +260,23 @@ mod tests {
             prop_assert!(g.node_count() >= 1);
             let (_, components) = g.connected_components();
             prop_assert_eq!(components, 1);
+        }
+
+        #[test]
+        fn conductance_instances_match_their_labels(
+            (g, is_expander) in conductance_instance(4)
+        ) {
+            prop_assert!(g.node_count() >= 8);
+            let (_, components) = g.connected_components();
+            prop_assert_eq!(components, 1);
+            if g.node_count() <= 20 {
+                let phi = crate::oracles::exact_conductance(&g);
+                if is_expander {
+                    prop_assert!(phi > 0.2, "expander with phi {phi}");
+                } else {
+                    prop_assert!(phi < 0.05, "far instance with phi {phi}");
+                }
+            }
         }
 
         #[test]
